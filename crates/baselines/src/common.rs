@@ -1,0 +1,199 @@
+//! Shared machinery for the baseline solvers: nearest-neighbour initial
+//! routes and feasibility-checked sensing-task insertion.
+
+use smore_model::{AssignmentState, Instance, Route, SensingTaskId, Stop, WorkerId, TIME_EPS};
+
+/// Builds a worker's initial route over their mandatory travel tasks with
+/// the Nearest Neighbour rule (the initialization used by RN, TVPG and TCPG
+/// in Section V-B: "we always select the nearest location as the next
+/// location").
+pub fn nearest_neighbor_route(instance: &Instance, worker: WorkerId) -> Route {
+    let w = instance.worker(worker);
+    let n = w.travel_tasks.len();
+    let mut used = vec![false; n];
+    let mut stops = Vec::with_capacity(n);
+    let mut at = w.origin;
+    for _ in 0..n {
+        let (next, _) = w
+            .travel_tasks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(i, t)| (i, at.distance_sq(&t.loc)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("an unused travel task must remain");
+        used[next] = true;
+        at = w.travel_tasks[next].loc;
+        stops.push(Stop::Travel(next));
+    }
+    Route::new(stops)
+}
+
+/// Initializes `state` with nearest-neighbour routes for every worker and
+/// records their (possibly non-minimal) route travel times.
+///
+/// The NN route may exceed the TSP reference, and the incentive model
+/// charges the overhead. If that overhead no longer fits the remaining
+/// budget (tiny budgets), the worker keeps their zero-incentive reference
+/// route instead — a baseline must never spend budget it does not have.
+pub fn init_nearest_neighbor(instance: &Instance, state: &mut AssignmentState) {
+    for w in 0..instance.n_workers() {
+        let wid = WorkerId(w);
+        let route = nearest_neighbor_route(instance, wid);
+        let schedule = instance
+            .schedule(wid, &route)
+            .expect("generated workers admit their nearest-neighbour route");
+        let incentive = instance.incentive(wid, schedule.rtt);
+        if incentive > state.budget_rest + TIME_EPS {
+            let worker = instance.worker(wid);
+            let stops: Vec<_> = worker.travel_tasks.iter().map(|t| t.loc).collect();
+            let (order, _) =
+                smore_model::tsp::solve_open_tsp(&worker.origin, &worker.destination, &stops);
+            let reference = Route::new(order.into_iter().map(Stop::Travel).collect());
+            let schedule = instance
+                .schedule(wid, &reference)
+                .expect("the reference route is feasible by construction");
+            state.incentives[w] = instance.incentive(wid, schedule.rtt);
+            state.budget_rest -= state.incentives[w];
+            state.rtts[w] = schedule.rtt;
+            state.routes[w] = reference;
+            continue;
+        }
+        state.incentives[w] = incentive;
+        state.budget_rest -= incentive;
+        state.rtts[w] = schedule.rtt;
+        state.routes[w] = route;
+    }
+}
+
+/// Outcome of a hypothetical insertion.
+#[derive(Debug, Clone)]
+pub struct Insertion {
+    /// Route with the sensing task inserted at the best position.
+    pub route: Route,
+    /// Resulting route travel time.
+    pub rtt: f64,
+    /// Incentive delta versus the worker's current incentive.
+    pub delta_in: f64,
+}
+
+/// Tries every insertion position of `task` into `worker`'s current route,
+/// returning the best (minimum-rtt) feasible insertion that also fits the
+/// remaining budget. `None` if no feasible position exists.
+pub fn best_insertion(
+    instance: &Instance,
+    state: &AssignmentState,
+    worker: WorkerId,
+    task: SensingTaskId,
+) -> Option<Insertion> {
+    let current = &state.routes[worker.0];
+    let mut best: Option<(usize, f64)> = None;
+    let mut candidate = current.clone();
+    for pos in 0..=current.stops.len() {
+        candidate.stops.insert(pos, Stop::Sensing(task));
+        if let Ok(schedule) = instance.schedule(worker, &candidate) {
+            if best.is_none_or(|(_, rtt)| schedule.rtt < rtt) {
+                best = Some((pos, schedule.rtt));
+            }
+        }
+        candidate.stops.remove(pos);
+    }
+    let (pos, rtt) = best?;
+    let delta_in = instance.incentive(worker, rtt) - state.incentives[worker.0];
+    if delta_in > state.budget_rest + TIME_EPS {
+        return None;
+    }
+    let mut route = current.clone();
+    route.stops.insert(pos, Stop::Sensing(task));
+    Some(Insertion { route, rtt, delta_in })
+}
+
+/// Inserts `task` at a *specific* position if feasible (used by RN's random
+/// position choice).
+pub fn insertion_at(
+    instance: &Instance,
+    state: &AssignmentState,
+    worker: WorkerId,
+    task: SensingTaskId,
+    pos: usize,
+) -> Option<Insertion> {
+    let mut route = state.routes[worker.0].clone();
+    if pos > route.stops.len() {
+        return None;
+    }
+    route.stops.insert(pos, Stop::Sensing(task));
+    let schedule = instance.schedule(worker, &route).ok()?;
+    let delta_in = instance.incentive(worker, schedule.rtt) - state.incentives[worker.0];
+    (delta_in <= state.budget_rest + TIME_EPS).then_some(Insertion {
+        route,
+        rtt: schedule.rtt,
+        delta_in,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+
+    fn instance() -> Instance {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 1);
+        g.gen_default(&mut SmallRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn nn_route_covers_all_travel_tasks() {
+        let inst = instance();
+        for w in 0..inst.n_workers() {
+            let route = nearest_neighbor_route(&inst, WorkerId(w));
+            let mut idx: Vec<usize> = route
+                .stops
+                .iter()
+                .map(|s| match s {
+                    Stop::Travel(i) => *i,
+                    Stop::Sensing(_) => panic!("NN route must be travel-only"),
+                })
+                .collect();
+            idx.sort_unstable();
+            assert_eq!(idx, (0..inst.worker(WorkerId(w)).travel_tasks.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn init_charges_nn_overhead() {
+        let inst = instance();
+        let mut state = AssignmentState::new(&inst);
+        init_nearest_neighbor(&inst, &mut state);
+        // NN can never beat the TSP reference, so incentives are >= 0 and the
+        // budget shrinks accordingly.
+        let spent: f64 = state.incentives.iter().sum();
+        assert!(spent >= 0.0);
+        assert!((state.budget_rest - (inst.budget - spent)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_insertion_is_feasible_and_minimal() {
+        let inst = instance();
+        let mut state = AssignmentState::new(&inst);
+        init_nearest_neighbor(&inst, &mut state);
+        let wid = WorkerId(0);
+        // Find any insertable task and verify the returned rtt is the best
+        // over explicit positions.
+        for t in 0..inst.n_tasks() {
+            let task = SensingTaskId(t);
+            if let Some(ins) = best_insertion(&inst, &state, wid, task) {
+                let mut explicit_best = f64::INFINITY;
+                for pos in 0..=state.routes[0].stops.len() {
+                    if let Some(at) = insertion_at(&inst, &state, wid, task, pos) {
+                        explicit_best = explicit_best.min(at.rtt);
+                    }
+                }
+                assert!((ins.rtt - explicit_best).abs() < 1e-9);
+                assert!(inst.schedule(wid, &ins.route).is_ok());
+                return;
+            }
+        }
+        panic!("no insertable task found in the test instance");
+    }
+}

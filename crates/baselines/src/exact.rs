@@ -1,0 +1,280 @@
+//! Exact USMDW solver by exhaustive assignment enumeration — an *oracle*
+//! for tiny instances.
+//!
+//! USMDW is NP-hard (Lemma 1), so this solver is exponential by necessity:
+//! it enumerates every assignment of sensing tasks to workers (each task is
+//! unassigned or given to exactly one worker), solves each worker's route
+//! exactly with the TSPTW bitmask DP, and keeps the best feasible,
+//! within-budget assignment by objective. Branch-and-bound pruning on the
+//! optimistic objective keeps instances with up to ~10 tasks and a few
+//! workers tractable.
+//!
+//! Its purpose is testing: heuristic and learned solvers can be measured
+//! against the true optimum on small instances (no counterpart exists in
+//! the paper, whose instances are too large for exact solution).
+
+use smore_geo::CoverageTracker;
+use smore_model::{Instance, Route, SensingTaskId, Solution, Stop, UsmdwSolver, WorkerId, TIME_EPS};
+use smore_tsptw::{ExactDpSolver, TsptwNode, TsptwProblem, TsptwSolver};
+
+/// The exhaustive oracle; see the module docs.
+#[derive(Debug, Clone)]
+pub struct ExactUsmdwSolver {
+    /// Refuse instances with more sensing tasks than this (the search is
+    /// `O((|W|+1)^|S|)`).
+    pub max_tasks: usize,
+}
+
+impl Default for ExactUsmdwSolver {
+    fn default() -> Self {
+        Self { max_tasks: 10 }
+    }
+}
+
+impl ExactUsmdwSolver {
+    /// Creates the oracle with the default 10-task cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct Search<'a> {
+    instance: &'a Instance,
+    tsptw: ExactDpSolver,
+    /// Best objective found so far and its per-worker assignments.
+    best: Option<(f64, Vec<Vec<SensingTaskId>>)>,
+    /// Current per-worker assignments.
+    assigned: Vec<Vec<SensingTaskId>>,
+    coverage: CoverageTracker,
+}
+
+impl Search<'_> {
+    /// Exact minimal rtt for `worker` with their current assignment, or
+    /// `None` if infeasible.
+    fn route_rtt(&self, worker: usize) -> Option<f64> {
+        let w = self.instance.worker(WorkerId(worker));
+        let mut nodes: Vec<TsptwNode> = w
+            .travel_tasks
+            .iter()
+            .map(|t| TsptwNode {
+                loc: t.loc,
+                window: smore_geo::TimeWindow::new(w.earliest_departure, w.latest_arrival),
+                service: t.service,
+            })
+            .collect();
+        for &id in &self.assigned[worker] {
+            let s = self.instance.sensing_task(id);
+            nodes.push(TsptwNode { loc: s.loc, window: s.window, service: s.service });
+        }
+        let p = TsptwProblem {
+            start: w.origin,
+            end: w.destination,
+            depart: w.earliest_departure,
+            deadline: w.latest_arrival,
+            nodes,
+            travel: self.instance.travel,
+        };
+        self.tsptw.solve(&p).map(|s| s.rtt)
+    }
+
+    /// Total incentive of the current assignment, or `None` if any route is
+    /// infeasible.
+    fn total_incentive(&self) -> Option<f64> {
+        let mut total = 0.0;
+        for w in 0..self.instance.n_workers() {
+            total += self.instance.incentive(WorkerId(w), self.route_rtt(w)?);
+        }
+        Some(total)
+    }
+
+    /// Optimistic bound: the objective if every remaining task were
+    /// completed (coverage is monotone in task additions).
+    fn optimistic(&self, task: usize) -> f64 {
+        let mut t = self.coverage.clone();
+        for rest in task..self.instance.n_tasks() {
+            t.add(self.instance.sensing_task(SensingTaskId(rest)).cell);
+        }
+        t.value()
+    }
+
+    fn recurse(&mut self, task: usize) {
+        if let Some((best, _)) = &self.best {
+            if self.optimistic(task) <= *best + 1e-12 {
+                return; // even completing everything left cannot improve
+            }
+        }
+        if task == self.instance.n_tasks() {
+            // Leaf: feasibility + budget check with exact routes.
+            if let Some(total) = self.total_incentive() {
+                if total <= self.instance.budget + TIME_EPS {
+                    let objective = self.coverage.value();
+                    if self.best.as_ref().is_none_or(|(b, _)| objective > *b) {
+                        self.best = Some((objective, self.assigned.clone()));
+                    }
+                }
+            }
+            return;
+        }
+
+        let id = SensingTaskId(task);
+        // Option 1: leave the task unassigned.
+        self.recurse(task + 1);
+        // Option 2: assign to each worker (prune on immediate infeasibility).
+        for w in 0..self.instance.n_workers() {
+            self.assigned[w].push(id);
+            // Quick prune: this worker's route must stay feasible on its own.
+            if self.route_rtt(w).is_some() {
+                self.coverage.add(self.instance.sensing_task(id).cell);
+                self.recurse(task + 1);
+                self.coverage.remove(self.instance.sensing_task(id).cell);
+            }
+            self.assigned[w].pop();
+        }
+    }
+}
+
+impl UsmdwSolver for ExactUsmdwSolver {
+    fn name(&self) -> &str {
+        "Exact"
+    }
+
+    fn solve(&mut self, instance: &Instance) -> Solution {
+        assert!(
+            instance.n_tasks() <= self.max_tasks,
+            "ExactUsmdwSolver is an oracle for tiny instances (≤ {} tasks), got {}",
+            self.max_tasks,
+            instance.n_tasks()
+        );
+        let mut search = Search {
+            instance,
+            tsptw: ExactDpSolver::new(),
+            best: None,
+            assigned: vec![Vec::new(); instance.n_workers()],
+            coverage: instance.coverage_tracker(),
+        };
+        search.recurse(0);
+
+        let Some((_, assignment)) = search.best else {
+            return Solution::empty(instance.n_workers());
+        };
+        // Materialize exact routes for the winning assignment.
+        let mut routes = Vec::with_capacity(instance.n_workers());
+        for (w, tasks) in assignment.iter().enumerate() {
+            let worker = instance.worker(WorkerId(w));
+            let mut nodes: Vec<TsptwNode> = worker
+                .travel_tasks
+                .iter()
+                .map(|t| TsptwNode {
+                    loc: t.loc,
+                    window: smore_geo::TimeWindow::new(
+                        worker.earliest_departure,
+                        worker.latest_arrival,
+                    ),
+                    service: t.service,
+                })
+                .collect();
+            for &id in tasks {
+                let s = instance.sensing_task(id);
+                nodes.push(TsptwNode { loc: s.loc, window: s.window, service: s.service });
+            }
+            let p = TsptwProblem {
+                start: worker.origin,
+                end: worker.destination,
+                depart: worker.earliest_departure,
+                deadline: worker.latest_arrival,
+                nodes,
+                travel: instance.travel,
+            };
+            let sol = ExactDpSolver::new()
+                .solve(&p)
+                .expect("winning assignment routes are feasible");
+            let n_travel = worker.travel_tasks.len();
+            let stops = sol
+                .order
+                .iter()
+                .map(|&i| {
+                    if i < n_travel {
+                        Stop::Travel(i)
+                    } else {
+                        Stop::Sensing(tasks[i - n_travel])
+                    }
+                })
+                .collect();
+            routes.push(Route::new(stops));
+        }
+        Solution { routes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_geo::{GridSpec, Point, TravelTimeModel};
+    use smore_model::{evaluate, SensingLattice, TravelTask, Worker};
+
+    /// A tiny instance: 2 workers, 2×2 grid × 2 slots = 8 sensing tasks.
+    fn tiny() -> Instance {
+        let lattice = SensingLattice {
+            grid: GridSpec::new(Point::new(0.0, 0.0), 800.0, 800.0, 2, 2),
+            horizon: 120.0,
+            window_len: 60.0,
+            service: 4.0,
+        };
+        let w1 = Worker::new(
+            Point::new(0.0, 0.0),
+            Point::new(800.0, 0.0),
+            0.0,
+            100.0,
+            vec![TravelTask::new(Point::new(400.0, 100.0), 8.0)],
+        );
+        let w2 = Worker::new(
+            Point::new(0.0, 800.0),
+            Point::new(800.0, 800.0),
+            0.0,
+            100.0,
+            vec![TravelTask::new(Point::new(400.0, 700.0), 8.0)],
+        );
+        Instance::from_lattice(vec![w1, w2], lattice, 60.0, 1.0, TravelTimeModel::PAPER_DEFAULT, 0.5)
+    }
+
+    #[test]
+    fn oracle_solution_validates() {
+        let inst = tiny();
+        let sol = ExactUsmdwSolver::new().solve(&inst);
+        let stats = evaluate(&inst, &sol).unwrap();
+        assert!(stats.completed > 0, "the tiny instance admits assignments");
+        assert!(stats.total_incentive <= inst.budget + 1e-6);
+    }
+
+    #[test]
+    fn oracle_dominates_heuristics() {
+        let inst = tiny();
+        let optimal = evaluate(&inst, &ExactUsmdwSolver::new().solve(&inst)).unwrap().objective;
+        for solver in [
+            &mut crate::GreedySolver::tvpg() as &mut dyn UsmdwSolver,
+            &mut crate::GreedySolver::tcpg(),
+            &mut crate::RandomSolver::new(3),
+        ] {
+            let obj = evaluate(&inst, &solver.solve(&inst)).unwrap().objective;
+            assert!(
+                obj <= optimal + 1e-9,
+                "{} found {obj} > optimum {optimal}",
+                solver.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle for tiny instances")]
+    fn refuses_large_instances() {
+        let mut big = tiny();
+        big.sensing_tasks = big
+            .sensing_tasks
+            .iter()
+            .cycle()
+            .take(50)
+            .copied()
+            .collect();
+        ExactUsmdwSolver::new().solve(&big);
+    }
+}

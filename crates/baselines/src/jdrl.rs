@@ -1,0 +1,333 @@
+//! JDRL — the MARL ride-hailing dispatcher of Sun et al. [23], adapted as
+//! the paper describes: sensing tasks are assigned only under the
+//! prerequisite that all travel tasks can still be completed.
+//!
+//! Each worker is an independent agent sharing one value network. Per
+//! dispatch round, every agent scores its candidate sensing tasks with the
+//! network and takes the best one that remains route-feasible. The policy is
+//! *not* budget-aware (the paper's stated weakness of this baseline —
+//! budgets do not exist in ride-hailing); the environment still rejects
+//! over-budget insertions, so emitted solutions stay valid.
+
+use crate::common::{best_insertion, init_nearest_neighbor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smore_model::{AssignmentState, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+use smore_nn::{Adam, Matrix, Mlp, ParamStore, Tape};
+
+const FEATURES: usize = 8;
+
+/// The shared per-agent value network.
+#[derive(Debug, Clone)]
+pub struct JdrlPolicy {
+    /// Trainable parameters.
+    pub store: ParamStore,
+    net: Mlp,
+}
+
+impl JdrlPolicy {
+    /// Creates a randomly initialized policy.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let net = Mlp::new(&mut store, "jdrl", &[FEATURES, 32, 1], &mut rng);
+        Self { store, net }
+    }
+
+    /// Feature row for assigning `task` to `worker` in the current state.
+    /// The route-distance feature is the dispatcher's serving-cost proxy
+    /// (ride-hailing dispatchers minimize pickup distance [23]); it lets the
+    /// value net learn cost-efficiency without any global budget awareness.
+    fn features(
+        instance: &Instance,
+        state: &AssignmentState,
+        worker: WorkerId,
+        task: SensingTaskId,
+    ) -> [f32; FEATURES] {
+        let w = instance.worker(worker);
+        let t = instance.sensing_task(task);
+        let diag = instance.lattice.grid.width.hypot(instance.lattice.grid.height);
+        let horizon = instance.lattice.horizon.max(1.0);
+        // Minimum distance from the worker's current route (origin, stops,
+        // destination) to the task.
+        let mut route_dist = w.origin.distance(&t.loc).min(w.destination.distance(&t.loc));
+        for stop in &state.routes[worker.0].stops {
+            let loc = match stop {
+                smore_model::Stop::Travel(i) => w.travel_tasks[*i].loc,
+                smore_model::Stop::Sensing(id) => instance.sensing_task(*id).loc,
+            };
+            route_dist = route_dist.min(loc.distance(&t.loc));
+        }
+        [
+            (w.origin.distance(&t.loc) / diag) as f32,
+            (w.destination.distance(&t.loc) / diag) as f32,
+            (route_dist / diag) as f32,
+            (t.window.start / horizon) as f32,
+            (t.window.end / horizon) as f32,
+            state.gain(instance, task) as f32,
+            (state.assigned[worker.0].len() as f32 / 10.0).min(2.0),
+            ((w.latest_arrival - w.earliest_departure - state.rtts[worker.0]) / horizon) as f32,
+        ]
+    }
+
+    /// Scores all `tasks` for `worker`; returns a `[n, 1]` value column.
+    fn score(
+        &self,
+        tape: &mut Tape,
+        instance: &Instance,
+        state: &AssignmentState,
+        worker: WorkerId,
+        tasks: &[SensingTaskId],
+    ) -> smore_nn::Var {
+        let mut feats = Matrix::zeros(tasks.len(), FEATURES);
+        for (r, &task) in tasks.iter().enumerate() {
+            let row = Self::features(instance, state, worker, task);
+            feats.row_slice_mut(r).copy_from_slice(&row);
+        }
+        let x = tape.constant(feats);
+        self.net.forward(tape, &self.store, x)
+    }
+}
+
+/// Inference configuration for the JDRL baseline.
+#[derive(Debug, Clone)]
+pub struct JdrlSolver {
+    policy: JdrlPolicy,
+    /// How many top-scored candidates to feasibility-check per agent turn.
+    pub feasibility_tries: usize,
+}
+
+impl JdrlSolver {
+    /// Wraps a (typically trained) policy.
+    pub fn new(policy: JdrlPolicy) -> Self {
+        Self { policy, feasibility_tries: 24 }
+    }
+
+    /// The underlying policy.
+    pub fn policy(&self) -> &JdrlPolicy {
+        &self.policy
+    }
+
+    fn dispatch_round(
+        &self,
+        instance: &Instance,
+        state: &mut AssignmentState,
+        rng: Option<&mut SmallRng>,
+        tries: usize,
+    ) -> usize {
+        let mut assigned = 0;
+        let mut sample_rng = rng;
+        for w in 0..instance.n_workers() {
+            let worker = WorkerId(w);
+            let candidates: Vec<SensingTaskId> = (0..instance.n_tasks())
+                .filter(|&t| !state.completed[t])
+                .map(SensingTaskId)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let mut tape = Tape::new();
+            let scores = self.policy.score(&mut tape, instance, state, worker, &candidates);
+            let values = tape.value(scores);
+
+            // Rank candidates by score (or sample during training) and take
+            // the first feasible one.
+            let mut ranked: Vec<usize> = (0..candidates.len()).collect();
+            match sample_rng.as_deref_mut() {
+                Some(rng) => {
+                    // Softmax sampling over scores for exploration.
+                    let max = (0..candidates.len())
+                        .map(|i| values.get(i, 0))
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    let weights: Vec<f32> =
+                        (0..candidates.len()).map(|i| (values.get(i, 0) - max).exp()).collect();
+                    ranked.sort_by_key(|&i| {
+                        let u: f32 = rng.gen_range(1e-6..1.0);
+                        // Exponential-races weighted order: each candidate
+                        // draws Exp(w_i) = −ln(u)/w_i; the smallest sample
+                        // wins, yielding P(first = i) ∝ w_i.
+                        ordered_key(-u.ln() / weights[i].max(1e-6))
+                    });
+                }
+                None => {
+                    ranked.sort_by(|&a, &b| values.get(b, 0).total_cmp(&values.get(a, 0)));
+                }
+            }
+
+            for &idx in ranked.iter().take(tries) {
+                let task = candidates[idx];
+                if let Some(ins) = best_insertion(instance, state, worker, task) {
+                    state.assign(instance, worker, task, ins.route, ins.rtt);
+                    assigned += 1;
+                    break;
+                }
+            }
+        }
+        assigned
+    }
+
+    fn run(&self, instance: &Instance, mut rng: Option<&mut SmallRng>) -> AssignmentState {
+        let mut state = AssignmentState::new(instance);
+        init_nearest_neighbor(instance, &mut state);
+        loop {
+            let assigned =
+                self.dispatch_round(instance, &mut state, rng.as_deref_mut(), self.feasibility_tries);
+            if assigned == 0 {
+                // Confirm termination with one uncapped pass: only stop when
+                // genuinely no agent has any feasible candidate left.
+                let exhaustive =
+                    self.dispatch_round(instance, &mut state, rng.as_deref_mut(), usize::MAX);
+                if exhaustive == 0 {
+                    break;
+                }
+            }
+        }
+        state
+    }
+}
+
+impl UsmdwSolver for JdrlSolver {
+    fn name(&self) -> &str {
+        "JDRL"
+    }
+
+    fn solve(&mut self, instance: &Instance) -> Solution {
+        self.run(instance, None).into_solution()
+    }
+}
+
+fn ordered_key(x: f32) -> i64 {
+    // Total order on f32 for sort_by_key (NaN-free inputs).
+    let bits = x.to_bits() as i32;
+    (if bits < 0 { i32::MIN - bits } else { bits }) as i64
+}
+
+/// Training configuration for the JDRL value network.
+#[derive(Debug, Clone)]
+pub struct JdrlTrainConfig {
+    /// REINFORCE epochs over the training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl Default for JdrlTrainConfig {
+    fn default() -> Self {
+        Self { epochs: 3, lr: 1e-3 }
+    }
+}
+
+/// Trains the shared value network with a score-regression signal: after a
+/// sampled rollout, each agent's chosen-task score is regressed toward the
+/// realized coverage gain of that assignment (the value-based update of the
+/// dispatching framework \[23\], simplified to a single shared critic).
+pub fn train_jdrl(
+    policy: &mut JdrlPolicy,
+    instances: &[Instance],
+    cfg: &JdrlTrainConfig,
+    seed: u64,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut adam = Adam::new(cfg.lr);
+    for _ in 0..cfg.epochs {
+        for instance in instances {
+            // Roll out with the solver's sampled dispatching, collecting
+            // (state features, realized gain) pairs.
+            let solver = JdrlSolver::new(policy.clone());
+            let mut state = AssignmentState::new(instance);
+            init_nearest_neighbor(instance, &mut state);
+            let mut transitions: Vec<([f32; FEATURES], f32)> = Vec::new();
+            loop {
+                let before = state.coverage.len();
+                // One round with exploration, recording each assignment.
+                let mut round_pairs = Vec::new();
+                for w in 0..instance.n_workers() {
+                    let worker = WorkerId(w);
+                    let candidates: Vec<SensingTaskId> = (0..instance.n_tasks())
+                        .filter(|&t| !state.completed[t])
+                        .map(SensingTaskId)
+                        .collect();
+                    if candidates.is_empty() {
+                        break;
+                    }
+                    let pick = candidates[rng.gen_range(0..candidates.len())];
+                    if let Some(ins) = best_insertion(instance, &state, worker, pick) {
+                        let feats = JdrlPolicy::features(instance, &state, worker, pick);
+                        // Dispatch value: coverage gain net of the serving
+                        // cost (detour time relative to the horizon).
+                        let horizon = instance.lattice.horizon.max(1.0);
+                        let value =
+                            (state.gain(instance, pick) - ins.delta_in / horizon) as f32;
+                        state.assign(instance, worker, pick, ins.route, ins.rtt);
+                        round_pairs.push((feats, value));
+                    }
+                }
+                transitions.extend(round_pairs);
+                if state.coverage.len() == before {
+                    break;
+                }
+            }
+            drop(solver);
+
+            if transitions.is_empty() {
+                continue;
+            }
+            // Regression step: MSE(score, gain).
+            let mut tape = Tape::new();
+            let mut feats = Matrix::zeros(transitions.len(), FEATURES);
+            let mut targets = Matrix::zeros(transitions.len(), 1);
+            for (r, (f, g)) in transitions.iter().enumerate() {
+                feats.row_slice_mut(r).copy_from_slice(f);
+                targets.set(r, 0, *g);
+            }
+            let x = tape.constant(feats);
+            let y = policy.net.forward(&mut tape, &policy.store, x);
+            let t = tape.constant(targets);
+            let diff = tape.sub(y, t);
+            let sq = tape.square(diff);
+            let loss = tape.mean_all(sq);
+            tape.backward(loss);
+            tape.scatter_grads(&mut policy.store);
+            adam.step(&mut policy.store);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    use smore_model::evaluate;
+
+    fn instance(seed: u64) -> Instance {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), seed);
+        g.gen_default(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn jdrl_solutions_validate() {
+        let inst = instance(31);
+        let mut solver = JdrlSolver::new(JdrlPolicy::new(1));
+        let sol = solver.solve(&inst);
+        let stats = evaluate(&inst, &sol).unwrap();
+        assert!(stats.completed > 0);
+        assert!(stats.total_incentive <= inst.budget + 1e-6);
+    }
+
+    #[test]
+    fn training_runs_and_keeps_solver_valid() {
+        let inst = instance(32);
+        let mut policy = JdrlPolicy::new(2);
+        train_jdrl(&mut policy, std::slice::from_ref(&inst), &JdrlTrainConfig { epochs: 1, lr: 1e-3 }, 3);
+        let mut solver = JdrlSolver::new(policy);
+        let sol = solver.solve(&inst);
+        assert!(evaluate(&inst, &sol).is_ok());
+    }
+
+    #[test]
+    fn ordered_key_orders_floats() {
+        let mut v = vec![1.5f32, -2.0, 0.0, 3.0, -0.5];
+        v.sort_by_key(|&x| ordered_key(x));
+        assert_eq!(v, vec![-2.0, -0.5, 0.0, 1.5, 3.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline USMDW solvers from the SMORE evaluation (Section V-B).
+//!
+//! All six comparison methods, each implementing
+//! [`smore_model::UsmdwSolver`]:
+//!
+//! * [`RandomSolver`] (RN) — random feasible insertions over Nearest-
+//!   Neighbour initial routes.
+//! * [`GreedySolver::tvpg`] / [`GreedySolver::tcpg`] — task-value / task-
+//!   cost priority greedy.
+//! * [`MsaSolver::msa`] / [`MsaSolver::msagi`] — multi-start simulated
+//!   annealing (TOPTW-MV meta-heuristic, adapted), with or without greedy
+//!   initialization.
+//! * [`JdrlSolver`] — the MARL ride-hailing dispatcher adaptation (shared
+//!   value network, budget-unaware policy).
+//!
+//! Plus [`ExactUsmdwSolver`], an exhaustive oracle for tiny instances used
+//! to measure heuristic/learned solvers against the true optimum (no paper
+//! counterpart — the paper's instances are too large for exact solution).
+
+#![warn(missing_docs)]
+
+pub mod common;
+mod exact;
+mod greedy;
+mod jdrl;
+mod msa;
+mod random;
+
+pub use exact::ExactUsmdwSolver;
+pub use greedy::{GreedyPriority, GreedySolver};
+pub use jdrl::{train_jdrl, JdrlPolicy, JdrlSolver, JdrlTrainConfig};
+pub use msa::{MsaConfig, MsaSolver};
+pub use random::RandomSolver;

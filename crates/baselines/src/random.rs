@@ -1,0 +1,95 @@
+//! RN — the random baseline (Section V-B).
+//!
+//! Initial working routes come from the Nearest Neighbour rule; then the
+//! algorithm iteratively picks a random worker, a random uncompleted sensing
+//! task, and a random insertion position, keeping the insertion when it is
+//! feasible within the remaining budget, until a cap of consecutive failures
+//! suggests the budget (or time slack) is exhausted.
+
+use crate::common::{init_nearest_neighbor, insertion_at};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smore_model::{AssignmentState, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+
+/// The RN baseline.
+#[derive(Debug, Clone)]
+pub struct RandomSolver {
+    seed: u64,
+    /// Consecutive failed insertion attempts before giving up.
+    pub max_failures: usize,
+}
+
+impl RandomSolver {
+    /// Creates the solver with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, max_failures: 2000 }
+    }
+}
+
+impl UsmdwSolver for RandomSolver {
+    fn name(&self) -> &str {
+        "RN"
+    }
+
+    fn solve(&mut self, instance: &Instance) -> Solution {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut state = AssignmentState::new(instance);
+        init_nearest_neighbor(instance, &mut state);
+
+        let mut failures = 0;
+        while failures < self.max_failures {
+            let worker = WorkerId(rng.gen_range(0..instance.n_workers()));
+            let task = SensingTaskId(rng.gen_range(0..instance.n_tasks()));
+            if state.completed[task.0] {
+                failures += 1;
+                continue;
+            }
+            let pos = rng.gen_range(0..=state.routes[worker.0].stops.len());
+            match insertion_at(instance, &state, worker, task, pos) {
+                Some(ins) => {
+                    state.assign(instance, worker, task, ins.route, ins.rtt);
+                    failures = 0;
+                }
+                None => failures += 1,
+            }
+        }
+        state.into_solution()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    use smore_model::evaluate;
+
+    #[test]
+    fn rn_produces_valid_solutions_on_all_datasets() {
+        for kind in DatasetKind::all() {
+            let g = InstanceGenerator::new(DatasetSpec::of(kind, Scale::Small), 2);
+            let inst = g.gen_default(&mut SmallRng::seed_from_u64(2));
+            let mut solver = RandomSolver::new(3);
+            let sol = solver.solve(&inst);
+            let stats = evaluate(&inst, &sol).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert!(stats.total_incentive <= inst.budget + 1e-6);
+        }
+    }
+
+    #[test]
+    fn rn_is_deterministic_per_seed() {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 4);
+        let inst = g.gen_default(&mut SmallRng::seed_from_u64(4));
+        let a = RandomSolver::new(7).solve(&inst);
+        let b = RandomSolver::new(7).solve(&inst);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rn_usually_completes_some_tasks() {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 5);
+        let inst = g.gen_default(&mut SmallRng::seed_from_u64(5));
+        let sol = RandomSolver::new(8).solve(&inst);
+        let stats = evaluate(&inst, &sol).unwrap();
+        assert!(stats.completed > 0, "random should complete at least one task");
+    }
+}

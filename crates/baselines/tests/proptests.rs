@@ -1,0 +1,84 @@
+//! Property-based tests over the baseline solvers: every solver must emit
+//! solutions that pass the independent referee on arbitrary instances.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_baselines::{GreedySolver, JdrlPolicy, JdrlSolver, MsaConfig, MsaSolver, RandomSolver};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::{evaluate, Instance, UsmdwSolver};
+use std::time::Duration;
+
+fn tiny_instance(seed: u64, budget: f64, window: f64) -> Instance {
+    let mut spec = DatasetSpec::of(DatasetKind::Delivery, Scale::Small);
+    spec.grid_rows = 4;
+    spec.grid_cols = 4;
+    spec.horizon = 90.0;
+    spec.workers_per_instance = (2, 4);
+    spec.travel_tasks_per_worker = (2, 5);
+    let generator = InstanceGenerator::new(spec, seed);
+    generator.gen_instance(&mut SmallRng::seed_from_u64(seed), window, budget, 1.0, 0.5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// RN, TVPG, TCPG stay valid across budgets and window lengths.
+    #[test]
+    fn fast_solvers_always_valid(
+        seed in 0u64..500,
+        budget in 20.0f64..400.0,
+        window in prop::sample::select(vec![30.0f64, 45.0, 90.0]),
+    ) {
+        let inst = tiny_instance(seed, budget, window);
+        let mut solvers: Vec<Box<dyn UsmdwSolver>> = vec![
+            Box::new(RandomSolver::new(seed)),
+            Box::new(GreedySolver::tvpg()),
+            Box::new(GreedySolver::tcpg()),
+        ];
+        for solver in &mut solvers {
+            let sol = solver.solve(&inst);
+            let stats = evaluate(&inst, &sol)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", solver.name())))?;
+            prop_assert!(stats.total_incentive <= inst.budget + 1e-6);
+        }
+    }
+
+    /// MSA and JDRL stay valid too (fewer cases — they are slower).
+    #[test]
+    fn search_and_rl_solvers_always_valid(seed in 0u64..100) {
+        let inst = tiny_instance(seed, 150.0, 45.0);
+        let msa_cfg = MsaConfig {
+            starts: 1,
+            iters_per_round: 80,
+            max_stale_rounds: 1,
+            time_cap: Duration::from_secs(10),
+            ..MsaConfig::default()
+        };
+        let mut solvers: Vec<Box<dyn UsmdwSolver>> = vec![
+            Box::new(MsaSolver::msa(msa_cfg.clone(), seed)),
+            Box::new(MsaSolver::msagi(msa_cfg, seed)),
+            Box::new(JdrlSolver::new(JdrlPolicy::new(seed))),
+        ];
+        for solver in &mut solvers {
+            let sol = solver.solve(&inst);
+            let stats = evaluate(&inst, &sol)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", solver.name())))?;
+            prop_assert!(stats.total_incentive <= inst.budget + 1e-6);
+        }
+    }
+
+    /// Zero budget ⇒ only zero-incentive assignments are possible; all
+    /// solvers must still emit valid (possibly empty) plans.
+    #[test]
+    fn zero_budget_is_handled(seed in 0u64..100) {
+        let inst = tiny_instance(seed, 0.0, 45.0);
+        for solver in [&mut RandomSolver::new(seed) as &mut dyn UsmdwSolver,
+                       &mut GreedySolver::tvpg()] {
+            let sol = solver.solve(&inst);
+            let stats = evaluate(&inst, &sol)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", solver.name())))?;
+            prop_assert!(stats.total_incentive <= 1e-6);
+        }
+    }
+}

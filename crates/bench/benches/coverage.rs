@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the hierarchical entropy-based coverage metric: the
+//! O(levels) incremental `gain` / `add` path versus full recomputation —
+//! the operation on SMORE's innermost loop (every candidate's Δφ).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smore_geo::{coverage_of, CoverageConfig, CoverageTracker, StCell, StResolution};
+
+fn paper_scale_config() -> CoverageConfig {
+    // Delivery at paper scale: 12×10 grid × 8 slots = 960 cells.
+    CoverageConfig::new(0.5, StResolution::new(12, 10, 8))
+}
+
+fn cells(n: usize) -> Vec<StCell> {
+    (0..n)
+        .map(|i| StCell { row: (i * 7) % 12, col: (i * 3) % 10, slot: (i * 5) % 8 })
+        .collect()
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let cfg = paper_scale_config();
+    let pre = cells(60);
+
+    let mut g = c.benchmark_group("coverage");
+    g.sample_size(60);
+    g.bench_function("gain_incremental", |b| {
+        let mut tracker = CoverageTracker::new(cfg.clone());
+        for &cell in &pre {
+            tracker.add(cell);
+        }
+        let probe = StCell { row: 5, col: 5, slot: 3 };
+        b.iter(|| black_box(tracker.gain(black_box(probe))));
+    });
+    g.bench_function("gain_by_recompute", |b| {
+        let mut with = pre.clone();
+        with.push(StCell { row: 5, col: 5, slot: 3 });
+        b.iter(|| {
+            black_box(coverage_of(&cfg, black_box(&with)) - coverage_of(&cfg, black_box(&pre)))
+        });
+    });
+    g.bench_function("add_remove_roundtrip", |b| {
+        let mut tracker = CoverageTracker::new(cfg.clone());
+        for &cell in &pre {
+            tracker.add(cell);
+        }
+        let probe = StCell { row: 2, col: 8, slot: 1 };
+        b.iter(|| {
+            tracker.add(black_box(probe));
+            tracker.remove(black_box(probe));
+        });
+    });
+    g.bench_function("build_from_scratch_60", |b| {
+        b.iter(|| black_box(coverage_of(&cfg, black_box(&pre))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_coverage);
+criterion_main!(benches);

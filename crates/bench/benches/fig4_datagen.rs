@@ -1,0 +1,28 @@
+//! Figure 4 bench: dataset generation and distribution-statistics
+//! throughput for all three synthetic datasets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_datasets::{DatasetKind, DatasetSpec, DatasetStats, InstanceGenerator, Scale};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_datagen");
+    g.sample_size(20);
+    for kind in DatasetKind::all() {
+        let generator = InstanceGenerator::new(DatasetSpec::of(kind, Scale::Small), 9);
+        g.bench_with_input(BenchmarkId::new("generate", kind.name()), &generator, |b, gen| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| black_box(gen.gen_default(&mut rng)));
+        });
+        let mut rng = SmallRng::seed_from_u64(2);
+        let instances: Vec<_> = (0..10).map(|_| generator.gen_default(&mut rng)).collect();
+        g.bench_with_input(BenchmarkId::new("stats", kind.name()), &instances, |b, inst| {
+            b.iter(|| black_box(DatasetStats::collect(black_box(inst))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 5 bench: runtime of the ablation variants (untrained networks —
+//! quality is measured by the `experiments` binary; this tracks the runtime
+//! cost of each architectural component).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{
+    Critic, GreedySelection, SingleStageNet, SingleStageSolver, SmoreFramework, SmoreSolver,
+    Tasnet, TasnetConfig,
+};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::{Instance, UsmdwSolver};
+use smore_tsptw::InsertionSolver;
+
+fn instance() -> Instance {
+    let generator =
+        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 8);
+    generator.gen_default(&mut SmallRng::seed_from_u64(8))
+}
+
+fn tasnet() -> (Tasnet, Critic) {
+    let mut cfg = TasnetConfig::for_grid(6, 5);
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.enc_layers = 1;
+    (Tasnet::new(cfg, 1), Critic::new(16, 2))
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let inst = instance();
+    let mut g = c.benchmark_group("fig5_ablation");
+    g.sample_size(10);
+    g.bench_function("wo_rl_as", |b| {
+        b.iter(|| {
+            let mut s = SmoreFramework::new(GreedySelection, InsertionSolver::new());
+            black_box(s.solve(black_box(&inst)))
+        });
+    });
+    g.bench_function("wo_tasnet", |b| {
+        b.iter(|| {
+            let mut s = SingleStageSolver::new(SingleStageNet::new(1), InsertionSolver::new());
+            black_box(s.solve(black_box(&inst)))
+        });
+    });
+    g.bench_function("wo_soft_mask", |b| {
+        b.iter(|| {
+            let (net, critic) = tasnet();
+            let mut s = SmoreSolver::new(net, critic, InsertionSolver::new()).without_soft_mask();
+            black_box(s.solve(black_box(&inst)))
+        });
+    });
+    g.bench_function("smore_full", |b| {
+        b.iter(|| {
+            let (net, critic) = tasnet();
+            let mut s = SmoreSolver::new(net, critic, InsertionSolver::new());
+            black_box(s.solve(black_box(&inst)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

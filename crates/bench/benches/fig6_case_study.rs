@@ -1,0 +1,36 @@
+//! Figure 6 bench: the opportunistic (no-re-planning) policy versus the
+//! re-planning framework on the case-study instance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{GreedySelection, SmoreFramework};
+use smore_bench::case_study::OpportunisticSolver;
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::{Instance, UsmdwSolver};
+use smore_tsptw::InsertionSolver;
+
+fn instance() -> Instance {
+    let generator =
+        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 10);
+    generator.gen_default(&mut SmallRng::seed_from_u64(10))
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let inst = instance();
+    let mut g = c.benchmark_group("fig6_case_study");
+    g.sample_size(10);
+    g.bench_function("no_replanning", |b| {
+        b.iter(|| black_box(OpportunisticSolver.solve(black_box(&inst))));
+    });
+    g.bench_function("replanned", |b| {
+        b.iter(|| {
+            let mut s = SmoreFramework::new(GreedySelection, InsertionSolver::new());
+            black_box(s.solve(black_box(&inst)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

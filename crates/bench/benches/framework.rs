@@ -1,0 +1,33 @@
+//! SMORE framework benchmarks: candidate assignment initialization (step 1
+//! of Algorithm 1) and a full greedy-selection solve.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{Engine, GreedySelection, SmoreFramework};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::UsmdwSolver;
+use smore_tsptw::InsertionSolver;
+
+fn bench_framework(c: &mut Criterion) {
+    let generator =
+        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 3);
+    let instance = generator.gen_default(&mut SmallRng::seed_from_u64(3));
+    let solver = InsertionSolver::new();
+
+    let mut g = c.benchmark_group("framework");
+    g.sample_size(10);
+    g.bench_function("candidate_initialization", |b| {
+        b.iter(|| black_box(Engine::new(black_box(&instance), &solver)));
+    });
+    g.bench_function("full_greedy_solve", |b| {
+        b.iter(|| {
+            let mut fw = SmoreFramework::new(GreedySelection, InsertionSolver::new());
+            black_box(fw.solve(black_box(&instance)));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_framework);
+criterion_main!(benches);

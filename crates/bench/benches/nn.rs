@@ -1,0 +1,46 @@
+//! Neural-substrate throughput: encoder forward and forward+backward at
+//! TASNet-like shapes (the sensing-task encoder dominates at paper scale).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smore_nn::{Encoder, Matrix, ParamStore, Tape};
+
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let d = 32;
+    let mut store = ParamStore::new();
+    let encoder = Encoder::new(&mut store, "enc", d, 4, 2 * d, 2, &mut rng);
+
+    let mut g = c.benchmark_group("nn");
+    g.sample_size(10);
+    for n in [30usize, 120, 480] {
+        let input = Matrix::from_vec(
+            n,
+            d,
+            (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        g.bench_with_input(BenchmarkId::new("encoder_forward", n), &input, |b, input| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let x = tape.constant(input.clone());
+                black_box(encoder.forward(&mut tape, &store, x));
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("encoder_fwd_bwd", n), &input, |b, input| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let x = tape.constant(input.clone());
+                let y = encoder.forward(&mut tape, &store, x);
+                let sq = tape.square(y);
+                let loss = tape.mean_all(sq);
+                tape.backward(loss);
+                black_box(tape.grad(y));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

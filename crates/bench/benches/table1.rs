@@ -1,0 +1,48 @@
+//! Table I macro-benchmark: method runtimes while sweeping the sensing-task
+//! time window (30 / 60 / 120 minutes). Solution *quality* for Table I is
+//! produced by the `experiments` binary; this bench tracks the runtime
+//! column's shape (RN fastest, greedy slowest of the fast group, SMORE's
+//! framework in between).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{GreedySelection, SmoreFramework};
+use smore_baselines::{GreedySolver, RandomSolver};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::{Instance, UsmdwSolver};
+use smore_tsptw::InsertionSolver;
+
+fn instance(window: f64) -> Instance {
+    let generator =
+        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 5);
+    generator.gen_instance(&mut SmallRng::seed_from_u64(5), window, 300.0, 1.0, 0.5)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_window_sweep");
+    g.sample_size(10);
+    for window in [30.0f64, 60.0, 120.0] {
+        let inst = instance(window);
+        g.bench_with_input(BenchmarkId::new("RN", window as u64), &inst, |b, inst| {
+            b.iter(|| black_box(RandomSolver::new(1).solve(black_box(inst))));
+        });
+        g.bench_with_input(BenchmarkId::new("TVPG", window as u64), &inst, |b, inst| {
+            b.iter(|| black_box(GreedySolver::tvpg().solve(black_box(inst))));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("SMORE-framework", window as u64),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut fw = SmoreFramework::new(GreedySelection, InsertionSolver::new());
+                    black_box(fw.solve(black_box(inst)))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table II macro-benchmark: method runtimes while sweeping the budget
+//! (200 / 300 / 400) — higher budgets mean more iterations before the
+//! candidate set empties, so runtimes grow with the budget.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{GreedySelection, SmoreFramework};
+use smore_baselines::{GreedySolver, RandomSolver};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::{Instance, UsmdwSolver};
+use smore_tsptw::InsertionSolver;
+
+fn instance(budget: f64) -> Instance {
+    let generator =
+        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 6);
+    generator.gen_instance(&mut SmallRng::seed_from_u64(6), 30.0, budget, 1.0, 0.5)
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_budget_sweep");
+    g.sample_size(10);
+    for budget in [200.0f64, 300.0, 400.0] {
+        let inst = instance(budget);
+        g.bench_with_input(BenchmarkId::new("RN", budget as u64), &inst, |b, inst| {
+            b.iter(|| black_box(RandomSolver::new(1).solve(black_box(inst))));
+        });
+        g.bench_with_input(BenchmarkId::new("TVPG", budget as u64), &inst, |b, inst| {
+            b.iter(|| black_box(GreedySolver::tvpg().solve(black_box(inst))));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("SMORE-framework", budget as u64),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut fw = SmoreFramework::new(GreedySelection, InsertionSolver::new());
+                    black_box(fw.solve(black_box(inst)))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table III macro-benchmark: method runtimes while sweeping the coverage
+//! weight α (0.2 / 0.5 / 0.8). α only reshapes the objective, so runtimes
+//! should be flat — a regression here means the coverage math leaked into a
+//! hot loop.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{GreedySelection, SmoreFramework};
+use smore_baselines::GreedySolver;
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::{Instance, UsmdwSolver};
+use smore_tsptw::InsertionSolver;
+
+fn instance(alpha: f64) -> Instance {
+    let generator =
+        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 7);
+    generator.gen_instance(&mut SmallRng::seed_from_u64(7), 30.0, 300.0, 1.0, alpha)
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_alpha_sweep");
+    g.sample_size(10);
+    for (label, alpha) in [("02", 0.2f64), ("05", 0.5), ("08", 0.8)] {
+        let inst = instance(alpha);
+        g.bench_with_input(BenchmarkId::new("TVPG", label), &inst, |b, inst| {
+            b.iter(|| black_box(GreedySolver::tvpg().solve(black_box(inst))));
+        });
+        g.bench_with_input(BenchmarkId::new("SMORE-framework", label), &inst, |b, inst| {
+            b.iter(|| {
+                let mut fw = SmoreFramework::new(GreedySelection, InsertionSolver::new());
+                black_box(fw.solve(black_box(inst)))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

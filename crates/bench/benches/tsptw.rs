@@ -1,0 +1,54 @@
+//! TSPTW solver benchmarks: the exact DP, the insertion heuristic, and the
+//! RL pointer net, at worker-route sizes (the call on SMORE's hot path —
+//! `O(|W|·|S|²)` invocations per instance).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_tsptw::{
+    gen::random_worker_problem, ExactDpSolver, GpnConfig, GpnPolicy, GpnSolver, InsertionSolver,
+    TsptwProblem, TsptwSolver,
+};
+
+fn problems(n: usize, count: usize) -> Vec<TsptwProblem> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..count).map(|_| random_worker_problem(&mut rng, n, 0.5)).collect()
+}
+
+fn bench_tsptw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsptw");
+    g.sample_size(20);
+    for n in [6usize, 10, 14] {
+        let probs = problems(n, 8);
+        g.bench_with_input(BenchmarkId::new("insertion", n), &probs, |b, probs| {
+            let solver = InsertionSolver::new();
+            b.iter(|| {
+                for p in probs {
+                    black_box(solver.solve(black_box(p)));
+                }
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("exact_dp", n), &probs, |b, probs| {
+            let solver = ExactDpSolver::new();
+            b.iter(|| {
+                for p in probs {
+                    black_box(solver.solve(black_box(p)));
+                }
+            });
+        });
+        if n <= 10 {
+            g.bench_with_input(BenchmarkId::new("gpn_rl", n), &probs, |b, probs| {
+                let solver = GpnSolver::new(GpnPolicy::new(GpnConfig::default(), 1));
+                b.iter(|| {
+                    for p in probs {
+                        black_box(solver.solve(black_box(p)));
+                    }
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tsptw);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! Regenerates every table and figure of the SMORE paper's evaluation.
+//!
+//! ```sh
+//! cargo run -p smore-bench --bin experiments --release -- <exp> [--full] [--out DIR]
+//! ```
+//!
+//! `<exp>` ∈ `table1 | table2 | table3 | fig4 | fig5 | fig6 | solvers | all`.
+//! (`solvers` is a supplementary ablation over the TSPTW solver behind
+//! SMORE — insertion / no-improvement / hierarchical-RL hybrid — which
+//! quantifies the paper's Section VII "false alarm" discussion.)
+//! `--full` uses the deeper harness profile (more training, full MSA);
+//! the default quick profile finishes in minutes. `--paper` switches the
+//! datasets to the paper's dimensions (960 sensing tasks on Delivery —
+//! expect hours per table on CPU). Results are printed and, with
+//! `--out DIR`, written as markdown files.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_bench::case_study::case_study;
+use smore_bench::report::{ablation_markdown, SweepTable};
+use smore_bench::runner::{
+    run_cell, test_instances, train_models, train_models_for_window, HarnessConfig, MethodKind,
+    TrainedModels,
+};
+use smore_datasets::{DatasetKind, DatasetSpec, DatasetStats, InstanceGenerator};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+struct Args {
+    exp: String,
+    cfg: HarnessConfig,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut exp = String::from("all");
+    let mut cfg = HarnessConfig::quick();
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => cfg = HarnessConfig::full(),
+            "--paper" => cfg.scale = smore_datasets::Scale::Paper,
+            "--out" => {
+                out = Some(PathBuf::from(args.next().expect("--out requires a directory")));
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed requires an integer");
+            }
+            other if !other.starts_with('-') => exp = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    Args { exp, cfg, out }
+}
+
+/// SMORE with greedy selection (isolating the route-planning solver) under
+/// three TSPTW backends: the production insertion heuristic, insertion
+/// without or-opt improvement, and the hierarchically trained RL pointer
+/// network wrapped in the repair hybrid.
+fn solver_ablation(cfg: &HarnessConfig) -> String {
+    use smore::{GreedySelection, SmoreFramework};
+    use smore_bench::report::format_time;
+    use smore_tsptw::{
+        gen::random_worker_problem, train_gpn, GpnConfig, GpnPolicy, GpnSolver, GpnTrainConfig,
+        HybridSolver, InsertionSolver,
+    };
+
+    eprintln!("  training the RL TSPTW solver...");
+    let mut policy = GpnPolicy::new(GpnConfig::default(), cfg.seed);
+    let train_cfg = GpnTrainConfig {
+        batch: 12,
+        iters_lower: 30,
+        iters_upper: 30,
+        lr: 1e-3,
+        length_penalty: 1.0,
+    };
+    let mut generator = |r: &mut SmallRng| random_worker_problem(r, 7, 0.5);
+    train_gpn(&mut policy, &mut generator, &train_cfg, cfg.seed + 1);
+
+    let mut md = String::from(
+        "### Supplementary — TSPTW solver ablation (SMORE framework, greedy selection)\n\n         | Dataset | Solver | Obj. | Time | RL false-alarm rate |\n|---|---|---:|---:|---:|\n",
+    );
+    for kind in DatasetKind::all() {
+        let instances = test_instances(kind, cfg, 30.0, 300.0, 0.5);
+        // Insertion (production default).
+        let mut a = SmoreFramework::new(GreedySelection, InsertionSolver::new());
+        let ra = run_cell(&mut a, &instances);
+        // Insertion without or-opt improvement.
+        let mut b = SmoreFramework::new(GreedySelection, InsertionSolver { improve: false });
+        let rb = run_cell(&mut b, &instances);
+        // RL + repair hybrid.
+        let hybrid = HybridSolver::new(GpnSolver::new(policy.clone()));
+        let mut c = SmoreFramework::new(GreedySelection, hybrid);
+        let rc = run_cell(&mut c, &instances);
+        let far = c.solver().false_alarm_rate();
+        for (r, name, fa) in [
+            (&ra, "insertion + or-opt", String::from("—")),
+            (&rb, "insertion (no improvement)", String::from("—")),
+            (&rc, "RL pointer + repair", format!("{:.1}%", 100.0 * far)),
+        ] {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {:.3} | {} | {} |",
+                kind.name(),
+                name,
+                r.objective,
+                format_time(r.time),
+                fa
+            );
+        }
+    }
+    md.push_str(
+        "\nThe hybrid's rescue rate is the RL solver's observed false-alarm rate — the          limitation the paper's Section VII flags; the repair path keeps SMORE's objective          intact at some runtime cost.\n",
+    );
+    md
+}
+
+fn main() {
+    let args = parse_args();
+    let mut outputs: Vec<(String, String)> = Vec::new();
+
+    let needs_models = matches!(args.exp.as_str(), "table1" | "table2" | "table3" | "fig5" | "fig6" | "all");
+    let models: HashMap<DatasetKind, TrainedModels> = if needs_models {
+        DatasetKind::all()
+            .into_iter()
+            .map(|kind| {
+                eprintln!("training models for {}...", kind.name());
+                (kind, train_models(kind, &args.cfg))
+            })
+            .collect()
+    } else {
+        HashMap::new()
+    };
+
+    // Learned models are trained per (dataset, window) as in the paper;
+    // window-30 models come from the shared `models` map.
+    let mut window_models: HashMap<(DatasetKind, u64), TrainedModels> = HashMap::new();
+    let mut run_sweep = |title: &str,
+                         sweep_label: &str,
+                         settings: &[(String, f64, f64, f64)]| // (label, window, budget, alpha)
+     -> String {
+        let mut cells = vec![Vec::new(); MethodKind::table_rows().len()];
+        for kind in DatasetKind::all() {
+            eprintln!("  dataset {}...", kind.name());
+            let mut per_method: Vec<Vec<_>> = vec![Vec::new(); MethodKind::table_rows().len()];
+            for (label, window, budget, alpha) in settings {
+                eprintln!("    {sweep_label}={label}");
+                let default_window =
+                    DatasetSpec::of(kind, args.cfg.scale).window_len;
+                let trained: &TrainedModels = if (*window - default_window).abs() < 1e-9 {
+                    &models[&kind]
+                } else {
+                    window_models.entry((kind, *window as u64)).or_insert_with(|| {
+                        eprintln!("    (training {}-minute-window models)", window);
+                        train_models_for_window(kind, &args.cfg, *window)
+                    })
+                };
+                let instances = test_instances(kind, &args.cfg, *window, *budget, *alpha);
+                for (m, method) in MethodKind::table_rows().into_iter().enumerate() {
+                    let mut solver = trained.build(method, &args.cfg);
+                    per_method[m].push(run_cell(solver.as_mut(), &instances));
+                }
+            }
+            for (m, col) in per_method.into_iter().enumerate() {
+                cells[m].push(col);
+            }
+        }
+        let table = SweepTable {
+            title: title.to_string(),
+            sweep_label: sweep_label.to_string(),
+            datasets: DatasetKind::all().iter().map(|k| k.name().to_string()).collect(),
+            sweep_values: settings.iter().map(|(l, _, _, _)| l.clone()).collect(),
+            cells,
+        };
+        table.to_markdown()
+    };
+
+    if matches!(args.exp.as_str(), "table1" | "all") {
+        eprintln!("== Table I: effect of sensing task time window ==");
+        let settings: Vec<_> = [30.0, 60.0, 120.0]
+            .iter()
+            .map(|w| (format!("{w:.0}"), *w, 300.0, 0.5))
+            .collect();
+        let md = run_sweep("Table I — Effect of Sensing Task Time Window", "Interval", &settings);
+        println!("{md}");
+        outputs.push(("table1.md".into(), md));
+    }
+
+    if matches!(args.exp.as_str(), "table2" | "all") {
+        eprintln!("== Table II: effect of budget ==");
+        let settings: Vec<_> = [200.0, 300.0, 400.0]
+            .iter()
+            .map(|b| (format!("{b:.0}"), 30.0, *b, 0.5))
+            .collect();
+        let md = run_sweep("Table II — Effect of Budget", "Budget", &settings);
+        println!("{md}");
+        outputs.push(("table2.md".into(), md));
+    }
+
+    if matches!(args.exp.as_str(), "table3" | "all") {
+        eprintln!("== Table III: effect of weight in data coverage ==");
+        let settings: Vec<_> = [0.2, 0.5, 0.8]
+            .iter()
+            .map(|a| (format!("{a}"), 30.0, 300.0, *a))
+            .collect();
+        let md = run_sweep("Table III — Effect of Weight in Data Coverage", "α", &settings);
+        println!("{md}");
+        outputs.push(("table3.md".into(), md));
+    }
+
+    if matches!(args.exp.as_str(), "fig4" | "all") {
+        eprintln!("== Figure 4: data distributions ==");
+        let mut md = String::from("### Figure 4 — Data Distributions\n\n");
+        for kind in DatasetKind::all() {
+            let spec = DatasetSpec::of(kind, args.cfg.scale);
+            let generator = InstanceGenerator::new(spec, args.cfg.seed);
+            let mut rng = SmallRng::seed_from_u64(args.cfg.seed);
+            let instances: Vec<_> =
+                (0..30).map(|_| generator.gen_default(&mut rng)).collect();
+            let stats = DatasetStats::collect(&instances);
+            let _ = writeln!(md, "```");
+            md.push_str(
+                &stats
+                    .travel_tasks_per_worker
+                    .render(&format!("{}: travel tasks per worker", kind.name())),
+            );
+            md.push_str(
+                &stats
+                    .workers_per_instance
+                    .render(&format!("{}: workers per instance", kind.name())),
+            );
+            let _ = writeln!(md, "```");
+        }
+        println!("{md}");
+        outputs.push(("fig4.md".into(), md));
+    }
+
+    if matches!(args.exp.as_str(), "fig5" | "all") {
+        eprintln!("== Figure 5: ablation study ==");
+        let mut cells = vec![Vec::new(); MethodKind::ablation_rows().len()];
+        for kind in DatasetKind::all() {
+            eprintln!("  dataset {}...", kind.name());
+            let instances = test_instances(kind, &args.cfg, 30.0, 300.0, 0.5);
+            for (m, method) in MethodKind::ablation_rows().into_iter().enumerate() {
+                let mut solver = models[&kind].build(method, &args.cfg);
+                cells[m].push(run_cell(solver.as_mut(), &instances));
+            }
+        }
+        let datasets: Vec<String> =
+            DatasetKind::all().iter().map(|k| k.name().to_string()).collect();
+        let md = ablation_markdown("Figure 5 — Ablation Study", &datasets, &cells);
+        println!("{md}");
+        outputs.push(("fig5.md".into(), md));
+    }
+
+    if matches!(args.exp.as_str(), "fig6" | "all") {
+        eprintln!("== Figure 6: case study ==");
+        let instances = test_instances(DatasetKind::Delivery, &args.cfg, 30.0, 300.0, 0.5);
+        let mut smore = models[&DatasetKind::Delivery].build(MethodKind::Smore, &args.cfg);
+        let cs = case_study(&instances[0], smore.as_mut());
+        println!("{}", cs.rendered);
+        println!(
+            "\nno-replanning φ = {:.3} ({} tasks) → SMORE φ = {:.3} ({} tasks)",
+            cs.before.objective, cs.before.completed, cs.after.objective, cs.after.completed
+        );
+        outputs.push(("fig6.md".into(), cs.rendered));
+    }
+
+    if matches!(args.exp.as_str(), "solvers" | "all") {
+        eprintln!("== Supplementary: TSPTW solver ablation ==");
+        let md = solver_ablation(&args.cfg);
+        println!("{md}");
+        outputs.push(("solver_ablation.md".into(), md));
+    }
+
+    if let Some(dir) = args.out {
+        std::fs::create_dir_all(&dir).expect("create output directory");
+        for (name, content) in outputs {
+            std::fs::write(dir.join(&name), content).expect("write result file");
+        }
+        eprintln!("results written to {}", dir.display());
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment harness regenerating every table and figure of the SMORE
+//! paper's evaluation (Section V), plus helpers shared by the Criterion
+//! benches.
+//!
+//! * [`runner`] — method construction, per-dataset training, table cells.
+//! * [`report`] — markdown rendering in the paper's table layout.
+//! * [`case_study`] — Figure 6 (opportunistic vs re-planned routes).
+//!
+//! The `experiments` binary drives everything:
+//!
+//! ```sh
+//! cargo run -p smore-bench --bin experiments --release -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod case_study;
+pub mod report;
+pub mod runner;

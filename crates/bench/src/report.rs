@@ -1,0 +1,149 @@
+//! Markdown rendering of experiment results in the paper's table layout.
+
+use crate::runner::CellResult;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Formats a duration the way the paper's tables do (`8 (s)` / `5 (m)`).
+pub fn format_time(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 1.0 {
+        format!("{:.0} (ms)", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.1} (s)")
+    } else {
+        format!("{:.1} (m)", secs / 60.0)
+    }
+}
+
+/// A table in the paper's layout: datasets as column groups, one sweep value
+/// per sub-column, methods as rows, `Obj.` and `Time` per cell.
+pub struct SweepTable {
+    /// Table caption.
+    pub title: String,
+    /// Sweep label (e.g. `Interval`, `Budget`, `α`).
+    pub sweep_label: String,
+    /// Column groups: `(dataset name, sweep values)`.
+    pub datasets: Vec<String>,
+    /// Sweep values, uniform across datasets.
+    pub sweep_values: Vec<String>,
+    /// `rows[method][dataset][sweep]`.
+    pub cells: Vec<Vec<Vec<CellResult>>>,
+}
+
+impl SweepTable {
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        // Header rows.
+        let mut header = String::from("| Method |");
+        let mut align = String::from("|---|");
+        for ds in &self.datasets {
+            for sv in &self.sweep_values {
+                let _ = write!(header, " {ds} {}={} Obj. | Time |", self.sweep_label, sv);
+                align.push_str("---:|---:|");
+            }
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{align}");
+
+        let n_methods = self.cells.len();
+        for m in 0..n_methods {
+            // Best objective per (dataset, sweep) column for bolding.
+            let method_name = &self.cells[m][0][0].method;
+            let mut row = format!("| {method_name} |");
+            for (d, _) in self.datasets.iter().enumerate() {
+                for (s, _) in self.sweep_values.iter().enumerate() {
+                    let cell = &self.cells[m][d][s];
+                    let best = (0..n_methods)
+                        .map(|mm| self.cells[mm][d][s].objective)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    let obj = if (cell.objective - best).abs() < 1e-9 {
+                        format!("**{:.3}**±{:.2}", cell.objective, cell.objective_std)
+                    } else {
+                        format!("{:.3}±{:.2}", cell.objective, cell.objective_std)
+                    };
+                    let _ = write!(row, " {obj} | {} |", format_time(cell.time));
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+}
+
+/// Renders Figure-5-style ablation results as a markdown table plus ASCII
+/// bars.
+pub fn ablation_markdown(title: &str, datasets: &[String], cells: &[Vec<CellResult>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}\n");
+    let peak = cells
+        .iter()
+        .flat_map(|row| row.iter().map(|c| c.objective))
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-9);
+    for (d, ds) in datasets.iter().enumerate() {
+        let _ = writeln!(out, "**{ds}**\n");
+        let _ = writeln!(out, "| Variant | Obj. | |");
+        let _ = writeln!(out, "|---|---:|---|");
+        for row in cells {
+            let c = &row[d];
+            let bar = "█".repeat(((c.objective / peak) * 30.0).round() as usize);
+            let _ = writeln!(out, "| {} | {:.3} | `{bar}` |", c.method, c.objective);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(method: &str, obj: f64) -> CellResult {
+        CellResult {
+            method: method.to_string(),
+            objective: obj,
+            objective_std: 0.1,
+            completed: 10.0,
+            time: Duration::from_millis(1500),
+        }
+    }
+
+    #[test]
+    fn time_formatting_matches_paper_style() {
+        assert_eq!(format_time(Duration::from_millis(250)), "250 (ms)");
+        assert_eq!(format_time(Duration::from_secs(8)), "8.0 (s)");
+        assert_eq!(format_time(Duration::from_secs(300)), "5.0 (m)");
+    }
+
+    #[test]
+    fn sweep_table_bolds_best_and_has_all_cells() {
+        let table = SweepTable {
+            title: "Test".into(),
+            sweep_label: "Interval".into(),
+            datasets: vec!["Delivery".into()],
+            sweep_values: vec!["30".into(), "60".into()],
+            cells: vec![
+                vec![vec![cell("RN", 4.0), cell("RN", 3.9)]],
+                vec![vec![cell("SMORE", 6.0), cell("SMORE", 5.9)]],
+            ],
+        };
+        let md = table.to_markdown();
+        assert!(md.contains("**6.000**±0.10"));
+        assert!(md.contains("| RN |"));
+        assert!(md.contains("1.5 (s)"));
+    }
+
+    #[test]
+    fn ablation_renders_bars() {
+        let md = ablation_markdown(
+            "Ablation",
+            &["Delivery".to_string()],
+            &[vec![cell("w/o RL-AS", 3.0)], vec![cell("SMORE", 4.0)]],
+        );
+        assert!(md.contains("w/o RL-AS"));
+        assert!(md.contains('█'));
+    }
+}

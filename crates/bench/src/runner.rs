@@ -1,0 +1,319 @@
+//! Method construction, per-dataset model training, and experiment cells.
+//!
+//! Every table cell of the paper is "solve a set of test instances with one
+//! method, report mean objective and wall time". This module trains the
+//! learned methods once per dataset and builds fresh solver objects per
+//! cell so the timings are honest.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{
+    Critic, GreedySelection, SingleStageNet, SingleStageSolver, SmoreFramework, SmoreSolver,
+    Tasnet, TasnetConfig, TasnetTrainConfig,
+};
+use smore_baselines::{
+    train_jdrl, GreedySolver, JdrlPolicy, JdrlSolver, JdrlTrainConfig, MsaConfig, MsaSolver,
+    RandomSolver,
+};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::{evaluate, Instance, UsmdwSolver};
+use smore_tsptw::InsertionSolver;
+use std::time::{Duration, Instant};
+
+/// The methods of the paper's tables plus the Figure-5 ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Random baseline.
+    Rn,
+    /// Task-value-priority greedy.
+    Tvpg,
+    /// Task-cost-priority greedy.
+    Tcpg,
+    /// Multi-start simulated annealing.
+    Msa,
+    /// MSA with greedy initialization.
+    Msagi,
+    /// MARL dispatching baseline.
+    Jdrl,
+    /// The full SMORE.
+    Smore,
+    /// Ablation: greedy selection inside the framework (w/o RL-AS).
+    SmoreWoRlAs,
+    /// Ablation: single-stage joint pair selection (w/o TASNet).
+    SmoreWoTasnet,
+    /// Ablation: TASNet without the soft mask.
+    SmoreWoSoftMask,
+}
+
+impl MethodKind {
+    /// The seven methods of Tables I–III, in row order.
+    pub fn table_rows() -> [MethodKind; 7] {
+        [
+            MethodKind::Rn,
+            MethodKind::Tvpg,
+            MethodKind::Tcpg,
+            MethodKind::Msa,
+            MethodKind::Msagi,
+            MethodKind::Jdrl,
+            MethodKind::Smore,
+        ]
+    }
+
+    /// The four bars of Figure 5, in legend order.
+    pub fn ablation_rows() -> [MethodKind; 4] {
+        [
+            MethodKind::SmoreWoRlAs,
+            MethodKind::SmoreWoTasnet,
+            MethodKind::SmoreWoSoftMask,
+            MethodKind::Smore,
+        ]
+    }
+}
+
+/// How much effort the harness spends (training epochs, MSA iterations).
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Dataset scale profile.
+    pub scale: Scale,
+    /// TASNet training configuration.
+    pub tasnet_train: TasnetTrainConfig,
+    /// JDRL training epochs.
+    pub jdrl_epochs: usize,
+    /// Single-stage ablation training epochs.
+    pub single_stage_epochs: usize,
+    /// MSA annealing configuration.
+    pub msa: MsaConfig,
+    /// Number of test instances per cell.
+    pub test_instances: usize,
+    /// How many training instances the learned methods see.
+    pub train_instances: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// The quick profile: minutes for the whole suite.
+    pub fn quick() -> Self {
+        Self {
+            scale: Scale::Small,
+            tasnet_train: TasnetTrainConfig {
+                warmup_epochs: 12,
+                epochs: 10,
+                batch: 4,
+                lr: 1e-3,
+                rl_lr: 2e-4,
+                critic_lr: 1e-3,
+            },
+            jdrl_epochs: 8,
+            single_stage_epochs: 2,
+            msa: MsaConfig::small(),
+            test_instances: 5,
+            train_instances: 12,
+            seed: 2024,
+        }
+    }
+
+    /// A deeper profile (more training, more instances, full MSA budget).
+    pub fn full() -> Self {
+        Self {
+            scale: Scale::Small,
+            tasnet_train: TasnetTrainConfig {
+                warmup_epochs: 16,
+                epochs: 10,
+                batch: 4,
+                lr: 1e-3,
+                rl_lr: 2e-4,
+                critic_lr: 1e-3,
+            },
+            jdrl_epochs: 12,
+            single_stage_epochs: 4,
+            msa: MsaConfig {
+                starts: 3,
+                iters_per_round: 3000,
+                max_stale_rounds: 10,
+                time_cap: Duration::from_secs(300),
+                ..MsaConfig::default()
+            },
+            test_instances: 10,
+            train_instances: 24,
+            seed: 2024,
+        }
+    }
+}
+
+/// Models trained once per dataset and reused across every sweep cell (the
+/// paper trains per dataset as well; we additionally reuse the model across
+/// window/budget/α settings — DESIGN.md §3.7).
+pub struct TrainedModels {
+    /// The dataset these models were trained on.
+    pub kind: DatasetKind,
+    tasnet_cfg: TasnetConfig,
+    tasnet_params: String,
+    critic_params: String,
+    jdrl: JdrlPolicy,
+    single_stage_params: String,
+}
+
+/// Trains all learned methods for one dataset with sensing windows of
+/// `window` minutes (the paper trains one model per dataset and setting).
+pub fn train_models_for_window(
+    kind: DatasetKind,
+    cfg: &HarnessConfig,
+    window: f64,
+) -> TrainedModels {
+    let spec = DatasetSpec::of(kind, cfg.scale);
+    let generator = InstanceGenerator::new(spec.clone(), cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let train: Vec<Instance> = (0..cfg.train_instances)
+        .map(|_| generator.gen_instance(&mut rng, window, 300.0, 1.0, 0.5))
+        .collect();
+    let validation: Vec<Instance> = (0..3)
+        .map(|_| generator.gen_instance(&mut rng, window, 300.0, 1.0, 0.5))
+        .collect();
+
+    let mut tasnet_cfg = TasnetConfig::for_grid(spec.grid_rows, spec.grid_cols);
+    tasnet_cfg.d_model = 16;
+    tasnet_cfg.heads = 2;
+    tasnet_cfg.enc_layers = 1;
+    let mut net = Tasnet::new(tasnet_cfg.clone(), cfg.seed);
+    let mut critic = Critic::new(tasnet_cfg.d_model, cfg.seed + 1);
+    smore::train_tasnet_validated(
+        &mut net,
+        &mut critic,
+        &train,
+        &validation,
+        &InsertionSolver::new(),
+        &cfg.tasnet_train,
+        cfg.seed,
+    );
+
+    let mut jdrl = JdrlPolicy::new(cfg.seed + 2);
+    let jdrl_slice = &train[..train.len().min(10)];
+    train_jdrl(
+        &mut jdrl,
+        jdrl_slice,
+        &JdrlTrainConfig { epochs: cfg.jdrl_epochs, lr: 2e-3 },
+        cfg.seed + 3,
+    );
+
+    let mut single = SingleStageNet::new(cfg.seed + 4);
+    smore::train_single_stage(
+        &mut single,
+        &train[..train.len().min(8)],
+        &InsertionSolver::new(),
+        cfg.single_stage_epochs,
+        1e-3,
+        cfg.seed + 5,
+    );
+
+    TrainedModels {
+        kind,
+        tasnet_cfg,
+        tasnet_params: net.store.to_json(),
+        critic_params: critic.store.to_json(),
+        jdrl,
+        single_stage_params: single.store.to_json(),
+    }
+}
+
+/// Trains all learned methods for one dataset at its default window length.
+pub fn train_models(kind: DatasetKind, cfg: &HarnessConfig) -> TrainedModels {
+    train_models_for_window(kind, cfg, DatasetSpec::of(kind, cfg.scale).window_len)
+}
+
+impl TrainedModels {
+    /// Builds a fresh solver object for `kind` (so repeated timing runs do
+    /// not share mutable state).
+    pub fn build(&self, kind: MethodKind, cfg: &HarnessConfig) -> Box<dyn UsmdwSolver> {
+        match kind {
+            MethodKind::Rn => Box::new(RandomSolver::new(cfg.seed + 10)),
+            MethodKind::Tvpg => Box::new(GreedySolver::tvpg()),
+            MethodKind::Tcpg => Box::new(GreedySolver::tcpg()),
+            MethodKind::Msa => Box::new(MsaSolver::msa(cfg.msa.clone(), cfg.seed + 11)),
+            MethodKind::Msagi => Box::new(MsaSolver::msagi(cfg.msa.clone(), cfg.seed + 12)),
+            MethodKind::Jdrl => Box::new(JdrlSolver::new(self.jdrl.clone())),
+            MethodKind::Smore => Box::new(self.smore()),
+            MethodKind::SmoreWoRlAs => Box::new(
+                SmoreFramework::new(GreedySelection, InsertionSolver::new())
+                    .with_name("w/o RL-AS"),
+            ),
+            MethodKind::SmoreWoTasnet => {
+                let mut net = SingleStageNet::new(0);
+                net.store.load_values_from(
+                    &smore_nn::ParamStore::from_json(&self.single_stage_params)
+                        .expect("stored single-stage params parse"),
+                );
+                Box::new(SingleStageSolver::new(net, InsertionSolver::new()))
+            }
+            MethodKind::SmoreWoSoftMask => Box::new(self.smore().without_soft_mask()),
+        }
+    }
+
+    fn smore(&self) -> SmoreSolver<InsertionSolver> {
+        SmoreSolver::load_params(
+            self.tasnet_cfg.clone(),
+            InsertionSolver::new(),
+            &self.tasnet_params,
+            &self.critic_params,
+        )
+        .expect("stored TASNet params parse")
+    }
+}
+
+/// One cell of a results table: a method's mean objective (± standard
+/// deviation) and wall time over a set of test instances.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Method display name.
+    pub method: String,
+    /// Mean hierarchical entropy-based data coverage.
+    pub objective: f64,
+    /// Population standard deviation of the objective across instances.
+    pub objective_std: f64,
+    /// Mean completed tasks.
+    pub completed: f64,
+    /// Total wall time over all instances.
+    pub time: Duration,
+}
+
+/// Solves `instances` with `solver`, validating every solution.
+pub fn run_cell(solver: &mut dyn UsmdwSolver, instances: &[Instance]) -> CellResult {
+    let start = Instant::now();
+    let mut objectives = Vec::with_capacity(instances.len());
+    let mut completed = 0usize;
+    for inst in instances {
+        let sol = solver.solve(inst);
+        let stats = evaluate(inst, &sol)
+            .unwrap_or_else(|e| panic!("{} produced an invalid solution: {e}", solver.name()));
+        objectives.push(stats.objective);
+        completed += stats.completed;
+    }
+    let n = instances.len().max(1) as f64;
+    let mean = objectives.iter().sum::<f64>() / n;
+    let var = objectives.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>() / n;
+    CellResult {
+        method: solver.name().to_string(),
+        objective: mean,
+        objective_std: var.sqrt(),
+        completed: completed as f64 / n,
+        time: start.elapsed(),
+    }
+}
+
+/// Generates `n` fresh evaluation instances for a dataset with explicit
+/// sweep knobs (window / budget / α).
+pub fn test_instances(
+    kind: DatasetKind,
+    cfg: &HarnessConfig,
+    window: f64,
+    budget: f64,
+    alpha: f64,
+) -> Vec<Instance> {
+    let spec = DatasetSpec::of(kind, cfg.scale);
+    let generator = InstanceGenerator::new(spec, cfg.seed);
+    // Offset the stream so evaluation instances differ from training ones.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF);
+    (0..cfg.test_instances)
+        .map(|_| generator.gen_instance(&mut rng, window, budget, 1.0, alpha))
+        .collect()
+}

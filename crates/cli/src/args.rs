@@ -1,0 +1,91 @@
+//! Minimal flag parsing (no external dependency): `--key value` pairs plus
+//! one positional subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand and its `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The positional subcommand (`gen`, `train`, `solve`, …).
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    ///
+    /// # Errors
+    /// Returns a message when a flag is missing its value or an unexpected
+    /// positional argument appears.
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut args = Args::default();
+        while let Some(a) = argv.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value =
+                    argv.next().ok_or_else(|| format!("flag --{key} requires a value"))?;
+                if args.options.insert(key.to_string(), value).is_some() {
+                    return Err(format!("flag --{key} given twice"));
+                }
+            } else if args.command.is_empty() {
+                args.command = a;
+            } else {
+                return Err(format!("unexpected positional argument {a:?}"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Parsed numeric option with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag --{key}: cannot parse {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse("gen --dataset delivery --seed 7").unwrap();
+        assert_eq!(a.command, "gen");
+        assert_eq!(a.get("dataset"), Some("delivery"));
+        assert_eq!(a.num::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.num::<u64>("missing", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(parse("gen --seed").is_err());
+        assert!(parse("gen --seed 1 --seed 2").is_err());
+        assert!(parse("gen extra positional").is_err());
+    }
+
+    #[test]
+    fn require_reports_missing_flags() {
+        let a = parse("train").unwrap();
+        assert!(a.require("instances").is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Implementation of the CLI subcommands.
+
+use crate::args::Args;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use smore::{Critic, SmoreSolver, Tasnet, TasnetConfig, TasnetTrainConfig};
+use smore_baselines::{GreedySolver, JdrlPolicy, JdrlSolver, MsaConfig, MsaSolver, RandomSolver};
+use smore_datasets::{DatasetKind, DatasetSpec, DatasetStats, InstanceGenerator, Scale};
+use smore_model::{evaluate, Instance, Solution, UsmdwSolver};
+use smore_tsptw::InsertionSolver;
+
+/// On-disk bundle of instances plus the generation parameters.
+#[derive(Serialize, Deserialize)]
+pub struct InstanceFile {
+    /// Generation provenance (dataset name, seed, knobs) for reproducibility.
+    pub meta: serde_json::Value,
+    /// The instances.
+    pub instances: Vec<Instance>,
+}
+
+/// On-disk bundle of a trained SMORE model.
+#[derive(Serialize, Deserialize)]
+pub struct ModelFile {
+    /// The TASNet configuration the parameters belong to.
+    pub grid_rows: usize,
+    /// Grid columns of the config.
+    pub grid_cols: usize,
+    /// Embedding width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder layers.
+    pub enc_layers: usize,
+    /// Serialized policy parameters.
+    pub policy: String,
+    /// Serialized critic parameters.
+    pub critic: String,
+}
+
+fn dataset_kind(name: &str) -> Result<DatasetKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "delivery" => Ok(DatasetKind::Delivery),
+        "tourism" => Ok(DatasetKind::Tourism),
+        "lade" => Ok(DatasetKind::LaDe),
+        other => Err(format!("unknown dataset {other:?} (delivery | tourism | lade)")),
+    }
+}
+
+fn scale(name: &str) -> Result<Scale, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "small" => Ok(Scale::Small),
+        "paper" => Ok(Scale::Paper),
+        other => Err(format!("unknown scale {other:?} (small | paper)")),
+    }
+}
+
+fn read_instances(path: &str) -> Result<InstanceFile, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// `gen` — generate a dataset of USMDW instances.
+pub fn gen(args: &Args) -> Result<(), String> {
+    let kind = dataset_kind(args.get_or("dataset", "delivery"))?;
+    let scale = scale(args.get_or("scale", "small"))?;
+    let seed: u64 = args.num("seed", 7)?;
+    let count: usize = args.num("count", 8)?;
+    let spec = DatasetSpec::of(kind, scale);
+    let window: f64 = args.num("window", spec.window_len)?;
+    let budget: f64 = args.num("budget", 300.0)?;
+    let alpha: f64 = args.num("alpha", 0.5)?;
+    let out = args.require("out")?;
+
+    let generator = InstanceGenerator::new(spec, seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let instances: Vec<Instance> =
+        (0..count).map(|_| generator.gen_instance(&mut rng, window, budget, 1.0, alpha)).collect();
+    let meta = serde_json::json!({
+        "dataset": kind.name(), "seed": seed, "count": count,
+        "window": window, "budget": budget, "alpha": alpha,
+    });
+    write_json(out, &InstanceFile { meta, instances })?;
+    println!("wrote {count} {} instances to {out}", kind.name());
+    Ok(())
+}
+
+/// `stats` — Figure-4-style distribution statistics for an instance file.
+pub fn stats(args: &Args) -> Result<(), String> {
+    let file = read_instances(args.require("instances")?)?;
+    let stats = DatasetStats::collect(&file.instances);
+    print!("{}", stats.travel_tasks_per_worker.render("travel tasks per worker"));
+    print!("{}", stats.workers_per_instance.render("workers per instance"));
+    Ok(())
+}
+
+/// `train` — train SMORE on an instance file and save the model.
+pub fn train(args: &Args) -> Result<(), String> {
+    let file = read_instances(args.require("instances")?)?;
+    let out = args.require("out")?;
+    if file.instances.is_empty() {
+        return Err("instance file is empty".to_string());
+    }
+    let grid = file.instances[0].lattice.grid.clone();
+    let mut cfg = TasnetConfig::for_grid(grid.rows, grid.cols);
+    cfg.d_model = args.num("d-model", 16)?;
+    cfg.heads = args.num("heads", 2)?;
+    cfg.enc_layers = args.num("layers", 1)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let train_cfg = TasnetTrainConfig {
+        warmup_epochs: args.num("warmup", 8)?,
+        epochs: args.num("epochs", 4)?,
+        batch: 4,
+        lr: 1e-3,
+        rl_lr: 2e-4,
+        critic_lr: 1e-3,
+    };
+
+    let mut net = Tasnet::new(cfg.clone(), seed);
+    let mut critic = Critic::new(cfg.d_model, seed + 1);
+    let holdout = (file.instances.len() / 5).clamp(1, 3);
+    let (fit, val) = file.instances.split_at(file.instances.len() - holdout);
+    eprintln!("training on {} instances, validating on {}...", fit.len(), val.len());
+    let report = smore::train_tasnet_validated(
+        &mut net,
+        &mut critic,
+        fit,
+        val,
+        &InsertionSolver::new(),
+        &train_cfg,
+        seed,
+    );
+    eprintln!("validation curve: {:?}", report.validation_curve);
+
+    write_json(
+        out,
+        &ModelFile {
+            grid_rows: grid.rows,
+            grid_cols: grid.cols,
+            d_model: cfg.d_model,
+            heads: cfg.heads,
+            enc_layers: cfg.enc_layers,
+            policy: net.store.to_json(),
+            critic: critic.store.to_json(),
+        },
+    )?;
+    println!("model saved to {out}");
+    Ok(())
+}
+
+fn load_smore(path: &str) -> Result<SmoreSolver<InsertionSolver>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let file: ModelFile = serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))?;
+    let mut cfg = TasnetConfig::for_grid(file.grid_rows, file.grid_cols);
+    cfg.d_model = file.d_model;
+    cfg.heads = file.heads;
+    cfg.enc_layers = file.enc_layers;
+    SmoreSolver::load_params(cfg, InsertionSolver::new(), &file.policy, &file.critic)
+        .map_err(|e| format!("restore model: {e}"))
+}
+
+/// `solve` — solve every instance in a file with the chosen method.
+pub fn solve(args: &Args) -> Result<(), String> {
+    let file = read_instances(args.require("instances")?)?;
+    let method = args.get_or("method", "smore");
+    let seed: u64 = args.num("seed", 1)?;
+    let mut solver: Box<dyn UsmdwSolver> = match method {
+        "rn" => Box::new(RandomSolver::new(seed)),
+        "tvpg" => Box::new(GreedySolver::tvpg()),
+        "tcpg" => Box::new(GreedySolver::tcpg()),
+        "msa" => Box::new(MsaSolver::msa(MsaConfig::small(), seed)),
+        "msagi" => Box::new(MsaSolver::msagi(MsaConfig::small(), seed)),
+        "jdrl" => Box::new(JdrlSolver::new(JdrlPolicy::new(seed))),
+        "smore" => Box::new(load_smore(args.require("model")?)?),
+        other => return Err(format!("unknown method {other:?}")),
+    };
+
+    let mut solutions: Vec<Solution> = Vec::with_capacity(file.instances.len());
+    let mut total = 0.0;
+    for (i, inst) in file.instances.iter().enumerate() {
+        let sol = solver.solve(inst);
+        let stats = evaluate(inst, &sol).map_err(|e| format!("instance {i}: {e}"))?;
+        println!(
+            "instance {i}: φ = {:.3}, {} tasks, {:.1}/{:.0} budget",
+            stats.objective, stats.completed, stats.total_incentive, inst.budget
+        );
+        total += stats.objective;
+        solutions.push(sol);
+    }
+    println!(
+        "mean φ over {} instances with {}: {:.3}",
+        file.instances.len(),
+        solver.name(),
+        total / file.instances.len().max(1) as f64
+    );
+    if let Some(out) = args.get("out") {
+        write_json(out, &solutions)?;
+        println!("solutions written to {out}");
+    }
+    Ok(())
+}
+
+/// `inspect` — print one solved instance's schedule in detail.
+pub fn inspect(args: &Args) -> Result<(), String> {
+    let file = read_instances(args.require("instances")?)?;
+    let solutions_raw = std::fs::read_to_string(args.require("solutions")?)
+        .map_err(|e| format!("read solutions: {e}"))?;
+    let solutions: Vec<Solution> =
+        serde_json::from_str(&solutions_raw).map_err(|e| format!("parse solutions: {e}"))?;
+    let index: usize = args.num("index", 0)?;
+    let inst = file.instances.get(index).ok_or("instance index out of range")?;
+    let sol = solutions.get(index).ok_or("solution index out of range")?;
+
+    let stats = evaluate(inst, sol).map_err(|e| e.to_string())?;
+    println!("instance {index}: φ = {:.3}, {} tasks completed\n", stats.objective, stats.completed);
+    for (w, route) in sol.routes.iter().enumerate() {
+        let schedule = inst
+            .schedule(smore_model::WorkerId(w), route)
+            .map_err(|e| format!("worker {w}: {e}"))?;
+        println!(
+            "worker {w}: rtt {:.1} min, incentive {:.2}",
+            schedule.rtt, stats.per_worker_incentive[w]
+        );
+        for t in &schedule.timings {
+            match t.stop {
+                smore_model::Stop::Travel(i) => {
+                    println!("  {:>7.1}  travel task {i}", t.arrival)
+                }
+                smore_model::Stop::Sensing(id) => {
+                    let cell = inst.sensing_task(id).cell;
+                    println!(
+                        "  {:>7.1}  sensing ({}, {}) slot {} (wait {:.1})",
+                        t.arrival, cell.row, cell.col, cell.slot, t.waiting
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("smore-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_solve_inspect_roundtrip() {
+        let inst = tmp("inst.json");
+        let sols = tmp("sols.json");
+        gen(&args(&format!(
+            "gen --out {inst} --dataset delivery --count 2 --seed 5 --budget 120"
+        )))
+        .unwrap();
+        stats(&args(&format!("stats --instances {inst}"))).unwrap();
+        solve(&args(&format!(
+            "solve --instances {inst} --method tvpg --out {sols}"
+        )))
+        .unwrap();
+        inspect(&args(&format!(
+            "inspect --instances {inst} --solutions {sols} --index 1"
+        )))
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_dataset_and_method_are_rejected() {
+        let inst = tmp("inst2.json");
+        assert!(gen(&args(&format!("gen --out {inst} --dataset mars"))).is_err());
+        gen(&args(&format!("gen --out {inst} --count 1"))).unwrap();
+        assert!(solve(&args(&format!(
+            "solve --instances {inst} --method quantum"
+        )))
+        .is_err());
+        assert!(solve(&args(&format!("solve --instances {inst} --method smore"))).is_err(),
+            "smore without --model must fail");
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+smore-cli — the SMORE urban-sensing toolkit
+
+USAGE: smore-cli <command> [--flag value ...]
+
+COMMANDS:
+  gen      generate instances      --out F [--dataset delivery|tourism|lade]
+                                   [--scale small|paper] [--seed N] [--count N]
+                                   [--window MIN] [--budget B] [--alpha A]
+  stats    Figure-4 distributions  --instances F
+  train    train SMORE             --instances F --out MODEL [--warmup N]
+                                   [--epochs N] [--d-model N] [--seed N]
+  solve    solve instances         --instances F --method M [--model MODEL]
+                                   [--out SOLUTIONS] (M: smore|tvpg|tcpg|rn|msa|msagi|jdrl)
+  inspect  show one schedule       --instances F --solutions F [--index N]
+";

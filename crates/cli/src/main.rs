@@ -1,0 +1,33 @@
+//! `smore-cli` — generate datasets, train models, solve and inspect USMDW
+//! instances from the command line. Run without arguments for usage.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "gen" => commands::gen(&parsed),
+        "stats" => commands::stats(&parsed),
+        "train" => commands::train(&parsed),
+        "solve" => commands::solve(&parsed),
+        "inspect" => commands::inspect(&parsed),
+        "" | "help" | "--help" => {
+            println!("{}", commands::USAGE);
+            return;
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n\n{}", commands::USAGE);
+        std::process::exit(1);
+    }
+}

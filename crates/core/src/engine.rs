@@ -1,0 +1,325 @@
+//! The SMORE engine: candidate assignment initialization and the state
+//! update of Algorithm 1 (lines 1–9 and 12–23), shared by every selection
+//! policy (TASNet, the ablations, and greedy selection).
+
+use crate::route_planning::{order_to_route, route_problem};
+use rayon::prelude::*;
+use smore_model::{AssignmentState, Instance, Route, SensingTaskId, WorkerId, TIME_EPS};
+use smore_tsptw::TsptwSolver;
+
+/// A feasible candidate assignment `C[w][s]`: the re-planned route with the
+/// task added, its travel time, and the incremental incentive.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Route after assigning the task (covers mandatory + assigned + task).
+    pub route: Route,
+    /// Route travel time of [`Candidate::route`].
+    pub rtt: f64,
+    /// Incentive delta versus the worker's current incentive.
+    pub delta_in: f64,
+}
+
+/// The candidate hashmap `C` of Algorithm 1, dense-indexed `[worker][task]`.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateMap {
+    per_worker: Vec<Vec<Option<Candidate>>>,
+    counts: Vec<usize>,
+}
+
+impl CandidateMap {
+    fn new(n_workers: usize, n_tasks: usize) -> Self {
+        Self { per_worker: vec![vec![None; n_tasks]; n_workers], counts: vec![0; n_workers] }
+    }
+
+    /// The candidate for `(worker, task)` if feasible.
+    pub fn get(&self, worker: WorkerId, task: SensingTaskId) -> Option<&Candidate> {
+        self.per_worker[worker.0][task.0].as_ref()
+    }
+
+    /// Number of feasible candidate tasks for `worker`.
+    pub fn count(&self, worker: WorkerId) -> usize {
+        self.counts[worker.0]
+    }
+
+    /// Whether any candidate pair remains (`C ≠ ∅`).
+    pub fn any(&self) -> bool {
+        self.counts.iter().any(|&c| c > 0)
+    }
+
+    /// Iterates the feasible tasks of `worker`.
+    pub fn tasks_of(&self, worker: WorkerId) -> impl Iterator<Item = (SensingTaskId, &Candidate)> {
+        self.per_worker[worker.0]
+            .iter()
+            .enumerate()
+            .filter_map(|(t, c)| c.as_ref().map(|c| (SensingTaskId(t), c)))
+    }
+
+    fn set(&mut self, worker: WorkerId, task: SensingTaskId, candidate: Option<Candidate>) {
+        let slot = &mut self.per_worker[worker.0][task.0];
+        match (&slot, &candidate) {
+            (Some(_), None) => self.counts[worker.0] -= 1,
+            (None, Some(_)) => self.counts[worker.0] += 1,
+            _ => {}
+        }
+        *slot = candidate;
+    }
+}
+
+/// Candidate initialization + iterative-update engine.
+pub struct Engine<'a> {
+    /// The instance being solved.
+    pub instance: &'a Instance,
+    solver: &'a dyn TsptwSolver,
+    /// The evolving assignment `M` plus remaining budget.
+    pub state: AssignmentState,
+    /// The candidate map `C`.
+    pub candidates: CandidateMap,
+}
+
+impl<'a> Engine<'a> {
+    /// Runs step 1 of Algorithm 1: initial routes from the TSPTW solver over
+    /// mandatory stops only, then feasibility checks of every (worker, task)
+    /// pair in parallel (the paper batches these on GPU; rayon is the CPU
+    /// analogue).
+    ///
+    /// Returns `None` if some worker's mandatory-only route cannot be solved
+    /// (which generated instances never trigger).
+    pub fn new(instance: &'a Instance, solver: &'a dyn TsptwSolver) -> Option<Self> {
+        let mut state = AssignmentState::new(instance);
+
+        // Initial routes: minimum-time mandatory-only routes. The worker's
+        // incentive for this route is by definition ~0 (it IS the reference);
+        // heuristic solvers can exceed the exact reference slightly, which
+        // the incentive model charges honestly.
+        for w in 0..instance.n_workers() {
+            let wid = WorkerId(w);
+            let p = route_problem(instance, wid, &[]);
+            let sol = solver.solve(&p)?;
+            state.routes[w] = order_to_route(instance, wid, &[], &sol);
+            state.rtts[w] = sol.rtt;
+            state.incentives[w] = instance.incentive(wid, sol.rtt);
+            state.budget_rest -= state.incentives[w];
+        }
+
+        let mut engine = Self {
+            instance,
+            solver,
+            state,
+            candidates: CandidateMap::new(instance.n_workers(), instance.n_tasks()),
+        };
+        for w in 0..instance.n_workers() {
+            engine.recompute_worker(WorkerId(w));
+        }
+        Some(engine)
+    }
+
+    /// Whether any feasible candidate remains.
+    pub fn has_candidates(&self) -> bool {
+        self.candidates.any()
+    }
+
+    /// Applies the selected pair (Algorithm 1, lines 12–23): commits the
+    /// candidate route, updates budget/coverage, removes the task from every
+    /// worker's candidates and recomputes the selected worker's candidates.
+    ///
+    /// # Panics
+    /// Panics if `(worker, task)` is not a current candidate.
+    pub fn apply(&mut self, worker: WorkerId, task: SensingTaskId) {
+        let candidate = self
+            .candidates
+            .get(worker, task)
+            .cloned()
+            .expect("apply() requires a current candidate pair");
+        self.state.assign(self.instance, worker, task, candidate.route, candidate.rtt);
+        for w in 0..self.instance.n_workers() {
+            self.candidates.set(WorkerId(w), task, None);
+        }
+        self.recompute_worker(worker);
+        self.prune_unaffordable();
+    }
+
+    /// Drops candidates whose incentive delta no longer fits the shrunken
+    /// remaining budget. Algorithm 1 re-filters only the selected worker's
+    /// candidates (lines 17–23); without this sweep the other workers'
+    /// entries can silently drift over budget as `B_rest` decreases.
+    fn prune_unaffordable(&mut self) {
+        let budget_rest = self.state.budget_rest;
+        for w in 0..self.instance.n_workers() {
+            let wid = WorkerId(w);
+            let over: Vec<SensingTaskId> = self
+                .candidates
+                .tasks_of(wid)
+                .filter(|(_, c)| c.delta_in > budget_rest + TIME_EPS)
+                .map(|(t, _)| t)
+                .collect();
+            for t in over {
+                self.candidates.set(wid, t, None);
+            }
+        }
+    }
+
+    /// Recomputes the feasible candidates of one worker against their current
+    /// assignment (Algorithm 1, lines 17–23), in parallel over tasks.
+    fn recompute_worker(&mut self, worker: WorkerId) {
+        let assigned = self.state.assigned[worker.0].clone();
+        let current_incentive = self.state.incentives[worker.0];
+        let budget_rest = self.state.budget_rest;
+        let instance = self.instance;
+        let solver = self.solver;
+        let completed = &self.state.completed;
+
+        let results: Vec<(usize, Option<Candidate>)> = (0..instance.n_tasks())
+            .into_par_iter()
+            .map(|t| {
+                if completed[t] {
+                    return (t, None);
+                }
+                let task = SensingTaskId(t);
+                if !Self::prefilter(instance, worker, task) {
+                    return (t, None);
+                }
+                let mut tasks = assigned.clone();
+                tasks.push(task);
+                let p = route_problem(instance, worker, &tasks);
+                let candidate = solver.solve(&p).and_then(|sol| {
+                    let delta_in = instance.incentive(worker, sol.rtt) - current_incentive;
+                    if delta_in > budget_rest + TIME_EPS {
+                        return None;
+                    }
+                    let route = order_to_route(instance, worker, &tasks, &sol);
+                    Some(Candidate { route, rtt: sol.rtt, delta_in })
+                });
+                (t, candidate)
+            })
+            .collect();
+
+        for (t, candidate) in results {
+            self.candidates.set(worker, SensingTaskId(t), candidate);
+        }
+    }
+
+    /// Cheap *necessary* conditions for `(worker, task)` feasibility,
+    /// checked before paying for a TSPTW solve. Both bounds are safe: they
+    /// never reject a feasible pair.
+    ///
+    /// 1. Even travelling straight from the origin, the worker must reach
+    ///    the task before its window closes.
+    /// 2. Two independent route-length lower bounds must fit the worker's
+    ///    time range: (a) window-clamped service at the task plus the final
+    ///    leg (mandatory services may overlap the pre-window wait, so they
+    ///    are *not* added here); (b) the unclamped triangle path through the
+    ///    task plus every mandatory service (which cannot overlap travel).
+    fn prefilter(instance: &Instance, worker: WorkerId, task: SensingTaskId) -> bool {
+        let w = instance.worker(worker);
+        let s = instance.sensing_task(task);
+        let arrival_lb = w.earliest_departure + instance.travel.travel_time(&w.origin, &s.loc);
+        let Some(begin) = s.window.service_start(arrival_lb, s.service) else {
+            return false;
+        };
+        let final_leg = instance.travel.travel_time(&s.loc, &w.destination);
+        let windowed_lb = begin + s.service + final_leg;
+        let triangle_lb = arrival_lb + s.service + final_leg + w.mandatory_service();
+        windowed_lb.max(triangle_lb) <= w.latest_arrival + TIME_EPS
+    }
+
+    /// Heuristic signals for a candidate: `(Δφ, Δin, β)` where
+    /// `β = Δφ / Δin` is the coverage-incentive ratio of Section IV-E.
+    pub fn signals(&self, worker: WorkerId, task: SensingTaskId) -> Option<(f64, f64, f64)> {
+        let c = self.candidates.get(worker, task)?;
+        let gain = self.state.gain(self.instance, task);
+        let beta = gain / c.delta_in.max(1e-6);
+        Some((gain, c.delta_in, beta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    use smore_model::evaluate;
+    use smore_tsptw::InsertionSolver;
+
+    fn instance(seed: u64) -> Instance {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), seed);
+        g.gen_default(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn initialization_finds_candidates() {
+        let inst = instance(51);
+        let solver = InsertionSolver::new();
+        let engine = Engine::new(&inst, &solver).unwrap();
+        assert!(engine.has_candidates());
+        // Every candidate's claimed rtt must re-verify against the schedule.
+        for w in 0..inst.n_workers() {
+            for (task, cand) in engine.candidates.tasks_of(WorkerId(w)) {
+                let schedule = inst.schedule(WorkerId(w), &cand.route).unwrap();
+                assert!((schedule.rtt - cand.rtt).abs() < 1e-6);
+                assert!(cand.route.sensing_tasks().any(|id| id == task));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_removes_task_everywhere_and_keeps_state_valid() {
+        let inst = instance(52);
+        let solver = InsertionSolver::new();
+        let mut engine = Engine::new(&inst, &solver).unwrap();
+        let (worker, task) = (0..inst.n_workers())
+            .flat_map(|w| {
+                engine
+                    .candidates
+                    .tasks_of(WorkerId(w))
+                    .map(move |(t, _)| (WorkerId(w), t))
+                    .collect::<Vec<_>>()
+            })
+            .next()
+            .expect("at least one candidate");
+        engine.apply(worker, task);
+        for w in 0..inst.n_workers() {
+            assert!(engine.candidates.get(WorkerId(w), task).is_none());
+        }
+        assert!(engine.state.completed[task.0]);
+        let sol = engine.state.clone().into_solution();
+        let stats = evaluate(&inst, &sol).unwrap();
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn exhausting_candidates_yields_valid_solution() {
+        let inst = instance(53);
+        let solver = InsertionSolver::new();
+        let mut engine = Engine::new(&inst, &solver).unwrap();
+        // Greedily select the first candidate until exhaustion.
+        let mut steps = 0;
+        while engine.has_candidates() && steps < 500 {
+            let pair = (0..inst.n_workers()).find_map(|w| {
+                engine.candidates.tasks_of(WorkerId(w)).next().map(|(t, _)| (WorkerId(w), t))
+            });
+            let Some((w, t)) = pair else { break };
+            engine.apply(w, t);
+            steps += 1;
+        }
+        assert!(steps > 0);
+        let sol = engine.state.into_solution();
+        let stats = evaluate(&inst, &sol).unwrap();
+        assert_eq!(stats.completed, steps);
+        assert!(stats.total_incentive <= inst.budget + 1e-6);
+    }
+
+    #[test]
+    fn signals_are_consistent_with_candidates() {
+        let inst = instance(54);
+        let solver = InsertionSolver::new();
+        let engine = Engine::new(&inst, &solver).unwrap();
+        for w in 0..inst.n_workers() {
+            for (task, cand) in engine.candidates.tasks_of(WorkerId(w)) {
+                let (gain, delta_in, beta) = engine.signals(WorkerId(w), task).unwrap();
+                assert!((delta_in - cand.delta_in).abs() < 1e-12);
+                assert!(beta >= 0.0);
+                assert!((beta - gain / delta_in.max(1e-6)).abs() < 1e-9);
+            }
+        }
+    }
+}

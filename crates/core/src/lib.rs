@@ -1,0 +1,40 @@
+//! SMORE — <u>S</u>ensing for <u>M</u>ulti-destination workers via deep
+//! <u>RE</u>inforcement learning (the paper's primary contribution).
+//!
+//! The crate implements Algorithm 1 and the TASNet policy network:
+//!
+//! * [`Engine`] — candidate assignment initialization (every (worker, task)
+//!   pair feasibility-checked by a pre-trained TSPTW solver, in parallel)
+//!   and the per-selection state update.
+//! * [`SelectionPolicy`] / [`SmoreFramework`] — the iterative-selection
+//!   loop, generic over the policy: TASNet, greedy (the **w/o RL-AS**
+//!   ablation), or random.
+//! * [`Tasnet`] — the Two-stage Assignment Selection Network: worker grid
+//!   convolution + transformer encoders, group/individual state encoders,
+//!   pointer decoders with tanh clipping, heuristic fusion of `Δφ`/`Δin`
+//!   and the soft mask of Equations 9–11.
+//! * [`run_episode`] / [`train_tasnet`] — REINFORCE with a critic baseline
+//!   (Equation 12).
+//! * [`SmoreSolver`] — inference wrapper (greedy decoding) with parameter
+//!   save/load; [`SmoreSolver::without_soft_mask`] gives the **w/o Soft
+//!   Mask** ablation.
+//! * [`SingleStageSolver`] — the **w/o TASNet** ablation (flat joint pair
+//!   selection).
+
+#![warn(missing_docs)]
+
+mod engine;
+mod policy;
+mod route_planning;
+mod single_stage;
+mod solver;
+mod tasnet;
+mod train;
+
+pub use engine::{Candidate, CandidateMap, Engine};
+pub use policy::{GreedySelection, RandomSelection, RatioGreedySelection, SelectionPolicy, SmoreFramework};
+pub use route_planning::{order_to_route, route_problem};
+pub use single_stage::{train_single_stage, SingleStageNet, SingleStageSolver};
+pub use solver::SmoreSolver;
+pub use tasnet::{Critic, EpisodeEncoding, SelectMode, StepLogProbs, Tasnet, TasnetConfig};
+pub use train::{run_episode, train_tasnet, train_tasnet_validated, validate, Episode, TasnetTrainConfig, TasnetTrainReport};

@@ -1,0 +1,113 @@
+//! Adapter between USMDW workers and the TSPTW solver suite
+//! (Section III-C: "the working route planning problem essentially is a
+//! TSPTW" — travel tasks get the worker's whole time range as their window).
+
+use smore_model::{Instance, Route, SensingTaskId, Stop, WorkerId};
+use smore_tsptw::{TsptwNode, TsptwProblem, TsptwSolution};
+
+/// Builds the TSPTW instance for `worker` carrying their mandatory travel
+/// tasks plus the given assigned sensing `tasks`.
+///
+/// Node order is: travel tasks `0..|D|`, then `tasks` in the given order —
+/// [`order_to_route`] relies on this layout to map solutions back.
+pub fn route_problem(
+    instance: &Instance,
+    worker: WorkerId,
+    tasks: &[SensingTaskId],
+) -> TsptwProblem {
+    let w = instance.worker(worker);
+    let mut nodes = Vec::with_capacity(w.travel_tasks.len() + tasks.len());
+    for t in &w.travel_tasks {
+        nodes.push(TsptwNode {
+            loc: t.loc,
+            window: smore_geo::TimeWindow::new(w.earliest_departure, w.latest_arrival),
+            service: t.service,
+        });
+    }
+    for &id in tasks {
+        let s = instance.sensing_task(id);
+        nodes.push(TsptwNode { loc: s.loc, window: s.window, service: s.service });
+    }
+    TsptwProblem {
+        start: w.origin,
+        end: w.destination,
+        depart: w.earliest_departure,
+        deadline: w.latest_arrival,
+        nodes,
+        travel: instance.travel,
+    }
+}
+
+/// Maps a TSPTW visiting order back to a [`Route`], given the same `tasks`
+/// slice that built the problem.
+pub fn order_to_route(
+    instance: &Instance,
+    worker: WorkerId,
+    tasks: &[SensingTaskId],
+    solution: &TsptwSolution,
+) -> Route {
+    let n_travel = instance.worker(worker).travel_tasks.len();
+    let stops = solution
+        .order
+        .iter()
+        .map(|&i| {
+            if i < n_travel {
+                Stop::Travel(i)
+            } else {
+                Stop::Sensing(tasks[i - n_travel])
+            }
+        })
+        .collect();
+    Route::new(stops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    use smore_tsptw::{InsertionSolver, TsptwSolver};
+
+    fn instance() -> Instance {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 41);
+        g.gen_default(&mut SmallRng::seed_from_u64(41))
+    }
+
+    #[test]
+    fn mandatory_only_problem_matches_base_rtt_closely() {
+        let inst = instance();
+        let solver = InsertionSolver::new();
+        for w in 0..inst.n_workers() {
+            let p = route_problem(&inst, WorkerId(w), &[]);
+            let sol = solver.solve(&p).expect("mandatory route must be feasible");
+            // The heuristic can be slightly above the exact TSP reference but
+            // never below it.
+            assert!(sol.rtt + 1e-6 >= inst.base_rtt[w]);
+            assert!(sol.rtt <= inst.base_rtt[w] * 1.3 + 1.0, "heuristic too far off");
+        }
+    }
+
+    #[test]
+    fn solved_order_converts_to_valid_route() {
+        let inst = instance();
+        let solver = InsertionSolver::new();
+        let wid = WorkerId(0);
+        // Pick the sensing task nearest the worker's origin in a late slot.
+        let origin = inst.worker(wid).origin;
+        let (best, _) = inst
+            .sensing_tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.cell.slot >= 1)
+            .min_by(|a, b| a.1.loc.distance(&origin).total_cmp(&b.1.loc.distance(&origin)))
+            .unwrap();
+        let tasks = vec![SensingTaskId(best)];
+        let p = route_problem(&inst, wid, &tasks);
+        if let Some(sol) = solver.solve(&p) {
+            let route = order_to_route(&inst, wid, &tasks, &sol);
+            let schedule = inst.schedule(wid, &route).expect("converted route schedules");
+            assert!((schedule.rtt - sol.rtt).abs() < 1e-6, "rtt must agree across layers");
+            assert_eq!(route.sensing_count(), 1);
+        }
+    }
+}

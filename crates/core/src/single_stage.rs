@@ -1,0 +1,217 @@
+//! The **w/o TASNet** ablation (Section V-C5): sensing task-worker pairs are
+//! scored jointly by a single network and selected in one shot, without the
+//! two-stage decomposition, the transformer context, or the soft mask. The
+//! paper observes this performs even worse than greedy selection — the
+//! action space `|W|·|S|` is too large for a flat policy to learn well.
+
+use crate::engine::Engine;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_model::{Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+use smore_nn::{select_row, Adam, Matrix, Mlp, ParamStore, Tape, Var};
+use smore_tsptw::TsptwSolver;
+
+const FEATURES: usize = 13;
+
+/// Candidate pairs plus the probability / log-probability tape nodes.
+type ScoredPairs = (Vec<(WorkerId, SensingTaskId)>, Var, Var);
+
+/// The flat pair-scoring network.
+pub struct SingleStageNet {
+    /// Trainable parameters.
+    pub store: ParamStore,
+    net: Mlp,
+}
+
+impl SingleStageNet {
+    /// Creates a randomly initialized network.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let net = Mlp::new(&mut store, "ss", &[FEATURES, 64, 1], &mut rng);
+        Self { store, net }
+    }
+
+    fn pair_features(
+        engine: &Engine<'_>,
+        worker: WorkerId,
+        task: SensingTaskId,
+    ) -> [f32; FEATURES] {
+        let instance = engine.instance;
+        let w = instance.worker(worker);
+        let t = instance.sensing_task(task);
+        let grid = &instance.lattice.grid;
+        let horizon = instance.lattice.horizon.max(1.0);
+        let (ox, oy) = grid.normalize(&w.origin);
+        let (dx, dy) = grid.normalize(&w.destination);
+        let (tx, ty) = grid.normalize(&t.loc);
+        let (gain, delta_in, _) = engine
+            .signals(worker, task)
+            .expect("pair features are only computed for candidates");
+        [
+            ox as f32,
+            oy as f32,
+            dx as f32,
+            dy as f32,
+            (w.travel_tasks.len() as f32 / 10.0).min(2.0),
+            (engine.state.assigned[worker.0].len() as f32 / 10.0).min(2.0),
+            ((w.latest_arrival - w.earliest_departure - engine.state.rtts[worker.0]) / horizon)
+                as f32,
+            tx as f32,
+            ty as f32,
+            (t.window.start / horizon) as f32,
+            (t.window.end / horizon) as f32,
+            gain as f32,
+            (delta_in / instance.budget.max(1.0)) as f32,
+        ]
+    }
+
+    /// Scores all candidate pairs at once; returns the pairs, the sampling
+    /// probabilities node and the log-probability node.
+    fn score_pairs(
+        &self,
+        tape: &mut Tape,
+        engine: &Engine<'_>,
+    ) -> Option<ScoredPairs> {
+        let mut pairs = Vec::new();
+        for w in 0..engine.instance.n_workers() {
+            let wid = WorkerId(w);
+            for (task, _) in engine.candidates.tasks_of(wid) {
+                pairs.push((wid, task));
+            }
+        }
+        if pairs.is_empty() {
+            return None;
+        }
+        let mut feats = Matrix::zeros(pairs.len(), FEATURES);
+        for (r, &(w, t)) in pairs.iter().enumerate() {
+            feats.row_slice_mut(r).copy_from_slice(&Self::pair_features(engine, w, t));
+        }
+        let x = tape.constant(feats);
+        let scores = self.net.forward(tape, &self.store, x); // [P, 1]
+        let row = tape.transpose(scores); // [1, P]
+        let probs = tape.softmax_rows(row, None);
+        let logp = tape.log_softmax_rows(row, None);
+        Some((pairs, probs, logp))
+    }
+}
+
+/// The w/o-TASNet ablation solver.
+pub struct SingleStageSolver<S> {
+    net: SingleStageNet,
+    solver: S,
+}
+
+impl<S: TsptwSolver> SingleStageSolver<S> {
+    /// Wraps a (typically trained) flat network.
+    pub fn new(net: SingleStageNet, solver: S) -> Self {
+        Self { net, solver }
+    }
+}
+
+impl<S: TsptwSolver> UsmdwSolver for SingleStageSolver<S> {
+    fn name(&self) -> &str {
+        "SMORE(w/o TASNet)"
+    }
+
+    fn solve(&mut self, instance: &Instance) -> Solution {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let Some(mut engine) = Engine::new(instance, &self.solver) else {
+            return Solution::empty(instance.n_workers());
+        };
+        while engine.has_candidates() {
+            let mut tape = Tape::new();
+            let Some((pairs, probs, _)) = self.net.score_pairs(&mut tape, &engine) else {
+                break;
+            };
+            let choice = select_row(tape.value(probs), 0, true, &mut rng);
+            let (w, t) = pairs[choice];
+            engine.apply(w, t);
+        }
+        engine.state.into_solution()
+    }
+}
+
+/// REINFORCE training of the flat pair policy (batch-mean baseline — the
+/// point of the ablation is the *architecture*, so the learning algorithm
+/// matches TASNet's as closely as possible).
+pub fn train_single_stage(
+    net: &mut SingleStageNet,
+    instances: &[Instance],
+    solver: &dyn TsptwSolver,
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut adam = Adam::new(lr);
+    for _ in 0..epochs {
+        let mut episodes: Vec<(Tape, Vec<Var>, f64)> = Vec::new();
+        for instance in instances {
+            let Some(mut engine) = Engine::new(instance, solver) else { continue };
+            let mut tape = Tape::new();
+            let mut logps = Vec::new();
+            while engine.has_candidates() {
+                let Some((pairs, probs, logp)) = net.score_pairs(&mut tape, &engine) else {
+                    break;
+                };
+                let choice = smore_nn::sample_row(tape.value(probs), 0, &mut rng);
+                logps.push(tape.pick(logp, 0, choice));
+                let (w, t) = pairs[choice];
+                engine.apply(w, t);
+            }
+            episodes.push((tape, logps, engine.state.objective()));
+        }
+        if episodes.is_empty() {
+            continue;
+        }
+        let baseline: f64 =
+            episodes.iter().map(|(_, _, o)| *o).sum::<f64>() / episodes.len() as f64;
+        for (mut tape, logps, objective) in episodes {
+            let adv = (objective - baseline) as f32;
+            if logps.is_empty() || adv.abs() < 1e-9 {
+                continue;
+            }
+            let cat = tape.concat_cols(&logps);
+            let total = tape.sum_all(cat);
+            let loss = tape.scale(total, -adv);
+            tape.backward(loss);
+            tape.scatter_grads(&mut net.store);
+        }
+        adam.step(&mut net.store);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    use smore_model::evaluate;
+    use smore_tsptw::InsertionSolver;
+
+    fn instance(seed: u64) -> Instance {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), seed);
+        g.gen_default(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn single_stage_solutions_validate() {
+        let inst = instance(101);
+        let mut solver = SingleStageSolver::new(SingleStageNet::new(1), InsertionSolver::new());
+        assert_eq!(solver.name(), "SMORE(w/o TASNet)");
+        let sol = solver.solve(&inst);
+        let stats = evaluate(&inst, &sol).unwrap();
+        assert!(stats.completed > 0);
+        assert!(stats.total_incentive <= inst.budget + 1e-6);
+    }
+
+    #[test]
+    fn training_runs_and_updates_parameters() {
+        // Two instances so the batch-mean baseline leaves non-zero advantages.
+        let instances = vec![instance(102), instance(103)];
+        let mut net = SingleStageNet::new(2);
+        let before = net.store.to_json();
+        train_single_stage(&mut net, &instances, &InsertionSolver::new(), 1, 1e-3, 3);
+        assert_ne!(before, net.store.to_json());
+    }
+}

@@ -1,0 +1,128 @@
+//! The user-facing SMORE solver: a trained TASNet driving Algorithm 1 at
+//! inference time (greedy decoding, per Section V-B).
+
+use crate::tasnet::{Critic, Tasnet, TasnetConfig};
+use crate::train::run_episode;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_model::{Instance, Solution, UsmdwSolver};
+use smore_tsptw::TsptwSolver;
+
+/// SMORE at inference: pre-trained TASNet + a TSPTW solver.
+pub struct SmoreSolver<S> {
+    net: Tasnet,
+    critic: Critic,
+    solver: S,
+    display_name: String,
+}
+
+impl<S: TsptwSolver> SmoreSolver<S> {
+    /// Wraps a (typically trained) TASNet.
+    pub fn new(net: Tasnet, critic: Critic, solver: S) -> Self {
+        Self { net, critic, solver, display_name: "SMORE".to_string() }
+    }
+
+    /// Disables the soft mask — the **w/o Soft Mask** ablation of Figure 5.
+    pub fn without_soft_mask(mut self) -> Self {
+        self.net.cfg.soft_mask = false;
+        self.display_name = "SMORE(w/o SoftMask)".to_string();
+        self
+    }
+
+    /// Overrides the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.display_name = name.into();
+        self
+    }
+
+    /// The TASNet inside.
+    pub fn net(&self) -> &Tasnet {
+        &self.net
+    }
+
+    /// Serializes the trained parameters (policy + critic) to JSON.
+    pub fn save_params(&self) -> (String, String) {
+        (self.net.store.to_json(), self.critic.store.to_json())
+    }
+
+    /// Restores parameters saved with [`SmoreSolver::save_params`] into a
+    /// freshly built model of the same configuration.
+    pub fn load_params(
+        cfg: TasnetConfig,
+        solver: S,
+        policy_json: &str,
+        critic_json: &str,
+    ) -> Result<Self, serde_json::Error> {
+        let d = cfg.d_model;
+        let mut net = Tasnet::new(cfg, 0);
+        net.store.load_values_from(&smore_nn::ParamStore::from_json(policy_json)?);
+        let mut critic = Critic::new(d, 0);
+        critic.store.load_values_from(&smore_nn::ParamStore::from_json(critic_json)?);
+        Ok(Self::new(net, critic, solver))
+    }
+}
+
+impl<S: TsptwSolver> UsmdwSolver for SmoreSolver<S> {
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn solve(&mut self, instance: &Instance) -> Solution {
+        let mut rng = SmallRng::seed_from_u64(0); // unused under greedy decode
+        match run_episode(&self.net, &self.critic, instance, &self.solver, true, &mut rng) {
+            Some(ep) => ep.solution,
+            None => Solution::empty(instance.n_workers()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    use smore_model::evaluate;
+    use smore_tsptw::InsertionSolver;
+
+    fn setup() -> (Instance, Tasnet, Critic) {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 91);
+        let inst = g.gen_default(&mut SmallRng::seed_from_u64(91));
+        let mut cfg = TasnetConfig::for_grid(inst.lattice.grid.rows, inst.lattice.grid.cols);
+        cfg.d_model = 16;
+        cfg.heads = 2;
+        cfg.enc_layers = 1;
+        let net = Tasnet::new(cfg, 5);
+        let critic = Critic::new(16, 6);
+        (inst, net, critic)
+    }
+
+    #[test]
+    fn smore_solver_emits_valid_solutions() {
+        let (inst, net, critic) = setup();
+        let mut solver = SmoreSolver::new(net, critic, InsertionSolver::new());
+        assert_eq!(solver.name(), "SMORE");
+        let sol = solver.solve(&inst);
+        let stats = evaluate(&inst, &sol).unwrap();
+        assert!(stats.completed > 0);
+    }
+
+    #[test]
+    fn soft_mask_ablation_changes_name_and_flag() {
+        let (_, net, critic) = setup();
+        let solver = SmoreSolver::new(net, critic, InsertionSolver::new()).without_soft_mask();
+        assert_eq!(solver.name(), "SMORE(w/o SoftMask)");
+        assert!(!solver.net().cfg.soft_mask);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_decisions() {
+        let (inst, net, critic) = setup();
+        let cfg = net.cfg.clone();
+        let mut original = SmoreSolver::new(net, critic, InsertionSolver::new());
+        let sol_a = original.solve(&inst);
+        let (p, c) = original.save_params();
+        let mut restored =
+            SmoreSolver::load_params(cfg, InsertionSolver::new(), &p, &c).unwrap();
+        let sol_b = restored.solve(&inst);
+        assert_eq!(sol_a, sol_b, "restored model must reproduce decisions");
+    }
+}

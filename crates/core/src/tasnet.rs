@@ -1,0 +1,632 @@
+//! TASNet — the Two-stage Assignment Selection Network (Section IV).
+//!
+//! Three modules, mirroring Figure 3:
+//!
+//! 1. **Worker & Sensing Task Representation** — each worker's travel
+//!    information is rasterized onto the region grid (1 = origin,
+//!    2 = destination, 3 = travel task), encoded by a convolution + FC, and
+//!    fused across workers by a Transformer-like encoder; sensing tasks
+//!    (location + time window) get their own Transformer-like encoder.
+//! 2. **Worker Selection** — a group state encoder (per-worker assigned-task
+//!    mean pooling, MHA across workers, remaining budget) followed by an
+//!    attention-glimpse pointer decoder with tanh clipping; workers with no
+//!    feasible candidate are masked.
+//! 3. **Sensing Task Selection** — an individual state encoder (attention
+//!    over the worker's assigned tasks, global context `h_g`, `s̄`, budget)
+//!    and a heuristic-enhanced task decoder: candidate keys are fused with
+//!    the `Δφ` / `Δin` signals, and the soft mask
+//!    `f(Δφ, Δin) = exp(−λ² / (ε + β̂²))` modulates the pointer logits
+//!    (Equations 9–11).
+
+use crate::engine::Engine;
+use rand::rngs::SmallRng;
+use smore_model::{Instance, SensingTaskId, WorkerId};
+use smore_nn::{
+    select_row, Conv3x3, Encoder, Linear, Matrix, Mlp, MultiHeadAttention, ParamStore, Tape,
+    Var, NEG_INF,
+};
+
+/// TASNet hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TasnetConfig {
+    /// Embedding width (the paper uses 128; 32–64 suits CPU training).
+    pub d_model: usize,
+    /// Attention heads (paper: 8).
+    pub heads: usize,
+    /// Encoder layers for both representations (paper: 3).
+    pub enc_layers: usize,
+    /// Convolution channels of the worker grid encoder.
+    pub conv_channels: usize,
+    /// Width of the FC applied to the remaining budget.
+    pub budget_dim: usize,
+    /// Pointer logit clipping constant `C`.
+    pub clip: f32,
+    /// Soft-mask hyperparameter `λ` (paper: 0.5).
+    pub lambda: f32,
+    /// Whether the soft mask is applied (disabled in the w/o-Soft-Mask
+    /// ablation).
+    pub soft_mask: bool,
+    /// Grid rows of the dataset this model is built for.
+    pub grid_rows: usize,
+    /// Grid cols of the dataset this model is built for.
+    pub grid_cols: usize,
+}
+
+impl TasnetConfig {
+    /// A compact configuration for a given dataset grid (CPU-friendly).
+    pub fn for_grid(grid_rows: usize, grid_cols: usize) -> Self {
+        Self {
+            d_model: 32,
+            heads: 4,
+            enc_layers: 2,
+            conv_channels: 4,
+            budget_dim: 8,
+            clip: 10.0,
+            lambda: 0.5,
+            soft_mask: true,
+            grid_rows,
+            grid_cols,
+        }
+    }
+
+    /// The paper's configuration: 3 encoder layers with 8 attention heads
+    /// (Section V-B), λ = 0.5. Expect much slower CPU training.
+    pub fn paper(grid_rows: usize, grid_cols: usize) -> Self {
+        Self {
+            d_model: 128,
+            heads: 8,
+            enc_layers: 3,
+            conv_channels: 8,
+            budget_dim: 16,
+            clip: 10.0,
+            lambda: 0.5,
+            soft_mask: true,
+            grid_rows,
+            grid_cols,
+        }
+    }
+}
+
+/// The TASNet parameters and layers.
+pub struct Tasnet {
+    /// Hyperparameters.
+    pub cfg: TasnetConfig,
+    /// Trainable parameters.
+    pub store: ParamStore,
+    // Worker representation.
+    conv: Conv3x3,
+    worker_fc: Linear,
+    worker_encoder: Encoder,
+    // Task representation.
+    task_embed: Linear,
+    task_encoder: Encoder,
+    // Worker selection.
+    group_mha: MultiHeadAttention,
+    budget_fc_w: Linear,
+    glimpse_q: Linear,
+    wq_worker: Linear,
+    wk_worker: Linear,
+    // Task selection.
+    assigned_mha: MultiHeadAttention,
+    budget_fc_t: Linear,
+    task_q: Linear,
+    key_proj: Linear,
+}
+
+/// How [`Tasnet::select_with`] chooses its action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectMode {
+    /// Argmax of the policy distributions (inference).
+    Greedy,
+    /// Sample from the policy distributions (REINFORCE exploration).
+    Sample,
+    /// Score a teacher-provided pair (imitation warm-up); the pair must be a
+    /// current candidate.
+    Force((WorkerId, SensingTaskId)),
+}
+
+impl SelectMode {
+    /// `Greedy` when the flag is set, else `Sample`.
+    pub fn policy(greedy: bool) -> Self {
+        if greedy { SelectMode::Greedy } else { SelectMode::Sample }
+    }
+}
+
+/// One decision step's log-probabilities (worker pick + task pick).
+pub struct StepLogProbs {
+    /// Log-probability of the selected worker.
+    pub worker: Var,
+    /// Log-probability of the selected task.
+    pub task: Var,
+}
+
+/// Static per-episode encodings, computed once per instance.
+pub struct EpisodeEncoding {
+    /// `[|W|, d]` worker embeddings.
+    pub worker_embs: Var,
+    /// `[|S|, d]` sensing-task embeddings.
+    pub task_embs: Var,
+    /// `[1, d]` mean task embedding `s̄`.
+    pub sbar: Var,
+    /// Total budget used for normalization.
+    pub budget0: f64,
+}
+
+impl Tasnet {
+    /// Creates a randomly initialized TASNet.
+    pub fn new(cfg: TasnetConfig, seed: u64) -> Self {
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let d = cfg.d_model;
+        let hw = cfg.grid_rows * cfg.grid_cols;
+
+        let conv = Conv3x3::new(&mut store, "tasnet.conv", cfg.conv_channels, &mut rng);
+        let worker_fc =
+            Linear::new(&mut store, "tasnet.wfc", hw * cfg.conv_channels, d, true, &mut rng);
+        let worker_encoder =
+            Encoder::new(&mut store, "tasnet.wenc", d, cfg.heads, 2 * d, cfg.enc_layers, &mut rng);
+        let task_embed = Linear::new(&mut store, "tasnet.temb", 5, d, true, &mut rng);
+        let task_encoder =
+            Encoder::new(&mut store, "tasnet.tenc", d, cfg.heads, 2 * d, cfg.enc_layers, &mut rng);
+
+        let group_mha = MultiHeadAttention::new(&mut store, "tasnet.gmha", 2 * d, cfg.heads, &mut rng);
+        let budget_fc_w = Linear::new(&mut store, "tasnet.bfcw", 1, cfg.budget_dim, true, &mut rng);
+        let glimpse_q =
+            Linear::new(&mut store, "tasnet.glq", 2 * d + cfg.budget_dim, 2 * d, false, &mut rng);
+        let wq_worker = Linear::new(&mut store, "tasnet.wq", 2 * d, 2 * d, false, &mut rng);
+        let wk_worker = Linear::new(&mut store, "tasnet.wk", 2 * d, 2 * d, false, &mut rng);
+
+        let assigned_mha = MultiHeadAttention::new(&mut store, "tasnet.amha", d, cfg.heads, &mut rng);
+        let budget_fc_t = Linear::new(&mut store, "tasnet.bfct", 1, cfg.budget_dim, true, &mut rng);
+        // h_w = [ǎ_j; w_j] (2d) + FC(B) + h_g (2d) + s̄ (d) = 5d + budget_dim.
+        let task_q =
+            Linear::new(&mut store, "tasnet.tq", 5 * d + cfg.budget_dim, d, false, &mut rng);
+        let key_proj = Linear::new(&mut store, "tasnet.kp", d + 2, d, false, &mut rng);
+
+        Self {
+            cfg,
+            store,
+            conv,
+            worker_fc,
+            worker_encoder,
+            task_embed,
+            task_encoder,
+            group_mha,
+            budget_fc_w,
+            glimpse_q,
+            wq_worker,
+            wk_worker,
+            assigned_mha,
+            budget_fc_t,
+            task_q,
+            key_proj,
+        }
+    }
+
+    /// Rasterizes a worker's travel information onto the region grid
+    /// (Section IV-C): 1 = origin, 2 = destination, 3 = travel tasks.
+    pub fn worker_grid(&self, instance: &Instance, worker: WorkerId) -> Matrix {
+        let grid = &instance.lattice.grid;
+        debug_assert_eq!(
+            (grid.rows, grid.cols),
+            (self.cfg.grid_rows, self.cfg.grid_cols),
+            "model grid must match the instance grid"
+        );
+        let w = instance.worker(worker);
+        let mut m = Matrix::zeros(grid.rows, grid.cols);
+        let o = grid.cell_of(&w.origin);
+        m.set(o.row, o.col, 1.0 / 3.0);
+        let d = grid.cell_of(&w.destination);
+        m.set(d.row, d.col, 2.0 / 3.0);
+        for t in &w.travel_tasks {
+            let c = grid.cell_of(&t.loc);
+            m.set(c.row, c.col, 1.0);
+        }
+        m
+    }
+
+    /// Normalized static features of every sensing task: x, y, window
+    /// start/end, service.
+    fn task_features(instance: &Instance) -> Matrix {
+        let horizon = instance.lattice.horizon.max(1.0);
+        let mut m = Matrix::zeros(instance.n_tasks(), 5);
+        for (i, t) in instance.sensing_tasks.iter().enumerate() {
+            let (x, y) = instance.lattice.grid.normalize(&t.loc);
+            m.set(i, 0, x as f32);
+            m.set(i, 1, y as f32);
+            m.set(i, 2, (t.window.start / horizon) as f32);
+            m.set(i, 3, (t.window.end / horizon) as f32);
+            m.set(i, 4, (t.service / horizon) as f32);
+        }
+        m
+    }
+
+    /// Runs the static Worker & Sensing Task Representation module.
+    pub fn encode(&self, tape: &mut Tape, instance: &Instance) -> EpisodeEncoding {
+        // Worker embeddings: conv over each worker's grid → FC → encoder.
+        let mut rows = Vec::with_capacity(instance.n_workers());
+        for w in 0..instance.n_workers() {
+            let grid = self.worker_grid(instance, WorkerId(w));
+            let cols = tape.constant(Conv3x3::im2col(&grid));
+            let feat = self.conv.forward(tape, &self.store, cols);
+            let flat = tape.reshape(
+                feat,
+                1,
+                self.cfg.grid_rows * self.cfg.grid_cols * self.cfg.conv_channels,
+            );
+            rows.push(self.worker_fc.forward(tape, &self.store, flat));
+        }
+        let stacked = tape.concat_rows(&rows);
+        let worker_embs = self.worker_encoder.forward(tape, &self.store, stacked);
+
+        // Sensing-task embeddings.
+        let feats = tape.constant(Self::task_features(instance));
+        let embedded = self.task_embed.forward(tape, &self.store, feats);
+        let task_embs = self.task_encoder.forward(tape, &self.store, embedded);
+        let sbar = tape.mean_rows(task_embs);
+
+        EpisodeEncoding { worker_embs, task_embs, sbar, budget0: instance.budget.max(1.0) }
+    }
+
+    /// Mean-pooled embedding of a worker's assigned tasks (`s̄_j`), or a zero
+    /// vector when nothing is assigned yet.
+    fn assigned_mean(&self, tape: &mut Tape, enc: &EpisodeEncoding, assigned: &[SensingTaskId]) -> Var {
+        if assigned.is_empty() {
+            tape.constant(Matrix::zeros(1, self.cfg.d_model))
+        } else {
+            let idx: Vec<usize> = assigned.iter().map(|t| t.0).collect();
+            let g = tape.gather_rows(enc.task_embs, &idx);
+            tape.mean_rows(g)
+        }
+    }
+
+    /// Attention-refined assigned-task summary (`ā_j`) for task selection.
+    fn assigned_attended(
+        &self,
+        tape: &mut Tape,
+        enc: &EpisodeEncoding,
+        assigned: &[SensingTaskId],
+    ) -> Var {
+        if assigned.is_empty() {
+            tape.constant(Matrix::zeros(1, self.cfg.d_model))
+        } else {
+            let idx: Vec<usize> = assigned.iter().map(|t| t.0).collect();
+            let g = tape.gather_rows(enc.task_embs, &idx);
+            let att = self.assigned_mha.self_attention(tape, &self.store, g, None);
+            tape.mean_rows(att)
+        }
+    }
+
+    /// Runs one full two-stage selection (Worker Selection then Sensing Task
+    /// Selection); returns the pair plus log-probabilities. `greedy = true`
+    /// takes argmaxes (inference); otherwise samples (training).
+    pub fn select(
+        &self,
+        tape: &mut Tape,
+        enc: &EpisodeEncoding,
+        engine: &Engine<'_>,
+        greedy: bool,
+        rng: &mut SmallRng,
+    ) -> Option<((WorkerId, SensingTaskId), StepLogProbs)> {
+        self.select_with(tape, enc, engine, SelectMode::policy(greedy), rng)
+    }
+
+    /// Like [`Tasnet::select`], but the action source is explicit —
+    /// [`SelectMode::Force`] computes the log-probabilities of a teacher's
+    /// action (imitation warm-up, DESIGN.md §3.8).
+    pub fn select_with(
+        &self,
+        tape: &mut Tape,
+        enc: &EpisodeEncoding,
+        engine: &Engine<'_>,
+        mode: SelectMode,
+        rng: &mut SmallRng,
+    ) -> Option<((WorkerId, SensingTaskId), StepLogProbs)> {
+        let instance = engine.instance;
+        let n_workers = instance.n_workers();
+        let d = self.cfg.d_model;
+
+        // ----- Group state encoder -----
+        let mut wtilde_rows = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let mean = self.assigned_mean(tape, enc, &engine.state.assigned[w]);
+            let emb = tape.gather_rows(enc.worker_embs, &[w]);
+            wtilde_rows.push(tape.concat_cols(&[mean, emb]));
+        }
+        let wtilde = tape.concat_rows(&wtilde_rows); // [W, 2d]
+        let group = self.group_mha.self_attention(tape, &self.store, wtilde, None);
+        let h_g = tape.mean_rows(group); // [1, 2d]
+        let b_norm = (engine.state.budget_rest / enc.budget0) as f32;
+        let b_in = tape.constant(Matrix::scalar(b_norm));
+        let b_emb = self.budget_fc_w.forward(tape, &self.store, b_in);
+        let h_c = tape.concat_cols(&[h_g, b_emb]); // [1, 2d + bd]
+
+        // ----- Worker decoder -----
+        // Mask workers with no feasible candidate.
+        let mut wmask = Matrix::zeros(1, n_workers);
+        let mut any_worker = false;
+        for w in 0..n_workers {
+            if engine.candidates.count(WorkerId(w)) == 0 {
+                wmask.set(0, w, NEG_INF);
+            } else {
+                any_worker = true;
+            }
+        }
+        if !any_worker {
+            return None;
+        }
+
+        // Glimpse: dot-product attention from h_c over worker states.
+        let q1 = self.glimpse_q.forward(tape, &self.store, h_c); // [1, 2d]
+        let wt_t = tape.transpose(wtilde);
+        let glimpse_scores = tape.matmul(q1, wt_t);
+        let glimpse_scaled = tape.scale(glimpse_scores, 1.0 / ((2 * d) as f32).sqrt());
+        let glimpse_probs = tape.softmax_rows(glimpse_scaled, Some(&wmask));
+        let h_c2 = tape.matmul(glimpse_probs, wtilde); // [1, 2d]
+
+        // Pointer over workers with tanh clipping (Equations 5–7).
+        let q = self.wq_worker.forward(tape, &self.store, h_c2);
+        let k = self.wk_worker.forward(tape, &self.store, wtilde);
+        let kt = tape.transpose(k);
+        let scores = tape.matmul(q, kt);
+        let scaled = tape.scale(scores, 1.0 / ((2 * d) as f32).sqrt());
+        let tanhed = tape.tanh(scaled);
+        let clipped = tape.scale(tanhed, self.cfg.clip);
+        let wprobs = tape.softmax_rows(clipped, Some(&wmask));
+        let wlogp = tape.log_softmax_rows(clipped, Some(&wmask));
+        let w_choice = match mode {
+            SelectMode::Force(pair) => {
+                debug_assert!(engine.candidates.count(pair.0) > 0);
+                pair.0 .0
+            }
+            SelectMode::Greedy => select_row(tape.value(wprobs), 0, true, rng),
+            SelectMode::Sample => select_row(tape.value(wprobs), 0, false, rng),
+        };
+        let worker = WorkerId(w_choice);
+        let worker_logp = tape.pick(wlogp, 0, w_choice);
+
+        // ----- Individual state encoder -----
+        let abar = self.assigned_attended(tape, enc, &engine.state.assigned[w_choice]);
+        let w_emb = tape.gather_rows(enc.worker_embs, &[w_choice]);
+        let wcheck = tape.concat_cols(&[abar, w_emb]); // [1, 2d]
+        let b_in2 = tape.constant(Matrix::scalar(b_norm));
+        let b_emb2 = self.budget_fc_t.forward(tape, &self.store, b_in2);
+        let h_w = tape.concat_cols(&[wcheck, b_emb2, h_g, enc.sbar]); // [1, 5d + bd]
+
+        // ----- Heuristic-enhanced task decoder -----
+        let feasible: Vec<SensingTaskId> =
+            engine.candidates.tasks_of(worker).map(|(t, _)| t).collect();
+        debug_assert!(!feasible.is_empty(), "selected worker must have candidates");
+        let idx: Vec<usize> = feasible.iter().map(|t| t.0).collect();
+        let embs = tape.gather_rows(enc.task_embs, &idx); // [F, d]
+
+        // Auxiliary signals Δφ and Δin, concatenated for the attention keys.
+        let mut signals = Matrix::zeros(feasible.len(), 2);
+        let mut betas = Vec::with_capacity(feasible.len());
+        for (r, &t) in feasible.iter().enumerate() {
+            let (gain, delta_in, beta) =
+                engine.signals(worker, t).expect("feasible task has signals");
+            signals.set(r, 0, gain as f32);
+            signals.set(r, 1, (delta_in / enc.budget0) as f32);
+            betas.push(beta);
+        }
+        let sig = tape.constant(signals);
+        let keyed = tape.concat_cols(&[embs, sig]); // [F, d+2]
+        let keys = self.key_proj.forward(tape, &self.store, keyed); // [F, d]
+
+        let tq = self.task_q.forward(tape, &self.store, h_w); // [1, d]
+        let kt2 = tape.transpose(keys);
+        let tscores = tape.matmul(tq, kt2);
+        let tscaled = tape.scale(tscores, 1.0 / (d as f32).sqrt());
+        let ttanh = tape.tanh(tscaled);
+        let tclipped = tape.scale(ttanh, self.cfg.clip);
+
+        // Soft mask (Equations 9–11): p ∝ exp(u ⊙ f(Δφ, Δin)).
+        let logits = if self.cfg.soft_mask {
+            let f = soft_mask_row(&betas, self.cfg.lambda);
+            let fv = tape.constant(f);
+            tape.mul(tclipped, fv)
+        } else {
+            tclipped
+        };
+        let tprobs = tape.softmax_rows(logits, None);
+        let tlogp = tape.log_softmax_rows(logits, None);
+        let t_choice = match mode {
+            SelectMode::Force(pair) => feasible
+                .iter()
+                .position(|&t| t == pair.1)
+                .expect("forced task must be feasible for the forced worker"),
+            SelectMode::Greedy => select_row(tape.value(tprobs), 0, true, rng),
+            SelectMode::Sample => select_row(tape.value(tprobs), 0, false, rng),
+        };
+        let task = feasible[t_choice];
+        let task_logp = tape.pick(tlogp, 0, t_choice);
+
+        Some(((worker, task), StepLogProbs { worker: worker_logp, task: task_logp }))
+    }
+}
+
+/// Evaluates the soft mask `f(Δφ_i, Δin_i) = exp(−λ² / (ε + β̂_i²))` over the
+/// min-max-normalized coverage-incentive ratios of the current step.
+fn soft_mask_row(betas: &[f64], lambda: f32) -> Matrix {
+    const EPS: f32 = 1e-6;
+    let min = betas.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = betas.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    let mut row = Matrix::zeros(1, betas.len());
+    for (i, &b) in betas.iter().enumerate() {
+        let norm = if span > 1e-12 { ((b - min) / span) as f32 } else { 1.0 };
+        row.set(0, i, (-(lambda * lambda) / (EPS + norm * norm)).exp());
+    }
+    row
+}
+
+/// The critic baseline `b(s)` of the REINFORCE update (Equation 12): a small
+/// MLP over a detached summary of the initial state.
+pub struct Critic {
+    /// Trainable parameters (separate from the policy's).
+    pub store: ParamStore,
+    net: Mlp,
+    d_model: usize,
+}
+
+impl Critic {
+    /// Creates the critic for a policy of width `d_model`.
+    pub fn new(d_model: usize, seed: u64) -> Self {
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        // Input: mean worker embedding (d) ⊕ s̄ (d) ⊕ normalized budget (1).
+        let net = Mlp::new(&mut store, "critic", &[2 * d_model + 1, 32, 1], &mut rng);
+        Self { store, net, d_model }
+    }
+
+    /// Detached summary features from an episode encoding.
+    pub fn features(&self, tape: &Tape, enc: &EpisodeEncoding) -> Matrix {
+        let we = tape.value(enc.worker_embs);
+        let n = we.rows().max(1) as f32;
+        let mut row = Matrix::zeros(1, 2 * self.d_model + 1);
+        for r in 0..we.rows() {
+            for c in 0..we.cols() {
+                let v = row.get(0, c) + we.get(r, c) / n;
+                row.set(0, c, v);
+            }
+        }
+        let sb = tape.value(enc.sbar);
+        for c in 0..sb.cols() {
+            row.set(0, self.d_model + c, sb.get(0, c));
+        }
+        row.set(0, 2 * self.d_model, 1.0); // normalized initial budget
+        row
+    }
+
+    /// Predicts the baseline value from detached features.
+    pub fn predict(&self, features: &Matrix) -> f32 {
+        let mut tape = Tape::new();
+        let x = tape.constant(features.clone());
+        let y = self.net.forward(&mut tape, &self.store, x);
+        tape.value(y).item()
+    }
+
+    /// One MSE gradient accumulation toward `target`; returns the loss.
+    pub fn accumulate_loss(&mut self, features: &Matrix, target: f32) -> f32 {
+        let mut tape = Tape::new();
+        let x = tape.constant(features.clone());
+        let y = self.net.forward(&mut tape, &self.store, x);
+        let t = tape.constant(Matrix::scalar(target));
+        let diff = tape.sub(y, t);
+        let sq = tape.square(diff);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        tape.scatter_grads(&mut self.store);
+        tape.value(loss).item()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    use smore_tsptw::InsertionSolver;
+
+    fn instance(seed: u64) -> Instance {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), seed);
+        g.gen_default(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    fn net_for(inst: &Instance) -> Tasnet {
+        let mut cfg = TasnetConfig::for_grid(inst.lattice.grid.rows, inst.lattice.grid.cols);
+        cfg.d_model = 16;
+        cfg.heads = 2;
+        cfg.enc_layers = 1;
+        Tasnet::new(cfg, 5)
+    }
+
+    #[test]
+    fn worker_grid_marks_all_entities() {
+        let inst = instance(71);
+        let net = net_for(&inst);
+        let g = net.worker_grid(&inst, WorkerId(0));
+        let nonzero = g.data().iter().filter(|&&v| v > 0.0).count();
+        // Origin (+dest, may share a cell) + at least one travel-task cell.
+        assert!(nonzero >= 2);
+        assert!(g.data().iter().all(|&v| v <= 1.0));
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let inst = instance(72);
+        let net = net_for(&inst);
+        let mut tape = Tape::new();
+        let enc = net.encode(&mut tape, &inst);
+        assert_eq!(tape.value(enc.worker_embs).shape(), (inst.n_workers(), 16));
+        assert_eq!(tape.value(enc.task_embs).shape(), (inst.n_tasks(), 16));
+        assert_eq!(tape.value(enc.sbar).shape(), (1, 16));
+    }
+
+    #[test]
+    fn select_returns_valid_candidates_until_exhaustion() {
+        let inst = instance(73);
+        let net = net_for(&inst);
+        let solver = InsertionSolver::new();
+        let mut engine = Engine::new(&inst, &solver).unwrap();
+        let mut tape = Tape::new();
+        let enc = net.encode(&mut tape, &inst);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut steps = 0;
+        while engine.has_candidates() && steps < 50 {
+            let ((w, t), _) = net.select(&mut tape, &enc, &engine, false, &mut rng).unwrap();
+            assert!(engine.candidates.get(w, t).is_some(), "selection must be a candidate");
+            engine.apply(w, t);
+            steps += 1;
+        }
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn soft_mask_monotone_in_beta() {
+        let m = soft_mask_row(&[0.0, 0.5, 1.0], 0.5);
+        assert!(m.get(0, 0) < m.get(0, 1));
+        assert!(m.get(0, 1) < m.get(0, 2));
+        // β̂ = 0 underflows to an exactly-zero multiplier (neutral logit).
+        assert!(m.get(0, 2) <= 1.0 && m.get(0, 0) >= 0.0);
+    }
+
+    #[test]
+    fn soft_mask_uniform_when_betas_equal() {
+        let m = soft_mask_row(&[0.7, 0.7, 0.7], 0.5);
+        assert!((m.get(0, 0) - m.get(0, 2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_config_builds_and_runs_forward() {
+        let inst = instance(75);
+        let cfg = TasnetConfig::paper(inst.lattice.grid.rows, inst.lattice.grid.cols);
+        assert_eq!((cfg.d_model, cfg.heads, cfg.enc_layers), (128, 8, 3));
+        let net = Tasnet::new(cfg, 1);
+        let mut tape = Tape::new();
+        let enc = net.encode(&mut tape, &inst);
+        assert_eq!(tape.value(enc.worker_embs).cols(), 128);
+        assert!(tape.value(enc.task_embs).data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn critic_predicts_and_learns() {
+        let inst = instance(74);
+        let net = net_for(&inst);
+        let mut tape = Tape::new();
+        let enc = net.encode(&mut tape, &inst);
+        let mut critic = Critic::new(16, 9);
+        let feats = critic.features(&tape, &enc);
+        let before = critic.predict(&feats);
+        let mut adam = smore_nn::Adam::new(1e-2);
+        for _ in 0..50 {
+            critic.accumulate_loss(&feats, 5.0);
+            adam.step(&mut critic.store);
+        }
+        let after = critic.predict(&feats);
+        assert!((after - 5.0).abs() < (before - 5.0).abs(), "critic must move toward target");
+    }
+}

@@ -1,0 +1,390 @@
+//! Episode rollout and REINFORCE-with-critic training (Section IV-F).
+//!
+//! A batch of USMDW instances is sampled, each is rolled out through the
+//! full SMORE loop with TASNet sampling actions, and the policy gradient
+//! `(φ(π) − b(s)) ∇ log p(π)` (Equation 12) is accumulated; the critic is
+//! regressed toward the realized data coverage. The paper found the critic
+//! baseline trains faster than self-critical rollout baselines.
+
+use crate::engine::Engine;
+use crate::policy::{GreedySelection, RatioGreedySelection, SelectionPolicy};
+use crate::tasnet::{Critic, SelectMode, StepLogProbs, Tasnet};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_model::{Instance, Solution};
+use smore_nn::{Adam, Matrix, Tape};
+use smore_tsptw::TsptwSolver;
+
+/// Result of rolling one instance through the SMORE loop with TASNet.
+pub struct Episode {
+    /// The tape holding the whole episode's computation (for backward).
+    pub tape: Tape,
+    /// Per-step log-probabilities (worker pick + task pick).
+    pub logps: Vec<StepLogProbs>,
+    /// Final data coverage `φ(π)`.
+    pub objective: f64,
+    /// The resulting solution.
+    pub solution: Solution,
+    /// Detached critic input features of the initial state.
+    pub summary: Matrix,
+}
+
+/// Rolls `instance` through Algorithm 1 with TASNet making selections.
+///
+/// `greedy = true` takes argmax actions (validation/testing); otherwise
+/// actions are sampled from the predicted distributions (training), per
+/// Section V-B. Returns `None` if the instance admits no initial routes.
+pub fn run_episode(
+    net: &Tasnet,
+    critic: &Critic,
+    instance: &Instance,
+    solver: &dyn TsptwSolver,
+    greedy: bool,
+    rng: &mut SmallRng,
+) -> Option<Episode> {
+    let mut engine = Engine::new(instance, solver)?;
+    let mut tape = Tape::new();
+    let enc = net.encode(&mut tape, instance);
+    let summary = critic.features(&tape, &enc);
+
+    let mut logps = Vec::new();
+    while engine.has_candidates() {
+        let Some(((worker, task), lp)) = net.select(&mut tape, &enc, &engine, greedy, rng)
+        else {
+            break;
+        };
+        logps.push(lp);
+        engine.apply(worker, task);
+    }
+    let objective = engine.state.objective();
+    Some(Episode { tape, logps, objective, solution: engine.state.into_solution(), summary })
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TasnetTrainConfig {
+    /// Imitation warm-up passes: TASNet first clones the greedy selection
+    /// rule (cross-entropy on the teacher's pairs) so REINFORCE starts from
+    /// a competent policy instead of a random one. This is a CPU-budget
+    /// accelerator documented in DESIGN.md §3.8; setting it to 0 recovers
+    /// the paper's from-scratch REINFORCE.
+    pub warmup_epochs: usize,
+    /// REINFORCE passes over the training set.
+    pub epochs: usize,
+    /// Instances per gradient step.
+    pub batch: usize,
+    /// Imitation learning rate.
+    pub lr: f32,
+    /// REINFORCE learning rate (paper: 1e-4; kept below the imitation rate
+    /// so fine-tuning refines rather than destroys the warm start).
+    pub rl_lr: f32,
+    /// Critic learning rate.
+    pub critic_lr: f32,
+}
+
+impl Default for TasnetTrainConfig {
+    fn default() -> Self {
+        Self { warmup_epochs: 2, epochs: 3, batch: 4, lr: 1e-3, rl_lr: 2e-4, critic_lr: 1e-3 }
+    }
+}
+
+/// Per-epoch training curve.
+#[derive(Debug, Clone, Default)]
+pub struct TasnetTrainReport {
+    /// Mean sampled objective per epoch.
+    pub epoch_mean_objective: Vec<f64>,
+    /// Greedy-decode validation objective after warm-up and after each
+    /// REINFORCE epoch (when a validation set was supplied).
+    pub validation_curve: Vec<f64>,
+}
+
+/// Mean greedy-decode objective over a validation set (Section V-B: actions
+/// are argmaxed during validation and testing).
+pub fn validate(
+    net: &Tasnet,
+    critic: &Critic,
+    validation: &[Instance],
+    solver: &dyn TsptwSolver,
+) -> f64 {
+    if validation.is_empty() {
+        return 0.0;
+    }
+    let mut rng = SmallRng::seed_from_u64(0);
+    let total: f64 = validation
+        .iter()
+        .filter_map(|inst| run_episode(net, critic, inst, solver, true, &mut rng))
+        .map(|ep| ep.objective)
+        .sum();
+    total / validation.len() as f64
+}
+
+/// Rolls a heuristic selection policy through the engine, recording the
+/// action sequence and the final objective.
+fn teacher_trajectory(
+    teacher: &mut dyn SelectionPolicy,
+    instance: &Instance,
+    solver: &dyn TsptwSolver,
+) -> Option<(Vec<(smore_model::WorkerId, smore_model::SensingTaskId)>, f64)> {
+    let mut engine = Engine::new(instance, solver)?;
+    let mut actions = Vec::new();
+    while engine.has_candidates() {
+        let Some(pair) = teacher.select(&engine) else { break };
+        actions.push(pair);
+        engine.apply(pair.0, pair.1);
+    }
+    Some((actions, engine.state.objective()))
+}
+
+/// One imitation pass over an instance. The better of the two greedy
+/// teachers (coverage-gain greedy vs coverage-incentive-ratio greedy) is
+/// picked in hindsight and labels every visited state; TASNet is trained to
+/// assign the labels high probability. With `student_rollout` the *student's*
+/// greedy action drives the engine while the teacher still provides the
+/// label (DAgger-style), correcting the compounding state-distribution drift
+/// of plain behaviour cloning. REINFORCE then refines past the teachers.
+fn imitation_episode(
+    net: &Tasnet,
+    instance: &Instance,
+    solver: &dyn TsptwSolver,
+    student_rollout: bool,
+    rng: &mut SmallRng,
+) -> Option<(Tape, Vec<StepLogProbs>)> {
+    let value = teacher_trajectory(&mut GreedySelection, instance, solver)?;
+    let ratio = teacher_trajectory(&mut RatioGreedySelection, instance, solver)?;
+    let mut teacher: Box<dyn SelectionPolicy> = if ratio.1 > value.1 {
+        Box::new(RatioGreedySelection)
+    } else {
+        Box::new(GreedySelection)
+    };
+
+    let mut engine = Engine::new(instance, solver)?;
+    let mut tape = Tape::new();
+    let enc = net.encode(&mut tape, instance);
+    let mut logps = Vec::new();
+    while engine.has_candidates() {
+        let Some(label) = teacher.select(&engine) else { break };
+        let ((w, t), lp) =
+            net.select_with(&mut tape, &enc, &engine, SelectMode::Force(label), rng)?;
+        debug_assert_eq!((w, t), label);
+        logps.push(lp);
+        let action = if student_rollout {
+            // Second pass for the executed action; its log-probs are not
+            // part of the loss.
+            let ((sw, st), _) =
+                net.select_with(&mut tape, &enc, &engine, SelectMode::Greedy, rng)?;
+            (sw, st)
+        } else {
+            label
+        };
+        engine.apply(action.0, action.1);
+    }
+    Some((tape, logps))
+}
+
+/// Trains TASNet (and its critic) on `instances`: optional imitation
+/// warm-up, then REINFORCE with the critic baseline and batch-normalized
+/// advantages. When `validation` is non-empty, the parameters with the best
+/// greedy-decode validation objective are restored at the end (the paper's
+/// train/validation/test protocol).
+pub fn train_tasnet_validated(
+    net: &mut Tasnet,
+    critic: &mut Critic,
+    instances: &[Instance],
+    validation: &[Instance],
+    solver: &dyn TsptwSolver,
+    cfg: &TasnetTrainConfig,
+    seed: u64,
+) -> TasnetTrainReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut policy_adam = Adam::new(cfg.lr);
+    let mut critic_adam = Adam::new(cfg.critic_lr);
+    let mut report = TasnetTrainReport::default();
+    let mut best: Option<(f64, String)> = None;
+    let checkpoint = |net: &Tasnet,
+                          critic: &Critic,
+                          best: &mut Option<(f64, String)>,
+                          report: &mut TasnetTrainReport| {
+        if validation.is_empty() {
+            return;
+        }
+        let score = validate(net, critic, validation, solver);
+        report.validation_curve.push(score);
+        if best.as_ref().is_none_or(|(b, _)| score > *b) {
+            *best = Some((score, net.store.to_json()));
+        }
+    };
+
+    // Stage 1: imitation warm-up toward the greedy selection rule — plain
+    // behaviour cloning first, then DAgger-style student rollouts.
+    for epoch in 0..cfg.warmup_epochs {
+        let student_rollout = epoch >= cfg.warmup_epochs.div_ceil(2);
+        for chunk in instances.chunks(cfg.batch.max(1)) {
+            let mut stepped = false;
+            for instance in chunk {
+                let Some((mut tape, logps)) =
+                    imitation_episode(net, instance, solver, student_rollout, &mut rng)
+                else {
+                    continue;
+                };
+                if logps.is_empty() {
+                    continue;
+                }
+                let vars: Vec<_> = logps.iter().flat_map(|s| [s.worker, s.task]).collect();
+                let n = vars.len() as f32;
+                let cat = tape.concat_cols(&vars);
+                let total = tape.sum_all(cat);
+                // Cross-entropy: maximize the teacher actions' log-likelihood.
+                let loss = tape.scale(total, -1.0 / (n * cfg.batch.max(1) as f32));
+                tape.backward(loss);
+                tape.scatter_grads(&mut net.store);
+                stepped = true;
+            }
+            if stepped {
+                policy_adam.step(&mut net.store);
+            }
+        }
+    }
+    checkpoint(net, critic, &mut best, &mut report);
+
+    // Stage 2: REINFORCE with critic baseline (Equation 12), at the RL
+    // learning rate.
+    policy_adam = Adam::new(cfg.rl_lr);
+    for _epoch in 0..cfg.epochs {
+        let mut epoch_sum = 0.0;
+        let mut epoch_count = 0usize;
+        for chunk in instances.chunks(cfg.batch.max(1)) {
+            let mut episodes = Vec::with_capacity(chunk.len());
+            for instance in chunk {
+                let Some(ep) = run_episode(net, critic, instance, solver, false, &mut rng)
+                else {
+                    continue;
+                };
+                epoch_sum += ep.objective;
+                epoch_count += 1;
+                episodes.push(ep);
+            }
+            if episodes.is_empty() {
+                continue;
+            }
+            // Advantages: objective minus the critic's value, normalized per
+            // batch to stabilize the small-batch policy gradient.
+            let advantages: Vec<f32> = episodes
+                .iter()
+                .map(|ep| ep.objective as f32 - critic.predict(&ep.summary))
+                .collect();
+            let std = {
+                let mean = advantages.iter().sum::<f32>() / advantages.len() as f32;
+                let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
+                    / advantages.len() as f32;
+                var.sqrt().max(1e-3)
+            };
+
+            let mut stepped = false;
+            for (mut ep, adv) in episodes.into_iter().zip(advantages) {
+                critic.accumulate_loss(&ep.summary, ep.objective as f32);
+                let norm_adv = adv / std;
+                if ep.logps.is_empty() || norm_adv.abs() < 1e-6 {
+                    continue;
+                }
+                let vars: Vec<_> = ep.logps.iter().flat_map(|s| [s.worker, s.task]).collect();
+                let cat = ep.tape.concat_cols(&vars);
+                let total = ep.tape.sum_all(cat);
+                let loss = ep.tape.scale(total, -norm_adv / cfg.batch.max(1) as f32);
+                ep.tape.backward(loss);
+                ep.tape.scatter_grads(&mut net.store);
+                stepped = true;
+            }
+            if stepped {
+                policy_adam.step(&mut net.store);
+            }
+            critic_adam.step(&mut critic.store);
+        }
+        report
+            .epoch_mean_objective
+            .push(if epoch_count == 0 { 0.0 } else { epoch_sum / epoch_count as f64 });
+        checkpoint(net, critic, &mut best, &mut report);
+    }
+
+    if let Some((_, params)) = best {
+        let stored = smore_nn::ParamStore::from_json(&params)
+            .expect("checkpointed parameters always parse");
+        net.store.load_values_from(&stored);
+    }
+    report
+}
+
+/// [`train_tasnet_validated`] without a validation set (no model selection).
+pub fn train_tasnet(
+    net: &mut Tasnet,
+    critic: &mut Critic,
+    instances: &[Instance],
+    solver: &dyn TsptwSolver,
+    cfg: &TasnetTrainConfig,
+    seed: u64,
+) -> TasnetTrainReport {
+    train_tasnet_validated(net, critic, instances, &[], solver, cfg, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasnet::TasnetConfig;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    use smore_model::evaluate;
+    use smore_tsptw::InsertionSolver;
+
+    fn setup() -> (Vec<Instance>, Tasnet, Critic) {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 81);
+        let mut rng = SmallRng::seed_from_u64(81);
+        let instances: Vec<Instance> = (0..3).map(|_| g.gen_default(&mut rng)).collect();
+        let grid = &instances[0].lattice.grid;
+        let mut cfg = TasnetConfig::for_grid(grid.rows, grid.cols);
+        cfg.d_model = 16;
+        cfg.heads = 2;
+        cfg.enc_layers = 1;
+        let net = Tasnet::new(cfg, 5);
+        let critic = Critic::new(16, 6);
+        (instances, net, critic)
+    }
+
+    #[test]
+    fn episode_solutions_validate() {
+        let (instances, net, critic) = setup();
+        let solver = InsertionSolver::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ep = run_episode(&net, &critic, &instances[0], &solver, false, &mut rng).unwrap();
+        let stats = evaluate(&instances[0], &ep.solution).unwrap();
+        assert!((stats.objective - ep.objective).abs() < 1e-6, "reported φ must match referee");
+        assert_eq!(ep.logps.len(), stats.completed);
+    }
+
+    #[test]
+    fn greedy_episode_is_deterministic() {
+        let (instances, net, critic) = setup();
+        let solver = InsertionSolver::new();
+        let mut r1 = SmallRng::seed_from_u64(2);
+        let mut r2 = SmallRng::seed_from_u64(99);
+        let a = run_episode(&net, &critic, &instances[0], &solver, true, &mut r1).unwrap();
+        let b = run_episode(&net, &critic, &instances[0], &solver, true, &mut r2).unwrap();
+        assert_eq!(a.solution, b.solution, "greedy decode must not depend on the rng");
+    }
+
+    #[test]
+    fn training_updates_parameters_and_reports_curve() {
+        let (instances, mut net, mut critic) = setup();
+        let solver = InsertionSolver::new();
+        let before = net.store.to_json();
+        let cfg = TasnetTrainConfig {
+            warmup_epochs: 1,
+            epochs: 2,
+            batch: 2,
+            lr: 1e-3,
+            rl_lr: 2e-4,
+            critic_lr: 1e-3,
+        };
+        let report = train_tasnet(&mut net, &mut critic, &instances, &solver, &cfg, 3);
+        assert_eq!(report.epoch_mean_objective.len(), 2);
+        assert!(report.epoch_mean_objective.iter().all(|o| o.is_finite() && *o >= 0.0));
+        assert_ne!(before, net.store.to_json(), "training must move the parameters");
+    }
+}

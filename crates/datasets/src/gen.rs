@@ -1,0 +1,323 @@
+//! Seeded instance generation.
+//!
+//! * **Couriers** (Delivery, LaDe): each courier serves a contiguous
+//!   neighbourhood — travel tasks are drawn from a Gaussian around one of a
+//!   few depot-side hotspots, origins near the region edge (the station).
+//! * **Tourists** (Tourism): travel tasks are sampled from a popularity-
+//!   weighted set of attraction hotspots; origins/destinations are hotels
+//!   near the region boundary.
+//!
+//! Per-worker travel-task counts are drawn right-skewed (squared-uniform)
+//! to match the long-tailed distributions of Figure 4, and each worker's
+//! `t_e^max` is set from their actual TSP base route times a slack factor,
+//! so every generated worker is feasible by construction.
+
+use crate::spec::{DatasetKind, DatasetSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smore_geo::{Point, TravelTimeModel};
+use smore_model::{tsp, Instance, SensingLattice, TravelTask, Worker};
+
+/// Length of the nearest-neighbour path `start → stops… → end` (the
+/// initialization rule baselines use; see `DatasetSpec::time_slack`).
+fn nn_route_length(start: &Point, end: &Point, stops: &[Point]) -> f64 {
+    let mut used = vec![false; stops.len()];
+    let mut at = *start;
+    let mut len = 0.0;
+    for _ in 0..stops.len() {
+        let (next, _) = stops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(i, p)| (i, at.distance_sq(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("an unused stop must remain");
+        used[next] = true;
+        len += at.distance(&stops[next]);
+        at = stops[next];
+    }
+    len + at.distance(end)
+}
+
+/// A train/validation/test split of generated instances.
+#[derive(Debug, Clone)]
+pub struct InstanceSplit {
+    /// Training instances.
+    pub train: Vec<Instance>,
+    /// Validation instances.
+    pub validation: Vec<Instance>,
+    /// Test instances.
+    pub test: Vec<Instance>,
+}
+
+/// Deterministic instance generator for a [`DatasetSpec`].
+#[derive(Debug, Clone)]
+pub struct InstanceGenerator {
+    spec: DatasetSpec,
+    hotspots: Vec<Point>,
+    /// Popularity weights over hotspots (tourists prefer famous POIs).
+    weights: Vec<f64>,
+}
+
+impl InstanceGenerator {
+    /// Creates a generator; hotspot layout is derived from `seed`.
+    pub fn new(spec: DatasetSpec, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let hotspots = (0..spec.hotspots)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.1..0.9) * spec.region_width,
+                    rng.gen_range(0.1..0.9) * spec.region_height,
+                )
+            })
+            .collect();
+        // Zipf-ish popularity: weight ∝ 1/(rank+1).
+        let weights = (0..spec.hotspots).map(|i| 1.0 / (i + 1) as f64).collect();
+        Self { spec, hotspots, weights }
+    }
+
+    /// The spec this generator draws from.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    fn sample_hotspot(&self, rng: &mut SmallRng) -> Point {
+        let total: f64 = self.weights.iter().sum();
+        let mut target = rng.gen_range(0.0..total);
+        for (h, &w) in self.hotspots.iter().zip(&self.weights) {
+            if target < w {
+                return *h;
+            }
+            target -= w;
+        }
+        *self.hotspots.last().expect("at least one hotspot")
+    }
+
+    fn gaussian(&self, rng: &mut SmallRng, center: Point, sigma: f64) -> Point {
+        // Box–Muller; clamp into the region.
+        let u1: f64 = rng.gen_range(1e-9..1.0);
+        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = (-2.0 * u1.ln()).sqrt() * sigma;
+        Point::new(
+            (center.x + r * u2.cos()).clamp(0.0, self.spec.region_width),
+            (center.y + r * u2.sin()).clamp(0.0, self.spec.region_height),
+        )
+    }
+
+    fn edge_point(&self, rng: &mut SmallRng) -> Point {
+        // A point near the region boundary (station / hotel / metro).
+        let margin_x = self.spec.region_width * 0.08;
+        let margin_y = self.spec.region_height * 0.08;
+        match rng.gen_range(0..4) {
+            0 => Point::new(rng.gen_range(0.0..self.spec.region_width), rng.gen_range(0.0..margin_y)),
+            1 => Point::new(
+                rng.gen_range(0.0..self.spec.region_width),
+                rng.gen_range(self.spec.region_height - margin_y..self.spec.region_height),
+            ),
+            2 => Point::new(rng.gen_range(0.0..margin_x), rng.gen_range(0.0..self.spec.region_height)),
+            _ => Point::new(
+                rng.gen_range(self.spec.region_width - margin_x..self.spec.region_width),
+                rng.gen_range(0.0..self.spec.region_height),
+            ),
+        }
+    }
+
+    /// Right-skewed draw in `[lo, hi]`: squaring a uniform biases low counts,
+    /// giving the long-tailed shapes of Figure 4.
+    fn skewed_count(&self, rng: &mut SmallRng, lo: usize, hi: usize) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        lo + ((hi - lo) as f64 * u * u).round() as usize
+    }
+
+    fn gen_worker(&self, rng: &mut SmallRng) -> Worker {
+        let spec = &self.spec;
+        let (lo, hi) = spec.travel_tasks_per_worker;
+        let n_tasks = self.skewed_count(rng, lo, hi);
+        let sigma = spec.region_width.min(spec.region_height) * 0.12;
+
+        let (origin, destination, tasks) = match spec.kind {
+            DatasetKind::Delivery | DatasetKind::LaDe => {
+                // Courier: departs the station, serves one neighbourhood,
+                // returns to the station.
+                let station = self.edge_point(rng);
+                let zone = self.sample_hotspot(rng);
+                let tasks: Vec<TravelTask> = (0..n_tasks)
+                    .map(|_| TravelTask::new(self.gaussian(rng, zone, sigma), spec.travel_service))
+                    .collect();
+                (station, station, tasks)
+            }
+            DatasetKind::Tourism => {
+                // Tourist: hotel to hotel via popularity-weighted POIs.
+                let hotel = self.edge_point(rng);
+                let out = self.edge_point(rng);
+                let tasks: Vec<TravelTask> = (0..n_tasks)
+                    .map(|_| {
+                        let poi = self.sample_hotspot(rng);
+                        TravelTask::new(self.gaussian(rng, poi, sigma * 0.4), spec.travel_service)
+                    })
+                    .collect();
+                (hotel, out, tasks)
+            }
+        };
+
+        // Time range: departure in the first third of the horizon, latest
+        // arrival from the actual base route time plus slack. The floor uses
+        // the *nearest-neighbour* route time (not just the TSP optimum) so
+        // baselines that initialize with the NN rule stay feasible too.
+        let travel = TravelTimeModel::new(spec.speed);
+        let stops: Vec<Point> = tasks.iter().map(|t| t.loc).collect();
+        let (_, base_dist) = tsp::solve_open_tsp(&origin, &destination, &stops);
+        let service: f64 = tasks.iter().map(|t| t.service).sum();
+        let base_time = base_dist / travel.speed + service;
+        let nn_time = nn_route_length(&origin, &destination, &stops) / travel.speed + service;
+        let slack = rng.gen_range(spec.time_slack.0..spec.time_slack.1);
+        let depart = rng.gen_range(0.0..(spec.horizon / 3.0).max(1.0));
+        // The worker's own trip may extend past the sensing horizon (sensing
+        // windows bound what can be *sensed*, not when the trip ends); the
+        // floor guarantees baselines starting from NN routes stay feasible.
+        let latest = (depart + base_time * slack).max(depart + nn_time * 1.05 + 1.0);
+        Worker::new(origin, destination, depart, latest, tasks)
+    }
+
+    /// Generates one instance with the given sensing window length, budget,
+    /// incentive rate, and coverage weight `alpha`.
+    pub fn gen_instance(
+        &self,
+        rng: &mut SmallRng,
+        window_len: f64,
+        budget: f64,
+        mu: f64,
+        alpha: f64,
+    ) -> Instance {
+        let spec = &self.spec;
+        let (lo, hi) = spec.workers_per_instance;
+        let n_workers = rng.gen_range(lo..=hi);
+        let workers = (0..n_workers).map(|_| self.gen_worker(rng)).collect();
+        let lattice = SensingLattice {
+            grid: spec.grid(),
+            horizon: spec.horizon,
+            window_len,
+            service: spec.sensing_service,
+        };
+        Instance::from_lattice(
+            workers,
+            lattice,
+            budget,
+            mu,
+            TravelTimeModel::new(spec.speed),
+            alpha,
+        )
+    }
+
+    /// Generates one instance with the paper's default knobs
+    /// (window 30 min unless the spec overrides, budget 300, `μ = 1`,
+    /// `α = 0.5`).
+    pub fn gen_default(&self, rng: &mut SmallRng) -> Instance {
+        self.gen_instance(rng, self.spec.window_len, 300.0, 1.0, 0.5)
+    }
+
+    /// Generates the full train/validation/test split deterministically.
+    pub fn gen_split(&self, seed: u64) -> InstanceSplit {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (n_train, n_val, n_test) = self.spec.split;
+        let mut draw = |n: usize| (0..n).map(|_| self.gen_default(&mut rng)).collect();
+        InstanceSplit { train: draw(n_train), validation: draw(n_val), test: draw(n_test) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scale;
+    use smore_model::{evaluate, Route, Solution, Stop};
+
+    fn generator(kind: DatasetKind) -> InstanceGenerator {
+        InstanceGenerator::new(DatasetSpec::of(kind, Scale::Small), 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for kind in DatasetKind::all() {
+            let g = generator(kind);
+            let mut r1 = SmallRng::seed_from_u64(1);
+            let mut r2 = SmallRng::seed_from_u64(1);
+            let a = g.gen_default(&mut r1);
+            let b = g.gen_default(&mut r2);
+            assert_eq!(a.n_workers(), b.n_workers());
+            assert_eq!(a.base_rtt, b.base_rtt);
+        }
+    }
+
+    #[test]
+    fn every_generated_worker_is_feasible() {
+        for kind in DatasetKind::all() {
+            let g = generator(kind);
+            let mut rng = SmallRng::seed_from_u64(2);
+            for _ in 0..5 {
+                let inst = g.gen_default(&mut rng);
+                // TSP-order mandatory routes must validate for all workers.
+                let routes = inst
+                    .workers
+                    .iter()
+                    .map(|w| {
+                        let stops: Vec<Point> = w.travel_tasks.iter().map(|t| t.loc).collect();
+                        let (order, _) = tsp::solve_open_tsp(&w.origin, &w.destination, &stops);
+                        Route::new(order.into_iter().map(Stop::Travel).collect())
+                    })
+                    .collect();
+                let stats = evaluate(&inst, &Solution { routes }).unwrap();
+                assert_eq!(stats.completed, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tourists_end_elsewhere_couriers_return() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let delivery = generator(DatasetKind::Delivery).gen_default(&mut rng);
+        for w in &delivery.workers {
+            assert_eq!(w.origin, w.destination, "couriers return to the station");
+        }
+    }
+
+    #[test]
+    fn split_sizes_match_spec() {
+        let g = generator(DatasetKind::Tourism);
+        let split = g.gen_split(11);
+        let (tr, va, te) = g.spec().split;
+        assert_eq!(split.train.len(), tr);
+        assert_eq!(split.validation.len(), va);
+        assert_eq!(split.test.len(), te);
+    }
+
+    #[test]
+    fn travel_task_counts_respect_bounds() {
+        for kind in DatasetKind::all() {
+            let g = generator(kind);
+            let (lo, hi) = g.spec().travel_tasks_per_worker;
+            let mut rng = SmallRng::seed_from_u64(4);
+            for _ in 0..3 {
+                let inst = g.gen_default(&mut rng);
+                for w in &inst.workers {
+                    assert!((lo..=hi).contains(&w.travel_tasks.len()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_locations_inside_region() {
+        for kind in DatasetKind::all() {
+            let g = generator(kind);
+            let grid = g.spec().grid();
+            let mut rng = SmallRng::seed_from_u64(5);
+            let inst = g.gen_default(&mut rng);
+            for w in &inst.workers {
+                assert!(grid.contains(&w.origin) && grid.contains(&w.destination));
+                for t in &w.travel_tasks {
+                    assert!(grid.contains(&t.loc));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded synthetic dataset generators standing in for the SMORE paper's
+//! three evaluation datasets (Delivery / Tourism / LaDe).
+//!
+//! The real datasets are proprietary (JD Logistics, Cainiao) or API-gated
+//! (Flickr). Per the substitution policy in `DESIGN.md` §3.2, this crate
+//! generates instances whose externally visible statistics match the
+//! paper's setup: region extents and grids, sensing spans, service times,
+//! movement speed, worker-count ranges, and the right-skewed travel-task
+//! distributions of Figure 4.
+//!
+//! * [`DatasetSpec`] / [`DatasetKind`] / [`Scale`] — parameterizations.
+//! * [`InstanceGenerator`] / [`InstanceSplit`] — deterministic generation.
+//! * [`DatasetStats`] / [`Histogram`] — the statistics behind Figure 4.
+
+#![warn(missing_docs)]
+
+mod gen;
+mod spec;
+mod stats;
+
+pub use gen::{InstanceGenerator, InstanceSplit};
+pub use spec::{DatasetKind, DatasetSpec, Scale};
+pub use stats::{DatasetStats, Histogram};

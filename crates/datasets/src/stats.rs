@@ -1,0 +1,112 @@
+//! Distribution statistics over generated instances — the data behind
+//! Figure 4 ("Data Distributions": number of travel tasks per worker and
+//! number of workers per instance, per dataset).
+
+use serde::{Deserialize, Serialize};
+use smore_model::Instance;
+
+/// A simple integer histogram.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `counts[v]` = number of observations equal to `v`.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Mean of the observations.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts.iter().enumerate().map(|(v, &c)| v * c).sum::<usize>() as f64 / total as f64
+    }
+
+    /// The largest observed value.
+    pub fn max(&self) -> usize {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+
+    /// Renders an ASCII bar chart (one row per value with observations).
+    pub fn render(&self, label: &str) -> String {
+        let mut out = String::new();
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        out.push_str(&format!("{label} (n={}, mean={:.2})\n", self.total(), self.mean()));
+        for (v, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat((c * 40).div_ceil(peak));
+            out.push_str(&format!("{v:>4} | {bar} {c}\n"));
+        }
+        out
+    }
+}
+
+/// Figure-4 statistics for a collection of instances.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Distribution of the number of travel tasks per worker.
+    pub travel_tasks_per_worker: Histogram,
+    /// Distribution of the number of workers per instance.
+    pub workers_per_instance: Histogram,
+}
+
+impl DatasetStats {
+    /// Computes the statistics over `instances`.
+    pub fn collect(instances: &[Instance]) -> Self {
+        let mut stats = DatasetStats::default();
+        for inst in instances {
+            stats.workers_per_instance.record(inst.n_workers());
+            for w in &inst.workers {
+                stats.travel_tasks_per_worker.record(w.travel_tasks.len());
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::InstanceGenerator;
+    use crate::spec::{DatasetKind, DatasetSpec, Scale};
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let mut h = Histogram::default();
+        for v in [1, 2, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert!((h.mean() - 14.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.max(), 3);
+        let rendered = h.render("test");
+        assert!(rendered.contains("   3 | "));
+    }
+
+    #[test]
+    fn collected_stats_are_right_skewed() {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 3);
+        let split = g.gen_split(3);
+        let stats = DatasetStats::collect(&split.train);
+        let h = &stats.travel_tasks_per_worker;
+        assert!(h.total() > 0);
+        // Right-skew: the mean sits in the lower half of the observed range.
+        let (lo, hi) = g.spec().travel_tasks_per_worker;
+        assert!(h.mean() < (lo + hi) as f64 / 2.0 + 1.0, "mean {} not skewed", h.mean());
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated instance is internally consistent: workers inside the
+    /// region, feasible time ranges, tasks covering the full lattice.
+    #[test]
+    fn instances_are_well_formed(
+        seed in 0u64..10_000,
+        kind in prop::sample::select(vec![DatasetKind::Delivery, DatasetKind::Tourism, DatasetKind::LaDe]),
+        budget in 50.0f64..500.0,
+        window in prop::sample::select(vec![30.0f64, 60.0]),
+    ) {
+        let spec = DatasetSpec::of(kind, Scale::Small);
+        let generator = InstanceGenerator::new(spec.clone(), seed);
+        let inst = generator.gen_instance(&mut SmallRng::seed_from_u64(seed), window, budget, 1.0, 0.5);
+
+        prop_assert_eq!(inst.budget, budget);
+        let slots = ((spec.horizon / window).floor() as usize).max(1);
+        prop_assert_eq!(inst.n_tasks(), spec.grid_rows * spec.grid_cols * slots);
+
+        let grid = spec.grid();
+        for (w, worker) in inst.workers.iter().enumerate() {
+            prop_assert!(grid.contains(&worker.origin));
+            prop_assert!(grid.contains(&worker.destination));
+            prop_assert!(worker.earliest_departure < worker.latest_arrival);
+            // The reference route must fit in the worker's time range.
+            prop_assert!(
+                inst.base_rtt[w] <= worker.time_budget() + 1e-6,
+                "worker {w}: base rtt {} exceeds time budget {}",
+                inst.base_rtt[w],
+                worker.time_budget()
+            );
+        }
+    }
+
+    /// Same seed ⇒ identical instances; different seeds ⇒ different layouts.
+    #[test]
+    fn seeding_controls_generation(seed in 0u64..10_000) {
+        let spec = DatasetSpec::of(DatasetKind::Delivery, Scale::Small);
+        let g1 = InstanceGenerator::new(spec.clone(), seed);
+        let g2 = InstanceGenerator::new(spec, seed);
+        let a = g1.gen_default(&mut SmallRng::seed_from_u64(5));
+        let b = g2.gen_default(&mut SmallRng::seed_from_u64(5));
+        prop_assert_eq!(a.base_rtt, b.base_rtt);
+        prop_assert_eq!(a.workers.len(), b.workers.len());
+    }
+}

@@ -1,0 +1,431 @@
+//! Hierarchical entropy-based data coverage (Definition 4).
+//!
+//! The paper adopts the metric of Ji, Zheng & Li (UbiComp'16):
+//!
+//! ```text
+//! φ(S') = α · E(S') + (1 − α) · log2 |S'|
+//! ```
+//!
+//! where `S'` is the set of completed sensing tasks and `E(S')` measures the
+//! spatio-temporal balance of the completed tasks through a *hierarchical
+//! entropy*. The paper does not restate `E`, so we reconstruct it (documented
+//! in `DESIGN.md` §3.3) as the **mean**, over a coarse-to-fine pyramid of
+//! spatio-temporal partitions, of the Shannon entropy of the distribution of
+//! completed tasks across the cells of each partition level:
+//!
+//! ```text
+//! E(S') = (1/L) Σ_ℓ H_ℓ(S'),    H_ℓ = −Σ_i p_i log2 p_i
+//! ```
+//!
+//! Each level halves the resolution of the previous one, starting from the
+//! full sensing-task grid and stopping before the trivial single-cell level.
+//! The mean (rather than a sum) keeps `φ` in the 4–7 range the paper reports.
+//!
+//! Two properties of the metric shape the algorithms built on top of it:
+//!
+//! * **Dynamic task values** — the marginal gain of completing a sensing task
+//!   depends on which tasks were already completed, so task values are
+//!   interdependent (the paper's third challenge).
+//! * **Diminishing returns in |S'|** — `log2` saturates, explaining the
+//!   narrowing gaps in Table II at higher budgets.
+//!
+//! [`CoverageTracker`] maintains the metric incrementally: `add`, `remove`
+//! and hypothetical `gain` queries are all `O(levels)` via the identity
+//! `H = log2 n − (Σ_i c_i log2 c_i)/n`.
+
+use serde::{Deserialize, Serialize};
+
+/// A spatio-temporal resolution: a spatial grid crossed with temporal slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StResolution {
+    /// Number of spatial rows.
+    pub rows: usize,
+    /// Number of spatial columns.
+    pub cols: usize,
+    /// Number of temporal slots.
+    pub slots: usize,
+}
+
+impl StResolution {
+    /// Creates a resolution; all dimensions must be non-zero.
+    pub fn new(rows: usize, cols: usize, slots: usize) -> Self {
+        assert!(rows > 0 && cols > 0 && slots > 0, "resolution dims must be non-zero");
+        Self { rows, cols, slots }
+    }
+
+    /// Total number of spatio-temporal cells.
+    pub fn cell_count(&self) -> usize {
+        self.rows * self.cols * self.slots
+    }
+
+    /// Halves every dimension (ceiling division), the pyramid step.
+    fn coarsen(&self) -> StResolution {
+        StResolution {
+            rows: self.rows.div_ceil(2),
+            cols: self.cols.div_ceil(2),
+            slots: self.slots.div_ceil(2),
+        }
+    }
+
+    fn is_trivial(&self) -> bool {
+        self.rows == 1 && self.cols == 1 && self.slots == 1
+    }
+}
+
+/// A cell at the *base* (finest) resolution: the identity of one sensing task
+/// in the uniformly created task lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StCell {
+    /// Spatial row at the base resolution.
+    pub row: usize,
+    /// Spatial column at the base resolution.
+    pub col: usize,
+    /// Temporal slot at the base resolution.
+    pub slot: usize,
+}
+
+/// Configuration of the hierarchical entropy-based data coverage metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageConfig {
+    /// Trade-off between balance (`E`) and quantity (`log2 |S'|`); the paper
+    /// defaults to 0.5 and sweeps {0.2, 0.5, 0.8} in Table III.
+    pub alpha: f64,
+    /// The finest resolution — one cell per sensing task in the lattice.
+    pub base: StResolution,
+    /// Pyramid levels, finest first; always includes `base`.
+    pub levels: Vec<StResolution>,
+}
+
+impl CoverageConfig {
+    /// Builds the default halving pyramid on top of `base`: `base`, then each
+    /// dimension halved repeatedly, stopping before the trivial 1×1×1 level.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn new(alpha: f64, base: StResolution) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1], got {alpha}");
+        let mut levels = vec![base];
+        let mut cur = base;
+        loop {
+            let next = cur.coarsen();
+            if next.is_trivial() || next == cur {
+                break;
+            }
+            levels.push(next);
+            cur = next;
+        }
+        Self { alpha, base, levels }
+    }
+
+    /// Builds a configuration with explicit pyramid levels (finest first).
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `[0, 1]` or `levels` is empty.
+    pub fn with_levels(alpha: f64, base: StResolution, levels: Vec<StResolution>) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1], got {alpha}");
+        assert!(!levels.is_empty(), "at least one pyramid level is required");
+        Self { alpha, base, levels }
+    }
+
+    /// Returns a copy with a different `alpha` (used by the Table III sweep).
+    pub fn with_alpha(&self, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1], got {alpha}");
+        Self { alpha, ..self.clone() }
+    }
+
+    /// Projects a base-resolution cell to its linear index at pyramid level `l`.
+    fn project(&self, cell: StCell, l: usize) -> usize {
+        let lv = &self.levels[l];
+        debug_assert!(
+            cell.row < self.base.rows && cell.col < self.base.cols && cell.slot < self.base.slots,
+            "cell {cell:?} outside base resolution {:?}",
+            self.base
+        );
+        let r = cell.row * lv.rows / self.base.rows;
+        let c = cell.col * lv.cols / self.base.cols;
+        let t = cell.slot * lv.slots / self.base.slots;
+        (r * lv.cols + c) * lv.slots + t
+    }
+}
+
+/// Incrementally maintained hierarchical entropy-based data coverage.
+///
+/// Cloning a tracker clones its per-level histograms (a few KiB for paper-
+/// scale instances), which lets search algorithms such as simulated annealing
+/// snapshot and roll back coverage state cheaply.
+#[derive(Debug, Clone)]
+pub struct CoverageTracker {
+    cfg: CoverageConfig,
+    /// Per-level histogram of completed tasks over that level's cells.
+    counts: Vec<Vec<u32>>,
+    /// Per-level running `Σ_i c_i·log2(c_i)`.
+    sum_clog: Vec<f64>,
+    /// Number of completed tasks `|S'|`.
+    n: usize,
+}
+
+fn clog(c: u32) -> f64 {
+    if c <= 1 {
+        0.0
+    } else {
+        let c = c as f64;
+        c * c.log2()
+    }
+}
+
+impl CoverageTracker {
+    /// Creates an empty tracker (`S' = ∅`, `φ = 0`).
+    pub fn new(cfg: CoverageConfig) -> Self {
+        let counts = cfg.levels.iter().map(|lv| vec![0u32; lv.cell_count()]).collect();
+        let sum_clog = vec![0.0; cfg.levels.len()];
+        Self { cfg, counts, sum_clog, n: 0 }
+    }
+
+    /// The metric configuration.
+    pub fn config(&self) -> &CoverageConfig {
+        &self.cfg
+    }
+
+    /// Number of completed tasks currently tracked.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no task has been completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Records completion of the sensing task in `cell`.
+    pub fn add(&mut self, cell: StCell) {
+        for l in 0..self.cfg.levels.len() {
+            let idx = self.cfg.project(cell, l);
+            let c = &mut self.counts[l][idx];
+            self.sum_clog[l] += clog(*c + 1) - clog(*c);
+            *c += 1;
+        }
+        self.n += 1;
+    }
+
+    /// Reverts a completion previously recorded with [`CoverageTracker::add`].
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the cell has no recorded completion.
+    pub fn remove(&mut self, cell: StCell) {
+        debug_assert!(self.n > 0, "remove from empty tracker");
+        for l in 0..self.cfg.levels.len() {
+            let idx = self.cfg.project(cell, l);
+            let c = &mut self.counts[l][idx];
+            debug_assert!(*c > 0, "remove of cell {cell:?} that was never added");
+            self.sum_clog[l] += clog(*c - 1) - clog(*c);
+            *c -= 1;
+        }
+        self.n -= 1;
+    }
+
+    /// Current coverage value `φ(S')`; zero for the empty set.
+    pub fn value(&self) -> f64 {
+        self.value_of(self.n, &self.sum_clog)
+    }
+
+    /// Marginal gain `φ(S' ∪ {cell}) − φ(S')` *without* mutating the tracker.
+    ///
+    /// This is the reward `r_t` of the MDP (Section IV-A) and the `Δφ`
+    /// heuristic signal fed to TASNet's task decoder; it runs in `O(levels)`.
+    pub fn gain(&self, cell: StCell) -> f64 {
+        let mut sum_clog = [0.0f64; 8];
+        let levels = self.cfg.levels.len();
+        debug_assert!(levels <= 8, "more than 8 pyramid levels are not expected");
+        for (l, slot) in sum_clog.iter_mut().enumerate().take(levels) {
+            let idx = self.cfg.project(cell, l);
+            let c = self.counts[l][idx];
+            *slot = self.sum_clog[l] + clog(c + 1) - clog(c);
+        }
+        self.value_of(self.n + 1, &sum_clog[..levels]) - self.value()
+    }
+
+    /// Removes all completions.
+    pub fn clear(&mut self) {
+        for hist in &mut self.counts {
+            hist.fill(0);
+        }
+        self.sum_clog.fill(0.0);
+        self.n = 0;
+    }
+
+    /// The hierarchical entropy `E(S')` alone (the balance component of `φ`).
+    pub fn entropy(&self) -> f64 {
+        self.entropy_of(self.n, &self.sum_clog)
+    }
+
+    fn entropy_of(&self, n: usize, sum_clog: &[f64]) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let log_n = nf.log2();
+        let total: f64 = sum_clog.iter().map(|s| (log_n - s / nf).max(0.0)).sum();
+        total / self.cfg.levels.len() as f64
+    }
+
+    fn value_of(&self, n: usize, sum_clog: &[f64]) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let e = self.entropy_of(n, sum_clog);
+        self.cfg.alpha * e + (1.0 - self.cfg.alpha) * (n as f64).log2()
+    }
+}
+
+/// Computes `φ` for an explicit task set from scratch (reference
+/// implementation used for testing and one-shot evaluations).
+pub fn coverage_of(cfg: &CoverageConfig, cells: &[StCell]) -> f64 {
+    let mut tracker = CoverageTracker::new(cfg.clone());
+    for &c in cells {
+        tracker.add(c);
+    }
+    tracker.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(alpha: f64) -> CoverageConfig {
+        CoverageConfig::new(alpha, StResolution::new(4, 4, 4))
+    }
+
+    #[test]
+    fn pyramid_levels_halve_until_trivial() {
+        let c = cfg(0.5);
+        let dims: Vec<_> = c.levels.iter().map(|l| (l.rows, l.cols, l.slots)).collect();
+        assert_eq!(dims, vec![(4, 4, 4), (2, 2, 2)]);
+        let c = CoverageConfig::new(0.5, StResolution::new(12, 10, 8));
+        let dims: Vec<_> = c.levels.iter().map(|l| (l.rows, l.cols, l.slots)).collect();
+        assert_eq!(dims, vec![(12, 10, 8), (6, 5, 4), (3, 3, 2), (2, 2, 1)]);
+    }
+
+    #[test]
+    fn empty_set_has_zero_coverage() {
+        let t = CoverageTracker::new(cfg(0.5));
+        assert_eq!(t.value(), 0.0);
+        assert_eq!(t.entropy(), 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_task_has_zero_coverage() {
+        // H = 0 (a point mass) and log2(1) = 0.
+        let mut t = CoverageTracker::new(cfg(0.5));
+        t.add(StCell { row: 0, col: 0, slot: 0 });
+        assert!(t.value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_reduces_to_log_count() {
+        // Lemma 1 sets alpha = 0 so φ = log2 |S'| — the OP reduction relies on this.
+        let mut t = CoverageTracker::new(cfg(0.0));
+        for i in 0..8 {
+            t.add(StCell { row: i % 4, col: (i / 2) % 4, slot: 0 });
+        }
+        assert!((t.value() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_beats_clustered_at_equal_count() {
+        let base = cfg(1.0); // pure balance
+        let mut clustered = CoverageTracker::new(base.clone());
+        let mut spread = CoverageTracker::new(base);
+        for i in 0..8 {
+            clustered.add(StCell { row: 0, col: 0, slot: 0 });
+            spread.add(StCell { row: i % 4, col: (i / 4) % 4, slot: (i / 2) % 4 });
+        }
+        assert!(spread.value() > clustered.value());
+        assert!(clustered.value().abs() < 1e-12, "point mass has zero entropy");
+    }
+
+    #[test]
+    fn perfectly_uniform_fills_reach_max_entropy_per_level() {
+        // Fill every base cell once: each level's histogram is uniform, so
+        // H_l = log2(cells_l) and E is the mean of the level capacities.
+        let c = cfg(1.0);
+        let mut t = CoverageTracker::new(c.clone());
+        for row in 0..4 {
+            for col in 0..4 {
+                for slot in 0..4 {
+                    t.add(StCell { row, col, slot });
+                }
+            }
+        }
+        let expect = (64f64.log2() + 8f64.log2()) / 2.0;
+        assert!((t.entropy() - expect).abs() < 1e-9, "{} vs {expect}", t.entropy());
+    }
+
+    #[test]
+    fn gain_matches_recompute() {
+        let c = cfg(0.5);
+        let mut t = CoverageTracker::new(c.clone());
+        let mut added = Vec::new();
+        for i in 0..10 {
+            let cell = StCell { row: (i * 3) % 4, col: (i * 7) % 4, slot: i % 4 };
+            let predicted = t.gain(cell);
+            let before = t.value();
+            t.add(cell);
+            added.push(cell);
+            assert!(
+                (t.value() - before - predicted).abs() < 1e-9,
+                "gain mismatch at step {i}"
+            );
+            assert!((coverage_of(&c, &added) - t.value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn add_then_remove_roundtrips() {
+        let mut t = CoverageTracker::new(cfg(0.5));
+        let cells = [
+            StCell { row: 0, col: 1, slot: 2 },
+            StCell { row: 3, col: 3, slot: 0 },
+            StCell { row: 0, col: 1, slot: 2 },
+        ];
+        for &c in &cells {
+            t.add(c);
+        }
+        let v = t.value();
+        t.add(StCell { row: 2, col: 2, slot: 2 });
+        t.remove(StCell { row: 2, col: 2, slot: 2 });
+        assert!((t.value() - v).abs() < 1e-9);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn clear_resets_to_empty() {
+        let mut t = CoverageTracker::new(cfg(0.5));
+        t.add(StCell { row: 1, col: 1, slot: 1 });
+        t.clear();
+        assert_eq!(t.value(), 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn diminishing_returns_in_count() {
+        // With alpha = 0, marginal gains log2(n+1) - log2(n) strictly shrink —
+        // the effect the paper cites to explain the narrowing budget gaps.
+        let mut t = CoverageTracker::new(cfg(0.0));
+        t.add(StCell { row: 0, col: 0, slot: 0 }); // φ({s}) = 0; gains shrink from here on
+        let mut last_gain = f64::INFINITY;
+        for i in 1..20 {
+            let cell = StCell { row: i % 4, col: (i / 4) % 4, slot: 0 };
+            let g = t.gain(cell);
+            assert!(g < last_gain, "gain should shrink: step {i}: {g} !< {last_gain}");
+            last_gain = g;
+            t.add(cell);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1]")]
+    fn invalid_alpha_rejected() {
+        cfg(1.5);
+    }
+}

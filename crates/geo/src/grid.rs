@@ -1,0 +1,167 @@
+//! Uniform spatial grids over a rectangular region of interest.
+//!
+//! The paper partitions each study region into a uniform grid (10×12 for
+//! Delivery, 10×10 for Tourism and LaDe) both to *create* sensing tasks
+//! (one per spatio-temporal cell) and to *encode* workers (the travel-
+//! information matrix fed to TASNet's convolutional worker encoder).
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A cell index in a [`GridSpec`], row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cell {
+    /// Row index, `0..rows`, counted from the south edge.
+    pub row: usize,
+    /// Column index, `0..cols`, counted from the west edge.
+    pub col: usize,
+}
+
+/// A uniform grid over an axis-aligned rectangular region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// South-west corner of the region.
+    pub origin: Point,
+    /// Region width in meters (east-west extent).
+    pub width: f64,
+    /// Region height in meters (north-south extent).
+    pub height: f64,
+    /// Number of rows (north-south subdivisions).
+    pub rows: usize,
+    /// Number of columns (east-west subdivisions).
+    pub cols: usize,
+}
+
+impl GridSpec {
+    /// Creates a grid over `[origin.x, origin.x + width] × [origin.y, origin.y + height]`.
+    ///
+    /// # Panics
+    /// Panics if the extent is not positive or either dimension is zero.
+    pub fn new(origin: Point, width: f64, height: f64, rows: usize, cols: usize) -> Self {
+        assert!(width > 0.0 && height > 0.0, "region extent must be positive");
+        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+        Self { origin, width, height, rows, cols }
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Cell width in meters.
+    pub fn cell_width(&self) -> f64 {
+        self.width / self.cols as f64
+    }
+
+    /// Cell height in meters.
+    pub fn cell_height(&self) -> f64 {
+        self.height / self.rows as f64
+    }
+
+    /// The cell containing `p`. Points outside the region are clamped to the
+    /// nearest border cell, so every point maps to a valid cell.
+    pub fn cell_of(&self, p: &Point) -> Cell {
+        let fx = (p.x - self.origin.x) / self.cell_width();
+        let fy = (p.y - self.origin.y) / self.cell_height();
+        let col = (fx.floor().max(0.0) as usize).min(self.cols - 1);
+        let row = (fy.floor().max(0.0) as usize).min(self.rows - 1);
+        Cell { row, col }
+    }
+
+    /// Row-major linear index of `cell`.
+    pub fn linear_index(&self, cell: Cell) -> usize {
+        debug_assert!(cell.row < self.rows && cell.col < self.cols);
+        cell.row * self.cols + cell.col
+    }
+
+    /// Inverse of [`GridSpec::linear_index`].
+    pub fn cell_from_index(&self, index: usize) -> Cell {
+        debug_assert!(index < self.cell_count());
+        Cell { row: index / self.cols, col: index % self.cols }
+    }
+
+    /// Geometric center of `cell`.
+    pub fn cell_center(&self, cell: Cell) -> Point {
+        Point::new(
+            self.origin.x + (cell.col as f64 + 0.5) * self.cell_width(),
+            self.origin.y + (cell.row as f64 + 0.5) * self.cell_height(),
+        )
+    }
+
+    /// Whether `p` lies inside the region (borders inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.origin.x
+            && p.x <= self.origin.x + self.width
+            && p.y >= self.origin.y
+            && p.y <= self.origin.y + self.height
+    }
+
+    /// Normalizes `p` to `[0, 1]²` region coordinates (useful as NN input).
+    pub fn normalize(&self, p: &Point) -> (f64, f64) {
+        (
+            ((p.x - self.origin.x) / self.width).clamp(0.0, 1.0),
+            ((p.y - self.origin.y) / self.height).clamp(0.0, 1.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(Point::new(0.0, 0.0), 2000.0, 2400.0, 12, 10)
+    }
+
+    #[test]
+    fn paper_delivery_grid_dimensions() {
+        let g = grid();
+        assert_eq!(g.cell_count(), 120);
+        assert_eq!(g.cell_width(), 200.0);
+        assert_eq!(g.cell_height(), 200.0);
+    }
+
+    #[test]
+    fn cell_of_maps_interior_points() {
+        let g = grid();
+        assert_eq!(g.cell_of(&Point::new(1.0, 1.0)), Cell { row: 0, col: 0 });
+        assert_eq!(g.cell_of(&Point::new(250.0, 450.0)), Cell { row: 2, col: 1 });
+    }
+
+    #[test]
+    fn cell_of_clamps_outside_points() {
+        let g = grid();
+        assert_eq!(g.cell_of(&Point::new(-5.0, -5.0)), Cell { row: 0, col: 0 });
+        assert_eq!(g.cell_of(&Point::new(9999.0, 9999.0)), Cell { row: 11, col: 9 });
+        // Exactly on the far border belongs to the last cell.
+        assert_eq!(g.cell_of(&Point::new(2000.0, 2400.0)), Cell { row: 11, col: 9 });
+    }
+
+    #[test]
+    fn linear_index_roundtrips() {
+        let g = grid();
+        for idx in 0..g.cell_count() {
+            assert_eq!(g.linear_index(g.cell_from_index(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn cell_center_is_inside_its_cell() {
+        let g = grid();
+        for idx in 0..g.cell_count() {
+            let cell = g.cell_from_index(idx);
+            let center = g.cell_center(cell);
+            assert_eq!(g.cell_of(&center), cell);
+        }
+    }
+
+    #[test]
+    fn normalize_is_in_unit_square() {
+        let g = grid();
+        let (x, y) = g.normalize(&Point::new(500.0, 600.0));
+        assert!((x - 0.25).abs() < 1e-12);
+        assert!((y - 0.25).abs() < 1e-12);
+        let (x, y) = g.normalize(&Point::new(-100.0, 99999.0));
+        assert_eq!((x, y), (0.0, 1.0));
+    }
+}

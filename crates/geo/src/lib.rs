@@ -1,0 +1,26 @@
+//! Geometry, grids, time windows, and the hierarchical entropy-based data
+//! coverage metric for the SMORE urban-sensing framework.
+//!
+//! This crate is the spatial substrate of the workspace:
+//!
+//! * [`Point`] / [`TravelTimeModel`] — planar locations and the constant-speed
+//!   free-space travel-time model of the paper (Definition 5).
+//! * [`TimeWindow`] — availability windows with waiting semantics
+//!   (Definitions 3 & 5).
+//! * [`GridSpec`] — the uniform region partition used both to create sensing
+//!   tasks and to rasterize workers for TASNet's convolutional encoder.
+//! * [`CoverageConfig`] / [`CoverageTracker`] — the optimization objective
+//!   `φ(S') = α·E(S') + (1−α)·log2|S'|` (Definition 4) with `O(levels)`
+//!   incremental updates and hypothetical-gain queries.
+
+#![warn(missing_docs)]
+
+mod coverage;
+mod grid;
+mod point;
+mod time;
+
+pub use coverage::{coverage_of, CoverageConfig, CoverageTracker, StCell, StResolution};
+pub use grid::{Cell, GridSpec};
+pub use point::{Point, TravelTimeModel};
+pub use time::TimeWindow;

@@ -1,0 +1,132 @@
+//! Planar points and the free-space travel-time model.
+//!
+//! The paper assumes workers move at a constant speed in free space, so the
+//! travel time between two locations is proportional to their Euclidean
+//! distance (Section II-A, Definition 5).
+
+use serde::{Deserialize, Serialize};
+
+/// A location in a local planar coordinate system, in meters.
+///
+/// The SMORE datasets cover city regions of a few kilometers, so a local
+/// tangent-plane approximation (meters east / meters north of the region
+/// origin) is accurate enough and keeps all geometry exact and fast.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Meters east of the region origin.
+    pub x: f64,
+    /// Meters north of the region origin.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` meters.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance to `other`; cheaper than [`Point::distance`]
+    /// when only comparisons are needed.
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+/// Constant-speed travel-time model: `time = distance / speed`.
+///
+/// Times are expressed in minutes throughout the workspace; the paper sets
+/// the worker movement speed to 60 meters per minute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TravelTimeModel {
+    /// Movement speed in meters per minute.
+    pub speed: f64,
+}
+
+impl TravelTimeModel {
+    /// The paper's default speed: 60 meters per minute.
+    pub const PAPER_DEFAULT: TravelTimeModel = TravelTimeModel { speed: 60.0 };
+
+    /// Creates a model with the given speed (meters per minute).
+    ///
+    /// # Panics
+    /// Panics if `speed` is not strictly positive and finite.
+    pub fn new(speed: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "worker speed must be positive and finite, got {speed}"
+        );
+        Self { speed }
+    }
+
+    /// Travel time between `a` and `b`, in minutes.
+    pub fn travel_time(&self, a: &Point, b: &Point) -> f64 {
+        a.distance(b) / self.speed
+    }
+}
+
+impl Default for TravelTimeModel {
+    fn default() -> Self {
+        Self::PAPER_DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(-2.5, 7.0);
+        let b = Point::new(10.0, -1.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_halves_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(8.0, 6.0);
+        let m = a.midpoint(&b);
+        assert!((a.distance(&m) - 5.0).abs() < 1e-12);
+        assert!((m.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn travel_time_uses_speed() {
+        let m = TravelTimeModel::new(60.0);
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(600.0, 0.0);
+        assert!((m.travel_time(&a, &b) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_default_speed_is_60() {
+        assert_eq!(TravelTimeModel::default().speed, 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_speed_rejected() {
+        TravelTimeModel::new(0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Time windows, in minutes since the start of the sensing project.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed time window `[start, end]`, in minutes.
+///
+/// Sensing tasks carry an availability window (Definition 3): a worker's
+/// sensing period must fall fully inside it, i.e. the arrival time `t` must
+/// satisfy `start <= t <= end - service`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Earliest time the activity may begin.
+    pub start: f64,
+    /// Latest time the activity must be finished.
+    pub end: f64,
+}
+
+impl TimeWindow {
+    /// Creates a window `[start, end]`.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or either bound is not finite.
+    pub fn new(start: f64, end: f64) -> Self {
+        assert!(
+            start.is_finite() && end.is_finite() && start <= end,
+            "invalid time window [{start}, {end}]"
+        );
+        Self { start, end }
+    }
+
+    /// Window length in minutes.
+    pub fn length(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Whether an activity of duration `service` that starts at the arrival
+    /// time can be completed inside the window, allowing the worker to wait
+    /// if they arrive before `start`.
+    ///
+    /// Returns the actual service start time (arrival plus any waiting) if
+    /// feasible, or `None` if the worker arrives too late.
+    pub fn service_start(&self, arrival: f64, service: f64) -> Option<f64> {
+        let begin = arrival.max(self.start);
+        if begin + service <= self.end + 1e-9 {
+            Some(begin)
+        } else {
+            None
+        }
+    }
+
+    /// Waiting time incurred by a worker arriving at `arrival`: the gap to
+    /// `start` if early, otherwise zero (Definition 5).
+    pub fn waiting(&self, arrival: f64) -> f64 {
+        (self.start - arrival).max(0.0)
+    }
+
+    /// Whether `t` lies inside the window.
+    pub fn contains(&self, t: f64) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// The intersection of two windows, or `None` if they are disjoint.
+    pub fn intersect(&self, other: &TimeWindow) -> Option<TimeWindow> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(TimeWindow { start, end })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_start_waits_for_window_open() {
+        let tw = TimeWindow::new(10.0, 40.0);
+        assert_eq!(tw.service_start(5.0, 10.0), Some(10.0));
+        assert_eq!(tw.waiting(5.0), 5.0);
+    }
+
+    #[test]
+    fn service_start_uses_arrival_when_inside() {
+        let tw = TimeWindow::new(10.0, 40.0);
+        assert_eq!(tw.service_start(20.0, 10.0), Some(20.0));
+        assert_eq!(tw.waiting(20.0), 0.0);
+    }
+
+    #[test]
+    fn service_must_fit_before_end() {
+        let tw = TimeWindow::new(10.0, 40.0);
+        // Arriving at 31 with a 10-minute service would finish at 41 > 40.
+        assert_eq!(tw.service_start(31.0, 10.0), None);
+        // Arriving exactly at end - service is feasible (boundary per Def. 3).
+        assert_eq!(tw.service_start(30.0, 10.0), Some(30.0));
+    }
+
+    #[test]
+    fn intersect_overlapping_and_disjoint() {
+        let a = TimeWindow::new(0.0, 10.0);
+        let b = TimeWindow::new(5.0, 20.0);
+        assert_eq!(a.intersect(&b), Some(TimeWindow::new(5.0, 10.0)));
+        let c = TimeWindow::new(11.0, 12.0);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let tw = TimeWindow::new(1.0, 2.0);
+        assert!(tw.contains(1.0) && tw.contains(2.0) && !tw.contains(2.0001));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time window")]
+    fn inverted_window_rejected() {
+        TimeWindow::new(5.0, 4.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the geo substrate.
+
+use proptest::prelude::*;
+use smore_geo::{coverage_of, CoverageConfig, CoverageTracker, GridSpec, Point, StCell, StResolution, TimeWindow};
+
+fn arb_cell(res: StResolution) -> impl Strategy<Value = StCell> {
+    (0..res.rows, 0..res.cols, 0..res.slots).prop_map(|(row, col, slot)| StCell { row, col, slot })
+}
+
+proptest! {
+    /// The incremental tracker always agrees with the from-scratch reference.
+    #[test]
+    fn tracker_matches_reference(
+        alpha in 0.0f64..=1.0,
+        cells in prop::collection::vec(arb_cell(StResolution::new(6, 5, 4)), 0..60),
+    ) {
+        let cfg = CoverageConfig::new(alpha, StResolution::new(6, 5, 4));
+        let mut t = CoverageTracker::new(cfg.clone());
+        for &c in &cells {
+            t.add(c);
+        }
+        prop_assert!((t.value() - coverage_of(&cfg, &cells)).abs() < 1e-7);
+    }
+
+    /// gain() is exactly the difference produced by add().
+    #[test]
+    fn gain_is_add_difference(
+        alpha in 0.0f64..=1.0,
+        cells in prop::collection::vec(arb_cell(StResolution::new(4, 4, 4)), 1..40),
+    ) {
+        let cfg = CoverageConfig::new(alpha, StResolution::new(4, 4, 4));
+        let mut t = CoverageTracker::new(cfg);
+        for &c in &cells {
+            let g = t.gain(c);
+            let before = t.value();
+            t.add(c);
+            prop_assert!((t.value() - before - g).abs() < 1e-7);
+        }
+    }
+
+    /// Entropy is bounded by the mean per-level capacity and by log2 n.
+    #[test]
+    fn entropy_bounds(
+        cells in prop::collection::vec(arb_cell(StResolution::new(4, 4, 2)), 1..80),
+    ) {
+        let cfg = CoverageConfig::new(1.0, StResolution::new(4, 4, 2));
+        let cap: f64 = cfg.levels.iter().map(|l| (l.cell_count() as f64).log2()).sum::<f64>()
+            / cfg.levels.len() as f64;
+        let mut t = CoverageTracker::new(cfg);
+        for &c in &cells {
+            t.add(c);
+        }
+        prop_assert!(t.entropy() >= -1e-9);
+        prop_assert!(t.entropy() <= cap + 1e-9);
+        prop_assert!(t.entropy() <= (cells.len() as f64).log2() + 1e-9);
+    }
+
+    /// remove() undoes add() regardless of interleaving.
+    #[test]
+    fn remove_undoes_add(
+        base in prop::collection::vec(arb_cell(StResolution::new(4, 4, 4)), 0..30),
+        extra in arb_cell(StResolution::new(4, 4, 4)),
+    ) {
+        let cfg = CoverageConfig::new(0.5, StResolution::new(4, 4, 4));
+        let mut t = CoverageTracker::new(cfg);
+        for &c in &base {
+            t.add(c);
+        }
+        let v = t.value();
+        t.add(extra);
+        t.remove(extra);
+        prop_assert!((t.value() - v).abs() < 1e-7);
+        prop_assert_eq!(t.len(), base.len());
+    }
+
+    /// Every point in the region maps to a cell whose center maps back to it.
+    #[test]
+    fn grid_cell_roundtrip(x in 0.0f64..2000.0, y in 0.0f64..2400.0) {
+        let g = GridSpec::new(Point::new(0.0, 0.0), 2000.0, 2400.0, 12, 10);
+        let cell = g.cell_of(&Point::new(x, y));
+        prop_assert!(cell.row < 12 && cell.col < 10);
+        prop_assert_eq!(g.cell_of(&g.cell_center(cell)), cell);
+    }
+
+    /// service_start never violates the window.
+    #[test]
+    fn service_start_within_window(
+        start in 0.0f64..100.0,
+        len in 0.0f64..100.0,
+        arrival in -50.0f64..250.0,
+        service in 0.0f64..50.0,
+    ) {
+        let tw = TimeWindow::new(start, start + len);
+        if let Some(begin) = tw.service_start(arrival, service) {
+            prop_assert!(begin + 1e-9 >= tw.start);
+            prop_assert!(begin + service <= tw.end + 1e-6);
+            prop_assert!(begin + 1e-9 >= arrival);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared mutable assignment state used by all iterative solvers.
+//!
+//! SMORE (Algorithm 1), the greedy baselines and the ablations all maintain
+//! the same bookkeeping — per-worker routes, incentives, the set of completed
+//! sensing tasks, the coverage tracker and the remaining budget. This module
+//! centralizes it (the hashmap `M` of the paper's pseudocode).
+
+use crate::instance::Instance;
+use crate::route::Route;
+use crate::solution::Solution;
+use crate::tasks::SensingTaskId;
+use crate::worker::WorkerId;
+use smore_geo::CoverageTracker;
+
+/// The evolving assignment `M` plus remaining budget of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct AssignmentState {
+    /// Current working route of each worker (starts as the worker's
+    /// reference route over mandatory stops only — callers set it).
+    pub routes: Vec<Route>,
+    /// Current route travel time of each worker.
+    pub rtts: Vec<f64>,
+    /// Incentive currently owed to each worker.
+    pub incentives: Vec<f64>,
+    /// Sensing tasks assigned to each worker, in assignment order.
+    pub assigned: Vec<Vec<SensingTaskId>>,
+    /// Global completed-task flags (a task can be completed by one worker).
+    pub completed: Vec<bool>,
+    /// Incrementally maintained coverage of the completed tasks.
+    pub coverage: CoverageTracker,
+    /// Remaining budget `B_rest`.
+    pub budget_rest: f64,
+}
+
+impl AssignmentState {
+    /// Fresh state: no sensing tasks assigned, full budget remaining.
+    ///
+    /// Routes are initialized to empty; callers that schedule routes (rather
+    /// than just track assignments) should overwrite them with each worker's
+    /// reference route.
+    pub fn new(instance: &Instance) -> Self {
+        let n = instance.n_workers();
+        Self {
+            routes: vec![Route::empty(); n],
+            rtts: instance.base_rtt.clone(),
+            incentives: vec![0.0; n],
+            assigned: vec![Vec::new(); n],
+            completed: vec![false; instance.n_tasks()],
+            coverage: instance.coverage_tracker(),
+            budget_rest: instance.budget,
+        }
+    }
+
+    /// Records the assignment of `task` to `worker` with the worker's new
+    /// route and route travel time. Updates incentives, remaining budget,
+    /// completion flags and coverage.
+    ///
+    /// Returns the incentive delta charged against the budget.
+    pub fn assign(
+        &mut self,
+        instance: &Instance,
+        worker: WorkerId,
+        task: SensingTaskId,
+        route: Route,
+        rtt: f64,
+    ) -> f64 {
+        debug_assert!(!self.completed[task.0], "task {} already completed", task.0);
+        let new_incentive = instance.incentive(worker, rtt);
+        let delta = new_incentive - self.incentives[worker.0];
+        self.budget_rest -= delta;
+        self.incentives[worker.0] = new_incentive;
+        self.rtts[worker.0] = rtt;
+        self.routes[worker.0] = route;
+        self.assigned[worker.0].push(task);
+        self.completed[task.0] = true;
+        self.coverage.add(instance.sensing_task(task).cell);
+        delta
+    }
+
+    /// Current objective value `φ` of the completed tasks.
+    pub fn objective(&self) -> f64 {
+        self.coverage.value()
+    }
+
+    /// Total number of completed sensing tasks.
+    pub fn completed_count(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Marginal coverage gain of completing `task` next (the `Δφ` heuristic
+    /// signal and the MDP reward).
+    pub fn gain(&self, instance: &Instance, task: SensingTaskId) -> f64 {
+        self.coverage.gain(instance.sensing_task(task).cell)
+    }
+
+    /// Converts into a final [`Solution`].
+    pub fn into_solution(self) -> Solution {
+        Solution { routes: self.routes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::Stop;
+    use crate::tasks::{SensingLattice, TravelTask};
+    use crate::worker::Worker;
+    use smore_geo::{GridSpec, Point, TravelTimeModel};
+
+    fn instance() -> Instance {
+        let lattice = SensingLattice {
+            grid: GridSpec::new(Point::new(0.0, 0.0), 1200.0, 1200.0, 4, 4),
+            horizon: 120.0,
+            window_len: 30.0,
+            service: 5.0,
+        };
+        let w = Worker::new(
+            Point::new(0.0, 0.0),
+            Point::new(1200.0, 0.0),
+            0.0,
+            120.0,
+            vec![TravelTask::new(Point::new(600.0, 0.0), 10.0)],
+        );
+        Instance::from_lattice(vec![w], lattice, 300.0, 1.0, TravelTimeModel::PAPER_DEFAULT, 0.5)
+    }
+
+    #[test]
+    fn assign_updates_budget_and_coverage() {
+        let inst = instance();
+        let mut state = AssignmentState::new(&inst);
+        let task = SensingTaskId(0);
+        let route = Route::new(vec![Stop::Sensing(task), Stop::Travel(0)]);
+        let rtt = inst.schedule(WorkerId(0), &route).unwrap().rtt;
+
+        let predicted_gain = state.gain(&inst, task);
+        let delta = state.assign(&inst, WorkerId(0), task, route, rtt);
+
+        assert!(delta > 0.0, "detour must cost incentive");
+        assert!((state.budget_rest - (inst.budget - delta)).abs() < 1e-9);
+        assert_eq!(state.completed_count(), 1);
+        assert!(state.completed[0]);
+        assert!((state.objective() - predicted_gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incentive_delta_is_difference_not_total() {
+        let inst = instance();
+        let mut state = AssignmentState::new(&inst);
+        let t0 = SensingTaskId(0);
+        let t1 = SensingTaskId(4); // different spatial cell
+        let r1 = Route::new(vec![Stop::Sensing(t0), Stop::Travel(0)]);
+        let rtt1 = inst.schedule(WorkerId(0), &r1).unwrap().rtt;
+        let d1 = state.assign(&inst, WorkerId(0), t0, r1, rtt1);
+
+        let r2 = Route::new(vec![Stop::Sensing(t0), Stop::Sensing(t1), Stop::Travel(0)]);
+        let rtt2 = inst.schedule(WorkerId(0), &r2).unwrap().rtt;
+        let d2 = state.assign(&inst, WorkerId(0), t1, r2, rtt2);
+
+        let total = inst.incentive(WorkerId(0), rtt2);
+        assert!((d1 + d2 - total).abs() < 1e-9, "deltas must telescope to the total");
+        assert!((state.budget_rest - (inst.budget - total)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn into_solution_preserves_routes() {
+        let inst = instance();
+        let mut state = AssignmentState::new(&inst);
+        state.routes[0] = Route::new(vec![Stop::Travel(0)]);
+        let sol = state.into_solution();
+        assert_eq!(sol.routes[0].stops, vec![Stop::Travel(0)]);
+    }
+}

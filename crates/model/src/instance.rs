@@ -1,0 +1,209 @@
+//! USMDW problem instances.
+
+use crate::route::{schedule_route, Infeasibility, Route, Schedule};
+use crate::tasks::{SensingLattice, SensingTask, SensingTaskId};
+use crate::tsp::solve_open_tsp;
+use crate::worker::{Worker, WorkerId};
+use serde::{Deserialize, Serialize};
+use smore_geo::{CoverageConfig, CoverageTracker, TravelTimeModel};
+
+/// A complete USMDW problem instance (Section II-B): workers, sensing tasks,
+/// a budget `B`, the incentive rate `μ`, the travel-time model, and the
+/// coverage objective configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    /// The multi-destination workers `W`.
+    pub workers: Vec<Worker>,
+    /// The sensing tasks `S`.
+    pub sensing_tasks: Vec<SensingTask>,
+    /// Total incentive budget `B` (default 300 in the paper).
+    pub budget: f64,
+    /// Incentive per minute of extra route time `μ` (default 1).
+    pub mu: f64,
+    /// Travel-time model shared by all workers.
+    pub travel: TravelTimeModel,
+    /// The spatio-temporal lattice the tasks were created from (also defines
+    /// the worker-encoding grid for TASNet).
+    pub lattice: SensingLattice,
+    /// Configuration of the hierarchical entropy-based coverage objective.
+    pub coverage: CoverageConfig,
+    /// Per-worker reference route time `rtt_TSP(l_s, l_e, D)` used by the
+    /// incentive (Definition 6); computed once at construction.
+    pub base_rtt: Vec<f64>,
+}
+
+impl Instance {
+    /// Builds an instance whose sensing tasks are created uniformly from
+    /// `lattice` (the paper's default construction).
+    pub fn from_lattice(
+        workers: Vec<Worker>,
+        lattice: SensingLattice,
+        budget: f64,
+        mu: f64,
+        travel: TravelTimeModel,
+        alpha: f64,
+    ) -> Self {
+        let sensing_tasks = lattice.create_tasks();
+        let coverage = CoverageConfig::new(alpha, lattice.resolution());
+        Self::from_parts(workers, sensing_tasks, lattice, coverage, budget, mu, travel)
+    }
+
+    /// Builds an instance from explicit parts (used by the OP reduction and
+    /// by tests that need hand-crafted task sets).
+    pub fn from_parts(
+        workers: Vec<Worker>,
+        sensing_tasks: Vec<SensingTask>,
+        lattice: SensingLattice,
+        coverage: CoverageConfig,
+        budget: f64,
+        mu: f64,
+        travel: TravelTimeModel,
+    ) -> Self {
+        assert!(budget >= 0.0 && mu >= 0.0, "budget and incentive rate must be non-negative");
+        let base_rtt = workers
+            .iter()
+            .map(|w| {
+                let stops: Vec<_> = w.travel_tasks.iter().map(|t| t.loc).collect();
+                let (_, dist) = solve_open_tsp(&w.origin, &w.destination, &stops);
+                dist / travel.speed + w.mandatory_service()
+            })
+            .collect();
+        Self { workers, sensing_tasks, budget, mu, travel, lattice, coverage, base_rtt }
+    }
+
+    /// Number of workers `|W|`.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of sensing tasks `|S|`.
+    pub fn n_tasks(&self) -> usize {
+        self.sensing_tasks.len()
+    }
+
+    /// The sensing task with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of bounds.
+    pub fn sensing_task(&self, id: SensingTaskId) -> &SensingTask {
+        &self.sensing_tasks[id.0]
+    }
+
+    /// The worker with the given id.
+    pub fn worker(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.0]
+    }
+
+    /// Incentive owed to `worker` for a route with travel time `rtt`
+    /// (Definition 6): `μ × (rtt − rtt_TSP)`, floored at zero (a route never
+    /// pays a negative incentive; the reference is already minimal, so the
+    /// floor only absorbs numerical noise from heuristic reference routes).
+    pub fn incentive(&self, worker: WorkerId, rtt: f64) -> f64 {
+        self.mu * (rtt - self.base_rtt[worker.0]).max(0.0)
+    }
+
+    /// A fresh, empty coverage tracker for this instance's objective.
+    pub fn coverage_tracker(&self) -> CoverageTracker {
+        CoverageTracker::new(self.coverage.clone())
+    }
+
+    /// Schedules `route` for `worker` against this instance's tasks.
+    pub fn schedule(&self, worker: WorkerId, route: &Route) -> Result<Schedule, Infeasibility> {
+        schedule_route(&self.workers[worker.0], route, &self.travel, &|id| {
+            *self.sensing_task(id)
+        })
+    }
+
+    /// Objective value `φ` of completing exactly `tasks`.
+    pub fn coverage_of(&self, tasks: &[SensingTaskId]) -> f64 {
+        let mut tracker = self.coverage_tracker();
+        for &id in tasks {
+            tracker.add(self.sensing_task(id).cell);
+        }
+        tracker.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::TravelTask;
+    use smore_geo::{GridSpec, Point};
+
+    fn small_lattice() -> SensingLattice {
+        SensingLattice {
+            grid: GridSpec::new(Point::new(0.0, 0.0), 1200.0, 1200.0, 4, 4),
+            horizon: 120.0,
+            window_len: 30.0,
+            service: 5.0,
+        }
+    }
+
+    fn worker(extra: Vec<TravelTask>) -> Worker {
+        Worker::new(Point::new(0.0, 0.0), Point::new(1200.0, 0.0), 0.0, 120.0, extra)
+    }
+
+    #[test]
+    fn from_lattice_creates_all_tasks() {
+        let inst = Instance::from_lattice(
+            vec![worker(vec![])],
+            small_lattice(),
+            300.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        assert_eq!(inst.n_tasks(), 4 * 4 * 4);
+        assert_eq!(inst.coverage.base.rows, 4);
+    }
+
+    #[test]
+    fn base_rtt_is_minimal_route() {
+        let w = worker(vec![
+            TravelTask::new(Point::new(600.0, 0.0), 10.0),
+            TravelTask::new(Point::new(300.0, 0.0), 10.0),
+        ]);
+        let inst = Instance::from_lattice(
+            vec![w],
+            small_lattice(),
+            300.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        // Straight line 1200 m = 20 min + 20 min service.
+        assert!((inst.base_rtt[0] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incentive_is_extra_time_times_mu() {
+        let inst = Instance::from_lattice(
+            vec![worker(vec![])],
+            small_lattice(),
+            300.0,
+            2.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        let wid = WorkerId(0);
+        assert!((inst.incentive(wid, inst.base_rtt[0] + 7.5) - 15.0).abs() < 1e-9);
+        // Never negative.
+        assert_eq!(inst.incentive(wid, 0.0), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = Instance::from_lattice(
+            vec![worker(vec![TravelTask::new(Point::new(100.0, 100.0), 10.0)])],
+            small_lattice(),
+            300.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_tasks(), inst.n_tasks());
+        assert_eq!(back.base_rtt, inst.base_rtt);
+    }
+}

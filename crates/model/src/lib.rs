@@ -1,0 +1,35 @@
+//! The USMDW problem model (Section II of the SMORE paper).
+//!
+//! This crate defines the data model shared by every solver in the
+//! workspace:
+//!
+//! * [`TravelTask`], [`SensingTask`], [`Worker`] — Definitions 1–3.
+//! * [`SensingLattice`] — uniform creation of sensing tasks over the
+//!   spatio-temporal range.
+//! * [`Route`] / [`schedule_route`] — working routes, route travel time with
+//!   waiting semantics, and feasibility (Definition 5).
+//! * [`Instance`] — a full problem instance, including the incentive model
+//!   (Definition 6) with per-worker TSP reference routes.
+//! * [`Solution`] / [`evaluate`] — independent validation and scoring.
+//! * [`AssignmentState`] — the shared bookkeeping (`M`, `B_rest`) of
+//!   Algorithm 1, reused by SMORE, the baselines and the ablations.
+//! * [`UsmdwSolver`] — the trait all solvers implement.
+//! * [`reduction`] — the executable OP → USMDW NP-hardness reduction.
+
+#![warn(missing_docs)]
+
+mod assignment;
+mod instance;
+pub mod reduction;
+mod route;
+mod solution;
+mod tasks;
+pub mod tsp;
+mod worker;
+
+pub use assignment::AssignmentState;
+pub use instance::Instance;
+pub use route::{schedule_route, Infeasibility, Route, Schedule, Stop, StopTiming, TIME_EPS};
+pub use solution::{evaluate, Solution, SolutionStats, UsmdwSolver, ValidationError};
+pub use tasks::{SensingLattice, SensingTask, SensingTaskId, TravelTask};
+pub use worker::{Worker, WorkerId};

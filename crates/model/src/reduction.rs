@@ -1,0 +1,173 @@
+//! Executable form of the NP-hardness reduction (Lemma 1).
+//!
+//! The paper proves USMDW NP-hard by reducing the Orienteering Problem (OP):
+//! given unit-score vertices and a travel-time limit `T_max`, an OP instance
+//! maps to a USMDW instance with a single worker with no travel tasks, one
+//! sensing task per vertex with window `[0, T_max]` and zero service time,
+//! infinite budget, and `α = 0` (so `φ = log2 |S'|`, monotone in the number
+//! of visited vertices). Maximizing `φ` is then exactly maximizing the OP
+//! score. This module makes the reduction executable so tests can verify it.
+
+use crate::instance::Instance;
+use crate::tasks::{SensingLattice, SensingTask};
+use crate::worker::Worker;
+use smore_geo::{CoverageConfig, GridSpec, Point, StCell, StResolution, TimeWindow, TravelTimeModel};
+
+/// An Orienteering Problem instance with unit vertex scores: find a path from
+/// `start` to `end` visiting a subset of `vertices` maximizing the number of
+/// visits, with total travel time at most `t_max`.
+#[derive(Debug, Clone)]
+pub struct OpInstance {
+    /// Path start.
+    pub start: Point,
+    /// Path end.
+    pub end: Point,
+    /// Score-carrying vertices (each worth 1).
+    pub vertices: Vec<Point>,
+    /// Travel-time limit `T_max` in minutes.
+    pub t_max: f64,
+    /// Travel speed (meters per minute) converting distances to times.
+    pub speed: f64,
+}
+
+/// Transforms an OP instance into an equivalent USMDW instance per Lemma 1.
+///
+/// The returned instance has one worker (empty mandatory set, time range
+/// `[0, T_max]`), one zero-service sensing task per vertex available over the
+/// whole horizon, effectively unlimited budget, and `α = 0`. A USMDW solution
+/// completing `k` tasks has objective `log2 k`, so objective-maximal USMDW
+/// solutions visit exactly the OP-optimal number of vertices.
+pub fn op_to_usmdw(op: &OpInstance) -> Instance {
+    let worker = Worker::new(op.start, op.end, 0.0, op.t_max, Vec::new());
+
+    // Bounding box for a degenerate one-cell-per-vertex lattice; the grid is
+    // only used for NN featurization, never for task creation here.
+    let (mut min_x, mut min_y, mut max_x, mut max_y) =
+        (op.start.x.min(op.end.x), op.start.y.min(op.end.y), op.start.x.max(op.end.x), op.start.y.max(op.end.y));
+    for v in &op.vertices {
+        min_x = min_x.min(v.x);
+        min_y = min_y.min(v.y);
+        max_x = max_x.max(v.x);
+        max_y = max_y.max(v.y);
+    }
+    let pad = 1.0;
+    let grid = GridSpec::new(
+        Point::new(min_x - pad, min_y - pad),
+        (max_x - min_x) + 2.0 * pad,
+        (max_y - min_y) + 2.0 * pad,
+        1,
+        op.vertices.len().max(1),
+    );
+    let lattice = SensingLattice { grid, horizon: op.t_max.max(1.0), window_len: op.t_max.max(1.0), service: 0.0 };
+
+    let tasks: Vec<SensingTask> = op
+        .vertices
+        .iter()
+        .enumerate()
+        .map(|(i, &loc)| {
+            SensingTask::new(
+                loc,
+                TimeWindow::new(0.0, op.t_max),
+                0.0,
+                StCell { row: 0, col: i, slot: 0 },
+            )
+        })
+        .collect();
+
+    // α = 0: the objective reduces to log2 |S'|.
+    let coverage =
+        CoverageConfig::new(0.0, StResolution::new(1, op.vertices.len().max(1), 1));
+
+    Instance::from_parts(
+        worker.into_iter(),
+        tasks,
+        lattice,
+        coverage,
+        f64::INFINITY,
+        1.0,
+        TravelTimeModel::new(op.speed),
+    )
+}
+
+// Helper so a single worker can be passed where a Vec is expected.
+trait IntoWorkerVec {
+    fn into_iter(self) -> Vec<Worker>;
+}
+impl IntoWorkerVec for Worker {
+    fn into_iter(self) -> Vec<Worker> {
+        vec![self]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{Route, Stop};
+    use crate::solution::{evaluate, Solution};
+    use crate::tasks::SensingTaskId;
+
+    fn op() -> OpInstance {
+        OpInstance {
+            start: Point::new(0.0, 0.0),
+            end: Point::new(100.0, 0.0),
+            vertices: vec![
+                Point::new(25.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(75.0, 0.0),
+                Point::new(50.0, 200.0), // far off-path vertex
+            ],
+            t_max: 120.0,
+            speed: 1.0,
+        }
+    }
+
+    #[test]
+    fn objective_is_log2_of_visits() {
+        let inst = op_to_usmdw(&op());
+        assert_eq!(inst.n_workers(), 1);
+        assert_eq!(inst.n_tasks(), 4);
+        // Visit the three on-path vertices: 100 time units ≤ 120.
+        let sol = Solution {
+            routes: vec![Route::new(vec![
+                Stop::Sensing(SensingTaskId(0)),
+                Stop::Sensing(SensingTaskId(1)),
+                Stop::Sensing(SensingTaskId(2)),
+            ])],
+        };
+        let stats = evaluate(&inst, &sol).unwrap();
+        assert!((stats.objective - 3f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_limit_transfers() {
+        let inst = op_to_usmdw(&op());
+        // Including the far vertex exceeds T_max = 120 (detour alone is 400).
+        let sol = Solution {
+            routes: vec![Route::new(vec![
+                Stop::Sensing(SensingTaskId(1)),
+                Stop::Sensing(SensingTaskId(3)),
+            ])],
+        };
+        assert!(evaluate(&inst, &sol).is_err());
+    }
+
+    #[test]
+    fn budget_never_binds() {
+        let inst = op_to_usmdw(&op());
+        assert!(inst.budget.is_infinite());
+    }
+
+    #[test]
+    fn more_visits_always_better() {
+        // With α = 0, φ is strictly increasing in |S'| — the property the
+        // reduction relies on to equate USMDW optimality with OP optimality.
+        let inst = op_to_usmdw(&op());
+        let phi = |k: &[usize]| {
+            inst.coverage_of(&k.iter().map(|&i| SensingTaskId(i)).collect::<Vec<_>>())
+        };
+        assert!(phi(&[0, 1]) > phi(&[0]));
+        assert!(phi(&[0, 1, 2]) > phi(&[0, 1]));
+        // ... and independent of WHICH vertices are chosen (unit scores).
+        assert!((phi(&[0, 1]) - phi(&[2, 3])).abs() < 1e-12);
+    }
+}

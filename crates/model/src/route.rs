@@ -1,0 +1,288 @@
+//! Working routes and their schedules (Definition 5).
+//!
+//! A working route is the traveling sequence
+//! `l_s → ta_1 → … → ta_k → l_e` where each intermediate stop is either one
+//! of the worker's mandatory travel tasks or an assigned sensing task. The
+//! *route travel time* `rtt` sums inter-stop travel times, waiting times
+//! (only sensing tasks can induce waiting) and service times. A route is
+//! feasible iff `t_s^min + rtt ≤ t_e^max` and every sensing task's service
+//! period fits inside its availability window.
+
+use crate::tasks::{SensingTask, SensingTaskId};
+use crate::worker::Worker;
+use serde::{Deserialize, Serialize};
+use smore_geo::{Point, TravelTimeModel};
+
+/// Numerical slack used in all time-feasibility comparisons.
+pub const TIME_EPS: f64 = 1e-6;
+
+/// One intermediate stop of a working route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stop {
+    /// The `i`-th travel task of the route's worker (index into
+    /// [`Worker::travel_tasks`]).
+    Travel(usize),
+    /// A sensing task of the instance.
+    Sensing(SensingTaskId),
+}
+
+/// A working route: the ordered intermediate stops between the worker's
+/// origin and final destination.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Ordered intermediate stops (origin and destination are implicit).
+    pub stops: Vec<Stop>,
+}
+
+impl Route {
+    /// An empty route: origin straight to destination.
+    pub fn empty() -> Self {
+        Self { stops: Vec::new() }
+    }
+
+    /// Creates a route from stops.
+    pub fn new(stops: Vec<Stop>) -> Self {
+        Self { stops }
+    }
+
+    /// Iterator over the sensing tasks assigned in this route, in visit order.
+    pub fn sensing_tasks(&self) -> impl Iterator<Item = SensingTaskId> + '_ {
+        self.stops.iter().filter_map(|s| match s {
+            Stop::Sensing(id) => Some(*id),
+            Stop::Travel(_) => None,
+        })
+    }
+
+    /// Number of sensing tasks in the route.
+    pub fn sensing_count(&self) -> usize {
+        self.sensing_tasks().count()
+    }
+}
+
+/// Timing of one stop in a scheduled route.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StopTiming {
+    /// The stop this timing refers to.
+    pub stop: Stop,
+    /// Absolute arrival time at the stop's location.
+    pub arrival: f64,
+    /// Waiting before service can start (only non-zero for sensing tasks
+    /// whose window has not opened yet).
+    pub waiting: f64,
+    /// Absolute time service begins.
+    pub service_start: f64,
+    /// Absolute time service completes.
+    pub departure: f64,
+}
+
+/// The evaluated schedule of a feasible route.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Route travel time `rtt` (Equation 1): total elapsed time from leaving
+    /// the origin to reaching the final destination.
+    pub rtt: f64,
+    /// Absolute arrival time at the final destination.
+    pub final_arrival: f64,
+    /// Per-stop timings, in route order.
+    pub timings: Vec<StopTiming>,
+}
+
+/// Why a route failed to schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Infeasibility {
+    /// A sensing task's window closed before its service could complete.
+    /// Contains the position of the offending stop in the route.
+    WindowViolated(usize),
+    /// The worker would reach the final destination after `t_e^max`.
+    LateArrival {
+        /// Computed arrival time at the destination.
+        arrival: f64,
+        /// The worker's latest feasible arrival `t_e^max`.
+        latest: f64,
+    },
+    /// A `Stop::Travel(i)` index is out of bounds for the worker.
+    BadTravelIndex(usize),
+}
+
+impl std::fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Infeasibility::WindowViolated(pos) => {
+                write!(f, "sensing window violated at stop {pos}")
+            }
+            Infeasibility::LateArrival { arrival, latest } => {
+                write!(f, "arrival {arrival:.3} after latest feasible time {latest:.3}")
+            }
+            Infeasibility::BadTravelIndex(i) => write!(f, "travel-task index {i} out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for Infeasibility {}
+
+/// Evaluates `route` for `worker`, assuming departure at `t_s^min`.
+///
+/// `sensing` resolves [`SensingTaskId`]s — typically
+/// [`crate::Instance::sensing_task`], passed as a closure so the scheduler
+/// works for hypothetical tasks too.
+pub fn schedule_route(
+    worker: &Worker,
+    route: &Route,
+    travel: &TravelTimeModel,
+    sensing: &dyn Fn(SensingTaskId) -> SensingTask,
+) -> Result<Schedule, Infeasibility> {
+    let depart = worker.earliest_departure;
+    let mut t = depart;
+    let mut at: Point = worker.origin;
+    let mut timings = Vec::with_capacity(route.stops.len());
+
+    for (pos, &stop) in route.stops.iter().enumerate() {
+        let (loc, service, window) = match stop {
+            Stop::Travel(i) => {
+                let task =
+                    worker.travel_tasks.get(i).ok_or(Infeasibility::BadTravelIndex(i))?;
+                // Travel tasks have no window of their own; the worker's own
+                // time range bounds them implicitly (Section III-C).
+                (task.loc, task.service, None)
+            }
+            Stop::Sensing(id) => {
+                let task = sensing(id);
+                (task.loc, task.service, Some(task.window))
+            }
+        };
+        let arrival = t + travel.travel_time(&at, &loc);
+        let service_start = match window {
+            Some(w) => w
+                .service_start(arrival, service)
+                .ok_or(Infeasibility::WindowViolated(pos))?,
+            None => arrival,
+        };
+        let departure = service_start + service;
+        timings.push(StopTiming {
+            stop,
+            arrival,
+            waiting: service_start - arrival,
+            service_start,
+            departure,
+        });
+        t = departure;
+        at = loc;
+    }
+
+    let final_arrival = t + travel.travel_time(&at, &worker.destination);
+    if final_arrival > worker.latest_arrival + TIME_EPS {
+        return Err(Infeasibility::LateArrival {
+            arrival: final_arrival,
+            latest: worker.latest_arrival,
+        });
+    }
+    Ok(Schedule { rtt: final_arrival - depart, final_arrival, timings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::TravelTask;
+    use smore_geo::{StCell, TimeWindow};
+
+    fn sensing_at(x: f64, y: f64, tw: (f64, f64), service: f64) -> SensingTask {
+        SensingTask::new(
+            Point::new(x, y),
+            TimeWindow::new(tw.0, tw.1),
+            service,
+            StCell { row: 0, col: 0, slot: 0 },
+        )
+    }
+
+    fn worker() -> Worker {
+        Worker::new(
+            Point::new(0.0, 0.0),
+            Point::new(240.0, 0.0),
+            0.0,
+            240.0,
+            vec![TravelTask::new(Point::new(60.0, 0.0), 10.0)],
+        )
+    }
+
+    const TT: TravelTimeModel = TravelTimeModel::PAPER_DEFAULT;
+
+    #[test]
+    fn empty_route_is_direct_trip() {
+        let w = worker();
+        let s = schedule_route(&w, &Route::empty(), &TT, &|_| unreachable!()).unwrap();
+        assert!((s.rtt - 4.0).abs() < 1e-9); // 240 m at 60 m/min
+        assert!(s.timings.is_empty());
+    }
+
+    #[test]
+    fn travel_task_adds_service_time() {
+        let w = worker();
+        let r = Route::new(vec![Stop::Travel(0)]);
+        let s = schedule_route(&w, &r, &TT, &|_| unreachable!()).unwrap();
+        // 1 min to task + 10 min service + 3 min to destination.
+        assert!((s.rtt - 14.0).abs() < 1e-9);
+        assert_eq!(s.timings[0].waiting, 0.0);
+    }
+
+    #[test]
+    fn sensing_task_waits_for_window() {
+        let w = worker();
+        let task = sensing_at(120.0, 0.0, (30.0, 60.0), 5.0);
+        let r = Route::new(vec![Stop::Travel(0), Stop::Sensing(SensingTaskId(0))]);
+        let s = schedule_route(&w, &r, &TT, &|_| task).unwrap();
+        // Arrive at sensing loc at 1+10+1 = 12, wait until 30, serve 5, then 2 min to dest.
+        let timing = s.timings[1];
+        assert!((timing.arrival - 12.0).abs() < 1e-9);
+        assert!((timing.waiting - 18.0).abs() < 1e-9);
+        assert!((s.rtt - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_window_is_infeasible() {
+        let w = worker();
+        let task = sensing_at(120.0, 0.0, (0.0, 10.0), 5.0);
+        let r = Route::new(vec![Stop::Travel(0), Stop::Sensing(SensingTaskId(0))]);
+        // Arrives at t = 12 > 10 − 5.
+        assert_eq!(
+            schedule_route(&w, &r, &TT, &|_| task).unwrap_err(),
+            Infeasibility::WindowViolated(1)
+        );
+    }
+
+    #[test]
+    fn late_arrival_is_infeasible() {
+        let mut w = worker();
+        w.latest_arrival = 10.0;
+        let r = Route::new(vec![Stop::Travel(0)]);
+        match schedule_route(&w, &r, &TT, &|_| unreachable!()).unwrap_err() {
+            Infeasibility::LateArrival { arrival, latest } => {
+                assert!((arrival - 14.0).abs() < 1e-9);
+                assert_eq!(latest, 10.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_travel_index_reported() {
+        let w = worker();
+        let r = Route::new(vec![Stop::Travel(7)]);
+        assert_eq!(
+            schedule_route(&w, &r, &TT, &|_| unreachable!()).unwrap_err(),
+            Infeasibility::BadTravelIndex(7)
+        );
+    }
+
+    #[test]
+    fn nonzero_departure_shifts_clock() {
+        let mut w = worker();
+        w.earliest_departure = 100.0;
+        w.latest_arrival = 340.0;
+        let task = sensing_at(120.0, 0.0, (30.0, 200.0), 5.0);
+        let r = Route::new(vec![Stop::Sensing(SensingTaskId(0))]);
+        let s = schedule_route(&w, &r, &TT, &|_| task).unwrap();
+        // Departs at 100, arrives at 102 — no waiting since window already open.
+        assert_eq!(s.timings[0].waiting, 0.0);
+        assert!((s.rtt - 9.0).abs() < 1e-9);
+    }
+}

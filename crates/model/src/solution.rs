@@ -1,0 +1,329 @@
+//! Solutions, independent validation, and the solver interface.
+
+use crate::instance::Instance;
+use crate::route::{Infeasibility, Route, Stop, TIME_EPS};
+use crate::tasks::SensingTaskId;
+use crate::worker::WorkerId;
+use serde::{Deserialize, Serialize};
+
+/// A candidate solution to a USMDW instance: one working route per worker
+/// (possibly the empty route, meaning the worker is not recruited beyond
+/// their mandatory trip).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// `routes[i]` is the working route of worker `i`.
+    pub routes: Vec<Route>,
+}
+
+impl Solution {
+    /// The all-empty solution (no sensing tasks assigned).
+    pub fn empty(n_workers: usize) -> Self {
+        Self { routes: vec![Route::empty(); n_workers] }
+    }
+
+    /// All sensing tasks completed across workers, in worker order.
+    pub fn completed_tasks(&self) -> Vec<SensingTaskId> {
+        self.routes.iter().flat_map(|r| r.sensing_tasks()).collect()
+    }
+}
+
+/// Evaluated statistics of a validated solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolutionStats {
+    /// Objective value `φ(S')`.
+    pub objective: f64,
+    /// Total incentive paid, `Σ_w in_w`.
+    pub total_incentive: f64,
+    /// Number of completed sensing tasks `|S'|`.
+    pub completed: usize,
+    /// Incentive paid to each worker.
+    pub per_worker_incentive: Vec<f64>,
+    /// Route travel time of each worker.
+    pub per_worker_rtt: Vec<f64>,
+}
+
+/// Why a solution failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// The solution does not provide exactly one route per worker.
+    RouteCountMismatch {
+        /// Routes provided.
+        got: usize,
+        /// Workers in the instance.
+        expected: usize,
+    },
+    /// A worker's route omits one of their mandatory travel tasks.
+    MissingTravelTask {
+        /// The offending worker.
+        worker: WorkerId,
+        /// Index of the omitted travel task.
+        index: usize,
+    },
+    /// A worker's route visits one of their travel tasks more than once.
+    DuplicateTravelTask {
+        /// The offending worker.
+        worker: WorkerId,
+        /// Index of the duplicated travel task.
+        index: usize,
+    },
+    /// A sensing task appears in more than one route (or twice in one).
+    DuplicateSensingTask(SensingTaskId),
+    /// A route references a sensing task id outside the instance.
+    UnknownSensingTask(SensingTaskId),
+    /// A route cannot be scheduled feasibly.
+    InfeasibleRoute {
+        /// The offending worker.
+        worker: WorkerId,
+        /// The scheduling failure.
+        cause: Infeasibility,
+    },
+    /// The total incentive exceeds the budget.
+    BudgetExceeded {
+        /// Incentives actually owed.
+        spent: f64,
+        /// The instance budget `B`.
+        budget: f64,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::RouteCountMismatch { got, expected } => {
+                write!(f, "solution has {got} routes for {expected} workers")
+            }
+            ValidationError::MissingTravelTask { worker, index } => {
+                write!(f, "worker {} misses mandatory travel task {index}", worker.0)
+            }
+            ValidationError::DuplicateTravelTask { worker, index } => {
+                write!(f, "worker {} visits travel task {index} twice", worker.0)
+            }
+            ValidationError::DuplicateSensingTask(id) => {
+                write!(f, "sensing task {} completed more than once", id.0)
+            }
+            ValidationError::UnknownSensingTask(id) => {
+                write!(f, "sensing task id {} out of bounds", id.0)
+            }
+            ValidationError::InfeasibleRoute { worker, cause } => {
+                write!(f, "worker {} route infeasible: {cause}", worker.0)
+            }
+            ValidationError::BudgetExceeded { spent, budget } => {
+                write!(f, "incentives {spent:.3} exceed budget {budget:.3}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Independently validates `solution` against `instance` and computes its
+/// statistics. This is the referee used by every experiment: it re-schedules
+/// every route from scratch and re-derives incentives and coverage, so a
+/// solver cannot accidentally report an infeasible or over-budget solution.
+pub fn evaluate(instance: &Instance, solution: &Solution) -> Result<SolutionStats, ValidationError> {
+    if solution.routes.len() != instance.n_workers() {
+        return Err(ValidationError::RouteCountMismatch {
+            got: solution.routes.len(),
+            expected: instance.n_workers(),
+        });
+    }
+
+    let mut seen_sensing = vec![false; instance.n_tasks()];
+    let mut per_worker_incentive = Vec::with_capacity(instance.n_workers());
+    let mut per_worker_rtt = Vec::with_capacity(instance.n_workers());
+    let mut coverage = instance.coverage_tracker();
+    let mut completed = 0usize;
+
+    for (w, route) in solution.routes.iter().enumerate() {
+        let wid = WorkerId(w);
+        let worker = instance.worker(wid);
+
+        // Mandatory-visit accounting.
+        let mut travel_seen = vec![0u32; worker.travel_tasks.len()];
+        for stop in &route.stops {
+            match stop {
+                Stop::Travel(i) => {
+                    if *i >= travel_seen.len() {
+                        return Err(ValidationError::InfeasibleRoute {
+                            worker: wid,
+                            cause: Infeasibility::BadTravelIndex(*i),
+                        });
+                    }
+                    travel_seen[*i] += 1;
+                    if travel_seen[*i] > 1 {
+                        return Err(ValidationError::DuplicateTravelTask { worker: wid, index: *i });
+                    }
+                }
+                Stop::Sensing(id) => {
+                    if id.0 >= instance.n_tasks() {
+                        return Err(ValidationError::UnknownSensingTask(*id));
+                    }
+                    if seen_sensing[id.0] {
+                        return Err(ValidationError::DuplicateSensingTask(*id));
+                    }
+                    seen_sensing[id.0] = true;
+                }
+            }
+        }
+        if let Some(index) = travel_seen.iter().position(|&c| c == 0) {
+            return Err(ValidationError::MissingTravelTask { worker: wid, index });
+        }
+
+        let schedule = instance
+            .schedule(wid, route)
+            .map_err(|cause| ValidationError::InfeasibleRoute { worker: wid, cause })?;
+
+        for id in route.sensing_tasks() {
+            coverage.add(instance.sensing_task(id).cell);
+            completed += 1;
+        }
+        per_worker_incentive.push(instance.incentive(wid, schedule.rtt));
+        per_worker_rtt.push(schedule.rtt);
+    }
+
+    let total_incentive: f64 = per_worker_incentive.iter().sum();
+    if total_incentive > instance.budget + TIME_EPS {
+        return Err(ValidationError::BudgetExceeded { spent: total_incentive, budget: instance.budget });
+    }
+
+    Ok(SolutionStats {
+        objective: coverage.value(),
+        total_incentive,
+        completed,
+        per_worker_incentive,
+        per_worker_rtt,
+    })
+}
+
+/// A USMDW solver: SMORE, each baseline, and each ablation implement this.
+///
+/// `solve` takes `&mut self` because learned solvers carry RNG state and
+/// search solvers carry scratch buffers.
+pub trait UsmdwSolver {
+    /// Short display name, e.g. `"SMORE"` or `"TVPG"`.
+    fn name(&self) -> &str;
+
+    /// Computes working routes for every worker of `instance`.
+    fn solve(&mut self, instance: &Instance) -> Solution;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{SensingLattice, TravelTask};
+    use crate::worker::Worker;
+    use smore_geo::{GridSpec, Point, TravelTimeModel};
+
+    fn instance() -> Instance {
+        let lattice = SensingLattice {
+            grid: GridSpec::new(Point::new(0.0, 0.0), 1200.0, 1200.0, 4, 4),
+            horizon: 120.0,
+            window_len: 30.0,
+            service: 5.0,
+        };
+        let w = Worker::new(
+            Point::new(0.0, 0.0),
+            Point::new(1200.0, 0.0),
+            0.0,
+            120.0,
+            vec![TravelTask::new(Point::new(600.0, 0.0), 10.0)],
+        );
+        Instance::from_lattice(vec![w], lattice, 300.0, 1.0, TravelTimeModel::PAPER_DEFAULT, 0.5)
+    }
+
+    #[test]
+    fn empty_solution_validates_when_mandatory_trip_is_included() {
+        let inst = instance();
+        // Route must still visit the mandatory travel task.
+        let sol = Solution { routes: vec![Route::new(vec![Stop::Travel(0)])] };
+        let stats = evaluate(&inst, &sol).unwrap();
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.objective, 0.0);
+        assert!((stats.total_incentive - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_mandatory_task_rejected() {
+        let inst = instance();
+        let sol = Solution::empty(1);
+        assert_eq!(
+            evaluate(&inst, &sol).unwrap_err(),
+            ValidationError::MissingTravelTask { worker: WorkerId(0), index: 0 }
+        );
+    }
+
+    #[test]
+    fn duplicate_sensing_task_rejected() {
+        let inst = instance();
+        let id = SensingTaskId(0);
+        let sol = Solution {
+            routes: vec![Route::new(vec![Stop::Sensing(id), Stop::Travel(0), Stop::Sensing(id)])],
+        };
+        assert_eq!(evaluate(&inst, &sol).unwrap_err(), ValidationError::DuplicateSensingTask(id));
+    }
+
+    #[test]
+    fn unknown_sensing_task_rejected() {
+        let inst = instance();
+        let id = SensingTaskId(9999);
+        let sol = Solution { routes: vec![Route::new(vec![Stop::Travel(0), Stop::Sensing(id)])] };
+        assert_eq!(evaluate(&inst, &sol).unwrap_err(), ValidationError::UnknownSensingTask(id));
+    }
+
+    #[test]
+    fn route_count_mismatch_rejected() {
+        let inst = instance();
+        let sol = Solution::empty(3);
+        assert!(matches!(
+            evaluate(&inst, &sol).unwrap_err(),
+            ValidationError::RouteCountMismatch { got: 3, expected: 1 }
+        ));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut inst = instance();
+        inst.budget = 0.5;
+        // Visit a sensing task far off the direct path: costs noticeable incentive.
+        let far = inst
+            .sensing_tasks
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.loc.y.total_cmp(&b.1.loc.y))
+            .map(|(i, _)| SensingTaskId(i))
+            .unwrap();
+        let sol = Solution {
+            routes: vec![Route::new(vec![Stop::Travel(0), Stop::Sensing(far)])],
+        };
+        match evaluate(&inst, &sol) {
+            Err(ValidationError::BudgetExceeded { spent, budget }) => {
+                assert!(spent > budget);
+            }
+            other => panic!("expected budget violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn valid_sensing_assignment_counts_coverage() {
+        let inst = instance();
+        // A sensing task on the straight path in the first slot.
+        let (idx, _) = inst
+            .sensing_tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.cell.slot == 0 && t.cell.row == 0)
+            .min_by(|a, b| {
+                a.1.loc.distance(&Point::new(300.0, 150.0))
+                    .total_cmp(&b.1.loc.distance(&Point::new(300.0, 150.0)))
+            })
+            .unwrap();
+        let sol = Solution {
+            routes: vec![Route::new(vec![Stop::Sensing(SensingTaskId(idx)), Stop::Travel(0)])],
+        };
+        let stats = evaluate(&inst, &sol).unwrap();
+        assert_eq!(stats.completed, 1);
+        assert!(stats.total_incentive > 0.0);
+        // φ({s}) = 0 but the task must still be counted.
+        assert_eq!(stats.objective, 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Travel tasks and sensing tasks (Definitions 1 & 3).
+
+use serde::{Deserialize, Serialize};
+use smore_geo::{GridSpec, Point, StCell, StResolution, TimeWindow};
+
+/// A mandatory intermediate activity of a worker, e.g. delivering a parcel or
+/// visiting a tourist attraction (Definition 1: `d = <l, τ>`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TravelTask {
+    /// Geographical location of the task.
+    pub loc: Point,
+    /// Service duration in minutes (10 for deliveries, 20 for POIs in the paper).
+    pub service: f64,
+}
+
+impl TravelTask {
+    /// Creates a travel task.
+    pub fn new(loc: Point, service: f64) -> Self {
+        assert!(service >= 0.0, "service time must be non-negative");
+        Self { loc, service }
+    }
+}
+
+/// Identifier of a sensing task within an [`crate::Instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SensingTaskId(pub usize);
+
+/// An urban sensing task (Definition 3: `s = <l, tw_s, tw_e, τ>`).
+///
+/// A sensing task can be completed by at most one worker, whose sensing
+/// period must fall fully inside the availability window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensingTask {
+    /// Location where the measurement must be taken.
+    pub loc: Point,
+    /// Availability window `[tw_s, tw_e]`.
+    pub window: TimeWindow,
+    /// Sensing duration `τ` in minutes.
+    pub service: f64,
+    /// Identity of this task in the spatio-temporal lattice, used by the
+    /// coverage metric (base-resolution cell).
+    pub cell: StCell,
+}
+
+impl SensingTask {
+    /// Creates a sensing task.
+    pub fn new(loc: Point, window: TimeWindow, service: f64, cell: StCell) -> Self {
+        assert!(service >= 0.0, "service time must be non-negative");
+        assert!(
+            window.length() + 1e-9 >= service,
+            "sensing window shorter than the sensing duration"
+        );
+        Self { loc, window, service, cell }
+    }
+}
+
+/// Parameters for the uniform creation of sensing tasks over the
+/// spatio-temporal range (Section II-A: "S can be constructed by partitioning
+/// the spatio-temporal range with pre-defined spatial and temporal
+/// resolutions").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensingLattice {
+    /// Spatial partition of the region of interest.
+    pub grid: GridSpec,
+    /// Total sensing-project time span in minutes (4h delivery / 6h tourism).
+    pub horizon: f64,
+    /// Length of each sensing task's time window in minutes (30 by default;
+    /// Table I sweeps {30, 60, 120}).
+    pub window_len: f64,
+    /// Sensing duration `τ` of every created task.
+    pub service: f64,
+}
+
+impl SensingLattice {
+    /// Number of temporal slots `horizon / window_len` (rounded down, ≥ 1).
+    pub fn slots(&self) -> usize {
+        ((self.horizon / self.window_len).floor() as usize).max(1)
+    }
+
+    /// The base spatio-temporal resolution induced by this lattice, which is
+    /// also the finest level of the coverage pyramid.
+    pub fn resolution(&self) -> StResolution {
+        StResolution::new(self.grid.rows, self.grid.cols, self.slots())
+    }
+
+    /// Creates one sensing task per spatio-temporal cell, located at the
+    /// cell's spatial center with the slot's interval as its window.
+    pub fn create_tasks(&self) -> Vec<SensingTask> {
+        let slots = self.slots();
+        let mut tasks = Vec::with_capacity(self.grid.cell_count() * slots);
+        for row in 0..self.grid.rows {
+            for col in 0..self.grid.cols {
+                let loc = self.grid.cell_center(smore_geo::Cell { row, col });
+                for slot in 0..slots {
+                    let start = slot as f64 * self.window_len;
+                    tasks.push(SensingTask::new(
+                        loc,
+                        TimeWindow::new(start, start + self.window_len),
+                        self.service,
+                        StCell { row, col, slot },
+                    ));
+                }
+            }
+        }
+        tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice() -> SensingLattice {
+        SensingLattice {
+            grid: GridSpec::new(Point::new(0.0, 0.0), 2000.0, 2400.0, 12, 10),
+            horizon: 240.0,
+            window_len: 30.0,
+            service: 5.0,
+        }
+    }
+
+    #[test]
+    fn paper_scale_task_count() {
+        // Delivery: 10×12 grid, 4h span, 30-minute windows → 120 × 8 = 960.
+        let l = lattice();
+        assert_eq!(l.slots(), 8);
+        assert_eq!(l.create_tasks().len(), 960);
+    }
+
+    #[test]
+    fn windows_tile_the_horizon() {
+        let l = lattice();
+        let tasks = l.create_tasks();
+        for t in &tasks {
+            assert!(t.window.start >= 0.0 && t.window.end <= l.horizon + 1e-9);
+            assert_eq!(t.window.length(), 30.0);
+        }
+    }
+
+    #[test]
+    fn cells_are_unique_and_match_locations() {
+        let l = lattice();
+        let tasks = l.create_tasks();
+        let mut seen = std::collections::HashSet::new();
+        for t in &tasks {
+            assert!(seen.insert((t.cell.row, t.cell.col, t.cell.slot)), "duplicate cell");
+            let spatial = l.grid.cell_of(&t.loc);
+            assert_eq!((spatial.row, spatial.col), (t.cell.row, t.cell.col));
+        }
+    }
+
+    #[test]
+    fn wide_windows_reduce_slot_count() {
+        let mut l = lattice();
+        l.window_len = 120.0;
+        assert_eq!(l.slots(), 2);
+        assert_eq!(l.create_tasks().len(), 240);
+    }
+
+    #[test]
+    #[should_panic(expected = "window shorter")]
+    fn service_longer_than_window_rejected() {
+        SensingTask::new(
+            Point::new(0.0, 0.0),
+            TimeWindow::new(0.0, 4.0),
+            5.0,
+            StCell { row: 0, col: 0, slot: 0 },
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Open-path TSP used for the incentive reference route (Definition 6).
+//!
+//! The incentive of a worker is `μ × (rtt_actual − rtt_TSP(l_s, l_e, D))`,
+//! where the reference is the minimum-time route from the origin to the
+//! destination visiting all mandatory travel tasks. Because travel tasks
+//! carry no time windows, the reference is a plain open-path TSP; service
+//! and waiting times are order-independent constants.
+//!
+//! Instances are small (couriers carry a handful to a few dozen parcels), so
+//! we solve exactly with Held–Karp bitmask DP up to [`EXACT_LIMIT`] stops and
+//! fall back to nearest-neighbour construction plus 2-opt improvement above.
+
+use smore_geo::Point;
+
+/// Maximum number of intermediate stops solved exactly (DP is `O(n²·2ⁿ)`).
+pub const EXACT_LIMIT: usize = 14;
+
+/// Minimum-distance visiting order of `stops` on a path from `start` to
+/// `end`, together with the total travelled distance (excluding service).
+///
+/// Returns an empty order and the direct distance when `stops` is empty.
+pub fn solve_open_tsp(start: &Point, end: &Point, stops: &[Point]) -> (Vec<usize>, f64) {
+    match stops.len() {
+        0 => (Vec::new(), start.distance(end)),
+        1 => (vec![0], start.distance(&stops[0]) + stops[0].distance(end)),
+        n if n <= EXACT_LIMIT => exact_dp(start, end, stops),
+        _ => heuristic(start, end, stops),
+    }
+}
+
+/// Total length of the path `start → stops[order[0]] → … → end`.
+pub fn path_length(start: &Point, end: &Point, stops: &[Point], order: &[usize]) -> f64 {
+    let mut at = *start;
+    let mut len = 0.0;
+    for &i in order {
+        len += at.distance(&stops[i]);
+        at = stops[i];
+    }
+    len + at.distance(end)
+}
+
+fn exact_dp(start: &Point, end: &Point, stops: &[Point]) -> (Vec<usize>, f64) {
+    let n = stops.len();
+    let full = 1usize << n;
+    // dist[i][j]: between stops; sd[i]: start→i; ed[i]: i→end.
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            dist[i * n + j] = stops[i].distance(&stops[j]);
+        }
+    }
+    let sd: Vec<f64> = stops.iter().map(|p| start.distance(p)).collect();
+    let ed: Vec<f64> = stops.iter().map(|p| p.distance(end)).collect();
+
+    // dp[mask * n + last] = shortest path covering `mask`, ending at `last`.
+    let mut dp = vec![f64::INFINITY; full * n];
+    let mut parent = vec![usize::MAX; full * n];
+    for i in 0..n {
+        dp[(1 << i) * n + i] = sd[i];
+    }
+    for mask in 1..full {
+        for last in 0..n {
+            if mask & (1 << last) == 0 {
+                continue;
+            }
+            let cur = dp[mask * n + last];
+            if !cur.is_finite() {
+                continue;
+            }
+            for next in 0..n {
+                if mask & (1 << next) != 0 {
+                    continue;
+                }
+                let nm = mask | (1 << next);
+                let cand = cur + dist[last * n + next];
+                if cand < dp[nm * n + next] {
+                    dp[nm * n + next] = cand;
+                    parent[nm * n + next] = last;
+                }
+            }
+        }
+    }
+    let mut best = f64::INFINITY;
+    let mut best_last = 0;
+    for last in 0..n {
+        let total = dp[(full - 1) * n + last] + ed[last];
+        if total < best {
+            best = total;
+            best_last = last;
+        }
+    }
+    // Reconstruct.
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full - 1;
+    let mut last = best_last;
+    while last != usize::MAX {
+        order.push(last);
+        let p = parent[mask * n + last];
+        mask &= !(1 << last);
+        last = p;
+    }
+    order.reverse();
+    (order, best)
+}
+
+fn heuristic(start: &Point, end: &Point, stops: &[Point]) -> (Vec<usize>, f64) {
+    let n = stops.len();
+    // Nearest-neighbour construction from the origin.
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut at = *start;
+    for _ in 0..n {
+        let (next, _) = stops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(i, p)| (i, at.distance_sq(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("unused stop must exist");
+        used[next] = true;
+        at = stops[next];
+        order.push(next);
+    }
+    // 2-opt improvement (segment reversal) until no improving move remains.
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n.saturating_sub(1) {
+            for j in i + 1..n {
+                let before = if i == 0 { *start } else { stops[order[i - 1]] };
+                let after = if j == n - 1 { *end } else { stops[order[j + 1]] };
+                let old = before.distance(&stops[order[i]]) + stops[order[j]].distance(&after);
+                let new = before.distance(&stops[order[j]]) + stops[order[i]].distance(&after);
+                if new + 1e-9 < old {
+                    order[i..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+    }
+    let len = path_length(start, end, stops, &order);
+    (order, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_stop() {
+        let s = Point::new(0.0, 0.0);
+        let e = Point::new(10.0, 0.0);
+        assert_eq!(solve_open_tsp(&s, &e, &[]), (vec![], 10.0));
+        let (order, len) = solve_open_tsp(&s, &e, &[Point::new(5.0, 0.0)]);
+        assert_eq!(order, vec![0]);
+        assert!((len - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_finds_collinear_order() {
+        let s = Point::new(0.0, 0.0);
+        let e = Point::new(100.0, 0.0);
+        let stops =
+            [Point::new(75.0, 0.0), Point::new(25.0, 0.0), Point::new(50.0, 0.0)];
+        let (order, len) = solve_open_tsp(&s, &e, &stops);
+        assert_eq!(order, vec![1, 2, 0]);
+        assert!((len - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_random_points() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let s = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let e = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let stops: Vec<Point> = (0..6)
+                .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+                .collect();
+            let (_, dp_len) = solve_open_tsp(&s, &e, &stops);
+            let best = permutations_min(&s, &e, &stops);
+            assert!((dp_len - best).abs() < 1e-9, "dp {dp_len} vs brute {best}");
+        }
+    }
+
+    fn permutations_min(s: &Point, e: &Point, stops: &[Point]) -> f64 {
+        let mut idx: Vec<usize> = (0..stops.len()).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut idx, 0, &mut |order| {
+            best = best.min(path_length(s, e, stops, order));
+        });
+        best
+    }
+
+    fn permute(idx: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == idx.len() {
+            f(idx);
+            return;
+        }
+        for i in k..idx.len() {
+            idx.swap(k, i);
+            permute(idx, k + 1, f);
+            idx.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn heuristic_visits_everything_once() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        let s = Point::new(0.0, 0.0);
+        let e = Point::new(100.0, 100.0);
+        let stops: Vec<Point> = (0..25)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        let (order, len) = solve_open_tsp(&s, &e, &stops);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..25).collect::<Vec<_>>());
+        assert!((len - path_length(&s, &e, &stops, &order)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heuristic_not_much_worse_than_exact_on_small() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(13);
+        let s = Point::new(0.0, 0.0);
+        let e = Point::new(100.0, 0.0);
+        let stops: Vec<Point> = (0..10)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        let (_, exact_len) = exact_dp(&s, &e, &stops);
+        let (_, heur_len) = heuristic(&s, &e, &stops);
+        assert!(heur_len <= exact_len * 1.15, "2-opt {heur_len} vs exact {exact_len}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Multi-destination workers (Definition 2).
+
+use crate::tasks::TravelTask;
+use serde::{Deserialize, Serialize};
+use smore_geo::Point;
+
+/// Identifier of a worker within an [`crate::Instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub usize);
+
+/// A multi-destination worker
+/// `w = <l_s, l_e, t_s^min, t_e^max, D>` (Definition 2): a participant with an
+/// origin, a final destination, a feasible departure/arrival time range, and a
+/// set of mandatory travel tasks that must all be completed during the trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Trip origin `l_s`.
+    pub origin: Point,
+    /// Final destination `l_e`.
+    pub destination: Point,
+    /// Earliest feasible departure time `t_s^min`, in minutes.
+    pub earliest_departure: f64,
+    /// Latest feasible arrival time `t_e^max`, in minutes.
+    pub latest_arrival: f64,
+    /// Mandatory travel tasks `D` — every one must appear in any feasible
+    /// working route for this worker.
+    pub travel_tasks: Vec<TravelTask>,
+}
+
+impl Worker {
+    /// Creates a worker.
+    ///
+    /// # Panics
+    /// Panics if the time range is inverted.
+    pub fn new(
+        origin: Point,
+        destination: Point,
+        earliest_departure: f64,
+        latest_arrival: f64,
+        travel_tasks: Vec<TravelTask>,
+    ) -> Self {
+        assert!(
+            earliest_departure <= latest_arrival,
+            "worker time range inverted: [{earliest_departure}, {latest_arrival}]"
+        );
+        Self { origin, destination, earliest_departure, latest_arrival, travel_tasks }
+    }
+
+    /// The worker's total available time `t_e^max − t_s^min`.
+    pub fn time_budget(&self) -> f64 {
+        self.latest_arrival - self.earliest_departure
+    }
+
+    /// Total service time of the mandatory travel tasks.
+    pub fn mandatory_service(&self) -> f64 {
+        self.travel_tasks.iter().map(|t| t.service).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_budget_and_mandatory_service() {
+        let w = Worker::new(
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            10.0,
+            250.0,
+            vec![
+                TravelTask::new(Point::new(50.0, 0.0), 10.0),
+                TravelTask::new(Point::new(60.0, 10.0), 10.0),
+            ],
+        );
+        assert_eq!(w.time_budget(), 240.0);
+        assert_eq!(w.mandatory_service(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_time_range_rejected() {
+        Worker::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0), 100.0, 50.0, vec![]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the USMDW problem model.
+
+use proptest::prelude::*;
+use smore_geo::{GridSpec, Point, TravelTimeModel};
+use smore_model::{
+    evaluate, schedule_route, Instance, Route, SensingLattice, SensingTaskId, Solution, Stop,
+    TravelTask, Worker, WorkerId,
+};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..1200.0, 0.0f64..1200.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_worker() -> impl Strategy<Value = Worker> {
+    (
+        arb_point(),
+        arb_point(),
+        prop::collection::vec(arb_point(), 0..5),
+    )
+        .prop_map(|(o, d, stops)| {
+            let tasks = stops.into_iter().map(|p| TravelTask::new(p, 10.0)).collect();
+            Worker::new(o, d, 0.0, 240.0, tasks)
+        })
+}
+
+fn lattice() -> SensingLattice {
+    SensingLattice {
+        grid: GridSpec::new(Point::new(0.0, 0.0), 1200.0, 1200.0, 4, 4),
+        horizon: 240.0,
+        window_len: 60.0,
+        service: 5.0,
+    }
+}
+
+fn instance(workers: Vec<Worker>) -> Instance {
+    Instance::from_lattice(workers, lattice(), 300.0, 1.0, TravelTimeModel::PAPER_DEFAULT, 0.5)
+}
+
+proptest! {
+    /// The TSP reference route is never longer than any explicit route over
+    /// the same stops, so incentives are always non-negative.
+    #[test]
+    fn base_rtt_is_lower_bound(w in arb_worker(), seed in 0u64..1000) {
+        use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
+        let inst = instance(vec![w.clone()]);
+        let mut order: Vec<usize> = (0..w.travel_tasks.len()).collect();
+        order.shuffle(&mut SmallRng::seed_from_u64(seed));
+        let route = Route::new(order.into_iter().map(Stop::Travel).collect());
+        if let Ok(s) = schedule_route(&w, &route, &inst.travel, &|_| unreachable!()) {
+            prop_assert!(s.rtt + 1e-6 >= inst.base_rtt[0]);
+            prop_assert!(inst.incentive(WorkerId(0), s.rtt) >= 0.0);
+        }
+    }
+
+    /// Scheduling is deterministic and rtt decomposes into the final arrival.
+    #[test]
+    fn schedule_consistency(w in arb_worker()) {
+        let inst = instance(vec![w.clone()]);
+        let route = Route::new((0..w.travel_tasks.len()).map(Stop::Travel).collect());
+        if let Ok(s) = schedule_route(&w, &route, &inst.travel, &|_| unreachable!()) {
+            prop_assert!((s.final_arrival - w.earliest_departure - s.rtt).abs() < 1e-9);
+            // Timings are monotone.
+            let mut prev = w.earliest_departure;
+            for t in &s.timings {
+                prop_assert!(t.arrival + 1e-9 >= prev);
+                prop_assert!(t.service_start + 1e-9 >= t.arrival);
+                prop_assert!(t.departure + 1e-9 >= t.service_start);
+                prev = t.departure;
+            }
+        }
+    }
+
+    /// evaluate() accepts a mandatory-only solution for any feasible-time
+    /// worker set, and reports zero incentive for the TSP order.
+    #[test]
+    fn mandatory_only_solutions_validate(ws in prop::collection::vec(arb_worker(), 1..4)) {
+        let inst = instance(ws);
+        // Build each worker's route in TSP order so rtt == base_rtt.
+        let mut routes = Vec::new();
+        for w in &inst.workers {
+            let stops: Vec<Point> = w.travel_tasks.iter().map(|t| t.loc).collect();
+            let (order, _) = smore_model::tsp::solve_open_tsp(&w.origin, &w.destination, &stops);
+            routes.push(Route::new(order.into_iter().map(Stop::Travel).collect()));
+        }
+        let sol = Solution { routes };
+        let stats = evaluate(&inst, &sol).unwrap();
+        prop_assert!(stats.total_incentive.abs() < 1e-6);
+        prop_assert_eq!(stats.completed, 0);
+    }
+
+    /// A solution may not complete the same sensing task twice, in any route.
+    #[test]
+    fn duplicate_tasks_always_rejected(i in 0usize..64) {
+        let w1 = Worker::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0), 0.0, 1e6, vec![]);
+        let w2 = w1.clone();
+        let mut inst = instance(vec![w1, w2]);
+        inst.budget = f64::INFINITY;
+        let id = SensingTaskId(i % inst.n_tasks());
+        let sol = Solution {
+            routes: vec![
+                Route::new(vec![Stop::Sensing(id)]),
+                Route::new(vec![Stop::Sensing(id)]),
+            ],
+        };
+        prop_assert!(evaluate(&inst, &sol).is_err());
+    }
+}

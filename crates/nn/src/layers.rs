@@ -1,0 +1,443 @@
+//! Neural-network layers used by the SMORE networks: linear projections,
+//! layer normalization, multi-head attention, position-wise feed-forward
+//! blocks, Transformer-style encoder layers, and small MLPs.
+//!
+//! Layers own [`ParamId`]s into a shared [`ParamStore`]; `forward` records
+//! operations on a caller-provided [`Tape`].
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use rand::Rng;
+
+/// A dense affine layer `y = x·W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Output feature width.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-initialized weights.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.alloc_xavier(format!("{name}.w"), in_dim, out_dim, rng);
+        let b = bias.then(|| store.alloc_zeros(format!("{name}.b"), 1, out_dim));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer to `x` (`[n, in_dim] → [n, out_dim]`).
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param(store, self.w);
+        let y = tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let b = tape.param(store, b);
+                tape.add_broadcast(y, b)
+            }
+            None => y,
+        }
+    }
+}
+
+/// Layer normalization with learned affine scale and shift.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gain: ParamId,
+    bias: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over feature width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gain = store.alloc(format!("{name}.g"), Matrix::full(1, dim, 1.0));
+        let bias = store.alloc_zeros(format!("{name}.b"), 1, dim);
+        Self { gain, bias, eps: 1e-5 }
+    }
+
+    /// Applies normalization row-wise.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let normed = tape.norm_rows(x, self.eps);
+        let g = tape.param(store, self.gain);
+        let b = tape.param(store, self.bias);
+        let scaled = tape.mul_broadcast(normed, g);
+        tape.add_broadcast(scaled, b)
+    }
+}
+
+/// Multi-head self/cross attention (Vaswani et al., used by both TASNet
+/// encoders and the pointer decoders' glimpse step).
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Model width (must be divisible by `heads`).
+    pub d_model: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an MHA block.
+    ///
+    /// # Panics
+    /// Panics if `d_model` is not divisible by `heads`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(d_model % heads, 0, "d_model must be divisible by heads");
+        Self {
+            wq: Linear::new(store, &format!("{name}.wq"), d_model, d_model, false, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), d_model, d_model, false, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), d_model, d_model, false, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), d_model, d_model, false, rng),
+            heads,
+            d_model,
+        }
+    }
+
+    /// Cross-attention: queries from `q_input` (`[m, d]`), keys/values from
+    /// `kv_input` (`[n, d]`); output `[m, d]`. An optional additive mask
+    /// (`[m, n]` or `[1, n]`) suppresses attention to masked keys.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        q_input: Var,
+        kv_input: Var,
+        mask: Option<&Matrix>,
+    ) -> Var {
+        let q = self.wq.forward(tape, store, q_input);
+        let k = self.wk.forward(tape, store, kv_input);
+        let v = self.wv.forward(tape, store, kv_input);
+        let dk = self.d_model / self.heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = tape.slice_cols(q, h * dk, dk);
+            let kh = tape.slice_cols(k, h * dk, dk);
+            let vh = tape.slice_cols(v, h * dk, dk);
+            let kht = tape.transpose(kh);
+            let scores = tape.matmul(qh, kht);
+            let scaled = tape.scale(scores, scale);
+            let attn = tape.softmax_rows(scaled, mask);
+            head_outputs.push(tape.matmul(attn, vh));
+        }
+        let concat = tape.concat_cols(&head_outputs);
+        self.wo.forward(tape, store, concat)
+    }
+
+    /// Self-attention shorthand: `forward(x, x, mask)`.
+    pub fn self_attention(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        mask: Option<&Matrix>,
+    ) -> Var {
+        self.forward(tape, store, x, x, mask)
+    }
+}
+
+/// Position-wise feed-forward block `relu(x·W1 + b1)·W2 + b2`.
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl FeedForward {
+    /// Creates a feed-forward block with hidden width `d_ff`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        d_ff: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            l1: Linear::new(store, &format!("{name}.l1"), d_model, d_ff, true, rng),
+            l2: Linear::new(store, &format!("{name}.l2"), d_ff, d_model, true, rng),
+        }
+    }
+
+    /// Applies the block.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let h = self.l1.forward(tape, store, x);
+        let h = tape.relu(h);
+        self.l2.forward(tape, store, h)
+    }
+}
+
+/// One Transformer-style encoder layer: MHA + residual + layer norm, then
+/// feed-forward + residual + layer norm — the "Transformer-like encoder"
+/// of TASNet's worker and sensing-task representation modules.
+#[derive(Debug, Clone)]
+pub struct EncoderLayer {
+    mha: MultiHeadAttention,
+    ff: FeedForward,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+}
+
+impl EncoderLayer {
+    /// Creates an encoder layer.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        d_ff: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            mha: MultiHeadAttention::new(store, &format!("{name}.mha"), d_model, heads, rng),
+            ff: FeedForward::new(store, &format!("{name}.ff"), d_model, d_ff, rng),
+            norm1: LayerNorm::new(store, &format!("{name}.ln1"), d_model),
+            norm2: LayerNorm::new(store, &format!("{name}.ln2"), d_model),
+        }
+    }
+
+    /// Applies the layer to a set of embeddings `[n, d]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let attn = self.mha.self_attention(tape, store, x, None);
+        let res = tape.add(x, attn);
+        let x = self.norm1.forward(tape, store, res);
+        let ff = self.ff.forward(tape, store, x);
+        let res = tape.add(x, ff);
+        self.norm2.forward(tape, store, res)
+    }
+}
+
+/// A stack of [`EncoderLayer`]s (the paper uses 3 layers × 8 heads).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    layers: Vec<EncoderLayer>,
+}
+
+impl Encoder {
+    /// Creates a stack of `n_layers` encoder layers.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        d_ff: usize,
+        n_layers: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let layers = (0..n_layers)
+            .map(|i| EncoderLayer::new(store, &format!("{name}.{i}"), d_model, heads, d_ff, rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Applies all layers in sequence.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, mut x: Var) -> Var {
+        for layer in &self.layers {
+            x = layer.forward(tape, store, x);
+        }
+        x
+    }
+}
+
+/// A simple multi-layer perceptron with ReLU hidden activations (used for
+/// the critic baseline and the JDRL value network).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths (`dims[0]` is the input
+    /// width, `dims.last()` the output width).
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are given.
+    pub fn new(store: &mut ParamStore, name: &str, dims: &[usize], rng: &mut impl Rng) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.{i}"), w[0], w[1], true, rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Applies the MLP (ReLU between layers, no final activation).
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, mut x: Var) -> Var {
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(tape, store, x);
+            if i + 1 < self.layers.len() {
+                x = tape.relu(x);
+            }
+        }
+        x
+    }
+}
+
+/// Rasterizes a single-channel grid through a 3×3 convolution expressed as
+/// `im2col × W`: because the grid itself is constant input (worker travel
+/// matrices), only the filter weights need gradients, so the im2col expansion
+/// can happen outside the tape.
+#[derive(Debug, Clone)]
+pub struct Conv3x3 {
+    w: ParamId,
+    b: ParamId,
+    /// Number of output channels.
+    pub channels: usize,
+}
+
+impl Conv3x3 {
+    /// Creates a 3×3 same-padding convolution with `channels` filters.
+    pub fn new(store: &mut ParamStore, name: &str, channels: usize, rng: &mut impl Rng) -> Self {
+        let w = store.alloc_xavier(format!("{name}.w"), 9, channels, rng);
+        let b = store.alloc_zeros(format!("{name}.b"), 1, channels);
+        Self { w, b, channels }
+    }
+
+    /// Expands a `[h, w]` grid into its `[h·w, 9]` im2col matrix with zero
+    /// padding.
+    pub fn im2col(grid: &Matrix) -> Matrix {
+        let (h, w) = grid.shape();
+        let mut out = Matrix::zeros(h * w, 9);
+        for r in 0..h {
+            for c in 0..w {
+                for (k, (dr, dc)) in
+                    [(-1i64, -1i64), (-1, 0), (-1, 1), (0, -1), (0, 0), (0, 1), (1, -1), (1, 0), (1, 1)]
+                        .iter()
+                        .enumerate()
+                {
+                    let rr = r as i64 + dr;
+                    let cc = c as i64 + dc;
+                    if rr >= 0 && rr < h as i64 && cc >= 0 && cc < w as i64 {
+                        out.set(r * w + c, k, grid.get(rr as usize, cc as usize));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the convolution to an im2col-expanded grid, returning
+    /// `[h·w, channels]` feature maps (with ReLU).
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, im2col: Var) -> Var {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let y = tape.matmul(im2col, w);
+        let y = tape.add_broadcast(y, b);
+        tape.relu(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let mut store = ParamStore::new();
+        let l = Linear::new(&mut store, "l", 4, 3, true, &mut rng());
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::zeros(5, 4));
+        let y = l.forward(&mut t, &store, x);
+        assert_eq!(t.value(y).shape(), (5, 3));
+    }
+
+    #[test]
+    fn layer_norm_standardizes_rows() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0]));
+        let y = ln.forward(&mut t, &store, x);
+        for r in 0..2 {
+            let row = t.value(y).row_slice(r);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mha_output_shape_and_grad_flow() {
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "mha", 8, 2, &mut rng());
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::full(3, 8, 0.5));
+        let y = mha.self_attention(&mut t, &store, x, None);
+        assert_eq!(t.value(y).shape(), (3, 8));
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        t.scatter_grads(&mut store);
+        assert!(store.grad_norm() > 0.0, "gradients must reach attention weights");
+    }
+
+    #[test]
+    fn encoder_stack_runs() {
+        let mut store = ParamStore::new();
+        let enc = Encoder::new(&mut store, "enc", 8, 2, 16, 3, &mut rng());
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::full(4, 8, 0.1));
+        let y = enc.forward(&mut t, &store, x);
+        assert_eq!(t.value(y).shape(), (4, 8));
+        assert!(t.value(y).data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mlp_reduces_to_scalar() {
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "critic", &[6, 8, 1], &mut rng());
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::full(1, 6, 1.0));
+        let y = mlp.forward(&mut t, &store, x);
+        assert_eq!(t.value(y).shape(), (1, 1));
+    }
+
+    #[test]
+    fn im2col_center_and_padding() {
+        let grid = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let cols = Conv3x3::im2col(&grid);
+        assert_eq!(cols.shape(), (4, 9));
+        // Cell (0,0): center is 1.0, north-west neighbours are padding zeros.
+        assert_eq!(cols.get(0, 4), 1.0);
+        assert_eq!(cols.get(0, 0), 0.0);
+        // Its east neighbour is 2.0 (kernel index 5 = (0, +1)).
+        assert_eq!(cols.get(0, 5), 2.0);
+    }
+
+    #[test]
+    fn conv_forward_shape() {
+        let mut store = ParamStore::new();
+        let conv = Conv3x3::new(&mut store, "conv", 4, &mut rng());
+        let grid = Matrix::from_vec(3, 3, (0..9).map(|i| i as f32).collect());
+        let mut t = Tape::new();
+        let x = t.constant(Conv3x3::im2col(&grid));
+        let y = conv.forward(&mut t, &store, x);
+        assert_eq!(t.value(y).shape(), (9, 4));
+    }
+}

@@ -1,0 +1,35 @@
+//! A minimal tape-based autograd engine and the neural layers needed by the
+//! SMORE networks (TASNet, the critic, the RL TSPTW pointer solver).
+//!
+//! The paper's reference implementation runs on PyTorch with a GPU. Rust has
+//! no mature native deep-RL stack (`tch-rs` requires a libtorch install), so
+//! this crate provides the substrate from scratch (DESIGN.md §3.1):
+//!
+//! * [`Matrix`] — dense row-major `f32` matrices.
+//! * [`Tape`] / [`Var`] — define-by-run reverse-mode autodiff with exactly
+//!   the ops attention models need (masked softmax, pooling, gather, …).
+//! * [`ParamStore`] — persistent parameters with gradient accumulators and
+//!   JSON (de)serialization for trained models.
+//! * Layers — [`Linear`], [`LayerNorm`], [`MultiHeadAttention`],
+//!   [`FeedForward`], [`EncoderLayer`]/[`Encoder`], [`Mlp`], [`Conv3x3`].
+//! * [`Adam`] — the optimizer used throughout the paper.
+//! * Sampling helpers — stochastic during training, greedy at inference.
+//!
+//! Every op's gradient is validated against central finite differences in
+//! `tests/gradcheck.rs`.
+
+#![warn(missing_docs)]
+
+mod layers;
+mod matrix;
+mod optim;
+mod params;
+mod sample;
+mod tape;
+
+pub use layers::{Conv3x3, Encoder, EncoderLayer, FeedForward, LayerNorm, Linear, Mlp, MultiHeadAttention};
+pub use matrix::Matrix;
+pub use optim::Adam;
+pub use params::{ParamId, ParamStore};
+pub use sample::{argmax_row, sample_row, select_row};
+pub use tape::{Tape, Var, NEG_INF};

@@ -1,0 +1,114 @@
+//! Optimizers. The paper trains with Adam at an initial learning rate of
+//! 1e-4 (Section V-B, "Training Details & Hyperparameters").
+
+use crate::params::ParamStore;
+
+/// The Adam optimizer (Kingma & Ba).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Optional global gradient-norm clip applied before each step.
+    pub grad_clip: Option<f32>,
+    step: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the paper's defaults (`lr = 1e-4`,
+    /// betas `0.9 / 0.999`).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, grad_clip: Some(1.0), step: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one update from the store's accumulated gradients, then
+    /// zeroes them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        if self.m.len() != store.len() {
+            self.m = (0..store.len())
+                .map(|i| vec![0.0; store.value(crate::params::ParamId(i)).data().len()])
+                .collect();
+            self.v = self.m.clone();
+        }
+        if let Some(clip) = self.grad_clip {
+            let norm = store.grad_norm();
+            if norm > clip {
+                store.scale_grads(clip / norm);
+            }
+        }
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+        let (m, v) = (&mut self.m, &mut self.v);
+        store.update_each(|i, value, grad| {
+            let (mi, vi) = (&mut m[i], &mut v[i]);
+            for ((val, &g), (m, v)) in value
+                .data_mut()
+                .iter_mut()
+                .zip(grad.data())
+                .zip(mi.iter_mut().zip(vi.iter_mut()))
+            {
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                *val -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
+        store.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::tape::Tape;
+
+    /// Adam must drive a simple quadratic to its minimum.
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let x = store.alloc("x", Matrix::scalar(5.0));
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            let mut t = Tape::new();
+            let xv = t.param(&store, x);
+            let shifted = t.add_const(xv, -3.0); // minimize (x-3)^2
+            let sq = t.square(shifted);
+            let loss = t.sum_all(sq);
+            t.backward(loss);
+            t.scatter_grads(&mut store);
+            adam.step(&mut store);
+        }
+        assert!((store.value(x).item() - 3.0).abs() < 1e-2);
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn grad_clip_bounds_update() {
+        let mut store = ParamStore::new();
+        let x = store.alloc("x", Matrix::scalar(0.0));
+        store.accumulate_grad(x, &Matrix::scalar(1000.0));
+        let mut adam = Adam::new(1.0);
+        adam.grad_clip = Some(1.0);
+        adam.step(&mut store);
+        // First Adam step magnitude is ≈ lr regardless, but clipping ensures
+        // the internal moments stay sane; just assert finiteness and bound.
+        assert!(store.value(x).item().is_finite());
+        assert!(store.value(x).item().abs() <= 1.5);
+    }
+}

@@ -1,0 +1,214 @@
+//! Persistent parameter storage shared across tape rebuilds.
+//!
+//! Define-by-run autograd rebuilds the computation graph on every forward
+//! pass, so trainable parameters live outside the tape in a [`ParamStore`].
+//! The tape references them by [`ParamId`]; after `backward`, gradients are
+//! scattered back into the store, where the optimizer consumes them.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+/// Owns all trainable parameters of a model together with their gradient
+/// accumulators.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+    #[serde(skip)]
+    grads: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter initialized to `value`.
+    pub fn alloc(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Matrix::zeros(value.rows(), value.cols()));
+        self.values.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Registers a parameter with Xavier/Glorot-uniform initialization.
+    pub fn alloc_xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        self.alloc(name, Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Registers a zero-initialized parameter (biases).
+    pub fn alloc_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.alloc(name, Matrix::zeros(rows, cols))
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable value of a parameter (used by optimizers and loading).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Adds `g` into the gradient accumulator of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
+        self.grads[id.0].add_assign(g);
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.data_mut().fill(0.0);
+        }
+    }
+
+    /// Number of parameters (tensors).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.values.iter().map(|m| m.rows() * m.cols()).sum()
+    }
+
+    /// Iterates `(id, name, value)` over all parameters.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// Applies `f(value, grad)` to every parameter in place (optimizer hook).
+    pub fn update_each(&mut self, mut f: impl FnMut(usize, &mut Matrix, &Matrix)) {
+        for i in 0..self.values.len() {
+            f(i, &mut self.values[i], &self.grads[i]);
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping).
+    pub fn grad_norm(&self) -> f32 {
+        self.grads.iter().map(|g| {
+            let n = g.norm();
+            n * n
+        }).sum::<f32>().sqrt()
+    }
+
+    /// Scales every gradient by `factor` (for clipping).
+    pub fn scale_grads(&mut self, factor: f32) {
+        for g in &mut self.grads {
+            for x in g.data_mut() {
+                *x *= factor;
+            }
+        }
+    }
+
+    /// Serializes values (not gradients) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore serialization cannot fail")
+    }
+
+    /// Restores a store from [`ParamStore::to_json`] output, re-creating
+    /// empty gradient accumulators.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let mut store: ParamStore = serde_json::from_str(json)?;
+        store.grads =
+            store.values.iter().map(|v| Matrix::zeros(v.rows(), v.cols())).collect();
+        Ok(store)
+    }
+
+    /// Copies parameter values from `other` (shapes and order must match).
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn load_values_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.len(), other.len(), "parameter count mismatch");
+        for i in 0..self.values.len() {
+            assert_eq!(
+                self.values[i].shape(),
+                other.values[i].shape(),
+                "shape mismatch for parameter {}",
+                self.names[i]
+            );
+            self.values[i] = other.values[i].clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn alloc_and_grad_accumulation() {
+        let mut s = ParamStore::new();
+        let id = s.alloc("w", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        s.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![0.5, 0.5]));
+        s.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![0.5, 0.5]));
+        assert_eq!(s.grad(id).data(), &[1.0, 1.0]);
+        s.zero_grads();
+        assert_eq!(s.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut s = ParamStore::new();
+        let id = s.alloc_xavier("w", 64, 64, &mut rng);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(s.value(id).data().iter().all(|&x| x.abs() <= bound));
+        // Should not be degenerate.
+        assert!(s.value(id).norm() > 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut s = ParamStore::new();
+        s.alloc_xavier("a", 3, 4, &mut rng);
+        s.alloc_zeros("b", 1, 4);
+        let json = s.to_json();
+        let restored = ParamStore::from_json(&json).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.value(ParamId(0)), s.value(ParamId(0)));
+        assert_eq!(restored.scalar_count(), 16);
+    }
+
+    #[test]
+    fn grad_norm_and_scaling() {
+        let mut s = ParamStore::new();
+        let id = s.alloc("w", Matrix::zeros(1, 2));
+        s.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        assert!((s.grad_norm() - 5.0).abs() < 1e-6);
+        s.scale_grads(0.5);
+        assert_eq!(s.grad(id).data(), &[1.5, 2.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Action selection from probability rows: sampling during training,
+//! greedy argmax during validation/testing (Section V-B).
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Samples an index from probability row `r` of `probs`.
+///
+/// Entries must be non-negative; zero-probability entries are never chosen.
+/// Falls back to the argmax if rounding leaves residual mass.
+///
+/// # Panics
+/// Panics if the row has no positive mass (a fully masked row must never be
+/// sampled).
+pub fn sample_row(probs: &Matrix, r: usize, rng: &mut impl Rng) -> usize {
+    let row = probs.row_slice(r);
+    let total: f32 = row.iter().sum();
+    assert!(total > 0.0, "sampling from a row with no probability mass");
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &p) in row.iter().enumerate() {
+        if p <= 0.0 {
+            continue;
+        }
+        if target < p {
+            return i;
+        }
+        target -= p;
+    }
+    argmax_row(probs, r)
+}
+
+/// Index of the maximum entry in row `r`.
+pub fn argmax_row(probs: &Matrix, r: usize) -> usize {
+    probs
+        .row_slice(r)
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("argmax of empty row")
+}
+
+/// Either samples (training) or takes the argmax (inference).
+pub fn select_row(probs: &Matrix, r: usize, greedy: bool, rng: &mut impl Rng) -> usize {
+    if greedy {
+        argmax_row(probs, r)
+    } else {
+        sample_row(probs, r, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn argmax_picks_peak() {
+        let p = Matrix::from_vec(1, 4, vec![0.1, 0.6, 0.2, 0.1]);
+        assert_eq!(argmax_row(&p, 0), 1);
+    }
+
+    #[test]
+    fn sampling_respects_zeros() {
+        let p = Matrix::from_vec(1, 3, vec![0.0, 1.0, 0.0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(sample_row(&p, 0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sampling_is_roughly_proportional() {
+        let p = Matrix::from_vec(1, 2, vec![0.25, 0.75]);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..4000).filter(|_| sample_row(&p, 0, &mut rng) == 1).count();
+        assert!((2700..3300).contains(&hits), "got {hits} / 4000");
+    }
+
+    #[test]
+    #[should_panic(expected = "no probability mass")]
+    fn empty_mass_panics() {
+        let p = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        sample_row(&p, 0, &mut SmallRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,790 @@
+//! Define-by-run reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records operations as they execute (values are computed
+//! eagerly); [`Tape::backward`] then walks the recording in reverse,
+//! accumulating gradients. Parameters live in a [`ParamStore`] and are
+//! brought onto the tape with [`Tape::param`]; after backward,
+//! [`Tape::scatter_grads`] pushes their gradients back into the store.
+//!
+//! The op set is exactly what the SMORE networks need: matmul, broadcast
+//! add/mul, element-wise nonlinearities, masked softmax / log-softmax,
+//! pooling, concatenation, slicing/gathering, row normalization, and scalar
+//! extraction for policy-gradient losses.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+
+/// Additive mask value treated as `-∞` by the softmax ops.
+pub const NEG_INF: f32 = -1.0e9;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input or parameter leaf (parameter when `ParamId` present).
+    Leaf(Option<ParamId>),
+    Matmul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `A [n,d] + b [1,d]` broadcast over rows.
+    AddBroadcast(Var, Var),
+    /// `A [n,d] ⊙ b [1,d]` broadcast over rows.
+    MulBroadcast(Var, Var),
+    Scale(Var, f32),
+    AddConst(Var),
+    Tanh(Var),
+    Relu(Var),
+    Sigmoid(Var),
+    Exp(Var),
+    /// Row-wise softmax of `x + mask` (mask is a constant matrix baked in).
+    SoftmaxRows(Var),
+    /// Row-wise log-softmax of `x + mask`.
+    LogSoftmaxRows(Var),
+    /// Mean over rows: `[n,d] → [1,d]`.
+    MeanRows(Var),
+    /// Sum of all entries: `→ [1,1]`.
+    SumAll(Var),
+    /// Mean of all entries: `→ [1,1]`.
+    MeanAll(Var),
+    /// Column-wise concatenation.
+    ConcatCols(Vec<Var>),
+    /// Row-wise concatenation.
+    ConcatRows(Vec<Var>),
+    /// Columns `[start, start+len)`.
+    SliceCols(Var, usize),
+    /// Row gather by explicit indices (duplicates allowed).
+    GatherRows(Var, Vec<usize>),
+    Transpose(Var),
+    /// Row-wise standardization `(x − μ_row) / σ_row` (layer-norm core).
+    NormRows(Var, f32),
+    /// Single element `(r, c) → [1,1]`.
+    Pick(Var, usize, usize),
+    /// Element-wise square (for critic MSE losses).
+    Square(Var),
+    /// Row-major reshape (same element count).
+    Reshape(Var),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    /// Whether any ancestor is a parameter (gradient needs propagating).
+    needs_grad: bool,
+}
+
+/// A reverse-mode autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node after [`Tape::backward`]; zeros if unused.
+    pub fn grad(&self, v: Var) -> Matrix {
+        let n = &self.nodes[v.0];
+        n.grad.clone().unwrap_or_else(|| Matrix::zeros(n.value.rows(), n.value.cols()))
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
+        self.nodes.push(Node { value, grad: None, op, needs_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    /// Records a constant (no gradient flows into it).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf(None), false)
+    }
+
+    /// Brings a parameter onto the tape.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Leaf(Some(id)), true)
+    }
+
+    /// `a × b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Matmul(a, b), ng)
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Add(a, b), ng)
+    }
+
+    /// `a − b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Sub(a, b), ng)
+    }
+
+    /// Element-wise `a ⊙ b` (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Mul(a, b), ng)
+    }
+
+    /// `a [n,d] + b [1,d]`, broadcasting `b` over rows.
+    pub fn add_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (self.value(a), self.value(b));
+        assert_eq!(bm.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
+        let mut v = am.clone();
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                let x = v.get(r, c) + bm.get(0, c);
+                v.set(r, c, x);
+            }
+        }
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::AddBroadcast(a, b), ng)
+    }
+
+    /// `a [n,d] ⊙ b [1,d]`, broadcasting `b` over rows.
+    pub fn mul_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (self.value(a), self.value(b));
+        assert_eq!(bm.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
+        let mut v = am.clone();
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                let x = v.get(r, c) * bm.get(0, c);
+                v.set(r, c, x);
+            }
+        }
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::MulBroadcast(a, b), ng)
+    }
+
+    /// `c · a`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x * c);
+        let ng = self.needs(a);
+        self.push(v, Op::Scale(a, c), ng)
+    }
+
+    /// `a + c` element-wise.
+    pub fn add_const(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x + c);
+        let ng = self.needs(a);
+        self.push(v, Op::AddConst(a), ng)
+    }
+
+    /// Element-wise `tanh`.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        let ng = self.needs(a);
+        self.push(v, Op::Tanh(a), ng)
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let ng = self.needs(a);
+        self.push(v, Op::Relu(a), ng)
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let ng = self.needs(a);
+        self.push(v, Op::Sigmoid(a), ng)
+    }
+
+    /// Element-wise `exp`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        let ng = self.needs(a);
+        self.push(v, Op::Exp(a), ng)
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        let ng = self.needs(a);
+        self.push(v, Op::Square(a), ng)
+    }
+
+    /// Row-wise softmax of `a + mask`; entries of `mask` at or below
+    /// [`NEG_INF`]`/2` behave as `-∞` (their probability is exactly zero).
+    pub fn softmax_rows(&mut self, a: Var, mask: Option<&Matrix>) -> Var {
+        let v = softmax_masked(self.value(a), mask);
+        let ng = self.needs(a);
+        self.push(v, Op::SoftmaxRows(a), ng)
+    }
+
+    /// Row-wise log-softmax of `a + mask` (numerically stable).
+    pub fn log_softmax_rows(&mut self, a: Var, mask: Option<&Matrix>) -> Var {
+        let v = log_softmax_masked(self.value(a), mask);
+        let ng = self.needs(a);
+        self.push(v, Op::LogSoftmaxRows(a), ng)
+    }
+
+    /// Mean over rows: `[n,d] → [1,d]` (mean pooling over a set).
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let m = self.value(a);
+        let n = m.rows().max(1);
+        let mut v = m.sum_rows();
+        for x in v.data_mut() {
+            *x /= n as f32;
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::MeanRows(a), ng)
+    }
+
+    /// Sum of all entries: `→ [1,1]`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s: f32 = self.value(a).data().iter().sum();
+        let ng = self.needs(a);
+        self.push(Matrix::scalar(s), Op::SumAll(a), ng)
+    }
+
+    /// Mean of all entries: `→ [1,1]`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let m = self.value(a);
+        let count = (m.rows() * m.cols()).max(1) as f32;
+        let s: f32 = m.data().iter().sum();
+        let ng = self.needs(a);
+        self.push(Matrix::scalar(s / count), Op::MeanAll(a), ng)
+    }
+
+    /// Concatenates along columns (all inputs share the row count).
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat of zero parts");
+        let rows = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut v = Matrix::zeros(rows, total);
+        let mut off = 0;
+        for &p in parts {
+            let m = self.value(p);
+            assert_eq!(m.rows(), rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                let src = m.row_slice(r);
+                v.row_slice_mut(r)[off..off + src.len()].copy_from_slice(src);
+            }
+            off += m.cols();
+        }
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(v, Op::ConcatCols(parts.to_vec()), ng)
+    }
+
+    /// Concatenates along rows (all inputs share the column count).
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat of zero parts");
+        let cols = self.value(parts[0]).cols();
+        let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
+        let mut v = Matrix::zeros(total, cols);
+        let mut off = 0;
+        for &p in parts {
+            let m = self.value(p);
+            assert_eq!(m.cols(), cols, "concat_rows col mismatch");
+            for r in 0..m.rows() {
+                v.row_slice_mut(off + r).copy_from_slice(m.row_slice(r));
+            }
+            off += m.rows();
+        }
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(v, Op::ConcatRows(parts.to_vec()), ng)
+    }
+
+    /// Columns `[start, start+len)` of `a`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let m = self.value(a);
+        assert!(start + len <= m.cols(), "slice_cols out of bounds");
+        let mut v = Matrix::zeros(m.rows(), len);
+        for r in 0..m.rows() {
+            v.row_slice_mut(r).copy_from_slice(&m.row_slice(r)[start..start + len]);
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::SliceCols(a, start), ng)
+    }
+
+    /// Gathers rows of `a` by `indices` (duplicates allowed); `[k, d]`.
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let m = self.value(a);
+        let mut v = Matrix::zeros(indices.len(), m.cols());
+        for (r, &i) in indices.iter().enumerate() {
+            assert!(i < m.rows(), "gather_rows index {i} out of bounds");
+            v.row_slice_mut(r).copy_from_slice(m.row_slice(i));
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::GatherRows(a, indices.to_vec()), ng)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        let ng = self.needs(a);
+        self.push(v, Op::Transpose(a), ng)
+    }
+
+    /// Row-wise standardization `(x − μ) / sqrt(σ² + eps)` — the layer-norm
+    /// core; affine scale/shift compose via [`Tape::mul_broadcast`] and
+    /// [`Tape::add_broadcast`].
+    pub fn norm_rows(&mut self, a: Var, eps: f32) -> Var {
+        let m = self.value(a);
+        let mut v = Matrix::zeros(m.rows(), m.cols());
+        for r in 0..m.rows() {
+            let row = m.row_slice(r);
+            let d = row.len() as f32;
+            let mean = row.iter().sum::<f32>() / d;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d;
+            let s = (var + eps).sqrt();
+            for (c, &x) in row.iter().enumerate() {
+                v.set(r, c, (x - mean) / s);
+            }
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::NormRows(a, eps), ng)
+    }
+
+    /// Row-major reshape to `rows × cols`; element order is preserved.
+    ///
+    /// # Panics
+    /// Panics if the element count changes.
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let m = self.value(a);
+        assert_eq!(m.rows() * m.cols(), rows * cols, "reshape must preserve element count");
+        let v = Matrix::from_vec(rows, cols, m.data().to_vec());
+        let ng = self.needs(a);
+        self.push(v, Op::Reshape(a), ng)
+    }
+
+    /// Extracts element `(r, c)` as a `[1,1]` node (used to pick the log
+    /// probability of a sampled action).
+    pub fn pick(&mut self, a: Var, r: usize, c: usize) -> Var {
+        let v = Matrix::scalar(self.value(a).get(r, c));
+        let ng = self.needs(a);
+        self.push(v, Op::Pick(a, r, c), ng)
+    }
+
+    /// Runs reverse-mode differentiation from scalar node `loss`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 × 1`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward requires a scalar loss");
+        self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].needs_grad {
+                continue;
+            }
+            let Some(grad) = self.nodes[i].grad.take() else { continue };
+            let op = self.nodes[i].op.clone();
+            self.propagate(&op, i, &grad);
+            self.nodes[i].grad = Some(grad);
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, g: Matrix) {
+        if !self.nodes[v.0].needs_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn propagate(&mut self, op: &Op, node: usize, grad: &Matrix) {
+        match op {
+            Op::Leaf(_) => {}
+            Op::Matmul(a, b) => {
+                if self.needs(*a) {
+                    let g = grad.matmul(&self.value(*b).transpose());
+                    self.accumulate(*a, g);
+                }
+                if self.needs(*b) {
+                    let g = self.value(*a).transpose().matmul(grad);
+                    self.accumulate(*b, g);
+                }
+            }
+            Op::Add(a, b) => {
+                self.accumulate(*a, grad.clone());
+                self.accumulate(*b, grad.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(*a, grad.clone());
+                self.accumulate(*b, grad.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                if self.needs(*a) {
+                    let g = grad.zip(self.value(*b), |g, y| g * y);
+                    self.accumulate(*a, g);
+                }
+                if self.needs(*b) {
+                    let g = grad.zip(self.value(*a), |g, x| g * x);
+                    self.accumulate(*b, g);
+                }
+            }
+            Op::AddBroadcast(a, b) => {
+                self.accumulate(*a, grad.clone());
+                if self.needs(*b) {
+                    self.accumulate(*b, grad.sum_rows());
+                }
+            }
+            Op::MulBroadcast(a, b) => {
+                if self.needs(*a) {
+                    let bm = self.value(*b).clone();
+                    let mut g = grad.clone();
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            let x = g.get(r, c) * bm.get(0, c);
+                            g.set(r, c, x);
+                        }
+                    }
+                    self.accumulate(*a, g);
+                }
+                if self.needs(*b) {
+                    let g = grad.zip(self.value(*a), |g, x| g * x).sum_rows();
+                    self.accumulate(*b, g);
+                }
+            }
+            Op::Scale(a, c) => self.accumulate(*a, grad.map(|x| x * c)),
+            Op::AddConst(a) => self.accumulate(*a, grad.clone()),
+            Op::Tanh(a) => {
+                let y = &self.nodes[node].value;
+                let g = grad.zip(y, |g, y| g * (1.0 - y * y));
+                self.accumulate(*a, g);
+            }
+            Op::Relu(a) => {
+                let g = grad.zip(&self.nodes[node].value, |g, y| if y > 0.0 { g } else { 0.0 });
+                self.accumulate(*a, g);
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[node].value;
+                let g = grad.zip(y, |g, y| g * y * (1.0 - y));
+                self.accumulate(*a, g);
+            }
+            Op::Exp(a) => {
+                let g = grad.zip(&self.nodes[node].value, |g, y| g * y);
+                self.accumulate(*a, g);
+            }
+            Op::Square(a) => {
+                let g = grad.zip(self.value(*a), |g, x| 2.0 * g * x);
+                self.accumulate(*a, g);
+            }
+            Op::SoftmaxRows(a) => {
+                let y = self.nodes[node].value.clone();
+                let mut g = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let dot: f32 = (0..y.cols()).map(|c| grad.get(r, c) * y.get(r, c)).sum();
+                    for c in 0..y.cols() {
+                        g.set(r, c, y.get(r, c) * (grad.get(r, c) - dot));
+                    }
+                }
+                self.accumulate(*a, g);
+            }
+            Op::LogSoftmaxRows(a) => {
+                let y = self.nodes[node].value.clone();
+                let mut g = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let gsum: f32 = (0..y.cols()).map(|c| grad.get(r, c)).sum();
+                    for c in 0..y.cols() {
+                        g.set(r, c, grad.get(r, c) - y.get(r, c).exp() * gsum);
+                    }
+                }
+                self.accumulate(*a, g);
+            }
+            Op::MeanRows(a) => {
+                let n = self.value(*a).rows().max(1);
+                let mut g = Matrix::zeros(self.value(*a).rows(), self.value(*a).cols());
+                for r in 0..g.rows() {
+                    for c in 0..g.cols() {
+                        g.set(r, c, grad.get(0, c) / n as f32);
+                    }
+                }
+                self.accumulate(*a, g);
+            }
+            Op::SumAll(a) => {
+                let s = grad.item();
+                let m = self.value(*a);
+                self.accumulate(*a, Matrix::full(m.rows(), m.cols(), s));
+            }
+            Op::MeanAll(a) => {
+                let m = self.value(*a);
+                let s = grad.item() / ((m.rows() * m.cols()).max(1)) as f32;
+                self.accumulate(*a, Matrix::full(m.rows(), m.cols(), s));
+            }
+            Op::ConcatCols(parts) => {
+                let mut off = 0;
+                for &p in parts {
+                    let (rows, cols) = self.value(p).shape();
+                    if self.needs(p) {
+                        let mut g = Matrix::zeros(rows, cols);
+                        for r in 0..rows {
+                            g.row_slice_mut(r)
+                                .copy_from_slice(&grad.row_slice(r)[off..off + cols]);
+                        }
+                        self.accumulate(p, g);
+                    }
+                    off += cols;
+                }
+            }
+            Op::ConcatRows(parts) => {
+                let mut off = 0;
+                for &p in parts {
+                    let (rows, cols) = self.value(p).shape();
+                    if self.needs(p) {
+                        let mut g = Matrix::zeros(rows, cols);
+                        for r in 0..rows {
+                            g.row_slice_mut(r).copy_from_slice(grad.row_slice(off + r));
+                        }
+                        self.accumulate(p, g);
+                    }
+                    off += rows;
+                }
+            }
+            Op::SliceCols(a, start) => {
+                let (rows, cols) = self.value(*a).shape();
+                let mut g = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    g.row_slice_mut(r)[*start..start + grad.cols()]
+                        .copy_from_slice(grad.row_slice(r));
+                }
+                self.accumulate(*a, g);
+            }
+            Op::GatherRows(a, indices) => {
+                let (rows, cols) = self.value(*a).shape();
+                let mut g = Matrix::zeros(rows, cols);
+                for (r, &i) in indices.iter().enumerate() {
+                    let dst = g.row_slice_mut(i);
+                    for (d, &s) in dst.iter_mut().zip(grad.row_slice(r)) {
+                        *d += s;
+                    }
+                }
+                self.accumulate(*a, g);
+            }
+            Op::Transpose(a) => self.accumulate(*a, grad.transpose()),
+            Op::NormRows(a, eps) => {
+                // y = (x − μ)/s, s = sqrt(var + eps):
+                // dx = (dy − mean(dy) − y·mean(dy ⊙ y)) / s
+                let x = self.value(*a).clone();
+                let y = self.nodes[node].value.clone();
+                let mut g = Matrix::zeros(x.rows(), x.cols());
+                let d = x.cols() as f32;
+                for r in 0..x.rows() {
+                    let row = x.row_slice(r);
+                    let mean = row.iter().sum::<f32>() / d;
+                    let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
+                    let s = (var + eps).sqrt();
+                    let dy_mean: f32 = (0..x.cols()).map(|c| grad.get(r, c)).sum::<f32>() / d;
+                    let dyy_mean: f32 =
+                        (0..x.cols()).map(|c| grad.get(r, c) * y.get(r, c)).sum::<f32>() / d;
+                    for c in 0..x.cols() {
+                        g.set(r, c, (grad.get(r, c) - dy_mean - y.get(r, c) * dyy_mean) / s);
+                    }
+                }
+                self.accumulate(*a, g);
+            }
+            Op::Reshape(a) => {
+                let (rows, cols) = self.value(*a).shape();
+                self.accumulate(*a, Matrix::from_vec(rows, cols, grad.data().to_vec()));
+            }
+            Op::Pick(a, r, c) => {
+                let (rows, cols) = self.value(*a).shape();
+                let mut g = Matrix::zeros(rows, cols);
+                g.set(*r, *c, grad.item());
+                self.accumulate(*a, g);
+            }
+        }
+    }
+
+    /// After [`Tape::backward`], adds each parameter node's gradient into the
+    /// store's accumulators.
+    pub fn scatter_grads(&self, store: &mut ParamStore) {
+        for node in &self.nodes {
+            if let (Op::Leaf(Some(id)), Some(grad)) = (&node.op, &node.grad) {
+                store.accumulate_grad(*id, grad);
+            }
+        }
+    }
+}
+
+fn softmax_masked(x: &Matrix, mask: Option<&Matrix>) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let mut logits: Vec<f32> = x.row_slice(r).to_vec();
+        if let Some(m) = mask {
+            for (l, &mv) in logits.iter_mut().zip(m.row_slice(if m.rows() == 1 { 0 } else { r })) {
+                *l += mv;
+            }
+        }
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        if max <= NEG_INF / 2.0 {
+            // Fully masked row: uniform zeros (caller must not sample it).
+            continue;
+        }
+        let mut sum = 0.0;
+        for l in &mut logits {
+            *l = if *l <= NEG_INF / 2.0 { 0.0 } else { (*l - max).exp() };
+            sum += *l;
+        }
+        for (c, l) in logits.iter().enumerate() {
+            out.set(r, c, l / sum);
+        }
+    }
+    out
+}
+
+fn log_softmax_masked(x: &Matrix, mask: Option<&Matrix>) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let mut logits: Vec<f32> = x.row_slice(r).to_vec();
+        if let Some(m) = mask {
+            for (l, &mv) in logits.iter_mut().zip(m.row_slice(if m.rows() == 1 { 0 } else { r })) {
+                *l += mv;
+            }
+        }
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max
+            + logits
+                .iter()
+                .map(|&l| if l <= NEG_INF / 2.0 { 0.0 } else { (l - max).exp() })
+                .sum::<f32>()
+                .ln();
+        for (c, &l) in logits.iter().enumerate() {
+            out.set(r, c, if l <= NEG_INF / 2.0 { NEG_INF } else { l - lse });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_match_hand_computation() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = t.constant(Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+        let c = t.matmul(a, b);
+        assert_eq!(t.value(c).item(), 11.0);
+        let d = t.scale(c, 2.0);
+        assert_eq!(t.value(d).item(), 22.0);
+    }
+
+    #[test]
+    fn backward_through_matmul() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1.
+        let mut store = ParamStore::new();
+        let a_id = store.alloc("a", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b_id = store.alloc("b", Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+        let mut t = Tape::new();
+        let a = t.param(&store, a_id);
+        let b = t.param(&store, b_id);
+        let c = t.matmul(a, b);
+        let loss = t.sum_all(c);
+        t.backward(loss);
+        t.scatter_grads(&mut store);
+        assert_eq!(store.grad(a_id).data(), &[3.0, 4.0]);
+        assert_eq!(store.grad(b_id).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_respect_mask() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let mask = Matrix::from_vec(1, 3, vec![0.0, NEG_INF, 0.0]);
+        let p = t.softmax_rows(x, Some(&mask));
+        let probs = t.value(p);
+        assert_eq!(probs.get(0, 1), 0.0);
+        let sum: f32 = probs.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.0, 0.0, 0.0]));
+        let p = t.softmax_rows(x, None);
+        let lp = t.log_softmax_rows(x, None);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert!((t.value(p).get(r, c).ln() - t.value(lp).get(r, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn constants_receive_no_grad() {
+        let mut store = ParamStore::new();
+        let w = store.alloc("w", Matrix::scalar(2.0));
+        let mut t = Tape::new();
+        let c = t.constant(Matrix::scalar(5.0));
+        let p = t.param(&store, w);
+        let y = t.mul(c, p);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        assert_eq!(t.grad(c).item(), 0.0, "constant keeps zero grad");
+        assert_eq!(t.grad(p).item(), 5.0);
+    }
+
+    #[test]
+    fn gather_rows_accumulates_duplicates() {
+        let mut store = ParamStore::new();
+        let w = store.alloc("w", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut t = Tape::new();
+        let p = t.param(&store, w);
+        let g = t.gather_rows(p, &[0, 0, 1]);
+        let loss = t.sum_all(g);
+        t.backward(loss);
+        t.scatter_grads(&mut store);
+        assert_eq!(store.grad(w).data(), &[2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_rows_of_empty_set_is_zero_vector() {
+        // TASNet mean-pools a worker's assigned tasks, which may be empty;
+        // the zero-row case must yield a well-formed zero vector, not NaNs.
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::zeros(0, 4));
+        let m = t.mean_rows(x);
+        assert_eq!(t.value(m).shape(), (1, 4));
+        assert!(t.value(m).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fully_masked_softmax_row_is_all_zero() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let mask = Matrix::from_vec(1, 2, vec![NEG_INF, NEG_INF]);
+        let p = t.softmax_rows(x, Some(&mask));
+        assert_eq!(t.value(p).data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Central finite-difference gradient checks for every differentiable op and
+//! for the composite layers.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use smore_nn::{
+    Conv3x3, Encoder, Matrix, Mlp, MultiHeadAttention, ParamStore, Tape, Var, NEG_INF,
+};
+
+/// Checks that analytic gradients of `loss_fn` match central finite
+/// differences on every parameter in `store`.
+fn gradcheck(store: &mut ParamStore, loss_fn: &dyn Fn(&mut Tape, &ParamStore) -> Var, tol: f32) {
+    // Analytic gradients.
+    store.zero_grads();
+    let mut tape = Tape::new();
+    let loss = loss_fn(&mut tape, store);
+    tape.backward(loss);
+    tape.scatter_grads(store);
+
+    let ids: Vec<_> = store.iter().map(|(id, _, _)| id).collect();
+    let h = 1e-2f32;
+    for id in ids {
+        let analytic = store.grad(id).clone();
+        let len = store.value(id).data().len();
+        for k in (0..len).step_by((len / 6).max(1)) {
+            let orig = store.value(id).data()[k];
+            store.value_mut(id).data_mut()[k] = orig + h;
+            let mut t = Tape::new();
+            let l = loss_fn(&mut t, store);
+            let plus = t.value(l).item();
+            store.value_mut(id).data_mut()[k] = orig - h;
+            let mut t = Tape::new();
+            let l = loss_fn(&mut t, store);
+            let minus = t.value(l).item();
+            store.value_mut(id).data_mut()[k] = orig;
+
+            let numeric = (plus - minus) / (2.0 * h);
+            let a = analytic.data()[k];
+            let denom = a.abs().max(numeric.abs()).max(1.0);
+            assert!(
+                (a - numeric).abs() / denom < tol,
+                "grad mismatch at element {k}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+}
+
+fn rand_matrix(rng: &mut SmallRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+#[test]
+fn matmul_chain() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let a = store.alloc("a", rand_matrix(&mut rng, 3, 4));
+    let b = store.alloc("b", rand_matrix(&mut rng, 4, 2));
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let av = t.param(s, a);
+            let bv = t.param(s, b);
+            let c = t.matmul(av, bv);
+            t.sum_all(c)
+        },
+        5e-2,
+    );
+}
+
+#[test]
+fn elementwise_nonlinearities() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let a = store.alloc("a", rand_matrix(&mut rng, 2, 5));
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let x = t.param(s, a);
+            let y = t.tanh(x);
+            let z = t.sigmoid(y);
+            let w = t.exp(z);
+            let q = t.square(w);
+            t.mean_all(q)
+        },
+        5e-2,
+    );
+}
+
+#[test]
+fn relu_away_from_kink() {
+    let mut store = ParamStore::new();
+    // Values far from zero so the finite difference doesn't cross the kink.
+    let a = store.alloc("a", Matrix::from_vec(1, 4, vec![1.0, -1.0, 2.0, -2.0]));
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let x = t.param(s, a);
+            let y = t.relu(x);
+            t.sum_all(y)
+        },
+        5e-2,
+    );
+}
+
+#[test]
+fn broadcast_ops() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let a = store.alloc("a", rand_matrix(&mut rng, 3, 4));
+    let b = store.alloc("b", rand_matrix(&mut rng, 1, 4));
+    let g = store.alloc("g", rand_matrix(&mut rng, 1, 4));
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let av = t.param(s, a);
+            let bv = t.param(s, b);
+            let gv = t.param(s, g);
+            let x = t.add_broadcast(av, bv);
+            let y = t.mul_broadcast(x, gv);
+            t.sum_all(y)
+        },
+        5e-2,
+    );
+}
+
+#[test]
+fn masked_softmax() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let a = store.alloc("a", rand_matrix(&mut rng, 2, 5));
+    let mask = Matrix::from_vec(1, 5, vec![0.0, 0.0, NEG_INF, 0.0, 0.0]);
+    // Weighted sum of probabilities makes the loss sensitive to every entry.
+    let weights = rand_matrix(&mut rng, 2, 5);
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let x = t.param(s, a);
+            let p = t.softmax_rows(x, Some(&mask));
+            let w = t.constant(weights.clone());
+            let v = t.mul(p, w);
+            t.sum_all(v)
+        },
+        5e-2,
+    );
+}
+
+#[test]
+fn log_softmax_pick() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let a = store.alloc("a", rand_matrix(&mut rng, 1, 6));
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let x = t.param(s, a);
+            let lp = t.log_softmax_rows(x, None);
+            t.pick(lp, 0, 2)
+        },
+        5e-2,
+    );
+}
+
+#[test]
+fn pooling_concat_slice_gather() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut store = ParamStore::new();
+    let a = store.alloc("a", rand_matrix(&mut rng, 4, 3));
+    let b = store.alloc("b", rand_matrix(&mut rng, 4, 2));
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let av = t.param(s, a);
+            let bv = t.param(s, b);
+            let cat = t.concat_cols(&[av, bv]);
+            let gathered = t.gather_rows(cat, &[0, 2, 2, 3]);
+            let pooled = t.mean_rows(gathered);
+            let sliced = t.slice_cols(pooled, 1, 3);
+            let sq = t.square(sliced);
+            t.sum_all(sq)
+        },
+        5e-2,
+    );
+}
+
+#[test]
+fn concat_rows_and_transpose() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let a = store.alloc("a", rand_matrix(&mut rng, 2, 3));
+    let b = store.alloc("b", rand_matrix(&mut rng, 3, 3));
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let av = t.param(s, a);
+            let bv = t.param(s, b);
+            let cat = t.concat_rows(&[av, bv]);
+            let tr = t.transpose(cat);
+            let prod = t.matmul(cat, tr);
+            t.mean_all(prod)
+        },
+        5e-2,
+    );
+}
+
+#[test]
+fn norm_rows_layernorm_core() {
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut store = ParamStore::new();
+    let a = store.alloc("a", rand_matrix(&mut rng, 3, 6));
+    let weights = rand_matrix(&mut rng, 3, 6);
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let x = t.param(s, a);
+            let y = t.norm_rows(x, 1e-5);
+            let w = t.constant(weights.clone());
+            let v = t.mul(y, w);
+            t.sum_all(v)
+        },
+        8e-2,
+    );
+}
+
+#[test]
+fn multi_head_attention_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut store = ParamStore::new();
+    let mha = MultiHeadAttention::new(&mut store, "mha", 8, 2, &mut rng);
+    let x = rand_matrix(&mut rng, 3, 8);
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let xv = t.constant(x.clone());
+            let y = mha.self_attention(t, s, xv, None);
+            let sq = t.square(y);
+            t.mean_all(sq)
+        },
+        8e-2,
+    );
+}
+
+#[test]
+fn encoder_stack_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(10);
+    let mut store = ParamStore::new();
+    let enc = Encoder::new(&mut store, "enc", 8, 2, 16, 1, &mut rng);
+    let x = rand_matrix(&mut rng, 3, 8);
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let xv = t.constant(x.clone());
+            let y = enc.forward(t, s, xv);
+            let sq = t.square(y);
+            t.mean_all(sq)
+        },
+        1e-1,
+    );
+}
+
+#[test]
+fn mlp_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(&mut store, "mlp", &[5, 7, 1], &mut rng);
+    let x = rand_matrix(&mut rng, 2, 5);
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let xv = t.constant(x.clone());
+            let y = mlp.forward(t, s, xv);
+            t.sum_all(y)
+        },
+        8e-2,
+    );
+}
+
+#[test]
+fn conv3x3_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(12);
+    let mut store = ParamStore::new();
+    let conv = Conv3x3::new(&mut store, "conv", 3, &mut rng);
+    let grid = rand_matrix(&mut rng, 4, 5);
+    let cols = Conv3x3::im2col(&grid);
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let x = t.constant(cols.clone());
+            let y = conv.forward(t, s, x);
+            let sq = t.square(y);
+            t.sum_all(sq)
+        },
+        8e-2,
+    );
+}
+
+#[test]
+fn reshape_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let mut store = ParamStore::new();
+    let a = store.alloc("a", rand_matrix(&mut rng, 3, 4));
+    let weights = rand_matrix(&mut rng, 2, 6);
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let x = t.param(s, a);
+            let r = t.reshape(x, 2, 6);
+            let w = t.constant(weights.clone());
+            let v = t.mul(r, w);
+            t.sum_all(v)
+        },
+        5e-2,
+    );
+}

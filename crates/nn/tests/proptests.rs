@@ -1,0 +1,79 @@
+//! Property-based tests for the neural substrate.
+
+use proptest::prelude::*;
+use smore_nn::{Matrix, ParamStore, Tape, NEG_INF};
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// Softmax rows are probability distributions honoring hard masks.
+    #[test]
+    fn softmax_rows_are_distributions(
+        x in arb_matrix(3, 6),
+        masked_col in 0usize..6,
+    ) {
+        let mut mask = Matrix::zeros(1, 6);
+        mask.set(0, masked_col, NEG_INF);
+        let mut t = Tape::new();
+        let xv = t.constant(x);
+        let p = t.softmax_rows(xv, Some(&mask));
+        let pm = t.value(p);
+        for r in 0..3 {
+            let sum: f32 = pm.row_slice(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert_eq!(pm.get(r, masked_col), 0.0);
+            prop_assert!(pm.row_slice(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ through the tape ops.
+    #[test]
+    fn matmul_transpose_identity(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let mut t = Tape::new();
+        let av = t.constant(a);
+        let bv = t.constant(b);
+        let ab = t.matmul(av, bv);
+        let abt = t.transpose(ab);
+        let bt = t.transpose(bv);
+        let at = t.transpose(av);
+        let btat = t.matmul(bt, at);
+        let (x, y) = (t.value(abt).clone(), t.value(btat).clone());
+        for (p, q) in x.data().iter().zip(y.data()) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    /// Backward of sum(x·W) gives dW = Σ rows of x (linear regression check).
+    #[test]
+    fn linear_gradient_is_input_sum(x in arb_matrix(4, 3)) {
+        let mut store = ParamStore::new();
+        let w = store.alloc("w", Matrix::zeros(3, 2));
+        let mut t = Tape::new();
+        let xv = t.constant(x.clone());
+        let wv = t.param(&store, w);
+        let y = t.matmul(xv, wv);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        t.scatter_grads(&mut store);
+        let grad = store.grad(w);
+        // dW[i][j] = Σ_r x[r][i] for every output column j.
+        for i in 0..3 {
+            let expect: f32 = (0..4).map(|r| x.get(r, i)).sum();
+            for j in 0..2 {
+                prop_assert!((grad.get(i, j) - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Reshape preserves content row-major.
+    #[test]
+    fn reshape_preserves_data(x in arb_matrix(2, 6)) {
+        let mut t = Tape::new();
+        let xv = t.constant(x.clone());
+        let r = t.reshape(xv, 3, 4);
+        prop_assert_eq!(t.value(r).data(), x.data());
+    }
+}

@@ -1,0 +1,224 @@
+//! Exact TSPTW via bitmask dynamic programming.
+//!
+//! State: `(visited mask, last node) → earliest completion time at the last
+//! node`. Because arriving earlier at a node never hurts under hard windows
+//! (waiting is always allowed), earliest-completion dominance is exact: the
+//! DP finds the minimum feasible route travel time or proves infeasibility.
+//! Complexity `O(n² · 2ⁿ)` — practical up to `n ≈ 16`, which covers the
+//! worker route sizes of the paper's instances and gives the ground truth
+//! the heuristic and RL solvers are tested against.
+
+use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
+
+/// Exact DP solver; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct ExactDpSolver {
+    /// Hard cap on instance size (the DP table is `2ⁿ·n` floats).
+    pub max_nodes: usize,
+}
+
+impl ExactDpSolver {
+    /// Creates the solver with the default 16-node cap.
+    pub fn new() -> Self {
+        Self { max_nodes: 16 }
+    }
+}
+
+impl TsptwSolver for ExactDpSolver {
+    fn name(&self) -> &str {
+        "exact-dp"
+    }
+
+    fn solve(&self, p: &TsptwProblem) -> Option<TsptwSolution> {
+        let n = p.nodes.len();
+        if n == 0 {
+            let rtt = p.travel.travel_time(&p.start, &p.end);
+            return (p.depart + rtt <= p.deadline + 1e-6)
+                .then_some(TsptwSolution { order: vec![], rtt });
+        }
+        assert!(
+            n <= self.max_nodes,
+            "ExactDpSolver limited to {} nodes, got {n}",
+            self.max_nodes
+        );
+
+        let full = 1usize << n;
+        let mut dp = vec![f64::INFINITY; full * n];
+        let mut parent = vec![usize::MAX; full * n];
+
+        for (i, node) in p.nodes.iter().enumerate() {
+            let arrival = p.depart + p.travel.travel_time(&p.start, &node.loc);
+            if let Some(begin) = node.window.service_start(arrival, node.service) {
+                dp[(1 << i) * n + i] = begin + node.service;
+            }
+        }
+
+        for mask in 1..full {
+            for last in 0..n {
+                if mask & (1 << last) == 0 {
+                    continue;
+                }
+                let done = dp[mask * n + last];
+                if !done.is_finite() {
+                    continue;
+                }
+                for next in 0..n {
+                    if mask & (1 << next) != 0 {
+                        continue;
+                    }
+                    let node = &p.nodes[next];
+                    let arrival =
+                        done + p.travel.travel_time(&p.nodes[last].loc, &node.loc);
+                    let Some(begin) = node.window.service_start(arrival, node.service) else {
+                        continue;
+                    };
+                    let completion = begin + node.service;
+                    let slot = (mask | (1 << next)) * n + next;
+                    if completion < dp[slot] {
+                        dp[slot] = completion;
+                        parent[slot] = last;
+                    }
+                }
+            }
+        }
+
+        let mut best_arrival = f64::INFINITY;
+        let mut best_last = usize::MAX;
+        for last in 0..n {
+            let done = dp[(full - 1) * n + last];
+            if !done.is_finite() {
+                continue;
+            }
+            let arrival = done + p.travel.travel_time(&p.nodes[last].loc, &p.end);
+            if arrival < best_arrival {
+                best_arrival = arrival;
+                best_last = last;
+            }
+        }
+        if best_last == usize::MAX || best_arrival > p.deadline + 1e-6 {
+            return None;
+        }
+
+        let mut order = Vec::with_capacity(n);
+        let mut mask = full - 1;
+        let mut last = best_last;
+        while last != usize::MAX {
+            order.push(last);
+            let prev = parent[mask * n + last];
+            mask &= !(1 << last);
+            last = prev;
+        }
+        order.reverse();
+        Some(TsptwSolution { order, rtt: best_arrival - p.depart })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::TsptwNode;
+    use smore_geo::{Point, TimeWindow, TravelTimeModel};
+
+    fn node(x: f64, y: f64, tw: (f64, f64), service: f64) -> TsptwNode {
+        TsptwNode { loc: Point::new(x, y), window: TimeWindow::new(tw.0, tw.1), service }
+    }
+
+    fn base(nodes: Vec<TsptwNode>) -> TsptwProblem {
+        TsptwProblem {
+            start: Point::new(0.0, 0.0),
+            end: Point::new(100.0, 0.0),
+            depart: 0.0,
+            deadline: 1000.0,
+            nodes,
+            travel: TravelTimeModel::new(1.0),
+        }
+    }
+
+    #[test]
+    fn empty_instance_is_direct_trip() {
+        let p = base(vec![]);
+        let s = ExactDpSolver::new().solve(&p).unwrap();
+        assert_eq!(s.order, Vec::<usize>::new());
+        assert!((s.rtt - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_force_non_geometric_order() {
+        // Geometric order would be 25 → 75, but windows force 75 first.
+        let p = base(vec![
+            node(25.0, 0.0, (150.0, 300.0), 0.0),
+            node(75.0, 0.0, (0.0, 80.0), 0.0),
+        ]);
+        let s = ExactDpSolver::new().solve(&p).unwrap();
+        assert_eq!(s.order, vec![1, 0]);
+        let expected = p.evaluate_order(&[1, 0]).unwrap();
+        assert!((s.rtt - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_window_detected() {
+        let p = base(vec![node(50.0, 0.0, (0.0, 10.0), 5.0)]);
+        assert!(ExactDpSolver::new().solve(&p).is_none());
+    }
+
+    #[test]
+    fn deadline_infeasibility_detected() {
+        let mut p = base(vec![node(0.0, 200.0, (0.0, 900.0), 0.0)]);
+        p.deadline = 150.0;
+        assert!(ExactDpSolver::new().solve(&p).is_none());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(21);
+        let solver = ExactDpSolver::new();
+        for trial in 0..30 {
+            let n = rng.gen_range(1..=6);
+            let nodes: Vec<TsptwNode> = (0..n)
+                .map(|_| {
+                    let start = rng.gen_range(0.0..200.0);
+                    node(
+                        rng.gen_range(0.0..100.0),
+                        rng.gen_range(0.0..100.0),
+                        (start, start + rng.gen_range(50.0..300.0)),
+                        rng.gen_range(0.0..10.0),
+                    )
+                })
+                .collect();
+            let p = base(nodes);
+            let brute = brute_force(&p);
+            let dp = solver.solve(&p);
+            match (brute, dp) {
+                (None, None) => {}
+                (Some(b), Some(d)) => {
+                    assert!((b - d.rtt).abs() < 1e-6, "trial {trial}: brute {b} vs dp {}", d.rtt)
+                }
+                (b, d) => panic!("trial {trial}: feasibility disagreement {b:?} vs {d:?}"),
+            }
+        }
+    }
+
+    fn brute_force(p: &TsptwProblem) -> Option<f64> {
+        let mut idx: Vec<usize> = (0..p.nodes.len()).collect();
+        let mut best: Option<f64> = None;
+        permute(&mut idx, 0, &mut |order| {
+            if let Some(rtt) = p.evaluate_order(order) {
+                best = Some(best.map_or(rtt, |b: f64| b.min(rtt)));
+            }
+        });
+        best
+    }
+
+    fn permute(idx: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == idx.len() {
+            f(idx);
+            return;
+        }
+        for i in k..idx.len() {
+            idx.swap(k, i);
+            permute(idx, k + 1, f);
+            idx.swap(k, i);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Random TSPTW instance generation for training and testing the RL solver.
+//!
+//! Instances mimic the structure of SMORE's worker route-planning problems:
+//! a mixture of "travel-task" nodes (windows spanning the whole trip) and
+//! "sensing-task" nodes (short slot windows), with a distinct origin and
+//! destination inside a city-block-scale region.
+
+use crate::problem::{TsptwNode, TsptwProblem};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use smore_geo::{Point, TimeWindow, TravelTimeModel};
+
+/// Generates a worker-route-shaped TSPTW instance with `n` nodes, of which
+/// roughly `sensing_fraction` carry short slot windows.
+pub fn random_worker_problem(rng: &mut SmallRng, n: usize, sensing_fraction: f64) -> TsptwProblem {
+    let region = 1200.0;
+    let horizon = 240.0;
+    let speed = 60.0;
+    let start = Point::new(rng.gen_range(0.0..region), rng.gen_range(0.0..region));
+    let end = Point::new(rng.gen_range(0.0..region), rng.gen_range(0.0..region));
+
+    let nodes = (0..n)
+        .map(|_| {
+            let loc = Point::new(rng.gen_range(0.0..region), rng.gen_range(0.0..region));
+            if rng.gen_bool(sensing_fraction) {
+                // Sensing task: a 30–60-minute slot somewhere in the horizon.
+                let len = rng.gen_range(30.0..60.0);
+                let s = rng.gen_range(0.0..horizon - len);
+                TsptwNode { loc, window: TimeWindow::new(s, s + len), service: rng.gen_range(2.0..6.0) }
+            } else {
+                // Travel task: the worker's whole time range.
+                TsptwNode { loc, window: TimeWindow::new(0.0, horizon), service: 10.0 }
+            }
+        })
+        .collect();
+
+    TsptwProblem {
+        start,
+        end,
+        depart: 0.0,
+        deadline: horizon,
+        nodes,
+        travel: TravelTimeModel::new(speed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_problems_are_well_formed() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let p = random_worker_problem(&mut rng, 8, 0.5);
+            assert_eq!(p.len(), 8);
+            for n in &p.nodes {
+                assert!(n.window.start >= 0.0 && n.window.end <= 240.0 + 1e-9);
+                assert!(n.window.length() >= n.service);
+            }
+        }
+    }
+
+    #[test]
+    fn most_generated_problems_are_feasible() {
+        use crate::exact::ExactDpSolver;
+        use crate::problem::TsptwSolver;
+        let mut rng = SmallRng::seed_from_u64(6);
+        let solver = ExactDpSolver::new();
+        let feasible = (0..30)
+            .filter(|_| solver.solve(&random_worker_problem(&mut rng, 6, 0.5)).is_some())
+            .count();
+        assert!(feasible >= 15, "only {feasible}/30 feasible — generator too hard");
+    }
+}

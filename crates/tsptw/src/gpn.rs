@@ -1,0 +1,464 @@
+//! RL-based TSPTW solver: a graph pointer network trained hierarchically
+//! (Ma et al. [16]), adapted as the paper describes so that both the origin
+//! and the distinct final destination inform the decoding query.
+//!
+//! Two models share one architecture:
+//!
+//! * the **lower model** is trained with the lower reward — the number of
+//!   nodes meeting their time-window constraint;
+//! * the **upper model** starts from the trained lower weights and is
+//!   fine-tuned with the upper reward — the lower reward minus a penalty on
+//!   the route travel time.
+//!
+//! Decoding masks visited nodes and nodes whose window can no longer be met
+//! from the current position, so every step is locally feasible; the decoded
+//! order is still verified end-to-end before being returned (the final
+//! deadline can only be checked globally). The paper notes this solver may
+//! raise "false alarms" — see [`crate::HybridSolver`] for the repair path.
+
+use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_nn::{
+    sample_row, Adam, Encoder, Linear, Matrix, ParamStore, Tape, Var, NEG_INF,
+};
+
+/// Architecture hyperparameters of the pointer network.
+#[derive(Debug, Clone)]
+pub struct GpnConfig {
+    /// Embedding width.
+    pub d_model: usize,
+    /// Attention heads in the encoder.
+    pub heads: usize,
+    /// Encoder layers.
+    pub enc_layers: usize,
+    /// Logit clipping constant `C` (tanh clipping, as in Bello et al.).
+    pub clip: f32,
+}
+
+impl Default for GpnConfig {
+    fn default() -> Self {
+        Self { d_model: 32, heads: 4, enc_layers: 2, clip: 10.0 }
+    }
+}
+
+/// Per-node feature width: x, y, window start/end, service, distance to the
+/// route start, distance to the route end.
+const FEATURES: usize = 7;
+/// Extra context scalars: elapsed-time fraction, remaining-time fraction,
+/// normalized start x/y, normalized end x/y.
+const CTX_EXTRA: usize = 6;
+
+/// The pointer-network policy (one of the two hierarchical models).
+#[derive(Debug, Clone)]
+pub struct GpnPolicy {
+    cfg: GpnConfig,
+    /// Trainable parameters.
+    pub store: ParamStore,
+    embed: Linear,
+    encoder: Encoder,
+    ctx: Linear,
+    wq: Linear,
+    wk: Linear,
+}
+
+/// Result of one decode pass.
+pub struct Decode {
+    /// Visiting order (may be partial if decoding got stuck).
+    pub order: Vec<usize>,
+    /// Log-probability tape nodes of each decision (for REINFORCE).
+    pub logps: Vec<Var>,
+    /// Whether all nodes were placed.
+    pub complete: bool,
+}
+
+impl GpnPolicy {
+    /// Creates a randomly initialized policy.
+    pub fn new(cfg: GpnConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let embed = Linear::new(&mut store, "gpn.embed", FEATURES, cfg.d_model, true, &mut rng);
+        let encoder = Encoder::new(
+            &mut store,
+            "gpn.enc",
+            cfg.d_model,
+            cfg.heads,
+            cfg.d_model * 2,
+            cfg.enc_layers,
+            &mut rng,
+        );
+        let ctx = Linear::new(
+            &mut store,
+            "gpn.ctx",
+            2 * cfg.d_model + CTX_EXTRA,
+            cfg.d_model,
+            true,
+            &mut rng,
+        );
+        let wq = Linear::new(&mut store, "gpn.wq", cfg.d_model, cfg.d_model, false, &mut rng);
+        let wk = Linear::new(&mut store, "gpn.wk", cfg.d_model, cfg.d_model, false, &mut rng);
+        Self { cfg, store, embed, encoder, ctx, wq, wk }
+    }
+
+    /// Serializes the trained parameters to JSON.
+    pub fn to_json(&self) -> String {
+        self.store.to_json()
+    }
+
+    /// Restores a policy saved with [`GpnPolicy::to_json`] into a freshly
+    /// built network of the same configuration.
+    pub fn from_json(cfg: GpnConfig, json: &str) -> Result<Self, serde_json::Error> {
+        let mut policy = Self::new(cfg, 0);
+        policy.store.load_values_from(&ParamStore::from_json(json)?);
+        Ok(policy)
+    }
+
+    /// Normalized per-node feature matrix for `p`.
+    fn features(p: &TsptwProblem) -> Matrix {
+        let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+            p.start.x.min(p.end.x),
+            p.start.y.min(p.end.y),
+            p.start.x.max(p.end.x),
+            p.start.y.max(p.end.y),
+        );
+        for n in &p.nodes {
+            min_x = min_x.min(n.loc.x);
+            min_y = min_y.min(n.loc.y);
+            max_x = max_x.max(n.loc.x);
+            max_y = max_y.max(n.loc.y);
+        }
+        let span_x = (max_x - min_x).max(1.0);
+        let span_y = (max_y - min_y).max(1.0);
+        let diag = span_x.hypot(span_y);
+        let horizon = (p.deadline - p.depart).max(1.0);
+
+        let mut m = Matrix::zeros(p.nodes.len(), FEATURES);
+        for (i, n) in p.nodes.iter().enumerate() {
+            m.set(i, 0, ((n.loc.x - min_x) / span_x) as f32);
+            m.set(i, 1, ((n.loc.y - min_y) / span_y) as f32);
+            m.set(i, 2, (((n.window.start - p.depart) / horizon).clamp(0.0, 2.0)) as f32);
+            m.set(i, 3, (((n.window.end - p.depart) / horizon).clamp(0.0, 2.0)) as f32);
+            m.set(i, 4, ((n.service / horizon).min(1.0)) as f32);
+            m.set(i, 5, ((p.start.distance(&n.loc) / diag).min(2.0)) as f32);
+            m.set(i, 6, ((p.end.distance(&n.loc) / diag).min(2.0)) as f32);
+        }
+        m
+    }
+
+    /// Runs one decode over `p`, recording decisions on `tape`.
+    ///
+    /// `rng = None` decodes greedily (inference); `Some` samples (training).
+    pub fn decode(&self, tape: &mut Tape, p: &TsptwProblem, mut rng: Option<&mut SmallRng>) -> Decode {
+        let n = p.nodes.len();
+        if n == 0 {
+            return Decode { order: vec![], logps: vec![], complete: true };
+        }
+        let horizon = (p.deadline - p.depart).max(1.0);
+        let feats = tape.constant(Self::features(p));
+        let embedded = self.embed.forward(tape, &self.store, feats);
+        let enc = self.encoder.forward(tape, &self.store, embedded);
+        let keys = self.wk.forward(tape, &self.store, enc);
+        let graph_mean = tape.mean_rows(enc);
+
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut logps = Vec::with_capacity(n);
+        let mut t = p.depart;
+        let mut at = p.start;
+
+        for _step in 0..n {
+            // Local feasibility mask: unvisited and window still reachable.
+            let mut mask = Matrix::zeros(1, n);
+            let mut any = false;
+            for (i, node) in p.nodes.iter().enumerate() {
+                let arrival = t + p.travel.travel_time(&at, &node.loc);
+                let feasible = !visited[i]
+                    && node.window.service_start(arrival, node.service).is_some();
+                if feasible {
+                    any = true;
+                } else {
+                    mask.set(0, i, NEG_INF);
+                }
+            }
+            if !any {
+                return Decode { order, logps, complete: false };
+            }
+
+            // Context: last location embedding (or graph mean at step 0),
+            // graph mean, plus time and endpoint scalars.
+            let last_emb = match order.last() {
+                Some(&i) => tape.gather_rows(enc, &[i]),
+                None => graph_mean,
+            };
+            let extra = tape.constant(Matrix::row(vec![
+                (((t - p.depart) / horizon) as f32).min(2.0),
+                (((p.deadline - t) / horizon) as f32).max(-1.0),
+                (at.x - p.start.x.min(p.end.x)) as f32 / 1000.0,
+                (at.y - p.start.y.min(p.end.y)) as f32 / 1000.0,
+                (p.end.x - at.x) as f32 / 1000.0,
+                (p.end.y - at.y) as f32 / 1000.0,
+            ]));
+            let ctx_in = tape.concat_cols(&[graph_mean, last_emb, extra]);
+            let ctx = self.ctx.forward(tape, &self.store, ctx_in);
+            let q = self.wq.forward(tape, &self.store, ctx);
+
+            // Pointer logits u_i = C·tanh(q·k_i / sqrt(d)).
+            let kt = tape.transpose(keys);
+            let scores = tape.matmul(q, kt);
+            let scaled = tape.scale(scores, 1.0 / (self.cfg.d_model as f32).sqrt());
+            let tanhed = tape.tanh(scaled);
+            let clipped = tape.scale(tanhed, self.cfg.clip);
+            let probs = tape.softmax_rows(clipped, Some(&mask));
+            let logp = tape.log_softmax_rows(clipped, Some(&mask));
+
+            let choice = match rng.as_deref_mut() {
+                Some(r) => sample_row(tape.value(probs), 0, r),
+                None => smore_nn::argmax_row(tape.value(probs), 0),
+            };
+            logps.push(tape.pick(logp, 0, choice));
+
+            let node = &p.nodes[choice];
+            let arrival = t + p.travel.travel_time(&at, &node.loc);
+            let begin = node
+                .window
+                .service_start(arrival, node.service)
+                .expect("masked decode only offers feasible nodes");
+            t = begin + node.service;
+            at = node.loc;
+            visited[choice] = true;
+            order.push(choice);
+        }
+        Decode { order, logps, complete: true }
+    }
+}
+
+/// Rewards for the two hierarchical training stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewardLevel {
+    /// Lower reward: the number of nodes meeting their time window.
+    Lower,
+    /// Upper reward: lower reward minus a route-length penalty.
+    Upper,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GpnTrainConfig {
+    /// Instances per REINFORCE batch.
+    pub batch: usize,
+    /// Gradient steps for the lower stage.
+    pub iters_lower: usize,
+    /// Gradient steps for the upper stage.
+    pub iters_upper: usize,
+    /// Adam learning rate (paper: 1e-4; a larger default speeds up the
+    /// scaled-down experiments).
+    pub lr: f32,
+    /// Weight of the route-time penalty in the upper reward.
+    pub length_penalty: f64,
+}
+
+impl Default for GpnTrainConfig {
+    fn default() -> Self {
+        Self { batch: 16, iters_lower: 60, iters_upper: 60, lr: 1e-3, length_penalty: 1.0 }
+    }
+}
+
+/// Summary statistics of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean reward of the last lower-stage batch.
+    pub final_lower_reward: f64,
+    /// Mean reward of the last upper-stage batch.
+    pub final_upper_reward: f64,
+}
+
+fn reward(p: &TsptwProblem, decode: &Decode, level: RewardLevel, penalty: f64) -> f64 {
+    let n = p.nodes.len().max(1) as f64;
+    // Every decoded node met its window by construction of the mask.
+    let satisfied = decode.order.len() as f64 / n;
+    match level {
+        RewardLevel::Lower => satisfied,
+        RewardLevel::Upper => {
+            let horizon = (p.deadline - p.depart).max(1.0);
+            let rtt = if decode.complete {
+                p.evaluate_order(&decode.order).unwrap_or(horizon * 2.0)
+            } else {
+                horizon * 2.0
+            };
+            satisfied - penalty * rtt / horizon
+        }
+    }
+}
+
+/// Trains `policy` hierarchically on instances drawn from `generator`.
+///
+/// Stage 1 maximizes the lower reward; stage 2 continues from the learned
+/// weights and maximizes the upper reward. REINFORCE with a batch-mean
+/// baseline.
+pub fn train_gpn(
+    policy: &mut GpnPolicy,
+    generator: &mut dyn FnMut(&mut SmallRng) -> TsptwProblem,
+    cfg: &GpnTrainConfig,
+    seed: u64,
+) -> TrainReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut adam = Adam::new(cfg.lr);
+    let mut report = TrainReport::default();
+
+    for (level, iters) in
+        [(RewardLevel::Lower, cfg.iters_lower), (RewardLevel::Upper, cfg.iters_upper)]
+    {
+        for _ in 0..iters {
+            let mut tape = Tape::new();
+            let mut batch: Vec<(Vec<Var>, f64)> = Vec::with_capacity(cfg.batch);
+            let mut reward_sum = 0.0;
+            for _ in 0..cfg.batch {
+                let p = generator(&mut rng);
+                let decode = policy.decode(&mut tape, &p, Some(&mut rng));
+                let r = reward(&p, &decode, level, cfg.length_penalty);
+                reward_sum += r;
+                if !decode.logps.is_empty() {
+                    batch.push((decode.logps, r));
+                }
+            }
+            let baseline = reward_sum / cfg.batch as f64;
+            match level {
+                RewardLevel::Lower => report.final_lower_reward = baseline,
+                RewardLevel::Upper => report.final_upper_reward = baseline,
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            // loss = −Σ (R − b)·Σ log π ; gradients flow through log-probs.
+            let mut terms = Vec::new();
+            for (logps, r) in &batch {
+                let adv = (*r - baseline) as f32;
+                if adv == 0.0 {
+                    continue;
+                }
+                let summed = if logps.len() == 1 {
+                    logps[0]
+                } else {
+                    let cat = tape.concat_cols(logps);
+                    tape.sum_all(cat)
+                };
+                terms.push(tape.scale(summed, -adv));
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            let stacked = tape.concat_cols(&terms);
+            let total = tape.sum_all(stacked);
+            let loss = tape.scale(total, 1.0 / cfg.batch as f32);
+            tape.backward(loss);
+            tape.scatter_grads(&mut policy.store);
+            adam.step(&mut policy.store);
+        }
+    }
+    report
+}
+
+/// Inference wrapper: greedy decode, verified end-to-end.
+#[derive(Debug, Clone)]
+pub struct GpnSolver {
+    policy: GpnPolicy,
+}
+
+impl GpnSolver {
+    /// Wraps a (typically trained) policy for inference.
+    pub fn new(policy: GpnPolicy) -> Self {
+        Self { policy }
+    }
+
+    /// Access to the underlying policy (e.g. for serialization).
+    pub fn policy(&self) -> &GpnPolicy {
+        &self.policy
+    }
+}
+
+impl TsptwSolver for GpnSolver {
+    fn name(&self) -> &str {
+        "gpn-rl"
+    }
+
+    fn solve(&self, p: &TsptwProblem) -> Option<TsptwSolution> {
+        let mut tape = Tape::new();
+        let decode = self.policy.decode(&mut tape, p, None);
+        if !decode.complete {
+            return None;
+        }
+        let rtt = p.evaluate_order(&decode.order)?;
+        Some(TsptwSolution { order: decode.order, rtt })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_worker_problem;
+
+    #[test]
+    fn untrained_policy_decodes_valid_permutations() {
+        let policy = GpnPolicy::new(GpnConfig::default(), 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = random_worker_problem(&mut rng, 6, 0.5);
+        let mut tape = Tape::new();
+        let d = policy.decode(&mut tape, &p, None);
+        if d.complete {
+            let mut sorted = d.order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+        }
+        let _ = rng;
+    }
+
+    #[test]
+    fn training_improves_upper_reward() {
+        let mut policy = GpnPolicy::new(GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 }, 3);
+        let mut gen = |rng: &mut SmallRng| random_worker_problem(rng, 5, 0.4);
+
+        // Baseline reward before training (greedy decode over fixed eval set).
+        let eval = |policy: &GpnPolicy| {
+            let mut rng = SmallRng::seed_from_u64(99);
+            let mut total = 0.0;
+            for _ in 0..20 {
+                let p = random_worker_problem(&mut rng, 5, 0.4);
+                let mut tape = Tape::new();
+                let d = policy.decode(&mut tape, &p, None);
+                total += reward(&p, &d, RewardLevel::Upper, 1.0);
+            }
+            total / 20.0
+        };
+        let before = eval(&policy);
+        let cfg = GpnTrainConfig { batch: 8, iters_lower: 25, iters_upper: 25, lr: 2e-3, length_penalty: 1.0 };
+        let report = train_gpn(&mut policy, &mut gen, &cfg, 7);
+        let after = eval(&policy);
+        assert!(
+            after >= before - 0.05,
+            "training must not collapse the policy: before {before:.3}, after {after:.3}, report {report:?}"
+        );
+        assert!(report.final_lower_reward > 0.5, "lower stage should satisfy most windows");
+    }
+
+    #[test]
+    fn policy_roundtrips_through_json() {
+        let cfg = GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 };
+        let policy = GpnPolicy::new(cfg.clone(), 11);
+        let restored = GpnPolicy::from_json(cfg, &policy.to_json()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = random_worker_problem(&mut rng, 5, 0.5);
+        let a = GpnSolver::new(policy).solve(&p);
+        let b = GpnSolver::new(restored).solve(&p);
+        assert_eq!(a, b, "restored policy must reproduce decisions");
+    }
+
+    #[test]
+    fn solver_reports_infeasibility_as_none() {
+        let policy = GpnPolicy::new(GpnConfig::default(), 5);
+        let solver = GpnSolver::new(policy);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut p = random_worker_problem(&mut rng, 4, 0.5);
+        p.deadline = p.depart + 0.01; // impossible
+        assert!(solver.solve(&p).is_none());
+    }
+}

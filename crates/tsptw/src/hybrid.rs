@@ -1,0 +1,137 @@
+//! The production solver used inside SMORE: RL decode with heuristic repair.
+//!
+//! The paper acknowledges that the pre-trained RL solver can raise "false
+//! alarms" — declaring a feasible instance infeasible (Section VII). The
+//! hybrid solver counters this: when the primary (RL) solver fails or
+//! returns a worse route than the heuristic would, the cheapest-insertion
+//! solver takes over. Counters expose how often each path won, feeding the
+//! false-alarm ablation bench.
+
+use crate::insertion::InsertionSolver;
+use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// RL-first solver with heuristic fallback and repair statistics.
+pub struct HybridSolver<P> {
+    primary: P,
+    fallback: InsertionSolver,
+    primary_wins: AtomicUsize,
+    fallback_rescues: AtomicUsize,
+    both_failed: AtomicUsize,
+}
+
+impl<P: TsptwSolver> HybridSolver<P> {
+    /// Wraps `primary` with an insertion-solver fallback.
+    pub fn new(primary: P) -> Self {
+        Self {
+            primary,
+            fallback: InsertionSolver::new(),
+            primary_wins: AtomicUsize::new(0),
+            fallback_rescues: AtomicUsize::new(0),
+            both_failed: AtomicUsize::new(0),
+        }
+    }
+
+    /// `(primary wins, fallback rescues, both failed)` since construction.
+    pub fn stats(&self) -> (usize, usize, usize) {
+        (
+            self.primary_wins.load(Ordering::Relaxed),
+            self.fallback_rescues.load(Ordering::Relaxed),
+            self.both_failed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Fraction of calls where the primary failed but the fallback found a
+    /// feasible route — the RL solver's observed false-alarm rate.
+    pub fn false_alarm_rate(&self) -> f64 {
+        let (wins, rescues, failed) = self.stats();
+        let total = wins + rescues + failed;
+        if total == 0 {
+            0.0
+        } else {
+            rescues as f64 / total as f64
+        }
+    }
+}
+
+impl<P: TsptwSolver> TsptwSolver for HybridSolver<P> {
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+
+    fn solve(&self, p: &TsptwProblem) -> Option<TsptwSolution> {
+        let primary = self.primary.solve(p);
+        match primary {
+            Some(sol) => {
+                // Keep the better of the two when the fallback also solves it
+                // cheaply; the RL route is kept on ties.
+                if let Some(fb) = self.fallback.solve(p) {
+                    if fb.rtt + 1e-9 < sol.rtt {
+                        self.fallback_rescues.fetch_add(1, Ordering::Relaxed);
+                        return Some(fb);
+                    }
+                }
+                self.primary_wins.fetch_add(1, Ordering::Relaxed);
+                Some(sol)
+            }
+            None => match self.fallback.solve(p) {
+                Some(fb) => {
+                    self.fallback_rescues.fetch_add(1, Ordering::Relaxed);
+                    Some(fb)
+                }
+                None => {
+                    self.both_failed.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_worker_problem;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// A primary solver that always fails — the hybrid must rescue every
+    /// feasible instance.
+    struct AlwaysFails;
+    impl TsptwSolver for AlwaysFails {
+        fn name(&self) -> &str {
+            "never"
+        }
+        fn solve(&self, _p: &TsptwProblem) -> Option<TsptwSolution> {
+            None
+        }
+    }
+
+    #[test]
+    fn fallback_rescues_failed_primary() {
+        let hybrid = HybridSolver::new(AlwaysFails);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rescued = 0;
+        for _ in 0..10 {
+            let p = random_worker_problem(&mut rng, 5, 0.4);
+            if hybrid.solve(&p).is_some() {
+                rescued += 1;
+            }
+        }
+        let (wins, rescues, _) = hybrid.stats();
+        assert_eq!(wins, 0);
+        assert_eq!(rescues, rescued);
+        assert!(hybrid.false_alarm_rate() > 0.0);
+    }
+
+    #[test]
+    fn hybrid_never_returns_unverified_routes() {
+        let hybrid = HybridSolver::new(AlwaysFails);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let p = random_worker_problem(&mut rng, 6, 0.5);
+            if let Some(s) = hybrid.solve(&p) {
+                assert!((p.evaluate_order(&s.order).unwrap() - s.rtt).abs() < 1e-9);
+            }
+        }
+    }
+}

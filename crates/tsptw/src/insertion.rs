@@ -1,0 +1,232 @@
+//! Cheapest-feasible-insertion construction with or-opt improvement.
+//!
+//! This is the workhorse heuristic: SMORE calls the TSPTW solver
+//! `O(|W|·|S|²)` times, so per-call cost matters more than the last percent
+//! of optimality. Construction inserts nodes (most urgent window first) at
+//! the position minimizing the resulting route travel time; improvement
+//! relocates single nodes (or-opt-1) until no improving feasible move
+//! remains. Several insertion orders are attempted before declaring
+//! infeasibility.
+
+use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
+
+/// Cheapest-insertion + or-opt TSPTW heuristic.
+#[derive(Debug, Clone)]
+pub struct InsertionSolver {
+    /// Whether to run the or-opt improvement pass after construction.
+    pub improve: bool,
+}
+
+impl Default for InsertionSolver {
+    fn default() -> Self {
+        Self { improve: true }
+    }
+}
+
+impl InsertionSolver {
+    /// Creates the solver with improvement enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn construct(&self, p: &TsptwProblem, insertion_order: &[usize]) -> Option<Vec<usize>> {
+        let mut route: Vec<usize> = Vec::with_capacity(p.nodes.len());
+        for &node in insertion_order {
+            let mut best: Option<(usize, f64)> = None;
+            for pos in 0..=route.len() {
+                route.insert(pos, node);
+                if let Some(rtt) = p.evaluate_order(&route) {
+                    if best.is_none_or(|(_, b)| rtt < b) {
+                        best = Some((pos, rtt));
+                    }
+                }
+                route.remove(pos);
+            }
+            let (pos, _) = best?;
+            route.insert(pos, node);
+        }
+        Some(route)
+    }
+
+    fn or_opt(&self, p: &TsptwProblem, route: &mut Vec<usize>) -> f64 {
+        let mut best_rtt = p
+            .evaluate_order(route)
+            .expect("or_opt must start from a feasible route");
+        let mut improved = true;
+        while improved {
+            improved = false;
+            'moves: for from in 0..route.len() {
+                let node = route[from];
+                for to in 0..route.len() {
+                    if to == from {
+                        continue;
+                    }
+                    let mut cand = route.clone();
+                    cand.remove(from);
+                    cand.insert(to, node);
+                    if let Some(rtt) = p.evaluate_order(&cand) {
+                        if rtt + 1e-9 < best_rtt {
+                            *route = cand;
+                            best_rtt = rtt;
+                            improved = true;
+                            continue 'moves;
+                        }
+                    }
+                }
+            }
+        }
+        best_rtt
+    }
+}
+
+impl TsptwSolver for InsertionSolver {
+    fn name(&self) -> &str {
+        "insertion"
+    }
+
+    fn solve(&self, p: &TsptwProblem) -> Option<TsptwSolution> {
+        let n = p.nodes.len();
+        if n == 0 {
+            let rtt = p.travel.travel_time(&p.start, &p.end);
+            return (p.depart + rtt <= p.deadline + 1e-6)
+                .then_some(TsptwSolution { order: vec![], rtt });
+        }
+
+        // Candidate insertion orders: urgency (window end), window start,
+        // distance from the route start.
+        let mut by_end: Vec<usize> = (0..n).collect();
+        by_end.sort_by(|&a, &b| p.nodes[a].window.end.total_cmp(&p.nodes[b].window.end));
+        let mut by_start: Vec<usize> = (0..n).collect();
+        by_start.sort_by(|&a, &b| p.nodes[a].window.start.total_cmp(&p.nodes[b].window.start));
+        let mut by_dist: Vec<usize> = (0..n).collect();
+        by_dist.sort_by(|&a, &b| {
+            p.start
+                .distance_sq(&p.nodes[a].loc)
+                .total_cmp(&p.start.distance_sq(&p.nodes[b].loc))
+        });
+
+        let mut best: Option<Vec<usize>> = None;
+        let mut best_rtt = f64::INFINITY;
+        for order in [&by_end, &by_start, &by_dist] {
+            if let Some(route) = self.construct(p, order) {
+                let rtt =
+                    p.evaluate_order(&route).expect("constructed route must be feasible");
+                if rtt < best_rtt {
+                    best_rtt = rtt;
+                    best = Some(route);
+                }
+            }
+        }
+        let mut route = best?;
+        if self.improve {
+            best_rtt = self.or_opt(p, &mut route);
+        }
+        Some(TsptwSolution { order: route, rtt: best_rtt })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactDpSolver;
+    use crate::problem::TsptwNode;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use smore_geo::{Point, TimeWindow, TravelTimeModel};
+
+    fn random_problem(rng: &mut SmallRng, n: usize) -> TsptwProblem {
+        let nodes = (0..n)
+            .map(|_| {
+                let start = rng.gen_range(0.0..150.0);
+                TsptwNode {
+                    loc: Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                    window: TimeWindow::new(start, start + rng.gen_range(60.0..400.0)),
+                    service: rng.gen_range(0.0..8.0),
+                }
+            })
+            .collect();
+        TsptwProblem {
+            start: Point::new(0.0, 0.0),
+            end: Point::new(100.0, 100.0),
+            depart: 0.0,
+            deadline: 900.0,
+            nodes,
+            travel: TravelTimeModel::new(1.0),
+        }
+    }
+
+    #[test]
+    fn agrees_with_exact_on_feasibility_most_of_the_time() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let exact = ExactDpSolver::new();
+        let ins = InsertionSolver::new();
+        let mut solved = 0;
+        let mut exact_feasible = 0;
+        let mut gap_sum = 0.0;
+        for _ in 0..40 {
+            let p = random_problem(&mut rng, 7);
+            let e = exact.solve(&p);
+            let h = ins.solve(&p);
+            if let Some(e) = &e {
+                exact_feasible += 1;
+                if let Some(h) = &h {
+                    solved += 1;
+                    assert!(h.rtt + 1e-6 >= e.rtt, "heuristic cannot beat the optimum");
+                    gap_sum += (h.rtt - e.rtt) / e.rtt;
+                }
+            } else {
+                // Heuristic must never claim feasibility on infeasible input:
+                // every returned order is verified by evaluate_order.
+                if let Some(h) = &h {
+                    panic!("heuristic produced order {:?} on an infeasible instance", h.order);
+                }
+            }
+        }
+        // The heuristic should solve the vast majority of feasible instances
+        // with a small optimality gap.
+        assert!(exact_feasible > 10, "test generator produced too few feasible instances");
+        assert!(solved * 10 >= exact_feasible * 9, "{solved}/{exact_feasible} solved");
+        assert!(gap_sum / solved as f64 <= 0.05, "mean gap too large");
+    }
+
+    #[test]
+    fn visits_every_node_exactly_once() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let ins = InsertionSolver::new();
+        for _ in 0..10 {
+            let p = random_problem(&mut rng, 12);
+            if let Some(s) = ins.solve(&p) {
+                let mut sorted = s.order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+                assert!((p.evaluate_order(&s.order).unwrap() - s.rtt).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn improvement_never_hurts() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let with = InsertionSolver { improve: true };
+        let without = InsertionSolver { improve: false };
+        for _ in 0..15 {
+            let p = random_problem(&mut rng, 9);
+            if let (Some(a), Some(b)) = (with.solve(&p), without.solve(&p)) {
+                assert!(a.rtt <= b.rtt + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = TsptwProblem {
+            start: Point::new(0.0, 0.0),
+            end: Point::new(60.0, 0.0),
+            depart: 0.0,
+            deadline: 2.0,
+            nodes: vec![],
+            travel: TravelTimeModel::PAPER_DEFAULT,
+        };
+        let s = InsertionSolver::new().solve(&p).unwrap();
+        assert!((s.rtt - 1.0).abs() < 1e-9);
+    }
+}

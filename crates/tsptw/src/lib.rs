@@ -1,0 +1,33 @@
+//! TSPTW solver suite for SMORE's working-route planning (Section III-C).
+//!
+//! SMORE needs a fast, accurate Traveling-Salesman-Problem-with-Time-Windows
+//! solver: every candidate (worker, sensing-task) pair is feasibility-checked
+//! by solving the worker's route with the task added, and the same solver
+//! plans the final working routes. This crate provides:
+//!
+//! * [`TsptwProblem`] / [`TsptwSolution`] / [`TsptwSolver`] — the problem
+//!   abstraction with distinct origin/destination and absolute-time windows.
+//! * [`ExactDpSolver`] — bitmask DP, exact up to ~16 nodes (ground truth).
+//! * [`InsertionSolver`] — cheapest feasible insertion + or-opt (the fast
+//!   default for the experiment harness).
+//! * [`GpnPolicy`] / [`GpnSolver`] / [`train_gpn`] — the paper's RL solver:
+//!   a graph pointer network trained hierarchically (lower reward = time-
+//!   window satisfaction, upper reward = adds a length penalty), per
+//!   Ma et al. \[16\], adapted for distinct origin/destination.
+//! * [`HybridSolver`] — RL-first with heuristic repair, measuring the RL
+//!   solver's "false alarm" rate (the paper's noted limitation).
+
+#![warn(missing_docs)]
+
+mod exact;
+pub mod gen;
+mod gpn;
+mod hybrid;
+mod insertion;
+mod problem;
+
+pub use exact::ExactDpSolver;
+pub use gpn::{train_gpn, Decode, GpnConfig, GpnPolicy, GpnSolver, GpnTrainConfig, RewardLevel, TrainReport};
+pub use hybrid::HybridSolver;
+pub use insertion::InsertionSolver;
+pub use problem::{TsptwNode, TsptwProblem, TsptwSolution, TsptwSolver};

@@ -1,0 +1,177 @@
+//! The Traveling Salesman Problem with Time Windows as used by SMORE's
+//! working-route planning (Section III-C).
+//!
+//! A worker's route planning problem has a fixed start (origin), a fixed end
+//! (final destination, distinct from the start — the adaptation the paper
+//! makes to Ma et al. [16]), and a set of nodes to visit: mandatory travel
+//! tasks (window = the worker's whole time range) and assigned sensing tasks
+//! (their availability windows). The objective is the minimum route travel
+//! time; feasibility requires every window and the worker's deadline.
+
+use serde::{Deserialize, Serialize};
+use smore_geo::{Point, TimeWindow, TravelTimeModel};
+
+/// A node to visit in a TSPTW instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsptwNode {
+    /// Node location.
+    pub loc: Point,
+    /// Service window (absolute times).
+    pub window: TimeWindow,
+    /// Service duration in minutes.
+    pub service: f64,
+}
+
+/// A TSPTW instance with distinct start and end locations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TsptwProblem {
+    /// Route start location (the worker's origin).
+    pub start: Point,
+    /// Route end location (the worker's final destination).
+    pub end: Point,
+    /// Absolute departure time from `start`.
+    pub depart: f64,
+    /// Latest feasible absolute arrival time at `end`.
+    pub deadline: f64,
+    /// Nodes that must all be visited.
+    pub nodes: Vec<TsptwNode>,
+    /// Travel-time model.
+    pub travel: TravelTimeModel,
+}
+
+/// A feasible visiting order together with its route travel time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TsptwSolution {
+    /// Visiting order over `TsptwProblem::nodes` indices.
+    pub order: Vec<usize>,
+    /// Route travel time: arrival at `end` minus `depart` (includes waiting
+    /// and service).
+    pub rtt: f64,
+}
+
+impl TsptwProblem {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the instance has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Simulates visiting `order` and returning to `end`; returns the route
+    /// travel time if every visited window and the final deadline hold, else
+    /// `None`.
+    ///
+    /// `order` may be a *partial* sequence (construction heuristics evaluate
+    /// prefixes); a complete solution must cover every node exactly once,
+    /// which [`TsptwSolver`] implementations guarantee and tests verify.
+    /// Arrival-before-window incurs waiting; arrival after `window.end −
+    /// service` is infeasible (Definition 3 semantics).
+    pub fn evaluate_order(&self, order: &[usize]) -> Option<f64> {
+        let mut t = self.depart;
+        let mut at = self.start;
+        for &i in order {
+            let node = &self.nodes[i];
+            let arrival = t + self.travel.travel_time(&at, &node.loc);
+            let begin = node.window.service_start(arrival, node.service)?;
+            t = begin + node.service;
+            at = node.loc;
+        }
+        let final_arrival = t + self.travel.travel_time(&at, &self.end);
+        (final_arrival <= self.deadline + 1e-6).then_some(final_arrival - self.depart)
+    }
+
+    /// Like [`TsptwProblem::evaluate_order`] but for a *partial* order
+    /// (prefix of a route); returns `(elapsed, last_location)` if feasible so
+    /// far, ignoring the final leg to `end`.
+    pub fn evaluate_partial(&self, order: &[usize]) -> Option<(f64, Point)> {
+        let mut t = self.depart;
+        let mut at = self.start;
+        for &i in order {
+            let node = &self.nodes[i];
+            let arrival = t + self.travel.travel_time(&at, &node.loc);
+            let begin = node.window.service_start(arrival, node.service)?;
+            t = begin + node.service;
+            at = node.loc;
+        }
+        Some((t, at))
+    }
+
+    /// The trivial lower bound on rtt: direct travel plus total service.
+    pub fn rtt_lower_bound(&self) -> f64 {
+        self.travel.travel_time(&self.start, &self.end)
+            + self.nodes.iter().map(|n| n.service).sum::<f64>()
+    }
+}
+
+/// A TSPTW solver. Implementations must be shareable across threads because
+/// SMORE parallelizes feasibility checks over (worker, task) pairs — the CPU
+/// analogue of the paper's GPU batching.
+pub trait TsptwSolver: Send + Sync {
+    /// Display name for experiment tables.
+    fn name(&self) -> &str;
+
+    /// Returns a feasible visiting order minimizing (exactly or
+    /// approximately) the route travel time, or `None` if the solver finds
+    /// no feasible order.
+    fn solve(&self, problem: &TsptwProblem) -> Option<TsptwSolution>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(x: f64, tw: (f64, f64), service: f64) -> TsptwNode {
+        TsptwNode { loc: Point::new(x, 0.0), window: TimeWindow::new(tw.0, tw.1), service }
+    }
+
+    fn problem(nodes: Vec<TsptwNode>) -> TsptwProblem {
+        TsptwProblem {
+            start: Point::new(0.0, 0.0),
+            end: Point::new(100.0, 0.0),
+            depart: 0.0,
+            deadline: 1000.0,
+            nodes,
+            travel: TravelTimeModel::new(1.0),
+        }
+    }
+
+    #[test]
+    fn evaluate_order_with_waiting() {
+        let p = problem(vec![node(50.0, (60.0, 120.0), 10.0)]);
+        // Arrive at 50, wait to 60, serve till 70, reach end at 120.
+        assert_eq!(p.evaluate_order(&[0]), Some(120.0));
+    }
+
+    #[test]
+    fn evaluate_order_detects_missed_window() {
+        let p = problem(vec![node(50.0, (0.0, 30.0), 10.0)]);
+        // Arrive at 50 > 30 − 10.
+        assert_eq!(p.evaluate_order(&[0]), None);
+    }
+
+    #[test]
+    fn evaluate_order_detects_deadline() {
+        let mut p = problem(vec![node(50.0, (0.0, 500.0), 10.0)]);
+        p.deadline = 100.0; // needs 110
+        assert_eq!(p.evaluate_order(&[0]), None);
+    }
+
+    #[test]
+    fn order_matters() {
+        let p = problem(vec![node(80.0, (0.0, 500.0), 0.0), node(20.0, (0.0, 500.0), 0.0)]);
+        assert_eq!(p.evaluate_order(&[1, 0]), Some(100.0));
+        // Backtracking order: 80 → 20 → 100 = 80 + 60 + 80 = 220.
+        assert_eq!(p.evaluate_order(&[0, 1]), Some(220.0));
+    }
+
+    #[test]
+    fn lower_bound_below_any_feasible_rtt() {
+        let p = problem(vec![node(30.0, (0.0, 500.0), 5.0), node(70.0, (0.0, 500.0), 5.0)]);
+        let lb = p.rtt_lower_bound();
+        let rtt = p.evaluate_order(&[0, 1]).unwrap();
+        assert!(lb <= rtt + 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the TSPTW solver suite.
+
+use proptest::prelude::*;
+use smore_geo::{Point, TimeWindow, TravelTimeModel};
+use smore_tsptw::{ExactDpSolver, InsertionSolver, TsptwNode, TsptwProblem, TsptwSolver};
+
+fn arb_problem(max_nodes: usize) -> impl Strategy<Value = TsptwProblem> {
+    let node = (0.0f64..100.0, 0.0f64..100.0, 0.0f64..150.0, 50.0f64..400.0, 0.0f64..8.0)
+        .prop_map(|(x, y, tw_start, tw_len, service)| TsptwNode {
+            loc: Point::new(x, y),
+            window: TimeWindow::new(tw_start, tw_start + tw_len.max(service)),
+            service,
+        });
+    prop::collection::vec(node, 1..=max_nodes).prop_map(|nodes| TsptwProblem {
+        start: Point::new(0.0, 0.0),
+        end: Point::new(100.0, 100.0),
+        depart: 0.0,
+        deadline: 900.0,
+        nodes,
+        travel: TravelTimeModel::new(1.0),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any returned order visits every node exactly once and its reported
+    /// rtt re-verifies through the independent evaluator.
+    #[test]
+    fn solutions_verify(p in arb_problem(8)) {
+        for solver in [&InsertionSolver::new() as &dyn TsptwSolver, &ExactDpSolver::new()] {
+            if let Some(sol) = solver.solve(&p) {
+                let mut sorted = sol.order.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(sorted, (0..p.len()).collect::<Vec<_>>());
+                let rtt = p.evaluate_order(&sol.order);
+                prop_assert!(rtt.is_some());
+                prop_assert!((rtt.unwrap() - sol.rtt).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// The heuristic never reports a shorter route than the exact optimum,
+    /// and never claims feasibility where the exact solver proves none.
+    #[test]
+    fn insertion_bounded_by_exact(p in arb_problem(7)) {
+        let exact = ExactDpSolver::new().solve(&p);
+        let heur = InsertionSolver::new().solve(&p);
+        match (&exact, &heur) {
+            (Some(e), Some(h)) => prop_assert!(h.rtt + 1e-6 >= e.rtt),
+            (None, Some(h)) => {
+                prop_assert!(false, "heuristic claims feasible order {:?} on proven-infeasible instance", h.order)
+            }
+            _ => {}
+        }
+    }
+
+    /// rtt is bounded below by the trivial lower bound.
+    #[test]
+    fn rtt_respects_lower_bound(p in arb_problem(8)) {
+        if let Some(sol) = InsertionSolver::new().solve(&p) {
+            prop_assert!(sol.rtt + 1e-6 >= p.rtt_lower_bound());
+        }
+    }
+
+    /// Feasibility is monotone in the deadline: relaxing it keeps solutions.
+    #[test]
+    fn deadline_monotonicity(p in arb_problem(6)) {
+        let exact = ExactDpSolver::new();
+        if exact.solve(&p).is_some() {
+            let mut relaxed = p.clone();
+            relaxed.deadline += 100.0;
+            prop_assert!(exact.solve(&relaxed).is_some());
+        }
+    }
+}

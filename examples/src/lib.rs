@@ -1,0 +1,75 @@
+//! Shared helpers for the SMORE examples: compact training pipelines so each
+//! example stays focused on its scenario.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{Critic, SmoreSolver, Tasnet, TasnetConfig, TasnetTrainConfig};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, InstanceSplit, Scale};
+use smore_model::{evaluate, Instance, SolutionStats, UsmdwSolver};
+use smore_tsptw::InsertionSolver;
+
+/// Generates the train/validation/test split for a dataset at small scale.
+pub fn small_split(kind: DatasetKind, seed: u64) -> (InstanceGenerator, InstanceSplit) {
+    let generator = InstanceGenerator::new(DatasetSpec::of(kind, Scale::Small), seed);
+    let split = generator.gen_split(seed);
+    (generator, split)
+}
+
+/// A compact TASNet configuration for example-speed training.
+pub fn example_config(instance: &Instance) -> TasnetConfig {
+    let mut cfg = TasnetConfig::for_grid(instance.lattice.grid.rows, instance.lattice.grid.cols);
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.enc_layers = 1;
+    cfg
+}
+
+/// Trains SMORE briefly on `train` and returns the inference solver.
+pub fn train_smore_quick(
+    train: &[Instance],
+    epochs: usize,
+    seed: u64,
+) -> SmoreSolver<InsertionSolver> {
+    let cfg = example_config(&train[0]);
+    let mut net = Tasnet::new(cfg, seed);
+    let mut critic = Critic::new(net.cfg.d_model, seed + 1);
+    let train_cfg = TasnetTrainConfig {
+        warmup_epochs: 2,
+        epochs,
+        batch: 4,
+        lr: 1e-3,
+        rl_lr: 2e-4,
+        critic_lr: 1e-3,
+    };
+    let (fit, held_out) = train.split_at(train.len().saturating_sub(2).max(1));
+    smore::train_tasnet_validated(
+        &mut net,
+        &mut critic,
+        fit,
+        held_out,
+        &InsertionSolver::new(),
+        &train_cfg,
+        seed,
+    );
+    SmoreSolver::new(net, critic, InsertionSolver::new())
+}
+
+/// Solves every instance with `solver` and returns mean objective and the
+/// per-instance stats (each validated by the independent referee).
+pub fn evaluate_on(
+    solver: &mut dyn UsmdwSolver,
+    instances: &[Instance],
+) -> (f64, Vec<SolutionStats>) {
+    let mut stats = Vec::with_capacity(instances.len());
+    for inst in instances {
+        let sol = solver.solve(inst);
+        stats.push(evaluate(inst, &sol).expect("solver emitted an invalid solution"));
+    }
+    let mean = stats.iter().map(|s| s.objective).sum::<f64>() / stats.len().max(1) as f64;
+    (mean, stats)
+}
+
+/// A deterministic RNG for examples.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

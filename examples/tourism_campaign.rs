@@ -1,0 +1,83 @@
+//! Tourism campaign scenario: a city recruits tourists (multi-destination
+//! POI visitors) for a noise-mapping campaign and needs to pick a budget.
+//!
+//! Sweeps the incentive budget as in Table II and prints how coverage
+//! saturates, then walks through one tourist's re-planned working route.
+//!
+//! ```sh
+//! cargo run -p smore-examples --bin tourism_campaign --release
+//! ```
+
+use smore_datasets::DatasetKind;
+use smore_examples::{evaluate_on, rng, small_split, train_smore_quick};
+use smore_model::{Stop, UsmdwSolver, WorkerId};
+
+fn main() {
+    let (generator, split) = small_split(DatasetKind::Tourism, 23);
+    println!("tourism campaign over an {:.0} km² region", {
+        let s = generator.spec();
+        s.region_width * s.region_height / 1e6
+    });
+
+    println!("training SMORE on {} instances...", split.train.len());
+    let mut smore = train_smore_quick(&split.train, 2, 29);
+
+    // Budget sweep (Table II shape: diminishing returns).
+    println!("\nbudget sweep (mean φ over fresh instances):");
+    let mut r = rng(5);
+    let mut last = 0.0;
+    for budget in [150.0, 300.0, 450.0] {
+        let instances: Vec<_> = (0..4)
+            .map(|_| generator.gen_instance(&mut r, 30.0, budget, 1.0, 0.5))
+            .collect();
+        let (obj, _) = evaluate_on(&mut smore, &instances);
+        let delta = if last > 0.0 { format!(" (+{:.3})", obj - last) } else { String::new() };
+        println!("  budget {budget:>5.0}: φ = {obj:.3}{delta}");
+        last = obj;
+    }
+
+    // One tourist's working route, before vs after.
+    let inst = &split.test[0];
+    let sol = smore.solve(inst);
+    let (wid, route) = sol
+        .routes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, r)| r.sensing_count())
+        .map(|(w, r)| (WorkerId(w), r.clone()))
+        .expect("at least one worker");
+    let worker = inst.worker(wid);
+    println!(
+        "\ntourist {} (origin→{} POIs→destination) got {} sensing tasks:",
+        wid.0,
+        worker.travel_tasks.len(),
+        route.sensing_count()
+    );
+    let schedule = inst.schedule(wid, &route).expect("solution routes are feasible");
+    for timing in &schedule.timings {
+        match timing.stop {
+            Stop::Travel(i) => println!(
+                "  {:>6.1} min  visit POI {i} (stay {:.0} min)",
+                timing.arrival - worker.earliest_departure,
+                worker.travel_tasks[i].service
+            ),
+            Stop::Sensing(id) => {
+                let t = inst.sensing_task(id);
+                println!(
+                    "  {:>6.1} min  sense cell ({},{}) slot {} (wait {:.1} min)",
+                    timing.arrival - worker.earliest_departure,
+                    t.cell.row,
+                    t.cell.col,
+                    t.cell.slot,
+                    timing.waiting
+                );
+            }
+        }
+    }
+    println!(
+        "  total: rtt {:.1} min vs reference {:.1} min → incentive {:.2}",
+        schedule.rtt,
+        inst.base_rtt[wid.0],
+        inst.incentive(wid, schedule.rtt)
+    );
+}

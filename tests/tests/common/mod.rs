@@ -1,0 +1,27 @@
+//! Shared helpers for the cross-crate integration tests: a deliberately tiny
+//! dataset spec so full train-and-solve pipelines stay fast in debug builds.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::Instance;
+
+/// A tiny Delivery-like spec: 4×4 grid, 2 temporal slots (32 sensing tasks),
+/// 3–4 workers.
+pub fn tiny_spec() -> DatasetSpec {
+    let mut spec = DatasetSpec::of(DatasetKind::Delivery, Scale::Small);
+    spec.grid_rows = 4;
+    spec.grid_cols = 4;
+    spec.horizon = 90.0;
+    spec.window_len = 45.0;
+    spec.workers_per_instance = (3, 4);
+    spec.travel_tasks_per_worker = (2, 5);
+    spec
+}
+
+/// Generates `n` tiny instances deterministically.
+pub fn tiny_instances(seed: u64, n: usize) -> Vec<Instance> {
+    let generator = InstanceGenerator::new(tiny_spec(), seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| generator.gen_instance(&mut rng, 45.0, 150.0, 1.0, 0.5)).collect()
+}

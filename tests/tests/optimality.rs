@@ -1,0 +1,64 @@
+//! Optimality-gap measurement against the exhaustive oracle on tiny
+//! instances — the strongest quality check available (no paper counterpart;
+//! the paper's instances are too large to solve exactly).
+
+use smore::{GreedySelection, SmoreFramework};
+use smore_baselines::{ExactUsmdwSolver, GreedySolver};
+use smore_geo::{GridSpec, Point, TravelTimeModel};
+use smore_model::{evaluate, Instance, SensingLattice, TravelTask, UsmdwSolver, Worker};
+use smore_tsptw::InsertionSolver;
+
+fn tiny(seed: u64) -> Instance {
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let lattice = SensingLattice {
+        grid: GridSpec::new(Point::new(0.0, 0.0), 800.0, 800.0, 2, 2),
+        horizon: 120.0,
+        window_len: 60.0,
+        service: 4.0,
+    };
+    let workers = (0..2)
+        .map(|_| {
+            let origin = Point::new(rng.gen_range(0.0..800.0), rng.gen_range(0.0..800.0));
+            let dest = Point::new(rng.gen_range(0.0..800.0), rng.gen_range(0.0..800.0));
+            let tasks = (0..rng.gen_range(1..=2))
+                .map(|_| {
+                    TravelTask::new(
+                        Point::new(rng.gen_range(0.0..800.0), rng.gen_range(0.0..800.0)),
+                        8.0,
+                    )
+                })
+                .collect();
+            Worker::new(origin, dest, 0.0, rng.gen_range(70.0..110.0), tasks)
+        })
+        .collect();
+    Instance::from_lattice(workers, lattice, 60.0, 1.0, TravelTimeModel::PAPER_DEFAULT, 0.5)
+}
+
+#[test]
+fn framework_greedy_is_near_optimal_on_tiny_instances() {
+    let mut oracle = ExactUsmdwSolver::new();
+    let mut framework = SmoreFramework::new(GreedySelection, InsertionSolver::new());
+    let mut tvpg = GreedySolver::tvpg();
+
+    let (mut opt_sum, mut fw_sum, mut tvpg_sum) = (0.0, 0.0, 0.0);
+    for seed in 0..6 {
+        let inst = tiny(seed);
+        let opt = evaluate(&inst, &oracle.solve(&inst)).unwrap().objective;
+        let fw = evaluate(&inst, &framework.solve(&inst)).unwrap().objective;
+        let tv = evaluate(&inst, &tvpg.solve(&inst)).unwrap().objective;
+        assert!(fw <= opt + 1e-9, "seed {seed}: framework {fw} beat the oracle {opt}");
+        assert!(tv <= opt + 1e-9, "seed {seed}: TVPG {tv} beat the oracle {opt}");
+        opt_sum += opt;
+        fw_sum += fw;
+        tvpg_sum += tv;
+    }
+    // The framework should capture the large majority of the attainable
+    // objective, and at least as much as plain TVPG.
+    assert!(
+        fw_sum >= 0.85 * opt_sum,
+        "framework captured only {:.1}% of optimum",
+        100.0 * fw_sum / opt_sum
+    );
+    assert!(fw_sum + 1e-9 >= tvpg_sum);
+}

@@ -1,0 +1,34 @@
+//! Paper-scale smoke tests (`Scale::Paper`: 960 sensing tasks on Delivery).
+//! Ignored by default — run with `cargo test -p smore-integration --release -- --ignored`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{Engine, GreedySelection, SelectionPolicy};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::evaluate;
+use smore_tsptw::InsertionSolver;
+
+#[test]
+#[ignore = "paper-scale: ~a minute in release, very slow in debug"]
+fn paper_scale_delivery_pipeline() {
+    let spec = DatasetSpec::of(DatasetKind::Delivery, Scale::Paper);
+    let generator = InstanceGenerator::new(spec, 1);
+    let inst = generator.gen_default(&mut SmallRng::seed_from_u64(1));
+    assert_eq!(inst.n_tasks(), 12 * 10 * 8, "960 sensing tasks at paper scale");
+    assert!(inst.n_workers() >= 8);
+
+    // Candidate initialization over all |W|·|S| pairs, then a bounded number
+    // of greedy selections — the full Algorithm 1 machinery at paper scale.
+    let solver = InsertionSolver::new();
+    let mut engine = Engine::new(&inst, &solver).expect("initial routes exist");
+    assert!(engine.has_candidates());
+    let mut policy = GreedySelection;
+    for _ in 0..10 {
+        let Some((w, t)) = policy.select(&engine) else { break };
+        engine.apply(w, t);
+    }
+    let completed = engine.state.coverage.len();
+    assert!(completed > 0);
+    let stats = evaluate(&inst, &engine.state.into_solution()).unwrap();
+    assert_eq!(stats.completed, completed);
+}

@@ -1,0 +1,46 @@
+//! Cross-crate serialization: instances and trained models round-trip
+//! through JSON without behavioural change.
+
+mod common;
+
+use common::tiny_instances;
+use smore::{Critic, SmoreSolver, Tasnet, TasnetConfig, TasnetTrainConfig};
+use smore_model::{evaluate, Instance, UsmdwSolver};
+use smore_tsptw::InsertionSolver;
+
+#[test]
+fn instances_roundtrip_through_json() {
+    let instances = tiny_instances(3, 2);
+    for inst in &instances {
+        let json = serde_json::to_string(inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_workers(), inst.n_workers());
+        assert_eq!(back.n_tasks(), inst.n_tasks());
+        assert_eq!(back.base_rtt, inst.base_rtt);
+        assert_eq!(back.sensing_tasks, inst.sensing_tasks);
+    }
+}
+
+#[test]
+fn trained_model_roundtrips_and_reproduces_solutions() {
+    let instances = tiny_instances(5, 3);
+    let mut cfg = TasnetConfig::for_grid(4, 4);
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.enc_layers = 1;
+    let mut net = Tasnet::new(cfg.clone(), 1);
+    let mut critic = Critic::new(16, 2);
+    let tc = TasnetTrainConfig { warmup_epochs: 1, epochs: 0, batch: 2, lr: 1e-3, rl_lr: 2e-4, critic_lr: 1e-3 };
+    smore::train_tasnet(&mut net, &mut critic, &instances[..2], &InsertionSolver::new(), &tc, 3);
+
+    let mut original = SmoreSolver::new(net, critic, InsertionSolver::new());
+    let sol = original.solve(&instances[2]);
+    let obj = evaluate(&instances[2], &sol).unwrap().objective;
+
+    let (policy_json, critic_json) = original.save_params();
+    let mut restored =
+        SmoreSolver::load_params(cfg, InsertionSolver::new(), &policy_json, &critic_json).unwrap();
+    let sol2 = restored.solve(&instances[2]);
+    assert_eq!(sol, sol2);
+    assert!((evaluate(&instances[2], &sol2).unwrap().objective - obj).abs() < 1e-12);
+}
