@@ -14,7 +14,7 @@
 //! the paper, whose instances are too large for exact solution).
 
 use smore_geo::CoverageTracker;
-use smore_model::{Instance, Route, SensingTaskId, Solution, Stop, UsmdwSolver, WorkerId, TIME_EPS};
+use smore_model::{Deadline, Instance, Route, SensingTaskId, Solution, Stop, UsmdwSolver, WorkerId, TIME_EPS};
 use smore_tsptw::{ExactDpSolver, TsptwNode, TsptwProblem, TsptwSolver};
 
 /// The exhaustive oracle; see the module docs.
@@ -46,6 +46,7 @@ struct Search<'a> {
     /// Current per-worker assignments.
     assigned: Vec<Vec<SensingTaskId>>,
     coverage: CoverageTracker,
+    deadline: Deadline,
 }
 
 impl Search<'_> {
@@ -74,7 +75,7 @@ impl Search<'_> {
             nodes,
             travel: self.instance.travel,
         };
-        self.tsptw.solve(&p).map(|s| s.rtt)
+        self.tsptw.solve(&p).ok().map(|s| s.rtt)
     }
 
     /// Total incentive of the current assignment, or `None` if any route is
@@ -98,6 +99,11 @@ impl Search<'_> {
     }
 
     fn recurse(&mut self, task: usize) {
+        // Anytime: past the deadline the search stops expanding and the best
+        // assignment found so far stands (possibly sub-optimal, still valid).
+        if self.deadline.expired() {
+            return;
+        }
         if let Some((best, _)) = &self.best {
             if self.optimistic(task) <= *best + 1e-12 {
                 return; // even completing everything left cannot improve
@@ -138,7 +144,7 @@ impl UsmdwSolver for ExactUsmdwSolver {
         "Exact"
     }
 
-    fn solve(&mut self, instance: &Instance) -> Solution {
+    fn solve_within(&mut self, instance: &Instance, deadline: Deadline) -> Solution {
         assert!(
             instance.n_tasks() <= self.max_tasks,
             "ExactUsmdwSolver is an oracle for tiny instances (≤ {} tasks), got {}",
@@ -151,11 +157,14 @@ impl UsmdwSolver for ExactUsmdwSolver {
             best: None,
             assigned: vec![Vec::new(); instance.n_workers()],
             coverage: instance.coverage_tracker(),
+            deadline,
         };
         search.recurse(0);
 
         let Some((_, assignment)) = search.best else {
-            return Solution::empty(instance.n_workers());
+            // No assignment explored (e.g. the deadline expired immediately):
+            // the reference routes are still a valid answer.
+            return instance.reference_solution();
         };
         // Materialize exact routes for the winning assignment.
         let mut routes = Vec::with_capacity(instance.n_workers());

@@ -15,7 +15,7 @@
 
 use crate::common::{best_insertion, init_nearest_neighbor, Insertion};
 use rayon::prelude::*;
-use smore_model::{AssignmentState, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+use smore_model::{AssignmentState, Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
 
 /// Tie-breaking priority of the greedy rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,11 +65,13 @@ impl UsmdwSolver for GreedySolver {
         }
     }
 
-    fn solve(&mut self, instance: &Instance) -> Solution {
+    fn solve_within(&mut self, instance: &Instance, deadline: Deadline) -> Solution {
         let mut state = AssignmentState::new(instance);
         init_nearest_neighbor(instance, &mut state);
 
-        loop {
+        // Anytime: each committed insertion keeps the state valid, so the
+        // loop can stop at any boundary once the budget runs out.
+        while !deadline.expired() {
             // Best feasible insertion per worker, scanned in parallel.
             let per_worker: Vec<Option<(SensingTaskId, Insertion, f64)>> = (0..instance
                 .n_workers())

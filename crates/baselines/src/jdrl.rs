@@ -12,7 +12,7 @@
 use crate::common::{best_insertion, init_nearest_neighbor};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use smore_model::{AssignmentState, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+use smore_model::{AssignmentState, Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
 use smore_nn::{Adam, Matrix, Mlp, ParamStore, Tape};
 
 const FEATURES: usize = 8;
@@ -166,10 +166,15 @@ impl JdrlSolver {
         assigned
     }
 
-    fn run(&self, instance: &Instance, mut rng: Option<&mut SmallRng>) -> AssignmentState {
+    fn run(
+        &self,
+        instance: &Instance,
+        mut rng: Option<&mut SmallRng>,
+        deadline: Deadline,
+    ) -> AssignmentState {
         let mut state = AssignmentState::new(instance);
         init_nearest_neighbor(instance, &mut state);
-        loop {
+        while !deadline.expired() {
             let assigned =
                 self.dispatch_round(instance, &mut state, rng.as_deref_mut(), self.feasibility_tries);
             if assigned == 0 {
@@ -191,8 +196,8 @@ impl UsmdwSolver for JdrlSolver {
         "JDRL"
     }
 
-    fn solve(&mut self, instance: &Instance) -> Solution {
-        self.run(instance, None).into_solution()
+    fn solve_within(&mut self, instance: &Instance, deadline: Deadline) -> Solution {
+        self.run(instance, None, deadline).into_solution()
     }
 }
 

@@ -16,8 +16,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use smore_geo::CoverageTracker;
 use smore_model::{
-    AssignmentState, Instance, Route, SensingTaskId, Solution, Stop, UsmdwSolver, WorkerId,
-    TIME_EPS,
+    AssignmentState, Deadline, Instance, Route, SensingTaskId, Solution, Stop, UsmdwSolver,
+    WorkerId, TIME_EPS,
 };
 use std::time::{Duration, Instant};
 
@@ -173,15 +173,20 @@ enum Move {
 }
 
 impl MsaSolver {
-    fn initial_solution(&self, instance: &Instance, rng: &mut SmallRng) -> Solution {
+    fn initial_solution(
+        &self,
+        instance: &Instance,
+        rng: &mut SmallRng,
+        deadline: Deadline,
+    ) -> Solution {
         if self.greedy_init {
-            GreedySolver::tvpg().solve(instance)
+            GreedySolver::tvpg().solve_within(instance, deadline)
         } else {
             // Random construction as in RN, with a modest attempt budget.
             let mut state = AssignmentState::new(instance);
             init_nearest_neighbor(instance, &mut state);
             let mut failures = 0;
-            while failures < 800 {
+            while failures < 800 && !deadline.expired() {
                 let worker = WorkerId(rng.gen_range(0..instance.n_workers()));
                 let task = SensingTaskId(rng.gen_range(0..instance.n_tasks()));
                 if state.completed[task.0] {
@@ -330,17 +335,19 @@ impl UsmdwSolver for MsaSolver {
         }
     }
 
-    fn solve(&mut self, instance: &Instance) -> Solution {
-        let deadline = Instant::now() + self.cfg.time_cap;
+    fn solve_within(&mut self, instance: &Instance, deadline: Deadline) -> Solution {
+        // The annealer already carries its own wall-clock cap; the caller's
+        // deadline only ever tightens it.
+        let cutoff = Instant::now() + deadline.remaining_or(self.cfg.time_cap);
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut best: Option<(Vec<Route>, f64)> = None;
         for _ in 0..self.cfg.starts {
-            let init = self.initial_solution(instance, &mut rng);
-            let (routes, obj) = self.anneal(instance, init, &mut rng, deadline);
+            let init = self.initial_solution(instance, &mut rng, deadline);
+            let (routes, obj) = self.anneal(instance, init, &mut rng, cutoff);
             if best.as_ref().is_none_or(|(_, b)| obj > *b) {
                 best = Some((routes, obj));
             }
-            if Instant::now() >= deadline {
+            if Instant::now() >= cutoff {
                 break;
             }
         }

@@ -9,7 +9,7 @@
 use crate::common::{init_nearest_neighbor, insertion_at};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use smore_model::{AssignmentState, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+use smore_model::{AssignmentState, Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
 
 /// The RN baseline.
 #[derive(Debug, Clone)]
@@ -31,13 +31,13 @@ impl UsmdwSolver for RandomSolver {
         "RN"
     }
 
-    fn solve(&mut self, instance: &Instance) -> Solution {
+    fn solve_within(&mut self, instance: &Instance, deadline: Deadline) -> Solution {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut state = AssignmentState::new(instance);
         init_nearest_neighbor(instance, &mut state);
 
         let mut failures = 0;
-        while failures < self.max_failures {
+        while failures < self.max_failures && !deadline.expired() {
             let worker = WorkerId(rng.gen_range(0..instance.n_workers()));
             let task = SensingTaskId(rng.gen_range(0..instance.n_tasks()));
             if state.completed[task.0] {

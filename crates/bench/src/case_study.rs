@@ -9,7 +9,8 @@
 //! window semantics.
 
 use smore_model::{
-    evaluate, Instance, Route, SensingTaskId, Solution, SolutionStats, Stop, UsmdwSolver, WorkerId,
+    evaluate, Deadline, Instance, Route, SensingTaskId, Solution, SolutionStats, Stop,
+    UsmdwSolver, WorkerId,
 };
 use smore_model::tsp::solve_open_tsp;
 use std::fmt::Write as _;
@@ -22,7 +23,9 @@ impl UsmdwSolver for OpportunisticSolver {
         "no-replanning"
     }
 
-    fn solve(&mut self, instance: &Instance) -> Solution {
+    fn solve_within(&mut self, instance: &Instance, _deadline: Deadline) -> Solution {
+        // Opportunistic pickup never re-plans, so a solve is one linear walk
+        // per worker — fast enough to ignore the deadline.
         let grid = &instance.lattice.grid;
         let mut taken = vec![false; instance.n_tasks()];
         let mut routes = Vec::with_capacity(instance.n_workers());

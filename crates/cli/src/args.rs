@@ -1,7 +1,10 @@
-//! Minimal flag parsing (no external dependency): `--key value` pairs plus
-//! one positional subcommand.
+//! Minimal flag parsing (no external dependency): `--key value` pairs,
+//! boolean `--switch` flags, plus one positional subcommand.
 
 use std::collections::HashMap;
+
+/// Flags that take no value; their presence means "true".
+const SWITCHES: &[&str] = &["validate", "help"];
 
 /// Parsed command line: a subcommand and its `--key value` options.
 #[derive(Debug, Clone, Default)]
@@ -21,8 +24,11 @@ impl Args {
         let mut args = Args::default();
         while let Some(a) = argv.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value =
-                    argv.next().ok_or_else(|| format!("flag --{key} requires a value"))?;
+                let value = if SWITCHES.contains(&key) {
+                    "true".to_string()
+                } else {
+                    argv.next().ok_or_else(|| format!("flag --{key} requires a value"))?
+                };
                 if args.options.insert(key.to_string(), value).is_some() {
                     return Err(format!("flag --{key} given twice"));
                 }
@@ -33,6 +39,11 @@ impl Args {
             }
         }
         Ok(args)
+    }
+
+    /// Whether a boolean `--switch` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 
     /// String option.
@@ -87,5 +98,13 @@ mod tests {
     fn require_reports_missing_flags() {
         let a = parse("train").unwrap();
         assert!(a.require("instances").is_err());
+    }
+
+    #[test]
+    fn switches_need_no_value() {
+        let a = parse("inspect --validate --index 1").unwrap();
+        assert!(a.flag("validate"));
+        assert_eq!(a.num::<usize>("index", 0).unwrap(), 1);
+        assert!(!parse("inspect --index 1").unwrap().flag("validate"));
     }
 }

@@ -1,13 +1,14 @@
 //! Implementation of the CLI subcommands.
 
 use crate::args::Args;
+use crate::error::CliError;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use smore::{Critic, SmoreSolver, Tasnet, TasnetConfig, TasnetTrainConfig};
 use smore_baselines::{GreedySolver, JdrlPolicy, JdrlSolver, MsaConfig, MsaSolver, RandomSolver};
 use smore_datasets::{DatasetKind, DatasetSpec, DatasetStats, InstanceGenerator, Scale};
-use smore_model::{evaluate, Instance, Solution, UsmdwSolver};
+use smore_model::{evaluate, DeadlineSpec, Instance, Solution, UsmdwSolver};
 use smore_tsptw::InsertionSolver;
 
 /// On-disk bundle of instances plus the generation parameters.
@@ -38,35 +39,39 @@ pub struct ModelFile {
     pub critic: String,
 }
 
-fn dataset_kind(name: &str) -> Result<DatasetKind, String> {
+fn dataset_kind(name: &str) -> Result<DatasetKind, CliError> {
     match name.to_ascii_lowercase().as_str() {
         "delivery" => Ok(DatasetKind::Delivery),
         "tourism" => Ok(DatasetKind::Tourism),
         "lade" => Ok(DatasetKind::LaDe),
-        other => Err(format!("unknown dataset {other:?} (delivery | tourism | lade)")),
+        other => Err(CliError::Usage(format!(
+            "unknown dataset {other:?} (delivery | tourism | lade)"
+        ))),
     }
 }
 
-fn scale(name: &str) -> Result<Scale, String> {
+fn scale(name: &str) -> Result<Scale, CliError> {
     match name.to_ascii_lowercase().as_str() {
         "small" => Ok(Scale::Small),
         "paper" => Ok(Scale::Paper),
-        other => Err(format!("unknown scale {other:?} (small | paper)")),
+        other => Err(CliError::Usage(format!("unknown scale {other:?} (small | paper)"))),
     }
 }
 
-fn read_instances(path: &str) -> Result<InstanceFile, String> {
-    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))
+fn read_instances(path: &str) -> Result<InstanceFile, CliError> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
+    serde_json::from_str(&raw).map_err(|e| CliError::Parse(format!("parse {path}: {e}")))
 }
 
-fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
-    let json = serde_json::to_string(value).map_err(|e| e.to_string())?;
-    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))
+fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+    let json =
+        serde_json::to_string(value).map_err(|e| CliError::Parse(format!("serialize: {e}")))?;
+    std::fs::write(path, json).map_err(|e| CliError::Io(format!("write {path}: {e}")))
 }
 
 /// `gen` — generate a dataset of USMDW instances.
-pub fn gen(args: &Args) -> Result<(), String> {
+pub fn gen(args: &Args) -> Result<(), CliError> {
     let kind = dataset_kind(args.get_or("dataset", "delivery"))?;
     let scale = scale(args.get_or("scale", "small"))?;
     let seed: u64 = args.num("seed", 7)?;
@@ -91,7 +96,7 @@ pub fn gen(args: &Args) -> Result<(), String> {
 }
 
 /// `stats` — Figure-4-style distribution statistics for an instance file.
-pub fn stats(args: &Args) -> Result<(), String> {
+pub fn stats(args: &Args) -> Result<(), CliError> {
     let file = read_instances(args.require("instances")?)?;
     let stats = DatasetStats::collect(&file.instances);
     print!("{}", stats.travel_tasks_per_worker.render("travel tasks per worker"));
@@ -100,11 +105,11 @@ pub fn stats(args: &Args) -> Result<(), String> {
 }
 
 /// `train` — train SMORE on an instance file and save the model.
-pub fn train(args: &Args) -> Result<(), String> {
+pub fn train(args: &Args) -> Result<(), CliError> {
     let file = read_instances(args.require("instances")?)?;
     let out = args.require("out")?;
     if file.instances.is_empty() {
-        return Err("instance file is empty".to_string());
+        return Err(CliError::InvalidData("instance file is empty".to_string()));
     }
     let grid = file.instances[0].lattice.grid.clone();
     let mut cfg = TasnetConfig::for_grid(grid.rows, grid.cols);
@@ -153,22 +158,29 @@ pub fn train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_smore(path: &str) -> Result<SmoreSolver<InsertionSolver>, String> {
-    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let file: ModelFile = serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))?;
+fn load_smore(path: &str) -> Result<SmoreSolver<InsertionSolver>, CliError> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
+    let file: ModelFile = serde_json::from_str(&raw)
+        .map_err(|e| CliError::Parse(format!("parse {path}: {e}")))?;
     let mut cfg = TasnetConfig::for_grid(file.grid_rows, file.grid_cols);
     cfg.d_model = file.d_model;
     cfg.heads = file.heads;
     cfg.enc_layers = file.enc_layers;
     SmoreSolver::load_params(cfg, InsertionSolver::new(), &file.policy, &file.critic)
-        .map_err(|e| format!("restore model: {e}"))
+        .map_err(|e| CliError::InvalidData(format!("restore model: {e}")))
 }
 
 /// `solve` — solve every instance in a file with the chosen method.
-pub fn solve(args: &Args) -> Result<(), String> {
+pub fn solve(args: &Args) -> Result<(), CliError> {
     let file = read_instances(args.require("instances")?)?;
     let method = args.get_or("method", "smore");
     let seed: u64 = args.num("seed", 1)?;
+    let budget_ms = match args.get("budget-ms") {
+        None => None,
+        Some(_) => Some(args.num::<u64>("budget-ms", 0)?),
+    };
+    let budget = DeadlineSpec { budget_ms };
     let mut solver: Box<dyn UsmdwSolver> = match method {
         "rn" => Box::new(RandomSolver::new(seed)),
         "tvpg" => Box::new(GreedySolver::tvpg()),
@@ -177,14 +189,17 @@ pub fn solve(args: &Args) -> Result<(), String> {
         "msagi" => Box::new(MsaSolver::msagi(MsaConfig::small(), seed)),
         "jdrl" => Box::new(JdrlSolver::new(JdrlPolicy::new(seed))),
         "smore" => Box::new(load_smore(args.require("model")?)?),
-        other => return Err(format!("unknown method {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown method {other:?}"))),
     };
 
     let mut solutions: Vec<Solution> = Vec::with_capacity(file.instances.len());
     let mut total = 0.0;
     for (i, inst) in file.instances.iter().enumerate() {
-        let sol = solver.solve(inst);
-        let stats = evaluate(inst, &sol).map_err(|e| format!("instance {i}: {e}"))?;
+        // Each instance gets its own deadline window (anytime semantics:
+        // on expiry the solver returns its best valid partial solution).
+        let sol = solver.solve_within(inst, budget.start());
+        let stats =
+            evaluate(inst, &sol).map_err(|e| CliError::Solve(format!("instance {i}: {e}")))?;
         println!(
             "instance {i}: φ = {:.3}, {} tasks, {:.1}/{:.0} budget",
             stats.objective, stats.completed, stats.total_incentive, inst.budget
@@ -205,23 +220,40 @@ pub fn solve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `inspect` — print one solved instance's schedule in detail.
-pub fn inspect(args: &Args) -> Result<(), String> {
+/// `inspect` — print one solved instance's schedule in detail, or (with
+/// `--validate`) re-check every instance in the file against
+/// [`Instance::validate`].
+pub fn inspect(args: &Args) -> Result<(), CliError> {
     let file = read_instances(args.require("instances")?)?;
+    if args.flag("validate") {
+        for (i, inst) in file.instances.iter().enumerate() {
+            inst.validate()
+                .map_err(|e| CliError::InvalidData(format!("instance {i}: {e}")))?;
+        }
+        println!("all {} instances validate", file.instances.len());
+        if args.get("solutions").is_none() {
+            return Ok(());
+        }
+    }
     let solutions_raw = std::fs::read_to_string(args.require("solutions")?)
-        .map_err(|e| format!("read solutions: {e}"))?;
-    let solutions: Vec<Solution> =
-        serde_json::from_str(&solutions_raw).map_err(|e| format!("parse solutions: {e}"))?;
+        .map_err(|e| CliError::Io(format!("read solutions: {e}")))?;
+    let solutions: Vec<Solution> = serde_json::from_str(&solutions_raw)
+        .map_err(|e| CliError::Parse(format!("parse solutions: {e}")))?;
     let index: usize = args.num("index", 0)?;
-    let inst = file.instances.get(index).ok_or("instance index out of range")?;
-    let sol = solutions.get(index).ok_or("solution index out of range")?;
+    let inst = file
+        .instances
+        .get(index)
+        .ok_or_else(|| CliError::InvalidData("instance index out of range".into()))?;
+    let sol = solutions
+        .get(index)
+        .ok_or_else(|| CliError::InvalidData("solution index out of range".into()))?;
 
-    let stats = evaluate(inst, sol).map_err(|e| e.to_string())?;
+    let stats = evaluate(inst, sol).map_err(|e| CliError::Solve(e.to_string()))?;
     println!("instance {index}: φ = {:.3}, {} tasks completed\n", stats.objective, stats.completed);
     for (w, route) in sol.routes.iter().enumerate() {
         let schedule = inst
             .schedule(smore_model::WorkerId(w), route)
-            .map_err(|e| format!("worker {w}: {e}"))?;
+            .map_err(|e| CliError::Solve(format!("worker {w}: {e}")))?;
         println!(
             "worker {w}: rtt {:.1} min, incentive {:.2}",
             schedule.rtt, stats.per_worker_incentive[w]
@@ -290,6 +322,53 @@ mod tests {
         assert!(solve(&args(&format!("solve --instances {inst} --method smore"))).is_err(),
             "smore without --model must fail");
     }
+
+    #[test]
+    fn usage_io_and_parse_errors_map_to_their_exit_codes() {
+        // Unknown dataset is a usage error (2).
+        let e = gen(&args("gen --out /tmp/x.json --dataset mars")).unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e:?}");
+        // Missing file is an io error (3).
+        let e = stats(&args("stats --instances /no/such/file.json")).unwrap_err();
+        assert_eq!(e.exit_code(), 3, "{e:?}");
+        // Garbage JSON is a parse error (4).
+        let garbage = tmp("garbage.json");
+        std::fs::write(&garbage, "not json").unwrap();
+        let e = stats(&args(&format!("stats --instances {garbage}"))).unwrap_err();
+        assert_eq!(e.exit_code(), 4, "{e:?}");
+    }
+
+    #[test]
+    fn out_of_range_index_is_invalid_data() {
+        let inst = tmp("inst3.json");
+        gen(&args(&format!("gen --out {inst} --count 1 --budget 120"))).unwrap();
+        let sols = tmp("sols3.json");
+        solve(&args(&format!("solve --instances {inst} --method tvpg --out {sols}"))).unwrap();
+        let e = inspect(&args(&format!(
+            "inspect --instances {inst} --solutions {sols} --index 99"
+        )))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 5, "{e:?}");
+    }
+
+    #[test]
+    fn inspect_validate_checks_every_instance() {
+        let inst = tmp("inst4.json");
+        gen(&args(&format!("gen --out {inst} --count 2 --budget 120"))).unwrap();
+        inspect(&args(&format!("inspect --instances {inst} --validate"))).unwrap();
+    }
+
+    #[test]
+    fn solve_honors_a_zero_deadline_budget() {
+        let inst = tmp("inst5.json");
+        gen(&args(&format!("gen --out {inst} --count 1 --budget 120"))).unwrap();
+        // A zero budget must still produce solutions that evaluate cleanly
+        // (the anytime contract), not an error or a panic.
+        solve(&args(&format!(
+            "solve --instances {inst} --method tvpg --budget-ms 0"
+        )))
+        .unwrap();
+    }
 }
 
 /// Top-level usage text.
@@ -306,6 +385,13 @@ COMMANDS:
   train    train SMORE             --instances F --out MODEL [--warmup N]
                                    [--epochs N] [--d-model N] [--seed N]
   solve    solve instances         --instances F --method M [--model MODEL]
-                                   [--out SOLUTIONS] (M: smore|tvpg|tcpg|rn|msa|msagi|jdrl)
+                                   [--out SOLUTIONS] [--budget-ms MS]
+                                   (M: smore|tvpg|tcpg|rn|msa|msagi|jdrl;
+                                    --budget-ms caps wall-clock per instance,
+                                    returning the best partial solution)
   inspect  show one schedule       --instances F --solutions F [--index N]
+           or re-check instances   --instances F --validate
+
+EXIT CODES:
+  0 ok   2 usage   3 io   4 parse   5 invalid data   6 solve/evaluate
 ";

@@ -1,0 +1,89 @@
+//! Typed CLI failures with distinct process exit codes, so scripts wrapping
+//! `smore-cli` can tell a usage mistake from a bad file from a solver
+//! failure without parsing stderr.
+
+use std::fmt;
+
+/// Why a CLI command failed, mapped onto a stable exit code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Bad invocation: unknown command/flag/method, missing required flag,
+    /// unparsable flag value. Exit code 2.
+    Usage(String),
+    /// The filesystem said no: unreadable or unwritable path. Exit code 3.
+    Io(String),
+    /// A file was read but is not valid JSON for the expected shape.
+    /// Exit code 4.
+    Parse(String),
+    /// The file parsed but its contents are unusable: empty instance set,
+    /// index out of range, failed instance validation. Exit code 5.
+    InvalidData(String),
+    /// Solving or evaluating failed. Exit code 6.
+    Solve(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Parse(_) => 4,
+            CliError::InvalidData(_) => 5,
+            CliError::Solve(_) => 6,
+        }
+    }
+
+    /// Whether the usage text should accompany the error message.
+    pub fn show_usage(&self) -> bool {
+        matches!(self, CliError::Usage(_))
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::Parse(m)
+            | CliError::InvalidData(m)
+            | CliError::Solve(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Args-helper errors are always usage errors.
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let errs = [
+            CliError::Usage(String::new()),
+            CliError::Io(String::new()),
+            CliError::Parse(String::new()),
+            CliError::InvalidData(String::new()),
+            CliError::Solve(String::new()),
+        ];
+        let mut codes: Vec<i32> = errs.iter().map(|e| e.exit_code()).collect();
+        assert!(codes.iter().all(|&c| c != 0));
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len(), "codes must be distinct");
+    }
+
+    #[test]
+    fn only_usage_errors_print_usage() {
+        assert!(CliError::Usage("x".into()).show_usage());
+        assert!(!CliError::Io("x".into()).show_usage());
+    }
+}

@@ -1,18 +1,20 @@
 //! `smore-cli` — generate datasets, train models, solve and inspect USMDW
 //! instances from the command line. Run without arguments for usage.
+//!
+//! Failures exit with a code identifying the class of error (see
+//! [`error::CliError`]): 2 usage, 3 io, 4 parse, 5 invalid data, 6 solve.
 
 mod args;
 mod commands;
+mod error;
 
 use args::Args;
+use error::CliError;
 
 fn main() {
     let parsed = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{}", commands::USAGE);
-            std::process::exit(2);
-        }
+        Err(e) => exit_with(CliError::Usage(e)),
     };
     let result = match parsed.command.as_str() {
         "gen" => commands::gen(&parsed),
@@ -24,10 +26,18 @@ fn main() {
             println!("{}", commands::USAGE);
             return;
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
     if let Err(e) = result {
-        eprintln!("error: {e}\n\n{}", commands::USAGE);
-        std::process::exit(1);
+        exit_with(e);
     }
+}
+
+fn exit_with(e: CliError) -> ! {
+    if e.show_usage() {
+        eprintln!("error: {e}\n\n{}", commands::USAGE);
+    } else {
+        eprintln!("error: {e}");
+    }
+    std::process::exit(e.exit_code());
 }

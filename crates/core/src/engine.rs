@@ -2,9 +2,10 @@
 //! update of Algorithm 1 (lines 1–9 and 12–23), shared by every selection
 //! policy (TASNet, the ablations, and greedy selection).
 
+use crate::error::SmoreError;
 use crate::route_planning::{order_to_route, route_problem};
 use rayon::prelude::*;
-use smore_model::{AssignmentState, Instance, Route, SensingTaskId, WorkerId, TIME_EPS};
+use smore_model::{AssignmentState, Deadline, Instance, Route, SensingTaskId, WorkerId, TIME_EPS};
 use smore_tsptw::TsptwSolver;
 
 /// A feasible candidate assignment `C[w][s]`: the re-planned route with the
@@ -74,6 +75,7 @@ pub struct Engine<'a> {
     pub state: AssignmentState,
     /// The candidate map `C`.
     pub candidates: CandidateMap,
+    deadline: Deadline,
 }
 
 impl<'a> Engine<'a> {
@@ -82,9 +84,25 @@ impl<'a> Engine<'a> {
     /// pair in parallel (the paper batches these on GPU; rayon is the CPU
     /// analogue).
     ///
-    /// Returns `None` if some worker's mandatory-only route cannot be solved
-    /// (which generated instances never trigger).
-    pub fn new(instance: &'a Instance, solver: &'a dyn TsptwSolver) -> Option<Self> {
+    /// Fails with [`SmoreError::InitialRoute`] if some worker's
+    /// mandatory-only route cannot be solved (which generated instances
+    /// never trigger, but faulty or chained solvers can).
+    pub fn new(
+        instance: &'a Instance,
+        solver: &'a dyn TsptwSolver,
+    ) -> Result<Self, SmoreError> {
+        Self::new_within(instance, solver, Deadline::none())
+    }
+
+    /// [`Engine::new`] under a wall-clock budget. Once `deadline` expires,
+    /// candidate recomputation short-circuits: remaining pairs are reported
+    /// infeasible, so the selection loop drains quickly and the state stays
+    /// a valid (partial) solution — the anytime contract.
+    pub fn new_within(
+        instance: &'a Instance,
+        solver: &'a dyn TsptwSolver,
+        deadline: Deadline,
+    ) -> Result<Self, SmoreError> {
         let mut state = AssignmentState::new(instance);
 
         // Initial routes: minimum-time mandatory-only routes. The worker's
@@ -94,7 +112,9 @@ impl<'a> Engine<'a> {
         for w in 0..instance.n_workers() {
             let wid = WorkerId(w);
             let p = route_problem(instance, wid, &[]);
-            let sol = solver.solve(&p)?;
+            let sol = solver
+                .solve(&p)
+                .map_err(|cause| SmoreError::InitialRoute { worker: wid, cause })?;
             state.routes[w] = order_to_route(instance, wid, &[], &sol);
             state.rtts[w] = sol.rtt;
             state.incentives[w] = instance.incentive(wid, sol.rtt);
@@ -106,11 +126,17 @@ impl<'a> Engine<'a> {
             solver,
             state,
             candidates: CandidateMap::new(instance.n_workers(), instance.n_tasks()),
+            deadline,
         };
         for w in 0..instance.n_workers() {
             engine.recompute_worker(WorkerId(w));
         }
-        Some(engine)
+        Ok(engine)
+    }
+
+    /// The wall-clock budget this engine was built with.
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
     }
 
     /// Whether any feasible candidate remains.
@@ -122,20 +148,22 @@ impl<'a> Engine<'a> {
     /// candidate route, updates budget/coverage, removes the task from every
     /// worker's candidates and recomputes the selected worker's candidates.
     ///
-    /// # Panics
-    /// Panics if `(worker, task)` is not a current candidate.
-    pub fn apply(&mut self, worker: WorkerId, task: SensingTaskId) {
+    /// Fails with [`SmoreError::StaleCandidate`] when `(worker, task)` is
+    /// not a current candidate; the state is untouched in that case, so the
+    /// caller can recover (e.g. end the selection loop).
+    pub fn apply(&mut self, worker: WorkerId, task: SensingTaskId) -> Result<(), SmoreError> {
         let candidate = self
             .candidates
             .get(worker, task)
             .cloned()
-            .expect("apply() requires a current candidate pair");
+            .ok_or(SmoreError::StaleCandidate { worker, task })?;
         self.state.assign(self.instance, worker, task, candidate.route, candidate.rtt);
         for w in 0..self.instance.n_workers() {
             self.candidates.set(WorkerId(w), task, None);
         }
         self.recompute_worker(worker);
         self.prune_unaffordable();
+        Ok(())
     }
 
     /// Drops candidates whose incentive delta no longer fits the shrunken
@@ -167,11 +195,18 @@ impl<'a> Engine<'a> {
         let instance = self.instance;
         let solver = self.solver;
         let completed = &self.state.completed;
+        let deadline = self.deadline;
 
         let results: Vec<(usize, Option<Candidate>)> = (0..instance.n_tasks())
             .into_par_iter()
             .map(|t| {
                 if completed[t] {
+                    return (t, None);
+                }
+                // Anytime drain: past the deadline, stop paying for TSPTW
+                // solves — an empty candidate row ends the selection loop
+                // while the committed state stays valid.
+                if deadline.expired() {
                     return (t, None);
                 }
                 let task = SensingTaskId(t);
@@ -181,7 +216,7 @@ impl<'a> Engine<'a> {
                 let mut tasks = assigned.clone();
                 tasks.push(task);
                 let p = route_problem(instance, worker, &tasks);
-                let candidate = solver.solve(&p).and_then(|sol| {
+                let candidate = solver.solve(&p).ok().and_then(|sol| {
                     let delta_in = instance.incentive(worker, sol.rtt) - current_incentive;
                     if delta_in > budget_rest + TIME_EPS {
                         return None;
@@ -276,7 +311,7 @@ mod tests {
             })
             .next()
             .expect("at least one candidate");
-        engine.apply(worker, task);
+        engine.apply(worker, task).unwrap();
         for w in 0..inst.n_workers() {
             assert!(engine.candidates.get(WorkerId(w), task).is_none());
         }
@@ -298,7 +333,7 @@ mod tests {
                 engine.candidates.tasks_of(WorkerId(w)).next().map(|(t, _)| (WorkerId(w), t))
             });
             let Some((w, t)) = pair else { break };
-            engine.apply(w, t);
+            engine.apply(w, t).unwrap();
             steps += 1;
         }
         assert!(steps > 0);
@@ -306,6 +341,39 @@ mod tests {
         let stats = evaluate(&inst, &sol).unwrap();
         assert_eq!(stats.completed, steps);
         assert!(stats.total_incentive <= inst.budget + 1e-6);
+    }
+
+    #[test]
+    fn applying_a_stale_pair_is_an_error_not_a_panic() {
+        let inst = instance(52);
+        let solver = InsertionSolver::new();
+        let mut engine = Engine::new(&inst, &solver).unwrap();
+        let (worker, task) = (0..inst.n_workers())
+            .find_map(|w| {
+                engine.candidates.tasks_of(WorkerId(w)).next().map(|(t, _)| (WorkerId(w), t))
+            })
+            .expect("at least one candidate");
+        engine.apply(worker, task).unwrap();
+        // The task is gone from every worker's candidates — re-applying it
+        // must report staleness, not corrupt the state.
+        let err = engine.apply(worker, task).unwrap_err();
+        assert_eq!(err, crate::SmoreError::StaleCandidate { worker, task });
+        let stats = evaluate(&inst, &engine.state.into_solution()).unwrap();
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn expired_deadline_still_yields_a_valid_empty_assignment() {
+        let inst = instance(53);
+        let solver = InsertionSolver::new();
+        let deadline = smore_model::Deadline::after_millis(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let engine = Engine::new_within(&inst, &solver, deadline).unwrap();
+        // Candidate generation short-circuited, so nothing is selectable…
+        assert!(!engine.has_candidates());
+        // …but the mandatory-only state is still a valid solution.
+        let stats = evaluate(&inst, &engine.state.into_solution()).unwrap();
+        assert_eq!(stats.completed, 0);
     }
 
     #[test]

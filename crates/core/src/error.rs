@@ -1,0 +1,88 @@
+//! Typed failure causes for the SMORE engine and framework.
+//!
+//! The engine distinguishes *why* a solve cannot proceed so callers can
+//! react: an initial-route failure means the TSPTW solver rejected a
+//! worker's mandatory-only route (retry with a fallback chain), a stale
+//! candidate means the caller raced the candidate map (a logic error), and
+//! a deadline expiry is the anytime contract kicking in (return the best
+//! partial solution, never an invalid one).
+
+use smore_model::{InstanceError, SensingTaskId, WorkerId};
+use smore_tsptw::SolveError;
+use std::fmt;
+
+/// Why a SMORE engine operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SmoreError {
+    /// The TSPTW solver could not plan a worker's mandatory-only route, so
+    /// the engine has no feasible starting state.
+    InitialRoute {
+        /// The worker whose mandatory route failed.
+        worker: WorkerId,
+        /// The underlying solver failure.
+        cause: SolveError,
+    },
+    /// `apply` was called on a pair that is not a current candidate.
+    StaleCandidate {
+        /// The worker of the stale pair.
+        worker: WorkerId,
+        /// The task of the stale pair.
+        task: SensingTaskId,
+    },
+    /// The instance itself failed validation.
+    Instance(InstanceError),
+    /// The deadline budget ran out before the operation could start.
+    DeadlineExpired,
+}
+
+impl fmt::Display for SmoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InitialRoute { worker, cause } => {
+                write!(f, "no initial route for worker {}: {cause}", worker.0)
+            }
+            Self::StaleCandidate { worker, task } => {
+                write!(f, "pair (worker {}, task {}) is not a current candidate", worker.0, task.0)
+            }
+            Self::Instance(e) => write!(f, "invalid instance: {e}"),
+            Self::DeadlineExpired => write!(f, "deadline budget expired"),
+        }
+    }
+}
+
+impl std::error::Error for SmoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InitialRoute { cause, .. } => Some(cause),
+            Self::Instance(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InstanceError> for SmoreError {
+    fn from(e: InstanceError) -> Self {
+        Self::Instance(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_worker() {
+        let e = SmoreError::InitialRoute { worker: WorkerId(3), cause: SolveError::Infeasible };
+        assert!(e.to_string().contains("worker 3"));
+        let e = SmoreError::StaleCandidate { worker: WorkerId(1), task: SensingTaskId(7) };
+        assert!(e.to_string().contains("task 7"));
+    }
+
+    #[test]
+    fn source_chains_to_the_solver_error() {
+        use std::error::Error;
+        let e = SmoreError::InitialRoute { worker: WorkerId(0), cause: SolveError::Timeout };
+        assert!(e.source().is_some());
+        assert!(SmoreError::DeadlineExpired.source().is_none());
+    }
+}

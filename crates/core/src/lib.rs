@@ -20,10 +20,15 @@
 //!   Mask** ablation.
 //! * [`SingleStageSolver`] — the **w/o TASNet** ablation (flat joint pair
 //!   selection).
+//! * [`SmoreError`] — typed engine failures. [`Engine`] construction and
+//!   `apply` return `Result`, and every solver honours a wall-clock
+//!   `Deadline` budget: on expiry the best valid partial solution is
+//!   returned (anytime solving).
 
 #![warn(missing_docs)]
 
 mod engine;
+mod error;
 mod policy;
 mod route_planning;
 mod single_stage;
@@ -32,9 +37,10 @@ mod tasnet;
 mod train;
 
 pub use engine::{Candidate, CandidateMap, Engine};
+pub use error::SmoreError;
 pub use policy::{GreedySelection, RandomSelection, RatioGreedySelection, SelectionPolicy, SmoreFramework};
 pub use route_planning::{order_to_route, route_problem};
 pub use single_stage::{train_single_stage, SingleStageNet, SingleStageSolver};
 pub use solver::SmoreSolver;
 pub use tasnet::{Critic, EpisodeEncoding, SelectMode, StepLogProbs, Tasnet, TasnetConfig};
-pub use train::{run_episode, train_tasnet, train_tasnet_validated, validate, Episode, TasnetTrainConfig, TasnetTrainReport};
+pub use train::{run_episode, run_episode_within, train_tasnet, train_tasnet_validated, validate, Episode, TasnetTrainConfig, TasnetTrainReport};

@@ -4,7 +4,7 @@
 use crate::engine::Engine;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use smore_model::{Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+use smore_model::{Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
 use smore_tsptw::TsptwSolver;
 
 /// A policy that picks the next (worker, sensing task) pair from the
@@ -63,14 +63,23 @@ impl<P: SelectionPolicy, S: TsptwSolver> UsmdwSolver for SmoreFramework<P, S> {
         &self.display_name
     }
 
-    fn solve(&mut self, instance: &Instance) -> Solution {
-        let Some(mut engine) = Engine::new(instance, &self.solver) else {
-            return Solution::empty(instance.n_workers());
+    fn solve_within(&mut self, instance: &Instance, deadline: Deadline) -> Solution {
+        // If the solver cannot even plan the mandatory routes, fall back to
+        // the exact reference routes: a valid zero-incentive solution beats
+        // an invalid empty one.
+        let Ok(mut engine) = Engine::new_within(instance, &self.solver, deadline) else {
+            return instance.reference_solution();
         };
         self.policy.begin(&engine);
-        while engine.has_candidates() {
+        while engine.has_candidates() && !deadline.expired() {
             match self.policy.select(&engine) {
-                Some((worker, task)) => engine.apply(worker, task),
+                // A stale selection means the policy disagrees with the
+                // candidate map — stop selecting, keep the valid state.
+                Some((worker, task)) => {
+                    if engine.apply(worker, task).is_err() {
+                        break;
+                    }
+                }
                 None => break,
             }
         }

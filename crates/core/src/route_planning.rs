@@ -103,7 +103,7 @@ mod tests {
             .unwrap();
         let tasks = vec![SensingTaskId(best)];
         let p = route_problem(&inst, wid, &tasks);
-        if let Some(sol) = solver.solve(&p) {
+        if let Ok(sol) = solver.solve(&p) {
             let route = order_to_route(&inst, wid, &tasks, &sol);
             let schedule = inst.schedule(wid, &route).expect("converted route schedules");
             assert!((schedule.rtt - sol.rtt).abs() < 1e-6, "rtt must agree across layers");

@@ -7,7 +7,7 @@
 use crate::engine::Engine;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use smore_model::{Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+use smore_model::{Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
 use smore_nn::{select_row, Adam, Matrix, Mlp, ParamStore, Tape, Var};
 use smore_tsptw::TsptwSolver;
 
@@ -114,19 +114,21 @@ impl<S: TsptwSolver> UsmdwSolver for SingleStageSolver<S> {
         "SMORE(w/o TASNet)"
     }
 
-    fn solve(&mut self, instance: &Instance) -> Solution {
+    fn solve_within(&mut self, instance: &Instance, deadline: Deadline) -> Solution {
         let mut rng = SmallRng::seed_from_u64(0);
-        let Some(mut engine) = Engine::new(instance, &self.solver) else {
-            return Solution::empty(instance.n_workers());
+        let Ok(mut engine) = Engine::new_within(instance, &self.solver, deadline) else {
+            return instance.reference_solution();
         };
-        while engine.has_candidates() {
+        while engine.has_candidates() && !deadline.expired() {
             let mut tape = Tape::new();
             let Some((pairs, probs, _)) = self.net.score_pairs(&mut tape, &engine) else {
                 break;
             };
             let choice = select_row(tape.value(probs), 0, true, &mut rng);
             let (w, t) = pairs[choice];
-            engine.apply(w, t);
+            if engine.apply(w, t).is_err() {
+                break;
+            }
         }
         engine.state.into_solution()
     }
@@ -148,7 +150,7 @@ pub fn train_single_stage(
     for _ in 0..epochs {
         let mut episodes: Vec<(Tape, Vec<Var>, f64)> = Vec::new();
         for instance in instances {
-            let Some(mut engine) = Engine::new(instance, solver) else { continue };
+            let Ok(mut engine) = Engine::new(instance, solver) else { continue };
             let mut tape = Tape::new();
             let mut logps = Vec::new();
             while engine.has_candidates() {
@@ -158,7 +160,9 @@ pub fn train_single_stage(
                 let choice = smore_nn::sample_row(tape.value(probs), 0, &mut rng);
                 logps.push(tape.pick(logp, 0, choice));
                 let (w, t) = pairs[choice];
-                engine.apply(w, t);
+                if engine.apply(w, t).is_err() {
+                    break;
+                }
             }
             episodes.push((tape, logps, engine.state.objective()));
         }

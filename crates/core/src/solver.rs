@@ -2,10 +2,10 @@
 //! inference time (greedy decoding, per Section V-B).
 
 use crate::tasnet::{Critic, Tasnet, TasnetConfig};
-use crate::train::run_episode;
+use crate::train::run_episode_within;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use smore_model::{Instance, Solution, UsmdwSolver};
+use smore_model::{Deadline, Instance, Solution, UsmdwSolver};
 use smore_tsptw::TsptwSolver;
 
 /// SMORE at inference: pre-trained TASNet + a TSPTW solver.
@@ -67,11 +67,21 @@ impl<S: TsptwSolver> UsmdwSolver for SmoreSolver<S> {
         &self.display_name
     }
 
-    fn solve(&mut self, instance: &Instance) -> Solution {
+    fn solve_within(&mut self, instance: &Instance, deadline: Deadline) -> Solution {
         let mut rng = SmallRng::seed_from_u64(0); // unused under greedy decode
-        match run_episode(&self.net, &self.critic, instance, &self.solver, true, &mut rng) {
+        match run_episode_within(
+            &self.net,
+            &self.critic,
+            instance,
+            &self.solver,
+            true,
+            deadline,
+            &mut rng,
+        ) {
             Some(ep) => ep.solution,
-            None => Solution::empty(instance.n_workers()),
+            // No initial routes from the inner solver — fall back to the
+            // exact reference routes rather than emit an invalid solution.
+            None => instance.reference_solution(),
         }
     }
 }

@@ -579,7 +579,7 @@ mod tests {
         while engine.has_candidates() && steps < 50 {
             let ((w, t), _) = net.select(&mut tape, &enc, &engine, false, &mut rng).unwrap();
             assert!(engine.candidates.get(w, t).is_some(), "selection must be a candidate");
-            engine.apply(w, t);
+            engine.apply(w, t).unwrap();
             steps += 1;
         }
         assert!(steps > 0);

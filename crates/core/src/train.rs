@@ -11,7 +11,7 @@ use crate::policy::{GreedySelection, RatioGreedySelection, SelectionPolicy};
 use crate::tasnet::{Critic, SelectMode, StepLogProbs, Tasnet};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use smore_model::{Instance, Solution};
+use smore_model::{Deadline, Instance, Solution};
 use smore_nn::{Adam, Matrix, Tape};
 use smore_tsptw::TsptwSolver;
 
@@ -42,19 +42,36 @@ pub fn run_episode(
     greedy: bool,
     rng: &mut SmallRng,
 ) -> Option<Episode> {
-    let mut engine = Engine::new(instance, solver)?;
+    run_episode_within(net, critic, instance, solver, greedy, Deadline::none(), rng)
+}
+
+/// [`run_episode`] under a wall-clock budget: once `deadline` expires the
+/// selection loop ends and the episode carries the best partial solution
+/// reached so far (always valid — the anytime contract).
+pub fn run_episode_within(
+    net: &Tasnet,
+    critic: &Critic,
+    instance: &Instance,
+    solver: &dyn TsptwSolver,
+    greedy: bool,
+    deadline: Deadline,
+    rng: &mut SmallRng,
+) -> Option<Episode> {
+    let mut engine = Engine::new_within(instance, solver, deadline).ok()?;
     let mut tape = Tape::new();
     let enc = net.encode(&mut tape, instance);
     let summary = critic.features(&tape, &enc);
 
     let mut logps = Vec::new();
-    while engine.has_candidates() {
+    while engine.has_candidates() && !deadline.expired() {
         let Some(((worker, task), lp)) = net.select(&mut tape, &enc, &engine, greedy, rng)
         else {
             break;
         };
+        if engine.apply(worker, task).is_err() {
+            break;
+        }
         logps.push(lp);
-        engine.apply(worker, task);
     }
     let objective = engine.state.objective();
     Some(Episode { tape, logps, objective, solution: engine.state.into_solution(), summary })
@@ -96,6 +113,9 @@ pub struct TasnetTrainReport {
     /// Greedy-decode validation objective after warm-up and after each
     /// REINFORCE epoch (when a validation set was supplied).
     pub validation_curve: Vec<f64>,
+    /// Episodes dropped by the divergence guard: their objective, advantage
+    /// or loss went non-finite, so their gradients were never applied.
+    pub non_finite_skips: usize,
 }
 
 /// Mean greedy-decode objective over a validation set (Section V-B: actions
@@ -125,12 +145,14 @@ fn teacher_trajectory(
     instance: &Instance,
     solver: &dyn TsptwSolver,
 ) -> Option<(Vec<(smore_model::WorkerId, smore_model::SensingTaskId)>, f64)> {
-    let mut engine = Engine::new(instance, solver)?;
+    let mut engine = Engine::new(instance, solver).ok()?;
     let mut actions = Vec::new();
     while engine.has_candidates() {
         let Some(pair) = teacher.select(&engine) else { break };
+        if engine.apply(pair.0, pair.1).is_err() {
+            break;
+        }
         actions.push(pair);
-        engine.apply(pair.0, pair.1);
     }
     Some((actions, engine.state.objective()))
 }
@@ -157,7 +179,7 @@ fn imitation_episode(
         Box::new(GreedySelection)
     };
 
-    let mut engine = Engine::new(instance, solver)?;
+    let mut engine = Engine::new(instance, solver).ok()?;
     let mut tape = Tape::new();
     let enc = net.encode(&mut tape, instance);
     let mut logps = Vec::new();
@@ -176,7 +198,9 @@ fn imitation_episode(
         } else {
             label
         };
-        engine.apply(action.0, action.1);
+        if engine.apply(action.0, action.1).is_err() {
+            break;
+        }
     }
     Some((tape, logps))
 }
@@ -235,6 +259,10 @@ pub fn train_tasnet_validated(
                 let total = tape.sum_all(cat);
                 // Cross-entropy: maximize the teacher actions' log-likelihood.
                 let loss = tape.scale(total, -1.0 / (n * cfg.batch.max(1) as f32));
+                if !tape.value(loss).data().iter().all(|v| v.is_finite()) {
+                    report.non_finite_skips += 1;
+                    continue;
+                }
                 tape.backward(loss);
                 tape.scatter_grads(&mut net.store);
                 stepped = true;
@@ -259,6 +287,13 @@ pub fn train_tasnet_validated(
                 else {
                     continue;
                 };
+                // Divergence guard: a non-finite objective means the rollout
+                // itself went numerically bad — training on it would poison
+                // the parameters irreversibly.
+                if !ep.objective.is_finite() {
+                    report.non_finite_skips += 1;
+                    continue;
+                }
                 epoch_sum += ep.objective;
                 epoch_count += 1;
                 episodes.push(ep);
@@ -283,6 +318,14 @@ pub fn train_tasnet_validated(
             for (mut ep, adv) in episodes.into_iter().zip(advantages) {
                 critic.accumulate_loss(&ep.summary, ep.objective as f32);
                 let norm_adv = adv / std;
+                // Divergence guard: skip the batch entry rather than push a
+                // NaN/Inf gradient through Adam (which would zero out the
+                // learned parameters for good). The warm-up checkpoint (or
+                // best validated parameters) survives untouched.
+                if !norm_adv.is_finite() {
+                    report.non_finite_skips += 1;
+                    continue;
+                }
                 if ep.logps.is_empty() || norm_adv.abs() < 1e-6 {
                     continue;
                 }
@@ -290,6 +333,10 @@ pub fn train_tasnet_validated(
                 let cat = ep.tape.concat_cols(&vars);
                 let total = ep.tape.sum_all(cat);
                 let loss = ep.tape.scale(total, -norm_adv / cfg.batch.max(1) as f32);
+                if !ep.tape.value(loss).data().iter().all(|v| v.is_finite()) {
+                    report.non_finite_skips += 1;
+                    continue;
+                }
                 ep.tape.backward(loss);
                 ep.tape.scatter_grads(&mut net.store);
                 stepped = true;
@@ -370,6 +417,20 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_episode_still_carries_a_valid_solution() {
+        let (instances, net, critic) = setup();
+        let solver = InsertionSolver::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let deadline = smore_model::Deadline::after_millis(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let ep =
+            run_episode_within(&net, &critic, &instances[0], &solver, true, deadline, &mut rng)
+                .unwrap();
+        let stats = evaluate(&instances[0], &ep.solution).unwrap();
+        assert_eq!(stats.completed, 0, "no budget, no selections — but still valid");
+    }
+
+    #[test]
     fn training_updates_parameters_and_reports_curve() {
         let (instances, mut net, mut critic) = setup();
         let solver = InsertionSolver::new();
@@ -386,5 +447,6 @@ mod tests {
         assert_eq!(report.epoch_mean_objective.len(), 2);
         assert!(report.epoch_mean_objective.iter().all(|o| o.is_finite() && *o >= 0.0));
         assert_ne!(before, net.store.to_json(), "training must move the parameters");
+        assert_eq!(report.non_finite_skips, 0, "healthy training must not trip the guard");
     }
 }

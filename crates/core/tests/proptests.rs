@@ -34,7 +34,7 @@ proptest! {
         let mut steps = 0;
         while engine.has_candidates() && steps < 100 {
             let Some((w, t)) = policy.select(&engine) else { break };
-            engine.apply(w, t);
+            engine.apply(w, t).unwrap();
             steps += 1;
 
             let paid: f64 = engine.state.incentives.iter().sum();

@@ -1,0 +1,150 @@
+//! Wall-clock solve budgets for anytime solving.
+//!
+//! A [`Deadline`] is threaded through every [`crate::UsmdwSolver`] (and, in
+//! `smore-core`, through the candidate-generation engine) so callers can put
+//! a hard time cap on a solve. Solvers treat the deadline as *anytime*: when
+//! it expires they stop improving and return the best valid solution built so
+//! far rather than aborting.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget for a solve, possibly unbounded.
+///
+/// Cheap to copy; pass it by value. Checking [`Deadline::expired`] costs one
+/// monotonic-clock read, so inner loops should check it once per candidate or
+/// per iteration rather than per arithmetic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    expires_at: Option<Instant>,
+}
+
+impl Deadline {
+    /// An unbounded deadline: never expires.
+    pub fn none() -> Self {
+        Deadline { expires_at: None }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline { expires_at: Some(Instant::now() + budget) }
+    }
+
+    /// A deadline `millis` milliseconds from now.
+    pub fn after_millis(millis: u64) -> Self {
+        Self::after(Duration::from_millis(millis))
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline { expires_at: Some(instant) }
+    }
+
+    /// Whether this deadline never expires.
+    pub fn is_unbounded(&self) -> bool {
+        self.expires_at.is_none()
+    }
+
+    /// Whether the budget has run out. Unbounded deadlines never expire.
+    pub fn expired(&self) -> bool {
+        match self.expires_at {
+            None => false,
+            Some(t) => Instant::now() >= t,
+        }
+    }
+
+    /// Remaining budget, or `None` when unbounded. Returns
+    /// `Some(Duration::ZERO)` once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires_at.map(|t| t.saturating_duration_since(Instant::now()))
+    }
+
+    /// Remaining budget clamped to `cap` (treats unbounded as `cap`). Useful
+    /// for solvers that already carry their own internal time cap.
+    pub fn remaining_or(&self, cap: Duration) -> Duration {
+        match self.remaining() {
+            None => cap,
+            Some(r) => r.min(cap),
+        }
+    }
+
+    /// The tighter of two deadlines.
+    pub fn min(self, other: Deadline) -> Deadline {
+        match (self.expires_at, other.expires_at) {
+            (None, None) => Deadline::none(),
+            (Some(t), None) | (None, Some(t)) => Deadline::at(t),
+            (Some(a), Some(b)) => Deadline::at(a.min(b)),
+        }
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Serializable spec for a deadline: a millisecond budget, or absent for
+/// unbounded. Converted to a live [`Deadline`] at the moment the solve
+/// starts (an `Instant` itself cannot be serialized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DeadlineSpec {
+    /// Budget in milliseconds; `None` means unbounded.
+    pub budget_ms: Option<u64>,
+}
+
+impl DeadlineSpec {
+    /// Starts the clock: converts the spec into a live deadline.
+    pub fn start(&self) -> Deadline {
+        match self.budget_ms {
+            None => Deadline::none(),
+            Some(ms) => Deadline::after_millis(ms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::none();
+        assert!(d.is_unbounded());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert_eq!(d.remaining_or(Duration::from_secs(3)), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(!d.is_unbounded());
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_not_expired() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+        assert_eq!(d.remaining_or(Duration::from_millis(5)), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn min_takes_tighter_deadline() {
+        let tight = Deadline::after(Duration::ZERO);
+        let loose = Deadline::after(Duration::from_secs(3600));
+        assert!(tight.min(loose).expired());
+        assert!(loose.min(tight).expired());
+        assert!(loose.min(Deadline::none()).expired() == false);
+        assert!(Deadline::none().min(Deadline::none()).is_unbounded());
+    }
+
+    #[test]
+    fn spec_starts_clock() {
+        assert!(DeadlineSpec { budget_ms: None }.start().is_unbounded());
+        assert!(DeadlineSpec { budget_ms: Some(0) }.start().expired());
+    }
+}

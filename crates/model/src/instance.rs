@@ -1,16 +1,116 @@
 //! USMDW problem instances.
 
-use crate::route::{schedule_route, Infeasibility, Route, Schedule};
+use crate::route::{schedule_route, Infeasibility, Route, Schedule, Stop};
+use crate::solution::Solution;
 use crate::tasks::{SensingLattice, SensingTask, SensingTaskId};
 use crate::tsp::solve_open_tsp;
 use crate::worker::{Worker, WorkerId};
 use serde::{Deserialize, Serialize};
-use smore_geo::{CoverageConfig, CoverageTracker, TravelTimeModel};
+use smore_geo::{CoverageConfig, CoverageTracker, Point, TravelTimeModel};
+
+/// Why an [`Instance`] is structurally invalid.
+///
+/// Constructors ([`Instance::from_parts`]) assert these invariants, but data
+/// arriving from outside the process — JSON files, network payloads — can
+/// violate them, so every deserialization runs [`Instance::validate`] and
+/// surfaces the first violation as a typed error instead of letting NaNs or
+/// inverted windows propagate into solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// A coordinate or scalar field is NaN or infinite.
+    NonFinite {
+        /// Which field, e.g. `"worker 3 origin"`.
+        what: String,
+    },
+    /// A worker's departure/arrival range is inverted.
+    InvertedTimeRange {
+        /// The offending worker.
+        worker: WorkerId,
+        /// Earliest departure `t_s^min`.
+        earliest: f64,
+        /// Latest arrival `t_e^max`.
+        latest: f64,
+    },
+    /// A sensing task's availability window is inverted.
+    InvertedWindow {
+        /// The offending task.
+        task: SensingTaskId,
+        /// Window start.
+        start: f64,
+        /// Window end.
+        end: f64,
+    },
+    /// The budget `B` is NaN or negative.
+    InvalidBudget(f64),
+    /// The incentive rate `μ` is NaN or negative.
+    InvalidIncentiveRate(f64),
+    /// The travel speed is not finite and positive.
+    InvalidSpeed(f64),
+    /// A service duration is NaN, negative, or longer than its time window.
+    InvalidService {
+        /// Which task, e.g. `"sensing task 12"`.
+        what: String,
+        /// The offending duration.
+        value: f64,
+    },
+    /// A sensing task lies spatially outside the instance's lattice, or its
+    /// lattice cell is outside the base resolution.
+    TaskOutsideLattice {
+        /// The offending task.
+        task: SensingTaskId,
+    },
+    /// `base_rtt` does not hold one reference time per worker.
+    BaseRttMismatch {
+        /// Entries present.
+        got: usize,
+        /// Workers in the instance.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::NonFinite { what } => write!(f, "{what} is NaN or infinite"),
+            InstanceError::InvertedTimeRange { worker, earliest, latest } => {
+                write!(f, "worker {} time range inverted: [{earliest}, {latest}]", worker.0)
+            }
+            InstanceError::InvertedWindow { task, start, end } => {
+                write!(f, "sensing task {} window inverted: [{start}, {end}]", task.0)
+            }
+            InstanceError::InvalidBudget(b) => write!(f, "budget {b} is not a non-negative number"),
+            InstanceError::InvalidIncentiveRate(mu) => {
+                write!(f, "incentive rate {mu} is not a non-negative number")
+            }
+            InstanceError::InvalidSpeed(s) => write!(f, "travel speed {s} is not finite positive"),
+            InstanceError::InvalidService { what, value } => {
+                write!(f, "{what} has invalid service duration {value}")
+            }
+            InstanceError::TaskOutsideLattice { task } => {
+                write!(f, "sensing task {} lies outside the instance lattice", task.0)
+            }
+            InstanceError::BaseRttMismatch { got, expected } => {
+                write!(f, "base_rtt has {got} entries for {expected} workers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+fn finite_point(p: &Point, what: impl Fn() -> String) -> Result<(), InstanceError> {
+    if p.x.is_finite() && p.y.is_finite() {
+        Ok(())
+    } else {
+        Err(InstanceError::NonFinite { what: what() })
+    }
+}
 
 /// A complete USMDW problem instance (Section II-B): workers, sensing tasks,
 /// a budget `B`, the incentive rate `μ`, the travel-time model, and the
 /// coverage objective configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(try_from = "RawInstance")]
 pub struct Instance {
     /// The multi-destination workers `W`.
     pub workers: Vec<Worker>,
@@ -30,6 +130,41 @@ pub struct Instance {
     /// Per-worker reference route time `rtt_TSP(l_s, l_e, D)` used by the
     /// incentive (Definition 6); computed once at construction.
     pub base_rtt: Vec<f64>,
+}
+
+/// Wire-format mirror of [`Instance`]. Deserialization lands here first and
+/// is promoted through `TryFrom`, which runs [`Instance::validate`] — so an
+/// `Instance` that came from untrusted bytes is structurally sound by
+/// construction.
+#[derive(Deserialize)]
+struct RawInstance {
+    workers: Vec<Worker>,
+    sensing_tasks: Vec<SensingTask>,
+    budget: f64,
+    mu: f64,
+    travel: TravelTimeModel,
+    lattice: SensingLattice,
+    coverage: CoverageConfig,
+    base_rtt: Vec<f64>,
+}
+
+impl TryFrom<RawInstance> for Instance {
+    type Error = InstanceError;
+
+    fn try_from(raw: RawInstance) -> Result<Self, InstanceError> {
+        let inst = Instance {
+            workers: raw.workers,
+            sensing_tasks: raw.sensing_tasks,
+            budget: raw.budget,
+            mu: raw.mu,
+            travel: raw.travel,
+            lattice: raw.lattice,
+            coverage: raw.coverage,
+            base_rtt: raw.base_rtt,
+        };
+        inst.validate()?;
+        Ok(inst)
+    }
 }
 
 impl Instance {
@@ -114,6 +249,112 @@ impl Instance {
         })
     }
 
+    /// Checks the structural invariants every solver relies on: finite
+    /// coordinates and scalars, non-inverted time ranges and windows, a
+    /// non-negative budget and incentive rate, sensing tasks inside the
+    /// lattice, and one base reference time per worker. Called automatically
+    /// on every deserialization; call it manually after mutating an instance
+    /// by hand.
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        if !(self.budget.is_finite() && self.budget >= 0.0) {
+            return Err(InstanceError::InvalidBudget(self.budget));
+        }
+        if !(self.mu.is_finite() && self.mu >= 0.0) {
+            return Err(InstanceError::InvalidIncentiveRate(self.mu));
+        }
+        if !(self.travel.speed.is_finite() && self.travel.speed > 0.0) {
+            return Err(InstanceError::InvalidSpeed(self.travel.speed));
+        }
+
+        for (i, w) in self.workers.iter().enumerate() {
+            let wid = WorkerId(i);
+            finite_point(&w.origin, || format!("worker {i} origin"))?;
+            finite_point(&w.destination, || format!("worker {i} destination"))?;
+            if !(w.earliest_departure.is_finite() && w.latest_arrival.is_finite()) {
+                return Err(InstanceError::NonFinite { what: format!("worker {i} time range") });
+            }
+            if w.earliest_departure > w.latest_arrival {
+                return Err(InstanceError::InvertedTimeRange {
+                    worker: wid,
+                    earliest: w.earliest_departure,
+                    latest: w.latest_arrival,
+                });
+            }
+            for (j, t) in w.travel_tasks.iter().enumerate() {
+                finite_point(&t.loc, || format!("worker {i} travel task {j} location"))?;
+                if !(t.service.is_finite() && t.service >= 0.0) {
+                    return Err(InstanceError::InvalidService {
+                        what: format!("worker {i} travel task {j}"),
+                        value: t.service,
+                    });
+                }
+            }
+        }
+
+        let slots = self.lattice.slots();
+        for (j, s) in self.sensing_tasks.iter().enumerate() {
+            let sid = SensingTaskId(j);
+            finite_point(&s.loc, || format!("sensing task {j} location"))?;
+            if !(s.window.start.is_finite() && s.window.end.is_finite()) {
+                return Err(InstanceError::NonFinite { what: format!("sensing task {j} window") });
+            }
+            if s.window.start > s.window.end {
+                return Err(InstanceError::InvertedWindow {
+                    task: sid,
+                    start: s.window.start,
+                    end: s.window.end,
+                });
+            }
+            if !(s.service.is_finite()
+                && s.service >= 0.0
+                && s.window.length() + crate::route::TIME_EPS >= s.service)
+            {
+                return Err(InstanceError::InvalidService {
+                    what: format!("sensing task {j}"),
+                    value: s.service,
+                });
+            }
+            let in_grid = self.lattice.grid.contains(&s.loc);
+            let cell_ok = s.cell.row < self.lattice.grid.rows
+                && s.cell.col < self.lattice.grid.cols
+                && s.cell.slot < slots;
+            if !in_grid || !cell_ok {
+                return Err(InstanceError::TaskOutsideLattice { task: sid });
+            }
+        }
+
+        if self.base_rtt.len() != self.workers.len() {
+            return Err(InstanceError::BaseRttMismatch {
+                got: self.base_rtt.len(),
+                expected: self.workers.len(),
+            });
+        }
+        for (i, rtt) in self.base_rtt.iter().enumerate() {
+            if !(rtt.is_finite() && *rtt >= 0.0) {
+                return Err(InstanceError::NonFinite { what: format!("base_rtt[{i}]") });
+            }
+        }
+        Ok(())
+    }
+
+    /// The always-valid fallback solution: every worker runs exactly their
+    /// TSP reference route over the mandatory travel tasks, no sensing tasks.
+    /// Its rtt equals `base_rtt`, so it pays zero incentive, fits any budget,
+    /// and passes [`crate::evaluate`] on any valid instance — this is what
+    /// resilient pipelines degrade to when every real solver fails.
+    pub fn reference_solution(&self) -> Solution {
+        let routes = self
+            .workers
+            .iter()
+            .map(|w| {
+                let stops: Vec<_> = w.travel_tasks.iter().map(|t| t.loc).collect();
+                let (order, _) = solve_open_tsp(&w.origin, &w.destination, &stops);
+                Route::new(order.into_iter().map(Stop::Travel).collect())
+            })
+            .collect();
+        Solution { routes }
+    }
+
     /// Objective value `φ` of completing exactly `tasks`.
     pub fn coverage_of(&self, tasks: &[SensingTaskId]) -> f64 {
         let mut tracker = self.coverage_tracker();
@@ -189,6 +430,135 @@ mod tests {
         assert!((inst.incentive(wid, inst.base_rtt[0] + 7.5) - 15.0).abs() < 1e-9);
         // Never negative.
         assert_eq!(inst.incentive(wid, 0.0), 0.0);
+    }
+
+    #[test]
+    fn constructed_instances_validate() {
+        let inst = Instance::from_lattice(
+            vec![worker(vec![TravelTask::new(Point::new(100.0, 100.0), 10.0)])],
+            small_lattice(),
+            300.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        assert_eq!(inst.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_nan_coordinates() {
+        let mut inst = Instance::from_lattice(
+            vec![worker(vec![])],
+            small_lattice(),
+            300.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        inst.workers[0].origin.x = f64::NAN;
+        assert!(matches!(inst.validate(), Err(InstanceError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_inverted_time_range() {
+        let mut inst = Instance::from_lattice(
+            vec![worker(vec![])],
+            small_lattice(),
+            300.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        inst.workers[0].latest_arrival = -5.0;
+        assert!(matches!(
+            inst.validate(),
+            Err(InstanceError::InvertedTimeRange { worker: WorkerId(0), .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_budget_and_mu() {
+        let mut inst = Instance::from_lattice(
+            vec![worker(vec![])],
+            small_lattice(),
+            300.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        inst.budget = -1.0;
+        assert_eq!(inst.validate(), Err(InstanceError::InvalidBudget(-1.0)));
+        inst.budget = 300.0;
+        inst.mu = f64::NAN;
+        assert!(matches!(inst.validate(), Err(InstanceError::InvalidIncentiveRate(_))));
+    }
+
+    #[test]
+    fn validate_rejects_task_outside_lattice() {
+        let mut inst = Instance::from_lattice(
+            vec![worker(vec![])],
+            small_lattice(),
+            300.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        inst.sensing_tasks[0].loc = Point::new(1e6, 1e6);
+        assert_eq!(
+            inst.validate(),
+            Err(InstanceError::TaskOutsideLattice { task: SensingTaskId(0) })
+        );
+        // A cell index past the base resolution is equally out of lattice.
+        let mut inst2 = inst.clone();
+        inst2.sensing_tasks[0].loc = inst2.sensing_tasks[1].loc;
+        inst2.sensing_tasks[0].cell.slot = 999;
+        assert_eq!(
+            inst2.validate(),
+            Err(InstanceError::TaskOutsideLattice { task: SensingTaskId(0) })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_inverted_window_and_rtt_mismatch() {
+        let mut inst = Instance::from_lattice(
+            vec![worker(vec![])],
+            small_lattice(),
+            300.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        inst.sensing_tasks[3].window.end = inst.sensing_tasks[3].window.start - 1.0;
+        assert!(matches!(
+            inst.validate(),
+            Err(InstanceError::InvertedWindow { task: SensingTaskId(3), .. })
+        ));
+        inst.sensing_tasks[3].window.end = inst.sensing_tasks[3].window.start + 30.0;
+        inst.base_rtt.push(1.0);
+        assert_eq!(
+            inst.validate(),
+            Err(InstanceError::BaseRttMismatch { got: 2, expected: 1 })
+        );
+    }
+
+    #[test]
+    fn reference_solution_passes_evaluation_with_zero_incentive() {
+        let w = worker(vec![
+            TravelTask::new(Point::new(600.0, 0.0), 10.0),
+            TravelTask::new(Point::new(300.0, 0.0), 10.0),
+        ]);
+        let inst = Instance::from_lattice(
+            vec![w, worker(vec![])],
+            small_lattice(),
+            300.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        let sol = inst.reference_solution();
+        let stats = crate::solution::evaluate(&inst, &sol).expect("reference must validate");
+        assert_eq!(stats.completed, 0);
+        assert!(stats.total_incentive.abs() < 1e-9);
     }
 
     #[test]

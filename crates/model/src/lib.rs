@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 mod assignment;
+mod deadline;
 mod instance;
 pub mod reduction;
 mod route;
@@ -28,7 +29,8 @@ pub mod tsp;
 mod worker;
 
 pub use assignment::AssignmentState;
-pub use instance::Instance;
+pub use deadline::{Deadline, DeadlineSpec};
+pub use instance::{Instance, InstanceError};
 pub use route::{schedule_route, Infeasibility, Route, Schedule, Stop, StopTiming, TIME_EPS};
 pub use solution::{evaluate, Solution, SolutionStats, UsmdwSolver, ValidationError};
 pub use tasks::{SensingLattice, SensingTask, SensingTaskId, TravelTask};

@@ -1,5 +1,6 @@
 //! Solutions, independent validation, and the solver interface.
 
+use crate::deadline::Deadline;
 use crate::instance::Instance;
 use crate::route::{Infeasibility, Route, Stop, TIME_EPS};
 use crate::tasks::SensingTaskId;
@@ -197,14 +198,23 @@ pub fn evaluate(instance: &Instance, solution: &Solution) -> Result<SolutionStat
 
 /// A USMDW solver: SMORE, each baseline, and each ablation implement this.
 ///
-/// `solve` takes `&mut self` because learned solvers carry RNG state and
+/// Solving takes `&mut self` because learned solvers carry RNG state and
 /// search solvers carry scratch buffers.
 pub trait UsmdwSolver {
     /// Short display name, e.g. `"SMORE"` or `"TVPG"`.
     fn name(&self) -> &str;
 
-    /// Computes working routes for every worker of `instance`.
-    fn solve(&mut self, instance: &Instance) -> Solution;
+    /// Computes working routes for every worker of `instance`, treating
+    /// `deadline` as an anytime budget: implementations check it between
+    /// candidate evaluations and, once it expires, stop improving and return
+    /// the best *valid* solution assembled so far (at worst
+    /// [`Instance::reference_solution`], never a half-applied state).
+    fn solve_within(&mut self, instance: &Instance, deadline: Deadline) -> Solution;
+
+    /// Computes working routes with no time budget.
+    fn solve(&mut self, instance: &Instance) -> Solution {
+        self.solve_within(instance, Deadline::none())
+    }
 }
 
 #[cfg(test)]

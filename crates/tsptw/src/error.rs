@@ -1,0 +1,75 @@
+//! Typed failure causes for TSPTW solves.
+//!
+//! `TsptwSolver::solve` used to answer `Option<TsptwSolution>`, collapsing
+//! "proved infeasible", "ran out of time", "you gave me garbage", and "the
+//! solver malfunctioned" into one `None`. Resilient pipelines need to treat
+//! those differently — a fallback chain should try the next solver after an
+//! internal fault but may trust an exact solver's infeasibility proof — so
+//! every solver now reports a [`SolveError`].
+
+/// Why a TSPTW solve produced no solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// No feasible visiting order exists (or the solver, possibly a
+    /// heuristic, could not find one).
+    Infeasible,
+    /// The solve's wall-clock budget expired before a feasible order was
+    /// found.
+    Timeout,
+    /// The problem violates the solver's preconditions (e.g. too many nodes
+    /// for an exact method, non-finite input).
+    InvalidInput(String),
+    /// The solver malfunctioned: returned an internally inconsistent result
+    /// (caught by a verifying wrapper), or an injected fault fired.
+    Internal(String),
+}
+
+impl SolveError {
+    /// Whether this is an infeasibility report (as opposed to a fault or a
+    /// budget problem). Fallback chains use this to distinguish "the problem
+    /// has no answer" from "this solver failed to produce one".
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, SolveError::Infeasible)
+    }
+
+    /// Whether retrying with a different solver could plausibly succeed:
+    /// true for timeouts and internal faults, false for infeasibility and
+    /// invalid input.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SolveError::Timeout | SolveError::Internal(_))
+    }
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "no feasible visiting order"),
+            SolveError::Timeout => write!(f, "solve budget expired"),
+            SolveError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            SolveError::Internal(msg) => write!(f, "solver fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(SolveError::Infeasible.is_infeasible());
+        assert!(!SolveError::Timeout.is_infeasible());
+        assert!(SolveError::Timeout.is_retryable());
+        assert!(SolveError::Internal("x".into()).is_retryable());
+        assert!(!SolveError::Infeasible.is_retryable());
+        assert!(!SolveError::InvalidInput("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(SolveError::Infeasible.to_string(), "no feasible visiting order");
+        assert!(SolveError::InvalidInput("17 nodes".into()).to_string().contains("17 nodes"));
+    }
+}

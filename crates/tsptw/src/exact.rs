@@ -8,6 +8,7 @@
 //! worker route sizes of the paper's instances and gives the ground truth
 //! the heuristic and RL solvers are tested against.
 
+use crate::error::SolveError;
 use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
 
 /// Exact DP solver; see the module docs.
@@ -29,18 +30,22 @@ impl TsptwSolver for ExactDpSolver {
         "exact-dp"
     }
 
-    fn solve(&self, p: &TsptwProblem) -> Option<TsptwSolution> {
+    fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
         let n = p.nodes.len();
         if n == 0 {
             let rtt = p.travel.travel_time(&p.start, &p.end);
-            return (p.depart + rtt <= p.deadline + 1e-6)
-                .then_some(TsptwSolution { order: vec![], rtt });
+            return if p.depart + rtt <= p.deadline + 1e-6 {
+                Ok(TsptwSolution { order: vec![], rtt })
+            } else {
+                Err(SolveError::Infeasible)
+            };
         }
-        assert!(
-            n <= self.max_nodes,
-            "ExactDpSolver limited to {} nodes, got {n}",
-            self.max_nodes
-        );
+        if n > self.max_nodes {
+            return Err(SolveError::InvalidInput(format!(
+                "ExactDpSolver limited to {} nodes, got {n}",
+                self.max_nodes
+            )));
+        }
 
         let full = 1usize << n;
         let mut dp = vec![f64::INFINITY; full * n];
@@ -96,7 +101,7 @@ impl TsptwSolver for ExactDpSolver {
             }
         }
         if best_last == usize::MAX || best_arrival > p.deadline + 1e-6 {
-            return None;
+            return Err(SolveError::Infeasible);
         }
 
         let mut order = Vec::with_capacity(n);
@@ -109,7 +114,7 @@ impl TsptwSolver for ExactDpSolver {
             last = prev;
         }
         order.reverse();
-        Some(TsptwSolution { order, rtt: best_arrival - p.depart })
+        Ok(TsptwSolution { order, rtt: best_arrival - p.depart })
     }
 }
 
@@ -158,14 +163,24 @@ mod tests {
     #[test]
     fn infeasible_window_detected() {
         let p = base(vec![node(50.0, 0.0, (0.0, 10.0), 5.0)]);
-        assert!(ExactDpSolver::new().solve(&p).is_none());
+        assert_eq!(ExactDpSolver::new().solve(&p), Err(SolveError::Infeasible));
     }
 
     #[test]
     fn deadline_infeasibility_detected() {
         let mut p = base(vec![node(0.0, 200.0, (0.0, 900.0), 0.0)]);
         p.deadline = 150.0;
-        assert!(ExactDpSolver::new().solve(&p).is_none());
+        assert_eq!(ExactDpSolver::new().solve(&p), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn oversized_instance_is_invalid_input_not_panic() {
+        let nodes = (0..20).map(|i| node(i as f64, 0.0, (0.0, 900.0), 0.0)).collect();
+        let p = base(nodes);
+        match ExactDpSolver::new().solve(&p) {
+            Err(SolveError::InvalidInput(msg)) => assert!(msg.contains("20")),
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
     }
 
     #[test]
@@ -190,8 +205,8 @@ mod tests {
             let brute = brute_force(&p);
             let dp = solver.solve(&p);
             match (brute, dp) {
-                (None, None) => {}
-                (Some(b), Some(d)) => {
+                (None, Err(SolveError::Infeasible)) => {}
+                (Some(b), Ok(d)) => {
                     assert!((b - d.rtt).abs() < 1e-6, "trial {trial}: brute {b} vs dp {}", d.rtt)
                 }
                 (b, d) => panic!("trial {trial}: feasibility disagreement {b:?} vs {d:?}"),

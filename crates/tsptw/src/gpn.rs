@@ -16,6 +16,7 @@
 //! deadline can only be checked globally). The paper notes this solver may
 //! raise "false alarms" — see [`crate::HybridSolver`] for the repair path.
 
+use crate::error::SolveError;
 use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -381,14 +382,17 @@ impl TsptwSolver for GpnSolver {
         "gpn-rl"
     }
 
-    fn solve(&self, p: &TsptwProblem) -> Option<TsptwSolution> {
+    fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
         let mut tape = Tape::new();
         let decode = self.policy.decode(&mut tape, p, None);
         if !decode.complete {
-            return None;
+            return Err(SolveError::Infeasible);
         }
-        let rtt = p.evaluate_order(&decode.order)?;
-        Some(TsptwSolution { order: decode.order, rtt })
+        // A complete decode can still violate a window or the deadline when
+        // re-simulated; report that as infeasible (the RL "false alarm" the
+        // hybrid solver repairs), never as a solution.
+        let rtt = p.evaluate_order(&decode.order).ok_or(SolveError::Infeasible)?;
+        Ok(TsptwSolution { order: decode.order, rtt })
     }
 }
 
@@ -453,12 +457,12 @@ mod tests {
     }
 
     #[test]
-    fn solver_reports_infeasibility_as_none() {
+    fn solver_reports_infeasibility_as_error() {
         let policy = GpnPolicy::new(GpnConfig::default(), 5);
         let solver = GpnSolver::new(policy);
         let mut rng = SmallRng::seed_from_u64(6);
         let mut p = random_worker_problem(&mut rng, 4, 0.5);
         p.deadline = p.depart + 0.01; // impossible
-        assert!(solver.solve(&p).is_none());
+        assert_eq!(solver.solve(&p), Err(SolveError::Infeasible));
     }
 }

@@ -7,6 +7,7 @@
 //! solver takes over. Counters expose how often each path won, feeding the
 //! false-alarm ablation bench.
 
+use crate::error::SolveError;
 use crate::insertion::InsertionSolver;
 use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -59,29 +60,32 @@ impl<P: TsptwSolver> TsptwSolver for HybridSolver<P> {
         "hybrid"
     }
 
-    fn solve(&self, p: &TsptwProblem) -> Option<TsptwSolution> {
+    fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
         let primary = self.primary.solve(p);
         match primary {
-            Some(sol) => {
+            Ok(sol) => {
                 // Keep the better of the two when the fallback also solves it
                 // cheaply; the RL route is kept on ties.
-                if let Some(fb) = self.fallback.solve(p) {
+                if let Ok(fb) = self.fallback.solve(p) {
                     if fb.rtt + 1e-9 < sol.rtt {
                         self.fallback_rescues.fetch_add(1, Ordering::Relaxed);
-                        return Some(fb);
+                        return Ok(fb);
                     }
                 }
                 self.primary_wins.fetch_add(1, Ordering::Relaxed);
-                Some(sol)
+                Ok(sol)
             }
-            None => match self.fallback.solve(p) {
-                Some(fb) => {
+            Err(_) => match self.fallback.solve(p) {
+                Ok(fb) => {
                     self.fallback_rescues.fetch_add(1, Ordering::Relaxed);
-                    Some(fb)
+                    Ok(fb)
                 }
-                None => {
+                Err(e) => {
                     self.both_failed.fetch_add(1, Ordering::Relaxed);
-                    None
+                    // Report the fallback's verdict: the insertion solver's
+                    // infeasibility call is more trustworthy than the RL
+                    // primary's, and timeouts/faults pass through unchanged.
+                    Err(e)
                 }
             },
         }
@@ -101,8 +105,8 @@ mod tests {
         fn name(&self) -> &str {
             "never"
         }
-        fn solve(&self, _p: &TsptwProblem) -> Option<TsptwSolution> {
-            None
+        fn solve(&self, _p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
+            Err(SolveError::Internal("always fails".into()))
         }
     }
 
@@ -113,7 +117,7 @@ mod tests {
         let mut rescued = 0;
         for _ in 0..10 {
             let p = random_worker_problem(&mut rng, 5, 0.4);
-            if hybrid.solve(&p).is_some() {
+            if hybrid.solve(&p).is_ok() {
                 rescued += 1;
             }
         }
@@ -129,7 +133,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..10 {
             let p = random_worker_problem(&mut rng, 6, 0.5);
-            if let Some(s) = hybrid.solve(&p) {
+            if let Ok(s) = hybrid.solve(&p) {
                 assert!((p.evaluate_order(&s.order).unwrap() - s.rtt).abs() < 1e-9);
             }
         }

@@ -8,6 +8,7 @@
 //! remains. Several insertion orders are attempted before declaring
 //! infeasibility.
 
+use crate::error::SolveError;
 use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
 
 /// Cheapest-insertion + or-opt TSPTW heuristic.
@@ -84,12 +85,15 @@ impl TsptwSolver for InsertionSolver {
         "insertion"
     }
 
-    fn solve(&self, p: &TsptwProblem) -> Option<TsptwSolution> {
+    fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
         let n = p.nodes.len();
         if n == 0 {
             let rtt = p.travel.travel_time(&p.start, &p.end);
-            return (p.depart + rtt <= p.deadline + 1e-6)
-                .then_some(TsptwSolution { order: vec![], rtt });
+            return if p.depart + rtt <= p.deadline + 1e-6 {
+                Ok(TsptwSolution { order: vec![], rtt })
+            } else {
+                Err(SolveError::Infeasible)
+            };
         }
 
         // Candidate insertion orders: urgency (window end), window start,
@@ -117,11 +121,11 @@ impl TsptwSolver for InsertionSolver {
                 }
             }
         }
-        let mut route = best?;
+        let mut route = best.ok_or(SolveError::Infeasible)?;
         if self.improve {
             best_rtt = self.or_opt(p, &mut route);
         }
-        Some(TsptwSolution { order: route, rtt: best_rtt })
+        Ok(TsptwSolution { order: route, rtt: best_rtt })
     }
 }
 
@@ -166,9 +170,9 @@ mod tests {
             let p = random_problem(&mut rng, 7);
             let e = exact.solve(&p);
             let h = ins.solve(&p);
-            if let Some(e) = &e {
+            if let Ok(e) = &e {
                 exact_feasible += 1;
-                if let Some(h) = &h {
+                if let Ok(h) = &h {
                     solved += 1;
                     assert!(h.rtt + 1e-6 >= e.rtt, "heuristic cannot beat the optimum");
                     gap_sum += (h.rtt - e.rtt) / e.rtt;
@@ -176,7 +180,7 @@ mod tests {
             } else {
                 // Heuristic must never claim feasibility on infeasible input:
                 // every returned order is verified by evaluate_order.
-                if let Some(h) = &h {
+                if let Ok(h) = &h {
                     panic!("heuristic produced order {:?} on an infeasible instance", h.order);
                 }
             }
@@ -194,7 +198,7 @@ mod tests {
         let ins = InsertionSolver::new();
         for _ in 0..10 {
             let p = random_problem(&mut rng, 12);
-            if let Some(s) = ins.solve(&p) {
+            if let Ok(s) = ins.solve(&p) {
                 let mut sorted = s.order.clone();
                 sorted.sort_unstable();
                 assert_eq!(sorted, (0..12).collect::<Vec<_>>());
@@ -210,7 +214,7 @@ mod tests {
         let without = InsertionSolver { improve: false };
         for _ in 0..15 {
             let p = random_problem(&mut rng, 9);
-            if let (Some(a), Some(b)) = (with.solve(&p), without.solve(&p)) {
+            if let (Ok(a), Ok(b)) = (with.solve(&p), without.solve(&p)) {
                 assert!(a.rtt <= b.rtt + 1e-9);
             }
         }

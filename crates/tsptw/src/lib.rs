@@ -16,18 +16,28 @@
 //!   Ma et al. \[16\], adapted for distinct origin/destination.
 //! * [`HybridSolver`] — RL-first with heuristic repair, measuring the RL
 //!   solver's "false alarm" rate (the paper's noted limitation).
+//! * [`SolveError`] and the resilience decorators [`VerifyingSolver`],
+//!   [`FallbackSolver`], [`DeadlineSolver`], [`FaultInjectingSolver`] —
+//!   typed failure causes plus composable wrappers for verification,
+//!   fallback chains, anytime budgets, and seeded chaos testing.
 
 #![warn(missing_docs)]
 
+mod error;
 mod exact;
 pub mod gen;
 mod gpn;
 mod hybrid;
 mod insertion;
 mod problem;
+mod resilience;
 
+pub use error::SolveError;
 pub use exact::ExactDpSolver;
 pub use gpn::{train_gpn, Decode, GpnConfig, GpnPolicy, GpnSolver, GpnTrainConfig, RewardLevel, TrainReport};
 pub use hybrid::HybridSolver;
 pub use insertion::InsertionSolver;
 pub use problem::{TsptwNode, TsptwProblem, TsptwSolution, TsptwSolver};
+pub use resilience::{
+    DeadlineSolver, FallbackSolver, FaultConfig, FaultInjectingSolver, VerifyingSolver,
+};

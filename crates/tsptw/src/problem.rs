@@ -8,6 +8,7 @@
 //! (their availability windows). The objective is the minimum route travel
 //! time; feasibility requires every window and the worker's deadline.
 
+use crate::error::SolveError;
 use serde::{Deserialize, Serialize};
 use smore_geo::{Point, TimeWindow, TravelTimeModel};
 
@@ -114,9 +115,30 @@ pub trait TsptwSolver: Send + Sync {
     fn name(&self) -> &str;
 
     /// Returns a feasible visiting order minimizing (exactly or
-    /// approximately) the route travel time, or `None` if the solver finds
-    /// no feasible order.
-    fn solve(&self, problem: &TsptwProblem) -> Option<TsptwSolution>;
+    /// approximately) the route travel time, or a [`SolveError`] describing
+    /// why none was produced (infeasible, timed out, invalid input, or an
+    /// internal fault).
+    fn solve(&self, problem: &TsptwProblem) -> Result<TsptwSolution, SolveError>;
+}
+
+impl<T: TsptwSolver + ?Sized> TsptwSolver for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn solve(&self, problem: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
+        (**self).solve(problem)
+    }
+}
+
+impl<T: TsptwSolver + ?Sized> TsptwSolver for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn solve(&self, problem: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
+        (**self).solve(problem)
+    }
 }
 
 #[cfg(test)]

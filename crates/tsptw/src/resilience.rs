@@ -1,0 +1,502 @@
+//! Resilience decorators over [`TsptwSolver`].
+//!
+//! These wrappers compose with any solver (and with each other) to build a
+//! fault-tolerant solving pipeline:
+//!
+//! * [`VerifyingSolver`] — re-simulates every claimed solution with
+//!   [`TsptwProblem::evaluate_order`] and rejects lies (wrong rtt, violated
+//!   windows, non-permutation orders) as [`SolveError::Internal`].
+//! * [`FallbackSolver`] — an ordered chain (e.g. GPN → insertion →
+//!   exact-for-small-n); tries each stage until one succeeds.
+//! * [`DeadlineSolver`] — refuses to start once a wall-clock
+//!   [`Deadline`] has expired, making candidate loops anytime.
+//! * [`FaultInjectingSolver`] — deterministic, seeded chaos: probabilistic
+//!   internal failures, spurious infeasibility claims, and rtt corruption,
+//!   for testing that downstream never trusts a solver blindly.
+
+use crate::error::SolveError;
+use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
+use smore_model::Deadline;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Numerical slack for rtt agreement between a solver's claim and the
+/// independent re-simulation.
+const RTT_AGREEMENT_EPS: f64 = 1e-6;
+
+/// Wraps a solver and independently re-checks every solution it claims.
+///
+/// A solution is accepted only if its order visits every node exactly once
+/// and re-simulating it reproduces the claimed rtt within
+/// `RTT_AGREEMENT_EPS`. Rejections surface as [`SolveError::Internal`] and
+/// are counted, so chaos tests can assert that injected lies never escape.
+pub struct VerifyingSolver<S> {
+    inner: S,
+    rejected: AtomicUsize,
+}
+
+impl<S: TsptwSolver> VerifyingSolver<S> {
+    /// Wraps `inner` with independent verification.
+    pub fn new(inner: S) -> Self {
+        Self { inner, rejected: AtomicUsize::new(0) }
+    }
+
+    /// Number of claimed solutions rejected since construction.
+    pub fn rejected(&self) -> usize {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped solver.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn check(&self, p: &TsptwProblem, sol: &TsptwSolution) -> Result<(), SolveError> {
+        let n = p.nodes.len();
+        if sol.order.len() != n {
+            return Err(SolveError::Internal(format!(
+                "order visits {} of {n} nodes",
+                sol.order.len()
+            )));
+        }
+        let mut seen = vec![false; n];
+        for &i in &sol.order {
+            if i >= n || seen[i] {
+                return Err(SolveError::Internal(format!(
+                    "order is not a permutation (node {i})"
+                )));
+            }
+            seen[i] = true;
+        }
+        match p.evaluate_order(&sol.order) {
+            None => Err(SolveError::Internal(
+                "claimed solution violates a window or the deadline".into(),
+            )),
+            Some(rtt) if (rtt - sol.rtt).abs() > RTT_AGREEMENT_EPS => {
+                Err(SolveError::Internal(format!(
+                    "claimed rtt {} but re-simulation gives {rtt}",
+                    sol.rtt
+                )))
+            }
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+impl<S: TsptwSolver> TsptwSolver for VerifyingSolver<S> {
+    fn name(&self) -> &str {
+        "verifying"
+    }
+
+    fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
+        let sol = self.inner.solve(p)?;
+        match self.check(p, &sol) {
+            Ok(()) => Ok(sol),
+            Err(e) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// An ordered chain of solvers tried until one succeeds.
+///
+/// Typical production chain: GPN (fast, learned) → insertion (reliable
+/// heuristic) → exact DP for small instances (ground truth). Every stage's
+/// result still flows through whatever verification the stages carry; the
+/// chain itself only sequences attempts. When every stage fails, the chain
+/// reports the error of the *last* stage — by convention the most
+/// trustworthy solver sits last, so its verdict (usually `Infeasible`) wins.
+pub struct FallbackSolver {
+    chain: Vec<Box<dyn TsptwSolver>>,
+    wins: Vec<AtomicUsize>,
+    exhausted: AtomicUsize,
+}
+
+impl FallbackSolver {
+    /// An empty chain; push stages with [`FallbackSolver::push`].
+    pub fn new() -> Self {
+        Self { chain: Vec::new(), wins: Vec::new(), exhausted: AtomicUsize::new(0) }
+    }
+
+    /// Appends a stage to the end of the chain (tried after all earlier
+    /// stages). Returns `self` for builder-style construction.
+    pub fn push(mut self, solver: impl TsptwSolver + 'static) -> Self {
+        self.chain.push(Box::new(solver));
+        self.wins.push(AtomicUsize::new(0));
+        self
+    }
+
+    /// How many times each stage produced the accepted solution, in chain
+    /// order.
+    pub fn wins(&self) -> Vec<usize> {
+        self.wins.iter().map(|w| w.load(Ordering::Relaxed)).collect()
+    }
+
+    /// How many calls exhausted the whole chain without a solution.
+    pub fn exhausted(&self) -> usize {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Whether the chain has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty()
+    }
+}
+
+impl Default for FallbackSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TsptwSolver for FallbackSolver {
+    fn name(&self) -> &str {
+        "fallback-chain"
+    }
+
+    fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
+        let mut last_err = SolveError::InvalidInput("empty fallback chain".into());
+        for (stage, solver) in self.chain.iter().enumerate() {
+            match solver.solve(p) {
+                Ok(sol) => {
+                    self.wins[stage].fetch_add(1, Ordering::Relaxed);
+                    return Ok(sol);
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
+        Err(last_err)
+    }
+}
+
+/// Refuses to start a solve once `deadline` has expired.
+///
+/// Wrapping the engine's TSPTW solver in a `DeadlineSolver` is what makes
+/// candidate generation anytime: after expiry every further feasibility
+/// check fails fast with [`SolveError::Timeout`] instead of burning more
+/// wall-clock, and the caller keeps whatever valid partial solution it has.
+pub struct DeadlineSolver<S> {
+    inner: S,
+    deadline: Deadline,
+}
+
+impl<S: TsptwSolver> DeadlineSolver<S> {
+    /// Wraps `inner` under `deadline`.
+    pub fn new(inner: S, deadline: Deadline) -> Self {
+        Self { inner, deadline }
+    }
+
+    /// The governing deadline.
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
+    }
+}
+
+impl<S: TsptwSolver> TsptwSolver for DeadlineSolver<S> {
+    fn name(&self) -> &str {
+        "deadline"
+    }
+
+    fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
+        if self.deadline.expired() {
+            return Err(SolveError::Timeout);
+        }
+        self.inner.solve(p)
+    }
+}
+
+/// Fault classes a [`FaultInjectingSolver`] can fire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability of an injected [`SolveError::Internal`] before the inner
+    /// solver runs.
+    pub failure_rate: f64,
+    /// Probability of lying `Infeasible` on a solve the inner solver would
+    /// have answered.
+    pub spurious_infeasible_rate: f64,
+    /// Probability of corrupting the claimed rtt of an otherwise valid
+    /// solution (the lie a [`VerifyingSolver`] must catch).
+    pub rtt_corruption_rate: f64,
+}
+
+impl FaultConfig {
+    /// All three fault classes at the same `rate`.
+    pub fn uniform(rate: f64) -> Self {
+        Self { failure_rate: rate, spurious_infeasible_rate: rate, rtt_corruption_rate: rate }
+    }
+
+    /// No faults at all (the wrapper becomes a transparent pass-through).
+    pub fn none() -> Self {
+        Self::uniform(0.0)
+    }
+}
+
+/// Seeded chaos decorator: makes any solver misbehave on a deterministic,
+/// per-problem schedule.
+///
+/// Determinism matters because the engine calls solvers from rayon worker
+/// threads in nondeterministic order: the decision to fault is derived by
+/// hashing the *problem* together with the seed, not from shared mutable RNG
+/// state, so a given (seed, problem) pair always faults the same way
+/// regardless of scheduling.
+pub struct FaultInjectingSolver<S> {
+    inner: S,
+    config: FaultConfig,
+    seed: u64,
+    injected: AtomicUsize,
+}
+
+impl<S: TsptwSolver> FaultInjectingSolver<S> {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: S, config: FaultConfig, seed: u64) -> Self {
+        Self { inner, config, seed, injected: AtomicUsize::new(0) }
+    }
+
+    /// Number of faults injected since construction.
+    pub fn injected(&self) -> usize {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Deterministic per-problem randomness: a splitmix64 stream keyed by
+    /// the seed and a hash of the problem's defining features.
+    fn problem_stream(&self, p: &TsptwProblem) -> SplitMix {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut mix = |bits: u64| {
+            h ^= bits.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h = h.rotate_left(31).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        };
+        mix(p.nodes.len() as u64);
+        mix(p.depart.to_bits());
+        mix(p.deadline.to_bits());
+        mix(p.start.x.to_bits());
+        mix(p.start.y.to_bits());
+        mix(p.end.x.to_bits());
+        mix(p.end.y.to_bits());
+        for n in &p.nodes {
+            mix(n.loc.x.to_bits());
+            mix(n.loc.y.to_bits());
+            mix(n.window.start.to_bits());
+            mix(n.service.to_bits());
+        }
+        SplitMix(h)
+    }
+}
+
+/// Minimal splitmix64 stream for fault decisions.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_unit(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<S: TsptwSolver> TsptwSolver for FaultInjectingSolver<S> {
+    fn name(&self) -> &str {
+        "fault-injecting"
+    }
+
+    fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
+        let mut stream = self.problem_stream(p);
+        if stream.next_unit() < self.config.failure_rate {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(SolveError::Internal("injected fault".into()));
+        }
+        let spurious = stream.next_unit() < self.config.spurious_infeasible_rate;
+        let corrupt = stream.next_unit() < self.config.rtt_corruption_rate;
+        let result = self.inner.solve(p)?;
+        if spurious {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(SolveError::Infeasible);
+        }
+        if corrupt {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Ok(TsptwSolution { rtt: result.rtt * 0.5 - 1.0, ..result });
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactDpSolver;
+    use crate::gen::random_worker_problem;
+    use crate::insertion::InsertionSolver;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    struct Lies;
+    impl TsptwSolver for Lies {
+        fn name(&self) -> &str {
+            "lies"
+        }
+        fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
+            // Claims an absurdly good rtt over a syntactically valid order.
+            Ok(TsptwSolution { order: (0..p.nodes.len()).collect(), rtt: 0.0 })
+        }
+    }
+
+    #[test]
+    fn verifying_solver_rejects_lying_rtt() {
+        let v = VerifyingSolver::new(Lies);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let p = random_worker_problem(&mut rng, 5, 0.4);
+        match v.solve(&p) {
+            Err(SolveError::Internal(msg)) => assert!(msg.contains("rtt") || msg.contains("violates")),
+            other => panic!("lie must be rejected, got {other:?}"),
+        }
+        assert_eq!(v.rejected(), 1);
+    }
+
+    #[test]
+    fn verifying_solver_accepts_honest_solver() {
+        let v = VerifyingSolver::new(InsertionSolver::new());
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut accepted = 0;
+        for _ in 0..10 {
+            let p = random_worker_problem(&mut rng, 6, 0.5);
+            if v.solve(&p).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 0, "generator should produce some feasible instances");
+        assert_eq!(v.rejected(), 0, "honest solver must never be rejected");
+    }
+
+    #[test]
+    fn verifying_solver_rejects_non_permutations() {
+        struct Dup;
+        impl TsptwSolver for Dup {
+            fn name(&self) -> &str {
+                "dup"
+            }
+            fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
+                Ok(TsptwSolution { order: vec![0; p.nodes.len()], rtt: 1.0 })
+            }
+        }
+        let v = VerifyingSolver::new(Dup);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let p = random_worker_problem(&mut rng, 4, 0.5);
+        assert!(matches!(v.solve(&p), Err(SolveError::Internal(_))));
+    }
+
+    #[test]
+    fn fallback_chain_rescues_faulty_primary() {
+        struct Broken;
+        impl TsptwSolver for Broken {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn solve(&self, _p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
+                Err(SolveError::Internal("boom".into()))
+            }
+        }
+        let chain = FallbackSolver::new().push(Broken).push(InsertionSolver::new());
+        let mut rng = SmallRng::seed_from_u64(14);
+        let mut rescued = 0;
+        for _ in 0..10 {
+            let p = random_worker_problem(&mut rng, 5, 0.4);
+            if let Ok(s) = chain.solve(&p) {
+                assert!((p.evaluate_order(&s.order).unwrap() - s.rtt).abs() < 1e-9);
+                rescued += 1;
+            }
+        }
+        let wins = chain.wins();
+        assert_eq!(wins[0], 0, "broken primary can never win");
+        assert_eq!(wins[1], rescued);
+    }
+
+    #[test]
+    fn fallback_chain_reports_last_stage_error() {
+        let chain = FallbackSolver::new()
+            .push(InsertionSolver::new())
+            .push(ExactDpSolver::new());
+        let mut rng = SmallRng::seed_from_u64(15);
+        let mut p = random_worker_problem(&mut rng, 4, 0.5);
+        p.deadline = p.depart + 0.01; // genuinely infeasible
+        assert_eq!(chain.solve(&p), Err(SolveError::Infeasible));
+        assert_eq!(chain.exhausted(), 1);
+    }
+
+    #[test]
+    fn empty_fallback_chain_is_invalid_input() {
+        let chain = FallbackSolver::new();
+        let mut rng = SmallRng::seed_from_u64(16);
+        let p = random_worker_problem(&mut rng, 3, 0.5);
+        assert!(matches!(chain.solve(&p), Err(SolveError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn deadline_solver_times_out_after_expiry() {
+        let expired = DeadlineSolver::new(InsertionSolver::new(), Deadline::after_millis(0));
+        let open = DeadlineSolver::new(InsertionSolver::new(), Deadline::none());
+        let mut rng = SmallRng::seed_from_u64(17);
+        let p = random_worker_problem(&mut rng, 5, 0.4);
+        assert_eq!(expired.solve(&p), Err(SolveError::Timeout));
+        assert!(open.solve(&p).is_ok() || open.solve(&p) == Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_problem() {
+        let a = FaultInjectingSolver::new(InsertionSolver::new(), FaultConfig::uniform(0.5), 99);
+        let b = FaultInjectingSolver::new(InsertionSolver::new(), FaultConfig::uniform(0.5), 99);
+        let mut rng = SmallRng::seed_from_u64(18);
+        for _ in 0..20 {
+            let p = random_worker_problem(&mut rng, 5, 0.4);
+            assert_eq!(a.solve(&p), b.solve(&p), "same seed+problem must fault identically");
+        }
+    }
+
+    #[test]
+    fn full_failure_rate_always_faults_and_zero_never_does() {
+        let always = FaultInjectingSolver::new(
+            InsertionSolver::new(),
+            FaultConfig { failure_rate: 1.0, spurious_infeasible_rate: 0.0, rtt_corruption_rate: 0.0 },
+            7,
+        );
+        let never = FaultInjectingSolver::new(InsertionSolver::new(), FaultConfig::none(), 7);
+        let honest = InsertionSolver::new();
+        let mut rng = SmallRng::seed_from_u64(19);
+        for _ in 0..10 {
+            let p = random_worker_problem(&mut rng, 5, 0.4);
+            assert!(matches!(always.solve(&p), Err(SolveError::Internal(_))));
+            assert_eq!(never.solve(&p), honest.solve(&p));
+        }
+        assert_eq!(never.injected(), 0);
+        assert_eq!(always.injected(), 10);
+    }
+
+    #[test]
+    fn verifier_catches_injected_rtt_corruption() {
+        let corrupting = FaultInjectingSolver::new(
+            InsertionSolver::new(),
+            FaultConfig { failure_rate: 0.0, spurious_infeasible_rate: 0.0, rtt_corruption_rate: 1.0 },
+            23,
+        );
+        let v = VerifyingSolver::new(corrupting);
+        let mut rng = SmallRng::seed_from_u64(20);
+        let mut caught = 0;
+        for _ in 0..10 {
+            let p = random_worker_problem(&mut rng, 5, 0.4);
+            match v.solve(&p) {
+                Ok(s) => panic!("corrupted rtt {} escaped verification", s.rtt),
+                Err(SolveError::Internal(_)) => caught += 1,
+                Err(_) => {} // inner solver genuinely failed; nothing to corrupt
+            }
+        }
+        assert!(caught > 0);
+        assert_eq!(v.rejected(), caught);
+    }
+}

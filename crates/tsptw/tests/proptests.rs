@@ -29,7 +29,7 @@ proptest! {
     #[test]
     fn solutions_verify(p in arb_problem(8)) {
         for solver in [&InsertionSolver::new() as &dyn TsptwSolver, &ExactDpSolver::new()] {
-            if let Some(sol) = solver.solve(&p) {
+            if let Ok(sol) = solver.solve(&p) {
                 let mut sorted = sol.order.clone();
                 sorted.sort_unstable();
                 prop_assert_eq!(sorted, (0..p.len()).collect::<Vec<_>>());
@@ -47,8 +47,8 @@ proptest! {
         let exact = ExactDpSolver::new().solve(&p);
         let heur = InsertionSolver::new().solve(&p);
         match (&exact, &heur) {
-            (Some(e), Some(h)) => prop_assert!(h.rtt + 1e-6 >= e.rtt),
-            (None, Some(h)) => {
+            (Ok(e), Ok(h)) => prop_assert!(h.rtt + 1e-6 >= e.rtt),
+            (Err(smore_tsptw::SolveError::Infeasible), Ok(h)) => {
                 prop_assert!(false, "heuristic claims feasible order {:?} on proven-infeasible instance", h.order)
             }
             _ => {}
@@ -58,8 +58,23 @@ proptest! {
     /// rtt is bounded below by the trivial lower bound.
     #[test]
     fn rtt_respects_lower_bound(p in arb_problem(8)) {
-        if let Some(sol) = InsertionSolver::new().solve(&p) {
+        if let Ok(sol) = InsertionSolver::new().solve(&p) {
             prop_assert!(sol.rtt + 1e-6 >= p.rtt_lower_bound());
+        }
+    }
+
+    /// At any fault rate, a verifying wrapper over a fault-injecting solver
+    /// never lets an invalid or rtt-corrupted solution through.
+    #[test]
+    fn verified_chaos_never_lies(p in arb_problem(7), rate in 0.0f64..=1.0, seed in 0u64..1000) {
+        use smore_tsptw::{FaultConfig, FaultInjectingSolver, VerifyingSolver};
+        let chaotic =
+            FaultInjectingSolver::new(InsertionSolver::new(), FaultConfig::uniform(rate), seed);
+        let v = VerifyingSolver::new(chaotic);
+        if let Ok(sol) = v.solve(&p) {
+            let rtt = p.evaluate_order(&sol.order);
+            prop_assert!(rtt.is_some());
+            prop_assert!((rtt.unwrap() - sol.rtt).abs() < 1e-6);
         }
     }
 
@@ -67,10 +82,10 @@ proptest! {
     #[test]
     fn deadline_monotonicity(p in arb_problem(6)) {
         let exact = ExactDpSolver::new();
-        if exact.solve(&p).is_some() {
+        if exact.solve(&p).is_ok() {
             let mut relaxed = p.clone();
             relaxed.deadline += 100.0;
-            prop_assert!(exact.solve(&relaxed).is_some());
+            prop_assert!(exact.solve(&relaxed).is_ok());
         }
     }
 }

@@ -36,14 +36,14 @@ fn main() {
     let (mut gpn_gap, mut ins_gap) = (0.0, 0.0);
     for _ in 0..60 {
         let p = random_worker_problem(&mut r, 7, 0.5);
-        let Some(opt) = exact.solve(&p) else { continue };
+        let Ok(opt) = exact.solve(&p) else { continue };
         n_feasible += 1;
         let _ = hybrid.solve(&p);
-        if let Some(s) = gpn.solve(&p) {
+        if let Ok(s) = gpn.solve(&p) {
             gpn_solved += 1;
             gpn_gap += (s.rtt - opt.rtt) / opt.rtt;
         }
-        if let Some(s) = insertion.solve(&p) {
+        if let Ok(s) = insertion.solve(&p) {
             ins_solved += 1;
             ins_gap += (s.rtt - opt.rtt) / opt.rtt;
         }

@@ -1,0 +1,191 @@
+//! Chaos suite: every solver in the workspace must stay correct when its
+//! TSPTW core misbehaves and when wall-clock budgets expire mid-solve.
+//!
+//! The contract under test (the resilience invariants):
+//! 1. no solver panics, at any fault rate or deadline;
+//! 2. every emitted solution passes the independent referee
+//!    [`smore_model::evaluate`] — faults and timeouts degrade coverage,
+//!    never validity;
+//! 3. a deadline-bounded solve returns promptly after expiry.
+
+mod common;
+
+use common::tiny_instances;
+use smore::{GreedySelection, RandomSelection, SmoreFramework};
+use smore_baselines::{
+    GreedySolver, JdrlPolicy, JdrlSolver, MsaConfig, MsaSolver, RandomSolver,
+};
+use smore_model::{evaluate, Deadline, Instance, UsmdwSolver};
+use smore_tsptw::{
+    FallbackSolver, FaultConfig, FaultInjectingSolver, InsertionSolver, VerifyingSolver,
+};
+use std::time::{Duration, Instant};
+
+/// SMORE (the framework, greedy selection) with a chaos-wrapped TSPTW core:
+/// faults injected at `rate`, every claim independently verified.
+fn chaotic_smore(rate: f64, seed: u64) -> impl UsmdwSolver {
+    SmoreFramework::new(
+        GreedySelection,
+        VerifyingSolver::new(FaultInjectingSolver::new(
+            InsertionSolver::new(),
+            FaultConfig::uniform(rate),
+            seed,
+        )),
+    )
+}
+
+/// The six paper baselines, fresh instances each call.
+fn baselines(seed: u64) -> Vec<Box<dyn UsmdwSolver>> {
+    vec![
+        Box::new(RandomSolver::new(seed)),
+        Box::new(GreedySolver::tvpg()),
+        Box::new(GreedySolver::tcpg()),
+        Box::new(MsaSolver::msa(MsaConfig::small(), seed)),
+        Box::new(MsaSolver::msagi(MsaConfig::small(), seed)),
+        Box::new(JdrlSolver::new(JdrlPolicy::new(seed))),
+    ]
+}
+
+fn assert_valid(instance: &Instance, solver: &mut dyn UsmdwSolver, deadline: Deadline) {
+    let sol = solver.solve_within(instance, deadline);
+    let stats = evaluate(instance, &sol)
+        .unwrap_or_else(|e| panic!("{} emitted an invalid solution: {e}", solver.name()));
+    assert!(
+        stats.total_incentive <= instance.budget + 1e-6,
+        "{} blew the incentive budget",
+        solver.name()
+    );
+}
+
+#[test]
+fn generated_instances_pass_structural_validation() {
+    // `Instance::validate` gates every deserialization (and `inspect
+    // --validate` in the CLI); the generator must never trip it.
+    for inst in tiny_instances(30, 4) {
+        inst.validate().expect("generated instance must validate");
+    }
+}
+
+#[test]
+fn smore_survives_the_fault_grid() {
+    let instances = tiny_instances(31, 2);
+    for &rate in &[0.0, 0.2, 1.0] {
+        for (i, inst) in instances.iter().enumerate() {
+            let mut smore = chaotic_smore(rate, 1000 + i as u64);
+            assert_valid(inst, &mut smore, Deadline::none());
+        }
+    }
+}
+
+#[test]
+fn all_baselines_survive_deadlines_from_zero_to_unbounded() {
+    let instances = tiny_instances(32, 1);
+    let inst = &instances[0];
+    for deadline in [Deadline::after_millis(0), Deadline::after_millis(20), Deadline::none()] {
+        for mut solver in baselines(7) {
+            assert_valid(inst, solver.as_mut(), deadline);
+        }
+        let mut random_select = SmoreFramework::new(
+            RandomSelection::new(5),
+            VerifyingSolver::new(FaultInjectingSolver::new(
+                InsertionSolver::new(),
+                FaultConfig::uniform(0.2),
+                5,
+            )),
+        );
+        assert_valid(inst, &mut random_select, deadline);
+    }
+}
+
+#[test]
+fn total_fault_rate_degrades_to_the_reference_routes() {
+    let instances = tiny_instances(33, 1);
+    let inst = &instances[0];
+    // At 100% faults every TSPTW call fails, so SMORE cannot even plan the
+    // mandatory routes and must fall back to the exact reference solution:
+    // still valid, zero incentive spent.
+    let mut smore = chaotic_smore(1.0, 77);
+    let sol = smore.solve(inst);
+    let stats = evaluate(inst, &sol).expect("fallback must validate");
+    assert_eq!(stats.completed, 0, "no sensing task can survive total faults");
+    assert!(stats.total_incentive.abs() < 1e-9);
+}
+
+#[test]
+fn fallback_chain_rescues_a_chaotic_primary() {
+    let instances = tiny_instances(34, 1);
+    let inst = &instances[0];
+    // Chain: fault-injecting primary (fails half the time) → honest
+    // insertion. The chain as a whole behaves like an honest solver, so
+    // SMORE on top of it should complete tasks despite the chaos.
+    let chain = FallbackSolver::new()
+        .push(VerifyingSolver::new(FaultInjectingSolver::new(
+            InsertionSolver::new(),
+            FaultConfig::uniform(0.5),
+            41,
+        )))
+        .push(InsertionSolver::new());
+    let mut smore = SmoreFramework::new(GreedySelection, chain);
+    let sol = smore.solve(inst);
+    let stats = evaluate(inst, &sol).expect("rescued solution must validate");
+    let honest = evaluate(
+        inst,
+        &SmoreFramework::new(GreedySelection, InsertionSolver::new()).solve(inst),
+    )
+    .unwrap();
+    assert!(
+        stats.completed > 0 || honest.completed == 0,
+        "a rescued chain should still complete tasks when the honest solver can"
+    );
+}
+
+#[test]
+fn deadline_bounded_solves_return_promptly() {
+    let instances = tiny_instances(35, 1);
+    let inst = &instances[0];
+    let budget = Duration::from_millis(50);
+    // Generous slack: expiry is only checked between atomic steps (one
+    // insertion attempt, one anneal move), so a solver may overshoot by one
+    // step — bounded, but not zero — plus debug-build noise.
+    let slack = Duration::from_millis(2000);
+    for mut solver in baselines(9) {
+        let start = Instant::now();
+        assert_valid(inst, solver.as_mut(), Deadline::after(budget));
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < budget + slack,
+            "{} ran {elapsed:?} against a {budget:?} budget",
+            solver.name()
+        );
+    }
+    let start = Instant::now();
+    let mut smore = chaotic_smore(0.2, 55);
+    assert_valid(inst, &mut smore, Deadline::after(budget));
+    assert!(start.elapsed() < budget + slack, "SMORE overran its budget");
+}
+
+mod chaos_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The headline invariant: at ANY fault rate in [0, 1], with any
+        /// seed, SMORE and every baseline terminate without panicking and
+        /// emit a solution the independent referee accepts.
+        #[test]
+        fn any_fault_rate_yields_only_valid_solutions(
+            rate in 0.0f64..=1.0,
+            seed in 0u64..1000,
+        ) {
+            let instances = tiny_instances(seed.wrapping_add(100), 1);
+            let inst = &instances[0];
+            let mut smore = chaotic_smore(rate, seed);
+            assert_valid(inst, &mut smore, Deadline::none());
+            for mut solver in baselines(seed) {
+                assert_valid(inst, solver.as_mut(), Deadline::after_millis(seed % 30));
+            }
+        }
+    }
+}

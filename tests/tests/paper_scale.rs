@@ -25,7 +25,7 @@ fn paper_scale_delivery_pipeline() {
     let mut policy = GreedySelection;
     for _ in 0..10 {
         let Some((w, t)) = policy.select(&engine) else { break };
-        engine.apply(w, t);
+        engine.apply(w, t).unwrap();
     }
     let completed = engine.state.coverage.len();
     assert!(completed > 0);
