@@ -24,7 +24,7 @@ fn bench_tsptw(c: &mut Criterion) {
             let solver = InsertionSolver::new();
             b.iter(|| {
                 for p in probs {
-                    black_box(solver.solve(black_box(p)));
+                    let _ = black_box(solver.solve(black_box(p)));
                 }
             });
         });
@@ -32,7 +32,7 @@ fn bench_tsptw(c: &mut Criterion) {
             let solver = ExactDpSolver::new();
             b.iter(|| {
                 for p in probs {
-                    black_box(solver.solve(black_box(p)));
+                    let _ = black_box(solver.solve(black_box(p)));
                 }
             });
         });
@@ -41,7 +41,7 @@ fn bench_tsptw(c: &mut Criterion) {
                 let solver = GpnSolver::new(GpnPolicy::new(GpnConfig::default(), 1));
                 b.iter(|| {
                     for p in probs {
-                        black_box(solver.solve(black_box(p)));
+                        let _ = black_box(solver.solve(black_box(p)));
                     }
                 });
             });

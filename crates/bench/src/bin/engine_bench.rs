@@ -1,0 +1,221 @@
+//! Perf-trajectory benchmark of the SMORE engine: times candidate
+//! initialization plus a full greedy selection run on every dataset preset,
+//! once per candidate-evaluation strategy, and writes `BENCH_engine.json`
+//! so future changes can diff wall time and TSPTW solve counts against a
+//! checked-in baseline.
+//!
+//! ```sh
+//! cargo run -p smore-bench --bin engine_bench --release -- \
+//!     [--reps N] [--instances N] [--paper] [--out PATH]
+//! ```
+//!
+//! The JSON is written by hand (no serde dependency on the output path) so
+//! the binary stays functional in stub-only offline builds.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{
+    CandidateEvaluator, Engine, EvalStats, FullResolve, GreedySelection, IncrementalInsertion,
+    SelectionPolicy,
+};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::{Deadline, Instance};
+use smore_tsptw::InsertionSolver;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    reps: usize,
+    instances: usize,
+    scale: Scale,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        reps: 3,
+        instances: 5,
+        scale: Scale::Small,
+        out: PathBuf::from("BENCH_engine.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => args.reps = it.next().and_then(|s| s.parse().ok()).expect("--reps N"),
+            "--instances" => {
+                args.instances = it.next().and_then(|s| s.parse().ok()).expect("--instances N");
+            }
+            "--paper" => args.scale = Scale::Paper,
+            "--out" => args.out = PathBuf::from(it.next().expect("--out PATH")),
+            // Tolerate flags injected by wrapper scripts (e.g. --offline).
+            _ => {}
+        }
+    }
+    args
+}
+
+/// One timed engine run: init + greedy selection to exhaustion. Returns the
+/// wall time, the objective φ of the final state, and the selection count.
+fn run_once(
+    instance: &Instance,
+    evaluator: Arc<dyn CandidateEvaluator>,
+) -> (f64, f64, usize) {
+    let solver = InsertionSolver::new();
+    let mut policy = GreedySelection;
+    let started = Instant::now();
+    let mut engine = Engine::new_with(instance, &solver, evaluator, Deadline::none())
+        .expect("generated instances admit mandatory routes");
+    let mut steps = 0usize;
+    while engine.has_candidates() {
+        let Some((w, t)) = policy.select(&engine) else { break };
+        if engine.apply(w, t).is_err() {
+            break;
+        }
+        steps += 1;
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    (elapsed_ms, engine.state.objective(), steps)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+struct EvaluatorReport {
+    name: &'static str,
+    median_ms: f64,
+    p95_ms: f64,
+    mean_objective: f64,
+    mean_steps: f64,
+    stats: EvalStats,
+}
+
+fn bench_evaluator(
+    name: &'static str,
+    make: &dyn Fn() -> Arc<dyn CandidateEvaluator>,
+    instances: &[Instance],
+    reps: usize,
+) -> EvaluatorReport {
+    let mut times = Vec::with_capacity(instances.len() * reps);
+    let mut objective_sum = 0.0;
+    let mut steps_sum = 0usize;
+    let mut stats = EvalStats::default();
+    for instance in instances {
+        for _ in 0..reps {
+            let evaluator = make();
+            let (ms, objective, steps) = run_once(instance, Arc::clone(&evaluator));
+            times.push(ms);
+            objective_sum += objective;
+            steps_sum += steps;
+            let s = evaluator.stats();
+            stats.evaluations += s.evaluations;
+            stats.slack_hits += s.slack_hits;
+            stats.fallbacks += s.fallbacks;
+            stats.full_solves += s.full_solves;
+            stats.pruned += s.pruned;
+        }
+    }
+    times.sort_by(f64::total_cmp);
+    let runs = times.len() as f64;
+    EvaluatorReport {
+        name,
+        median_ms: percentile(&times, 0.5),
+        p95_ms: percentile(&times, 0.95),
+        mean_objective: objective_sum / runs,
+        mean_steps: steps_sum as f64 / runs,
+        stats,
+    }
+}
+
+fn evaluator_json(r: &EvaluatorReport, reference: &EvaluatorReport) -> String {
+    let speedup = reference.median_ms / r.median_ms.max(1e-9);
+    let solve_reduction =
+        reference.stats.full_solves as f64 / (r.stats.full_solves as f64).max(1.0);
+    format!(
+        concat!(
+            "{{\"name\": \"{}\", \"median_ms\": {:.3}, \"p95_ms\": {:.3}, ",
+            "\"mean_objective\": {:.6}, \"mean_steps\": {:.2}, ",
+            "\"evaluations\": {}, \"slack_hits\": {}, \"fallbacks\": {}, ",
+            "\"pruned\": {}, \"tsptw_solves\": {}, \"speedup_vs_full\": {:.2}, ",
+            "\"solve_reduction_vs_full\": {:.2}}}"
+        ),
+        r.name,
+        r.median_ms,
+        r.p95_ms,
+        r.mean_objective,
+        r.mean_steps,
+        r.stats.evaluations,
+        r.stats.slack_hits,
+        r.stats.fallbacks,
+        r.stats.pruned,
+        r.stats.full_solves,
+        speedup,
+        solve_reduction,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let mut presets = String::new();
+    for (k, kind) in DatasetKind::all().into_iter().enumerate() {
+        let spec = DatasetSpec::of(kind, args.scale);
+        let generator = InstanceGenerator::new(spec, 2024);
+        let mut rng = SmallRng::seed_from_u64(2024 + k as u64);
+        let instances: Vec<Instance> =
+            (0..args.instances).map(|_| generator.gen_default(&mut rng)).collect();
+
+        let full = bench_evaluator(
+            "full-resolve",
+            &|| Arc::new(FullResolve::new()),
+            &instances,
+            args.reps,
+        );
+        let inc = bench_evaluator(
+            "incremental-insertion",
+            &|| Arc::new(IncrementalInsertion::new()),
+            &instances,
+            args.reps,
+        );
+
+        eprintln!(
+            "{kind:?}: full {:.1} ms median / {} solves, incremental {:.1} ms median / {} solves \
+             ({:.1}x fewer solves), mean φ {:.4} vs {:.4}",
+            full.median_ms,
+            full.stats.full_solves,
+            inc.median_ms,
+            inc.stats.full_solves,
+            full.stats.full_solves as f64 / (inc.stats.full_solves as f64).max(1.0),
+            full.mean_objective,
+            inc.mean_objective,
+        );
+
+        if k > 0 {
+            presets.push_str(",\n");
+        }
+        let _ = write!(
+            presets,
+            "    {{\"dataset\": \"{kind:?}\", \"evaluators\": [\n      {},\n      {}\n    ]}}",
+            evaluator_json(&full, &full),
+            evaluator_json(&inc, &full),
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"engine\",\n",
+            "  \"pipeline\": \"Engine init + greedy selection to exhaustion (InsertionSolver backend)\",\n",
+            "  \"scale\": \"{:?}\",\n",
+            "  \"instances\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"presets\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        args.scale, args.instances, args.reps, presets,
+    );
+    std::fs::write(&args.out, &json).expect("write bench report");
+    eprintln!("wrote {}", args.out.display());
+}

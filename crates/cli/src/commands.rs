@@ -276,6 +276,32 @@ pub fn inspect(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Top-level usage text.
+pub const USAGE: &str = "\
+smore-cli — the SMORE urban-sensing toolkit
+
+USAGE: smore-cli <command> [--flag value ...]
+
+COMMANDS:
+  gen      generate instances      --out F [--dataset delivery|tourism|lade]
+                                   [--scale small|paper] [--seed N] [--count N]
+                                   [--window MIN] [--budget B] [--alpha A]
+  stats    Figure-4 distributions  --instances F
+  train    train SMORE             --instances F --out MODEL [--warmup N]
+                                   [--epochs N] [--d-model N] [--seed N]
+  solve    solve instances         --instances F --method M [--model MODEL]
+                                   [--out SOLUTIONS] [--budget-ms MS]
+                                   (M: smore|tvpg|tcpg|rn|msa|msagi|jdrl;
+                                    --budget-ms caps wall-clock per instance,
+                                    returning the best partial solution)
+  inspect  show one schedule       --instances F --solutions F [--index N]
+           or re-check instances   --instances F --validate
+
+EXIT CODES:
+  0 ok   2 usage   3 io   4 parse   5 invalid data   6 solve/evaluate
+";
+
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,28 +396,3 @@ mod tests {
         .unwrap();
     }
 }
-
-/// Top-level usage text.
-pub const USAGE: &str = "\
-smore-cli — the SMORE urban-sensing toolkit
-
-USAGE: smore-cli <command> [--flag value ...]
-
-COMMANDS:
-  gen      generate instances      --out F [--dataset delivery|tourism|lade]
-                                   [--scale small|paper] [--seed N] [--count N]
-                                   [--window MIN] [--budget B] [--alpha A]
-  stats    Figure-4 distributions  --instances F
-  train    train SMORE             --instances F --out MODEL [--warmup N]
-                                   [--epochs N] [--d-model N] [--seed N]
-  solve    solve instances         --instances F --method M [--model MODEL]
-                                   [--out SOLUTIONS] [--budget-ms MS]
-                                   (M: smore|tvpg|tcpg|rn|msa|msagi|jdrl;
-                                    --budget-ms caps wall-clock per instance,
-                                    returning the best partial solution)
-  inspect  show one schedule       --instances F --solutions F [--index N]
-           or re-check instances   --instances F --validate
-
-EXIT CODES:
-  0 ok   2 usage   3 io   4 parse   5 invalid data   6 solve/evaluate
-";

@@ -3,10 +3,12 @@
 //! policy (TASNet, the ablations, and greedy selection).
 
 use crate::error::SmoreError;
+use crate::evaluator::{CandidateEvaluator, EvalStats, IncrementalInsertion, WorkerEval};
 use crate::route_planning::{order_to_route, route_problem};
 use rayon::prelude::*;
 use smore_model::{AssignmentState, Deadline, Instance, Route, SensingTaskId, WorkerId, TIME_EPS};
 use smore_tsptw::TsptwSolver;
+use std::sync::Arc;
 
 /// A feasible candidate assignment `C[w][s]`: the re-planned route with the
 /// task added, its travel time, and the incremental incentive.
@@ -58,11 +60,42 @@ impl CandidateMap {
     fn set(&mut self, worker: WorkerId, task: SensingTaskId, candidate: Option<Candidate>) {
         let slot = &mut self.per_worker[worker.0][task.0];
         match (&slot, &candidate) {
+            // Clearing an already-empty slot is a no-op; skip the write.
+            (None, None) => return,
             (Some(_), None) => self.counts[worker.0] -= 1,
             (None, Some(_)) => self.counts[worker.0] += 1,
             _ => {}
         }
         *slot = candidate;
+    }
+
+    /// Clears `task` from every worker's row in one pass (the Algorithm 1
+    /// line 14 removal), keeping counts consistent without per-slot
+    /// bookkeeping calls.
+    fn clear_task(&mut self, task: SensingTaskId) {
+        for (w, row) in self.per_worker.iter_mut().enumerate() {
+            if row[task.0].take().is_some() {
+                self.counts[w] -= 1;
+            }
+        }
+    }
+
+    /// Drops `worker`'s candidates failing `keep`, mutating in place — no
+    /// intermediate id collection.
+    fn retain_tasks(
+        &mut self,
+        worker: WorkerId,
+        mut keep: impl FnMut(SensingTaskId, &Candidate) -> bool,
+    ) {
+        let row = &mut self.per_worker[worker.0];
+        let mut removed = 0;
+        for (t, slot) in row.iter_mut().enumerate() {
+            if matches!(slot, Some(c) if !keep(SensingTaskId(t), c)) {
+                *slot = None;
+                removed += 1;
+            }
+        }
+        self.counts[worker.0] -= removed;
     }
 }
 
@@ -71,6 +104,7 @@ pub struct Engine<'a> {
     /// The instance being solved.
     pub instance: &'a Instance,
     solver: &'a dyn TsptwSolver,
+    evaluator: Arc<dyn CandidateEvaluator>,
     /// The evolving assignment `M` plus remaining budget.
     pub state: AssignmentState,
     /// The candidate map `C`.
@@ -103,6 +137,22 @@ impl<'a> Engine<'a> {
         solver: &'a dyn TsptwSolver,
         deadline: Deadline,
     ) -> Result<Self, SmoreError> {
+        Self::new_with(instance, solver, Arc::new(IncrementalInsertion::new()), deadline)
+    }
+
+    /// [`Engine::new_within`] with an explicit candidate-evaluation
+    /// strategy. [`IncrementalInsertion`] (the default) answers most probes
+    /// without a TSPTW solve; [`FullResolve`](crate::FullResolve) re-solves
+    /// every probe and serves as the exactness reference.
+    pub fn new_with(
+        instance: &'a Instance,
+        solver: &'a dyn TsptwSolver,
+        evaluator: Arc<dyn CandidateEvaluator>,
+        deadline: Deadline,
+    ) -> Result<Self, SmoreError> {
+        // Engine-scoped evaluator caches (e.g. dead-pair memoization) must
+        // not leak in from a previous instance.
+        evaluator.begin_engine();
         let mut state = AssignmentState::new(instance);
 
         // Initial routes: minimum-time mandatory-only routes. The worker's
@@ -124,6 +174,7 @@ impl<'a> Engine<'a> {
         let mut engine = Self {
             instance,
             solver,
+            evaluator,
             state,
             candidates: CandidateMap::new(instance.n_workers(), instance.n_tasks()),
             deadline,
@@ -137,6 +188,12 @@ impl<'a> Engine<'a> {
     /// The wall-clock budget this engine was built with.
     pub fn deadline(&self) -> Deadline {
         self.deadline
+    }
+
+    /// Work counters of the candidate evaluator (probe and solver-call
+    /// totals since the evaluator was constructed or last reset).
+    pub fn evaluator_stats(&self) -> EvalStats {
+        self.evaluator.stats()
     }
 
     /// Whether any feasible candidate remains.
@@ -158,9 +215,7 @@ impl<'a> Engine<'a> {
             .cloned()
             .ok_or(SmoreError::StaleCandidate { worker, task })?;
         self.state.assign(self.instance, worker, task, candidate.route, candidate.rtt);
-        for w in 0..self.instance.n_workers() {
-            self.candidates.set(WorkerId(w), task, None);
-        }
+        self.candidates.clear_task(task);
         self.recompute_worker(worker);
         self.prune_unaffordable();
         Ok(())
@@ -173,29 +228,34 @@ impl<'a> Engine<'a> {
     fn prune_unaffordable(&mut self) {
         let budget_rest = self.state.budget_rest;
         for w in 0..self.instance.n_workers() {
-            let wid = WorkerId(w);
-            let over: Vec<SensingTaskId> = self
-                .candidates
-                .tasks_of(wid)
-                .filter(|(_, c)| c.delta_in > budget_rest + TIME_EPS)
-                .map(|(t, _)| t)
-                .collect();
-            for t in over {
-                self.candidates.set(wid, t, None);
-            }
+            self.candidates
+                .retain_tasks(WorkerId(w), |_, c| c.delta_in <= budget_rest + TIME_EPS);
         }
     }
 
     /// Recomputes the feasible candidates of one worker against their current
     /// assignment (Algorithm 1, lines 17–23), in parallel over tasks.
+    ///
+    /// The evaluator prepares per-worker state once (memoized base nodes,
+    /// slack annotations over the committed route) and every probe runs
+    /// against it — no per-task assignment clone or node-vector rebuild.
     fn recompute_worker(&mut self, worker: WorkerId) {
-        let assigned = self.state.assigned[worker.0].clone();
         let current_incentive = self.state.incentives[worker.0];
         let budget_rest = self.state.budget_rest;
         let instance = self.instance;
-        let solver = self.solver;
         let completed = &self.state.completed;
         let deadline = self.deadline;
+
+        let evaluator = Arc::clone(&self.evaluator);
+        let prepared = evaluator.prepare(WorkerEval {
+            instance,
+            solver: self.solver,
+            worker,
+            assigned: &self.state.assigned[worker.0],
+            route: &self.state.routes[worker.0],
+            rtt: self.state.rtts[worker.0],
+            prev: Some(&self.candidates),
+        });
 
         let results: Vec<(usize, Option<Candidate>)> = (0..instance.n_tasks())
             .into_par_iter()
@@ -213,21 +273,18 @@ impl<'a> Engine<'a> {
                 if !Self::prefilter(instance, worker, task) {
                     return (t, None);
                 }
-                let mut tasks = assigned.clone();
-                tasks.push(task);
-                let p = route_problem(instance, worker, &tasks);
-                let candidate = solver.solve(&p).ok().and_then(|sol| {
-                    let delta_in = instance.incentive(worker, sol.rtt) - current_incentive;
+                let candidate = prepared.evaluate(task).and_then(|(route, rtt)| {
+                    let delta_in = instance.incentive(worker, rtt) - current_incentive;
                     if delta_in > budget_rest + TIME_EPS {
                         return None;
                     }
-                    let route = order_to_route(instance, worker, &tasks, &sol);
-                    Some(Candidate { route, rtt: sol.rtt, delta_in })
+                    Some(Candidate { route, rtt, delta_in })
                 });
                 (t, candidate)
             })
             .collect();
 
+        drop(prepared);
         for (t, candidate) in results {
             self.candidates.set(worker, SensingTaskId(t), candidate);
         }

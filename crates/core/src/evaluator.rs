@@ -1,0 +1,459 @@
+//! Pluggable candidate-evaluation strategies for the engine's hot loop.
+//!
+//! Evaluating a candidate pair `(worker, task)` means answering: *if this
+//! task were added to the worker's assignment, what feasible route results
+//! and at what travel time?* The engine asks this for every open task of a
+//! worker at initialization and after every selection step — thousands of
+//! times per instance — so the strategy matters:
+//!
+//! * [`FullResolve`] re-plans the route from scratch through the configured
+//!   [`TsptwSolver`] for every probe. Exact reference behaviour (identical
+//!   to the pre-evaluator engine), cost O(route_len²) per probe with the
+//!   default insertion solver.
+//! * [`IncrementalInsertion`] keeps a [`ScheduleSlack`] over the worker's
+//!   *committed* route and answers each probe by O(route_len) slack-based
+//!   insertion — no TSPTW solve at all. Only when insertion finds no
+//!   feasible position does it fall back to a full re-solve, so no candidate
+//!   that the reference path would admit via insertion is ever lost, and
+//!   reordering opportunities are still recovered on fallback.
+//!
+//! Cache-invalidation contract: a prepared worker is valid only for the
+//! committed assignment it was built from. The engine re-prepares on every
+//! [`recompute_worker`](crate::Engine), i.e. after every `apply`, which is
+//! exactly when the committed route (and hence the slack structure and the
+//! memoized base nodes) changes. Between applies the committed routes are
+//! immutable, so prepared state needs no finer-grained invalidation.
+//!
+//! One cache *does* outlive a prepare: the incremental evaluator's dead-pair
+//! set. Within one engine run a worker's assignment only grows, and
+//! feasibility of `assigned ∪ {probe}` is antitone in `assigned` (dropping
+//! stops from a feasible schedule never delays later arrivals under metric
+//! travel), so once a fallback re-solve finds no route for `(worker, task)`
+//! the pair stays infeasible for the rest of the run and is skipped without
+//! another solve. The set is engine-scoped: [`Engine`](crate::Engine)
+//! construction calls [`CandidateEvaluator::begin_engine`] to clear it, so
+//! reusing one evaluator across instances (as
+//! [`SmoreFramework`](crate::SmoreFramework) does) stays sound. An evaluator
+//! instance therefore serves one engine at a time.
+
+use crate::engine::CandidateMap;
+use crate::route_planning::{order_to_route_probed, push_base_nodes, route_nodes, sensing_node};
+use smore_model::{Instance, Route, SensingTaskId, Stop, WorkerId};
+use smore_tsptw::{ScheduleSlack, TsptwNode, TsptwProblem, TsptwSolver};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Per-worker context handed to an evaluator before a candidate recompute:
+/// the worker's committed assignment as of this engine step.
+pub struct WorkerEval<'a> {
+    /// The instance being solved.
+    pub instance: &'a Instance,
+    /// The TSPTW solver backing full re-solves.
+    pub solver: &'a dyn TsptwSolver,
+    /// The worker whose candidates are being recomputed.
+    pub worker: WorkerId,
+    /// Sensing tasks currently assigned to the worker.
+    pub assigned: &'a [SensingTaskId],
+    /// The worker's committed route over `assigned` (plus mandatory stops).
+    pub route: &'a Route,
+    /// Route travel time of `route`.
+    pub rtt: f64,
+    /// The candidate map as of the *previous* recompute, if any. Each
+    /// surviving entry for this worker is a feasible route over the previous
+    /// assignment plus its task — a warm start the evaluator may splice the
+    /// newly assigned tasks into instead of re-solving from scratch.
+    pub prev: Option<&'a CandidateMap>,
+}
+
+/// Strategy for answering "add task *s* to worker *w*" probes.
+///
+/// Implementations must be shareable across threads: the engine calls
+/// [`PreparedWorker::evaluate`] from a rayon parallel loop.
+pub trait CandidateEvaluator: Send + Sync {
+    /// Short identifier for benches and reports.
+    fn name(&self) -> &str;
+
+    /// Builds the per-worker state (memoized nodes, slack annotations) used
+    /// to answer every probe of one recompute pass.
+    fn prepare<'a>(&'a self, ctx: WorkerEval<'a>) -> Box<dyn PreparedWorker + 'a>;
+
+    /// Invalidates any engine-scoped caches (e.g. the incremental dead-pair
+    /// set). Called by [`Engine`](crate::Engine) construction; work counters
+    /// are *not* reset, so stats keep accumulating across instances.
+    fn begin_engine(&self) {}
+
+    /// Snapshot of the work counters accumulated since construction or the
+    /// last [`CandidateEvaluator::reset_stats`].
+    fn stats(&self) -> EvalStats;
+
+    /// Zeroes the work counters.
+    fn reset_stats(&self);
+}
+
+/// One worker's prepared evaluation state (valid for a single recompute
+/// pass; see the module docs for the invalidation contract).
+pub trait PreparedWorker: Sync {
+    /// The feasible route + rtt with `task` added to the worker's committed
+    /// assignment, or `None` if no feasible extension exists.
+    fn evaluate(&self, task: SensingTaskId) -> Option<(Route, f64)>;
+}
+
+/// Work counters of a [`CandidateEvaluator`] (monotonic since last reset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Total candidate probes answered.
+    pub evaluations: u64,
+    /// Probes answered by the O(route_len) slack path (no TSPTW solve).
+    pub slack_hits: u64,
+    /// Probes where slack insertion found nothing and a full re-solve ran.
+    pub fallbacks: u64,
+    /// TSPTW solver invocations (every probe for [`FullResolve`]; only
+    /// fallbacks for [`IncrementalInsertion`]).
+    pub full_solves: u64,
+    /// Probes skipped outright because an earlier fallback already proved
+    /// the pair infeasible this engine run (dead-pair memoization).
+    pub pruned: u64,
+}
+
+#[derive(Debug, Default)]
+struct EvalCounters {
+    evaluations: AtomicU64,
+    slack_hits: AtomicU64,
+    fallbacks: AtomicU64,
+    full_solves: AtomicU64,
+    pruned: AtomicU64,
+}
+
+impl EvalCounters {
+    fn snapshot(&self) -> EvalStats {
+        EvalStats {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            slack_hits: self.slack_hits.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            full_solves: self.full_solves.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.evaluations.store(0, Ordering::Relaxed);
+        self.slack_hits.store(0, Ordering::Relaxed);
+        self.fallbacks.store(0, Ordering::Relaxed);
+        self.full_solves.store(0, Ordering::Relaxed);
+        self.pruned.store(0, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    // Reusable node buffer for probe problems: each rayon worker thread
+    // keeps one allocation alive across all probes of all recomputes.
+    static NODE_SCRATCH: RefCell<Vec<TsptwNode>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The exactness reference: every probe is a fresh TSPTW solve over the
+/// worker's assignment plus the probe task (the pre-evaluator engine
+/// behaviour), with the base node vector memoized per worker and the probe
+/// appended into a thread-local scratch buffer.
+#[derive(Debug, Default)]
+pub struct FullResolve {
+    counters: EvalCounters,
+}
+
+impl FullResolve {
+    /// Creates the evaluator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct FullPrepared<'a> {
+    ctx: WorkerEval<'a>,
+    /// `route_problem` nodes for the committed assignment (travel tasks then
+    /// `assigned`), built once per prepare and shared across probes.
+    base: Vec<TsptwNode>,
+    counters: &'a EvalCounters,
+}
+
+impl FullPrepared<'_> {
+    /// Full re-solve with `task` appended as the trailing probe node. Does
+    /// not touch the counters so [`IncrementalInsertion`] can delegate here
+    /// without double-counting evaluations.
+    fn solve_task(&self, task: SensingTaskId) -> Option<(Route, f64)> {
+        let w = self.ctx.instance.worker(self.ctx.worker);
+        NODE_SCRATCH.with(|cell| {
+            let mut nodes = cell.take();
+            nodes.clear();
+            nodes.extend_from_slice(&self.base);
+            nodes.push(sensing_node(self.ctx.instance, task));
+            let p = TsptwProblem {
+                start: w.origin,
+                end: w.destination,
+                depart: w.earliest_departure,
+                deadline: w.latest_arrival,
+                nodes,
+                travel: self.ctx.instance.travel,
+            };
+            let result = self.ctx.solver.solve(&p).ok().map(|sol| {
+                let route = order_to_route_probed(
+                    self.ctx.instance,
+                    self.ctx.worker,
+                    self.ctx.assigned,
+                    task,
+                    &sol,
+                );
+                (route, sol.rtt)
+            });
+            // Hand the buffer (and its capacity) back to the thread.
+            cell.replace(p.nodes);
+            result
+        })
+    }
+}
+
+impl PreparedWorker for FullPrepared<'_> {
+    fn evaluate(&self, task: SensingTaskId) -> Option<(Route, f64)> {
+        self.counters.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.counters.full_solves.fetch_add(1, Ordering::Relaxed);
+        self.solve_task(task)
+    }
+}
+
+impl CandidateEvaluator for FullResolve {
+    fn name(&self) -> &str {
+        "full-resolve"
+    }
+
+    fn prepare<'a>(&'a self, ctx: WorkerEval<'a>) -> Box<dyn PreparedWorker + 'a> {
+        let w = ctx.instance.worker(ctx.worker);
+        let mut base = Vec::with_capacity(w.travel_tasks.len() + ctx.assigned.len() + 1);
+        push_base_nodes(ctx.instance, ctx.worker, ctx.assigned, &mut base);
+        Box::new(FullPrepared { ctx, base, counters: &self.counters })
+    }
+
+    fn stats(&self) -> EvalStats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.counters.reset();
+    }
+}
+
+/// Slack-based incremental evaluation: probes are answered by O(route_len)
+/// cheapest feasible insertion into the worker's *committed* route, using a
+/// [`ScheduleSlack`] built once per recompute — zero TSPTW solves on the
+/// happy path. Falls back to [`FullResolve`]'s re-solve when insertion finds
+/// no feasible position (a full solve may still succeed by reordering), so
+/// the accepted candidate set is always a superset of pure insertion
+/// feasibility. Pairs whose fallback re-solve fails are remembered as dead
+/// for the rest of the engine run and never re-solved (see the module docs
+/// for why that is safe).
+#[derive(Debug, Default)]
+pub struct IncrementalInsertion {
+    counters: EvalCounters,
+    /// Per-worker sets of task ids a fallback re-solve proved infeasible
+    /// this engine run. Read-snapshotted at prepare time, merged back when
+    /// the prepared worker drops, cleared by [`Self::begin_engine`].
+    dead: RwLock<HashMap<usize, HashSet<usize>>>,
+}
+
+impl IncrementalInsertion {
+    /// Creates the evaluator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct IncrementalPrepared<'a> {
+    full: FullPrepared<'a>,
+    /// Slack annotations over the committed route; `None` only if the
+    /// committed route fails the slack forward pass (e.g. a corrupted route
+    /// from a faulty solver), in which case every probe falls back.
+    slack: Option<ScheduleSlack>,
+    /// Snapshot of this worker's dead tasks — lock-free reads in the probe
+    /// loop.
+    dead: HashSet<usize>,
+    /// Pairs newly proven infeasible during this pass; merged into the
+    /// evaluator's map on drop.
+    newly_dead: Mutex<Vec<usize>>,
+    dead_sink: &'a RwLock<HashMap<usize, HashSet<usize>>>,
+    counters: &'a EvalCounters,
+}
+
+impl IncrementalPrepared<'_> {
+    /// Warm-start repair: the previous recompute's candidate for `task` is a
+    /// feasible route over the then-assignment plus `task`; only the tasks
+    /// applied since (normally exactly one) are missing. Splicing each in by
+    /// slack insertion costs O(route_len) — a full re-solve is only needed
+    /// when some missing task has no feasible position.
+    fn patch_previous(&self, task: SensingTaskId) -> Option<(Route, f64)> {
+        let ctx = &self.full.ctx;
+        let prev = ctx.prev?.get(ctx.worker, task)?;
+        let w = ctx.instance.worker(ctx.worker);
+        let have: Vec<SensingTaskId> = prev.route.sensing_tasks().collect();
+        let mut route = prev.route.clone();
+        for &a in ctx.assigned {
+            if have.contains(&a) {
+                continue;
+            }
+            let s = ScheduleSlack::from_nodes(
+                w.origin,
+                w.destination,
+                w.earliest_departure,
+                w.latest_arrival,
+                ctx.instance.travel,
+                route_nodes(ctx.instance, ctx.worker, &route),
+            )?;
+            let (pos, _) = s.best_insertion(&sensing_node(ctx.instance, a))?;
+            route.stops.insert(pos, Stop::Sensing(a));
+        }
+        // Exact rtt from a fresh forward pass over the final stop order (no
+        // accumulated O(1)-delta drift).
+        let s = ScheduleSlack::from_nodes(
+            w.origin,
+            w.destination,
+            w.earliest_departure,
+            w.latest_arrival,
+            ctx.instance.travel,
+            route_nodes(ctx.instance, ctx.worker, &route),
+        )?;
+        Some((route, s.rtt()))
+    }
+}
+
+impl PreparedWorker for IncrementalPrepared<'_> {
+    fn evaluate(&self, task: SensingTaskId) -> Option<(Route, f64)> {
+        self.counters.evaluations.fetch_add(1, Ordering::Relaxed);
+        if self.dead.contains(&task.0) {
+            self.counters.pruned.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if let Some(slack) = &self.slack {
+            let node = sensing_node(self.full.ctx.instance, task);
+            if let Some((pos, rtt)) = slack.best_insertion(&node) {
+                self.counters.slack_hits.fetch_add(1, Ordering::Relaxed);
+                let mut stops = self.full.ctx.route.stops.clone();
+                stops.insert(pos, Stop::Sensing(task));
+                return Some((Route::new(stops), rtt));
+            }
+        }
+        if let Some(result) = self.patch_previous(task) {
+            self.counters.slack_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(result);
+        }
+        self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.counters.full_solves.fetch_add(1, Ordering::Relaxed);
+        let result = self.full.solve_task(task);
+        if result.is_none() {
+            self.newly_dead.lock().unwrap().push(task.0);
+        }
+        result
+    }
+}
+
+impl Drop for IncrementalPrepared<'_> {
+    fn drop(&mut self) {
+        let newly = std::mem::take(&mut *self.newly_dead.lock().unwrap());
+        if !newly.is_empty() {
+            let mut map = self.dead_sink.write().unwrap();
+            map.entry(self.full.ctx.worker.0).or_default().extend(newly);
+        }
+    }
+}
+
+impl CandidateEvaluator for IncrementalInsertion {
+    fn name(&self) -> &str {
+        "incremental-insertion"
+    }
+
+    fn prepare<'a>(&'a self, ctx: WorkerEval<'a>) -> Box<dyn PreparedWorker + 'a> {
+        let w = ctx.instance.worker(ctx.worker);
+        let slack = ScheduleSlack::from_nodes(
+            w.origin,
+            w.destination,
+            w.earliest_departure,
+            w.latest_arrival,
+            ctx.instance.travel,
+            route_nodes(ctx.instance, ctx.worker, ctx.route),
+        );
+        let mut base = Vec::with_capacity(w.travel_tasks.len() + ctx.assigned.len() + 1);
+        push_base_nodes(ctx.instance, ctx.worker, ctx.assigned, &mut base);
+        let dead = self
+            .dead
+            .read()
+            .unwrap()
+            .get(&ctx.worker.0)
+            .cloned()
+            .unwrap_or_default();
+        Box::new(IncrementalPrepared {
+            full: FullPrepared { ctx, base, counters: &self.counters },
+            slack,
+            dead,
+            newly_dead: Mutex::new(Vec::new()),
+            dead_sink: &self.dead,
+            counters: &self.counters,
+        })
+    }
+
+    fn begin_engine(&self) {
+        self.dead.write().unwrap().clear();
+    }
+
+    fn stats(&self) -> EvalStats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.counters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    use smore_model::Deadline;
+    use smore_tsptw::InsertionSolver;
+    use std::sync::Arc;
+
+    fn instance(seed: u64) -> Instance {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), seed);
+        g.gen_default(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn incremental_counts_slack_hits_and_solves_less() {
+        let inst = instance(71);
+        let solver = InsertionSolver::new();
+        let full = Arc::new(FullResolve::new());
+        let inc = Arc::new(IncrementalInsertion::new());
+        let e1 = Engine::new_with(&inst, &solver, full.clone(), Deadline::none()).unwrap();
+        let e2 = Engine::new_with(&inst, &solver, inc.clone(), Deadline::none()).unwrap();
+        assert!(e1.has_candidates() && e2.has_candidates());
+        let (fs, is) = (full.stats(), inc.stats());
+        assert_eq!(fs.evaluations, fs.full_solves, "full resolve solves every probe");
+        assert_eq!(fs.slack_hits, 0);
+        assert_eq!(is.slack_hits + is.fallbacks + is.pruned, is.evaluations);
+        assert!(
+            is.full_solves < fs.full_solves,
+            "incremental must solve less: {} vs {}",
+            is.full_solves,
+            fs.full_solves
+        );
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let inst = instance(72);
+        let solver = InsertionSolver::new();
+        let inc = Arc::new(IncrementalInsertion::new());
+        let _ = Engine::new_with(&inst, &solver, inc.clone(), Deadline::none()).unwrap();
+        assert!(inc.stats().evaluations > 0);
+        inc.reset_stats();
+        assert_eq!(inc.stats(), EvalStats::default());
+    }
+}

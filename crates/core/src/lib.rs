@@ -6,6 +6,10 @@
 //! * [`Engine`] — candidate assignment initialization (every (worker, task)
 //!   pair feasibility-checked by a pre-trained TSPTW solver, in parallel)
 //!   and the per-selection state update.
+//! * [`CandidateEvaluator`] — pluggable probe evaluation strategy:
+//!   [`IncrementalInsertion`] (slack-based insertion deltas against the
+//!   committed route, the default) or [`FullResolve`] (fresh TSPTW re-solve
+//!   per probe, the exactness reference).
 //! * [`SelectionPolicy`] / [`SmoreFramework`] — the iterative-selection
 //!   loop, generic over the policy: TASNet, greedy (the **w/o RL-AS**
 //!   ablation), or random.
@@ -29,6 +33,7 @@
 
 mod engine;
 mod error;
+mod evaluator;
 mod policy;
 mod route_planning;
 mod single_stage;
@@ -38,6 +43,9 @@ mod train;
 
 pub use engine::{Candidate, CandidateMap, Engine};
 pub use error::SmoreError;
+pub use evaluator::{
+    CandidateEvaluator, EvalStats, FullResolve, IncrementalInsertion, PreparedWorker, WorkerEval,
+};
 pub use policy::{GreedySelection, RandomSelection, RatioGreedySelection, SelectionPolicy, SmoreFramework};
 pub use route_planning::{order_to_route, route_problem};
 pub use single_stage::{train_single_stage, SingleStageNet, SingleStageSolver};

@@ -2,10 +2,12 @@
 //! itself (Algorithm 1's outer loop).
 
 use crate::engine::Engine;
+use crate::evaluator::{CandidateEvaluator, IncrementalInsertion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use smore_model::{Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
 use smore_tsptw::TsptwSolver;
+use std::sync::Arc;
 
 /// A policy that picks the next (worker, sensing task) pair from the
 /// candidate map — TASNet, the ablation networks, or a heuristic.
@@ -26,19 +28,32 @@ pub trait SelectionPolicy {
 pub struct SmoreFramework<P, S> {
     policy: P,
     solver: S,
+    evaluator: Arc<dyn CandidateEvaluator>,
     display_name: String,
 }
 
 impl<P: SelectionPolicy, S: TsptwSolver> SmoreFramework<P, S> {
-    /// Assembles the framework.
+    /// Assembles the framework with the default incremental evaluator.
     pub fn new(policy: P, solver: S) -> Self {
         let display_name = policy.name().to_string();
-        Self { policy, solver, display_name }
+        Self {
+            policy,
+            solver,
+            evaluator: Arc::new(IncrementalInsertion::new()),
+            display_name,
+        }
     }
 
     /// Overrides the display name (used by ablations).
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.display_name = name.into();
+        self
+    }
+
+    /// Overrides the candidate-evaluation strategy (e.g.
+    /// [`crate::FullResolve`] for an exactness-reference run).
+    pub fn with_evaluator(mut self, evaluator: Arc<dyn CandidateEvaluator>) -> Self {
+        self.evaluator = evaluator;
         self
     }
 
@@ -67,7 +82,9 @@ impl<P: SelectionPolicy, S: TsptwSolver> UsmdwSolver for SmoreFramework<P, S> {
         // If the solver cannot even plan the mandatory routes, fall back to
         // the exact reference routes: a valid zero-incentive solution beats
         // an invalid empty one.
-        let Ok(mut engine) = Engine::new_within(instance, &self.solver, deadline) else {
+        let Ok(mut engine) =
+            Engine::new_with(instance, &self.solver, Arc::clone(&self.evaluator), deadline)
+        else {
             return instance.reference_solution();
         };
         self.policy.begin(&engine);

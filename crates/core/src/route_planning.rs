@@ -17,17 +17,7 @@ pub fn route_problem(
 ) -> TsptwProblem {
     let w = instance.worker(worker);
     let mut nodes = Vec::with_capacity(w.travel_tasks.len() + tasks.len());
-    for t in &w.travel_tasks {
-        nodes.push(TsptwNode {
-            loc: t.loc,
-            window: smore_geo::TimeWindow::new(w.earliest_departure, w.latest_arrival),
-            service: t.service,
-        });
-    }
-    for &id in tasks {
-        let s = instance.sensing_task(id);
-        nodes.push(TsptwNode { loc: s.loc, window: s.window, service: s.service });
-    }
+    push_base_nodes(instance, worker, tasks, &mut nodes);
     TsptwProblem {
         start: w.origin,
         end: w.destination,
@@ -36,6 +26,85 @@ pub fn route_problem(
         nodes,
         travel: instance.travel,
     }
+}
+
+/// Appends the [`route_problem`] node layout (travel tasks `0..|D|`, then
+/// `tasks` in order) to `nodes` without assembling a problem — lets callers
+/// build the base once per worker and reuse it across probe tasks.
+pub(crate) fn push_base_nodes(
+    instance: &Instance,
+    worker: WorkerId,
+    tasks: &[SensingTaskId],
+    nodes: &mut Vec<TsptwNode>,
+) {
+    let w = instance.worker(worker);
+    for t in &w.travel_tasks {
+        nodes.push(TsptwNode {
+            loc: t.loc,
+            window: smore_geo::TimeWindow::new(w.earliest_departure, w.latest_arrival),
+            service: t.service,
+        });
+    }
+    for &id in tasks {
+        nodes.push(sensing_node(instance, id));
+    }
+}
+
+/// The TSPTW node for one sensing task.
+pub(crate) fn sensing_node(instance: &Instance, id: SensingTaskId) -> TsptwNode {
+    let s = instance.sensing_task(id);
+    TsptwNode { loc: s.loc, window: s.window, service: s.service }
+}
+
+/// The TSPTW nodes of a committed route, in stop order — travel tasks carry
+/// the worker's whole time range as their window, exactly as in
+/// [`route_problem`], so slack structures built from these nodes agree with
+/// the solver's own feasibility arithmetic.
+pub(crate) fn route_nodes(instance: &Instance, worker: WorkerId, route: &Route) -> Vec<TsptwNode> {
+    let w = instance.worker(worker);
+    route
+        .stops
+        .iter()
+        .map(|&stop| match stop {
+            Stop::Travel(i) => {
+                let t = &w.travel_tasks[i];
+                TsptwNode {
+                    loc: t.loc,
+                    window: smore_geo::TimeWindow::new(w.earliest_departure, w.latest_arrival),
+                    service: t.service,
+                }
+            }
+            Stop::Sensing(id) => sensing_node(instance, id),
+        })
+        .collect()
+}
+
+/// [`order_to_route`] for a problem built from `tasks` plus one trailing
+/// `probe` node (index `|D| + |tasks|`) — the hot-loop layout where the base
+/// nodes are shared across probes and only the final node varies.
+pub(crate) fn order_to_route_probed(
+    instance: &Instance,
+    worker: WorkerId,
+    tasks: &[SensingTaskId],
+    probe: SensingTaskId,
+    solution: &TsptwSolution,
+) -> Route {
+    let n_travel = instance.worker(worker).travel_tasks.len();
+    let n_assigned = tasks.len();
+    let stops = solution
+        .order
+        .iter()
+        .map(|&i| {
+            if i < n_travel {
+                Stop::Travel(i)
+            } else if i < n_travel + n_assigned {
+                Stop::Sensing(tasks[i - n_travel])
+            } else {
+                Stop::Sensing(probe)
+            }
+        })
+        .collect();
+    Route::new(stops)
 }
 
 /// Maps a TSPTW visiting order back to a [`Route`], given the same `tasks`

@@ -5,11 +5,13 @@
 //! action space `|W|·|S|` is too large for a flat policy to learn well.
 
 use crate::engine::Engine;
+use crate::evaluator::{CandidateEvaluator, IncrementalInsertion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use smore_model::{Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
 use smore_nn::{select_row, Adam, Matrix, Mlp, ParamStore, Tape, Var};
 use smore_tsptw::TsptwSolver;
+use std::sync::Arc;
 
 const FEATURES: usize = 13;
 
@@ -100,12 +102,19 @@ impl SingleStageNet {
 pub struct SingleStageSolver<S> {
     net: SingleStageNet,
     solver: S,
+    evaluator: Arc<dyn CandidateEvaluator>,
 }
 
 impl<S: TsptwSolver> SingleStageSolver<S> {
     /// Wraps a (typically trained) flat network.
     pub fn new(net: SingleStageNet, solver: S) -> Self {
-        Self { net, solver }
+        Self { net, solver, evaluator: Arc::new(IncrementalInsertion::new()) }
+    }
+
+    /// Overrides the candidate-evaluation strategy.
+    pub fn with_evaluator(mut self, evaluator: Arc<dyn CandidateEvaluator>) -> Self {
+        self.evaluator = evaluator;
+        self
     }
 }
 
@@ -116,7 +125,9 @@ impl<S: TsptwSolver> UsmdwSolver for SingleStageSolver<S> {
 
     fn solve_within(&mut self, instance: &Instance, deadline: Deadline) -> Solution {
         let mut rng = SmallRng::seed_from_u64(0);
-        let Ok(mut engine) = Engine::new_within(instance, &self.solver, deadline) else {
+        let Ok(mut engine) =
+            Engine::new_with(instance, &self.solver, Arc::clone(&self.evaluator), deadline)
+        else {
             return instance.reference_solution();
         };
         while engine.has_candidates() && !deadline.expired() {

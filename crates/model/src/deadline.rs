@@ -138,7 +138,7 @@ mod tests {
         let loose = Deadline::after(Duration::from_secs(3600));
         assert!(tight.min(loose).expired());
         assert!(loose.min(tight).expired());
-        assert!(loose.min(Deadline::none()).expired() == false);
+        assert!(!loose.min(Deadline::none()).expired());
         assert!(Deadline::none().min(Deadline::none()).is_unbounded());
     }
 

@@ -10,6 +10,7 @@
 
 use crate::error::SolveError;
 use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
+use crate::slack::ScheduleSlack;
 
 /// Cheapest-insertion + or-opt TSPTW heuristic.
 #[derive(Debug, Clone)]
@@ -32,19 +33,15 @@ impl InsertionSolver {
 
     fn construct(&self, p: &TsptwProblem, insertion_order: &[usize]) -> Option<Vec<usize>> {
         let mut route: Vec<usize> = Vec::with_capacity(p.nodes.len());
+        // One slack rebuild per accepted insertion keeps the whole
+        // construction at O(n²) instead of the O(n³) of re-simulating every
+        // probe position from scratch.
+        let mut slack = ScheduleSlack::from_problem(p, &route)?;
         for &node in insertion_order {
-            let mut best: Option<(usize, f64)> = None;
-            for pos in 0..=route.len() {
-                route.insert(pos, node);
-                if let Some(rtt) = p.evaluate_order(&route) {
-                    if best.is_none_or(|(_, b)| rtt < b) {
-                        best = Some((pos, rtt));
-                    }
-                }
-                route.remove(pos);
-            }
-            let (pos, _) = best?;
+            let (pos, _) = slack.best_insertion(&p.nodes[node])?;
             route.insert(pos, node);
+            slack = ScheduleSlack::from_problem(p, &route)
+                .expect("accepted insertion must stay feasible");
         }
         Some(route)
     }
@@ -53,21 +50,36 @@ impl InsertionSolver {
         let mut best_rtt = p
             .evaluate_order(route)
             .expect("or_opt must start from a feasible route");
+        let mut removed: Vec<usize> = Vec::with_capacity(route.len());
         let mut improved = true;
         while improved {
             improved = false;
             'moves: for from in 0..route.len() {
                 let node = route[from];
+                removed.clear();
+                removed.extend(route.iter().copied());
+                removed.remove(from);
+                // Relocation = insertion into the route minus the node;
+                // `to` indexes positions in the reduced route directly.
+                let Some(slack) = ScheduleSlack::from_nodes(
+                    p.start,
+                    p.end,
+                    p.depart,
+                    p.deadline,
+                    p.travel,
+                    removed.iter().map(|&i| p.nodes[i]).collect(),
+                ) else {
+                    continue;
+                };
                 for to in 0..route.len() {
                     if to == from {
                         continue;
                     }
-                    let mut cand = route.clone();
-                    cand.remove(from);
-                    cand.insert(to, node);
-                    if let Some(rtt) = p.evaluate_order(&cand) {
+                    if let Some(rtt) = slack.insertion_at(&p.nodes[node], to) {
                         if rtt + 1e-9 < best_rtt {
-                            *route = cand;
+                            route.clear();
+                            route.extend(removed.iter().copied());
+                            route.insert(to, node);
                             best_rtt = rtt;
                             improved = true;
                             continue 'moves;
@@ -76,7 +88,10 @@ impl InsertionSolver {
                 }
             }
         }
-        best_rtt
+        // Re-derive the final value with the reference simulator so callers
+        // see evaluate_order's exact arithmetic, free of any accumulated
+        // floating-point drift from chained O(1) deltas.
+        p.evaluate_order(route).expect("or_opt preserves feasibility")
     }
 }
 

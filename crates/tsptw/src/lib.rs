@@ -10,6 +10,9 @@
 //! * [`ExactDpSolver`] — bitmask DP, exact up to ~16 nodes (ground truth).
 //! * [`InsertionSolver`] — cheapest feasible insertion + or-opt (the fast
 //!   default for the experiment harness).
+//! * [`ScheduleSlack`] — forward/backward slack annotations over a fixed
+//!   visiting order, answering "insert node at position" feasibility and
+//!   exact Δrtt in O(1) (the engine's incremental-evaluation workhorse).
 //! * [`GpnPolicy`] / [`GpnSolver`] / [`train_gpn`] — the paper's RL solver:
 //!   a graph pointer network trained hierarchically (lower reward = time-
 //!   window satisfaction, upper reward = adds a length penalty), per
@@ -31,6 +34,7 @@ mod hybrid;
 mod insertion;
 mod problem;
 mod resilience;
+mod slack;
 
 pub use error::SolveError;
 pub use exact::ExactDpSolver;
@@ -41,3 +45,4 @@ pub use problem::{TsptwNode, TsptwProblem, TsptwSolution, TsptwSolver};
 pub use resilience::{
     DeadlineSolver, FallbackSolver, FaultConfig, FaultInjectingSolver, VerifyingSolver,
 };
+pub use slack::ScheduleSlack;

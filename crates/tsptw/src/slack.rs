@@ -1,0 +1,357 @@
+//! Slack annotations over a fixed visiting order (Savelsbergh-style).
+//!
+//! Evaluating "insert node *v* at position *p*" against a committed route
+//! normally costs a full forward simulation — O(route_len) per position,
+//! O(route_len²) per candidate node. [`ScheduleSlack`] precomputes, in one
+//! O(route_len) pass pair,
+//!
+//! * a **forward pass**: earliest arrival / service start / departure at
+//!   every position, plus the per-position waiting time, and
+//! * a **backward pass**: the *latest feasible service start* at every
+//!   position such that all later windows and the final deadline still hold,
+//!
+//! after which each insertion position is answered in **O(1)**: the inserted
+//! node's own window is checked directly, the downstream chain via the
+//! latest-start bound, and the exact new route travel time via the suffix
+//! waiting sums (a delay of `δ` entering position `p` shifts the final
+//! arrival by `max(0, δ − Σ waiting[p..])`, because waiting absorbs delay).
+//!
+//! This is the workhorse of the incremental candidate evaluation layer: the
+//! SMORE engine builds one `ScheduleSlack` per worker per recompute and
+//! answers every (task, position) pair without re-solving the TSPTW.
+
+use crate::problem::{TsptwNode, TsptwProblem};
+use smore_geo::{Point, TravelTimeModel};
+
+/// Numerical slack applied to the final-deadline comparison, matching
+/// [`TsptwProblem::evaluate_order`].
+const DEADLINE_EPS: f64 = 1e-6;
+
+/// Forward/backward slack annotations over a fixed feasible visiting order.
+#[derive(Debug, Clone)]
+pub struct ScheduleSlack {
+    start: Point,
+    end: Point,
+    depart: f64,
+    deadline: f64,
+    travel: TravelTimeModel,
+    /// The committed nodes, in visit order.
+    nodes: Vec<TsptwNode>,
+    /// Earliest arrival time at each position.
+    arrivals: Vec<f64>,
+    /// Earliest departure (service completion) time at each position.
+    departs: Vec<f64>,
+    /// Latest service start at each position keeping the suffix feasible.
+    latest_start: Vec<f64>,
+    /// `suffix_wait[i]` = total waiting accumulated over positions `i..`.
+    suffix_wait: Vec<f64>,
+    /// Earliest arrival at `end` following the committed order.
+    final_arrival: f64,
+}
+
+impl ScheduleSlack {
+    /// Builds the slack structure for `nodes` visited in the given order
+    /// between `start` and `end`. Returns `None` if the order itself is
+    /// infeasible (a window or the final deadline is violated).
+    pub fn from_nodes(
+        start: Point,
+        end: Point,
+        depart: f64,
+        deadline: f64,
+        travel: TravelTimeModel,
+        nodes: Vec<TsptwNode>,
+    ) -> Option<Self> {
+        let n = nodes.len();
+        let mut arrivals = Vec::with_capacity(n);
+        let mut departs = Vec::with_capacity(n);
+        let mut waits = Vec::with_capacity(n);
+
+        // Forward pass: earliest times, identical arithmetic to
+        // `TsptwProblem::evaluate_order`.
+        let mut t = depart;
+        let mut at = start;
+        for node in &nodes {
+            let arrival = t + travel.travel_time(&at, &node.loc);
+            let begin = node.window.service_start(arrival, node.service)?;
+            arrivals.push(arrival);
+            waits.push(begin - arrival);
+            t = begin + node.service;
+            departs.push(t);
+            at = node.loc;
+        }
+        let final_arrival = t + travel.travel_time(&at, &end);
+        if final_arrival > deadline + DEADLINE_EPS {
+            return None;
+        }
+
+        // Backward pass: latest service starts. The "next bound" for the
+        // last node is the deadline at `end`; for node i it is
+        // latest_start[i+1], since a service start of `s` puts the next
+        // arrival at `s + service + travel`, and an arrival at or below the
+        // next latest start stays feasible (waiting clamps only upward).
+        let mut latest_start = vec![0.0; n];
+        let mut next_bound = deadline + DEADLINE_EPS;
+        let mut next_loc = end;
+        for i in (0..n).rev() {
+            let node = &nodes[i];
+            let leg = travel.travel_time(&node.loc, &next_loc);
+            let window_bound = node.window.end + 1e-9 - node.service;
+            latest_start[i] = window_bound.min(next_bound - node.service - leg);
+            next_bound = latest_start[i];
+            next_loc = node.loc;
+        }
+
+        // Suffix waiting sums (`suffix_wait[n] = 0` covers end insertion).
+        let mut suffix_wait = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix_wait[i] = suffix_wait[i + 1] + waits[i];
+        }
+
+        Some(Self {
+            start,
+            end,
+            depart,
+            deadline,
+            travel,
+            nodes,
+            arrivals,
+            departs,
+            latest_start,
+            suffix_wait,
+            final_arrival,
+        })
+    }
+
+    /// Builds the slack structure for visiting `order` over `p.nodes`.
+    pub fn from_problem(p: &TsptwProblem, order: &[usize]) -> Option<Self> {
+        let nodes = order.iter().map(|&i| p.nodes[i]).collect();
+        Self::from_nodes(p.start, p.end, p.depart, p.deadline, p.travel, nodes)
+    }
+
+    /// Number of committed nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the committed order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Route travel time of the committed order.
+    pub fn rtt(&self) -> f64 {
+        self.final_arrival - self.depart
+    }
+
+    /// O(1) evaluation of inserting `node` at `pos` (0 ..= len): the exact
+    /// new route travel time if the insertion keeps every window and the
+    /// deadline feasible, else `None`.
+    pub fn insertion_at(&self, node: &TsptwNode, pos: usize) -> Option<f64> {
+        debug_assert!(pos <= self.nodes.len());
+        let (prev_loc, prev_depart) = if pos == 0 {
+            (self.start, self.depart)
+        } else {
+            (self.nodes[pos - 1].loc, self.departs[pos - 1])
+        };
+        let arrival = prev_depart + self.travel.travel_time(&prev_loc, &node.loc);
+        let begin = node.window.service_start(arrival, node.service)?;
+        let leave = begin + node.service;
+
+        if pos == self.nodes.len() {
+            let final_arrival = leave + self.travel.travel_time(&node.loc, &self.end);
+            return (final_arrival <= self.deadline + DEADLINE_EPS)
+                .then_some(final_arrival - self.depart);
+        }
+
+        let next = &self.nodes[pos];
+        let next_arrival = leave + self.travel.travel_time(&node.loc, &next.loc);
+        if next_arrival > self.latest_start[pos] {
+            return None;
+        }
+        // The delay entering position `pos` is absorbed by downstream
+        // waiting; whatever remains shifts the final arrival.
+        let delay = next_arrival - self.arrivals[pos];
+        let shift = (delay - self.suffix_wait[pos]).max(0.0);
+        Some(self.final_arrival + shift - self.depart)
+    }
+
+    /// O(len) scan over all insertion positions: the first position
+    /// minimizing the resulting route travel time, or `None` if no feasible
+    /// position exists.
+    pub fn best_insertion(&self, node: &TsptwNode) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for pos in 0..=self.nodes.len() {
+            if let Some(rtt) = self.insertion_at(node, pos) {
+                if best.is_none_or(|(_, b)| rtt < b) {
+                    best = Some((pos, rtt));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use smore_geo::TimeWindow;
+
+    fn random_problem(rng: &mut SmallRng, n: usize) -> TsptwProblem {
+        let nodes = (0..n)
+            .map(|_| {
+                let start = rng.gen_range(0.0..150.0);
+                TsptwNode {
+                    loc: Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                    window: TimeWindow::new(start, start + rng.gen_range(30.0..400.0)),
+                    service: rng.gen_range(0.0..8.0),
+                }
+            })
+            .collect();
+        TsptwProblem {
+            start: Point::new(0.0, 0.0),
+            end: Point::new(100.0, 100.0),
+            depart: 0.0,
+            deadline: rng.gen_range(250.0..900.0),
+            nodes,
+            travel: TravelTimeModel::new(1.0),
+        }
+    }
+
+    /// Brute-force reference: evaluate the full order with the node spliced
+    /// in at `pos`.
+    fn spliced_rtt(p: &TsptwProblem, order: &[usize], node: usize, pos: usize) -> Option<f64> {
+        let mut with = order.to_vec();
+        with.insert(pos, node);
+        p.evaluate_order(&with)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_orders() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut checked = 0usize;
+        for _ in 0..200 {
+            let p = random_problem(&mut rng, 6);
+            // Commit nodes 0..5 in index order if feasible; probe node 5.
+            let order: Vec<usize> = (0..5).collect();
+            let Some(slack) = ScheduleSlack::from_problem(&p, &order) else {
+                assert_eq!(p.evaluate_order(&order), None, "slack must agree on infeasibility");
+                continue;
+            };
+            let committed = p.evaluate_order(&order).expect("slack accepted the order");
+            assert!((slack.rtt() - committed).abs() < 1e-9);
+            for pos in 0..=order.len() {
+                let fast = slack.insertion_at(&p.nodes[5], pos);
+                let slow = spliced_rtt(&p, &order, 5, pos);
+                match (fast, slow) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-9, "rtt mismatch at pos {pos}: {a} vs {b}");
+                        checked += 1;
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("feasibility mismatch at pos {pos}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        assert!(checked > 20, "too few feasible insertions exercised ({checked})");
+    }
+
+    #[test]
+    fn best_insertion_matches_exhaustive_minimum() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let p = random_problem(&mut rng, 7);
+            let order: Vec<usize> = (0..6).collect();
+            let Some(slack) = ScheduleSlack::from_problem(&p, &order) else { continue };
+            let best = slack.best_insertion(&p.nodes[6]);
+            let exhaustive = (0..=order.len())
+                .filter_map(|pos| spliced_rtt(&p, &order, 6, pos).map(|rtt| (pos, rtt)))
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            match (best, exhaustive) {
+                (Some((_, a)), Some((_, b))) => assert!((a - b).abs() < 1e-9),
+                (None, None) => {}
+                (a, b) => panic!("best-insertion mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_route_insertion() {
+        let p = TsptwProblem {
+            start: Point::new(0.0, 0.0),
+            end: Point::new(100.0, 0.0),
+            depart: 0.0,
+            deadline: 1000.0,
+            nodes: vec![TsptwNode {
+                loc: Point::new(50.0, 0.0),
+                window: TimeWindow::new(60.0, 120.0),
+                service: 10.0,
+            }],
+            travel: TravelTimeModel::new(1.0),
+        };
+        let slack = ScheduleSlack::from_problem(&p, &[]).unwrap();
+        assert!((slack.rtt() - 100.0).abs() < 1e-9);
+        // Arrive at 50, wait to 60, serve till 70, reach end at 120.
+        assert_eq!(slack.best_insertion(&p.nodes[0]), Some((0, 120.0)));
+    }
+
+    #[test]
+    fn waiting_absorbs_insertion_delay() {
+        // Committed node at x=80 with a late window: the detour through a
+        // nearby node is fully absorbed by the waiting in front of it.
+        let p = TsptwProblem {
+            start: Point::new(0.0, 0.0),
+            end: Point::new(100.0, 0.0),
+            depart: 0.0,
+            deadline: 1000.0,
+            nodes: vec![
+                TsptwNode {
+                    loc: Point::new(80.0, 0.0),
+                    window: TimeWindow::new(200.0, 400.0),
+                    service: 0.0,
+                },
+                TsptwNode {
+                    loc: Point::new(40.0, 0.0),
+                    window: TimeWindow::new(0.0, 1000.0),
+                    service: 0.0,
+                },
+            ],
+            travel: TravelTimeModel::new(1.0),
+        };
+        let slack = ScheduleSlack::from_problem(&p, &[0]).unwrap();
+        // rtt without the probe: wait at 80 until 200, then 20 to the end.
+        assert!((slack.rtt() - 220.0).abs() < 1e-9);
+        // Inserting the probe before position 0 adds no rtt: the extra
+        // travel is swallowed by the waiting at the committed node.
+        assert_eq!(slack.insertion_at(&p.nodes[1], 0), Some(220.0));
+    }
+
+    #[test]
+    fn latest_start_rejects_late_chains() {
+        // Tight chain: any delay entering position 0 breaks the final
+        // deadline even though the probe's own window is open.
+        let p = TsptwProblem {
+            start: Point::new(0.0, 0.0),
+            end: Point::new(100.0, 0.0),
+            depart: 0.0,
+            deadline: 101.0,
+            nodes: vec![
+                TsptwNode {
+                    loc: Point::new(50.0, 0.0),
+                    window: TimeWindow::new(0.0, 1000.0),
+                    service: 0.0,
+                },
+                TsptwNode {
+                    loc: Point::new(50.0, 10.0),
+                    window: TimeWindow::new(0.0, 1000.0),
+                    service: 0.0,
+                },
+            ],
+            travel: TravelTimeModel::new(1.0),
+        };
+        let slack = ScheduleSlack::from_problem(&p, &[0]).unwrap();
+        // The detour adds ~20 minutes; only ~1 minute of deadline slack
+        // exists, so every position must be rejected.
+        assert_eq!(slack.best_insertion(&p.nodes[1]), None);
+    }
+}

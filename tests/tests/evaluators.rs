@@ -1,0 +1,87 @@
+//! Evaluator-parity integration tests: the incremental candidate evaluator
+//! must match the full-resolve reference on solution quality (no φ
+//! regression from the fast path) while paying a fraction of the TSPTW
+//! solve invocations.
+
+use rand::{rngs::SmallRng, SeedableRng};
+use smore::{
+    CandidateEvaluator, Engine, FullResolve, GreedySelection, IncrementalInsertion,
+    SelectionPolicy, SmoreFramework,
+};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::{evaluate, Deadline, Instance, UsmdwSolver};
+use smore_tsptw::InsertionSolver;
+use std::sync::Arc;
+
+fn instances(kind: DatasetKind, n: usize) -> Vec<Instance> {
+    let g = InstanceGenerator::new(DatasetSpec::of(kind, Scale::Small), 7);
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..n).map(|_| g.gen_default(&mut rng)).collect()
+}
+
+/// Engine init + greedy selection to exhaustion under a given evaluator.
+fn greedy_objective(inst: &Instance, evaluator: Arc<dyn CandidateEvaluator>) -> f64 {
+    let solver = InsertionSolver::new();
+    let mut engine = Engine::new_with(inst, &solver, evaluator, Deadline::none()).unwrap();
+    let mut policy = GreedySelection;
+    while engine.has_candidates() {
+        let Some((w, t)) = policy.select(&engine) else { break };
+        if engine.apply(w, t).is_err() {
+            break;
+        }
+    }
+    let sol = engine.state.into_solution();
+    let stats = evaluate(inst, &sol).expect("engine solutions validate");
+    assert!(stats.total_incentive <= inst.budget + 1e-6);
+    stats.objective
+}
+
+#[test]
+fn incremental_objective_within_noise_of_full_resolve() {
+    for kind in DatasetKind::all() {
+        let mut full_sum = 0.0;
+        let mut inc_sum = 0.0;
+        for inst in &instances(kind, 3) {
+            full_sum += greedy_objective(inst, Arc::new(FullResolve::new()));
+            inc_sum += greedy_objective(inst, Arc::new(IncrementalInsertion::new()));
+        }
+        assert!(full_sum > 0.0, "{kind:?}: reference runs must cover something");
+        let rel = (inc_sum - full_sum).abs() / full_sum;
+        assert!(
+            rel <= 0.10,
+            "{kind:?}: objective drift {rel:.3} (incremental {inc_sum:.4} vs full {full_sum:.4})"
+        );
+    }
+}
+
+#[test]
+fn framework_accepts_evaluator_override() {
+    let inst = &instances(DatasetKind::Tourism, 1)[0];
+    let mut fw = SmoreFramework::new(GreedySelection, InsertionSolver::new())
+        .with_evaluator(Arc::new(FullResolve::new()));
+    let sol = fw.solve(inst);
+    let stats = evaluate(inst, &sol).unwrap();
+    assert!(stats.completed > 0);
+    assert!(stats.total_incentive <= inst.budget + 1e-6);
+}
+
+#[test]
+fn incremental_cuts_tsptw_solves_at_least_3x_on_delivery() {
+    let full_eval = Arc::new(FullResolve::new());
+    let inc_eval = Arc::new(IncrementalInsertion::new());
+    for inst in &instances(DatasetKind::Delivery, 3) {
+        greedy_objective(inst, full_eval.clone());
+        greedy_objective(inst, inc_eval.clone());
+    }
+    let f = full_eval.stats();
+    let i = inc_eval.stats();
+    // Trajectories can diverge slightly, but the probe volume must be in
+    // the same ballpark for the solve-count comparison to be meaningful.
+    assert!(f.evaluations > 0 && i.evaluations > 0);
+    assert!(
+        f.full_solves >= 3 * i.full_solves.max(1),
+        "expected >= 3x fewer TSPTW solves: full {} vs incremental {}",
+        f.full_solves,
+        i.full_solves
+    );
+}
