@@ -51,6 +51,12 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed requires an integer");
             }
+            "--threads" => {
+                cfg.tasnet_train.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads requires an integer (0 = all cores)");
+            }
             other if !other.starts_with('-') => exp = other.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -78,6 +84,7 @@ fn solver_ablation(cfg: &HarnessConfig) -> String {
         iters_upper: 30,
         lr: 1e-3,
         length_penalty: 1.0,
+        threads: cfg.tasnet_train.threads,
     };
     let mut generator = |r: &mut SmallRng| random_worker_problem(r, 7, 0.5);
     train_gpn(&mut policy, &mut generator, &train_cfg, cfg.seed + 1);

@@ -1,0 +1,317 @@
+//! Perf-trajectory benchmark of the training pipeline: times imitation
+//! epochs, REINFORCE epochs, and greedy validation sweeps on every dataset
+//! preset at 1 and N worker threads, plus the raw matmul kernels (blocked
+//! vs naive), and writes `BENCH_train.json` so future changes can diff
+//! episodes/sec and epoch wall time against a checked-in baseline.
+//!
+//! ```sh
+//! cargo run -p smore-bench --bin train_bench --release -- \
+//!     [--reps N] [--instances N] [--threads N] [--paper] [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks everything to a seconds-long CI sanity run. Every
+//! invocation also re-verifies the determinism contract: the parameters
+//! trained during the 1-thread and N-thread timing runs must be
+//! bit-identical (the run aborts with a nonzero exit if they are not).
+//!
+//! The JSON is written by hand (no serde dependency on the output path) so
+//! the binary stays functional in stub-only offline builds.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{
+    imitation_epoch, reinforce_epoch, validate, Critic, Tasnet, TasnetConfig, TasnetTrainConfig,
+};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::Instance;
+use smore_nn::{resolve_threads, Adam, Matrix, TapePool};
+use smore_tsptw::InsertionSolver;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    reps: usize,
+    instances: usize,
+    threads: usize,
+    scale: Scale,
+    smoke: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        reps: 3,
+        instances: 6,
+        threads: 8,
+        scale: Scale::Small,
+        smoke: false,
+        out: PathBuf::from("BENCH_train.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => args.reps = it.next().and_then(|s| s.parse().ok()).expect("--reps N"),
+            "--instances" => {
+                args.instances = it.next().and_then(|s| s.parse().ok()).expect("--instances N");
+            }
+            "--threads" => {
+                args.threads = it.next().and_then(|s| s.parse().ok()).expect("--threads N");
+            }
+            "--paper" => args.scale = Scale::Paper,
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = PathBuf::from(it.next().expect("--out PATH")),
+            // Tolerate flags injected by wrapper scripts (e.g. --offline).
+            _ => {}
+        }
+    }
+    if args.smoke {
+        args.reps = args.reps.min(1);
+        args.instances = args.instances.min(2);
+        args.out = PathBuf::from(
+            std::env::temp_dir().join("BENCH_train_smoke.json"),
+        );
+    }
+    args
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Wall-time summary of one repeated phase.
+struct PhaseTiming {
+    median_ms: f64,
+    p95_ms: f64,
+    episodes_per_sec: f64,
+}
+
+/// Times `reps` invocations of `f`; `f` returns the episode count of the
+/// pass so throughput can be reported alongside latency.
+fn time_reps(reps: usize, mut f: impl FnMut() -> usize) -> PhaseTiming {
+    let mut times = Vec::with_capacity(reps);
+    let mut episodes = 0usize;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        episodes += f();
+        times.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let total_ms: f64 = times.iter().sum();
+    times.sort_by(f64::total_cmp);
+    PhaseTiming {
+        median_ms: percentile(&times, 0.5),
+        p95_ms: percentile(&times, 0.95),
+        episodes_per_sec: episodes as f64 / (total_ms / 1e3).max(1e-9),
+    }
+}
+
+fn phase_json(name: &str, threads: usize, t: &PhaseTiming, sequential: &PhaseTiming) -> String {
+    format!(
+        concat!(
+            "{{\"phase\": \"{}\", \"threads\": {}, \"median_ms\": {:.3}, ",
+            "\"p95_ms\": {:.3}, \"episodes_per_sec\": {:.2}, ",
+            "\"speedup_vs_sequential\": {:.2}}}"
+        ),
+        name,
+        threads,
+        t.median_ms,
+        t.p95_ms,
+        t.episodes_per_sec,
+        sequential.median_ms / t.median_ms.max(1e-9),
+    )
+}
+
+fn small_net(template: &Instance, seed: u64) -> (Tasnet, Critic) {
+    let grid = &template.lattice.grid;
+    let mut cfg = TasnetConfig::for_grid(grid.rows, grid.cols);
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.enc_layers = 1;
+    (Tasnet::new(cfg, seed), Critic::new(16, seed + 1))
+}
+
+fn param_bits(store: &smore_nn::ParamStore) -> Vec<u32> {
+    store.iter().flat_map(|(_, _, m)| m.data().iter().map(|v| v.to_bits())).collect()
+}
+
+/// Runs the three training phases at one thread count and returns the phase
+/// timings plus the trained parameter bits (for the determinism check).
+fn run_pipeline(
+    instances: &[Instance],
+    validation: &[Instance],
+    threads: usize,
+    reps: usize,
+    seed: u64,
+) -> (Vec<(&'static str, PhaseTiming)>, Vec<u32>) {
+    let solver = InsertionSolver::new();
+    let (mut net, mut critic) = small_net(&instances[0], seed);
+    let cfg = TasnetTrainConfig { threads, ..TasnetTrainConfig::default() };
+    let pool = TapePool::new();
+
+    let mut adam = Adam::new(cfg.lr);
+    let mut epoch = 0u64;
+    let imitation = time_reps(reps, || {
+        let stats =
+            imitation_epoch(&mut net, instances, &solver, &cfg, &mut adam, false, seed, epoch, &pool);
+        epoch += 1;
+        stats.episodes
+    });
+
+    let mut policy_adam = Adam::new(cfg.rl_lr);
+    let mut critic_adam = Adam::new(cfg.critic_lr);
+    let mut epoch = 0u64;
+    let reinforce = time_reps(reps, || {
+        let stats = reinforce_epoch(
+            &mut net,
+            &mut critic,
+            instances,
+            &solver,
+            &cfg,
+            &mut policy_adam,
+            &mut critic_adam,
+            seed,
+            epoch,
+            &pool,
+        );
+        epoch += 1;
+        stats.episodes
+    });
+
+    let validation_sweep =
+        time_reps(reps, || validate(&net, &critic, validation, &solver, threads).evaluated);
+
+    let bits = param_bits(&net.store);
+    (
+        vec![("imitation", imitation), ("reinforce", reinforce), ("validate", validation_sweep)],
+        bits,
+    )
+}
+
+/// Micro-benchmark of the matmul kernels: the blocked/packed kernel against
+/// the textbook naive reference on training-representative shapes. This is
+/// the single-core win of the PR — it shows up even on one hardware thread.
+fn kernel_bench(reps: usize) -> String {
+    let shapes: &[(usize, usize, usize)] = &[(32, 16, 16), (64, 64, 64), (33, 70, 65), (128, 16, 128)];
+    let mut entries = String::new();
+    for (idx, &(n, k, m)) in shapes.iter().enumerate() {
+        let a = Matrix::from_vec(n, k, (0..n * k).map(|i| (i as f32 * 0.37).sin()).collect());
+        let b = Matrix::from_vec(k, m, (0..k * m).map(|i| (i as f32 * 0.71).cos()).collect());
+        let iters = (reps * 2000 / (n * m / 256 + 1)).max(10);
+        let mut out = Matrix::zeros(n, m);
+
+        let started = Instant::now();
+        for _ in 0..iters {
+            a.matmul_into(&b, &mut out);
+        }
+        let blocked_ns = started.elapsed().as_secs_f64() * 1e9 / iters as f64;
+
+        let started = Instant::now();
+        for _ in 0..iters {
+            let _ = a.matmul_naive(&b);
+        }
+        let naive_ns = started.elapsed().as_secs_f64() * 1e9 / iters as f64;
+
+        if idx > 0 {
+            entries.push_str(",\n");
+        }
+        let _ = write!(
+            entries,
+            concat!(
+                "      {{\"shape\": \"{}x{}x{}\", \"blocked_ns\": {:.0}, ",
+                "\"naive_ns\": {:.0}, \"speedup\": {:.2}}}"
+            ),
+            n, k, m, blocked_ns, naive_ns, naive_ns / blocked_ns.max(1e-9),
+        );
+        eprintln!(
+            "  kernel {n}x{k}x{m}: blocked {blocked_ns:.0} ns vs naive {naive_ns:.0} ns \
+             ({:.2}x)",
+            naive_ns / blocked_ns.max(1e-9)
+        );
+    }
+    entries
+}
+
+fn main() {
+    let args = parse_args();
+    let threads = resolve_threads(args.threads).max(2);
+    let mut presets = String::new();
+    let mut deterministic = true;
+
+    for (kix, kind) in DatasetKind::all().into_iter().enumerate() {
+        let spec = DatasetSpec::of(kind, args.scale);
+        let generator = InstanceGenerator::new(spec, 2024);
+        let mut rng = SmallRng::seed_from_u64(2024 + kix as u64);
+        let all: Vec<Instance> =
+            (0..args.instances + 2).map(|_| generator.gen_default(&mut rng)).collect();
+        let (train, validation) = all.split_at(args.instances);
+
+        let (sequential, bits_1) = run_pipeline(train, validation, 1, args.reps, 7);
+        let (parallel, bits_n) = run_pipeline(train, validation, threads, args.reps, 7);
+        if bits_1 != bits_n {
+            deterministic = false;
+            eprintln!("{kind:?}: DETERMINISM VIOLATION — 1-thread and {threads}-thread params differ");
+        }
+
+        let mut phases = String::new();
+        for ((name, seq), (_, par)) in sequential.iter().zip(&parallel) {
+            if !phases.is_empty() {
+                phases.push_str(",\n");
+            }
+            let _ = write!(
+                phases,
+                "      {},\n      {}",
+                phase_json(name, 1, seq, seq),
+                phase_json(name, threads, par, seq),
+            );
+            eprintln!(
+                "{kind:?} {name}: 1 thread {:.1} ms median, {threads} threads {:.1} ms median \
+                 ({:.2}x), {:.1} episodes/s",
+                seq.median_ms,
+                par.median_ms,
+                seq.median_ms / par.median_ms.max(1e-9),
+                par.episodes_per_sec,
+            );
+        }
+
+        if kix > 0 {
+            presets.push_str(",\n");
+        }
+        let _ = write!(
+            presets,
+            "    {{\"dataset\": \"{kind:?}\", \"phases\": [\n{phases}\n    ]}}"
+        );
+    }
+
+    let kernels = kernel_bench(args.reps);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"train\",\n",
+            "  \"pipeline\": \"imitation epoch + REINFORCE epoch + greedy validation sweep (InsertionSolver backend)\",\n",
+            "  \"scale\": \"{:?}\",\n",
+            "  \"instances\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"host_hardware_threads\": {},\n",
+            "  \"deterministic_across_thread_counts\": {},\n",
+            "  \"presets\": [\n{}\n  ],\n",
+            "  \"matmul_kernels\": {{\n",
+            "    \"note\": \"blocked/packed kernel vs textbook naive triple loop, single thread\",\n",
+            "    \"shapes\": [\n{}\n    ]\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        args.scale,
+        args.instances,
+        args.reps,
+        threads,
+        resolve_threads(0),
+        deterministic,
+        presets,
+        kernels,
+    );
+    std::fs::write(&args.out, &json).expect("write bench report");
+    eprintln!("wrote {}", args.out.display());
+    assert!(deterministic, "parallel training diverged from the sequential baseline");
+}

@@ -103,6 +103,7 @@ impl HarnessConfig {
                 lr: 1e-3,
                 rl_lr: 2e-4,
                 critic_lr: 1e-3,
+                threads: 0,
             },
             jdrl_epochs: 8,
             single_stage_epochs: 2,
@@ -124,6 +125,7 @@ impl HarnessConfig {
                 lr: 1e-3,
                 rl_lr: 2e-4,
                 critic_lr: 1e-3,
+                threads: 0,
             },
             jdrl_epochs: 12,
             single_stage_epochs: 4,

@@ -124,6 +124,7 @@ pub fn train(args: &Args) -> Result<(), CliError> {
         lr: 1e-3,
         rl_lr: 2e-4,
         critic_lr: 1e-3,
+        threads: args.num("threads", 0)?,
     };
 
     let mut net = Tasnet::new(cfg.clone(), seed);
@@ -289,6 +290,8 @@ COMMANDS:
   stats    Figure-4 distributions  --instances F
   train    train SMORE             --instances F --out MODEL [--warmup N]
                                    [--epochs N] [--d-model N] [--seed N]
+                                   [--threads N] (0 = all cores; results are
+                                    bit-identical for every thread count)
   solve    solve instances         --instances F --method M [--model MODEL]
                                    [--out SOLUTIONS] [--budget-ms MS]
                                    (M: smore|tvpg|tcpg|rn|msa|msagi|jdrl;

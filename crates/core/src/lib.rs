@@ -51,4 +51,8 @@ pub use route_planning::{order_to_route, route_problem};
 pub use single_stage::{train_single_stage, SingleStageNet, SingleStageSolver};
 pub use solver::SmoreSolver;
 pub use tasnet::{Critic, EpisodeEncoding, SelectMode, StepLogProbs, Tasnet, TasnetConfig};
-pub use train::{run_episode, run_episode_within, train_tasnet, train_tasnet_validated, validate, Episode, TasnetTrainConfig, TasnetTrainReport};
+pub use train::{
+    imitation_epoch, reinforce_epoch, run_episode, run_episode_on, run_episode_within,
+    train_tasnet, train_tasnet_validated, validate, Episode, EpochStats, TasnetTrainConfig,
+    TasnetTrainReport, ValidationStats,
+};

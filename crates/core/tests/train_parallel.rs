@@ -1,0 +1,108 @@
+//! Determinism contract of the batch-parallel training pipeline: trained
+//! parameters must be **bit-identical** for every thread count, because
+//! per-episode RNG seeds derive from the schedule position and per-episode
+//! gradients merge into the store in episode-index order.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{train_tasnet_validated, validate, Critic, Tasnet, TasnetConfig, TasnetTrainConfig};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::Instance;
+use smore_tsptw::InsertionSolver;
+
+fn instances(count: usize) -> Vec<Instance> {
+    let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 77);
+    let mut rng = SmallRng::seed_from_u64(77);
+    (0..count).map(|_| g.gen_default(&mut rng)).collect()
+}
+
+fn small_net(template: &Instance, seed: u64) -> (Tasnet, Critic) {
+    let grid = &template.lattice.grid;
+    let mut cfg = TasnetConfig::for_grid(grid.rows, grid.cols);
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.enc_layers = 1;
+    (Tasnet::new(cfg, seed), Critic::new(16, seed + 1))
+}
+
+/// Every parameter value bit of a store, for exact comparison.
+fn param_bits(store: &smore_nn::ParamStore) -> Vec<Vec<u32>> {
+    store.iter().map(|(_, _, m)| m.data().iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+fn train_with(threads: usize) -> (Vec<Vec<u32>>, Vec<Vec<u32>>, Vec<f64>) {
+    let all = instances(4);
+    let (fit, val) = all.split_at(3);
+    let (mut net, mut critic) = small_net(&all[0], 5);
+    let cfg = TasnetTrainConfig {
+        warmup_epochs: 1,
+        epochs: 2,
+        batch: 2,
+        lr: 1e-3,
+        rl_lr: 2e-4,
+        critic_lr: 1e-3,
+        threads,
+    };
+    let report =
+        train_tasnet_validated(&mut net, &mut critic, fit, val, &InsertionSolver::new(), &cfg, 11);
+    (param_bits(&net.store), param_bits(&critic.store), report.validation_curve)
+}
+
+#[test]
+fn repeated_training_runs_are_bit_reproducible() {
+    let a = train_with(1);
+    let b = train_with(1);
+    assert_eq!(a.0, b.0, "same-process training reruns must be bit-identical");
+}
+
+#[test]
+fn sampled_rollouts_are_bit_reproducible() {
+    use smore::run_episode;
+    let all = instances(2);
+    let (net, critic) = small_net(&all[0], 5);
+    let solver = InsertionSolver::new();
+    let roll = || {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let ep = run_episode(&net, &critic, &all[0], &solver, false, &mut rng).unwrap();
+        let sol = format!("{:?}", ep.solution);
+        let logp_bits: Vec<u32> = ep
+            .logps
+            .iter()
+            .flat_map(|s| {
+                [ep.tape.value(s.worker).item().to_bits(), ep.tape.value(s.task).item().to_bits()]
+            })
+            .collect();
+        (ep.objective.to_bits(), sol, logp_bits)
+    };
+    let a = roll();
+    let b = roll();
+    assert_eq!(a.0, b.0, "objective bits differ");
+    assert_eq!(a.1, b.1, "solutions differ");
+    assert_eq!(a.2, b.2, "logp bits differ");
+}
+
+#[test]
+fn trained_parameters_are_bit_identical_across_thread_counts() {
+    let (policy_1, critic_1, curve_1) = train_with(1);
+    for threads in [2, 8] {
+        let (policy_n, critic_n, curve_n) = train_with(threads);
+        assert_eq!(policy_1, policy_n, "policy parameters diverged at {threads} threads");
+        assert_eq!(critic_1, critic_n, "critic parameters diverged at {threads} threads");
+        assert_eq!(curve_1, curve_n, "validation curve diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_validation_matches_sequential_and_accounts_every_instance() {
+    let all = instances(5);
+    let (net, critic) = small_net(&all[0], 9);
+    let solver = InsertionSolver::new();
+    let sequential = validate(&net, &critic, &all, &solver, 1);
+    for threads in [2, 8] {
+        let parallel = validate(&net, &critic, &all, &solver, threads);
+        assert_eq!(sequential.mean_objective.to_bits(), parallel.mean_objective.to_bits());
+        assert_eq!(sequential.evaluated, parallel.evaluated);
+        assert_eq!(sequential.skipped, parallel.skipped);
+    }
+    assert_eq!(sequential.evaluated + sequential.skipped, all.len());
+}

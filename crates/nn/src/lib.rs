@@ -23,6 +23,7 @@
 mod layers;
 mod matrix;
 mod optim;
+mod parallel;
 mod params;
 mod sample;
 mod tape;
@@ -30,6 +31,7 @@ mod tape;
 pub use layers::{Conv3x3, Encoder, EncoderLayer, FeedForward, LayerNorm, Linear, Mlp, MultiHeadAttention};
 pub use matrix::Matrix;
 pub use optim::Adam;
-pub use params::{ParamId, ParamStore};
+pub use parallel::{episode_seed, parallel_map, parallel_map_owned, resolve_threads};
+pub use params::{GradBatch, ParamId, ParamStore};
 pub use sample::{argmax_row, sample_row, select_row};
-pub use tape::{Tape, Var, NEG_INF};
+pub use tape::{Tape, TapePool, Var, NEG_INF};

@@ -1,7 +1,61 @@
 //! Dense row-major `f32` matrices — the only tensor shape the SMORE networks
 //! need (sets of embeddings are `[n, d]` matrices; scalars are `[1, 1]`).
+//!
+//! The matmul family is the training hot path. [`Matrix::matmul`] packs the
+//! right operand into a transposed thread-local scratch once per call and
+//! computes cache-blocked dot products with a branch-free four-accumulator
+//! inner loop that LLVM autovectorizes; [`Matrix::matmul_abt_acc`] and
+//! [`Matrix::matmul_atb_acc`] are the fused `C += A×Bᵀ` / `C += Aᵀ×B`
+//! kernels the tape's matmul gradients use so backward never materializes
+//! an explicit transpose. [`Matrix::matmul_naive`] keeps the textbook
+//! triple loop as the parity reference for kernel tests.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread scratch for the packed (transposed) right operand, so a
+    /// matmul-heavy episode performs no per-call allocation.
+    static PACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Row block edge of the blocked matmul: `MC × KC` of the packed operand
+/// stays resident in L1 across one block of output rows.
+const MC: usize = 32;
+/// Column block edge of the blocked matmul.
+const NC: usize = 64;
+
+/// Branch-free dot product with four independent accumulators (breaks the
+/// serial FP dependency chain so the loop vectorizes). The accumulation
+/// order depends only on the length, never on the values or on blocking,
+/// which keeps results bit-identical across call sites and thread counts.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    let (a4, at) = a.split_at(chunks * 4);
+    let (b4, bt) = b.split_at(chunks * 4);
+    for (x, y) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in at.iter().zip(bt) {
+        s += x * y;
+    }
+    s
+}
+
+/// `dst += c · src` (the axpy kernel of the fused `Aᵀ×B` gradient path).
+#[inline]
+fn axpy(c: f32, src: &[f32], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += c * s;
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,6 +158,126 @@ impl Matrix {
 
     /// Matrix product `self × other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self × other`, overwriting `out` (no allocation —
+    /// callers such as [`crate::Tape`] recycle the output buffer).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} × {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        if n == 0 || m == 0 {
+            return;
+        }
+        if k == 0 {
+            out.data.fill(0.0);
+            return;
+        }
+        if m == 1 {
+            // `other` is a column vector: its single column is already
+            // contiguous, no packing needed.
+            for i in 0..n {
+                out.data[i] = dot(&self.data[i * k..(i + 1) * k], &other.data);
+            }
+            return;
+        }
+        PACK_SCRATCH.with(|scratch| {
+            let mut packed = scratch.borrow_mut();
+            packed.clear();
+            packed.resize(m * k, 0.0);
+            // Pack Bᵀ once: row j of the pack is column j of `other`, so the
+            // inner kernel reduces to contiguous dot products.
+            for (p, row) in other.data.chunks_exact(m).enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    packed[j * k + p] = v;
+                }
+            }
+            // Block over output rows/cols so an `MC × k` slab of A and an
+            // `NC × k` slab of the pack stay cache-resident. Blocking only
+            // reorders *which* outputs are produced when, never the
+            // accumulation order within one output, so results are
+            // bit-identical to the unblocked loop.
+            for ib in (0..n).step_by(MC) {
+                let ih = (ib + MC).min(n);
+                for jb in (0..m).step_by(NC) {
+                    let jh = (jb + NC).min(m);
+                    for i in ib..ih {
+                        let a_row = &self.data[i * k..(i + 1) * k];
+                        let out_row = &mut out.data[i * m..(i + 1) * m];
+                        for j in jb..jh {
+                            out_row[j] = dot(a_row, &packed[j * k..(j + 1) * k]);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Fused `out += self × otherᵀ` (shapes `[n,k] × [m,k]ᵀ → [n,m]`).
+    ///
+    /// Both operands are consumed row-wise, so the backward pass of a matmul
+    /// (`dA += grad × Bᵀ`) needs neither an explicit transpose nor a
+    /// temporary.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matmul_abt_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_abt shape mismatch: {:?} × {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(out.shape(), (self.rows, other.rows), "matmul_abt output shape mismatch");
+        let (k, m) = (self.cols, other.rows);
+        for (i, a_row) in self.data.chunks_exact(k.max(1)).enumerate().take(self.rows) {
+            let out_row = &mut out.data[i * m..(i + 1) * m];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o += dot(a_row, &other.data[j * k..(j + 1) * k]);
+            }
+        }
+    }
+
+    /// Fused `out += selfᵀ × other` (shapes `[n,k]ᵀ × [n,m] → [k,m]`).
+    ///
+    /// The matmul gradient `dB += Aᵀ × grad` streams both operands row-wise
+    /// through an axpy kernel — again no transpose, no temporary.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matmul_atb_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_atb shape mismatch: {:?}ᵀ × {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(out.shape(), (self.cols, other.cols), "matmul_atb output shape mismatch");
+        let (k, m) = (self.cols, other.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let b_row = &other.data[i * m..(i + 1) * m];
+            for (p, &a) in a_row.iter().enumerate() {
+                axpy(a, b_row, &mut out.data[p * m..(p + 1) * m]);
+            }
+        }
+    }
+
+    /// Textbook `ijk` matrix product — the slow, obviously-correct parity
+    /// reference the kernel tests compare [`Matrix::matmul`] and the fused
+    /// accumulate kernels against.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {:?} × {:?}",
@@ -112,21 +286,22 @@ impl Matrix {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        // ikj loop order: the inner loop streams both `other` and `out` rows.
         for i in 0..n {
-            let out_row = &mut out.data[i * m..(i + 1) * m];
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
+            for j in 0..m {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += self.data[i * k + p] * other.data[p * m + j];
                 }
-                let b_row = &other.data[p * m..(p + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                out.data[i * m + j] = s;
             }
         }
         out
+    }
+
+    /// Consumes the matrix, returning its row-major buffer (so pools can
+    /// recycle the allocation).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
     }
 
     /// Transposed copy.
@@ -226,6 +401,54 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference() {
+        // Deliberately awkward shapes: past the 4-wide dot unroll and past
+        // one MC×NC block, plus the k=1 / m=1 edges the attention layers hit.
+        for (n, k, m) in [(5, 7, 9), (33, 70, 65), (1, 1, 3), (3, 1, 1), (2, 5, 1), (1, 6, 4)] {
+            let a = Matrix::from_vec(n, k, (0..n * k).map(|i| (i as f32 * 0.37).sin()).collect());
+            let b = Matrix::from_vec(k, m, (0..k * m).map(|i| (i as f32 * 0.71).cos()).collect());
+            let fast = a.matmul(&b);
+            let slow = a.matmul_naive(&b);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0), "{n}x{k}x{m}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_overwrites() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Matrix::full(2, 2, 99.0); // stale contents must not leak
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn fused_abt_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 4.0, -1.0]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32 - 5.0).collect());
+        let mut out = Matrix::full(2, 4, 1.0);
+        a.matmul_abt_acc(&b, &mut out);
+        let expected = a.matmul_naive(&b.transpose());
+        for (o, e) in out.data().iter().zip(expected.data()) {
+            assert!((o - (e + 1.0)).abs() < 1e-5, "{o} vs {}", e + 1.0);
+        }
+    }
+
+    #[test]
+    fn fused_atb_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, -2.0, 3.0, 0.5, 4.0, -1.0]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(|i| (i as f32).sqrt()).collect());
+        let mut out = Matrix::zeros(2, 4);
+        a.matmul_atb_acc(&b, &mut out);
+        let expected = a.transpose().matmul_naive(&b);
+        for (o, e) in out.data().iter().zip(expected.data()) {
+            assert!((o - e).abs() < 1e-5, "{o} vs {e}");
+        }
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Deterministic batch-parallel execution for training rollouts.
+//!
+//! Per-episode gradients within a REINFORCE/imitation batch are independent
+//! (each episode runs on its own [`crate::Tape`] with its own derived RNG),
+//! so a batch fans out across worker threads and merges results by episode
+//! index. [`parallel_map`] is built on `std::thread::scope` with an atomic
+//! work-stealing cursor rather than a rayon pool: it adds no runtime
+//! dependency, nests safely inside rayon sections (the engine already uses
+//! rayon for candidate probing), and — because results are written back by
+//! index — yields output that is **bit-identical for every thread count**.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Derives a per-episode RNG seed from `(base, stream, index)` with a
+/// splitmix64-style finalizer.
+///
+/// Training derives one seed per episode instead of threading a single RNG
+/// through the batch, so the random stream an episode sees depends only on
+/// its position in the schedule — never on which worker thread ran it or
+/// how episodes interleaved. `stream` separates uses (warm-up epoch k,
+/// REINFORCE epoch k, validation, …) so no two loops share a sequence.
+pub fn episode_seed(base: u64, stream: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Resolves a user-facing thread knob: `0` means "all available cores",
+/// anything else is taken literally. Always at least 1.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning results in
+/// input order.
+///
+/// `f` receives `(index, &item)`. Scheduling is dynamic (an atomic cursor
+/// hands out the next index), so stragglers don't serialize the batch; the
+/// output vector is assembled by index, so the result — including every
+/// floating-point bit downstream — never depends on `threads`.
+///
+/// # Panics
+/// Propagates the first worker panic.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut done = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    done.push((i, f(i, item)));
+                }
+                done
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("parallel_map worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every index was scheduled")).collect()
+}
+
+/// [`parallel_map`] over owned items: each item is handed to `f` by value
+/// (training uses this to run `backward` on episode-owned tapes). Results
+/// come back in input order.
+///
+/// # Panics
+/// Propagates the first worker panic.
+pub fn parallel_map_owned<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let n = items.len();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut done = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = slots.get(i) else { break };
+                    let item = slot
+                        .lock()
+                        .expect("item slot poisoned")
+                        .take()
+                        .expect("each index is claimed exactly once");
+                    done.push((i, f(i, item)));
+                }
+                done
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("parallel_map_owned worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter().map(|r| r.expect("every index was scheduled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_variant_moves_items_in_order() {
+        let items: Vec<String> = (0..23).map(|i| format!("v{i}")).collect();
+        for threads in [1, 4, 16] {
+            let got = parallel_map_owned(threads, items.clone(), |i, s| format!("{i}:{s}"));
+            let expected: Vec<String> = (0..23).map(|i| format!("{i}:v{i}")).collect();
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_stream_separated() {
+        assert_eq!(episode_seed(7, 1, 3), episode_seed(7, 1, 3));
+        assert_ne!(episode_seed(7, 1, 3), episode_seed(7, 1, 4));
+        assert_ne!(episode_seed(7, 1, 3), episode_seed(7, 2, 3));
+        assert_ne!(episode_seed(7, 1, 3), episode_seed(8, 1, 3));
+    }
+
+    #[test]
+    fn preserves_input_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 8, 64] {
+            let got = parallel_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        let items: Vec<usize> = (0..10).collect();
+        assert_eq!(parallel_map(0, &items, |_, &x| x).len(), 10);
+    }
+}

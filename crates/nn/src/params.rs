@@ -162,6 +162,51 @@ impl ParamStore {
     }
 }
 
+/// Detached gradient accumulator for one training episode.
+///
+/// Parallel batch training rolls each episode on its own tape and scatters
+/// its gradients into a private `GradBatch`; the batches are then merged
+/// into the shared [`ParamStore`] **in episode-index order**, so the f32
+/// summation order — and therefore every trained parameter bit — is
+/// independent of how many worker threads ran the episodes.
+#[derive(Debug, Clone, Default)]
+pub struct GradBatch {
+    /// Indexed by `ParamId`; `None` = this episode touched no such param.
+    grads: Vec<Option<Matrix>>,
+}
+
+impl GradBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `g` into the accumulator for `id`.
+    pub fn accumulate(&mut self, id: ParamId, g: &Matrix) {
+        if self.grads.len() <= id.0 {
+            self.grads.resize(id.0 + 1, None);
+        }
+        match &mut self.grads[id.0] {
+            Some(existing) => existing.add_assign(g),
+            slot @ None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Whether any gradient was accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.grads.iter().all(Option::is_none)
+    }
+
+    /// Adds every accumulated gradient into `store`, in `ParamId` order.
+    pub fn merge_into(&self, store: &mut ParamStore) {
+        for (i, g) in self.grads.iter().enumerate() {
+            if let Some(g) = g {
+                store.accumulate_grad(ParamId(i), g);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -77,15 +77,58 @@ struct Node {
 }
 
 /// A reverse-mode autodiff tape.
+///
+/// The tape owns a free-list of `f32` buffers: [`Tape::clear`] recycles
+/// every node's value and gradient allocation instead of dropping it, so a
+/// training loop that reuses one tape per worker performs near-zero heap
+/// traffic after the first episode.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Recycled matrix buffers (capacity retained across episodes).
+    pool: Vec<Vec<f32>>,
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Forgets all recorded nodes but keeps their buffers for reuse.
+    ///
+    /// Call between episodes to roll a fresh computation without paying the
+    /// previous episode's allocations again. Any outstanding [`Var`] handles
+    /// are invalidated.
+    pub fn clear(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.push(node.value.into_vec());
+            if let Some(g) = node.grad {
+                self.pool.push(g.into_vec());
+            }
+        }
+    }
+
+    /// A zero-filled `rows × cols` matrix drawn from the recycle pool.
+    fn pooled_zeros(pool: &mut Vec<Vec<f32>>, rows: usize, cols: usize) -> Matrix {
+        let mut buf = pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(rows * cols, 0.0);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Takes node `v`'s gradient accumulator, creating a pooled zero matrix
+    /// of the node's shape if none exists yet. The caller accumulates into
+    /// it in place and stores it back — the in-place alternative to
+    /// [`Tape::accumulate`] for the fused matmul gradients.
+    fn take_grad_or_zeros(&mut self, v: Var) -> Matrix {
+        match self.nodes[v.0].grad.take() {
+            Some(g) => g,
+            None => {
+                let (r, c) = self.nodes[v.0].value.shape();
+                Self::pooled_zeros(&mut self.pool, r, c)
+            }
+        }
     }
 
     /// Number of recorded nodes.
@@ -130,7 +173,10 @@ impl Tape {
 
     /// `a × b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
+        let rows = self.value(a).rows();
+        let cols = self.value(b).cols();
+        let mut v = Self::pooled_zeros(&mut self.pool, rows, cols);
+        self.nodes[a.0].value.matmul_into(&self.nodes[b.0].value, &mut v);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Matmul(a, b), ng)
     }
@@ -424,13 +470,19 @@ impl Tape {
         match op {
             Op::Leaf(_) => {}
             Op::Matmul(a, b) => {
+                // Fused gradient kernels: dA += grad × Bᵀ and dB += Aᵀ × grad
+                // run straight off the stored operands — no transposed
+                // temporaries, and the accumulation reuses the node's
+                // existing gradient buffer.
                 if self.needs(*a) {
-                    let g = grad.matmul(&self.value(*b).transpose());
-                    self.accumulate(*a, g);
+                    let mut g = self.take_grad_or_zeros(*a);
+                    grad.matmul_abt_acc(&self.nodes[b.0].value, &mut g);
+                    self.nodes[a.0].grad = Some(g);
                 }
                 if self.needs(*b) {
-                    let g = self.value(*a).transpose().matmul(grad);
-                    self.accumulate(*b, g);
+                    let mut g = self.take_grad_or_zeros(*b);
+                    self.nodes[a.0].value.matmul_atb_acc(grad, &mut g);
+                    self.nodes[b.0].grad = Some(g);
                 }
             }
             Op::Add(a, b) => {
@@ -633,6 +685,46 @@ impl Tape {
             }
         }
     }
+
+    /// Like [`Tape::scatter_grads`], but into a detached [`GradBatch`] —
+    /// the per-episode accumulator parallel training merges into the shared
+    /// store in deterministic episode order.
+    pub fn scatter_grads_into(&self, batch: &mut crate::params::GradBatch) {
+        for node in &self.nodes {
+            if let (Op::Leaf(Some(id)), Some(grad)) = (&node.op, &node.grad) {
+                batch.accumulate(*id, grad);
+            }
+        }
+    }
+}
+
+/// A shared recycle pool of [`Tape`]s for batch-parallel training loops.
+///
+/// Workers [`TapePool::take`] a tape per episode and [`TapePool::put`] it
+/// back after `backward`/scatter; returned tapes are [`Tape::clear`]ed, so
+/// their node and matrix allocations are reused by later episodes instead
+/// of churning the allocator from many threads at once.
+#[derive(Default)]
+pub struct TapePool {
+    inner: std::sync::Mutex<Vec<Tape>>,
+}
+
+impl TapePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cleared tape — recycled if available, fresh otherwise.
+    pub fn take(&self) -> Tape {
+        self.inner.lock().expect("tape pool poisoned").pop().unwrap_or_default()
+    }
+
+    /// Returns a tape to the pool (its recording is cleared, buffers kept).
+    pub fn put(&self, mut tape: Tape) {
+        tape.clear();
+        self.inner.lock().expect("tape pool poisoned").push(tape);
+    }
 }
 
 fn softmax_masked(x: &Matrix, mask: Option<&Matrix>) -> Matrix {
@@ -777,6 +869,43 @@ mod tests {
         let m = t.mean_rows(x);
         assert_eq!(t.value(m).shape(), (1, 4));
         assert!(t.value(m).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cleared_tape_recomputes_identically() {
+        let mut store = ParamStore::new();
+        let a_id = store.alloc("a", Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 4.0, -1.0]));
+        let b_id = store.alloc("b", Matrix::from_vec(3, 2, (0..6).map(|i| i as f32).collect()));
+        let run = |t: &mut Tape, store: &mut ParamStore| {
+            let a = t.param(store, a_id);
+            let b = t.param(store, b_id);
+            let c = t.matmul(a, b);
+            let th = t.tanh(c);
+            let loss = t.sum_all(th);
+            t.backward(loss);
+            t.scatter_grads(store);
+            let (ga, gb) = (store.grad(a_id).clone(), store.grad(b_id).clone());
+            store.zero_grads();
+            (ga, gb)
+        };
+        let mut fresh = Tape::new();
+        let expected = run(&mut fresh, &mut store);
+        let mut reused = Tape::new();
+        let _ = run(&mut reused, &mut store);
+        reused.clear();
+        assert!(reused.is_empty(), "clear() must forget the recording");
+        let again = run(&mut reused, &mut store);
+        assert_eq!(expected, again, "recycled buffers must not change any bit");
+    }
+
+    #[test]
+    fn tape_pool_recycles_cleared_tapes() {
+        let pool = TapePool::new();
+        let mut t = pool.take();
+        t.constant(Matrix::zeros(4, 4));
+        pool.put(t);
+        let t2 = pool.take();
+        assert!(t2.is_empty(), "pooled tapes come back cleared");
     }
 
     #[test]

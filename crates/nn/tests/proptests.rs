@@ -8,6 +8,19 @@ fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
+/// A deterministic pseudo-random matrix for shape-parameterized properties
+/// (the stub strategies can't size a data vector from other drawn values).
+fn rand_m(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
 proptest! {
     /// Softmax rows are probability distributions honoring hard masks.
     #[test]
@@ -75,5 +88,52 @@ proptest! {
         let xv = t.constant(x.clone());
         let r = t.reshape(xv, 3, 4);
         prop_assert_eq!(t.value(r).data(), x.data());
+    }
+
+    /// The blocked/packed matmul kernel agrees with the textbook naive
+    /// reference over random shapes, including the `k = 1` and `m = 1`
+    /// edges (ranges start at 1) the attention layers hit.
+    #[test]
+    fn blocked_matmul_matches_naive(
+        n in 1usize..48, k in 1usize..80, m in 1usize..72, seed in 0u64..1 << 32,
+    ) {
+        let a = rand_m(n, k, seed);
+        let b = rand_m(k, m, seed ^ 0x5A5A);
+        let fast = a.matmul(&b);
+        let slow = a.matmul_naive(&b);
+        prop_assert_eq!(fast.shape(), slow.shape());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!(
+                (x - y).abs() <= 1e-4 * y.abs().max(1.0),
+                "{}x{}x{}: {} vs {}", n, k, m, x, y
+            );
+        }
+    }
+
+    /// The fused gradient kernels `out += A×Bᵀ` and `out += Aᵀ×B` agree
+    /// with explicit transpose-then-multiply over random shapes, and
+    /// genuinely accumulate on top of the existing buffer.
+    #[test]
+    fn fused_transpose_kernels_match_explicit(
+        n in 1usize..24, k in 1usize..40, m in 1usize..24, seed in 0u64..1 << 32,
+    ) {
+        // out [n,m] += a [n,k] × (b [m,k])ᵀ.
+        let a = rand_m(n, k, seed);
+        let b = rand_m(m, k, seed ^ 0xABCD);
+        let mut fused = Matrix::full(n, m, 0.5);
+        a.matmul_abt_acc(&b, &mut fused);
+        let expect = a.matmul(&b.transpose());
+        for (x, y) in fused.data().iter().zip(expect.data()) {
+            prop_assert!((x - (y + 0.5)).abs() <= 1e-4 * y.abs().max(1.0), "abt {} vs {}", x, y);
+        }
+
+        // out [k,m] += (a [n,k])ᵀ × c [n,m].
+        let c = rand_m(n, m, seed ^ 0x1234);
+        let mut fused2 = Matrix::full(k, m, -0.25);
+        a.matmul_atb_acc(&c, &mut fused2);
+        let expect2 = a.transpose().matmul(&c);
+        for (x, y) in fused2.data().iter().zip(expect2.data()) {
+            prop_assert!((x - (y - 0.25)).abs() <= 1e-4 * y.abs().max(1.0), "atb {} vs {}", x, y);
+        }
     }
 }

@@ -21,7 +21,8 @@ use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use smore_nn::{
-    sample_row, Adam, Encoder, Linear, Matrix, ParamStore, Tape, Var, NEG_INF,
+    episode_seed, parallel_map, parallel_map_owned, sample_row, Adam, Encoder, GradBatch, Linear,
+    Matrix, ParamStore, Tape, TapePool, Var, NEG_INF,
 };
 
 /// Architecture hyperparameters of the pointer network.
@@ -256,11 +257,23 @@ pub struct GpnTrainConfig {
     pub lr: f32,
     /// Weight of the route-time penalty in the upper reward.
     pub length_penalty: f64,
+    /// Worker threads for batch rollout/backward (`0` = all available
+    /// cores). Trained parameters are bit-identical for every value: each
+    /// episode decodes on its own tape with a schedule-derived RNG seed,
+    /// and gradients merge in episode order.
+    pub threads: usize,
 }
 
 impl Default for GpnTrainConfig {
     fn default() -> Self {
-        Self { batch: 16, iters_lower: 60, iters_upper: 60, lr: 1e-3, length_penalty: 1.0 }
+        Self {
+            batch: 16,
+            iters_lower: 60,
+            iters_upper: 60,
+            lr: 1e-3,
+            length_penalty: 1.0,
+            threads: 0,
+        }
     }
 }
 
@@ -291,11 +304,25 @@ fn reward(p: &TsptwProblem, decode: &Decode, level: RewardLevel, penalty: f64) -
     }
 }
 
+/// One sampled decode: its tape, decision log-probs, and realized reward.
+struct Rollout {
+    tape: Tape,
+    logps: Vec<Var>,
+    reward: f64,
+}
+
 /// Trains `policy` hierarchically on instances drawn from `generator`.
 ///
 /// Stage 1 maximizes the lower reward; stage 2 continues from the learned
 /// weights and maximizes the upper reward. REINFORCE with a batch-mean
 /// baseline.
+///
+/// Batch episodes fan out over [`GpnTrainConfig::threads`] workers, each
+/// decoding on its own recycled tape with an RNG seeded from the episode's
+/// schedule position; per-episode gradients merge into the store in episode
+/// order, so the result is bit-identical for every thread count. Problems
+/// themselves are drawn sequentially from the training RNG (the generator
+/// is stateful), which also keeps the instance sequence thread-independent.
 pub fn train_gpn(
     policy: &mut GpnPolicy,
     generator: &mut dyn FnMut(&mut SmallRng) -> TsptwProblem,
@@ -305,55 +332,65 @@ pub fn train_gpn(
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut adam = Adam::new(cfg.lr);
     let mut report = TrainReport::default();
+    let pool = TapePool::new();
 
-    for (level, iters) in
+    for (stage, (level, iters)) in
         [(RewardLevel::Lower, cfg.iters_lower), (RewardLevel::Upper, cfg.iters_upper)]
+            .into_iter()
+            .enumerate()
     {
-        for _ in 0..iters {
-            let mut tape = Tape::new();
-            let mut batch: Vec<(Vec<Var>, f64)> = Vec::with_capacity(cfg.batch);
-            let mut reward_sum = 0.0;
-            for _ in 0..cfg.batch {
-                let p = generator(&mut rng);
-                let decode = policy.decode(&mut tape, &p, Some(&mut rng));
-                let r = reward(&p, &decode, level, cfg.length_penalty);
-                reward_sum += r;
-                if !decode.logps.is_empty() {
-                    batch.push((decode.logps, r));
-                }
-            }
-            let baseline = reward_sum / cfg.batch as f64;
+        for iter in 0..iters {
+            let problems: Vec<TsptwProblem> =
+                (0..cfg.batch).map(|_| generator(&mut rng)).collect();
+            let stream = ((stage as u64 + 1) << 48) | iter as u64;
+            let policy_ref: &GpnPolicy = policy;
+            let rollouts: Vec<Rollout> = parallel_map(cfg.threads, &problems, |j, p| {
+                let mut ep_rng =
+                    SmallRng::seed_from_u64(episode_seed(seed, stream, j as u64));
+                let mut tape = pool.take();
+                let decode = policy_ref.decode(&mut tape, p, Some(&mut ep_rng));
+                let r = reward(p, &decode, level, cfg.length_penalty);
+                Rollout { tape, logps: decode.logps, reward: r }
+            });
+
+            let baseline =
+                rollouts.iter().map(|r| r.reward).sum::<f64>() / cfg.batch.max(1) as f64;
             match level {
                 RewardLevel::Lower => report.final_lower_reward = baseline,
                 RewardLevel::Upper => report.final_upper_reward = baseline,
             }
-            if batch.is_empty() {
-                continue;
-            }
+
             // loss = −Σ (R − b)·Σ log π ; gradients flow through log-probs.
-            let mut terms = Vec::new();
-            for (logps, r) in &batch {
-                let adv = (*r - baseline) as f32;
-                if adv == 0.0 {
-                    continue;
-                }
-                let summed = if logps.len() == 1 {
-                    logps[0]
-                } else {
-                    let cat = tape.concat_cols(logps);
-                    tape.sum_all(cat)
-                };
-                terms.push(tape.scale(summed, -adv));
+            let batch_f = cfg.batch.max(1) as f32;
+            let grads: Vec<Option<GradBatch>> =
+                parallel_map_owned(cfg.threads, rollouts, |_, mut r| {
+                    let adv = (r.reward - baseline) as f32;
+                    if adv == 0.0 || r.logps.is_empty() {
+                        pool.put(r.tape);
+                        return None;
+                    }
+                    let summed = if r.logps.len() == 1 {
+                        r.logps[0]
+                    } else {
+                        let cat = r.tape.concat_cols(&r.logps);
+                        r.tape.sum_all(cat)
+                    };
+                    let loss = r.tape.scale(summed, -adv / batch_f);
+                    r.tape.backward(loss);
+                    let mut batch = GradBatch::new();
+                    r.tape.scatter_grads_into(&mut batch);
+                    pool.put(r.tape);
+                    Some(batch)
+                });
+
+            let mut stepped = false;
+            for g in grads.into_iter().flatten() {
+                g.merge_into(&mut policy.store);
+                stepped = true;
             }
-            if terms.is_empty() {
-                continue;
+            if stepped {
+                adam.step(&mut policy.store);
             }
-            let stacked = tape.concat_cols(&terms);
-            let total = tape.sum_all(stacked);
-            let loss = tape.scale(total, 1.0 / cfg.batch as f32);
-            tape.backward(loss);
-            tape.scatter_grads(&mut policy.store);
-            adam.step(&mut policy.store);
         }
     }
     report
@@ -434,7 +471,7 @@ mod tests {
             total / 20.0
         };
         let before = eval(&policy);
-        let cfg = GpnTrainConfig { batch: 8, iters_lower: 25, iters_upper: 25, lr: 2e-3, length_penalty: 1.0 };
+        let cfg = GpnTrainConfig { batch: 8, iters_lower: 25, iters_upper: 25, lr: 2e-3, length_penalty: 1.0, threads: 2 };
         let report = train_gpn(&mut policy, &mut gen, &cfg, 7);
         let after = eval(&policy);
         assert!(
@@ -442,6 +479,35 @@ mod tests {
             "training must not collapse the policy: before {before:.3}, after {after:.3}, report {report:?}"
         );
         assert!(report.final_lower_reward > 0.5, "lower stage should satisfy most windows");
+    }
+
+    #[test]
+    fn gpn_training_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut policy = GpnPolicy::new(
+                GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 },
+                13,
+            );
+            let mut gen = |rng: &mut SmallRng| random_worker_problem(rng, 5, 0.4);
+            let cfg = GpnTrainConfig {
+                batch: 4,
+                iters_lower: 3,
+                iters_upper: 3,
+                lr: 2e-3,
+                length_penalty: 1.0,
+                threads,
+            };
+            train_gpn(&mut policy, &mut gen, &cfg, 17);
+            policy
+                .store
+                .iter()
+                .map(|(_, _, m)| m.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>())
+                .collect::<Vec<_>>()
+        };
+        let sequential = run(1);
+        for threads in [2, 8] {
+            assert_eq!(sequential, run(threads), "diverged at {threads} threads");
+        }
     }
 
     #[test]

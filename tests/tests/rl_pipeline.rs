@@ -17,7 +17,7 @@ fn gpn_backed_framework_produces_valid_solutions() {
     let mut policy =
         GpnPolicy::new(GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 }, 1);
     let cfg =
-        GpnTrainConfig { batch: 6, iters_lower: 10, iters_upper: 10, lr: 2e-3, length_penalty: 1.0 };
+        GpnTrainConfig { batch: 6, iters_lower: 10, iters_upper: 10, lr: 2e-3, length_penalty: 1.0, threads: 2 };
     let mut generator = |r: &mut SmallRng| random_worker_problem(r, 5, 0.5);
     train_gpn(&mut policy, &mut generator, &cfg, 2);
 
