@@ -14,7 +14,9 @@
 //! the paper, whose instances are too large for exact solution).
 
 use smore_geo::CoverageTracker;
-use smore_model::{Deadline, Instance, Route, SensingTaskId, Solution, Stop, UsmdwSolver, WorkerId, TIME_EPS};
+use smore_model::{
+    Deadline, Instance, Route, SensingTaskId, Solution, Stop, UsmdwSolver, WorkerId, TIME_EPS,
+};
 use smore_tsptw::{ExactDpSolver, TsptwNode, TsptwProblem, TsptwSolver};
 
 /// The exhaustive oracle; see the module docs.
@@ -196,6 +198,8 @@ impl UsmdwSolver for ExactUsmdwSolver {
             };
             let sol = ExactDpSolver::new()
                 .solve(&p)
+                // smore-lint: allow(E1): the DP already certified this exact
+                // node set feasible while scoring the winning assignment.
                 .expect("winning assignment routes are feasible");
             let n_travel = worker.travel_tasks.len();
             let stops = sol
@@ -243,7 +247,14 @@ mod tests {
             100.0,
             vec![TravelTask::new(Point::new(400.0, 700.0), 8.0)],
         );
-        Instance::from_lattice(vec![w1, w2], lattice, 60.0, 1.0, TravelTimeModel::PAPER_DEFAULT, 0.5)
+        Instance::from_lattice(
+            vec![w1, w2],
+            lattice,
+            60.0,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        )
     }
 
     #[test]
@@ -265,11 +276,7 @@ mod tests {
             &mut crate::RandomSolver::new(3),
         ] {
             let obj = evaluate(&inst, &solver.solve(&inst)).unwrap().objective;
-            assert!(
-                obj <= optimal + 1e-9,
-                "{} found {obj} > optimum {optimal}",
-                solver.name()
-            );
+            assert!(obj <= optimal + 1e-9, "{} found {obj} > optimum {optimal}", solver.name());
         }
     }
 
@@ -277,13 +284,7 @@ mod tests {
     #[should_panic(expected = "oracle for tiny instances")]
     fn refuses_large_instances() {
         let mut big = tiny();
-        big.sensing_tasks = big
-            .sensing_tasks
-            .iter()
-            .cycle()
-            .take(50)
-            .copied()
-            .collect();
+        big.sensing_tasks = big.sensing_tasks.iter().cycle().take(50).copied().collect();
         ExactUsmdwSolver::new().solve(&big);
     }
 }

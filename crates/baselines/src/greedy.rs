@@ -15,7 +15,9 @@
 
 use crate::common::{best_insertion, init_nearest_neighbor, Insertion};
 use rayon::prelude::*;
-use smore_model::{AssignmentState, Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+use smore_model::{
+    AssignmentState, Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId,
+};
 
 /// Tie-breaking priority of the greedy rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,10 +157,9 @@ mod tests {
         for seed in 12..17 {
             let inst = instance(seed);
             greedy_sum += evaluate(&inst, &GreedySolver::tvpg().solve(&inst)).unwrap().objective;
-            random_sum +=
-                evaluate(&inst, &crate::random::RandomSolver::new(seed).solve(&inst))
-                    .unwrap()
-                    .objective;
+            random_sum += evaluate(&inst, &crate::random::RandomSolver::new(seed).solve(&inst))
+                .unwrap()
+                .objective;
         }
         assert!(greedy_sum > random_sum, "TVPG {greedy_sum} <= RN {random_sum} over 5 instances");
     }

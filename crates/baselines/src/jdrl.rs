@@ -12,7 +12,9 @@
 use crate::common::{best_insertion, init_nearest_neighbor};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use smore_model::{AssignmentState, Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+use smore_model::{
+    AssignmentState, Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId,
+};
 use smore_nn::{Adam, Matrix, Mlp, ParamStore, Tape};
 
 const FEATURES: usize = 8;
@@ -175,8 +177,12 @@ impl JdrlSolver {
         let mut state = AssignmentState::new(instance);
         init_nearest_neighbor(instance, &mut state);
         while !deadline.expired() {
-            let assigned =
-                self.dispatch_round(instance, &mut state, rng.as_deref_mut(), self.feasibility_tries);
+            let assigned = self.dispatch_round(
+                instance,
+                &mut state,
+                rng.as_deref_mut(),
+                self.feasibility_tries,
+            );
             if assigned == 0 {
                 // Confirm termination with one uncapped pass: only stop when
                 // genuinely no agent has any feasible candidate left.
@@ -261,8 +267,7 @@ pub fn train_jdrl(
                         // Dispatch value: coverage gain net of the serving
                         // cost (detour time relative to the horizon).
                         let horizon = instance.lattice.horizon.max(1.0);
-                        let value =
-                            (state.gain(instance, pick) - ins.delta_in / horizon) as f32;
+                        let value = (state.gain(instance, pick) - ins.delta_in / horizon) as f32;
                         state.assign(instance, worker, pick, ins.route, ins.rtt);
                         round_pairs.push((feats, value));
                     }
@@ -323,7 +328,12 @@ mod tests {
     fn training_runs_and_keeps_solver_valid() {
         let inst = instance(32);
         let mut policy = JdrlPolicy::new(2);
-        train_jdrl(&mut policy, std::slice::from_ref(&inst), &JdrlTrainConfig { epochs: 1, lr: 1e-3 }, 3);
+        train_jdrl(
+            &mut policy,
+            std::slice::from_ref(&inst),
+            &JdrlTrainConfig { epochs: 1, lr: 1e-3 },
+            3,
+        );
         let mut solver = JdrlSolver::new(policy);
         let sol = solver.solve(&inst);
         assert!(evaluate(&inst, &sol).is_ok());

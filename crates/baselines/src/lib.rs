@@ -17,6 +17,7 @@
 //! to measure heuristic/learned solvers against the true optimum (no paper
 //! counterpart — the paper's instances are too large for exact solution).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod common;

@@ -206,7 +206,12 @@ impl MsaSolver {
         }
     }
 
-    fn propose(&self, instance: &Instance, w: &Working, rng: &mut SmallRng) -> Option<(WorkerId, Route)> {
+    fn propose(
+        &self,
+        instance: &Instance,
+        w: &Working,
+        rng: &mut SmallRng,
+    ) -> Option<(WorkerId, Route)> {
         let worker = WorkerId(rng.gen_range(0..instance.n_workers()));
         let route = &w.routes[worker.0];
         let mv = match rng.gen_range(0..5) {
@@ -287,8 +292,16 @@ impl MsaSolver {
         }
     }
 
-    fn anneal(&self, instance: &Instance, init: Solution, rng: &mut SmallRng, deadline: Instant) -> (Vec<Route>, f64) {
+    fn anneal(
+        &self,
+        instance: &Instance,
+        init: Solution,
+        rng: &mut SmallRng,
+        deadline: Instant,
+    ) -> (Vec<Route>, f64) {
         let mut working = Working::from_solution(instance, &init)
+            // smore-lint: allow(E1): `anneal` is only fed solutions produced
+            // by `initial_solution`, which validates feasibility.
             .expect("initial solution must be feasible");
         let (mut best_routes, mut best_obj) = working.snapshot();
         let mut temp = self.cfg.t0;
@@ -309,6 +322,9 @@ impl MsaSolver {
                             // Roll back (the old route is feasible by construction).
                             working
                                 .try_replace(instance, worker, old_route)
+                                // smore-lint: allow(E1): the old route was
+                                // in `working` one statement ago; replacing
+                                // it back cannot become infeasible.
                                 .expect("rollback to a previously feasible route");
                         } else if working.objective() > best_obj + 1e-9 {
                             best_obj = working.objective();
@@ -341,7 +357,9 @@ impl UsmdwSolver for MsaSolver {
         let cutoff = Instant::now() + deadline.remaining_or(self.cfg.time_cap);
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut best: Option<(Vec<Route>, f64)> = None;
-        for _ in 0..self.cfg.starts {
+        // `.max(1)` guarantees `best` is populated even if a caller zeroes
+        // out `starts` in the config.
+        for _ in 0..self.cfg.starts.max(1) {
             let init = self.initial_solution(instance, &mut rng, deadline);
             let (routes, obj) = self.anneal(instance, init, &mut rng, cutoff);
             if best.as_ref().is_none_or(|(_, b)| obj > *b) {
@@ -351,6 +369,7 @@ impl UsmdwSolver for MsaSolver {
                 break;
             }
         }
+        // smore-lint: allow(E1): the loop above runs at least once.
         Solution { routes: best.expect("at least one start ran").0 }
     }
 }

@@ -9,7 +9,9 @@
 use crate::common::{init_nearest_neighbor, insertion_at};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use smore_model::{AssignmentState, Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId};
+use smore_model::{
+    AssignmentState, Deadline, Instance, SensingTaskId, Solution, UsmdwSolver, WorkerId,
+};
 
 /// The RN baseline.
 #[derive(Debug, Clone)]

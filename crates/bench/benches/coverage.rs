@@ -11,9 +11,7 @@ fn paper_scale_config() -> CoverageConfig {
 }
 
 fn cells(n: usize) -> Vec<StCell> {
-    (0..n)
-        .map(|i| StCell { row: (i * 7) % 12, col: (i * 3) % 10, slot: (i * 5) % 8 })
-        .collect()
+    (0..n).map(|i| StCell { row: (i * 7) % 12, col: (i * 3) % 10, slot: (i * 5) % 8 }).collect()
 }
 
 fn bench_coverage(c: &mut Criterion) {

@@ -14,8 +14,7 @@ use smore_model::{Instance, UsmdwSolver};
 use smore_tsptw::InsertionSolver;
 
 fn instance() -> Instance {
-    let generator =
-        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 8);
+    let generator = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 8);
     generator.gen_default(&mut SmallRng::seed_from_u64(8))
 }
 

@@ -10,8 +10,7 @@ use smore_model::UsmdwSolver;
 use smore_tsptw::InsertionSolver;
 
 fn bench_framework(c: &mut Criterion) {
-    let generator =
-        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 3);
+    let generator = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 3);
     let instance = generator.gen_default(&mut SmallRng::seed_from_u64(3));
     let solver = InsertionSolver::new();
 

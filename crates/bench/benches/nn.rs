@@ -15,11 +15,8 @@ fn bench_nn(c: &mut Criterion) {
     let mut g = c.benchmark_group("nn");
     g.sample_size(10);
     for n in [30usize, 120, 480] {
-        let input = Matrix::from_vec(
-            n,
-            d,
-            (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
-        );
+        let input =
+            Matrix::from_vec(n, d, (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
         g.bench_with_input(BenchmarkId::new("encoder_forward", n), &input, |b, input| {
             b.iter(|| {
                 let mut tape = Tape::new();

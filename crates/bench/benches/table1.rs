@@ -14,8 +14,7 @@ use smore_model::{Instance, UsmdwSolver};
 use smore_tsptw::InsertionSolver;
 
 fn instance(window: f64) -> Instance {
-    let generator =
-        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 5);
+    let generator = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 5);
     generator.gen_instance(&mut SmallRng::seed_from_u64(5), window, 300.0, 1.0, 0.5)
 }
 
@@ -30,16 +29,12 @@ fn bench_table1(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("TVPG", window as u64), &inst, |b, inst| {
             b.iter(|| black_box(GreedySolver::tvpg().solve(black_box(inst))));
         });
-        g.bench_with_input(
-            BenchmarkId::new("SMORE-framework", window as u64),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    let mut fw = SmoreFramework::new(GreedySelection, InsertionSolver::new());
-                    black_box(fw.solve(black_box(inst)))
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("SMORE-framework", window as u64), &inst, |b, inst| {
+            b.iter(|| {
+                let mut fw = SmoreFramework::new(GreedySelection, InsertionSolver::new());
+                black_box(fw.solve(black_box(inst)))
+            });
+        });
     }
     g.finish();
 }

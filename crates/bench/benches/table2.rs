@@ -12,8 +12,7 @@ use smore_model::{Instance, UsmdwSolver};
 use smore_tsptw::InsertionSolver;
 
 fn instance(budget: f64) -> Instance {
-    let generator =
-        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 6);
+    let generator = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 6);
     generator.gen_instance(&mut SmallRng::seed_from_u64(6), 30.0, budget, 1.0, 0.5)
 }
 
@@ -28,16 +27,12 @@ fn bench_table2(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("TVPG", budget as u64), &inst, |b, inst| {
             b.iter(|| black_box(GreedySolver::tvpg().solve(black_box(inst))));
         });
-        g.bench_with_input(
-            BenchmarkId::new("SMORE-framework", budget as u64),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    let mut fw = SmoreFramework::new(GreedySelection, InsertionSolver::new());
-                    black_box(fw.solve(black_box(inst)))
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("SMORE-framework", budget as u64), &inst, |b, inst| {
+            b.iter(|| {
+                let mut fw = SmoreFramework::new(GreedySelection, InsertionSolver::new());
+                black_box(fw.solve(black_box(inst)))
+            });
+        });
     }
     g.finish();
 }

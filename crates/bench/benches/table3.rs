@@ -13,8 +13,7 @@ use smore_model::{Instance, UsmdwSolver};
 use smore_tsptw::InsertionSolver;
 
 fn instance(alpha: f64) -> Instance {
-    let generator =
-        InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 7);
+    let generator = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 7);
     generator.gen_instance(&mut SmallRng::seed_from_u64(7), 30.0, 300.0, 1.0, alpha)
 }
 

@@ -58,10 +58,7 @@ fn parse_args() -> Args {
 
 /// One timed engine run: init + greedy selection to exhaustion. Returns the
 /// wall time, the objective φ of the final state, and the selection count.
-fn run_once(
-    instance: &Instance,
-    evaluator: Arc<dyn CandidateEvaluator>,
-) -> (f64, f64, usize) {
+fn run_once(instance: &Instance, evaluator: Arc<dyn CandidateEvaluator>) -> (f64, f64, usize) {
     let solver = InsertionSolver::new();
     let mut policy = GreedySelection;
     let started = Instant::now();

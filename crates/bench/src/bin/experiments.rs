@@ -46,10 +46,8 @@ fn parse_args() -> Args {
                 out = Some(PathBuf::from(args.next().expect("--out requires a directory")));
             }
             "--seed" => {
-                cfg.seed = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed requires an integer");
+                cfg.seed =
+                    args.next().and_then(|s| s.parse().ok()).expect("--seed requires an integer");
             }
             "--threads" => {
                 cfg.tasnet_train.threads = args
@@ -131,7 +129,8 @@ fn main() {
     let args = parse_args();
     let mut outputs: Vec<(String, String)> = Vec::new();
 
-    let needs_models = matches!(args.exp.as_str(), "table1" | "table2" | "table3" | "fig5" | "fig6" | "all");
+    let needs_models =
+        matches!(args.exp.as_str(), "table1" | "table2" | "table3" | "fig5" | "fig6" | "all");
     let models: HashMap<DatasetKind, TrainedModels> = if needs_models {
         DatasetKind::all()
             .into_iter()
@@ -189,10 +188,8 @@ fn main() {
 
     if matches!(args.exp.as_str(), "table1" | "all") {
         eprintln!("== Table I: effect of sensing task time window ==");
-        let settings: Vec<_> = [30.0, 60.0, 120.0]
-            .iter()
-            .map(|w| (format!("{w:.0}"), *w, 300.0, 0.5))
-            .collect();
+        let settings: Vec<_> =
+            [30.0, 60.0, 120.0].iter().map(|w| (format!("{w:.0}"), *w, 300.0, 0.5)).collect();
         let md = run_sweep("Table I — Effect of Sensing Task Time Window", "Interval", &settings);
         println!("{md}");
         outputs.push(("table1.md".into(), md));
@@ -200,10 +197,8 @@ fn main() {
 
     if matches!(args.exp.as_str(), "table2" | "all") {
         eprintln!("== Table II: effect of budget ==");
-        let settings: Vec<_> = [200.0, 300.0, 400.0]
-            .iter()
-            .map(|b| (format!("{b:.0}"), 30.0, *b, 0.5))
-            .collect();
+        let settings: Vec<_> =
+            [200.0, 300.0, 400.0].iter().map(|b| (format!("{b:.0}"), 30.0, *b, 0.5)).collect();
         let md = run_sweep("Table II — Effect of Budget", "Budget", &settings);
         println!("{md}");
         outputs.push(("table2.md".into(), md));
@@ -211,10 +206,8 @@ fn main() {
 
     if matches!(args.exp.as_str(), "table3" | "all") {
         eprintln!("== Table III: effect of weight in data coverage ==");
-        let settings: Vec<_> = [0.2, 0.5, 0.8]
-            .iter()
-            .map(|a| (format!("{a}"), 30.0, 300.0, *a))
-            .collect();
+        let settings: Vec<_> =
+            [0.2, 0.5, 0.8].iter().map(|a| (format!("{a}"), 30.0, 300.0, *a)).collect();
         let md = run_sweep("Table III — Effect of Weight in Data Coverage", "α", &settings);
         println!("{md}");
         outputs.push(("table3.md".into(), md));
@@ -227,8 +220,7 @@ fn main() {
             let spec = DatasetSpec::of(kind, args.cfg.scale);
             let generator = InstanceGenerator::new(spec, args.cfg.seed);
             let mut rng = SmallRng::seed_from_u64(args.cfg.seed);
-            let instances: Vec<_> =
-                (0..30).map(|_| generator.gen_default(&mut rng)).collect();
+            let instances: Vec<_> = (0..30).map(|_| generator.gen_default(&mut rng)).collect();
             let stats = DatasetStats::collect(&instances);
             let _ = writeln!(md, "```");
             md.push_str(

@@ -68,9 +68,7 @@ fn parse_args() -> Args {
     if args.smoke {
         args.reps = args.reps.min(1);
         args.instances = args.instances.min(2);
-        args.out = PathBuf::from(
-            std::env::temp_dir().join("BENCH_train_smoke.json"),
-        );
+        args.out = PathBuf::from(std::env::temp_dir().join("BENCH_train_smoke.json"));
     }
     args
 }
@@ -152,8 +150,9 @@ fn run_pipeline(
     let mut adam = Adam::new(cfg.lr);
     let mut epoch = 0u64;
     let imitation = time_reps(reps, || {
-        let stats =
-            imitation_epoch(&mut net, instances, &solver, &cfg, &mut adam, false, seed, epoch, &pool);
+        let stats = imitation_epoch(
+            &mut net, instances, &solver, &cfg, &mut adam, false, seed, epoch, &pool,
+        );
         epoch += 1;
         stats.episodes
     });
@@ -182,17 +181,15 @@ fn run_pipeline(
         time_reps(reps, || validate(&net, &critic, validation, &solver, threads).evaluated);
 
     let bits = param_bits(&net.store);
-    (
-        vec![("imitation", imitation), ("reinforce", reinforce), ("validate", validation_sweep)],
-        bits,
-    )
+    (vec![("imitation", imitation), ("reinforce", reinforce), ("validate", validation_sweep)], bits)
 }
 
 /// Micro-benchmark of the matmul kernels: the blocked/packed kernel against
 /// the textbook naive reference on training-representative shapes. This is
 /// the single-core win of the PR — it shows up even on one hardware thread.
 fn kernel_bench(reps: usize) -> String {
-    let shapes: &[(usize, usize, usize)] = &[(32, 16, 16), (64, 64, 64), (33, 70, 65), (128, 16, 128)];
+    let shapes: &[(usize, usize, usize)] =
+        &[(32, 16, 16), (64, 64, 64), (33, 70, 65), (128, 16, 128)];
     let mut entries = String::new();
     for (idx, &(n, k, m)) in shapes.iter().enumerate() {
         let a = Matrix::from_vec(n, k, (0..n * k).map(|i| (i as f32 * 0.37).sin()).collect());
@@ -221,7 +218,12 @@ fn kernel_bench(reps: usize) -> String {
                 "      {{\"shape\": \"{}x{}x{}\", \"blocked_ns\": {:.0}, ",
                 "\"naive_ns\": {:.0}, \"speedup\": {:.2}}}"
             ),
-            n, k, m, blocked_ns, naive_ns, naive_ns / blocked_ns.max(1e-9),
+            n,
+            k,
+            m,
+            blocked_ns,
+            naive_ns,
+            naive_ns / blocked_ns.max(1e-9),
         );
         eprintln!(
             "  kernel {n}x{k}x{m}: blocked {blocked_ns:.0} ns vs naive {naive_ns:.0} ns \
@@ -250,7 +252,9 @@ fn main() {
         let (parallel, bits_n) = run_pipeline(train, validation, threads, args.reps, 7);
         if bits_1 != bits_n {
             deterministic = false;
-            eprintln!("{kind:?}: DETERMINISM VIOLATION — 1-thread and {threads}-thread params differ");
+            eprintln!(
+                "{kind:?}: DETERMINISM VIOLATION — 1-thread and {threads}-thread params differ"
+            );
         }
 
         let mut phases = String::new();
@@ -277,10 +281,8 @@ fn main() {
         if kix > 0 {
             presets.push_str(",\n");
         }
-        let _ = write!(
-            presets,
-            "    {{\"dataset\": \"{kind:?}\", \"phases\": [\n{phases}\n    ]}}"
-        );
+        let _ =
+            write!(presets, "    {{\"dataset\": \"{kind:?}\", \"phases\": [\n{phases}\n    ]}}");
     }
 
     let kernels = kernel_bench(args.reps);

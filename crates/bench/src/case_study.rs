@@ -8,11 +8,11 @@
 //! and its window is open on arrival — no detours, no waiting beyond the
 //! window semantics.
 
-use smore_model::{
-    evaluate, Deadline, Instance, Route, SensingTaskId, Solution, SolutionStats, Stop,
-    UsmdwSolver, WorkerId,
-};
 use smore_model::tsp::solve_open_tsp;
+use smore_model::{
+    evaluate, Deadline, Instance, Route, SensingTaskId, Solution, SolutionStats, Stop, UsmdwSolver,
+    WorkerId,
+};
 use std::fmt::Write as _;
 
 /// The no-re-planning policy of Figure 6(a)/(b).
@@ -45,6 +45,8 @@ impl UsmdwSolver for OpportunisticSolver {
                 if let Stop::Travel(i) = route.stops[pos] {
                     let cell = grid.cell_of(&worker.travel_tasks[i].loc);
                     let schedule =
+                        // smore-lint: allow(E1): each accepted extension was
+                        // feasibility-checked one iteration earlier.
                         instance.schedule(wid, &route).expect("route stays feasible");
                     let departure = schedule.timings[pos].departure;
                     let candidate = (0..instance.n_tasks()).find(|&t| {
@@ -143,8 +145,11 @@ pub struct CaseStudy {
 pub fn case_study(instance: &Instance, smore: &mut dyn UsmdwSolver) -> CaseStudy {
     let mut opportunistic = OpportunisticSolver;
     let before_sol = opportunistic.solve(instance);
+    // smore-lint: allow(E1): the case study is a verification harness — an
+    // invalid solution must abort the run loudly, not be reported.
     let before = evaluate(instance, &before_sol).expect("opportunistic solution validates");
     let after_sol = smore.solve(instance);
+    // smore-lint: allow(E1): same harness fail-fast contract as above.
     let after = evaluate(instance, &after_sol).expect("SMORE solution validates");
 
     let mut rendered = String::new();

@@ -12,6 +12,7 @@
 //! cargo run -p smore-bench --bin experiments --release -- all
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod case_study;

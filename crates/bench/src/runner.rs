@@ -169,9 +169,8 @@ pub fn train_models_for_window(
     let train: Vec<Instance> = (0..cfg.train_instances)
         .map(|_| generator.gen_instance(&mut rng, window, 300.0, 1.0, 0.5))
         .collect();
-    let validation: Vec<Instance> = (0..3)
-        .map(|_| generator.gen_instance(&mut rng, window, 300.0, 1.0, 0.5))
-        .collect();
+    let validation: Vec<Instance> =
+        (0..3).map(|_| generator.gen_instance(&mut rng, window, 300.0, 1.0, 0.5)).collect();
 
     let mut tasnet_cfg = TasnetConfig::for_grid(spec.grid_rows, spec.grid_cols);
     tasnet_cfg.d_model = 16;
@@ -236,13 +235,14 @@ impl TrainedModels {
             MethodKind::Jdrl => Box::new(JdrlSolver::new(self.jdrl.clone())),
             MethodKind::Smore => Box::new(self.smore()),
             MethodKind::SmoreWoRlAs => Box::new(
-                SmoreFramework::new(GreedySelection, InsertionSolver::new())
-                    .with_name("w/o RL-AS"),
+                SmoreFramework::new(GreedySelection, InsertionSolver::new()).with_name("w/o RL-AS"),
             ),
             MethodKind::SmoreWoTasnet => {
                 let mut net = SingleStageNet::new(0);
                 net.store.load_values_from(
                     &smore_nn::ParamStore::from_json(&self.single_stage_params)
+                        // smore-lint: allow(E1): the params were serialized
+                        // by this same harness run during training.
                         .expect("stored single-stage params parse"),
                 );
                 Box::new(SingleStageSolver::new(net, InsertionSolver::new()))
@@ -258,6 +258,8 @@ impl TrainedModels {
             &self.tasnet_params,
             &self.critic_params,
         )
+        // smore-lint: allow(E1): the params were serialized by this same
+        // harness run during training.
         .expect("stored TASNet params parse")
     }
 }
@@ -286,6 +288,8 @@ pub fn run_cell(solver: &mut dyn UsmdwSolver, instances: &[Instance]) -> CellRes
     for inst in instances {
         let sol = solver.solve(inst);
         let stats = evaluate(inst, &sol)
+            // smore-lint: allow(E1): the table harness is the verification
+            // layer — an invalid solution must abort, not enter a table.
             .unwrap_or_else(|e| panic!("{} produced an invalid solution: {e}", solver.name()));
         objectives.push(stats.objective);
         completed += stats.completed;

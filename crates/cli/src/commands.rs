@@ -44,9 +44,9 @@ fn dataset_kind(name: &str) -> Result<DatasetKind, CliError> {
         "delivery" => Ok(DatasetKind::Delivery),
         "tourism" => Ok(DatasetKind::Tourism),
         "lade" => Ok(DatasetKind::LaDe),
-        other => Err(CliError::Usage(format!(
-            "unknown dataset {other:?} (delivery | tourism | lade)"
-        ))),
+        other => {
+            Err(CliError::Usage(format!("unknown dataset {other:?} (delivery | tourism | lade)")))
+        }
     }
 }
 
@@ -59,8 +59,8 @@ fn scale(name: &str) -> Result<Scale, CliError> {
 }
 
 fn read_instances(path: &str) -> Result<InstanceFile, CliError> {
-    let raw = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
+    let raw =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
     serde_json::from_str(&raw).map_err(|e| CliError::Parse(format!("parse {path}: {e}")))
 }
 
@@ -160,10 +160,10 @@ pub fn train(args: &Args) -> Result<(), CliError> {
 }
 
 fn load_smore(path: &str) -> Result<SmoreSolver<InsertionSolver>, CliError> {
-    let raw = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
-    let file: ModelFile = serde_json::from_str(&raw)
-        .map_err(|e| CliError::Parse(format!("parse {path}: {e}")))?;
+    let raw =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
+    let file: ModelFile =
+        serde_json::from_str(&raw).map_err(|e| CliError::Parse(format!("parse {path}: {e}")))?;
     let mut cfg = TasnetConfig::for_grid(file.grid_rows, file.grid_cols);
     cfg.d_model = file.d_model;
     cfg.heads = file.heads;
@@ -228,8 +228,7 @@ pub fn inspect(args: &Args) -> Result<(), CliError> {
     let file = read_instances(args.require("instances")?)?;
     if args.flag("validate") {
         for (i, inst) in file.instances.iter().enumerate() {
-            inst.validate()
-                .map_err(|e| CliError::InvalidData(format!("instance {i}: {e}")))?;
+            inst.validate().map_err(|e| CliError::InvalidData(format!("instance {i}: {e}")))?;
         }
         println!("all {} instances validate", file.instances.len());
         if args.get("solutions").is_none() {
@@ -304,7 +303,6 @@ EXIT CODES:
   0 ok   2 usage   3 io   4 parse   5 invalid data   6 solve/evaluate
 ";
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,19 +322,12 @@ mod tests {
     fn gen_solve_inspect_roundtrip() {
         let inst = tmp("inst.json");
         let sols = tmp("sols.json");
-        gen(&args(&format!(
-            "gen --out {inst} --dataset delivery --count 2 --seed 5 --budget 120"
-        )))
-        .unwrap();
+        gen(&args(&format!("gen --out {inst} --dataset delivery --count 2 --seed 5 --budget 120")))
+            .unwrap();
         stats(&args(&format!("stats --instances {inst}"))).unwrap();
-        solve(&args(&format!(
-            "solve --instances {inst} --method tvpg --out {sols}"
-        )))
-        .unwrap();
-        inspect(&args(&format!(
-            "inspect --instances {inst} --solutions {sols} --index 1"
-        )))
-        .unwrap();
+        solve(&args(&format!("solve --instances {inst} --method tvpg --out {sols}"))).unwrap();
+        inspect(&args(&format!("inspect --instances {inst} --solutions {sols} --index 1")))
+            .unwrap();
     }
 
     #[test]
@@ -344,12 +335,11 @@ mod tests {
         let inst = tmp("inst2.json");
         assert!(gen(&args(&format!("gen --out {inst} --dataset mars"))).is_err());
         gen(&args(&format!("gen --out {inst} --count 1"))).unwrap();
-        assert!(solve(&args(&format!(
-            "solve --instances {inst} --method quantum"
-        )))
-        .is_err());
-        assert!(solve(&args(&format!("solve --instances {inst} --method smore"))).is_err(),
-            "smore without --model must fail");
+        assert!(solve(&args(&format!("solve --instances {inst} --method quantum"))).is_err());
+        assert!(
+            solve(&args(&format!("solve --instances {inst} --method smore"))).is_err(),
+            "smore without --model must fail"
+        );
     }
 
     #[test]
@@ -373,10 +363,9 @@ mod tests {
         gen(&args(&format!("gen --out {inst} --count 1 --budget 120"))).unwrap();
         let sols = tmp("sols3.json");
         solve(&args(&format!("solve --instances {inst} --method tvpg --out {sols}"))).unwrap();
-        let e = inspect(&args(&format!(
-            "inspect --instances {inst} --solutions {sols} --index 99"
-        )))
-        .unwrap_err();
+        let e =
+            inspect(&args(&format!("inspect --instances {inst} --solutions {sols} --index 99")))
+                .unwrap_err();
         assert_eq!(e.exit_code(), 5, "{e:?}");
     }
 
@@ -393,9 +382,6 @@ mod tests {
         gen(&args(&format!("gen --out {inst} --count 1 --budget 120"))).unwrap();
         // A zero budget must still produce solutions that evaluate cleanly
         // (the anytime contract), not an error or a panic.
-        solve(&args(&format!(
-            "solve --instances {inst} --method tvpg --budget-ms 0"
-        )))
-        .unwrap();
+        solve(&args(&format!("solve --instances {inst} --method tvpg --budget-ms 0"))).unwrap();
     }
 }

@@ -4,6 +4,9 @@
 //! Failures exit with a code identifying the class of error (see
 //! [`error::CliError`]): 2 usage, 3 io, 4 parse, 5 invalid data, 6 solve.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod args;
 mod commands;
 mod error;

@@ -121,10 +121,7 @@ impl<'a> Engine<'a> {
     /// Fails with [`SmoreError::InitialRoute`] if some worker's
     /// mandatory-only route cannot be solved (which generated instances
     /// never trigger, but faulty or chained solvers can).
-    pub fn new(
-        instance: &'a Instance,
-        solver: &'a dyn TsptwSolver,
-    ) -> Result<Self, SmoreError> {
+    pub fn new(instance: &'a Instance, solver: &'a dyn TsptwSolver) -> Result<Self, SmoreError> {
         Self::new_within(instance, solver, Deadline::none())
     }
 
@@ -228,8 +225,7 @@ impl<'a> Engine<'a> {
     fn prune_unaffordable(&mut self) {
         let budget_rest = self.state.budget_rest;
         for w in 0..self.instance.n_workers() {
-            self.candidates
-                .retain_tasks(WorkerId(w), |_, c| c.delta_in <= budget_rest + TIME_EPS);
+            self.candidates.retain_tasks(WorkerId(w), |_, c| c.delta_in <= budget_rest + TIME_EPS);
         }
     }
 

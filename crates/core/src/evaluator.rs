@@ -347,7 +347,9 @@ impl PreparedWorker for IncrementalPrepared<'_> {
         self.counters.full_solves.fetch_add(1, Ordering::Relaxed);
         let result = self.full.solve_task(task);
         if result.is_none() {
-            self.newly_dead.lock().unwrap().push(task.0);
+            // Poison recovery: the guarded data is a memo hint list, still
+            // valid even if another probe thread panicked mid-push.
+            self.newly_dead.lock().unwrap_or_else(|e| e.into_inner()).push(task.0);
         }
         result
     }
@@ -355,9 +357,9 @@ impl PreparedWorker for IncrementalPrepared<'_> {
 
 impl Drop for IncrementalPrepared<'_> {
     fn drop(&mut self) {
-        let newly = std::mem::take(&mut *self.newly_dead.lock().unwrap());
+        let newly = std::mem::take(&mut *self.newly_dead.lock().unwrap_or_else(|e| e.into_inner()));
         if !newly.is_empty() {
-            let mut map = self.dead_sink.write().unwrap();
+            let mut map = self.dead_sink.write().unwrap_or_else(|e| e.into_inner());
             map.entry(self.full.ctx.worker.0).or_default().extend(newly);
         }
     }
@@ -383,7 +385,7 @@ impl CandidateEvaluator for IncrementalInsertion {
         let dead = self
             .dead
             .read()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .get(&ctx.worker.0)
             .cloned()
             .unwrap_or_default();
@@ -398,7 +400,7 @@ impl CandidateEvaluator for IncrementalInsertion {
     }
 
     fn begin_engine(&self) {
-        self.dead.write().unwrap().clear();
+        self.dead.write().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
     fn stats(&self) -> EvalStats {

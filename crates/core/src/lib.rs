@@ -29,6 +29,7 @@
 //!   `Deadline` budget: on expiry the best valid partial solution is
 //!   returned (anytime solving).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
@@ -46,7 +47,9 @@ pub use error::SmoreError;
 pub use evaluator::{
     CandidateEvaluator, EvalStats, FullResolve, IncrementalInsertion, PreparedWorker, WorkerEval,
 };
-pub use policy::{GreedySelection, RandomSelection, RatioGreedySelection, SelectionPolicy, SmoreFramework};
+pub use policy::{
+    GreedySelection, RandomSelection, RatioGreedySelection, SelectionPolicy, SmoreFramework,
+};
 pub use route_planning::{order_to_route, route_problem};
 pub use single_stage::{train_single_stage, SingleStageNet, SingleStageSolver};
 pub use solver::SmoreSolver;

@@ -36,12 +36,7 @@ impl<P: SelectionPolicy, S: TsptwSolver> SmoreFramework<P, S> {
     /// Assembles the framework with the default incremental evaluator.
     pub fn new(policy: P, solver: S) -> Self {
         let display_name = policy.name().to_string();
-        Self {
-            policy,
-            solver,
-            evaluator: Arc::new(IncrementalInsertion::new()),
-            display_name,
-        }
+        Self { policy, solver, evaluator: Arc::new(IncrementalInsertion::new()), display_name }
     }
 
     /// Overrides the display name (used by ablations).
@@ -230,8 +225,8 @@ mod tests {
         for seed in 62..65 {
             let inst = instance(seed);
             let g = SmoreFramework::new(GreedySelection, InsertionSolver::new()).solve(&inst);
-            let r =
-                SmoreFramework::new(RandomSelection::new(seed), InsertionSolver::new()).solve(&inst);
+            let r = SmoreFramework::new(RandomSelection::new(seed), InsertionSolver::new())
+                .solve(&inst);
             greedy_sum += evaluate(&inst, &g).unwrap().objective;
             random_sum += evaluate(&inst, &r).unwrap().objective;
         }

@@ -119,13 +119,7 @@ pub fn order_to_route(
     let stops = solution
         .order
         .iter()
-        .map(|&i| {
-            if i < n_travel {
-                Stop::Travel(i)
-            } else {
-                Stop::Sensing(tasks[i - n_travel])
-            }
-        })
+        .map(|&i| if i < n_travel { Stop::Travel(i) } else { Stop::Sensing(tasks[i - n_travel]) })
         .collect();
     Route::new(stops)
 }

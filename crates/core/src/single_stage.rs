@@ -49,6 +49,8 @@ impl SingleStageNet {
         let (tx, ty) = grid.normalize(&t.loc);
         let (gain, delta_in, _) = engine
             .signals(worker, task)
+            // smore-lint: allow(E1): callers iterate the engine's own
+            // candidate map, and every candidate pair has cached signals.
             .expect("pair features are only computed for candidates");
         [
             ox as f32,
@@ -70,11 +72,7 @@ impl SingleStageNet {
 
     /// Scores all candidate pairs at once; returns the pairs, the sampling
     /// probabilities node and the log-probability node.
-    fn score_pairs(
-        &self,
-        tape: &mut Tape,
-        engine: &Engine<'_>,
-    ) -> Option<ScoredPairs> {
+    fn score_pairs(&self, tape: &mut Tape, engine: &Engine<'_>) -> Option<ScoredPairs> {
         let mut pairs = Vec::new();
         for w in 0..engine.instance.n_workers() {
             let wid = WorkerId(w);

@@ -130,8 +130,7 @@ mod tests {
         let mut original = SmoreSolver::new(net, critic, InsertionSolver::new());
         let sol_a = original.solve(&inst);
         let (p, c) = original.save_params();
-        let mut restored =
-            SmoreSolver::load_params(cfg, InsertionSolver::new(), &p, &c).unwrap();
+        let mut restored = SmoreSolver::load_params(cfg, InsertionSolver::new(), &p, &c).unwrap();
         let sol_b = restored.solve(&inst);
         assert_eq!(sol_a, sol_b, "restored model must reproduce decisions");
     }

@@ -22,8 +22,8 @@ use crate::engine::Engine;
 use rand::rngs::SmallRng;
 use smore_model::{Instance, SensingTaskId, WorkerId};
 use smore_nn::{
-    select_row, Conv3x3, Encoder, Linear, Matrix, Mlp, MultiHeadAttention, ParamStore, Tape,
-    Var, NEG_INF,
+    select_row, Conv3x3, Encoder, Linear, Matrix, Mlp, MultiHeadAttention, ParamStore, Tape, Var,
+    NEG_INF,
 };
 
 /// TASNet hyperparameters.
@@ -128,7 +128,11 @@ pub enum SelectMode {
 impl SelectMode {
     /// `Greedy` when the flag is set, else `Sample`.
     pub fn policy(greedy: bool) -> Self {
-        if greedy { SelectMode::Greedy } else { SelectMode::Sample }
+        if greedy {
+            SelectMode::Greedy
+        } else {
+            SelectMode::Sample
+        }
     }
 }
 
@@ -170,14 +174,16 @@ impl Tasnet {
         let task_encoder =
             Encoder::new(&mut store, "tasnet.tenc", d, cfg.heads, 2 * d, cfg.enc_layers, &mut rng);
 
-        let group_mha = MultiHeadAttention::new(&mut store, "tasnet.gmha", 2 * d, cfg.heads, &mut rng);
+        let group_mha =
+            MultiHeadAttention::new(&mut store, "tasnet.gmha", 2 * d, cfg.heads, &mut rng);
         let budget_fc_w = Linear::new(&mut store, "tasnet.bfcw", 1, cfg.budget_dim, true, &mut rng);
         let glimpse_q =
             Linear::new(&mut store, "tasnet.glq", 2 * d + cfg.budget_dim, 2 * d, false, &mut rng);
         let wq_worker = Linear::new(&mut store, "tasnet.wq", 2 * d, 2 * d, false, &mut rng);
         let wk_worker = Linear::new(&mut store, "tasnet.wk", 2 * d, 2 * d, false, &mut rng);
 
-        let assigned_mha = MultiHeadAttention::new(&mut store, "tasnet.amha", d, cfg.heads, &mut rng);
+        let assigned_mha =
+            MultiHeadAttention::new(&mut store, "tasnet.amha", d, cfg.heads, &mut rng);
         let budget_fc_t = Linear::new(&mut store, "tasnet.bfct", 1, cfg.budget_dim, true, &mut rng);
         // h_w = [ǎ_j; w_j] (2d) + FC(B) + h_g (2d) + s̄ (d) = 5d + budget_dim.
         let task_q =
@@ -271,7 +277,12 @@ impl Tasnet {
 
     /// Mean-pooled embedding of a worker's assigned tasks (`s̄_j`), or a zero
     /// vector when nothing is assigned yet.
-    fn assigned_mean(&self, tape: &mut Tape, enc: &EpisodeEncoding, assigned: &[SensingTaskId]) -> Var {
+    fn assigned_mean(
+        &self,
+        tape: &mut Tape,
+        enc: &EpisodeEncoding,
+        assigned: &[SensingTaskId],
+    ) -> Var {
         if assigned.is_empty() {
             tape.constant(Matrix::zeros(1, self.cfg.d_model))
         } else {
@@ -406,6 +417,8 @@ impl Tasnet {
         let mut betas = Vec::with_capacity(feasible.len());
         for (r, &t) in feasible.iter().enumerate() {
             let (gain, delta_in, beta) =
+                // smore-lint: allow(E1): `feasible` was read from the
+                // engine's candidate map; every entry has cached signals.
                 engine.signals(worker, t).expect("feasible task has signals");
             signals.set(r, 0, gain as f32);
             signals.set(r, 1, (delta_in / enc.budget0) as f32);
@@ -436,6 +449,9 @@ impl Tasnet {
             SelectMode::Force(pair) => feasible
                 .iter()
                 .position(|&t| t == pair.1)
+                // smore-lint: allow(E1): Force is only used by imitation
+                // replay, which records pairs straight from the candidate
+                // map it is replaying against.
                 .expect("forced task must be feasible for the forced worker"),
             SelectMode::Greedy => select_row(tape.value(tprobs), 0, true, rng),
             SelectMode::Sample => select_row(tape.value(tprobs), 0, false, rng),

@@ -111,8 +111,7 @@ pub fn run_episode_on(
 
     let mut logps = Vec::new();
     while engine.has_candidates() && !deadline.expired() {
-        let Some(((worker, task), lp)) = net.select(&mut tape, &enc, &engine, greedy, rng)
-        else {
+        let Some(((worker, task), lp)) = net.select(&mut tape, &enc, &engine, greedy, rng) else {
             break;
         };
         if engine.apply(worker, task).is_err() {
@@ -215,7 +214,11 @@ pub struct EpochStats {
 impl EpochStats {
     /// Mean sampled objective (0 when no episode ran).
     pub fn mean_objective(&self) -> f64 {
-        if self.episodes == 0 { 0.0 } else { self.objective_sum / self.episodes as f64 }
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.objective_sum / self.episodes as f64
+        }
     }
 }
 
@@ -245,7 +248,8 @@ pub fn validate(
 ) -> ValidationStats {
     let pool = TapePool::new();
     let objectives: Vec<Option<f64>> = parallel_map(threads, validation, |i, inst| {
-        let mut rng = SmallRng::seed_from_u64(episode_seed(0, stream(STREAM_VALIDATE, 0), i as u64));
+        let mut rng =
+            SmallRng::seed_from_u64(episode_seed(0, stream(STREAM_VALIDATE, 0), i as u64));
         run_episode_pooled(net, critic, inst, solver, true, &mut rng, &pool).map(|ep| {
             let objective = ep.objective;
             pool.put(ep.tape);
@@ -305,11 +309,8 @@ fn imitation_episode(
 ) -> Option<Vec<StepLogProbs>> {
     let value = teacher_trajectory(&mut GreedySelection, instance, solver)?;
     let ratio = teacher_trajectory(&mut RatioGreedySelection, instance, solver)?;
-    let mut teacher: Box<dyn SelectionPolicy> = if ratio.1 > value.1 {
-        Box::new(RatioGreedySelection)
-    } else {
-        Box::new(GreedySelection)
-    };
+    let mut teacher: Box<dyn SelectionPolicy> =
+        if ratio.1 > value.1 { Box::new(RatioGreedySelection) } else { Box::new(GreedySelection) };
 
     let mut engine = Engine::new(instance, solver).ok()?;
     let enc = net.encode(tape, instance);
@@ -477,10 +478,8 @@ pub fn reinforce_epoch(
 
         // Advantages: objective minus the critic's value, normalized per
         // batch to stabilize the small-batch policy gradient.
-        let advantages: Vec<f32> = episodes
-            .iter()
-            .map(|ep| ep.objective as f32 - critic.predict(&ep.summary))
-            .collect();
+        let advantages: Vec<f32> =
+            episodes.iter().map(|ep| ep.objective as f32 - critic.predict(&ep.summary)).collect();
         let std = {
             let mean = advantages.iter().sum::<f32>() / advantages.len() as f32;
             let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
@@ -564,9 +563,9 @@ pub fn train_tasnet_validated(
     let mut best: Option<(f64, smore_nn::ParamStore)> = None;
     let pool = TapePool::new();
     let checkpoint = |net: &Tasnet,
-                          critic: &Critic,
-                          best: &mut Option<(f64, smore_nn::ParamStore)>,
-                          report: &mut TasnetTrainReport| {
+                      critic: &Critic,
+                      best: &mut Option<(f64, smore_nn::ParamStore)>,
+                      report: &mut TasnetTrainReport| {
         if validation.is_empty() {
             return;
         }

@@ -31,6 +31,8 @@ fn nn_route_length(start: &Point, end: &Point, stops: &[Point]) -> f64 {
             .filter(|(i, _)| !used[*i])
             .map(|(i, p)| (i, at.distance_sq(p)))
             .min_by(|a, b| a.1.total_cmp(&b.1))
+            // smore-lint: allow(E1): the loop runs exactly `stops.len()`
+            // times, so an unused stop always remains.
             .expect("an unused stop must remain");
         used[next] = true;
         len += at.distance(&stops[next]);
@@ -90,6 +92,7 @@ impl InstanceGenerator {
             }
             target -= w;
         }
+        // smore-lint: allow(E1): constructors reject empty hotspot lists.
         *self.hotspots.last().expect("at least one hotspot")
     }
 
@@ -109,12 +112,17 @@ impl InstanceGenerator {
         let margin_x = self.spec.region_width * 0.08;
         let margin_y = self.spec.region_height * 0.08;
         match rng.gen_range(0..4) {
-            0 => Point::new(rng.gen_range(0.0..self.spec.region_width), rng.gen_range(0.0..margin_y)),
+            0 => {
+                Point::new(rng.gen_range(0.0..self.spec.region_width), rng.gen_range(0.0..margin_y))
+            }
             1 => Point::new(
                 rng.gen_range(0.0..self.spec.region_width),
                 rng.gen_range(self.spec.region_height - margin_y..self.spec.region_height),
             ),
-            2 => Point::new(rng.gen_range(0.0..margin_x), rng.gen_range(0.0..self.spec.region_height)),
+            2 => Point::new(
+                rng.gen_range(0.0..margin_x),
+                rng.gen_range(0.0..self.spec.region_height),
+            ),
             _ => Point::new(
                 rng.gen_range(self.spec.region_width - margin_x..self.spec.region_width),
                 rng.gen_range(0.0..self.spec.region_height),

@@ -12,6 +12,7 @@
 //! * [`InstanceGenerator`] / [`InstanceSplit`] — deterministic generation.
 //! * [`DatasetStats`] / [`Histogram`] — the statistics behind Figure 4.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod gen;

@@ -372,10 +372,7 @@ mod tests {
             let before = t.value();
             t.add(cell);
             added.push(cell);
-            assert!(
-                (t.value() - before - predicted).abs() < 1e-9,
-                "gain mismatch at step {i}"
-            );
+            assert!((t.value() - before - predicted).abs() < 1e-9, "gain mismatch at step {i}");
             assert!((coverage_of(&c, &added) - t.value()).abs() < 1e-9);
         }
     }

@@ -1,0 +1,126 @@
+//! Epsilon-tolerant float comparison helpers — the runtime counterpart of
+//! the `smore-lint` N1 contract.
+//!
+//! Objective (hierarchical entropy coverage) and feasibility (time-window,
+//! slack) arithmetic is f64 end to end. Two hazards follow:
+//!
+//! 1. **Bare `==`/`!=`** on computed floats is brittle under reassociation
+//!    and FMA contraction — the static pass (`smore-lint`, rule N1) bans it.
+//! 2. **NaN leaks** defeat *every* comparison silently (`NaN <= x` is
+//!    false, so an infeasible route can read as feasible or vice versa) —
+//!    and no static pass can see them. Each helper here `debug_assert!`s
+//!    its inputs are finite, so debug/test builds catch the leak at the
+//!    comparison site instead of three tables downstream.
+//!
+//! Release builds compile the asserts out; the helpers are `#[inline]` and
+//! cost exactly the comparison they replace.
+
+/// Default tolerance for equality of quantities in model units (minutes,
+/// kilometers): well below any schedule delta the simulator produces, well
+/// above accumulated f64 noise over thousands of additions.
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+#[inline]
+fn assert_finite(label: &str, x: f64) {
+    debug_assert!(x.is_finite(), "{label} must be finite, got {x}");
+}
+
+#[inline]
+fn assert_eps(eps: f64) {
+    debug_assert!(eps.is_finite() && eps >= 0.0, "eps must be finite and >= 0, got {eps}");
+}
+
+/// `a` equals `b` within `eps`.
+#[inline]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    assert_finite("approx_eq_eps lhs", a);
+    assert_finite("approx_eq_eps rhs", b);
+    assert_eps(eps);
+    (a - b).abs() <= eps
+}
+
+/// `a` equals `b` within [`DEFAULT_EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, DEFAULT_EPS)
+}
+
+/// `a` differs from `b` by more than [`DEFAULT_EPS`].
+#[inline]
+pub fn approx_ne(a: f64, b: f64) -> bool {
+    !approx_eq(a, b)
+}
+
+/// `x` is zero within [`DEFAULT_EPS`].
+#[inline]
+pub fn approx_zero(x: f64) -> bool {
+    assert_finite("approx_zero arg", x);
+    x.abs() <= DEFAULT_EPS
+}
+
+/// `a <= b` with `eps` of forgiveness (feasibility-style comparison: an
+/// arrival `eps` past a deadline still counts as on time).
+#[inline]
+pub fn approx_le(a: f64, b: f64, eps: f64) -> bool {
+    assert_finite("approx_le lhs", a);
+    assert_finite("approx_le rhs", b);
+    assert_eps(eps);
+    a <= b + eps
+}
+
+/// `a >= b` with `eps` of forgiveness.
+#[inline]
+pub fn approx_ge(a: f64, b: f64, eps: f64) -> bool {
+    assert_finite("approx_ge lhs", a);
+    assert_finite("approx_ge rhs", b);
+    assert_eps(eps);
+    a + eps >= b
+}
+
+/// `a < b` by a margin of more than `eps` (improvement-style comparison: an
+/// objective must beat the incumbent by more than noise to replace it).
+#[inline]
+pub fn definitely_lt(a: f64, b: f64, eps: f64) -> bool {
+    assert_finite("definitely_lt lhs", a);
+    assert_finite("definitely_lt rhs", b);
+    assert_eps(eps);
+    a + eps < b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_with_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(approx_ne(1.0, 1.0 + 1e-6));
+        assert!(approx_eq_eps(10.0, 10.5, 0.5));
+        assert!(!approx_eq_eps(10.0, 10.6, 0.5));
+        assert!(approx_zero(-1e-12));
+        assert!(!approx_zero(1e-6));
+    }
+
+    #[test]
+    fn ordering_with_tolerance() {
+        assert!(approx_le(10.0 + 1e-9, 10.0, 1e-6));
+        assert!(!approx_le(10.0 + 1e-3, 10.0, 1e-6));
+        assert!(approx_ge(10.0 - 1e-9, 10.0, 1e-6));
+        assert!(definitely_lt(9.0, 10.0, 1e-6));
+        assert!(!definitely_lt(10.0 - 1e-9, 10.0, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    #[cfg(debug_assertions)]
+    fn nan_input_is_caught_in_debug_builds() {
+        let _ = approx_le(f64::NAN, 10.0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    #[cfg(debug_assertions)]
+    fn infinity_is_caught_in_debug_builds() {
+        let _ = approx_eq(f64::INFINITY, 10.0);
+    }
+}

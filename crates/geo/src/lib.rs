@@ -13,9 +13,11 @@
 //!   `φ(S') = α·E(S') + (1−α)·log2|S'|` (Definition 4) with `O(levels)`
 //!   incremental updates and hypothetical-gain queries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod coverage;
+pub mod float;
 mod grid;
 mod point;
 mod time;

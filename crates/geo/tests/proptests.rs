@@ -1,7 +1,9 @@
 //! Property-based tests for the geo substrate.
 
 use proptest::prelude::*;
-use smore_geo::{coverage_of, CoverageConfig, CoverageTracker, GridSpec, Point, StCell, StResolution, TimeWindow};
+use smore_geo::{
+    coverage_of, CoverageConfig, CoverageTracker, GridSpec, Point, StCell, StResolution, TimeWindow,
+};
 
 fn arb_cell(res: StResolution) -> impl Strategy<Value = StCell> {
     (0..res.rows, 0..res.cols, 0..res.slots).prop_map(|(row, col, slot)| StCell { row, col, slot })

@@ -1,0 +1,344 @@
+//! `lint.toml` configuration: rule scopes, escapes and workspace layout.
+//!
+//! The checked-in config lives at `crates/lint/lint.toml` (inside the crate
+//! so the offline shadow workspace sync picks it up); a `lint.toml` at the
+//! workspace root takes precedence when present. Parsing is a small
+//! hand-rolled TOML subset — tables, string/bool/integer values and string
+//! arrays (single- or multi-line) — because the workspace builds offline and
+//! cannot take a `toml` crate dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Scope configuration for one rule.
+#[derive(Debug, Default, Clone)]
+pub struct RuleScope {
+    /// Module-path prefixes (e.g. `core::train`, `nn`) the rule applies to.
+    /// Empty means "every module" for rules that are module-scoped.
+    pub modules: Vec<String>,
+    /// Module-path prefixes carved back out of `modules` (scoped allows).
+    pub allow_modules: Vec<String>,
+    /// Crate short names the rule never applies to.
+    pub exempt_crates: Vec<String>,
+}
+
+impl RuleScope {
+    /// Does `module` (e.g. `core::train::inner`) fall inside this scope?
+    /// Matching is by `::`-boundary prefix: scope `nn` covers `nn` and
+    /// `nn::tape` but not `nnx`.
+    pub fn applies_to(&self, module: &str, krate: &str) -> bool {
+        if self.exempt_crates.iter().any(|c| c == krate) {
+            return false;
+        }
+        let in_scope =
+            self.modules.is_empty() || self.modules.iter().any(|m| path_covers(m, module));
+        let carved_out = self.allow_modules.iter().any(|m| path_covers(m, module));
+        in_scope && !carved_out
+    }
+}
+
+/// `prefix` covers `module` iff equal or `module` starts with `prefix::`.
+fn path_covers(prefix: &str, module: &str) -> bool {
+    module == prefix
+        || (module.len() > prefix.len()
+            && module.starts_with(prefix)
+            && module[prefix.len()..].starts_with("::"))
+}
+
+/// Full linter configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace-relative path prefixes that are never scanned.
+    pub exclude: Vec<String>,
+    /// Crates whose targets are all binaries (no library contract).
+    pub bin_crates: Vec<String>,
+    /// Per-rule scopes, keyed by rule id (`D1`, `D2`, `N1`, `E1`).
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+impl Config {
+    /// Scope for `rule`, or an empty scope (= applies everywhere) if the
+    /// config does not mention it.
+    pub fn scope(&self, rule: &str) -> RuleScope {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Is `rel_path` (workspace-relative, `/`-separated) excluded?
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        self.exclude.iter().any(|p| {
+            rel_path == p.as_str()
+                || (rel_path.len() > p.len()
+                    && rel_path.starts_with(p.as_str())
+                    && rel_path[p.len()..].starts_with('/'))
+        })
+    }
+
+    /// Parse a config from TOML text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let doc = parse_toml_subset(text)?;
+        let mut cfg =
+            Config { exclude: Vec::new(), bin_crates: Vec::new(), rules: BTreeMap::new() };
+        for (key, value) in doc {
+            match key.as_str() {
+                "exclude" => cfg.exclude = value.into_strings("exclude")?,
+                "bin_crates" => cfg.bin_crates = value.into_strings("bin_crates")?,
+                "schema" => {}
+                k if k.starts_with("rules.") => {
+                    let rest = &k["rules.".len()..];
+                    let (rule, field) = rest
+                        .split_once('.')
+                        .ok_or_else(|| ConfigError::new(format!("bare table key `{k}`")))?;
+                    let scope = cfg.rules.entry(rule.to_string()).or_default();
+                    match field {
+                        "modules" => scope.modules = value.into_strings(k)?,
+                        "allow" => scope.allow_modules = value.into_strings(k)?,
+                        "exempt_crates" => scope.exempt_crates = value.into_strings(k)?,
+                        _ => {
+                            return Err(ConfigError::new(format!(
+                                "unknown rule field `{field}` in `{k}`"
+                            )))
+                        }
+                    }
+                }
+                other => {
+                    return Err(ConfigError::new(format!("unknown config key `{other}`")));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Load from a file path.
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError::new(format!("cannot read {}: {e}", path.display())))?;
+        Config::parse(&text)
+    }
+}
+
+/// A config parse/IO failure, with a human-oriented message.
+#[derive(Debug)]
+pub struct ConfigError {
+    msg: String,
+}
+
+impl ConfigError {
+    fn new(msg: String) -> ConfigError {
+        ConfigError { msg }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A parsed TOML value (subset: strings, string arrays, ints, bools).
+#[derive(Debug)]
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+    Int(i64),
+    Bool(bool),
+}
+
+impl Value {
+    fn into_strings(self, key: &str) -> Result<Vec<String>, ConfigError> {
+        match self {
+            Value::Array(v) => Ok(v),
+            Value::Str(s) => Ok(vec![s]),
+            Value::Int(n) => {
+                Err(ConfigError::new(format!("`{key}` must be a string array, got `{n}`")))
+            }
+            Value::Bool(b) => {
+                Err(ConfigError::new(format!("`{key}` must be a string array, got `{b}`")))
+            }
+        }
+    }
+}
+
+/// Parse the TOML subset into flat `section.key -> value` pairs.
+fn parse_toml_subset(text: &str) -> Result<Vec<(String, Value)>, ConfigError> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| ConfigError::new(format!("line {}: unclosed table", idx + 1)))?;
+            section = header.trim().to_string();
+            continue;
+        }
+        let (key, mut rhs) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+            .ok_or_else(|| ConfigError::new(format!("line {}: expected `key = value`", idx + 1)))?;
+        // Multi-line arrays: keep consuming until brackets balance.
+        while rhs.starts_with('[') && !brackets_balanced(&rhs) {
+            let Some((_, next)) = lines.next() else {
+                return Err(ConfigError::new(format!("line {}: unterminated array", idx + 1)));
+            };
+            rhs.push(' ');
+            rhs.push_str(strip_toml_comment(next).trim());
+        }
+        let value = parse_value(&rhs)
+            .ok_or_else(|| ConfigError::new(format!("line {}: bad value `{rhs}`", idx + 1)))?;
+        let full_key = if section.is_empty() { key } else { format!("{section}.{key}") };
+        out.push((full_key, value));
+    }
+    Ok(out)
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(s: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_value(rhs: &str) -> Option<Value> {
+    let rhs = rhs.trim();
+    if let Some(body) = rhs.strip_prefix('[') {
+        let body = body.strip_suffix(']')?;
+        let mut items = Vec::new();
+        for part in split_toml_list(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(part.strip_prefix('"')?.strip_suffix('"')?.to_string());
+        }
+        return Some(Value::Array(items));
+    }
+    if let Some(body) = rhs.strip_prefix('"') {
+        return Some(Value::Str(body.strip_suffix('"')?.to_string()));
+    }
+    if rhs == "true" {
+        return Some(Value::Bool(true));
+    }
+    if rhs == "false" {
+        return Some(Value::Bool(false));
+    }
+    rhs.parse::<i64>().ok().map(Value::Int)
+}
+
+/// Split an array body on commas outside quotes.
+fn split_toml_list(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&body[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+schema = 1
+exclude = ["crates/lint/tests/fixtures", "target"]
+bin_crates = ["cli"]
+
+[rules.D1]
+modules = [
+    "core::train",  # comment inside array
+    "nn",
+]
+
+[rules.D2]
+modules = ["core", "nn"]
+allow = ["core::engine"]
+
+[rules.E1]
+exempt_crates = ["cli", "lint"]
+"#;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(SAMPLE).expect("parse");
+        assert_eq!(cfg.exclude.len(), 2);
+        assert_eq!(cfg.bin_crates, vec!["cli".to_string()]);
+        let d1 = cfg.scope("D1");
+        assert_eq!(d1.modules, vec!["core::train".to_string(), "nn".to_string()]);
+    }
+
+    #[test]
+    fn module_prefix_matching_respects_boundaries() {
+        let cfg = Config::parse(SAMPLE).expect("parse");
+        let d1 = cfg.scope("D1");
+        assert!(d1.applies_to("nn", "nn"));
+        assert!(d1.applies_to("nn::tape", "nn"));
+        assert!(!d1.applies_to("nnx", "nnx"));
+        assert!(d1.applies_to("core::train", "core"));
+        assert!(!d1.applies_to("core::policy", "core"));
+    }
+
+    #[test]
+    fn scoped_allow_carves_out_modules() {
+        let cfg = Config::parse(SAMPLE).expect("parse");
+        let d2 = cfg.scope("D2");
+        assert!(d2.applies_to("core::train", "core"));
+        assert!(!d2.applies_to("core::engine", "core"));
+        assert!(!d2.applies_to("core::engine::deadline", "core"));
+    }
+
+    #[test]
+    fn exempt_crates_disable_the_rule() {
+        let cfg = Config::parse(SAMPLE).expect("parse");
+        let e1 = cfg.scope("E1");
+        assert!(!e1.applies_to("cli::commands", "cli"));
+        assert!(e1.applies_to("core::engine", "core"));
+    }
+
+    #[test]
+    fn exclusion_is_path_prefix_based() {
+        let cfg = Config::parse(SAMPLE).expect("parse");
+        assert!(cfg.is_excluded("crates/lint/tests/fixtures/d1_bad.rs"));
+        assert!(!cfg.is_excluded("crates/lint/tests/rules.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        assert!(Config::parse("mystery = 3\n").is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! `smore-lint` — the workspace invariant checker.
+//!
+//! Stock clippy cannot express the contracts this workspace depends on:
+//! bit-identical training at any thread count (PR 3) and f64 objective /
+//! feasibility arithmetic (hierarchical entropy coverage `φ`, TSPTW time
+//! windows) stay correct only if determinism-scoped modules never touch
+//! ambient nondeterminism and solver code never compares floats bare. This
+//! crate is a small static-analysis pass — a comment/string-aware lexer, not
+//! a full parser — that enforces four repo-specific rules over every `.rs`
+//! file in the workspace:
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `D1` | no `HashMap`/`HashSet` in determinism-scoped modules |
+//! | `D2` | no `Instant::now`/`SystemTime::now`/`thread_rng` in those modules |
+//! | `N1` | no bare float `==`/`!=` or `partial_cmp().unwrap()` in solver code |
+//! | `E1` | no `.unwrap()`/`.expect()`/`panic!` in library code outside tests |
+//!
+//! Scopes come from `crates/lint/lint.toml` (overridable by a workspace-root
+//! `lint.toml`); individual sites escape with
+//! `// smore-lint: allow(<rule>): <justification>`. The binary runs as
+//! `cargo run -p smore-lint -- --workspace`, prints `file:line` diagnostics
+//! with a fix hint, and exits nonzero on any violation — it is a CI gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+pub use config::{Config, ConfigError, RuleScope};
+pub use rules::{check_file, Diagnostic, RuleInfo, RULES};
+pub use source::ScannedFile;
+pub use walk::{classify, workspace_files, SourceFile, TargetKind};
+
+use std::path::Path;
+
+/// The default config, checked in next to this crate so the offline shadow
+/// workspace sync ships it alongside the sources.
+pub const DEFAULT_CONFIG_REL: &str = "crates/lint/lint.toml";
+
+/// Locate and parse the workspace config: `<root>/lint.toml` wins, then
+/// [`DEFAULT_CONFIG_REL`], then built-in defaults (everything in scope).
+pub fn load_config(root: &Path) -> Result<Config, ConfigError> {
+    let root_cfg = root.join("lint.toml");
+    if root_cfg.is_file() {
+        return Config::load(&root_cfg);
+    }
+    let crate_cfg = root.join(DEFAULT_CONFIG_REL);
+    if crate_cfg.is_file() {
+        return Config::load(&crate_cfg);
+    }
+    Config::parse("")
+}
+
+/// Lint the whole workspace at `root`. Returns diagnostics sorted by file
+/// then line (deterministic across runs).
+pub fn check_workspace(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let files = workspace_files(root, config)?;
+    let mut out = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(&file.path)?;
+        out.extend(check_file(file, &source, config));
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+/// Walk upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

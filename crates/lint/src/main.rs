@@ -1,0 +1,108 @@
+//! CLI entry point: `cargo run -p smore-lint -- --workspace`.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use smore_lint::{check_workspace, find_workspace_root, load_config, Config, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+smore-lint: workspace invariant checker (determinism + numeric safety)
+
+USAGE:
+    smore-lint --workspace [--config <lint.toml>] [--root <dir>] [--quiet]
+    smore-lint --list-rules
+
+OPTIONS:
+    --workspace        lint every .rs file under crates/, tests/, examples/
+    --config <path>    explicit lint.toml (default: <root>/lint.toml, then
+                       crates/lint/lint.toml)
+    --root <dir>       workspace root (default: walk up from cwd)
+    --quiet            print only the per-rule summary line
+    --list-rules       print the rule table and exit
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(violations) => {
+            if violations == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("smore-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<usize, String> {
+    let mut workspace = false;
+    let mut quiet = false;
+    let mut config_path: Option<PathBuf> = None;
+    let mut root_arg: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--quiet" | "-q" => quiet = true,
+            "--config" => {
+                config_path = Some(PathBuf::from(args.next().ok_or("--config needs a path")?));
+            }
+            "--root" => {
+                root_arg = Some(PathBuf::from(args.next().ok_or("--root needs a path")?));
+            }
+            "--list-rules" => {
+                for rule in RULES {
+                    println!("{}  {}", rule.id, rule.summary);
+                }
+                return Ok(0);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    if !workspace {
+        return Err(format!("nothing to do (pass --workspace)\n\n{USAGE}"));
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd).ok_or("no workspace root found above cwd")?
+        }
+    };
+    let config: Config = match config_path {
+        Some(p) => Config::load(&p).map_err(|e| e.to_string())?,
+        None => load_config(&root).map_err(|e| e.to_string())?,
+    };
+
+    let diagnostics = check_workspace(&root, &config).map_err(|e| e.to_string())?;
+    if !quiet {
+        for d in &diagnostics {
+            println!("{d}\n");
+        }
+    }
+    let mut by_rule: Vec<(&str, usize)> = Vec::new();
+    for rule in RULES {
+        let n = diagnostics.iter().filter(|d| d.rule == rule.id).count();
+        by_rule.push((rule.id, n));
+    }
+    let total = diagnostics.len();
+    let summary = by_rule.iter().map(|(id, n)| format!("{id}: {n}")).collect::<Vec<_>>().join(", ");
+    if total == 0 {
+        println!("smore-lint: workspace clean ({summary})");
+    } else {
+        println!("smore-lint: {total} violation(s) ({summary})");
+    }
+    Ok(total)
+}

@@ -1,0 +1,513 @@
+//! The rule set: determinism (D1, D2), numeric safety (N1) and
+//! error-discipline (E1) contracts.
+//!
+//! Every rule works on the sanitized token stream of a [`ScannedFile`]
+//! (comments/strings already blanked), skips test-gated regions, and honors
+//! `// smore-lint: allow(<rule>)` escapes. Rules are scoped per module by
+//! `lint.toml`; see [`crate::config`].
+
+use crate::config::Config;
+use crate::source::ScannedFile;
+use crate::walk::{SourceFile, TargetKind};
+use std::fmt;
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id: `D1`, `D2`, `N1`, `E1`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+    /// How to fix it (or how to escape it when intentional).
+    pub help: &'static str,
+    /// The offending source line, trimmed, from the *original* source.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)?;
+        if !self.snippet.is_empty() {
+            writeln!(f, "    | {}", self.snippet)?;
+        }
+        write!(f, "    = help: {}", self.help)
+    }
+}
+
+/// Static description of one rule, for `--list-rules` and docs.
+pub struct RuleInfo {
+    /// Rule id.
+    pub id: &'static str,
+    /// One-line contract statement.
+    pub summary: &'static str,
+}
+
+/// Every rule the checker knows, in fixed order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D1",
+        summary: "no HashMap/HashSet in determinism-scoped modules \
+                  (iteration order is seed-dependent); use BTreeMap/BTreeSet or an indexed Vec",
+    },
+    RuleInfo {
+        id: "D2",
+        summary: "no SystemTime::now/Instant::now/thread_rng in determinism-scoped modules; \
+                  thread seeded RNGs and deadlines through explicit arguments",
+    },
+    RuleInfo {
+        id: "N1",
+        summary: "no bare ==/!= against float literals and no partial_cmp().unwrap() in \
+                  solver feasibility/objective code; use the epsilon helpers or total_cmp",
+    },
+    RuleInfo {
+        id: "E1",
+        summary: "no .unwrap()/.expect()/panic! in library code outside tests; \
+                  return typed errors, or document the invariant behind an inline allow",
+    },
+];
+
+/// Run every applicable rule over one file.
+pub fn check_file(file: &SourceFile, source: &str, config: &Config) -> Vec<Diagnostic> {
+    let scanned = ScannedFile::scan(source);
+    let original_lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+
+    let snippet = |line: usize| -> String {
+        original_lines.get(line - 1).map(|l| l.trim().to_string()).unwrap_or_default()
+    };
+
+    let mut push = |rule: &'static str, line: usize, message: String, help: &'static str| {
+        if scanned.is_test_code(line) || scanned.is_allowed(rule, line) {
+            return;
+        }
+        out.push(Diagnostic {
+            rule,
+            file: file.rel_path.clone(),
+            line,
+            message,
+            help,
+            snippet: snippet(line),
+        });
+    };
+
+    if config.scope("D1").applies_to(&file.module, &file.krate) && file.kind == TargetKind::Lib {
+        rule_d1(&scanned, &file.module, &mut push);
+    }
+    if config.scope("D2").applies_to(&file.module, &file.krate) && file.kind == TargetKind::Lib {
+        rule_d2(&scanned, &file.module, &mut push);
+    }
+    if config.scope("N1").applies_to(&file.module, &file.krate) && file.kind == TargetKind::Lib {
+        rule_n1(&scanned, &mut push);
+    }
+    if file.kind == TargetKind::Lib && config.scope("E1").applies_to(&file.module, &file.krate) {
+        rule_e1(&scanned, &mut push);
+    }
+    // Each rule scans the file top-to-bottom, but a rule with two detectors
+    // (N1: eq-ops, then partial_cmp) appends its passes back-to-back; sort so
+    // per-file output is line-ordered for every caller, not just the binary.
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// D1 — hash collections in determinism-scoped modules.
+fn rule_d1(
+    scanned: &ScannedFile,
+    module: &str,
+    push: &mut impl FnMut(&'static str, usize, String, &'static str),
+) {
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        for ident in ["HashMap", "HashSet"] {
+            if contains_ident(line, ident) {
+                push(
+                    "D1",
+                    idx + 1,
+                    format!("`{ident}` in determinism-scoped module `{module}`"),
+                    "hash iteration order varies across runs; use BTreeMap/BTreeSet, an \
+                     indexed Vec, or sort explicitly and escape with \
+                     `// smore-lint: allow(D1): <why>`",
+                );
+            }
+        }
+    }
+}
+
+/// D2 — ambient wall clocks and OS entropy in determinism-scoped modules.
+fn rule_d2(
+    scanned: &ScannedFile,
+    module: &str,
+    push: &mut impl FnMut(&'static str, usize, String, &'static str),
+) {
+    const BANNED: &[(&str, &str)] = &[
+        ("Instant::now", "wall-clock read"),
+        ("SystemTime::now", "wall-clock read"),
+        ("thread_rng", "OS-entropy RNG"),
+    ];
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        for (pat, what) in BANNED {
+            if contains_path_pattern(line, pat) {
+                push(
+                    "D2",
+                    idx + 1,
+                    format!("{what} `{pat}` in determinism-scoped module `{module}`"),
+                    "determinism-scoped code must take seeds (SmallRng/splitmix64) and \
+                     deadlines as explicit arguments; escape deliberate uses with \
+                     `// smore-lint: allow(D2): <why>`",
+                );
+            }
+        }
+    }
+}
+
+/// N1 — bare float equality and panicking float ordering.
+fn rule_n1(
+    scanned: &ScannedFile,
+    push: &mut impl FnMut(&'static str, usize, String, &'static str),
+) {
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        for op_pos in find_eq_ops(line) {
+            let (lhs, rhs) = operands_around(line, op_pos);
+            if is_float_operand(lhs) || is_float_operand(rhs) {
+                push(
+                    "N1",
+                    idx + 1,
+                    "bare float equality comparison".to_string(),
+                    "exact float equality is brittle under reordering/FMA; use \
+                     smore_geo::float::{approx_eq, approx_ne} (or an explicit epsilon), \
+                     or escape an intentional exact check with \
+                     `// smore-lint: allow(N1): <why>`",
+                );
+            }
+        }
+    }
+    // `partial_cmp(..).unwrap()` / `.expect(..)` — panics on NaN.
+    for (line, _) in find_partial_cmp_unwrap(&scanned.sanitized) {
+        push(
+            "N1",
+            line,
+            "`partial_cmp(..).unwrap()` panics on NaN".to_string(),
+            "use f64::total_cmp for ordering, or handle the None arm; escape with \
+             `// smore-lint: allow(N1): <why>` if NaN is structurally impossible",
+        );
+    }
+}
+
+/// E1 — panicking APIs in library code.
+fn rule_e1(
+    scanned: &ScannedFile,
+    push: &mut impl FnMut(&'static str, usize, String, &'static str),
+) {
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        for (what, msg) in
+            [("unwrap", "`.unwrap()` in library code"), ("expect", "`.expect(..)` in library code")]
+        {
+            if has_method_call(line, what) {
+                push(
+                    "E1",
+                    idx + 1,
+                    msg.to_string(),
+                    "library code returns typed errors (SolveError/SmoreError/InstanceError); \
+                     for true invariants keep an `.expect(\"<invariant>\")` and escape with \
+                     `// smore-lint: allow(E1): <why it cannot fail>`",
+                );
+            }
+        }
+        if has_macro_call(line, "panic") {
+            push(
+                "E1",
+                idx + 1,
+                "`panic!` in library code".to_string(),
+                "return a typed error instead; escape unreachable defensive panics with \
+                 `// smore-lint: allow(E1): <why it cannot be reached>`",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers. All operate on sanitized lines (no comment/string content).
+// ---------------------------------------------------------------------------
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Does `line` contain `ident` as a standalone identifier token?
+fn contains_ident(line: &str, ident: &str) -> bool {
+    find_ident(line, ident, 0).is_some()
+}
+
+fn find_ident(line: &str, ident: &str, from: usize) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut start = from;
+    while let Some(pos) = line.get(start..).and_then(|s| s.find(ident)) {
+        let pos = start + pos;
+        let before_ok = pos == 0 || !is_ident_char(bytes[pos - 1]);
+        let after = pos + ident.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        start = pos + 1;
+    }
+    None
+}
+
+/// Match a `::`-joined path suffix like `Instant::now`: the first segment
+/// must be a standalone identifier and the following segment must not
+/// continue into a longer identifier (`thread_rng` is matched bare).
+fn contains_path_pattern(line: &str, pat: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = line.get(start..).and_then(|s| s.find(pat)) {
+        let pos = start + pos;
+        let before_ok = pos == 0 || !is_ident_char(bytes[pos - 1]);
+        let after = pos + pat.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = pos + 1;
+    }
+    false
+}
+
+/// Byte offsets of `==` / `!=` operators (excluding `<=`, `>=`, pattern `=>`).
+fn find_eq_ops(line: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        if two == b"==" || two == b"!=" {
+            // Exclude `===`-like runs (not Rust) and `<=`/`>=`/`=>` handled
+            // by construction since we key on the first byte.
+            let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+            if prev != b'<' && prev != b'>' && prev != b'=' && bytes.get(i + 2) != Some(&b'=') {
+                out.push(i);
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The operand atoms immediately left and right of the operator at `op`.
+fn operands_around(line: &str, op: usize) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    // Left: scan back over one atom (idents, digits, `.`, `_`, `::`, closing
+    // parens are treated as opaque — we only need literal detection).
+    let mut l = op;
+    while l > 0 && bytes[l - 1] == b' ' {
+        l -= 1;
+    }
+    let lend = l;
+    while l > 0 {
+        let c = bytes[l - 1];
+        if is_ident_char(c) || c == b'.' || c == b':' {
+            l -= 1;
+        } else {
+            break;
+        }
+    }
+    // Right: symmetric.
+    let mut r = op + 2;
+    while r < bytes.len() && bytes[r] == b' ' {
+        r += 1;
+    }
+    let rstart = r;
+    // Allow a leading sign on the right operand.
+    if r < bytes.len() && (bytes[r] == b'-' || bytes[r] == b'+') {
+        r += 1;
+    }
+    while r < bytes.len() {
+        let c = bytes[r];
+        if is_ident_char(c) || c == b'.' || c == b':' {
+            r += 1;
+        } else {
+            break;
+        }
+    }
+    (&line[l..lend], &line[rstart..r])
+}
+
+/// Is this operand atom a float literal (`1.0`, `0.`, `1e-6`, `2f64`) or a
+/// float constant path (`f64::NAN`, `f64::INFINITY`, `f64::EPSILON`)?
+fn is_float_operand(atom: &str) -> bool {
+    let atom = atom.trim().trim_start_matches(['-', '+']);
+    if atom.is_empty() {
+        return false;
+    }
+    for suffix in ["::NAN", "::INFINITY", "::NEG_INFINITY", "::EPSILON"] {
+        if atom.ends_with(suffix) {
+            return true;
+        }
+    }
+    let bytes = atom.as_bytes();
+    if !bytes[0].is_ascii_digit() {
+        return false;
+    }
+    // Numeric literal: float iff it has a `.`, an exponent, or an f-suffix.
+    atom.contains('.')
+        || atom.ends_with("f64")
+        || atom.ends_with("f32")
+        || (atom.contains(['e', 'E'])
+            && atom.chars().all(|c| c.is_ascii_digit() || "eE+-_.".contains(c)))
+}
+
+/// Find `partial_cmp` calls whose result is immediately `.unwrap()`ed or
+/// `.expect(..)`ed. Works across line breaks on the sanitized text.
+/// Returns `(line, byte_offset)` pairs.
+fn find_partial_cmp_unwrap(sanitized: &str) -> Vec<(usize, usize)> {
+    let bytes = sanitized.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0usize;
+    while let Some(pos) = sanitized.get(search..).and_then(|s| s.find("partial_cmp")) {
+        let pos = search + pos;
+        search = pos + 1;
+        let before_ok = pos == 0 || !is_ident_char(bytes[pos - 1]);
+        let mut i = pos + "partial_cmp".len();
+        if !before_ok || bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        // Skip the balanced argument list.
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Next non-whitespace tokens: `.unwrap` or `.expect`?
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b'.') {
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_char(bytes[j]) {
+                j += 1;
+            }
+            let method = &sanitized[i + 1..j];
+            if method == "unwrap" || method == "expect" {
+                let line = sanitized[..pos].bytes().filter(|&b| b == b'\n').count() + 1;
+                out.push((line, pos));
+            }
+        }
+    }
+    out
+}
+
+/// Does `line` contain a `.name(` method call?
+fn has_method_call(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = find_ident(line, name, from) {
+        from = pos + 1;
+        // Preceded by `.` (skipping spaces) and followed by `(`.
+        let mut b = pos;
+        while b > 0 && bytes[b - 1] == b' ' {
+            b -= 1;
+        }
+        let preceded = b > 0 && bytes[b - 1] == b'.';
+        let mut a = pos + name.len();
+        while a < bytes.len() && bytes[a] == b' ' {
+            a += 1;
+        }
+        let followed = bytes.get(a) == Some(&b'(');
+        if preceded && followed {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does `line` invoke the macro `name!(…)` / `name!{…}` / `name![…]`?
+fn has_macro_call(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = find_ident(line, name, from) {
+        from = pos + 1;
+        let mut a = pos + name.len();
+        while a < bytes.len() && bytes[a] == b' ' {
+            a += 1;
+        }
+        if bytes.get(a) == Some(&b'!') {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_matching_has_boundaries() {
+        assert!(contains_ident("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_ident("struct HashMapLike;", "HashMap"));
+        assert!(!contains_ident("let my_unwrap = 3;", "unwrap"));
+    }
+
+    #[test]
+    fn eq_ops_found_not_confused_with_arrows() {
+        assert_eq!(find_eq_ops("if a == b { }").len(), 1);
+        assert_eq!(find_eq_ops("match x { _ => y }").len(), 0);
+        assert_eq!(find_eq_ops("if a <= b || a >= c { }").len(), 0);
+        assert_eq!(find_eq_ops("a != b && c == d").len(), 2);
+    }
+
+    #[test]
+    fn float_operand_detection() {
+        assert!(is_float_operand("0.0"));
+        assert!(is_float_operand("1e-6"));
+        assert!(is_float_operand("2.5f64"));
+        assert!(is_float_operand("f64::NAN"));
+        assert!(!is_float_operand("0"));
+        assert!(!is_float_operand("count"));
+        assert!(!is_float_operand("x.len"));
+    }
+
+    #[test]
+    fn operand_extraction() {
+        let line = "if rtt == 0.0 {";
+        let op = find_eq_ops(line)[0];
+        let (l, r) = operands_around(line, op);
+        assert_eq!(l, "rtt");
+        assert_eq!(r, "0.0");
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_spans_lines() {
+        let src = "xs.sort_by(|a, b| a.partial_cmp(b)\n    .unwrap());\n";
+        let hits = find_partial_cmp_unwrap(src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 1);
+        // `unwrap_or` is panic-free and must NOT fire.
+        assert!(find_partial_cmp_unwrap("a.partial_cmp(b).unwrap_or(Ordering::Equal)").is_empty());
+        assert!(find_partial_cmp_unwrap("let o = a.partial_cmp(b);").is_empty());
+    }
+
+    #[test]
+    fn method_and_macro_detection() {
+        assert!(has_method_call("let x = o.unwrap();", "unwrap"));
+        assert!(has_method_call("o .unwrap ()", "unwrap"));
+        assert!(!has_method_call("let x = o.unwrap_or(3);", "unwrap"));
+        assert!(!has_method_call("fn unwrap() {}", "unwrap"));
+        assert!(has_macro_call("panic!(\"boom\")", "panic"));
+        assert!(!has_macro_call("core::panic::Location::caller()", "panic"));
+    }
+}

@@ -1,0 +1,578 @@
+//! Lossless-enough Rust source scanning for lint rules.
+//!
+//! The scanner does three jobs that a regex over raw text cannot do safely:
+//!
+//! 1. **Sanitization** — produce a copy of the source where the *contents* of
+//!    comments, string literals (`"…"`, `r#"…"#`, `b"…"`), and char literals
+//!    are blanked out with spaces (line structure preserved), so rule
+//!    patterns never fire on prose or test data.
+//! 2. **Escape directives** — collect `// smore-lint: allow(RULE, …)` and
+//!    `// smore-lint: allow-file(RULE, …)` comments and map them to the lines
+//!    they govern.
+//! 3. **Test-region masking** — mark every line that belongs to an item
+//!    gated by `#[cfg(test)]` / `#[test]` (the inline `mod tests` blocks this
+//!    workspace uses), so rules only fire on shipping code.
+//!
+//! The scanner is deliberately a lexer, not a parser: it understands tokens,
+//! nesting and attributes, which is exactly enough for the rule set, and it
+//! never panics on malformed input (worst case it masks too little and the
+//! rule output points a human at the spot).
+
+use std::fmt;
+
+/// One scanned source file, ready for rule matching.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Sanitized source: comment/string/char-literal *contents* replaced by
+    /// spaces, newlines preserved, so byte offsets map 1:1 to the original.
+    pub sanitized: String,
+    /// `lines[i]` is the sanitized text of 1-based line `i + 1`.
+    pub lines: Vec<String>,
+    /// `allow[i]` lists rule ids escaped on 1-based line `i + 1`.
+    allow: Vec<Vec<String>>,
+    /// Rule ids escaped for the whole file via `allow-file`.
+    allow_file: Vec<String>,
+    /// `test_mask[i]` is true when 1-based line `i + 1` is test-gated code.
+    test_mask: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// Scan `source`, stripping literals and collecting escape directives.
+    pub fn scan(source: &str) -> ScannedFile {
+        let (sanitized, comments) = sanitize(source);
+        let line_count = sanitized.lines().count().max(1);
+        let lines: Vec<String> = sanitized.lines().map(|l| l.to_string()).collect();
+        let mut allow = vec![Vec::new(); line_count];
+        let mut allow_file = Vec::new();
+        apply_directives(&comments, &lines, &mut allow, &mut allow_file);
+        let test_mask = mask_test_regions(&lines);
+        ScannedFile { sanitized, lines, allow, allow_file, test_mask }
+    }
+
+    /// Is `rule` escaped on 1-based `line` (inline or file-wide)?
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        if self.allow_file.iter().any(|r| r == rule) {
+            return true;
+        }
+        line.checked_sub(1)
+            .and_then(|i| self.allow.get(i))
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+
+    /// Is 1-based `line` inside a `#[cfg(test)]` / `#[test]` gated item?
+    pub fn is_test_code(&self, line: usize) -> bool {
+        line.checked_sub(1).and_then(|i| self.test_mask.get(i)).copied().unwrap_or(false)
+    }
+}
+
+/// A comment captured during sanitization (text includes the `//` / `/*`).
+#[derive(Debug)]
+struct Comment {
+    /// 1-based line the comment starts on.
+    line: usize,
+    /// Raw comment text.
+    text: String,
+}
+
+/// Strip comment/string/char contents, returning the sanitized source and
+/// the list of captured comments.
+fn sanitize(source: &str) -> (String, Vec<Comment>) {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Push a byte to the sanitized output, preserving newlines.
+    fn blank(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                out.push(b'\n');
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start_line = line;
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+                comments.push(Comment { line: start_line, text: source[start..i].to_string() });
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i;
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        blank(&mut out, bytes[i]);
+                        blank(&mut out, bytes[i + 1]);
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        blank(&mut out, bytes[i]);
+                        blank(&mut out, bytes[i + 1]);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        blank(&mut out, bytes[i]);
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: source[start..i.min(bytes.len())].to_string(),
+                });
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut out, &mut line);
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                i = skip_raw_or_byte(bytes, i, &mut out, &mut line);
+            }
+            b'\'' => {
+                i = skip_char_or_lifetime(bytes, i, &mut out);
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    // Sanitization only ever substitutes ASCII spaces for non-newline bytes,
+    // so the output is valid UTF-8 whenever the input was.
+    let sanitized = String::from_utf8(out).unwrap_or_default();
+    (sanitized, comments)
+}
+
+/// Does `bytes[i..]` start a raw string (`r"`, `r#"`), byte string (`b"`),
+/// or raw byte string (`br"`, `br#"`)? `i` points at `r` or `b`.
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // Only treat as a literal prefix when not part of a longer identifier
+    // (e.g. `attr"` is not, `var` is not; `br#"` is).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+    }
+    j > i && j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Blank out a plain `"…"` string starting at `bytes[i] == b'"'`.
+/// Returns the index just past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    out.push(b'"');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                out.push(b' ');
+                out.push(if bytes[i + 1] == b'\n' { b'\n' } else { b' ' });
+                if bytes[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => {
+                out.push(b'"');
+                return i + 1;
+            }
+            b'\n' => {
+                out.push(b'\n');
+                *line += 1;
+                i += 1;
+            }
+            _ => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Blank out a raw/byte string starting at `bytes[i]` (`r`, `b`, or `br`
+/// prefix). Returns the index just past the closing delimiter.
+fn skip_raw_or_byte(bytes: &[u8], mut i: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        out.push(b'b');
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'r' {
+        raw = true;
+        out.push(b'r');
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        out.push(b'#');
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return i;
+    }
+    out.push(b'"');
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            // A raw string closes on `"` followed by `hashes` many `#`.
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && j < bytes.len() && bytes[j] == b'#' {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                out.push(b'"');
+                for _ in 0..hashes {
+                    out.push(b'#');
+                }
+                return j;
+            }
+            out.push(b' ');
+            i += 1;
+        } else if !raw && bytes[i] == b'\\' && i + 1 < bytes.len() {
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+        } else {
+            if bytes[i] == b'\n' {
+                out.push(b'\n');
+                *line += 1;
+            } else {
+                out.push(b' ');
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Handle a `'` that is either a char literal (`'x'`, `'\n'`) or a lifetime
+/// (`'a`). Char literal contents are blanked; lifetimes pass through.
+fn skip_char_or_lifetime(bytes: &[u8], i: usize, out: &mut Vec<u8>) -> usize {
+    // Escaped char: '\x' …
+    if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        out.push(b'\'');
+        for _ in i + 1..j {
+            out.push(b' ');
+        }
+        if j < bytes.len() && bytes[j] == b'\'' {
+            out.push(b'\'');
+            return j + 1;
+        }
+        return j;
+    }
+    // Plain char: 'x' — exactly one scalar between quotes. Multibyte UTF-8
+    // chars are handled by scanning to the next quote within a few bytes.
+    let limit = (i + 6).min(bytes.len());
+    let mut j = i + 1;
+    while j < limit && bytes[j] != b'\'' && bytes[j] != b'\n' {
+        j += 1;
+    }
+    if j > i + 1 && j < limit && bytes[j] == b'\'' {
+        out.push(b'\'');
+        for _ in i + 1..j {
+            out.push(b' ');
+        }
+        out.push(b'\'');
+        return j + 1;
+    }
+    // Lifetime or stray quote: pass through untouched.
+    out.push(b'\'');
+    i + 1
+}
+
+/// Parse every captured comment for `smore-lint:` directives and record the
+/// governed lines. An inline directive (code before the comment on the same
+/// line) governs its own line; a standalone directive governs the next line
+/// that carries code.
+fn apply_directives(
+    comments: &[Comment],
+    lines: &[String],
+    allow: &mut [Vec<String>],
+    allow_file: &mut Vec<String>,
+) {
+    for c in comments {
+        let Some(directive) = parse_directive(&c.text) else { continue };
+        match directive {
+            Directive::AllowFile(rules) => allow_file.extend(rules),
+            Directive::Allow(rules) => {
+                let idx = c.line - 1;
+                let own_line_has_code =
+                    lines.get(idx).map(|l| !l.trim().is_empty()).unwrap_or(false);
+                let target = if own_line_has_code {
+                    idx
+                } else {
+                    // Standalone comment: governs the next line with code.
+                    let mut t = idx + 1;
+                    while t < lines.len() && lines[t].trim().is_empty() {
+                        t += 1;
+                    }
+                    t
+                };
+                if let Some(slot) = allow.get_mut(target) {
+                    slot.extend(rules);
+                }
+            }
+        }
+    }
+}
+
+enum Directive {
+    Allow(Vec<String>),
+    AllowFile(Vec<String>),
+}
+
+/// Parse `// smore-lint: allow(E1, D2): justification` style comments.
+fn parse_directive(comment: &str) -> Option<Directive> {
+    let body = comment.trim_start_matches('/').trim_start_matches('!').trim();
+    let rest = body.strip_prefix("smore-lint:")?.trim();
+    let (kind, args) = if let Some(a) = rest.strip_prefix("allow-file") {
+        ("file", a)
+    } else if let Some(a) = rest.strip_prefix("allow") {
+        ("line", a)
+    } else {
+        return None;
+    };
+    let args = args.trim();
+    let inner = args.strip_prefix('(')?;
+    let close = inner.find(')')?;
+    let rules: Vec<String> =
+        inner[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return None;
+    }
+    Some(if kind == "file" { Directive::AllowFile(rules) } else { Directive::Allow(rules) })
+}
+
+/// Mark lines covered by `#[cfg(test)]` / `#[test]` gated items.
+///
+/// Recognizes the attribute forms used in this workspace: `#[cfg(test)]`,
+/// `#[cfg(any(test, …))]` and `#[test]`. `#[cfg(not(test))]` is shipping
+/// code and is *not* masked.
+fn mask_test_regions(lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let text: String = lines.join("\n");
+    let bytes = text.as_bytes();
+    let mut line_of = Vec::with_capacity(bytes.len() + 1);
+    let mut ln = 0usize;
+    for &b in bytes {
+        line_of.push(ln);
+        if b == b'\n' {
+            ln += 1;
+        }
+    }
+    line_of.push(ln);
+
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'#' && i + 1 < bytes.len() && bytes[i + 1] == b'[' {
+            let attr_start = i;
+            // Find matching `]` of the attribute.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr_end = j.min(bytes.len());
+            let attr: String =
+                text[attr_start..attr_end].chars().filter(|c| !c.is_whitespace()).collect();
+            let is_test_gate = attr == "#[test"
+                || attr.starts_with("#[cfg(test)")
+                || attr.starts_with("#[cfg(any(test,")
+                || attr.starts_with("#[cfg(all(test,");
+            if is_test_gate {
+                // Skip any further attributes, then mask to the end of the
+                // gated item (matching `{…}` block or trailing `;`).
+                let mut k = attr_end + 1;
+                loop {
+                    while k < bytes.len() && (bytes[k] as char).is_whitespace() {
+                        k += 1;
+                    }
+                    if k + 1 < bytes.len() && bytes[k] == b'#' && bytes[k + 1] == b'[' {
+                        let mut d = 0usize;
+                        while k < bytes.len() {
+                            match bytes[k] {
+                                b'[' => d += 1,
+                                b']' => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        k += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let item_end = item_extent(bytes, k);
+                let (lo, hi) = (line_of[attr_start], line_of[item_end.min(bytes.len() - 1)]);
+                for m in mask.iter_mut().take(hi + 1).skip(lo) {
+                    *m = true;
+                }
+                i = item_end.max(attr_end + 1);
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Given sanitized bytes and the start of an item, return the index just
+/// past the item: the matching `}` of its first top-level `{`, or the first
+/// top-level `;` if one comes before any brace.
+fn item_extent(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b';' if depth == 0 => return i + 1,
+            b'{' => {
+                depth += 1;
+                // Found the body: match to its close.
+                let mut j = i + 1;
+                while j < bytes.len() && depth > 0 {
+                    match bytes[j] {
+                        b'{' => depth += 1,
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+impl fmt::Display for ScannedFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sanitized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1;\n";
+        let s = ScannedFile::scan(src);
+        assert!(!s.sanitized.contains("HashMap"));
+        assert_eq!(s.lines.len(), 2);
+        assert!(s.lines[1].contains("let y"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let x = r#\"Instant::now()\"#;\nlet b = b\"thread_rng\";\n";
+        let s = ScannedFile::scan(src);
+        assert!(!s.sanitized.contains("Instant"));
+        assert!(!s.sanitized.contains("thread_rng"));
+    }
+
+    #[test]
+    fn char_literals_blanked_lifetimes_kept() {
+        let src = "fn f<'a>(x: &'a str) -> char { '=' }\n";
+        let s = ScannedFile::scan(src);
+        assert!(s.sanitized.contains("'a"));
+        assert!(!s.sanitized.contains('='));
+    }
+
+    #[test]
+    fn inline_allow_governs_its_own_line() {
+        let src = "let m = HashMap::new(); // smore-lint: allow(D1): scratch\n";
+        let s = ScannedFile::scan(src);
+        assert!(s.is_allowed("D1", 1));
+        assert!(!s.is_allowed("D2", 1));
+    }
+
+    #[test]
+    fn standalone_allow_governs_next_code_line() {
+        let src = "// smore-lint: allow(E1): invariant\n\nlet x = opt.unwrap();\n";
+        let s = ScannedFile::scan(src);
+        assert!(!s.is_allowed("E1", 1));
+        assert!(s.is_allowed("E1", 3));
+    }
+
+    #[test]
+    fn allow_file_governs_everything() {
+        let src = "//! smore-lint: allow-file(N1)\nlet eq = a == 0.5;\n";
+        let s = ScannedFile::scan(src);
+        assert!(s.is_allowed("N1", 2));
+        assert!(s.is_allowed("N1", 999));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn ship() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = ScannedFile::scan(src);
+        assert!(!s.is_test_code(1));
+        assert!(s.is_test_code(2));
+        assert!(s.is_test_code(4));
+        assert!(s.is_test_code(5));
+        assert!(!s.is_test_code(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn ship() { x.unwrap(); }\n";
+        let s = ScannedFile::scan(src);
+        assert!(!s.is_test_code(2));
+    }
+
+    #[test]
+    fn test_attr_with_extra_attrs_is_masked() {
+        let src = "#[test]\n#[should_panic]\nfn t() {\n    boom();\n}\n";
+        let s = ScannedFile::scan(src);
+        assert!(s.is_test_code(4));
+    }
+}

@@ -1,0 +1,193 @@
+//! Workspace traversal and source-file classification.
+//!
+//! Maps every `.rs` file under `crates/`, `tests/` and `examples/` to a
+//! [`SourceFile`]: its crate short name, a `crate::module::path` used for
+//! rule scoping, and a [`TargetKind`] that decides which contracts apply
+//! (library code carries the full contract; bins, tests, benches and
+//! examples are exempt from the library-only rules).
+
+use crate::config::Config;
+use std::path::{Path, PathBuf};
+
+/// What kind of cargo target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Part of a crate's library (`src/` outside `src/bin/`).
+    Lib,
+    /// A binary target (`src/bin/`, `src/main.rs` of a bin crate, or the
+    /// `examples/` workspace member).
+    Bin,
+    /// Integration tests (`tests/` directories and the `tests` member).
+    Test,
+    /// Criterion benches (`benches/`).
+    Bench,
+}
+
+/// One classified workspace source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators (stable for diagnostics).
+    pub rel_path: String,
+    /// Crate short name (`core`, `nn`, `cli`, …; `smore-` prefix dropped).
+    pub krate: String,
+    /// Scoping module path, e.g. `core::train` or `tsptw::gpn`.
+    pub module: String,
+    /// Which cargo target the file belongs to.
+    pub kind: TargetKind,
+}
+
+/// Walk the workspace rooted at `root` and classify every `.rs` file that is
+/// not excluded by `config`. Files are returned sorted by `rel_path` so
+/// diagnostics are deterministic.
+pub fn workspace_files(root: &Path, config: &Config) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(root, &dir, config, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn collect(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // Build artifacts and VCS internals are never source.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, config, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_path(root, &path);
+            if config.is_excluded(&rel) {
+                continue;
+            }
+            if let Some(sf) = classify(&path, &rel, config) {
+                out.push(sf);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Classify one source file. Returns `None` for paths that are not part of
+/// any cargo target layout we understand.
+pub fn classify(path: &Path, rel: &str, config: &Config) -> Option<SourceFile> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (krate, kind, module_parts): (String, TargetKind, Vec<String>) = match parts.as_slice() {
+        // crates/<c>/src/bin/...
+        ["crates", c, "src", "bin", rest @ ..] => (strip(c), TargetKind::Bin, mod_parts(rest)),
+        // crates/<c>/src/...
+        ["crates", c, "src", rest @ ..] => {
+            let kind = if config.bin_crates.iter().any(|b| b == &strip(c)) {
+                TargetKind::Bin
+            } else {
+                TargetKind::Lib
+            };
+            (strip(c), kind, mod_parts(rest))
+        }
+        ["crates", c, "tests", rest @ ..] => (strip(c), TargetKind::Test, mod_parts(rest)),
+        ["crates", c, "benches", rest @ ..] => (strip(c), TargetKind::Bench, mod_parts(rest)),
+        ["crates", c, "examples", rest @ ..] => (strip(c), TargetKind::Bin, mod_parts(rest)),
+        // The `tests` workspace member is integration-test code throughout.
+        ["tests", rest @ ..] => ("tests".to_string(), TargetKind::Test, mod_parts(rest)),
+        // The `examples` member builds example binaries (src/ holds shared
+        // helper libs for them — still example code, not a shipped library).
+        ["examples", rest @ ..] => ("examples".to_string(), TargetKind::Bin, mod_parts(rest)),
+        _ => return None,
+    };
+    let module = if module_parts.is_empty() {
+        krate.clone()
+    } else {
+        format!("{krate}::{}", module_parts.join("::"))
+    };
+    Some(SourceFile { path: path.to_path_buf(), rel_path: rel.to_string(), krate, module, kind })
+}
+
+fn strip(c: &str) -> String {
+    c.strip_prefix("smore-").unwrap_or(c).to_string()
+}
+
+/// Turn trailing path components into module-path segments: drop `lib.rs` /
+/// `main.rs` / `mod.rs`, strip `.rs`, keep intermediate dirs.
+fn mod_parts(rest: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, part) in rest.iter().enumerate() {
+        let last = i + 1 == rest.len();
+        if last {
+            if *part == "lib.rs" || *part == "main.rs" || *part == "mod.rs" {
+                continue;
+            }
+            out.push(part.trim_end_matches(".rs").to_string());
+        } else if *part != "src" {
+            out.push((*part).to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::parse("bin_crates = [\"cli\"]\n").expect("config")
+    }
+
+    fn classify_rel(rel: &str) -> SourceFile {
+        classify(Path::new(rel), rel, &cfg()).expect("classified")
+    }
+
+    #[test]
+    fn lib_module_paths() {
+        let f = classify_rel("crates/core/src/train.rs");
+        assert_eq!(f.krate, "core");
+        assert_eq!(f.module, "core::train");
+        assert_eq!(f.kind, TargetKind::Lib);
+        let f = classify_rel("crates/nn/src/lib.rs");
+        assert_eq!(f.module, "nn");
+        let f = classify_rel("crates/tsptw/src/gpn.rs");
+        assert_eq!(f.module, "tsptw::gpn");
+    }
+
+    #[test]
+    fn bin_crate_and_src_bin_are_bins() {
+        assert_eq!(classify_rel("crates/cli/src/commands.rs").kind, TargetKind::Bin);
+        assert_eq!(classify_rel("crates/bench/src/bin/experiments.rs").kind, TargetKind::Bin);
+        assert_eq!(classify_rel("crates/bench/src/runner.rs").kind, TargetKind::Lib);
+    }
+
+    #[test]
+    fn tests_and_benches_classified() {
+        assert_eq!(classify_rel("crates/geo/tests/props.rs").kind, TargetKind::Test);
+        assert_eq!(classify_rel("crates/bench/benches/nn.rs").kind, TargetKind::Bench);
+        assert_eq!(classify_rel("tests/tests/chaos.rs").kind, TargetKind::Test);
+        assert_eq!(classify_rel("examples/quickstart.rs").kind, TargetKind::Bin);
+    }
+
+    #[test]
+    fn nested_module_dirs() {
+        let f = classify_rel("crates/core/src/policy/mod.rs");
+        assert_eq!(f.module, "core::policy");
+        let f = classify_rel("crates/core/src/policy/greedy.rs");
+        assert_eq!(f.module, "core::policy::greedy");
+    }
+}

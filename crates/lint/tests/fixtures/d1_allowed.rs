@@ -1,0 +1,15 @@
+//! D1 fixture: banned containers escaped with inline allow directives.
+//! Expected violations: none — every use is annotated.
+
+// smore-lint: allow-file would be too broad here; each site carries its own.
+
+use std::collections::HashMap; // smore-lint: allow(D1): keys sorted before any iteration
+
+pub struct Cache {
+    // smore-lint: allow(D1): lookup-only map, never iterated
+    pub by_id: HashMap<u64, f64>,
+}
+
+pub fn lookup(cache: &Cache, id: u64) -> Option<f64> {
+    cache.by_id.get(&id).copied()
+}

@@ -1,0 +1,20 @@
+//! D1 fixture: iteration-order-dependent containers in a determinism-scoped
+//! module. Expected violations: lines 4, 5, 8, 13, 18.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Replay {
+    pub seen: HashMap<u64, f64>,
+}
+
+pub fn dedupe(ids: &[u64]) -> Vec<u64> {
+    // Set iteration order leaks into the output order — nondeterministic.
+    let set: HashSet<u64> = ids.iter().copied().collect();
+    set.into_iter().collect()
+}
+
+pub fn count(ids: &[u64]) -> usize {
+    let set: std::collections::HashSet<u64> = ids.iter().copied().collect();
+    set.len()
+}

@@ -1,0 +1,19 @@
+//! D1 fixture: the deterministic replacements — `BTreeMap`/`BTreeSet` and
+//! sorted `Vec`s — plus mentions of the banned names in comments and strings,
+//! which the lexer must ignore. Expected violations: none.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Replay {
+    // A HashMap here would be flagged; the ordered map is the fix.
+    pub seen: BTreeMap<u64, f64>,
+}
+
+pub fn dedupe(ids: &[u64]) -> Vec<u64> {
+    let set: BTreeSet<u64> = ids.iter().copied().collect();
+    set.into_iter().collect()
+}
+
+pub fn describe() -> &'static str {
+    "this string mentions HashMap and HashSet but is not code"
+}

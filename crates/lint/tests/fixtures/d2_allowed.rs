@@ -1,0 +1,21 @@
+//! D2 fixture: wall-clock reads escaped with allow directives — the pattern
+//! `core::engine` uses for its deadline budget, where elapsed real time is
+//! the *feature*, not an accident. Expected violations: none.
+
+use std::time::Instant;
+
+pub struct Budget {
+    started: Instant,
+    limit: f64,
+}
+
+impl Budget {
+    pub fn start(limit: f64) -> Self {
+        // smore-lint: allow(D2): deadline budgets measure real elapsed time
+        Self { started: Instant::now(), limit }
+    }
+
+    pub fn expired(&self) -> bool {
+        self.started.elapsed().as_secs_f64() > self.limit // smore-lint: allow(D2): same contract
+    }
+}

@@ -1,0 +1,23 @@
+//! D2 fixture: ambient nondeterminism in a determinism-scoped module.
+//! Expected violations: lines 8, 14, 20.
+
+use std::time::Instant;
+
+pub fn timed_step() -> f64 {
+    // Wall-clock reads make reruns diverge even with fixed seeds.
+    let t0 = Instant::now();
+    work();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn jitter() -> f64 {
+    use rand::Rng;
+    // Thread-local OS-seeded generator: unreproducible by construction.
+    rand::thread_rng().gen_range(0.0..1.0)
+}
+
+fn work() {}

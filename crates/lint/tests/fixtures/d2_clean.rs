@@ -1,0 +1,19 @@
+//! D2 fixture: the reproducible alternatives — explicit seeds threaded from
+//! the caller, simulated time from the episode clock. Mentions of banned
+//! calls in comments must not fire. Expected violations: none.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Instead of Instant::now(), time comes from the simulation clock.
+pub fn timed_step(sim_clock: f64) -> f64 {
+    work();
+    sim_clock + 1.0
+}
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}
+
+fn work() {}

@@ -1,0 +1,18 @@
+//! E1 fixture: expects on documented invariants, escaped with per-site
+//! justifications. Expected violations: none.
+
+pub struct Table {
+    rows: Vec<u64>,
+}
+
+impl Table {
+    pub fn insert(&mut self, row: u64) -> u64 {
+        self.rows.push(row);
+        // smore-lint: allow(E1): just pushed, so `last` cannot be None
+        *self.rows.last().expect("push precedes last")
+    }
+
+    pub fn max(&self) -> u64 {
+        self.rows.iter().copied().max().unwrap_or(0)
+    }
+}

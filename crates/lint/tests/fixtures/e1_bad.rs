@@ -1,0 +1,29 @@
+//! E1 fixture: panicking calls in library code. Expected violations:
+//! lines 6, 12, 18 — and none inside the `#[cfg(test)]` module.
+
+pub fn parse_id(s: &str) -> u64 {
+    // Library code panicking on caller input: should return Result.
+    s.parse().unwrap()
+}
+
+pub fn first(xs: &[f64]) -> f64 {
+    xs.first()
+        .copied()
+        .expect("non-empty input")
+}
+
+pub fn dispatch(kind: &str) -> u32 {
+    match kind {
+        "a" => 1,
+        other => panic!("unknown kind {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let x: Result<u64, ()> = Ok(3);
+        assert_eq!(x.unwrap(), 3);
+    }
+}

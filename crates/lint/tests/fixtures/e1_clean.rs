@@ -1,0 +1,19 @@
+//! E1 fixture: the panic-free forms — `Result` propagation, `Option`
+//! combinators, and poison recovery on locks. Expected violations: none.
+
+use std::num::ParseIntError;
+use std::sync::Mutex;
+
+pub fn parse_id(s: &str) -> Result<u64, ParseIntError> {
+    s.parse()
+}
+
+pub fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn read_counter(m: &Mutex<u64>) -> u64 {
+    // Poison recovery instead of unwrap: a panicked writer cannot leave the
+    // u64 in a torn state, so continuing with the inner value is sound.
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}

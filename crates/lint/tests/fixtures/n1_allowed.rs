@@ -1,0 +1,13 @@
+//! N1 fixture: a whole-file escape via `allow-file` — the hammer reserved
+//! for modules whose exact-equality use is intentional throughout (e.g.
+//! golden-value regression tables). Expected violations: none.
+
+// smore-lint: allow-file(N1): golden-value table compares exact literals
+
+pub fn matches_golden(rtt: f64) -> bool {
+    rtt == 120.5
+}
+
+pub fn not_sentinel(x: f64) -> bool {
+    x != -1.0
+}

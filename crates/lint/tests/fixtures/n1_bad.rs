@@ -1,0 +1,27 @@
+//! N1 fixture: brittle float comparisons in solver code.
+//! Expected violations: lines 7, 13, 21, 26.
+
+pub fn reached_target(rtt: f64) -> bool {
+    // Exact equality on a computed travel time: accumulated rounding makes
+    // this silently wrong.
+    rtt == 120.0
+}
+
+pub fn drifted(a: f64, b: f64) -> bool {
+    let gap = a - b;
+    // Same bug through a binding: `1.0e-9` marks the operand as float.
+    gap != 1.0e-9
+}
+
+pub fn pick(costs: &[f64]) -> Option<usize> {
+    costs
+        .iter()
+        .enumerate()
+        // NaN anywhere in `costs` panics here; total_cmp is the fix.
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+}
+
+pub fn is_unset(x: f64) -> bool {
+    x == f64::NAN // always false; doubly wrong
+}

@@ -1,0 +1,24 @@
+//! N1 fixture: the robust forms — epsilon comparisons via the
+//! `smore_geo::float` helpers, `total_cmp` for ordering, and integer
+//! equality (which N1 must not flag). Expected violations: none.
+
+pub fn reached_target(rtt: f64) -> bool {
+    (rtt - 120.0).abs() <= 1e-9
+}
+
+pub fn same_count(a: usize, b: usize) -> bool {
+    a == b // integer equality is fine
+}
+
+pub fn pick(costs: &[f64]) -> Option<usize> {
+    costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
+pub fn fallback(x: Option<f64>) -> f64 {
+    // `unwrap_or` is not `unwrap`; the exact-ident match must not fire.
+    x.unwrap_or(0.0)
+}

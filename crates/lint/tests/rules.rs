@@ -1,0 +1,151 @@
+//! Fixture-driven end-to-end tests for every lint rule.
+//!
+//! Each rule has a known-bad fixture (exact violation lines asserted), a
+//! clean fixture (zero diagnostics), and an allow-annotated fixture (the
+//! escape hatch suppresses every hit). Fixtures live under
+//! `tests/fixtures/` — excluded from the workspace walk by `lint.toml` so
+//! they never fail the real CI gate — and are checked here through the same
+//! `check_file` entry point the binary uses, with synthetic module paths
+//! that put them in scope for the rule under test.
+
+use smore_lint::{check_file, Config, SourceFile, TargetKind};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    (path, source)
+}
+
+/// The shipped workspace config, so fixtures exercise the real scopes.
+fn config() -> Config {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("lint.toml");
+    Config::load(&path).expect("crates/lint/lint.toml must parse")
+}
+
+fn classify_as(name: &str, krate: &str, module: &str, kind: TargetKind) -> (SourceFile, String) {
+    let (path, source) = fixture(name);
+    let file = SourceFile {
+        rel_path: format!("crates/{krate}/src/fixture.rs"),
+        path,
+        krate: krate.to_string(),
+        module: module.to_string(),
+        kind,
+    };
+    (file, source)
+}
+
+/// Lines on which `rule` fired, in order.
+fn lines_for(rule: &str, name: &str, krate: &str, module: &str, kind: TargetKind) -> Vec<usize> {
+    let (file, source) = classify_as(name, krate, module, kind);
+    check_file(&file, &source, &config())
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn d1_flags_hash_containers_in_scoped_module() {
+    assert_eq!(
+        lines_for("D1", "d1_bad.rs", "core", "core::train", TargetKind::Lib),
+        vec![4, 5, 8, 13, 18]
+    );
+}
+
+#[test]
+fn d1_out_of_scope_module_is_exempt() {
+    // `cli` is not determinism-scoped; the same source must pass untouched.
+    assert_eq!(lines_for("D1", "d1_bad.rs", "cli", "cli::commands", TargetKind::Lib), vec![]);
+}
+
+#[test]
+fn d1_clean_and_allowed_are_silent() {
+    assert_eq!(lines_for("D1", "d1_clean.rs", "core", "core::train", TargetKind::Lib), vec![]);
+    assert_eq!(lines_for("D1", "d1_allowed.rs", "core", "core::train", TargetKind::Lib), vec![]);
+}
+
+#[test]
+fn d2_flags_ambient_time_and_rng() {
+    assert_eq!(
+        lines_for("D2", "d2_bad.rs", "tsptw", "tsptw::gpn", TargetKind::Lib),
+        vec![8, 14, 20]
+    );
+}
+
+#[test]
+fn d2_engine_scoped_allow_applies() {
+    // `core::engine` is carved out in lint.toml (deadline budgets measure
+    // real elapsed time); the identical source is clean there.
+    assert_eq!(lines_for("D2", "d2_bad.rs", "core", "core::engine", TargetKind::Lib), vec![]);
+}
+
+#[test]
+fn d2_clean_and_allowed_are_silent() {
+    assert_eq!(lines_for("D2", "d2_clean.rs", "nn", "nn::train", TargetKind::Lib), vec![]);
+    assert_eq!(lines_for("D2", "d2_allowed.rs", "nn", "nn::train", TargetKind::Lib), vec![]);
+}
+
+#[test]
+fn n1_flags_bare_float_comparisons() {
+    assert_eq!(
+        lines_for("N1", "n1_bad.rs", "tsptw", "tsptw::insertion", TargetKind::Lib),
+        vec![7, 13, 21, 26]
+    );
+}
+
+#[test]
+fn n1_clean_and_allow_file_are_silent() {
+    assert_eq!(
+        lines_for("N1", "n1_clean.rs", "tsptw", "tsptw::insertion", TargetKind::Lib),
+        vec![]
+    );
+    assert_eq!(
+        lines_for("N1", "n1_allowed.rs", "tsptw", "tsptw::insertion", TargetKind::Lib),
+        vec![]
+    );
+}
+
+#[test]
+fn e1_flags_panics_in_library_code_but_not_tests_module() {
+    // Violations at 6/12/18 only; the `#[cfg(test)]` module's unwrap at the
+    // bottom of the fixture is masked out.
+    assert_eq!(
+        lines_for("E1", "e1_bad.rs", "model", "model::tsp", TargetKind::Lib),
+        vec![6, 12, 18]
+    );
+}
+
+#[test]
+fn e1_exempts_bins_tests_and_benches() {
+    for kind in [TargetKind::Bin, TargetKind::Test, TargetKind::Bench] {
+        assert_eq!(lines_for("E1", "e1_bad.rs", "model", "model::tsp", kind), vec![]);
+    }
+}
+
+#[test]
+fn e1_clean_and_allowed_are_silent() {
+    assert_eq!(lines_for("E1", "e1_clean.rs", "model", "model::tsp", TargetKind::Lib), vec![]);
+    assert_eq!(lines_for("E1", "e1_allowed.rs", "model", "model::tsp", TargetKind::Lib), vec![]);
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    // The CI gate in executable form: the real tree, real config, zero
+    // diagnostics. If this fails, either fix the new violation or annotate
+    // it with a justified `smore-lint: allow(...)`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf();
+    let config = smore_lint::load_config(&root).expect("workspace lint config must parse");
+    let diags = smore_lint::check_workspace(&root, &config).expect("workspace walk must succeed");
+    assert!(
+        diags.is_empty(),
+        "workspace must be lint-clean, found {}:\n{}",
+        diags.len(),
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

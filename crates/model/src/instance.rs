@@ -244,9 +244,7 @@ impl Instance {
 
     /// Schedules `route` for `worker` against this instance's tasks.
     pub fn schedule(&self, worker: WorkerId, route: &Route) -> Result<Schedule, Infeasibility> {
-        schedule_route(&self.workers[worker.0], route, &self.travel, &|id| {
-            *self.sensing_task(id)
-        })
+        schedule_route(&self.workers[worker.0], route, &self.travel, &|id| *self.sensing_task(id))
     }
 
     /// Checks the structural invariants every solver relies on: finite
@@ -535,10 +533,7 @@ mod tests {
         ));
         inst.sensing_tasks[3].window.end = inst.sensing_tasks[3].window.start + 30.0;
         inst.base_rtt.push(1.0);
-        assert_eq!(
-            inst.validate(),
-            Err(InstanceError::BaseRttMismatch { got: 2, expected: 1 })
-        );
+        assert_eq!(inst.validate(), Err(InstanceError::BaseRttMismatch { got: 2, expected: 1 }));
     }
 
     #[test]

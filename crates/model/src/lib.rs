@@ -16,6 +16,7 @@
 //! * [`UsmdwSolver`] — the trait all solvers implement.
 //! * [`reduction`] — the executable OP → USMDW NP-hardness reduction.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod assignment;

@@ -11,7 +11,9 @@
 use crate::instance::Instance;
 use crate::tasks::{SensingLattice, SensingTask};
 use crate::worker::Worker;
-use smore_geo::{CoverageConfig, GridSpec, Point, StCell, StResolution, TimeWindow, TravelTimeModel};
+use smore_geo::{
+    CoverageConfig, GridSpec, Point, StCell, StResolution, TimeWindow, TravelTimeModel,
+};
 
 /// An Orienteering Problem instance with unit vertex scores: find a path from
 /// `start` to `end` visiting a subset of `vertices` maximizing the number of
@@ -42,8 +44,12 @@ pub fn op_to_usmdw(op: &OpInstance) -> Instance {
 
     // Bounding box for a degenerate one-cell-per-vertex lattice; the grid is
     // only used for NN featurization, never for task creation here.
-    let (mut min_x, mut min_y, mut max_x, mut max_y) =
-        (op.start.x.min(op.end.x), op.start.y.min(op.end.y), op.start.x.max(op.end.x), op.start.y.max(op.end.y));
+    let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+        op.start.x.min(op.end.x),
+        op.start.y.min(op.end.y),
+        op.start.x.max(op.end.x),
+        op.start.y.max(op.end.y),
+    );
     for v in &op.vertices {
         min_x = min_x.min(v.x);
         min_y = min_y.min(v.y);
@@ -58,7 +64,12 @@ pub fn op_to_usmdw(op: &OpInstance) -> Instance {
         1,
         op.vertices.len().max(1),
     );
-    let lattice = SensingLattice { grid, horizon: op.t_max.max(1.0), window_len: op.t_max.max(1.0), service: 0.0 };
+    let lattice = SensingLattice {
+        grid,
+        horizon: op.t_max.max(1.0),
+        window_len: op.t_max.max(1.0),
+        service: 0.0,
+    };
 
     let tasks: Vec<SensingTask> = op
         .vertices
@@ -75,8 +86,7 @@ pub fn op_to_usmdw(op: &OpInstance) -> Instance {
         .collect();
 
     // α = 0: the objective reduces to log2 |S'|.
-    let coverage =
-        CoverageConfig::new(0.0, StResolution::new(1, op.vertices.len().max(1), 1));
+    let coverage = CoverageConfig::new(0.0, StResolution::new(1, op.vertices.len().max(1), 1));
 
     Instance::from_parts(
         worker.into_iter(),

@@ -139,8 +139,7 @@ pub fn schedule_route(
     for (pos, &stop) in route.stops.iter().enumerate() {
         let (loc, service, window) = match stop {
             Stop::Travel(i) => {
-                let task =
-                    worker.travel_tasks.get(i).ok_or(Infeasibility::BadTravelIndex(i))?;
+                let task = worker.travel_tasks.get(i).ok_or(Infeasibility::BadTravelIndex(i))?;
                 // Travel tasks have no window of their own; the worker's own
                 // time range bounds them implicitly (Section III-C).
                 (task.loc, task.service, None)
@@ -152,9 +151,9 @@ pub fn schedule_route(
         };
         let arrival = t + travel.travel_time(&at, &loc);
         let service_start = match window {
-            Some(w) => w
-                .service_start(arrival, service)
-                .ok_or(Infeasibility::WindowViolated(pos))?,
+            Some(w) => {
+                w.service_start(arrival, service).ok_or(Infeasibility::WindowViolated(pos))?
+            }
             None => arrival,
         };
         let departure = service_start + service;

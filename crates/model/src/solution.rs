@@ -121,7 +121,10 @@ impl std::error::Error for ValidationError {}
 /// statistics. This is the referee used by every experiment: it re-schedules
 /// every route from scratch and re-derives incentives and coverage, so a
 /// solver cannot accidentally report an infeasible or over-budget solution.
-pub fn evaluate(instance: &Instance, solution: &Solution) -> Result<SolutionStats, ValidationError> {
+pub fn evaluate(
+    instance: &Instance,
+    solution: &Solution,
+) -> Result<SolutionStats, ValidationError> {
     if solution.routes.len() != instance.n_workers() {
         return Err(ValidationError::RouteCountMismatch {
             got: solution.routes.len(),
@@ -152,7 +155,10 @@ pub fn evaluate(instance: &Instance, solution: &Solution) -> Result<SolutionStat
                     }
                     travel_seen[*i] += 1;
                     if travel_seen[*i] > 1 {
-                        return Err(ValidationError::DuplicateTravelTask { worker: wid, index: *i });
+                        return Err(ValidationError::DuplicateTravelTask {
+                            worker: wid,
+                            index: *i,
+                        });
                     }
                 }
                 Stop::Sensing(id) => {
@@ -184,7 +190,10 @@ pub fn evaluate(instance: &Instance, solution: &Solution) -> Result<SolutionStat
 
     let total_incentive: f64 = per_worker_incentive.iter().sum();
     if total_incentive > instance.budget + TIME_EPS {
-        return Err(ValidationError::BudgetExceeded { spent: total_incentive, budget: instance.budget });
+        return Err(ValidationError::BudgetExceeded {
+            spent: total_incentive,
+            budget: instance.budget,
+        });
     }
 
     Ok(SolutionStats {
@@ -302,9 +311,7 @@ mod tests {
             .max_by(|a, b| a.1.loc.y.total_cmp(&b.1.loc.y))
             .map(|(i, _)| SensingTaskId(i))
             .unwrap();
-        let sol = Solution {
-            routes: vec![Route::new(vec![Stop::Travel(0), Stop::Sensing(far)])],
-        };
+        let sol = Solution { routes: vec![Route::new(vec![Stop::Travel(0), Stop::Sensing(far)])] };
         match evaluate(&inst, &sol) {
             Err(ValidationError::BudgetExceeded { spent, budget }) => {
                 assert!(spent > budget);
@@ -323,7 +330,8 @@ mod tests {
             .enumerate()
             .filter(|(_, t)| t.cell.slot == 0 && t.cell.row == 0)
             .min_by(|a, b| {
-                a.1.loc.distance(&Point::new(300.0, 150.0))
+                a.1.loc
+                    .distance(&Point::new(300.0, 150.0))
                     .total_cmp(&b.1.loc.distance(&Point::new(300.0, 150.0)))
             })
             .unwrap();

@@ -12,15 +12,12 @@ fn arb_point() -> impl Strategy<Value = Point> {
 }
 
 fn arb_worker() -> impl Strategy<Value = Worker> {
-    (
-        arb_point(),
-        arb_point(),
-        prop::collection::vec(arb_point(), 0..5),
-    )
-        .prop_map(|(o, d, stops)| {
+    (arb_point(), arb_point(), prop::collection::vec(arb_point(), 0..5)).prop_map(
+        |(o, d, stops)| {
             let tasks = stops.into_iter().map(|p| TravelTask::new(p, 10.0)).collect();
             Worker::new(o, d, 0.0, 240.0, tasks)
-        })
+        },
+    )
 }
 
 fn lattice() -> SensingLattice {

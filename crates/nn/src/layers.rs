@@ -321,10 +321,19 @@ impl Conv3x3 {
         let mut out = Matrix::zeros(h * w, 9);
         for r in 0..h {
             for c in 0..w {
-                for (k, (dr, dc)) in
-                    [(-1i64, -1i64), (-1, 0), (-1, 1), (0, -1), (0, 0), (0, 1), (1, -1), (1, 0), (1, 1)]
-                        .iter()
-                        .enumerate()
+                for (k, (dr, dc)) in [
+                    (-1i64, -1i64),
+                    (-1, 0),
+                    (-1, 1),
+                    (0, -1),
+                    (0, 0),
+                    (0, 1),
+                    (1, -1),
+                    (1, 0),
+                    (1, 1),
+                ]
+                .iter()
+                .enumerate()
                 {
                     let rr = r as i64 + dr;
                     let cc = c as i64 + dc;

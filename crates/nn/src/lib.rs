@@ -18,6 +18,7 @@
 //! Every op's gradient is validated against central finite differences in
 //! `tests/gradcheck.rs`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod layers;
@@ -28,7 +29,9 @@ mod params;
 mod sample;
 mod tape;
 
-pub use layers::{Conv3x3, Encoder, EncoderLayer, FeedForward, LayerNorm, Linear, Mlp, MultiHeadAttention};
+pub use layers::{
+    Conv3x3, Encoder, EncoderLayer, FeedForward, LayerNorm, Linear, Mlp, MultiHeadAttention,
+};
 pub use matrix::Matrix;
 pub use optim::Adam;
 pub use parallel::{episode_seed, parallel_map, parallel_map_owned, resolve_threads};

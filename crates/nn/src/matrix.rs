@@ -170,7 +170,8 @@ impl Matrix {
     /// Panics on inner-dimension or output-shape mismatch.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} × {:?}",
             self.shape(),
             other.shape()
@@ -234,7 +235,8 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn matmul_abt_acc(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_abt shape mismatch: {:?} × {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -258,7 +260,8 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn matmul_atb_acc(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_atb shape mismatch: {:?}ᵀ × {:?}",
             self.shape(),
             other.shape()
@@ -279,7 +282,8 @@ impl Matrix {
     /// accumulate kernels against.
     pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} × {:?}",
             self.shape(),
             other.shape()
@@ -317,11 +321,7 @@ impl Matrix {
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Element-wise binary combination.

@@ -25,7 +25,16 @@ impl Adam {
     /// Creates an Adam optimizer with the paper's defaults (`lr = 1e-4`,
     /// betas `0.9 / 0.999`).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, grad_clip: Some(1.0), step: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            grad_clip: Some(1.0),
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Number of steps taken so far.
@@ -55,11 +64,8 @@ impl Adam {
         let (m, v) = (&mut self.m, &mut self.v);
         store.update_each(|i, value, grad| {
             let (mi, vi) = (&mut m[i], &mut v[i]);
-            for ((val, &g), (m, v)) in value
-                .data_mut()
-                .iter_mut()
-                .zip(grad.data())
-                .zip(mi.iter_mut().zip(vi.iter_mut()))
+            for ((val, &g), (m, v)) in
+                value.data_mut().iter_mut().zip(grad.data()).zip(mi.iter_mut().zip(vi.iter_mut()))
             {
                 *m = b1 * *m + (1.0 - b1) * g;
                 *v = b2 * *v + (1.0 - b2) * g * g;

@@ -78,11 +78,15 @@ where
             }));
         }
         for handle in handles {
+            // smore-lint: allow(E1): re-raising a worker panic on the caller
+            // thread is this function's documented "# Panics" contract.
             for (i, r) in handle.join().expect("parallel_map worker panicked") {
                 slots[i] = Some(r);
             }
         }
     });
+    // smore-lint: allow(E1): the atomic cursor hands out every index in
+    // 0..len exactly once, so every slot is filled.
     slots.into_iter().map(|r| r.expect("every index was scheduled")).collect()
 }
 
@@ -119,8 +123,13 @@ where
                     let Some(slot) = slots.get(i) else { break };
                     let item = slot
                         .lock()
+                        // smore-lint: allow(E1): a poisoned slot means a
+                        // sibling worker panicked; that panic is about to be
+                        // re-raised by join() anyway.
                         .expect("item slot poisoned")
                         .take()
+                        // smore-lint: allow(E1): the atomic cursor hands out
+                        // each index exactly once.
                         .expect("each index is claimed exactly once");
                     done.push((i, f(i, item)));
                 }
@@ -128,11 +137,15 @@ where
             }));
         }
         for handle in handles {
+            // smore-lint: allow(E1): re-raising a worker panic on the caller
+            // thread is this function's documented "# Panics" contract.
             for (i, r) in handle.join().expect("parallel_map_owned worker panicked") {
                 out[i] = Some(r);
             }
         }
     });
+    // smore-lint: allow(E1): the atomic cursor hands out every index in
+    // 0..len exactly once, so every slot is filled.
     out.into_iter().map(|r| r.expect("every index was scheduled")).collect()
 }
 

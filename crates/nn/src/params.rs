@@ -100,10 +100,7 @@ impl ParamStore {
 
     /// Iterates `(id, name, value)` over all parameters.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+        self.values.iter().enumerate().map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
     }
 
     /// Applies `f(value, grad)` to every parameter in place (optimizer hook).
@@ -115,10 +112,14 @@ impl ParamStore {
 
     /// Global L2 norm of all gradients (for clipping).
     pub fn grad_norm(&self) -> f32 {
-        self.grads.iter().map(|g| {
-            let n = g.norm();
-            n * n
-        }).sum::<f32>().sqrt()
+        self.grads
+            .iter()
+            .map(|g| {
+                let n = g.norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Scales every gradient by `factor` (for clipping).
@@ -132,6 +133,8 @@ impl ParamStore {
 
     /// Serializes values (not gradients) to JSON.
     pub fn to_json(&self) -> String {
+        // smore-lint: allow(E1): serializing a map of f32 vectors has no
+        // failure mode (no non-string keys, no custom Serialize impls).
         serde_json::to_string(self).expect("ParamStore serialization cannot fail")
     }
 
@@ -139,8 +142,7 @@ impl ParamStore {
     /// empty gradient accumulators.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         let mut store: ParamStore = serde_json::from_str(json)?;
-        store.grads =
-            store.values.iter().map(|v| Matrix::zeros(v.rows(), v.cols())).collect();
+        store.grads = store.values.iter().map(|v| Matrix::zeros(v.rows(), v.cols())).collect();
         Ok(store)
     }
 

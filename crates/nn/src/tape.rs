@@ -599,8 +599,7 @@ impl Tape {
                     if self.needs(p) {
                         let mut g = Matrix::zeros(rows, cols);
                         for r in 0..rows {
-                            g.row_slice_mut(r)
-                                .copy_from_slice(&grad.row_slice(r)[off..off + cols]);
+                            g.row_slice_mut(r).copy_from_slice(&grad.row_slice(r)[off..off + cols]);
                         }
                         self.accumulate(p, g);
                     }
@@ -717,13 +716,15 @@ impl TapePool {
 
     /// A cleared tape — recycled if available, fresh otherwise.
     pub fn take(&self) -> Tape {
-        self.inner.lock().expect("tape pool poisoned").pop().unwrap_or_default()
+        // Poison recovery: pooled tapes are cleared on `put`, so the free
+        // list stays valid even if a training thread panicked.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or_default()
     }
 
     /// Returns a tape to the pool (its recording is cleared, buffers kept).
     pub fn put(&self, mut tape: Tape) {
         tape.clear();
-        self.inner.lock().expect("tape pool poisoned").push(tape);
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).push(tape);
     }
 }
 

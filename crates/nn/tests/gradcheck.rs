@@ -2,9 +2,7 @@
 //! for the composite layers.
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use smore_nn::{
-    Conv3x3, Encoder, Matrix, Mlp, MultiHeadAttention, ParamStore, Tape, Var, NEG_INF,
-};
+use smore_nn::{Conv3x3, Encoder, Matrix, Mlp, MultiHeadAttention, ParamStore, Tape, Var, NEG_INF};
 
 /// Checks that analytic gradients of `loss_fn` match central finite
 /// differences on every parameter in `store`.

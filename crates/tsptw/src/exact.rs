@@ -72,8 +72,7 @@ impl TsptwSolver for ExactDpSolver {
                         continue;
                     }
                     let node = &p.nodes[next];
-                    let arrival =
-                        done + p.travel.travel_time(&p.nodes[last].loc, &node.loc);
+                    let arrival = done + p.travel.travel_time(&p.nodes[last].loc, &node.loc);
                     let Some(begin) = node.window.service_start(arrival, node.service) else {
                         continue;
                     };
@@ -150,10 +149,7 @@ mod tests {
     #[test]
     fn windows_force_non_geometric_order() {
         // Geometric order would be 25 → 75, but windows force 75 first.
-        let p = base(vec![
-            node(25.0, 0.0, (150.0, 300.0), 0.0),
-            node(75.0, 0.0, (0.0, 80.0), 0.0),
-        ]);
+        let p = base(vec![node(25.0, 0.0, (150.0, 300.0), 0.0), node(75.0, 0.0, (0.0, 80.0), 0.0)]);
         let s = ExactDpSolver::new().solve(&p).unwrap();
         assert_eq!(s.order, vec![1, 0]);
         let expected = p.evaluate_order(&[1, 0]).unwrap();

@@ -26,7 +26,11 @@ pub fn random_worker_problem(rng: &mut SmallRng, n: usize, sensing_fraction: f64
                 // Sensing task: a 30–60-minute slot somewhere in the horizon.
                 let len = rng.gen_range(30.0..60.0);
                 let s = rng.gen_range(0.0..horizon - len);
-                TsptwNode { loc, window: TimeWindow::new(s, s + len), service: rng.gen_range(2.0..6.0) }
+                TsptwNode {
+                    loc,
+                    window: TimeWindow::new(s, s + len),
+                    service: rng.gen_range(2.0..6.0),
+                }
             } else {
                 // Travel task: the worker's whole time range.
                 TsptwNode { loc, window: TimeWindow::new(0.0, horizon), service: 10.0 }

@@ -150,7 +150,12 @@ impl GpnPolicy {
     /// Runs one decode over `p`, recording decisions on `tape`.
     ///
     /// `rng = None` decodes greedily (inference); `Some` samples (training).
-    pub fn decode(&self, tape: &mut Tape, p: &TsptwProblem, mut rng: Option<&mut SmallRng>) -> Decode {
+    pub fn decode(
+        &self,
+        tape: &mut Tape,
+        p: &TsptwProblem,
+        mut rng: Option<&mut SmallRng>,
+    ) -> Decode {
         let n = p.nodes.len();
         if n == 0 {
             return Decode { order: vec![], logps: vec![], complete: true };
@@ -174,8 +179,8 @@ impl GpnPolicy {
             let mut any = false;
             for (i, node) in p.nodes.iter().enumerate() {
                 let arrival = t + p.travel.travel_time(&at, &node.loc);
-                let feasible = !visited[i]
-                    && node.window.service_start(arrival, node.service).is_some();
+                let feasible =
+                    !visited[i] && node.window.service_start(arrival, node.service).is_some();
                 if feasible {
                     any = true;
                 } else {
@@ -224,6 +229,8 @@ impl GpnPolicy {
             let begin = node
                 .window
                 .service_start(arrival, node.service)
+                // smore-lint: allow(E1): the feasibility mask zeroed every
+                // node whose window cannot admit service before this pick.
                 .expect("masked decode only offers feasible nodes");
             t = begin + node.service;
             at = node.loc;
@@ -340,21 +347,18 @@ pub fn train_gpn(
             .enumerate()
     {
         for iter in 0..iters {
-            let problems: Vec<TsptwProblem> =
-                (0..cfg.batch).map(|_| generator(&mut rng)).collect();
+            let problems: Vec<TsptwProblem> = (0..cfg.batch).map(|_| generator(&mut rng)).collect();
             let stream = ((stage as u64 + 1) << 48) | iter as u64;
             let policy_ref: &GpnPolicy = policy;
             let rollouts: Vec<Rollout> = parallel_map(cfg.threads, &problems, |j, p| {
-                let mut ep_rng =
-                    SmallRng::seed_from_u64(episode_seed(seed, stream, j as u64));
+                let mut ep_rng = SmallRng::seed_from_u64(episode_seed(seed, stream, j as u64));
                 let mut tape = pool.take();
                 let decode = policy_ref.decode(&mut tape, p, Some(&mut ep_rng));
                 let r = reward(p, &decode, level, cfg.length_penalty);
                 Rollout { tape, logps: decode.logps, reward: r }
             });
 
-            let baseline =
-                rollouts.iter().map(|r| r.reward).sum::<f64>() / cfg.batch.max(1) as f64;
+            let baseline = rollouts.iter().map(|r| r.reward).sum::<f64>() / cfg.batch.max(1) as f64;
             match level {
                 RewardLevel::Lower => report.final_lower_reward = baseline,
                 RewardLevel::Upper => report.final_upper_reward = baseline,
@@ -365,6 +369,9 @@ pub fn train_gpn(
             let grads: Vec<Option<GradBatch>> =
                 parallel_map_owned(cfg.threads, rollouts, |_, mut r| {
                     let adv = (r.reward - baseline) as f32;
+                    // smore-lint: allow(N1): deliberate exact-zero test — it
+                    // only skips the no-op gradient; any nonzero advantage,
+                    // however tiny, must still flow through backward().
                     if adv == 0.0 || r.logps.is_empty() {
                         pool.put(r.tape);
                         return None;
@@ -455,7 +462,8 @@ mod tests {
 
     #[test]
     fn training_improves_upper_reward() {
-        let mut policy = GpnPolicy::new(GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 }, 3);
+        let mut policy =
+            GpnPolicy::new(GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 }, 3);
         let mut gen = |rng: &mut SmallRng| random_worker_problem(rng, 5, 0.4);
 
         // Baseline reward before training (greedy decode over fixed eval set).
@@ -471,7 +479,14 @@ mod tests {
             total / 20.0
         };
         let before = eval(&policy);
-        let cfg = GpnTrainConfig { batch: 8, iters_lower: 25, iters_upper: 25, lr: 2e-3, length_penalty: 1.0, threads: 2 };
+        let cfg = GpnTrainConfig {
+            batch: 8,
+            iters_lower: 25,
+            iters_upper: 25,
+            lr: 2e-3,
+            length_penalty: 1.0,
+            threads: 2,
+        };
         let report = train_gpn(&mut policy, &mut gen, &cfg, 7);
         let after = eval(&policy);
         assert!(
@@ -484,10 +499,8 @@ mod tests {
     #[test]
     fn gpn_training_is_bit_identical_across_thread_counts() {
         let run = |threads: usize| {
-            let mut policy = GpnPolicy::new(
-                GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 },
-                13,
-            );
+            let mut policy =
+                GpnPolicy::new(GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 }, 13);
             let mut gen = |rng: &mut SmallRng| random_worker_problem(rng, 5, 0.4);
             let cfg = GpnTrainConfig {
                 batch: 4,

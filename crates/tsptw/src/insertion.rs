@@ -11,6 +11,7 @@
 use crate::error::SolveError;
 use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
 use crate::slack::ScheduleSlack;
+use smore_geo::float::{approx_le, definitely_lt};
 
 /// Cheapest-insertion + or-opt TSPTW heuristic.
 #[derive(Debug, Clone)]
@@ -40,8 +41,55 @@ impl InsertionSolver {
         for &node in insertion_order {
             let (pos, _) = slack.best_insertion(&p.nodes[node])?;
             route.insert(pos, node);
-            slack = ScheduleSlack::from_problem(p, &route)
-                .expect("accepted insertion must stay feasible");
+            // An accepted insertion stays feasible by the slack invariant,
+            // but rebuilding through `?` keeps construction panic-free even
+            // if the two feasibility checks ever disagree at an epsilon.
+            slack = ScheduleSlack::from_problem(p, &route)?;
+        }
+        Some(route)
+    }
+
+    /// Most-constrained-first construction: repeatedly insert the remaining
+    /// node with the *fewest* feasible insertion positions (ties broken by
+    /// the cheaper resulting rtt, then by index for determinism). Fixed
+    /// insertion orders lose tight instances where an early flexible node
+    /// blocks the only slot a tight-window node could take; committing the
+    /// least-flexible node first sidesteps exactly that failure mode.
+    fn construct_most_constrained(&self, p: &TsptwProblem) -> Option<Vec<usize>> {
+        let n = p.nodes.len();
+        let mut route: Vec<usize> = Vec::with_capacity(n);
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut slack = ScheduleSlack::from_problem(p, &route)?;
+        while !remaining.is_empty() {
+            let mut best: Option<(usize, usize, usize, f64)> = None; // (k, pos, options, rtt)
+            for (k, &node) in remaining.iter().enumerate() {
+                let mut options = 0usize;
+                let mut best_pos = 0usize;
+                let mut best_rtt = f64::INFINITY;
+                for pos in 0..=route.len() {
+                    if let Some(rtt) = slack.insertion_at(&p.nodes[node], pos) {
+                        options += 1;
+                        if rtt < best_rtt {
+                            best_rtt = rtt;
+                            best_pos = pos;
+                        }
+                    }
+                }
+                if options == 0 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, _, o, r)) => options < o || (options == o && best_rtt < r),
+                };
+                if better {
+                    best = Some((k, best_pos, options, best_rtt));
+                }
+            }
+            let (k, pos, _, _) = best?;
+            let node = remaining.remove(k);
+            route.insert(pos, node);
+            slack = ScheduleSlack::from_problem(p, &route)?;
         }
         Some(route)
     }
@@ -49,6 +97,8 @@ impl InsertionSolver {
     fn or_opt(&self, p: &TsptwProblem, route: &mut Vec<usize>) -> f64 {
         let mut best_rtt = p
             .evaluate_order(route)
+            // smore-lint: allow(E1): `solve` only calls or_opt with a route
+            // `construct` just evaluated; an infeasible input is a logic bug.
             .expect("or_opt must start from a feasible route");
         let mut removed: Vec<usize> = Vec::with_capacity(route.len());
         let mut improved = true;
@@ -76,7 +126,7 @@ impl InsertionSolver {
                         continue;
                     }
                     if let Some(rtt) = slack.insertion_at(&p.nodes[node], to) {
-                        if rtt + 1e-9 < best_rtt {
+                        if definitely_lt(rtt, best_rtt, 1e-9) {
                             route.clear();
                             route.extend(removed.iter().copied());
                             route.insert(to, node);
@@ -91,6 +141,8 @@ impl InsertionSolver {
         // Re-derive the final value with the reference simulator so callers
         // see evaluate_order's exact arithmetic, free of any accumulated
         // floating-point drift from chained O(1) deltas.
+        // smore-lint: allow(E1): every accepted or_opt move re-validated via
+        // insertion_at, so the final route is feasible by construction.
         p.evaluate_order(route).expect("or_opt preserves feasibility")
     }
 }
@@ -104,7 +156,7 @@ impl TsptwSolver for InsertionSolver {
         let n = p.nodes.len();
         if n == 0 {
             let rtt = p.travel.travel_time(&p.start, &p.end);
-            return if p.depart + rtt <= p.deadline + 1e-6 {
+            return if approx_le(p.depart + rtt, p.deadline, 1e-6) {
                 Ok(TsptwSolution { order: vec![], rtt })
             } else {
                 Err(SolveError::Infeasible)
@@ -119,21 +171,23 @@ impl TsptwSolver for InsertionSolver {
         by_start.sort_by(|&a, &b| p.nodes[a].window.start.total_cmp(&p.nodes[b].window.start));
         let mut by_dist: Vec<usize> = (0..n).collect();
         by_dist.sort_by(|&a, &b| {
-            p.start
-                .distance_sq(&p.nodes[a].loc)
-                .total_cmp(&p.start.distance_sq(&p.nodes[b].loc))
+            p.start.distance_sq(&p.nodes[a].loc).total_cmp(&p.start.distance_sq(&p.nodes[b].loc))
         });
 
         let mut best: Option<Vec<usize>> = None;
         let mut best_rtt = f64::INFINITY;
-        for order in [&by_end, &by_start, &by_dist] {
-            if let Some(route) = self.construct(p, order) {
-                let rtt =
-                    p.evaluate_order(&route).expect("constructed route must be feasible");
-                if rtt < best_rtt {
-                    best_rtt = rtt;
-                    best = Some(route);
-                }
+        let candidates = [&by_end, &by_start, &by_dist]
+            .into_iter()
+            .filter_map(|order| self.construct(p, order))
+            .chain(self.construct_most_constrained(p));
+        for route in candidates {
+            // A constructed route is feasible, but degrade to the next
+            // candidate instead of panicking if evaluation and slack ever
+            // disagree at an epsilon.
+            let Some(rtt) = p.evaluate_order(&route) else { continue };
+            if rtt < best_rtt {
+                best_rtt = rtt;
+                best = Some(route);
             }
         }
         let mut route = best.ok_or(SolveError::Infeasible)?;

@@ -24,6 +24,7 @@
 //!   typed failure causes plus composable wrappers for verification,
 //!   fallback chains, anytime budgets, and seeded chaos testing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -38,7 +39,9 @@ mod slack;
 
 pub use error::SolveError;
 pub use exact::ExactDpSolver;
-pub use gpn::{train_gpn, Decode, GpnConfig, GpnPolicy, GpnSolver, GpnTrainConfig, RewardLevel, TrainReport};
+pub use gpn::{
+    train_gpn, Decode, GpnConfig, GpnPolicy, GpnSolver, GpnTrainConfig, RewardLevel, TrainReport,
+};
 pub use hybrid::HybridSolver;
 pub use insertion::InsertionSolver;
 pub use problem::{TsptwNode, TsptwProblem, TsptwSolution, TsptwSolver};

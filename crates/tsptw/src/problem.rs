@@ -10,6 +10,7 @@
 
 use crate::error::SolveError;
 use serde::{Deserialize, Serialize};
+use smore_geo::float::approx_le;
 use smore_geo::{Point, TimeWindow, TravelTimeModel};
 
 /// A node to visit in a TSPTW instance.
@@ -81,7 +82,8 @@ impl TsptwProblem {
             at = node.loc;
         }
         let final_arrival = t + self.travel.travel_time(&at, &self.end);
-        (final_arrival <= self.deadline + 1e-6).then_some(final_arrival - self.depart)
+        // approx_le also debug-asserts both sides are finite (NaN guard).
+        approx_le(final_arrival, self.deadline, 1e-6).then_some(final_arrival - self.depart)
     }
 
     /// Like [`TsptwProblem::evaluate_order`] but for a *partial* order

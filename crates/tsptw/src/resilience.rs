@@ -16,6 +16,7 @@
 
 use crate::error::SolveError;
 use crate::problem::{TsptwProblem, TsptwSolution, TsptwSolver};
+use smore_geo::float::approx_eq_eps;
 use smore_model::Deadline;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -61,9 +62,7 @@ impl<S: TsptwSolver> VerifyingSolver<S> {
         let mut seen = vec![false; n];
         for &i in &sol.order {
             if i >= n || seen[i] {
-                return Err(SolveError::Internal(format!(
-                    "order is not a permutation (node {i})"
-                )));
+                return Err(SolveError::Internal(format!("order is not a permutation (node {i})")));
             }
             seen[i] = true;
         }
@@ -71,7 +70,7 @@ impl<S: TsptwSolver> VerifyingSolver<S> {
             None => Err(SolveError::Internal(
                 "claimed solution violates a window or the deadline".into(),
             )),
-            Some(rtt) if (rtt - sol.rtt).abs() > RTT_AGREEMENT_EPS => {
+            Some(rtt) if !approx_eq_eps(rtt, sol.rtt, RTT_AGREEMENT_EPS) => {
                 Err(SolveError::Internal(format!(
                     "claimed rtt {} but re-simulation gives {rtt}",
                     sol.rtt
@@ -354,7 +353,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(11);
         let p = random_worker_problem(&mut rng, 5, 0.4);
         match v.solve(&p) {
-            Err(SolveError::Internal(msg)) => assert!(msg.contains("rtt") || msg.contains("violates")),
+            Err(SolveError::Internal(msg)) => {
+                assert!(msg.contains("rtt") || msg.contains("violates"))
+            }
             other => panic!("lie must be rejected, got {other:?}"),
         }
         assert_eq!(v.rejected(), 1);
@@ -420,9 +421,7 @@ mod tests {
 
     #[test]
     fn fallback_chain_reports_last_stage_error() {
-        let chain = FallbackSolver::new()
-            .push(InsertionSolver::new())
-            .push(ExactDpSolver::new());
+        let chain = FallbackSolver::new().push(InsertionSolver::new()).push(ExactDpSolver::new());
         let mut rng = SmallRng::seed_from_u64(15);
         let mut p = random_worker_problem(&mut rng, 4, 0.5);
         p.deadline = p.depart + 0.01; // genuinely infeasible
@@ -463,7 +462,11 @@ mod tests {
     fn full_failure_rate_always_faults_and_zero_never_does() {
         let always = FaultInjectingSolver::new(
             InsertionSolver::new(),
-            FaultConfig { failure_rate: 1.0, spurious_infeasible_rate: 0.0, rtt_corruption_rate: 0.0 },
+            FaultConfig {
+                failure_rate: 1.0,
+                spurious_infeasible_rate: 0.0,
+                rtt_corruption_rate: 0.0,
+            },
             7,
         );
         let never = FaultInjectingSolver::new(InsertionSolver::new(), FaultConfig::none(), 7);
@@ -482,7 +485,11 @@ mod tests {
     fn verifier_catches_injected_rtt_corruption() {
         let corrupting = FaultInjectingSolver::new(
             InsertionSolver::new(),
-            FaultConfig { failure_rate: 0.0, spurious_infeasible_rate: 0.0, rtt_corruption_rate: 1.0 },
+            FaultConfig {
+                failure_rate: 0.0,
+                spurious_infeasible_rate: 0.0,
+                rtt_corruption_rate: 1.0,
+            },
             23,
         );
         let v = VerifyingSolver::new(corrupting);

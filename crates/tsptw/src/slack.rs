@@ -21,6 +21,7 @@
 //! answers every (task, position) pair without re-solving the TSPTW.
 
 use crate::problem::{TsptwNode, TsptwProblem};
+use smore_geo::float::approx_le;
 use smore_geo::{Point, TravelTimeModel};
 
 /// Numerical slack applied to the final-deadline comparison, matching
@@ -80,7 +81,9 @@ impl ScheduleSlack {
             at = node.loc;
         }
         let final_arrival = t + travel.travel_time(&at, &end);
-        if final_arrival > deadline + DEADLINE_EPS {
+        // approx_le also debug-asserts both sides are finite — the runtime
+        // NaN guard backing the N1 lint contract.
+        if !approx_le(final_arrival, deadline, DEADLINE_EPS) {
             return None;
         }
 
@@ -159,7 +162,7 @@ impl ScheduleSlack {
 
         if pos == self.nodes.len() {
             let final_arrival = leave + self.travel.travel_time(&node.loc, &self.end);
-            return (final_arrival <= self.deadline + DEADLINE_EPS)
+            return approx_le(final_arrival, self.deadline, DEADLINE_EPS)
                 .then_some(final_arrival - self.depart);
         }
 

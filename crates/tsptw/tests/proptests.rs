@@ -5,12 +5,13 @@ use smore_geo::{Point, TimeWindow, TravelTimeModel};
 use smore_tsptw::{ExactDpSolver, InsertionSolver, TsptwNode, TsptwProblem, TsptwSolver};
 
 fn arb_problem(max_nodes: usize) -> impl Strategy<Value = TsptwProblem> {
-    let node = (0.0f64..100.0, 0.0f64..100.0, 0.0f64..150.0, 50.0f64..400.0, 0.0f64..8.0)
-        .prop_map(|(x, y, tw_start, tw_len, service)| TsptwNode {
+    let node = (0.0f64..100.0, 0.0f64..100.0, 0.0f64..150.0, 50.0f64..400.0, 0.0f64..8.0).prop_map(
+        |(x, y, tw_start, tw_len, service)| TsptwNode {
             loc: Point::new(x, y),
             window: TimeWindow::new(tw_start, tw_start + tw_len.max(service)),
             service,
-        });
+        },
+    );
     prop::collection::vec(node, 1..=max_nodes).prop_map(|nodes| TsptwProblem {
         start: Point::new(0.0, 0.0),
         end: Point::new(100.0, 100.0),

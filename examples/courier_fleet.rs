@@ -54,13 +54,7 @@ fn main() {
         let elapsed = start.elapsed();
         let mean_tasks =
             stats.iter().map(|s| s.completed).sum::<usize>() as f64 / stats.len() as f64;
-        println!(
-            "{:<8} {:>10.3} {:>12.1} {:>9.2?}",
-            method.name(),
-            obj,
-            mean_tasks,
-            elapsed
-        );
+        println!("{:<8} {:>10.3} {:>12.1} {:>9.2?}", method.name(), obj, mean_tasks, elapsed);
     }
     println!("\n(expected shape: SMORE highest φ; MSAGI/TVPG best non-RL; RN fast but worst)");
 }

@@ -40,7 +40,10 @@ fn main() {
     let mut tvpg = GreedySolver::tvpg();
     let (tvpg_obj, _) = evaluate_on(&mut tvpg, &split.test);
 
-    println!("\nmean hierarchical entropy-based data coverage over {} instances:", split.test.len());
+    println!(
+        "\nmean hierarchical entropy-based data coverage over {} instances:",
+        split.test.len()
+    );
     println!("  SMORE: {smore_obj:.3}");
     println!("  TVPG : {tvpg_obj:.3}");
 
@@ -51,9 +54,6 @@ fn main() {
         stats.objective, stats.completed, stats.total_incentive
     );
     for (w, incentive) in stats.per_worker_incentive.iter().enumerate() {
-        println!(
-            "  worker {w}: rtt {:.1} min, incentive {incentive:.2}",
-            stats.per_worker_rtt[w]
-        );
+        println!("  worker {w}: rtt {:.1} min, incentive {incentive:.2}", stats.per_worker_rtt[w]);
     }
 }

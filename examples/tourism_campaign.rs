@@ -27,9 +27,8 @@ fn main() {
     let mut r = rng(5);
     let mut last = 0.0;
     for budget in [150.0, 300.0, 450.0] {
-        let instances: Vec<_> = (0..4)
-            .map(|_| generator.gen_instance(&mut r, 30.0, budget, 1.0, 0.5))
-            .collect();
+        let instances: Vec<_> =
+            (0..4).map(|_| generator.gen_instance(&mut r, 30.0, budget, 1.0, 0.5)).collect();
         let (obj, _) = evaluate_on(&mut smore, &instances);
         let delta = if last > 0.0 { format!(" (+{:.3})", obj - last) } else { String::new() };
         println!("  budget {budget:>5.0}: φ = {obj:.3}{delta}");

@@ -16,14 +16,21 @@ use smore_tsptw::{
 fn main() {
     println!("training the hierarchical RL TSPTW solver...");
     let mut policy = GpnPolicy::new(GpnConfig::default(), 7);
-    let cfg = GpnTrainConfig { batch: 12, iters_lower: 40, iters_upper: 40, lr: 1e-3, length_penalty: 1.0, threads: 0 };
+    let cfg = GpnTrainConfig {
+        batch: 12,
+        iters_lower: 40,
+        iters_upper: 40,
+        lr: 1e-3,
+        length_penalty: 1.0,
+        threads: 0,
+    };
     let mut generator = |r: &mut rand::rngs::SmallRng| random_worker_problem(r, 7, 0.5);
     let report = train_gpn(&mut policy, &mut generator, &cfg, 11);
+    println!("  final lower reward (window satisfaction): {:.3}", report.final_lower_reward);
     println!(
-        "  final lower reward (window satisfaction): {:.3}",
-        report.final_lower_reward
+        "  final upper reward (satisfaction − length penalty): {:.3}",
+        report.final_upper_reward
     );
-    println!("  final upper reward (satisfaction − length penalty): {:.3}", report.final_upper_reward);
 
     // Evaluate all three solvers + the hybrid on held-out instances.
     let exact = ExactDpSolver::new();

@@ -12,9 +12,7 @@ mod common;
 
 use common::tiny_instances;
 use smore::{GreedySelection, RandomSelection, SmoreFramework};
-use smore_baselines::{
-    GreedySolver, JdrlPolicy, JdrlSolver, MsaConfig, MsaSolver, RandomSolver,
-};
+use smore_baselines::{GreedySolver, JdrlPolicy, JdrlSolver, MsaConfig, MsaSolver, RandomSolver};
 use smore_model::{evaluate, Deadline, Instance, UsmdwSolver};
 use smore_tsptw::{
     FallbackSolver, FaultConfig, FaultInjectingSolver, InsertionSolver, VerifyingSolver,
@@ -128,11 +126,9 @@ fn fallback_chain_rescues_a_chaotic_primary() {
     let mut smore = SmoreFramework::new(GreedySelection, chain);
     let sol = smore.solve(inst);
     let stats = evaluate(inst, &sol).expect("rescued solution must validate");
-    let honest = evaluate(
-        inst,
-        &SmoreFramework::new(GreedySelection, InsertionSolver::new()).solve(inst),
-    )
-    .unwrap();
+    let honest =
+        evaluate(inst, &SmoreFramework::new(GreedySelection, InsertionSolver::new()).solve(inst))
+            .unwrap();
     assert!(
         stats.completed > 0 || honest.completed == 0,
         "a rescued chain should still complete tasks when the honest solver can"

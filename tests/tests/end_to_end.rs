@@ -25,7 +25,15 @@ fn tiny_tasnet(grid_rows: usize, grid_cols: usize) -> (Tasnet, Critic) {
 fn every_method_produces_valid_solutions() {
     let instances = tiny_instances(7, 3);
     let (mut net, mut critic) = tiny_tasnet(4, 4);
-    let cfg = TasnetTrainConfig { warmup_epochs: 1, epochs: 0, batch: 2, lr: 1e-3, rl_lr: 2e-4, critic_lr: 1e-3, threads: 2 };
+    let cfg = TasnetTrainConfig {
+        warmup_epochs: 1,
+        epochs: 0,
+        batch: 2,
+        lr: 1e-3,
+        rl_lr: 2e-4,
+        critic_lr: 1e-3,
+        threads: 2,
+    };
     smore::train_tasnet(&mut net, &mut critic, &instances[..2], &InsertionSolver::new(), &cfg, 5);
 
     let msa_cfg = MsaConfig {
@@ -64,7 +72,15 @@ fn every_method_produces_valid_solutions() {
 fn warm_started_smore_at_least_matches_random_baseline() {
     let instances = tiny_instances(11, 4);
     let (mut net, mut critic) = tiny_tasnet(4, 4);
-    let cfg = TasnetTrainConfig { warmup_epochs: 2, epochs: 1, batch: 2, lr: 1e-3, rl_lr: 2e-4, critic_lr: 1e-3, threads: 2 };
+    let cfg = TasnetTrainConfig {
+        warmup_epochs: 2,
+        epochs: 1,
+        batch: 2,
+        lr: 1e-3,
+        rl_lr: 2e-4,
+        critic_lr: 1e-3,
+        threads: 2,
+    };
     smore::train_tasnet(&mut net, &mut critic, &instances[..3], &InsertionSolver::new(), &cfg, 5);
     let mut smore = SmoreSolver::new(net, critic, InsertionSolver::new());
     let mut rn = RandomSolver::new(9);

@@ -16,8 +16,14 @@ use smore_tsptw::{
 fn gpn_backed_framework_produces_valid_solutions() {
     let mut policy =
         GpnPolicy::new(GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 }, 1);
-    let cfg =
-        GpnTrainConfig { batch: 6, iters_lower: 10, iters_upper: 10, lr: 2e-3, length_penalty: 1.0, threads: 2 };
+    let cfg = GpnTrainConfig {
+        batch: 6,
+        iters_lower: 10,
+        iters_upper: 10,
+        lr: 2e-3,
+        length_penalty: 1.0,
+        threads: 2,
+    };
     let mut generator = |r: &mut SmallRng| random_worker_problem(r, 5, 0.5);
     train_gpn(&mut policy, &mut generator, &cfg, 2);
 
@@ -36,8 +42,7 @@ fn hybrid_never_degrades_below_insertion_alone() {
     // The hybrid keeps the better of (RL, insertion) per call, so a SMORE
     // run backed by the hybrid can only see routes at least as short as the
     // insertion solver's — check on raw TSPTW instances.
-    let policy =
-        GpnPolicy::new(GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 }, 9);
+    let policy = GpnPolicy::new(GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 }, 9);
     let hybrid = HybridSolver::new(GpnSolver::new(policy));
     let insertion = InsertionSolver::new();
     let mut rng = rand::SeedableRng::seed_from_u64(5);

@@ -30,7 +30,15 @@ fn trained_model_roundtrips_and_reproduces_solutions() {
     cfg.enc_layers = 1;
     let mut net = Tasnet::new(cfg.clone(), 1);
     let mut critic = Critic::new(16, 2);
-    let tc = TasnetTrainConfig { warmup_epochs: 1, epochs: 0, batch: 2, lr: 1e-3, rl_lr: 2e-4, critic_lr: 1e-3, threads: 2 };
+    let tc = TasnetTrainConfig {
+        warmup_epochs: 1,
+        epochs: 0,
+        batch: 2,
+        lr: 1e-3,
+        rl_lr: 2e-4,
+        critic_lr: 1e-3,
+        threads: 2,
+    };
     smore::train_tasnet(&mut net, &mut critic, &instances[..2], &InsertionSolver::new(), &tc, 3);
 
     let mut original = SmoreSolver::new(net, critic, InsertionSolver::new());
