@@ -1,0 +1,269 @@
+//! `smore-loadgen` — load-test harness for the `smore-serve` API.
+//!
+//! Drives N concurrent client connections (one request per connection, the
+//! server's framing model) with a seeded, deterministic mix of
+//! `/v1/solve` and `/v1/feasible` query-form requests, then writes
+//! `BENCH_serve.json` with throughput, latency percentiles, status counts,
+//! and the server's own shed/queue metrics.
+//!
+//! ```sh
+//! cargo run -p smore-bench --bin smore-loadgen --release -- \
+//!     [--connections N] [--requests N] [--server-threads N] [--queue N] \
+//!     [--seed N] [--addr HOST:PORT] [--out PATH]
+//! ```
+//!
+//! Without `--addr` an in-process server is booted on an ephemeral port (so
+//! the harness is self-contained); with it, an already-running server is
+//! targeted. The JSON is written by hand (no serde on the output path) so
+//! the binary stays functional in stub-only offline builds.
+
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    connections: usize,
+    requests: usize,
+    server_threads: usize,
+    queue: usize,
+    seed: u64,
+    addr: Option<String>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        connections: 64,
+        requests: 512,
+        server_threads: 2,
+        queue: 64,
+        seed: 7,
+        addr: None,
+        out: PathBuf::from("BENCH_serve.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connections" => {
+                args.connections = it.next().and_then(|s| s.parse().ok()).expect("--connections N")
+            }
+            "--requests" => {
+                args.requests = it.next().and_then(|s| s.parse().ok()).expect("--requests N")
+            }
+            "--server-threads" => {
+                args.server_threads =
+                    it.next().and_then(|s| s.parse().ok()).expect("--server-threads N")
+            }
+            "--queue" => args.queue = it.next().and_then(|s| s.parse().ok()).expect("--queue N"),
+            "--seed" => args.seed = it.next().and_then(|s| s.parse().ok()).expect("--seed N"),
+            "--addr" => args.addr = Some(it.next().expect("--addr HOST:PORT")),
+            "--out" => args.out = PathBuf::from(it.next().expect("--out PATH")),
+            // Tolerate flags injected by wrapper scripts (e.g. --offline).
+            _ => {}
+        }
+    }
+    args
+}
+
+/// The deterministic request mix: solve (greedy/ratio/random) and feasible
+/// probes over the two fast dataset presets, all in query form.
+fn request_for(client: usize, iteration: usize, seed: u64) -> String {
+    let mix = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((client as u64) * 31 + iteration as u64);
+    let gen_seed = mix % 5;
+    let target = match mix % 4 {
+        0 => format!("/v1/solve?dataset=delivery&gen_seed={gen_seed}&method=greedy"),
+        1 => format!("/v1/solve?dataset=tourism&gen_seed={gen_seed}&method=ratio"),
+        2 => format!(
+            "/v1/feasible?dataset=delivery&gen_seed={gen_seed}&worker={}&task={}",
+            mix % 4,
+            mix % 6
+        ),
+        _ => format!("/v1/solve?dataset=delivery&gen_seed={gen_seed}&method=random&seed={mix}"),
+    };
+    format!("POST {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n")
+}
+
+/// One request over one fresh connection. Returns (status, latency_ms), or
+/// an error string if the connection failed outside the protocol.
+fn fire(addr: &str, raw: &str) -> Result<(u16, f64), String> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.write_all(raw.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).map_err(|e| format!("read: {e}"))?;
+    let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+    let head = String::from_utf8_lossy(&reply);
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unframed reply: {:?}", &head[..head.len().min(80)]))?;
+    Ok((status, latency_ms))
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Pulls one `name value` line out of a /metrics snapshot.
+fn scrape(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Boot an in-process server unless an external one was named.
+    let (addr, server) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let config = smore_serve::ServeConfig {
+                threads: args.server_threads,
+                queue_capacity: args.queue,
+                ..smore_serve::ServeConfig::default()
+            };
+            let handle = smore_serve::start(config, Arc::new(smore_serve::ModelRegistry::new()))
+                .expect("bind in-process server");
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+    eprintln!(
+        "loadgen: {} connections, {} requests against {addr} (seed {})",
+        args.connections, args.requests, args.seed
+    );
+
+    let per_client = args.requests.div_ceil(args.connections);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.connections)
+        .map(|client| {
+            let addr = addr.clone();
+            let seed = args.seed;
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut statuses: Vec<u16> = Vec::with_capacity(per_client);
+                let mut errors: Vec<String> = Vec::new();
+                for i in 0..per_client {
+                    match fire(&addr, &request_for(client, i, seed)) {
+                        Ok((status, ms)) => {
+                            statuses.push(status);
+                            latencies.push(ms);
+                        }
+                        Err(e) => errors.push(e),
+                    }
+                }
+                (latencies, statuses, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut status_counts: Vec<(u16, u64)> = Vec::new();
+    let mut errors = Vec::new();
+    for w in workers {
+        let (l, statuses, e) = w.join().expect("client thread panicked");
+        latencies.extend(l);
+        for s in statuses {
+            match status_counts.iter_mut().find(|(k, _)| *k == s) {
+                Some((_, n)) => *n += 1,
+                None => status_counts.push((s, 1)),
+            }
+        }
+        errors.extend(e);
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    status_counts.sort_by_key(|(k, _)| *k);
+    latencies.sort_by(f64::total_cmp);
+
+    // Server-side truth: shed count and queue high-water mark.
+    let metrics_text = fire(&addr, "GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n")
+        .ok()
+        .map(|_| ())
+        .and_then(|()| {
+            let mut stream = TcpStream::connect(&addr).ok()?;
+            stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n").ok()?;
+            let mut reply = String::new();
+            stream.read_to_string(&mut reply).ok()?;
+            Some(reply)
+        })
+        .unwrap_or_default();
+    let shed_total = scrape(&metrics_text, "smore_shed_total");
+    let queue_hwm = scrape(&metrics_text, "smore_queue_depth_high_water");
+
+    if let Some(handle) = server {
+        let _ = fire(&addr, "POST /admin/shutdown HTTP/1.1\r\n\r\n");
+        handle.join();
+    }
+
+    let answered = latencies.len();
+    let shed_rate = if answered == 0 {
+        0.0
+    } else {
+        status_counts.iter().filter(|(k, _)| *k == 503).map(|(_, n)| *n).sum::<u64>() as f64
+            / answered as f64
+    };
+    let mean_ms = if answered == 0 { 0.0 } else { latencies.iter().sum::<f64>() / answered as f64 };
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"smore-serve loadgen\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"connections\": {}, \"requests\": {}, \"server_threads\": {}, \"queue_capacity\": {}, \"seed\": {}, \"external_addr\": {}}},",
+        args.connections,
+        args.requests,
+        args.server_threads,
+        args.queue,
+        args.seed,
+        args.addr.is_some()
+    );
+    let _ = writeln!(json, "  \"answered\": {answered},");
+    let _ = writeln!(json, "  \"transport_errors\": {},", errors.len());
+    let _ = writeln!(json, "  \"throughput_rps\": {:.2},", answered as f64 / wall_s.max(1e-9));
+    let _ = writeln!(
+        json,
+        "  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+        mean_ms
+    );
+    let _ = write!(json, "  \"status_counts\": {{");
+    for (i, (status, n)) in status_counts.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(json, "{sep}\"{status}\": {n}");
+    }
+    let _ = writeln!(json, "}},");
+    let _ = writeln!(json, "  \"shed_rate\": {shed_rate:.4},");
+    let _ = writeln!(json, "  \"server_shed_total\": {shed_total},");
+    let _ = writeln!(json, "  \"server_queue_high_water\": {queue_hwm}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!(
+        "loadgen: {answered} answered in {wall_s:.2}s ({:.1} rps), p50 {:.1} ms, p99 {:.1} ms, {} shed, {} transport errors -> {}",
+        answered as f64 / wall_s.max(1e-9),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        shed_total,
+        errors.len(),
+        args.out.display()
+    );
+    if !errors.is_empty() {
+        for e in errors.iter().take(5) {
+            eprintln!("loadgen: transport error: {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -68,7 +68,7 @@ fn parse_args() -> Args {
     if args.smoke {
         args.reps = args.reps.min(1);
         args.instances = args.instances.min(2);
-        args.out = PathBuf::from(std::env::temp_dir().join("BENCH_train_smoke.json"));
+        args.out = std::env::temp_dir().join("BENCH_train_smoke.json");
     }
     args
 }

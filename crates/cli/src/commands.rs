@@ -8,35 +8,19 @@ use serde::{Deserialize, Serialize};
 use smore::{Critic, SmoreSolver, Tasnet, TasnetConfig, TasnetTrainConfig};
 use smore_baselines::{GreedySolver, JdrlPolicy, JdrlSolver, MsaConfig, MsaSolver, RandomSolver};
 use smore_datasets::{DatasetKind, DatasetSpec, DatasetStats, InstanceGenerator, Scale};
-use smore_model::{evaluate, DeadlineSpec, Instance, Solution, UsmdwSolver};
+use smore_model::{evaluate, DeadlineSpec, Instance, ModelCheckpoint, Solution, UsmdwSolver};
 use smore_tsptw::InsertionSolver;
 
 /// On-disk bundle of instances plus the generation parameters.
 #[derive(Serialize, Deserialize)]
 pub struct InstanceFile {
     /// Generation provenance (dataset name, seed, knobs) for reproducibility.
+    /// Written by `gen` and carried through round-trips; nothing reads it
+    /// programmatically — it exists for humans inspecting the file.
+    #[allow(dead_code)]
     pub meta: serde_json::Value,
     /// The instances.
     pub instances: Vec<Instance>,
-}
-
-/// On-disk bundle of a trained SMORE model.
-#[derive(Serialize, Deserialize)]
-pub struct ModelFile {
-    /// The TASNet configuration the parameters belong to.
-    pub grid_rows: usize,
-    /// Grid columns of the config.
-    pub grid_cols: usize,
-    /// Embedding width.
-    pub d_model: usize,
-    /// Attention heads.
-    pub heads: usize,
-    /// Encoder layers.
-    pub enc_layers: usize,
-    /// Serialized policy parameters.
-    pub policy: String,
-    /// Serialized critic parameters.
-    pub critic: String,
 }
 
 fn dataset_kind(name: &str) -> Result<DatasetKind, CliError> {
@@ -143,9 +127,11 @@ pub fn train(args: &Args) -> Result<(), CliError> {
     );
     eprintln!("validation curve: {:?}", report.validation_curve);
 
+    // The on-disk model format IS the wire format: the same JSON can be
+    // POSTed to a running server's /admin/reload verbatim.
     write_json(
         out,
-        &ModelFile {
+        &ModelCheckpoint {
             grid_rows: grid.rows,
             grid_cols: grid.cols,
             d_model: cfg.d_model,
@@ -162,7 +148,7 @@ pub fn train(args: &Args) -> Result<(), CliError> {
 fn load_smore(path: &str) -> Result<SmoreSolver<InsertionSolver>, CliError> {
     let raw =
         std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
-    let file: ModelFile =
+    let file: ModelCheckpoint =
         serde_json::from_str(&raw).map_err(|e| CliError::Parse(format!("parse {path}: {e}")))?;
     let mut cfg = TasnetConfig::for_grid(file.grid_rows, file.grid_cols);
     cfg.d_model = file.d_model;
@@ -276,11 +262,134 @@ pub fn inspect(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `serve` — run the online assignment service until `POST /admin/shutdown`.
+pub fn serve(args: &Args) -> Result<(), CliError> {
+    let host = args.get_or("host", "127.0.0.1");
+    let port: u16 = args.num("port", 8080)?;
+    let threads: usize = args.num("threads", 2)?;
+    let queue: usize = args.num("queue", 64)?;
+
+    let registry = std::sync::Arc::new(smore_serve::ModelRegistry::new());
+    if let Some(path) = args.get("model") {
+        let raw =
+            std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
+        let ckpt: ModelCheckpoint = serde_json::from_str(&raw)
+            .map_err(|e| CliError::Parse(format!("parse {path}: {e}")))?;
+        let version = registry
+            .load(&ckpt)
+            .map_err(|e| CliError::InvalidData(format!("load checkpoint {path}: {e}")))?;
+        eprintln!("loaded checkpoint {path} as version {version}");
+    }
+
+    let config = smore_serve::ServeConfig {
+        addr: format!("{host}:{port}"),
+        threads,
+        queue_capacity: queue,
+        ..smore_serve::ServeConfig::default()
+    };
+    let handle = smore_serve::start(config, registry)
+        .map_err(|e| CliError::Io(format!("bind {host}:{port}: {e}")))?;
+    // Parents (CI smoke, load tests) scrape this line for the ephemeral
+    // port, so it must reach the pipe before we block.
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("server stopped");
+    Ok(())
+}
+
+/// Detailed usage for one command (`smore-cli <command> --help`).
+pub fn command_usage(command: &str) -> Option<&'static str> {
+    Some(match command {
+        "gen" => {
+            "\
+smore-cli gen — generate a file of synthetic USMDW instances
+
+USAGE: smore-cli gen --out F [options]
+  --out F           output path (required)
+  --dataset NAME    delivery | tourism | lade        (default delivery)
+  --scale NAME      small | paper                    (default small)
+  --seed N          generator seed                   (default 7)
+  --count N         instances to generate            (default 8)
+  --window MIN      sensing window length override
+  --budget B        incentive budget                 (default 300)
+  --alpha A         mandatory-stop detour factor     (default 0.5)"
+        }
+        "stats" => {
+            "\
+smore-cli stats — Figure-4-style distribution statistics
+
+USAGE: smore-cli stats --instances F"
+        }
+        "train" => {
+            "\
+smore-cli train — train SMORE on an instance file
+
+USAGE: smore-cli train --instances F --out MODEL [options]
+  --warmup N        imitation warm-up epochs         (default 8)
+  --epochs N        REINFORCE epochs                 (default 4)
+  --d-model N       embedding width                  (default 16)
+  --heads N         attention heads                  (default 2)
+  --layers N        encoder layers                   (default 1)
+  --seed N          init + training seed             (default 42)
+  --threads N       0 = all cores; results are bit-identical
+                    for every thread count           (default 0)
+
+The saved MODEL file doubles as the /admin/reload body for `smore-cli
+serve` — no conversion step."
+        }
+        "solve" => {
+            "\
+smore-cli solve — solve every instance in a file
+
+USAGE: smore-cli solve --instances F --method M [options]
+  --method M        smore | tvpg | tcpg | rn | msa | msagi | jdrl
+  --model MODEL     trained checkpoint (required for --method smore)
+  --out SOLUTIONS   write solutions JSON
+  --budget-ms MS    wall-clock cap per instance; on expiry the best
+                    valid partial solution is returned
+  --seed N          seed for stochastic methods      (default 1)"
+        }
+        "inspect" => {
+            "\
+smore-cli inspect — print one solved schedule, or re-validate instances
+
+USAGE: smore-cli inspect --instances F --solutions F [--index N]
+       smore-cli inspect --instances F --validate"
+        }
+        "serve" => {
+            "\
+smore-cli serve — run the online USMDW assignment service
+
+USAGE: smore-cli serve [options]
+  --host H          bind host                        (default 127.0.0.1)
+  --port P          bind port, 0 = ephemeral         (default 8080)
+  --threads N       worker threads                   (default 2)
+  --queue N         bounded queue capacity; connections beyond it
+                    are shed with 503 + Retry-After  (default 64)
+  --model F         checkpoint to load at boot (smore-cli train output)
+
+Prints `listening on ADDR` once bound, then runs until
+`POST /admin/shutdown` (or the process is killed). Endpoints:
+  POST /v1/solve      full solve (JSON body, or query form:
+                      ?dataset=delivery&gen_seed=7&method=greedy)
+  POST /v1/feasible   single (worker, task) probe
+  GET  /healthz       liveness + model version
+  GET  /metrics       plain-text counters and latency histograms
+  POST /admin/reload  hot-swap the checkpoint (train-output JSON body)
+  POST /admin/shutdown drain and exit"
+        }
+        _ => return None,
+    })
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 smore-cli — the SMORE urban-sensing toolkit
 
 USAGE: smore-cli <command> [--flag value ...]
+       smore-cli <command> --help   (detailed per-command usage)
 
 COMMANDS:
   gen      generate instances      --out F [--dataset delivery|tourism|lade]
@@ -298,6 +407,8 @@ COMMANDS:
                                     returning the best partial solution)
   inspect  show one schedule       --instances F --solutions F [--index N]
            or re-check instances   --instances F --validate
+  serve    online assignment API   [--port P] [--threads N] [--queue N]
+                                   [--model MODEL]
 
 EXIT CODES:
   0 ok   2 usage   3 io   4 parse   5 invalid data   6 solve/evaluate

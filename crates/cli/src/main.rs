@@ -19,13 +19,23 @@ fn main() {
         Ok(a) => a,
         Err(e) => exit_with(CliError::Usage(e)),
     };
+    // `smore-cli <command> --help` prints the command's own usage; bare
+    // `--help` (or an unknown command with --help) prints the synopsis.
+    if parsed.flag("help") {
+        match commands::command_usage(&parsed.command) {
+            Some(usage) => println!("{usage}"),
+            None => println!("{}", commands::USAGE),
+        }
+        return;
+    }
     let result = match parsed.command.as_str() {
         "gen" => commands::gen(&parsed),
         "stats" => commands::stats(&parsed),
         "train" => commands::train(&parsed),
         "solve" => commands::solve(&parsed),
         "inspect" => commands::inspect(&parsed),
-        "" | "help" | "--help" => {
+        "serve" => commands::serve(&parsed),
+        "" | "help" => {
             println!("{}", commands::USAGE);
             return;
         }

@@ -1,0 +1,104 @@
+//! Command-line UX contract, tested against the real binary:
+//! unknown subcommands print the synopsis and exit 2, `--help` after a
+//! subcommand prints that command's usage and exits 0, and `serve` boots,
+//! answers over TCP, and shuts down cleanly on `POST /admin/shutdown`.
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_smore-cli");
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(BIN).args(args).output().expect("spawn smore-cli");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_zero() {
+    let (code, stdout, _) = run(&[]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("USAGE: smore-cli <command>"), "{stdout}");
+    assert!(stdout.contains("serve"), "usage must list the serve command: {stdout}");
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_two() {
+    let (code, _, stderr) = run(&["frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("USAGE: smore-cli <command>"), "synopsis on stderr: {stderr}");
+}
+
+#[test]
+fn help_after_a_subcommand_prints_its_usage() {
+    for (cmd, marker) in [
+        ("gen", "--dataset"),
+        ("train", "--warmup"),
+        ("solve", "--budget-ms"),
+        ("inspect", "--validate"),
+        ("serve", "--queue"),
+        ("stats", "--instances"),
+    ] {
+        let (code, stdout, stderr) = run(&[cmd, "--help"]);
+        assert_eq!(code, 0, "{cmd} --help: {stderr}");
+        assert!(stdout.contains(&format!("smore-cli {cmd}")), "{cmd}: {stdout}");
+        assert!(stdout.contains(marker), "{cmd} usage must mention {marker}: {stdout}");
+    }
+}
+
+#[test]
+fn bare_help_flag_prints_the_synopsis() {
+    let (code, stdout, _) = run(&["--help"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("USAGE: smore-cli <command>"), "{stdout}");
+}
+
+#[test]
+fn missing_required_flag_exits_two() {
+    let (code, _, stderr) = run(&["gen"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--out"), "{stderr}");
+}
+
+#[test]
+fn serve_boots_answers_and_shuts_down_cleanly() {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--port", "0", "--threads", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn smore-cli serve");
+
+    // Scrape the ephemeral address from the announced line.
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listen line");
+    let addr = line.trim().strip_prefix("listening on ").unwrap_or_else(|| {
+        let _ = child.kill();
+        panic!("unexpected announce line: {line:?}");
+    });
+
+    // One real request, then a graceful remote shutdown.
+    let healthz = request(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(healthz.starts_with("HTTP/1.1 200 OK"), "{healthz}");
+    let bye = request(addr, "POST /admin/shutdown HTTP/1.1\r\n\r\n");
+    assert!(bye.starts_with("HTTP/1.1 200 OK"), "{bye}");
+
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "serve must exit 0 after /admin/shutdown, got {status:?}");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("drain stdout");
+    assert!(rest.contains("server stopped"), "{rest}");
+}
+
+fn request(addr: &str, raw: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read");
+    reply
+}

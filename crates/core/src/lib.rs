@@ -24,6 +24,10 @@
 //!   Mask** ablation.
 //! * [`SingleStageSolver`] — the **w/o TASNet** ablation (flat joint pair
 //!   selection).
+//! * [`SolveSession`] — a reusable per-thread engine session (solver +
+//!   incremental evaluator) for online serving: policy solves, TASNet
+//!   decoding against shared checkpoints, and single-pair feasibility
+//!   probes, with the evaluator re-armed correctly between requests.
 //! * [`SmoreError`] — typed engine failures. [`Engine`] construction and
 //!   `apply` return `Result`, and every solver honours a wall-clock
 //!   `Deadline` budget: on expiry the best valid partial solution is
@@ -37,6 +41,7 @@ mod error;
 mod evaluator;
 mod policy;
 mod route_planning;
+mod session;
 mod single_stage;
 mod solver;
 mod tasnet;
@@ -51,6 +56,7 @@ pub use policy::{
     GreedySelection, RandomSelection, RatioGreedySelection, SelectionPolicy, SmoreFramework,
 };
 pub use route_planning::{order_to_route, route_problem};
+pub use session::{ProbeResult, SolveSession};
 pub use single_stage::{train_single_stage, SingleStageNet, SingleStageSolver};
 pub use solver::SmoreSolver;
 pub use tasnet::{Critic, EpisodeEncoding, SelectMode, StepLogProbs, Tasnet, TasnetConfig};

@@ -1,0 +1,273 @@
+//! Reusable per-thread solve sessions for online serving.
+//!
+//! A long-lived server answers many solve/probe requests on the same OS
+//! thread. Rebuilding the TSPTW solver and the candidate evaluator per
+//! request is cheap but wasteful; more importantly, the evaluator's
+//! engine-scoped invariants (dead-pair memoization must be cleared between
+//! instances — see [`CandidateEvaluator::begin_engine`]) are easy to get
+//! wrong when callers wire the pieces manually. A [`SolveSession`] owns one
+//! solver + one incremental evaluator and exposes exactly the three
+//! operations the serving layer needs, each of which re-arms the evaluator
+//! correctly:
+//!
+//! * [`SolveSession::solve_policy`] — Algorithm 1 with a heuristic
+//!   selection policy (greedy / ratio / random), the model-free solve path.
+//! * [`SolveSession::solve_tasnet`] — greedy TASNet decoding against shared
+//!   network parameters (the server hands in an `Arc` snapshot; decoding
+//!   only needs `&Tasnet`, so checkpoints hot-swap without cloning).
+//! * [`SolveSession::probe`] — a single `(worker, task)` feasibility probe
+//!   through the incremental evaluator, the `/v1/feasible` fast path: one
+//!   mandatory-route solve plus one slack-insertion evaluation, no engine
+//!   construction.
+//!
+//! A session is deliberately `&mut self` throughout: one session serves one
+//! thread. Sessions on different threads are fully independent, and because
+//! every operation is deterministic in (instance, method, seed), M sessions
+//! racing over a shared instance produce bit-identical answers to a single
+//! session running sequentially — the property the serving determinism
+//! tests pin down.
+
+use crate::error::SmoreError;
+use crate::evaluator::{CandidateEvaluator, EvalStats, IncrementalInsertion, WorkerEval};
+use crate::policy::SelectionPolicy;
+use crate::route_planning::{order_to_route, route_problem};
+use crate::tasnet::{Critic, Tasnet};
+use crate::train::run_episode_within;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore_model::{Deadline, Instance, Route, SensingTaskId, Solution, WorkerId};
+use smore_tsptw::{InsertionSolver, TsptwSolver};
+use std::sync::Arc;
+
+/// Outcome of a feasible [`SolveSession::probe`]: the extended route, its
+/// travel time, and the incentive delta versus the worker's mandatory-only
+/// route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeResult {
+    /// The worker's route with the probed task inserted.
+    pub route: Route,
+    /// Route travel time of [`ProbeResult::route`].
+    pub rtt: f64,
+    /// Incentive delta versus the mandatory-only route.
+    pub delta_in: f64,
+}
+
+/// A reusable engine session: one TSPTW solver plus one incremental
+/// candidate evaluator, shared across the requests of a single thread.
+pub struct SolveSession {
+    solver: InsertionSolver,
+    evaluator: Arc<IncrementalInsertion>,
+}
+
+impl Default for SolveSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolveSession {
+    /// Creates a session with the default insertion solver and incremental
+    /// evaluator.
+    pub fn new() -> Self {
+        Self { solver: InsertionSolver::new(), evaluator: Arc::new(IncrementalInsertion::new()) }
+    }
+
+    /// Work counters accumulated across every request this session served
+    /// (never reset by the session itself).
+    pub fn evaluator_stats(&self) -> EvalStats {
+        self.evaluator.stats()
+    }
+
+    /// Solves `instance` with a heuristic selection policy under `deadline`
+    /// (Algorithm 1's outer loop, same contract as
+    /// [`SmoreFramework`](crate::SmoreFramework)): on any failure or expiry
+    /// the best *valid* partial solution is returned, at worst the
+    /// zero-incentive reference routes.
+    pub fn solve_policy(
+        &mut self,
+        instance: &Instance,
+        policy: &mut dyn SelectionPolicy,
+        deadline: Deadline,
+    ) -> Solution {
+        // Engine construction calls `begin_engine`, clearing the dead-pair
+        // memo left behind by the previous request's instance.
+        let Ok(mut engine) = crate::Engine::new_with(
+            instance,
+            &self.solver,
+            Arc::clone(&self.evaluator) as Arc<dyn CandidateEvaluator>,
+            deadline,
+        ) else {
+            return instance.reference_solution();
+        };
+        policy.begin(&engine);
+        while engine.has_candidates() && !deadline.expired() {
+            match policy.select(&engine) {
+                Some((worker, task)) => {
+                    if engine.apply(worker, task).is_err() {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        engine.state.into_solution()
+    }
+
+    /// Solves `instance` by greedy TASNet decoding against shared network
+    /// parameters. Decoding needs only `&Tasnet`/`&Critic`, so the server
+    /// passes references into its current checkpoint snapshot and reloads
+    /// swap atomically underneath without copying parameters per request.
+    pub fn solve_tasnet(
+        &mut self,
+        net: &Tasnet,
+        critic: &Critic,
+        instance: &Instance,
+        deadline: Deadline,
+    ) -> Solution {
+        // The rng is unused under greedy decoding; a fixed seed keeps the
+        // signature honest and the output deterministic.
+        let mut rng = SmallRng::seed_from_u64(0);
+        match run_episode_within(net, critic, instance, &self.solver, true, deadline, &mut rng) {
+            Some(ep) => ep.solution,
+            None => instance.reference_solution(),
+        }
+    }
+
+    /// Probes whether adding `task` to `worker`'s mandatory-only assignment
+    /// admits a feasible route, via the incremental evaluator (slack-based
+    /// insertion, TSPTW re-solve only as a fallback).
+    ///
+    /// Returns `Ok(None)` for an infeasible pair. Fails with
+    /// [`SmoreError::InitialRoute`] only when the worker's mandatory route
+    /// itself cannot be planned.
+    ///
+    /// # Panics
+    /// Panics if `worker` or `task` is out of bounds for `instance`;
+    /// callers on untrusted paths must bounds-check first (the serve layer
+    /// rejects out-of-range ids with a 400 before reaching this).
+    pub fn probe(
+        &mut self,
+        instance: &Instance,
+        worker: WorkerId,
+        task: SensingTaskId,
+    ) -> Result<Option<ProbeResult>, SmoreError> {
+        let p = route_problem(instance, worker, &[]);
+        let sol =
+            self.solver.solve(&p).map_err(|cause| SmoreError::InitialRoute { worker, cause })?;
+        let route = order_to_route(instance, worker, &[], &sol);
+        let base_incentive = instance.incentive(worker, sol.rtt);
+
+        // A probe is a one-shot engine run over a single worker: re-arm the
+        // evaluator so dead-pair memos from a previous instance cannot leak
+        // into this answer.
+        self.evaluator.begin_engine();
+        let prepared = self.evaluator.prepare(WorkerEval {
+            instance,
+            solver: &self.solver,
+            worker,
+            assigned: &[],
+            route: &route,
+            rtt: sol.rtt,
+            prev: None,
+        });
+        let result = prepared.evaluate(task).map(|(route, rtt)| ProbeResult {
+            route,
+            rtt,
+            delta_in: instance.incentive(worker, rtt) - base_incentive,
+        });
+        drop(prepared);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GreedySelection, RatioGreedySelection};
+    use rand::{rngs::SmallRng, SeedableRng};
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    use smore_model::evaluate;
+
+    fn instance(seed: u64) -> Instance {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), seed);
+        g.gen_default(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn session_reuse_across_instances_matches_fresh_sessions() {
+        let a = instance(301);
+        let b = instance(302);
+        // One session reused across two instances...
+        let mut reused = SolveSession::new();
+        let ra = reused.solve_policy(&a, &mut GreedySelection, Deadline::none());
+        let rb = reused.solve_policy(&b, &mut GreedySelection, Deadline::none());
+        // ...must match fresh sessions per instance exactly: the evaluator's
+        // engine-scoped caches may not leak between requests.
+        let fa = SolveSession::new().solve_policy(&a, &mut GreedySelection, Deadline::none());
+        let fb = SolveSession::new().solve_policy(&b, &mut GreedySelection, Deadline::none());
+        assert_eq!(ra, fa);
+        assert_eq!(rb, fb);
+        assert!(evaluate(&a, &ra).unwrap().completed > 0);
+    }
+
+    #[test]
+    fn probe_matches_engine_candidates() {
+        let inst = instance(303);
+        let solver = InsertionSolver::new();
+        let engine = crate::Engine::new(&inst, &solver).unwrap();
+        let mut session = SolveSession::new();
+        for w in 0..inst.n_workers() {
+            for t in 0..inst.n_tasks() {
+                let (wid, tid) = (WorkerId(w), SensingTaskId(t));
+                let probe = session.probe(&inst, wid, tid).unwrap();
+                // The engine prefilters and budget-screens candidates; a
+                // probe does neither, so it may accept more pairs — but
+                // every engine candidate must probe feasible with the same
+                // travel time.
+                if let Some(cand) = engine.candidates.get(wid, tid) {
+                    let p = probe.expect("engine candidate must probe feasible");
+                    assert_eq!(p.rtt.to_bits(), cand.rtt.to_bits());
+                    assert_eq!(p.delta_in.to_bits(), cand.delta_in.to_bits());
+                    assert_eq!(p.route, cand.route);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_is_deterministic_across_interleavings() {
+        let inst = instance(304);
+        let mut s1 = SolveSession::new();
+        let mut s2 = SolveSession::new();
+        for t in 0..inst.n_tasks().min(16) {
+            let tid = SensingTaskId(t);
+            // Interleave two sessions over the same pairs; answers must be
+            // identical (sessions share nothing).
+            let a = s1.probe(&inst, WorkerId(0), tid).unwrap();
+            let b = s2.probe(&inst, WorkerId(0), tid).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn policies_share_one_session() {
+        let inst = instance(305);
+        let mut session = SolveSession::new();
+        let g = session.solve_policy(&inst, &mut GreedySelection, Deadline::none());
+        let r = session.solve_policy(&inst, &mut RatioGreedySelection, Deadline::none());
+        assert!(evaluate(&inst, &g).unwrap().completed > 0);
+        assert!(evaluate(&inst, &r).unwrap().completed > 0);
+        assert!(session.evaluator_stats().evaluations > 0);
+    }
+
+    #[test]
+    fn expired_deadline_yields_reference_like_solution() {
+        let inst = instance(306);
+        let mut session = SolveSession::new();
+        let deadline = Deadline::after_millis(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let sol = session.solve_policy(&inst, &mut GreedySelection, deadline);
+        // Anytime contract: still valid, possibly empty.
+        assert!(evaluate(&inst, &sol).is_ok());
+    }
+}

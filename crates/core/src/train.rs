@@ -135,12 +135,7 @@ fn run_episode_pooled(
     pool: &TapePool,
 ) -> Option<Episode> {
     let tape = pool.take();
-    // `Engine::new` failure is detected inside; reconstruct cheaply to give
-    // the tape back on that path.
-    match run_episode_on(net, critic, instance, solver, greedy, Deadline::none(), rng, tape) {
-        Some(ep) => Some(ep),
-        None => None,
-    }
+    run_episode_on(net, critic, instance, solver, greedy, Deadline::none(), rng, tape)
 }
 
 /// Training hyperparameters.

@@ -1,0 +1,233 @@
+//! Wire-format request/response DTOs for the `smore-serve` JSON API.
+//!
+//! These types define the network contract of the online assignment
+//! service: [`SolveRequest`]/[`SolveResponse`] for full USMDW solves,
+//! [`FeasibleRequest`]/[`FeasibleResponse`] for single candidate probes,
+//! and [`ModelCheckpoint`] for trained-parameter bundles (the same format
+//! `smore-cli train` writes to disk, so a saved model file can be POSTed to
+//! `/admin/reload` verbatim).
+//!
+//! They live in `smore-model` (not the serve crate) because they are plain
+//! data shared by at least three parties — the server, the CLI, and the
+//! load generator — and because [`Instance`] already enforces
+//! validate-on-deserialize here: a `SolveRequest` that deserialized
+//! successfully carries a structurally sound instance, so handlers never
+//! see NaN coordinates or inverted windows from untrusted bytes.
+
+use crate::instance::Instance;
+use crate::route::Route;
+use serde::{Deserialize, Serialize};
+
+/// Server-side instance generation spec: instead of shipping a full
+/// [`Instance`] over the wire, a client may name a seeded generator preset
+/// and let the server materialize the instance. This is how the load
+/// generator keeps request bodies tiny (and how the serving stack stays
+/// exercisable in offline builds whose JSON layer is stubbed out — the spec
+/// also has a query-string form, e.g.
+/// `POST /v1/solve?dataset=delivery&gen_seed=7`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerateSpec {
+    /// Dataset preset name: `delivery`, `tourism`, or `lade`.
+    pub dataset: String,
+    /// Scale preset: `small` (default) or `paper`.
+    #[serde(default)]
+    pub scale: Option<String>,
+    /// Generator seed; the same seed always yields the same instance.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+/// Body of `POST /v1/solve`: one USMDW instance (inline or by generator
+/// spec) plus solve options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveRequest {
+    /// The instance to solve, validated on deserialize. Exactly one of
+    /// `instance` and `gen` must be present.
+    #[serde(default)]
+    pub instance: Option<Instance>,
+    /// Server-side generation spec, the inline-instance alternative.
+    #[serde(default, rename = "gen")]
+    pub generate: Option<GenerateSpec>,
+    /// Selection method: `smore` (requires a loaded checkpoint), `greedy`,
+    /// `ratio`, `random`, or `auto` (default: `smore` when a checkpoint is
+    /// loaded, else `greedy`).
+    #[serde(default)]
+    pub method: Option<String>,
+    /// Per-request wall-clock budget in milliseconds, threaded into the
+    /// anytime solvers as a [`crate::Deadline`]; absent means unbounded.
+    #[serde(default)]
+    pub budget_ms: Option<u64>,
+    /// Seed for stochastic methods (`random`); deterministic methods ignore
+    /// it but it still participates in the response echo.
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+/// Body of a successful `POST /v1/solve` response: the assignment, its
+/// routes, and the coverage/incentive statistics.
+///
+/// Contains no timestamps or host-dependent fields: identical request bytes
+/// against the same checkpoint must produce byte-identical response bodies
+/// regardless of thread-pool size or run (the serving determinism
+/// contract).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveResponse {
+    /// The method that actually ran (after `auto` resolution).
+    pub method: String,
+    /// Version of the checkpoint used (0 when no model was involved).
+    pub model_version: u64,
+    /// Objective value `φ` of the returned assignment.
+    pub objective: f64,
+    /// Number of completed sensing tasks.
+    pub completed: usize,
+    /// Total incentive paid.
+    pub total_incentive: f64,
+    /// Incentive paid to each worker.
+    pub per_worker_incentive: Vec<f64>,
+    /// Route travel time of each worker.
+    pub per_worker_rtt: Vec<f64>,
+    /// One working route per worker.
+    pub routes: Vec<Route>,
+}
+
+/// Body of `POST /v1/feasible`: probe whether one `(worker, task)` pair
+/// admits a feasible route extension.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeasibleRequest {
+    /// The instance to probe against (inline form).
+    #[serde(default)]
+    pub instance: Option<Instance>,
+    /// Server-side generation spec, the inline-instance alternative.
+    #[serde(default, rename = "gen")]
+    pub generate: Option<GenerateSpec>,
+    /// Worker index (must be `< n_workers`).
+    pub worker: usize,
+    /// Sensing-task index (must be `< n_tasks`).
+    pub task: usize,
+}
+
+/// Body of a successful `POST /v1/feasible` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeasibleResponse {
+    /// Whether the pair admits a feasible route.
+    pub feasible: bool,
+    /// Route travel time with the task added (present iff feasible).
+    #[serde(default)]
+    pub rtt: Option<f64>,
+    /// Incentive delta versus the worker's mandatory-only route (present
+    /// iff feasible).
+    #[serde(default)]
+    pub delta_in: Option<f64>,
+    /// The extended route (present iff feasible).
+    #[serde(default)]
+    pub route: Option<Route>,
+}
+
+/// A trained SMORE parameter bundle: TASNet configuration plus serialized
+/// policy and critic parameter stores. `smore-cli train` writes this format
+/// to disk and `POST /admin/reload` accepts it over the wire, so retrained
+/// weights hot-swap into a running server without a restart.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelCheckpoint {
+    /// Grid rows of the TASNet configuration the parameters belong to.
+    pub grid_rows: usize,
+    /// Grid columns of the configuration.
+    pub grid_cols: usize,
+    /// Embedding width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder layers.
+    pub enc_layers: usize,
+    /// Serialized policy parameters (`ParamStore` JSON).
+    pub policy: String,
+    /// Serialized critic parameters (`ParamStore` JSON).
+    pub critic: String,
+}
+
+/// Uniform JSON error body for every non-2xx API response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable failure description.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The offline shadow build stubs serde_json out (round trips are
+    /// non-functional there); JSON-dependent assertions skip themselves.
+    fn serde_is_functional() -> bool {
+        serde_json::from_str::<u64>("1").is_ok()
+    }
+
+    #[test]
+    fn solve_request_defaults_are_permissive() {
+        if !serde_is_functional() {
+            return;
+        }
+        let req: SolveRequest =
+            serde_json::from_str(r#"{"gen":{"dataset":"delivery","seed":7}}"#).unwrap();
+        assert!(req.instance.is_none());
+        assert_eq!(req.generate.as_ref().map(|g| g.seed), Some(7));
+        assert_eq!(req.method, None);
+        assert_eq!(req.budget_ms, None);
+    }
+
+    #[test]
+    fn feasible_request_requires_worker_and_task() {
+        if !serde_is_functional() {
+            return;
+        }
+        assert!(serde_json::from_str::<FeasibleRequest>(r#"{"worker":0}"#).is_err());
+        let req: FeasibleRequest =
+            serde_json::from_str(r#"{"worker":1,"task":2,"gen":{"dataset":"lade"}}"#).unwrap();
+        assert_eq!((req.worker, req.task), (1, 2));
+    }
+
+    #[test]
+    fn invalid_inline_instance_is_rejected_on_deserialize() {
+        if !serde_is_functional() {
+            return;
+        }
+        use crate::tasks::SensingLattice;
+        use crate::worker::Worker;
+        use smore_geo::{GridSpec, Point, TravelTimeModel};
+        let lattice = SensingLattice {
+            grid: GridSpec::new(Point::new(0.0, 0.0), 1200.0, 1200.0, 4, 4),
+            horizon: 120.0,
+            window_len: 30.0,
+            service: 5.0,
+        };
+        let worker = Worker::new(Point::new(0.0, 0.0), Point::new(1200.0, 0.0), 0.0, 120.0, vec![]);
+        // Serialize with a sentinel budget, then corrupt it in the JSON: a
+        // syntactically valid request whose embedded instance violates
+        // validation must fail at the serde boundary, not inside a handler.
+        let mut inst = Instance::from_lattice(
+            vec![worker],
+            lattice,
+            123456.75,
+            1.0,
+            TravelTimeModel::PAPER_DEFAULT,
+            0.5,
+        );
+        inst.budget = 123456.75;
+        let inst_json = serde_json::to_string(&inst).unwrap();
+        let ok_body = format!("{{\"worker\":0,\"task\":0,\"instance\":{inst_json}}}");
+        assert!(serde_json::from_str::<FeasibleRequest>(&ok_body).is_ok());
+        let bad_body = ok_body.replace("123456.75", "-1.0");
+        assert_ne!(ok_body, bad_body, "sentinel budget must appear in the JSON");
+        assert!(serde_json::from_str::<FeasibleRequest>(&bad_body).is_err());
+    }
+
+    #[test]
+    fn error_body_roundtrips() {
+        if !serde_is_functional() {
+            return;
+        }
+        let e = ErrorBody { error: "nope".into() };
+        let back: ErrorBody = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+}

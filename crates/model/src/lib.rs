@@ -15,12 +15,15 @@
 //!   Algorithm 1, reused by SMORE, the baselines and the ablations.
 //! * [`UsmdwSolver`] — the trait all solvers implement.
 //! * [`reduction`] — the executable OP → USMDW NP-hardness reduction.
+//! * [`dto`] — wire-format request/response DTOs for the `smore-serve`
+//!   JSON API (solve/feasible bodies, model checkpoints).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod assignment;
 mod deadline;
+pub mod dto;
 mod instance;
 pub mod reduction;
 mod route;
@@ -31,6 +34,10 @@ mod worker;
 
 pub use assignment::AssignmentState;
 pub use deadline::{Deadline, DeadlineSpec};
+pub use dto::{
+    ErrorBody, FeasibleRequest, FeasibleResponse, GenerateSpec, ModelCheckpoint, SolveRequest,
+    SolveResponse,
+};
 pub use instance::{Instance, InstanceError};
 pub use route::{schedule_route, Infeasibility, Route, Schedule, Stop, StopTiming, TIME_EPS};
 pub use solution::{evaluate, Solution, SolutionStats, UsmdwSolver, ValidationError};

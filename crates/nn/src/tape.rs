@@ -685,7 +685,8 @@ impl Tape {
         }
     }
 
-    /// Like [`Tape::scatter_grads`], but into a detached [`GradBatch`] —
+    /// Like [`Tape::scatter_grads`], but into a detached
+    /// [`GradBatch`](crate::params::GradBatch) —
     /// the per-episode accumulator parallel training merges into the shared
     /// store in deterministic episode order.
     pub fn scatter_grads_into(&self, batch: &mut crate::params::GradBatch) {

@@ -1,0 +1,531 @@
+//! Request routing and endpoint handlers.
+//!
+//! A handler is a pure function of (request, registry snapshot, solve
+//! session): no ambient clocks, no global state, no randomness beyond the
+//! request's own seed. That is what makes the serving determinism contract
+//! (identical request bytes → byte-identical response bodies, regardless of
+//! which worker thread answers) hold by construction.
+//!
+//! Requests carry their instance either inline (JSON body, validated on
+//! deserialize by `smore-model`) or as a seeded generator spec — in the
+//! body's `gen` field or directly in the query string
+//! (`POST /v1/solve?dataset=delivery&gen_seed=7&method=greedy`), which
+//! keeps load-generator requests tiny.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smore::{GreedySelection, RandomSelection, RatioGreedySelection, SolveSession};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_model::{
+    evaluate, DeadlineSpec, FeasibleRequest, FeasibleResponse, GenerateSpec, Instance,
+    ModelCheckpoint, SensingTaskId, SolveRequest, SolveResponse, WorkerId,
+};
+
+use crate::http::{Method, Request, Response};
+use crate::metrics::{Endpoint, Metrics};
+use crate::registry::ModelRegistry;
+
+/// Shared handler context: everything a worker thread needs besides its own
+/// [`SolveSession`].
+pub struct Api {
+    /// Hot-swappable checkpoint slot.
+    pub registry: Arc<ModelRegistry>,
+    /// Server-wide counters.
+    pub metrics: Arc<Metrics>,
+    /// Set by `POST /admin/shutdown`; the accept loop watches it.
+    pub shutdown: Arc<AtomicBool>,
+}
+
+/// Paths the router knows (used to distinguish 404 from 405).
+const KNOWN_PATHS: [&str; 6] =
+    ["/healthz", "/metrics", "/v1/solve", "/v1/feasible", "/admin/reload", "/admin/shutdown"];
+
+/// The metrics dimension a path belongs to.
+pub fn endpoint_of(path: &str) -> Endpoint {
+    match path {
+        "/v1/solve" => Endpoint::Solve,
+        "/v1/feasible" => Endpoint::Feasible,
+        "/healthz" => Endpoint::Healthz,
+        "/metrics" => Endpoint::Metrics,
+        "/admin/reload" => Endpoint::Reload,
+        "/admin/shutdown" => Endpoint::Shutdown,
+        _ => Endpoint::Other,
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included). Error bodies and
+/// hand-assembled responses go through this so they stay valid JSON without
+/// depending on a serializer.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON error response with the uniform `{"error": ...}` body.
+pub fn error_response(status: u16, message: impl AsRef<str>) -> Response {
+    Response::json(status, format!("{{\"error\":{}}}", json_string(message.as_ref())))
+}
+
+/// Parses a JSON request body (UTF-8 enforced; `serde_json::from_slice` is
+/// avoided so dependency stand-ins only need `from_str`).
+fn body_json<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+/// First value for `key` in a query string (`a=1&b=2` form; no
+/// percent-decoding — the API's query grammar is plain alphanumerics).
+fn query_get<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+fn query_num<T: std::str::FromStr>(query: &str, key: &str) -> Result<Option<T>, String> {
+    match query_get(query, key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("query parameter {key}={raw:?} is not a number")),
+    }
+}
+
+/// Builds a [`GenerateSpec`] from query parameters (`dataset` mandatory,
+/// `scale` and `gen_seed` optional).
+fn gen_spec_from_query(query: &str) -> Result<GenerateSpec, String> {
+    let dataset = query_get(query, "dataset")
+        .ok_or("query form requires dataset=<delivery|tourism|lade>")?
+        .to_string();
+    let scale = query_get(query, "scale").map(str::to_string);
+    let seed = query_num::<u64>(query, "gen_seed")?.unwrap_or(0);
+    Ok(GenerateSpec { dataset, scale, seed })
+}
+
+/// Materializes the instance a request refers to: inline XOR generated.
+fn materialize(
+    instance: Option<Instance>,
+    generate: Option<GenerateSpec>,
+) -> Result<Instance, String> {
+    match (instance, generate) {
+        (Some(inst), None) => Ok(inst),
+        (None, Some(spec)) => instance_from_spec(&spec),
+        (Some(_), Some(_)) => Err("provide exactly one of `instance` and `gen`, not both".into()),
+        (None, None) => Err("provide one of `instance` (inline) or `gen` (generator spec)".into()),
+    }
+}
+
+fn instance_from_spec(spec: &GenerateSpec) -> Result<Instance, String> {
+    let kind = match spec.dataset.as_str() {
+        "delivery" => DatasetKind::Delivery,
+        "tourism" => DatasetKind::Tourism,
+        "lade" => DatasetKind::LaDe,
+        other => return Err(format!("unknown dataset {other:?} (expected delivery|tourism|lade)")),
+    };
+    let scale = match spec.scale.as_deref().unwrap_or("small") {
+        "small" => Scale::Small,
+        "paper" => Scale::Paper,
+        other => return Err(format!("unknown scale {other:?} (expected small|paper)")),
+    };
+    let generator = InstanceGenerator::new(DatasetSpec::of(kind, scale), spec.seed);
+    Ok(generator.gen_default(&mut SmallRng::seed_from_u64(spec.seed)))
+}
+
+/// The selection method a solve request resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SolveMethod {
+    Smore,
+    Greedy,
+    Ratio,
+    Random,
+}
+
+impl SolveMethod {
+    fn label(self) -> &'static str {
+        match self {
+            SolveMethod::Smore => "smore",
+            SolveMethod::Greedy => "greedy",
+            SolveMethod::Ratio => "ratio",
+            SolveMethod::Random => "random",
+        }
+    }
+}
+
+impl Api {
+    /// Routes one parsed request to its handler.
+    pub fn handle(&self, session: &mut SolveSession, req: &Request) -> Response {
+        match (req.method, req.path.as_str()) {
+            (Method::Get, "/healthz") => Response::json(
+                200,
+                format!("{{\"status\":\"ok\",\"model_version\":{}}}", self.registry.version()),
+            ),
+            (Method::Get, "/metrics") => Response::text(200, self.metrics.render()),
+            (Method::Post, "/v1/solve") => self.solve(session, req),
+            (Method::Post, "/v1/feasible") => self.feasible(session, req),
+            (Method::Post, "/admin/reload") => self.reload(req),
+            (Method::Post, "/admin/shutdown") => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Response::json(200, "{\"status\":\"shutting down\"}")
+            }
+            (_, path) if KNOWN_PATHS.contains(&path) => {
+                error_response(405, format!("method not allowed for {path}"))
+            }
+            (_, path) => error_response(404, format!("no such endpoint: {path}")),
+        }
+    }
+
+    /// `POST /v1/solve` — full-instance USMDW solve.
+    fn solve(&self, session: &mut SolveSession, req: &Request) -> Response {
+        let parsed = if !req.body.is_empty() {
+            match body_json::<SolveRequest>(&req.body) {
+                Ok(p) => p,
+                Err(e) => return error_response(400, format!("invalid solve request: {e}")),
+            }
+        } else if !req.query.is_empty() {
+            let generate = match gen_spec_from_query(&req.query) {
+                Ok(g) => g,
+                Err(e) => return error_response(400, e),
+            };
+            let budget_ms = match query_num::<u64>(&req.query, "budget_ms") {
+                Ok(b) => b,
+                Err(e) => return error_response(400, e),
+            };
+            let seed = match query_num::<u64>(&req.query, "seed") {
+                Ok(s) => s,
+                Err(e) => return error_response(400, e),
+            };
+            SolveRequest {
+                instance: None,
+                generate: Some(generate),
+                method: query_get(&req.query, "method").map(str::to_string),
+                budget_ms,
+                seed,
+            }
+        } else {
+            return error_response(400, "empty solve request: send a JSON body or a query form");
+        };
+
+        let method = match parsed.method.as_deref().unwrap_or("auto") {
+            "smore" => SolveMethod::Smore,
+            "greedy" => SolveMethod::Greedy,
+            "ratio" => SolveMethod::Ratio,
+            "random" => SolveMethod::Random,
+            "auto" => {
+                if self.registry.version() > 0 {
+                    SolveMethod::Smore
+                } else {
+                    SolveMethod::Greedy
+                }
+            }
+            other => {
+                return error_response(
+                    400,
+                    format!("unknown method {other:?} (expected smore|greedy|ratio|random|auto)"),
+                )
+            }
+        };
+
+        let instance = match materialize(parsed.instance, parsed.generate) {
+            Ok(inst) => inst,
+            Err(e) => return error_response(400, e),
+        };
+        let deadline = DeadlineSpec { budget_ms: parsed.budget_ms }.start();
+
+        let (solution, model_version) = match method {
+            SolveMethod::Smore => {
+                let Some((model, version)) = self.registry.snapshot() else {
+                    return error_response(
+                        409,
+                        "method smore requires a loaded checkpoint (POST /admin/reload first)",
+                    );
+                };
+                (session.solve_tasnet(&model.net, &model.critic, &instance, deadline), version)
+            }
+            SolveMethod::Greedy => {
+                (session.solve_policy(&instance, &mut GreedySelection, deadline), 0)
+            }
+            SolveMethod::Ratio => {
+                (session.solve_policy(&instance, &mut RatioGreedySelection, deadline), 0)
+            }
+            SolveMethod::Random => {
+                let mut policy = RandomSelection::new(parsed.seed.unwrap_or(0));
+                (session.solve_policy(&instance, &mut policy, deadline), 0)
+            }
+        };
+
+        let stats = match evaluate(&instance, &solution) {
+            Ok(stats) => stats,
+            // Solvers return validated solutions; reaching this is a server
+            // bug, not a client error.
+            Err(e) => return error_response(500, format!("solution failed validation: {e}")),
+        };
+        let body = SolveResponse {
+            method: method.label().to_string(),
+            model_version,
+            objective: stats.objective,
+            completed: stats.completed,
+            total_incentive: stats.total_incentive,
+            per_worker_incentive: stats.per_worker_incentive,
+            per_worker_rtt: stats.per_worker_rtt,
+            routes: solution.routes,
+        };
+        match serde_json::to_string(&body) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => error_response(500, format!("response serialization failed: {e}")),
+        }
+    }
+
+    /// `POST /v1/feasible` — single `(worker, task)` candidate probe.
+    fn feasible(&self, session: &mut SolveSession, req: &Request) -> Response {
+        let parsed = if !req.body.is_empty() {
+            match body_json::<FeasibleRequest>(&req.body) {
+                Ok(p) => p,
+                Err(e) => return error_response(400, format!("invalid feasible request: {e}")),
+            }
+        } else if !req.query.is_empty() {
+            let generate = match gen_spec_from_query(&req.query) {
+                Ok(g) => g,
+                Err(e) => return error_response(400, e),
+            };
+            let (worker, task) = match (
+                query_num::<usize>(&req.query, "worker"),
+                query_num::<usize>(&req.query, "task"),
+            ) {
+                (Ok(Some(w)), Ok(Some(t))) => (w, t),
+                (Err(e), _) | (_, Err(e)) => return error_response(400, e),
+                _ => {
+                    return error_response(400, "query form requires worker=<i> and task=<j>");
+                }
+            };
+            FeasibleRequest { instance: None, generate: Some(generate), worker, task }
+        } else {
+            return error_response(400, "empty feasible request: send a JSON body or a query form");
+        };
+
+        let instance = match materialize(parsed.instance, parsed.generate) {
+            Ok(inst) => inst,
+            Err(e) => return error_response(400, e),
+        };
+        // Bounds-check before the probe — SolveSession::probe panics on
+        // out-of-range ids by contract.
+        if parsed.worker >= instance.n_workers() {
+            return error_response(
+                400,
+                format!(
+                    "worker {} out of range (instance has {})",
+                    parsed.worker,
+                    instance.n_workers()
+                ),
+            );
+        }
+        if parsed.task >= instance.n_tasks() {
+            return error_response(
+                400,
+                format!("task {} out of range (instance has {})", parsed.task, instance.n_tasks()),
+            );
+        }
+
+        let body =
+            match session.probe(&instance, WorkerId(parsed.worker), SensingTaskId(parsed.task)) {
+                Ok(Some(probe)) => FeasibleResponse {
+                    feasible: true,
+                    rtt: Some(probe.rtt),
+                    delta_in: Some(probe.delta_in),
+                    route: Some(probe.route),
+                },
+                Ok(None) => {
+                    FeasibleResponse { feasible: false, rtt: None, delta_in: None, route: None }
+                }
+                Err(e) => {
+                    return error_response(
+                        400,
+                        format!("worker {} has no feasible mandatory route: {e}", parsed.worker),
+                    )
+                }
+            };
+        match serde_json::to_string(&body) {
+            Ok(json) => Response::json(200, json),
+            Err(e) => error_response(500, format!("response serialization failed: {e}")),
+        }
+    }
+
+    /// `POST /admin/reload` — swap in a new checkpoint without dropping
+    /// in-flight requests.
+    fn reload(&self, req: &Request) -> Response {
+        if req.body.is_empty() {
+            return error_response(400, "reload requires a ModelCheckpoint JSON body");
+        }
+        let ckpt = match body_json::<ModelCheckpoint>(&req.body) {
+            Ok(c) => c,
+            Err(e) => return error_response(400, format!("invalid checkpoint: {e}")),
+        };
+        match self.registry.load(&ckpt) {
+            Ok(version) => {
+                self.metrics.set_model_version(version);
+                Response::json(200, format!("{{\"model_version\":{version}}}"))
+            }
+            Err(e) => error_response(400, format!("checkpoint rejected: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn api() -> Api {
+        Api {
+            registry: Arc::new(ModelRegistry::new()),
+            metrics: Arc::new(Metrics::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request { method: Method::Get, path: path.into(), query: String::new(), body: Vec::new() }
+    }
+
+    fn post(path: &str, query: &str) -> Request {
+        Request { method: Method::Post, path: path.into(), query: query.into(), body: Vec::new() }
+    }
+
+    #[test]
+    fn healthz_reports_ok_and_version() {
+        let api = api();
+        let mut s = SolveSession::new();
+        let resp = api.handle(&mut s, &get("/healthz"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            String::from_utf8(resp.body).expect("utf8"),
+            "{\"status\":\"ok\",\"model_version\":0}"
+        );
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_wrong_method_is_405() {
+        let api = api();
+        let mut s = SolveSession::new();
+        assert_eq!(api.handle(&mut s, &get("/nope")).status, 404);
+        assert_eq!(api.handle(&mut s, &get("/v1/solve")).status, 405);
+        assert_eq!(api.handle(&mut s, &post("/healthz", "")).status, 405);
+    }
+
+    #[test]
+    fn solve_query_form_runs_a_real_solve() {
+        let api = api();
+        let mut s = SolveSession::new();
+        let req = post("/v1/solve", "dataset=delivery&gen_seed=7&method=greedy");
+        let resp = api.handle(&mut s, &req);
+        assert_eq!(resp.status, 200, "body: {:?}", String::from_utf8_lossy(&resp.body));
+    }
+
+    #[test]
+    fn solve_auto_without_checkpoint_falls_back_to_greedy() {
+        let api = api();
+        let mut s = SolveSession::new();
+        let resp = api.handle(&mut s, &post("/v1/solve", "dataset=delivery&gen_seed=3"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn solve_smore_without_checkpoint_is_409() {
+        let api = api();
+        let mut s = SolveSession::new();
+        let resp = api.handle(&mut s, &post("/v1/solve", "dataset=delivery&method=smore"));
+        assert_eq!(resp.status, 409);
+    }
+
+    #[test]
+    fn solve_rejects_bad_query_parameters() {
+        let api = api();
+        let mut s = SolveSession::new();
+        for query in [
+            "dataset=mars",
+            "dataset=delivery&scale=huge",
+            "dataset=delivery&gen_seed=banana",
+            "dataset=delivery&method=quantum",
+            "method=greedy", // no instance source at all
+        ] {
+            let resp = api.handle(&mut s, &post("/v1/solve", query));
+            assert_eq!(resp.status, 400, "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn feasible_query_form_probes_and_bounds_checks() {
+        let api = api();
+        let mut s = SolveSession::new();
+        let ok = api
+            .handle(&mut s, &post("/v1/feasible", "dataset=delivery&gen_seed=7&worker=0&task=0"));
+        assert_eq!(ok.status, 200);
+        let oob = api.handle(
+            &mut s,
+            &post("/v1/feasible", "dataset=delivery&gen_seed=7&worker=9999&task=0"),
+        );
+        assert_eq!(oob.status, 400);
+        let missing = api.handle(&mut s, &post("/v1/feasible", "dataset=delivery&worker=0"));
+        assert_eq!(missing.status, 400);
+    }
+
+    #[test]
+    fn shutdown_flips_the_flag() {
+        let api = api();
+        let mut s = SolveSession::new();
+        assert!(!api.shutdown.load(Ordering::SeqCst));
+        let resp = api.handle(&mut s, &post("/admin/shutdown", ""));
+        assert_eq!(resp.status, 200);
+        assert!(api.shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn reload_rejects_empty_and_garbage_bodies() {
+        let api = api();
+        let mut s = SolveSession::new();
+        assert_eq!(api.handle(&mut s, &post("/admin/reload", "")).status, 400);
+        let garbage = Request {
+            method: Method::Post,
+            path: "/admin/reload".into(),
+            query: String::new(),
+            body: b"not json".to_vec(),
+        };
+        assert_eq!(api.handle(&mut s, &garbage).status, 400);
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn identical_requests_yield_identical_bodies_within_a_session() {
+        let api = api();
+        let mut s1 = SolveSession::new();
+        let mut s2 = SolveSession::new();
+        let req = post("/v1/solve", "dataset=delivery&gen_seed=11&method=greedy");
+        let a = api.handle(&mut s1, &req);
+        // Dirty s1 with a different instance, then repeat on both sessions.
+        api.handle(&mut s1, &post("/v1/solve", "dataset=tourism&gen_seed=5&method=ratio"));
+        let b = api.handle(&mut s1, &req);
+        let c = api.handle(&mut s2, &req);
+        assert_eq!(a.body, b.body, "same session, interleaved other work");
+        assert_eq!(a.body, c.body, "fresh session");
+    }
+}

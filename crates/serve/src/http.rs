@@ -1,0 +1,296 @@
+//! Minimal HTTP/1.1 framing over `std::net::TcpStream`.
+//!
+//! The server speaks exactly the subset the API needs: `GET`/`POST`
+//! requests with an optional `Content-Length` body, one request per
+//! connection (`Connection: close` on every response — connection setup is
+//! cheap on loopback and per-request connections keep the bounded-queue
+//! semantics honest: one queue slot == one request). Parsing is defensive:
+//! header and body size caps, typed errors, no panics.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers block.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request: method, path (query split off), query string, and
+/// raw body bytes.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET` or `POST` (anything else is rejected at parse time).
+    pub method: Method,
+    /// The path portion of the request target, e.g. `/v1/solve`.
+    pub path: String,
+    /// The query portion (without `?`), empty when absent.
+    pub query: String,
+    /// The request body (empty for bodyless requests).
+    pub body: Vec<u8>,
+}
+
+/// Request methods the API accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// HTTP GET.
+    Get,
+    /// HTTP POST.
+    Post,
+}
+
+/// Why a request could not be parsed, mapped onto a response status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Socket error or client hangup mid-request.
+    Io(String),
+    /// The request line is not `METHOD TARGET HTTP/1.x`.
+    BadRequestLine,
+    /// The method is neither GET nor POST.
+    UnsupportedMethod(String),
+    /// The headers block exceeds [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// `Content-Length` is missing on a request with a body, or unparsable.
+    BadContentLength,
+    /// The declared body length exceeds the server's cap.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The server's configured cap.
+        cap: usize,
+    },
+}
+
+impl ParseError {
+    /// The HTTP status this parse failure maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Io(_) | ParseError::BadRequestLine | ParseError::BadContentLength => 400,
+            ParseError::UnsupportedMethod(_) => 405,
+            ParseError::HeadTooLarge => 431,
+            ParseError::BodyTooLarge { .. } => 413,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "socket error: {e}"),
+            ParseError::BadRequestLine => write!(f, "malformed request line"),
+            ParseError::UnsupportedMethod(m) => write!(f, "unsupported method {m:?}"),
+            ParseError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ParseError::BadContentLength => write!(f, "missing or malformed Content-Length"),
+            ParseError::BodyTooLarge { declared, cap } => {
+                write!(f, "declared body of {declared} bytes exceeds cap of {cap} bytes")
+            }
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`, enforcing `max_body_bytes`.
+pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, ParseError> {
+    // Accumulate until the blank line that ends the head.
+    let mut head = Vec::with_capacity(1024);
+    let mut buf = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::HeadTooLarge);
+        }
+        let n = stream.read(&mut buf).map_err(|e| ParseError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ParseError::Io("connection closed before request head".into()));
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+
+    let (request, content_length) = parse_head(&head[..head_end])?;
+    if content_length > max_body_bytes {
+        return Err(ParseError::BodyTooLarge { declared: content_length, cap: max_body_bytes });
+    }
+
+    // Body bytes already read past the head, then the remainder.
+    let mut body = head[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf).map_err(|e| ParseError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ParseError::Io("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { body, ..request })
+}
+
+/// Index of `\r\n\r\n` in `bytes`, if present.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the request line + headers; returns the request (empty body) and
+/// the declared content length.
+fn parse_head(head: &[u8]) -> Result<(Request, usize), ParseError> {
+    let text = std::str::from_utf8(head).map_err(|_| ParseError::BadRequestLine)?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method_raw = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let target = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let version = parts.next().ok_or(ParseError::BadRequestLine)?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::BadRequestLine);
+    }
+    let method = match method_raw {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        other => return Err(ParseError::UnsupportedMethod(other.to_string())),
+    };
+
+    let mut content_length = 0usize;
+    let mut saw_content_length = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().map_err(|_| ParseError::BadContentLength)?;
+            saw_content_length = true;
+        }
+    }
+    // POST without Content-Length is treated as an empty body (the
+    // query-string request form uses this); a GET never carries one.
+    if method == Method::Get && saw_content_length && content_length > 0 {
+        return Err(ParseError::BadContentLength);
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok((Request { method, path, query, body: Vec::new() }, content_length))
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` seconds (set on 503 shedding).
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response { status, content_type: "application/json", body: body.into(), retry_after: None }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// The canonical load-shedding response: `503` + `Retry-After`.
+    pub fn shed(retry_after_secs: u32) -> Self {
+        Response {
+            status: 503,
+            content_type: "application/json",
+            body: b"{\"error\":\"server overloaded, request shed\"}".to_vec(),
+            retry_after: Some(retry_after_secs),
+        }
+    }
+}
+
+/// The standard reason phrase for the statuses the API emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes and writes `response` to `stream`. Write errors are returned
+/// (the caller counts them but cannot do anything else — the client is
+/// gone).
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    if let Some(secs) = response.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head_of(s: &str) -> Result<(Request, usize), ParseError> {
+        parse_head(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_request_line_path_and_query() {
+        let (req, len) = head_of("POST /v1/solve?seed=7 HTTP/1.1\r\nContent-Length: 12").unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.path, "/v1/solve");
+        assert_eq!(req.query, "seed=7");
+        assert_eq!(len, 12);
+        let (req, len) = head_of("GET /healthz HTTP/1.1\r\nHost: x").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.query, "");
+        assert_eq!(len, 0);
+    }
+
+    #[test]
+    fn rejects_garbage_and_unsupported_methods() {
+        assert_eq!(head_of("nonsense").unwrap_err(), ParseError::BadRequestLine);
+        assert_eq!(head_of("GET /x SPDY/9").unwrap_err(), ParseError::BadRequestLine);
+        assert!(matches!(
+            head_of("DELETE /x HTTP/1.1").unwrap_err(),
+            ParseError::UnsupportedMethod(_)
+        ));
+        assert_eq!(
+            head_of("POST /x HTTP/1.1\r\nContent-Length: banana").unwrap_err(),
+            ParseError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn statuses_map_sensibly() {
+        assert_eq!(ParseError::BadRequestLine.status(), 400);
+        assert_eq!(ParseError::UnsupportedMethod("PUT".into()).status(), 405);
+        assert_eq!(ParseError::BodyTooLarge { declared: 9, cap: 1 }.status(), 413);
+        assert_eq!(ParseError::HeadTooLarge.status(), 431);
+    }
+
+    #[test]
+    fn every_emitted_status_has_a_reason() {
+        for s in [200, 400, 404, 405, 409, 413, 431, 500, 503] {
+            assert_ne!(reason(s), "Unknown", "status {s}");
+        }
+    }
+}

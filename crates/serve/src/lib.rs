@@ -1,0 +1,43 @@
+//! `smore-serve` — the online USMDW assignment service.
+//!
+//! Turns the batch SMORE solver into a long-running network service with
+//! explicit overload behavior:
+//!
+//! * [`http`] — minimal HTTP/1.1 framing over `std::net` (no external
+//!   dependencies): GET/POST, size caps, typed parse errors, one request
+//!   per connection.
+//! * [`queue`] — a bounded MPMC queue between the acceptor and the worker
+//!   pool; a full queue sheds with `503 + Retry-After` instead of growing
+//!   latency without bound, and shutdown drains every accepted request.
+//! * [`registry`] — TASNet checkpoints behind `Arc`, hot-swapped by
+//!   `POST /admin/reload` without dropping in-flight requests.
+//! * [`api`] — routing + handlers: `POST /v1/solve` (full instance or
+//!   seeded generator spec, per-request deadline budgets), `POST
+//!   /v1/feasible` (single candidate probe through the incremental
+//!   evaluator), `GET /healthz`, `GET /metrics`, and the admin endpoints.
+//! * [`metrics`] — atomic counters (requests by endpoint/status, shed
+//!   count, queue high-water mark) and latency histograms, rendered as
+//!   plain text.
+//! * [`server`] — the acceptor thread + fixed worker pool, each worker
+//!   owning one [`smore::SolveSession`]; graceful shutdown.
+//!
+//! Handlers are deterministic in the request bytes and the loaded
+//! checkpoint: identical requests produce byte-identical response bodies
+//! regardless of thread-pool size or request interleaving.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use api::{endpoint_of, error_response, Api};
+pub use http::{Method, ParseError, Request, Response};
+pub use metrics::{Endpoint, Metrics};
+pub use queue::{BoundedQueue, PushError};
+pub use registry::{build_model, LoadedModel, ModelRegistry, RegistryError};
+pub use server::{start, ServeConfig, ServerHandle};

@@ -1,0 +1,284 @@
+//! Lock-free serving metrics and their plain-text rendering.
+//!
+//! The repo's first observability surface: every counter is an atomic, so
+//! the hot path pays a handful of relaxed fetch-adds per request, and
+//! `GET /metrics` renders a Prometheus-style text snapshot (counter lines
+//! with `{label="value"}` selectors, cumulative latency histogram buckets).
+//!
+//! Tracked per endpoint: request counts by status and a fixed-bucket
+//! latency histogram (queue arrival → response written). Tracked globally:
+//! shed count (503s written by the acceptor before a request is ever
+//! parsed), queue depth plus its high-water mark, and the checkpoint
+//! version.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// API endpoints as metric dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/solve`
+    Solve,
+    /// `POST /v1/feasible`
+    Feasible,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /admin/reload`
+    Reload,
+    /// `POST /admin/shutdown`
+    Shutdown,
+    /// Anything else (404s, parse failures).
+    Other,
+}
+
+/// All endpoints, in render order.
+pub const ENDPOINTS: [Endpoint; 7] = [
+    Endpoint::Solve,
+    Endpoint::Feasible,
+    Endpoint::Healthz,
+    Endpoint::Metrics,
+    Endpoint::Reload,
+    Endpoint::Shutdown,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    /// Stable label used in metric lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Solve => "solve",
+            Endpoint::Feasible => "feasible",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Reload => "reload",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Solve => 0,
+            Endpoint::Feasible => 1,
+            Endpoint::Healthz => 2,
+            Endpoint::Metrics => 3,
+            Endpoint::Reload => 4,
+            Endpoint::Shutdown => 5,
+            Endpoint::Other => 6,
+        }
+    }
+}
+
+/// Statuses tracked as counter dimensions (a response with any other status
+/// lands in the trailing `other` bucket).
+const STATUSES: [u16; 9] = [200, 400, 404, 405, 409, 413, 431, 500, 503];
+
+fn status_index(status: u16) -> usize {
+    STATUSES.iter().position(|&s| s == status).unwrap_or(STATUSES.len())
+}
+
+/// Upper bucket bounds of the latency histogram, in milliseconds. The last
+/// implicit bucket is `+Inf`.
+pub const LATENCY_BUCKETS_MS: [f64; 11] =
+    [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0];
+
+const N_ENDPOINTS: usize = ENDPOINTS.len();
+const N_STATUS: usize = STATUSES.len() + 1;
+const N_BUCKETS: usize = LATENCY_BUCKETS_MS.len() + 1;
+
+#[derive(Debug, Default)]
+struct EndpointMetrics {
+    by_status: [AtomicU64; N_STATUS],
+    latency_buckets: [AtomicU64; N_BUCKETS],
+    latency_count: AtomicU64,
+    latency_sum_us: AtomicU64,
+}
+
+/// The server-wide metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    endpoints: [EndpointMetrics; N_ENDPOINTS],
+    shed_total: AtomicU64,
+    queue_depth: AtomicUsize,
+    queue_high_water: AtomicUsize,
+    model_version: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished request: status counter + latency observation.
+    pub fn record(&self, endpoint: Endpoint, status: u16, latency_ms: f64) {
+        let e = &self.endpoints[endpoint.index()];
+        e.by_status[status_index(status)].fetch_add(1, Ordering::Relaxed);
+        let bucket = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&ub| latency_ms <= ub)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        e.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        e.latency_count.fetch_add(1, Ordering::Relaxed);
+        e.latency_sum_us.fetch_add((latency_ms * 1000.0).max(0.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Records a request shed by the acceptor (queue full).
+    pub fn record_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests shed so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Updates the live queue depth and its high-water mark.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the current checkpoint version.
+    pub fn set_model_version(&self, version: u64) {
+        self.model_version.store(version, Ordering::Relaxed);
+    }
+
+    /// Requests recorded for `endpoint` with `status`.
+    pub fn count(&self, endpoint: Endpoint, status: u16) -> u64 {
+        self.endpoints[endpoint.index()].by_status[status_index(status)].load(Ordering::Relaxed)
+    }
+
+    /// Renders the plain-text snapshot served by `GET /metrics`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(out, "# smore-serve metrics (counters since process start)");
+        for (ei, endpoint) in ENDPOINTS.iter().enumerate() {
+            let e = &self.endpoints[ei];
+            for (si, status) in STATUSES.iter().enumerate() {
+                let n = e.by_status[si].load(Ordering::Relaxed);
+                if n > 0 {
+                    let _ = writeln!(
+                        out,
+                        "smore_requests_total{{endpoint=\"{}\",status=\"{status}\"}} {n}",
+                        endpoint.label()
+                    );
+                }
+            }
+            let other = e.by_status[N_STATUS - 1].load(Ordering::Relaxed);
+            if other > 0 {
+                let _ = writeln!(
+                    out,
+                    "smore_requests_total{{endpoint=\"{}\",status=\"other\"}} {other}",
+                    endpoint.label()
+                );
+            }
+        }
+        let _ = writeln!(out, "smore_shed_total {}", self.shed_total.load(Ordering::Relaxed));
+        let _ = writeln!(out, "smore_queue_depth {}", self.queue_depth.load(Ordering::Relaxed));
+        let _ = writeln!(
+            out,
+            "smore_queue_depth_high_water {}",
+            self.queue_high_water.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "smore_model_version {}", self.model_version.load(Ordering::Relaxed));
+        for (ei, endpoint) in ENDPOINTS.iter().enumerate() {
+            let e = &self.endpoints[ei];
+            let count = e.latency_count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            // Cumulative buckets, Prometheus histogram convention.
+            let mut cum = 0u64;
+            for (bi, ub) in LATENCY_BUCKETS_MS.iter().enumerate() {
+                cum += e.latency_buckets[bi].load(Ordering::Relaxed);
+                let _ = writeln!(
+                    out,
+                    "smore_latency_ms_bucket{{endpoint=\"{}\",le=\"{ub}\"}} {cum}",
+                    endpoint.label()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "smore_latency_ms_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {count}",
+                endpoint.label()
+            );
+            let _ = writeln!(
+                out,
+                "smore_latency_ms_sum{{endpoint=\"{}\"}} {:.3}",
+                endpoint.label(),
+                e.latency_sum_us.load(Ordering::Relaxed) as f64 / 1000.0
+            );
+            let _ = writeln!(
+                out,
+                "smore_latency_ms_count{{endpoint=\"{}\"}} {count}",
+                endpoint.label()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_endpoint_and_status() {
+        let m = Metrics::new();
+        m.record(Endpoint::Solve, 200, 3.0);
+        m.record(Endpoint::Solve, 200, 7.0);
+        m.record(Endpoint::Solve, 400, 0.2);
+        m.record(Endpoint::Healthz, 200, 0.1);
+        assert_eq!(m.count(Endpoint::Solve, 200), 2);
+        assert_eq!(m.count(Endpoint::Solve, 400), 1);
+        assert_eq!(m.count(Endpoint::Healthz, 200), 1);
+        assert_eq!(m.count(Endpoint::Feasible, 200), 0);
+    }
+
+    #[test]
+    fn render_contains_requests_shed_and_histogram_lines() {
+        let m = Metrics::new();
+        m.record(Endpoint::Solve, 200, 3.0);
+        m.record_shed();
+        m.set_queue_depth(5);
+        m.set_queue_depth(2);
+        m.set_model_version(3);
+        let text = m.render();
+        assert!(text.contains("smore_requests_total{endpoint=\"solve\",status=\"200\"} 1"));
+        assert!(text.contains("smore_shed_total 1"));
+        assert!(text.contains("smore_queue_depth 2"));
+        assert!(text.contains("smore_queue_depth_high_water 5"));
+        assert!(text.contains("smore_model_version 3"));
+        assert!(text.contains("smore_latency_ms_bucket{endpoint=\"solve\",le=\"5\"} 1"));
+        assert!(text.contains("smore_latency_ms_bucket{endpoint=\"solve\",le=\"+Inf\"} 1"));
+        assert!(text.contains("smore_latency_ms_count{endpoint=\"solve\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.record(Endpoint::Feasible, 200, 0.5); // le 1
+        m.record(Endpoint::Feasible, 200, 30.0); // le 50
+        m.record(Endpoint::Feasible, 200, 9999.0); // +Inf only
+        let text = m.render();
+        assert!(text.contains("smore_latency_ms_bucket{endpoint=\"feasible\",le=\"1\"} 1"));
+        assert!(text.contains("smore_latency_ms_bucket{endpoint=\"feasible\",le=\"50\"} 2"));
+        assert!(text.contains("smore_latency_ms_bucket{endpoint=\"feasible\",le=\"2500\"} 2"));
+        assert!(text.contains("smore_latency_ms_bucket{endpoint=\"feasible\",le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn unknown_statuses_fold_into_other() {
+        let m = Metrics::new();
+        m.record(Endpoint::Other, 418, 1.0);
+        assert!(m.render().contains("smore_requests_total{endpoint=\"other\",status=\"other\"} 1"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Bounded MPMC work queue with backpressure and graceful drain.
+//!
+//! The acceptor thread pushes accepted connections; worker threads pop.
+//! `try_push` on a full queue fails immediately — the acceptor turns that
+//! into a `503 + Retry-After` shed response instead of letting latency grow
+//! without bound. On shutdown the queue stops accepting, wakes every
+//! blocked worker, and keeps handing out the items already queued until
+//! empty, so accepted requests are always answered.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the item is handed back for shedding.
+    Full,
+    /// The queue is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    shutdown: bool,
+}
+
+/// A bounded FIFO queue of pending work.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), shutdown: false }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item` if there is room. On failure the item comes back to
+    /// the caller (for shedding) together with the reason. On success the
+    /// returned depth is the queue length including the new item — callers
+    /// feed it to the metrics high-water mark.
+    pub fn try_push(&self, item: T) -> Result<usize, (T, PushError)> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.shutdown {
+            return Err((item, PushError::ShuttingDown));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or shutdown + drained. `None`
+    /// means "no more work, ever" — the worker should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Flips the shutdown flag and wakes every blocked worker. Items
+    /// already queued are still drained by subsequent `pop` calls.
+    pub fn shut_down(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.shutdown = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1).expect("push"), 1);
+        assert_eq!(q.try_push(2).expect("push"), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_and_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        q.try_push("a").expect("push");
+        q.try_push("b").expect("push");
+        match q.try_push("c") {
+            Err((item, PushError::Full)) => assert_eq!(item, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_drains_queued_items() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).expect("push");
+        q.shut_down();
+        assert!(matches!(q.try_push(2), Err((_, PushError::ShuttingDown))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_shutdown() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the workers a moment to block, then shut down.
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.shut_down();
+        for h in handles {
+            assert_eq!(h.join().expect("join"), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut pushed = 0u32;
+                    for i in 0..100u32 {
+                        if q.try_push(p * 1000 + i).is_ok() {
+                            pushed += 1;
+                        } else {
+                            thread::yield_now();
+                        }
+                    }
+                    pushed
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = 0u32;
+                    while q.pop().is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let pushed: u32 = producers.into_iter().map(|h| h.join().expect("join")).sum();
+        q.shut_down();
+        let got: u32 = consumers.into_iter().map(|h| h.join().expect("join")).sum();
+        assert_eq!(pushed, got);
+    }
+}

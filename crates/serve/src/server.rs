@@ -1,0 +1,316 @@
+//! The server proper: acceptor thread, bounded queue, worker pool.
+//!
+//! Flow of one request: the acceptor `accept()`s a connection and
+//! `try_push`es it (with its arrival timestamp) onto the bounded queue. A
+//! full queue means the acceptor itself answers `503 + Retry-After` and
+//! closes — shedding costs no worker time and bounds queue latency. Worker
+//! threads pop connections, parse the request, dispatch through
+//! [`Api::handle`] with their thread-local [`SolveSession`], write the
+//! response, and close. Latency is measured accept → response written, so
+//! the histogram includes queue wait.
+//!
+//! Shutdown (via [`ServerHandle::stop`] or `POST /admin/shutdown`) flips a
+//! flag the acceptor polls; it closes the listener, shuts the queue down,
+//! and every already-accepted connection is still answered before the
+//! workers exit.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use smore::SolveSession;
+
+use crate::api::{endpoint_of, error_response, Api};
+use crate::http::{read_request, write_response, Response};
+use crate::metrics::{Endpoint, Metrics};
+use crate::queue::BoundedQueue;
+use crate::registry::ModelRegistry;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns one [`SolveSession`]).
+    pub threads: usize,
+    /// Bounded queue capacity; connections beyond it are shed with 503.
+    pub queue_capacity: usize,
+    /// Per-request body size cap in bytes.
+    pub max_body_bytes: usize,
+    /// Socket read timeout so a silent client cannot pin a worker forever.
+    pub read_timeout: Duration,
+    /// `Retry-After` seconds advertised on shed responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            queue_capacity: 64,
+            max_body_bytes: 8 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// A running server: its bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<Metrics>,
+    registry: Arc<ModelRegistry>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics (shared with the worker threads).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The server's model registry.
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// True once shutdown has been requested (by [`ServerHandle::stop`] or
+    /// `POST /admin/shutdown`).
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown without waiting.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the acceptor and every worker have exited (all accepted
+    /// requests answered). Call [`ServerHandle::stop`] first, or let a
+    /// `POST /admin/shutdown` trigger it remotely.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// How often the nonblocking acceptor polls for connections and checks the
+/// shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Binds, spawns the acceptor and worker pool, and returns immediately.
+pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let metrics = Arc::new(Metrics::new());
+    metrics.set_model_version(registry.version());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let api = Arc::new(Api {
+        registry: Arc::clone(&registry),
+        metrics: Arc::clone(&metrics),
+        shutdown: Arc::clone(&shutdown),
+    });
+    let queue: Arc<BoundedQueue<(TcpStream, Instant)>> =
+        Arc::new(BoundedQueue::new(config.queue_capacity));
+
+    let workers = (0..config.threads.max(1))
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let api = Arc::clone(&api);
+            let metrics = Arc::clone(&metrics);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let mut session = SolveSession::new();
+                while let Some((mut stream, arrival)) = queue.pop() {
+                    metrics.set_queue_depth(queue.depth());
+                    serve_connection(&mut stream, arrival, &api, &metrics, &config, &mut session);
+                }
+            })
+        })
+        .collect();
+
+    let acceptor = {
+        let queue = Arc::clone(&queue);
+        let metrics = Arc::clone(&metrics);
+        let shutdown = Arc::clone(&shutdown);
+        let retry_after = config.retry_after_secs;
+        std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => match queue.try_push((stream, Instant::now())) {
+                        Ok(depth) => metrics.set_queue_depth(depth),
+                        Err(((mut stream, arrival), _reason)) => {
+                            // Queue full (or racing shutdown): shed from the
+                            // acceptor so backpressure costs no worker time.
+                            metrics.record_shed();
+                            let response = Response::shed(retry_after);
+                            let _ = write_response(&mut stream, &response);
+                            metrics.record(
+                                Endpoint::Other,
+                                response.status,
+                                arrival.elapsed().as_secs_f64() * 1000.0,
+                            );
+                        }
+                    },
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    // Transient accept failure (e.g. aborted handshake).
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            // Listener drops here: new connections are refused while the
+            // queue drains the ones already accepted.
+            drop(listener);
+            queue.shut_down();
+        })
+    };
+
+    Ok(ServerHandle { addr, metrics, registry, shutdown, acceptor: Some(acceptor), workers })
+}
+
+/// Parses, dispatches, answers, and records one connection.
+fn serve_connection(
+    stream: &mut TcpStream,
+    arrival: Instant,
+    api: &Api,
+    metrics: &Metrics,
+    config: &ServeConfig,
+    session: &mut SolveSession,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let (endpoint, response) = match read_request(stream, config.max_body_bytes) {
+        Ok(request) => (endpoint_of(&request.path), api.handle(session, &request)),
+        Err(parse_err) => {
+            (Endpoint::Other, error_response(parse_err.status(), parse_err.to_string()))
+        }
+    };
+    // Record even when the client vanished mid-write — the work happened.
+    let _ = write_response(stream, &response);
+    metrics.record(endpoint, response.status, arrival.elapsed().as_secs_f64() * 1000.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    fn boot(threads: usize, queue_capacity: usize) -> ServerHandle {
+        let config = ServeConfig {
+            threads,
+            queue_capacity,
+            read_timeout: Duration::from_secs(5),
+            ..ServeConfig::default()
+        };
+        start(config, Arc::new(ModelRegistry::new())).expect("bind")
+    }
+
+    /// One full request/response round trip over real TCP.
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn healthz_round_trips_over_tcp() {
+        let server = boot(2, 16);
+        let reply = roundtrip(server.addr(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("\"status\":\"ok\""), "{reply}");
+        assert!(reply.contains("Connection: close"), "{reply}");
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn unknown_paths_and_bad_requests_get_error_statuses() {
+        let server = boot(2, 16);
+        assert!(roundtrip(server.addr(), "GET /nope HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
+        assert!(
+            roundtrip(server.addr(), "PUT /healthz HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405")
+        );
+        assert!(roundtrip(server.addr(), "garbage\r\n\r\n").starts_with("HTTP/1.1 400"));
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn query_form_solve_works_end_to_end() {
+        let server = boot(2, 16);
+        let reply = roundtrip(
+            server.addr(),
+            "POST /v1/solve?dataset=delivery&gen_seed=7&method=greedy HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        let metrics = roundtrip(server.addr(), "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(
+            metrics.contains("smore_requests_total{endpoint=\"solve\",status=\"200\"} 1"),
+            "{metrics}"
+        );
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_503_and_retry_after() {
+        // One worker, queue of one. Idle connections pin the worker (it
+        // blocks reading) and fill the queue; the rest must be shed.
+        let server = boot(1, 1);
+        let mut idle: Vec<TcpStream> = Vec::new();
+        let mut shed_seen = 0;
+        for _ in 0..8 {
+            let stream = TcpStream::connect(server.addr()).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_millis(300))).expect("timeout");
+            idle.push(stream);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for stream in &mut idle {
+            let mut buf = [0u8; 512];
+            if let Ok(n) = stream.read(&mut buf) {
+                let head = String::from_utf8_lossy(&buf[..n]).to_string();
+                if head.starts_with("HTTP/1.1 503") {
+                    assert!(head.contains("Retry-After: 1"), "{head}");
+                    shed_seen += 1;
+                }
+            }
+        }
+        assert!(shed_seen >= 1, "expected at least one shed response");
+        assert!(server.metrics().shed_total() >= 1);
+        assert!(server.metrics().queue_high_water() >= 1);
+        drop(idle);
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn admin_shutdown_drains_and_exits() {
+        let server = boot(2, 16);
+        let addr = server.addr();
+        let reply = roundtrip(addr, "POST /admin/shutdown HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("shutting down"), "{reply}");
+        server.join();
+        // The listener is gone: fresh connections must fail.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(TcpStream::connect(addr).is_err(), "listener should be closed");
+    }
+}

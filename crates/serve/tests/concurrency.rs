@@ -1,0 +1,176 @@
+//! Concurrency properties of the serving stack, tested over real TCP with
+//! plain `std::thread` interleavings (no loom):
+//!
+//! * M client threads issuing interleaved `/v1/feasible` probes against a
+//!   shared server get bit-identical answers to the same probes issued
+//!   sequentially by one client.
+//! * Checkpoint hot-swaps (`ModelRegistry` installs and, where the JSON
+//!   layer is functional, `POST /admin/reload`) during a sustained load run
+//!   cause **zero** failed requests.
+
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use smore::{Critic, Tasnet, TasnetConfig};
+use smore_serve::{start, LoadedModel, ModelRegistry, ServeConfig};
+
+fn boot(threads: usize, registry: Arc<ModelRegistry>) -> smore_serve::ServerHandle {
+    let config = ServeConfig { threads, queue_capacity: 256, ..ServeConfig::default() };
+    start(config, registry).expect("bind")
+}
+
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("write");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read");
+    let reply = String::from_utf8_lossy(&reply).to_string();
+    let status: u16 = reply
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unframed reply: {reply:?}"));
+    let body = reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn probe_request(worker: usize, task: usize) -> String {
+    format!(
+        "POST /v1/feasible?dataset=delivery&gen_seed=5&worker={worker}&task={task} HTTP/1.1\r\nHost: t\r\n\r\n"
+    )
+}
+
+#[test]
+fn interleaved_probes_match_sequential_bit_for_bit() {
+    let server = boot(4, Arc::new(ModelRegistry::new()));
+    let addr = server.addr();
+
+    // The probe set: a grid of (worker, task) pairs, each probed by two
+    // different client threads to force interleaving on shared sessions.
+    let pairs: Vec<(usize, usize)> = (0..4).flat_map(|w| (0..6).map(move |t| (w, t))).collect();
+
+    // Sequential reference.
+    let mut reference = BTreeMap::new();
+    for &(w, t) in &pairs {
+        let (status, body) = roundtrip(addr, probe_request(w, t).as_bytes());
+        assert_eq!(status, 200, "probe ({w},{t})");
+        reference.insert((w, t), body);
+    }
+
+    // 8 threads × interleaved order, every pair probed twice.
+    let reference = Arc::new(reference);
+    let handles: Vec<_> = (0..8)
+        .map(|shift| {
+            let pairs = pairs.clone();
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                for i in 0..pairs.len() {
+                    let (w, t) = pairs[(i + shift * 3) % pairs.len()];
+                    let (status, body) = roundtrip(addr, probe_request(w, t).as_bytes());
+                    assert_eq!(status, 200, "probe ({w},{t}) on thread {shift}");
+                    assert_eq!(
+                        &body,
+                        reference.get(&(w, t)).expect("reference"),
+                        "probe ({w},{t}) on thread {shift} diverged from sequential"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    server.stop();
+    server.join();
+}
+
+fn tiny_model(seed: u64) -> LoadedModel {
+    // Grid shape matches delivery/small (probed lazily from a generated
+    // instance so the test cannot drift from the dataset presets).
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 5);
+    let inst = g.gen_default(&mut SmallRng::seed_from_u64(5));
+    let mut cfg = TasnetConfig::for_grid(inst.lattice.grid.rows, inst.lattice.grid.cols);
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.enc_layers = 1;
+    LoadedModel { net: Tasnet::new(cfg, seed), critic: Critic::new(16, seed + 1) }
+}
+
+fn serde_is_functional() -> bool {
+    serde_json::from_str::<u64>("1").is_ok()
+}
+
+#[test]
+fn checkpoint_reloads_under_load_fail_zero_requests() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(tiny_model(5));
+    let server = boot(2, Arc::clone(&registry));
+    let addr = server.addr();
+
+    // Client threads hammer solve + feasible while reloads happen.
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut failures = Vec::new();
+                for i in 0..12 {
+                    let raw = if (c + i) % 2 == 0 {
+                        format!(
+                            "POST /v1/solve?dataset=delivery&gen_seed=5&method={} HTTP/1.1\r\n\r\n",
+                            if c % 2 == 0 { "smore" } else { "greedy" }
+                        )
+                    } else {
+                        probe_request(c % 4, i % 6)
+                    };
+                    let (status, body) = roundtrip(addr, raw.as_bytes());
+                    if status != 200 {
+                        failures.push(format!("client {c} iter {i}: {status} {body}"));
+                    }
+                }
+                failures
+            })
+        })
+        .collect();
+
+    // Meanwhile: hot-swap checkpoints, both in-process and over the wire.
+    let mut reloads = 0u64;
+    for round in 0..10u64 {
+        registry.install(tiny_model(100 + round));
+        reloads += 1;
+        if serde_is_functional() {
+            let model = tiny_model(200 + round);
+            let ckpt = smore_model::ModelCheckpoint {
+                grid_rows: model.net.cfg.grid_rows,
+                grid_cols: model.net.cfg.grid_cols,
+                d_model: 16,
+                heads: 2,
+                enc_layers: 1,
+                policy: model.net.store.to_json(),
+                critic: model.critic.store.to_json(),
+            };
+            let body = serde_json::to_string(&ckpt).expect("checkpoint json");
+            let raw = format!(
+                "POST /admin/reload HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            let (status, reply) = roundtrip(addr, raw.as_bytes());
+            assert_eq!(status, 200, "reload round {round}: {reply}");
+            reloads += 1;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let failures: Vec<String> =
+        clients.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+    assert!(failures.is_empty(), "requests failed during reloads: {failures:?}");
+    assert!(registry.version() >= reloads, "every swap must bump the version");
+
+    server.stop();
+    server.join();
+}

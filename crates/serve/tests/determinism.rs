@@ -1,0 +1,109 @@
+//! Serving determinism contract: identical `/v1/solve` request bytes must
+//! produce **byte-identical** response bodies — across repeated requests,
+//! across server restarts, and across thread-pool sizes.
+//!
+//! Responses contain no timestamps or host-dependent fields, handlers are
+//! pure in (request bytes, loaded checkpoint), and each worker thread's
+//! `SolveSession` re-arms its evaluator between requests, so this holds by
+//! construction; the test pins it down over real TCP.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use smore::{Critic, Tasnet, TasnetConfig};
+use smore_serve::{start, LoadedModel, ModelRegistry, ServeConfig};
+
+fn boot(threads: usize, registry: Arc<ModelRegistry>) -> smore_serve::ServerHandle {
+    let config = ServeConfig { threads, ..ServeConfig::default() };
+    start(config, registry).expect("bind")
+}
+
+fn body_of(addr: SocketAddr, raw: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("framed response");
+    (head.to_string(), body.to_string())
+}
+
+/// A deterministic tiny checkpoint sized for the delivery/small grid.
+fn tiny_model_for(rows: usize, cols: usize) -> LoadedModel {
+    let mut cfg = TasnetConfig::for_grid(rows, cols);
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.enc_layers = 1;
+    LoadedModel { net: Tasnet::new(cfg, 5), critic: Critic::new(16, 6) }
+}
+
+fn grid_of_delivery_small() -> (usize, usize) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 11);
+    let inst = g.gen_default(&mut SmallRng::seed_from_u64(11));
+    (inst.lattice.grid.rows, inst.lattice.grid.cols)
+}
+
+const REQUESTS: [&str; 4] = [
+    "POST /v1/solve?dataset=delivery&gen_seed=11&method=greedy HTTP/1.1\r\nHost: t\r\n\r\n",
+    "POST /v1/solve?dataset=delivery&gen_seed=11&method=ratio HTTP/1.1\r\nHost: t\r\n\r\n",
+    "POST /v1/solve?dataset=tourism&gen_seed=3&method=random&seed=9 HTTP/1.1\r\nHost: t\r\n\r\n",
+    "POST /v1/solve?dataset=delivery&gen_seed=11&method=smore HTTP/1.1\r\nHost: t\r\n\r\n",
+];
+
+#[test]
+fn identical_requests_are_byte_identical_across_runs_and_pool_sizes() {
+    let (rows, cols) = grid_of_delivery_small();
+
+    // Reference bodies from a single-threaded server.
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(tiny_model_for(rows, cols));
+    let server1 = boot(1, Arc::clone(&registry));
+    let reference: Vec<(String, String)> =
+        REQUESTS.iter().map(|r| body_of(server1.addr(), r)).collect();
+    for ((head, _), raw) in reference.iter().zip(REQUESTS) {
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "request {raw:?} → {head}");
+    }
+    // Same server, repeated: identical.
+    for (i, raw) in REQUESTS.iter().enumerate() {
+        assert_eq!(body_of(server1.addr(), raw).1, reference[i].1, "rerun of {raw:?}");
+    }
+    server1.stop();
+    server1.join();
+
+    // Fresh server with a 4-thread pool and a freshly built (but
+    // identically seeded) checkpoint: still byte-identical.
+    let registry4 = Arc::new(ModelRegistry::new());
+    registry4.install(tiny_model_for(rows, cols));
+    let server4 = boot(4, registry4);
+    for (i, raw) in REQUESTS.iter().enumerate() {
+        assert_eq!(body_of(server4.addr(), raw).1, reference[i].1, "4-thread pool, {raw:?}");
+    }
+    server4.stop();
+    server4.join();
+}
+
+#[test]
+fn solve_and_feasible_responses_carry_no_volatile_fields() {
+    // Guard the contract at the wire level: the serialized bodies must not
+    // mention time-like fields that would break byte-identity.
+    let registry = Arc::new(ModelRegistry::new());
+    let server = boot(2, registry);
+    let (_, solve) = body_of(
+        server.addr(),
+        "POST /v1/solve?dataset=delivery&gen_seed=2&method=greedy HTTP/1.1\r\n\r\n",
+    );
+    let (_, feasible) = body_of(
+        server.addr(),
+        "POST /v1/feasible?dataset=delivery&gen_seed=2&worker=0&task=0 HTTP/1.1\r\n\r\n",
+    );
+    for body in [&solve, &feasible] {
+        for forbidden in ["timestamp", "elapsed", "duration_ms", "now", "hostname"] {
+            assert!(!body.contains(forbidden), "volatile field {forbidden:?} in {body}");
+        }
+    }
+    server.stop();
+    server.join();
+}
