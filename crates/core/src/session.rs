@@ -36,7 +36,7 @@ use crate::train::run_episode_within;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use smore_model::{Deadline, Instance, Route, SensingTaskId, Solution, WorkerId};
-use smore_tsptw::{InsertionSolver, TsptwSolver};
+use smore_tsptw::{FaultConfig, FaultInjectingSolver, InsertionSolver, TsptwSolver};
 use std::sync::Arc;
 
 /// Outcome of a feasible [`SolveSession::probe`]: the extended route, its
@@ -55,7 +55,7 @@ pub struct ProbeResult {
 /// A reusable engine session: one TSPTW solver plus one incremental
 /// candidate evaluator, shared across the requests of a single thread.
 pub struct SolveSession {
-    solver: InsertionSolver,
+    solver: Box<dyn TsptwSolver + Send>,
     evaluator: Arc<IncrementalInsertion>,
 }
 
@@ -69,7 +69,24 @@ impl SolveSession {
     /// Creates a session with the default insertion solver and incremental
     /// evaluator.
     pub fn new() -> Self {
-        Self { solver: InsertionSolver::new(), evaluator: Arc::new(IncrementalInsertion::new()) }
+        Self {
+            solver: Box::new(InsertionSolver::new()),
+            evaluator: Arc::new(IncrementalInsertion::new()),
+        }
+    }
+
+    /// A session whose TSPTW solver misbehaves on a deterministic, seeded
+    /// schedule ([`FaultInjectingSolver`] over the default insertion
+    /// solver) — including injected panics when
+    /// [`FaultConfig::with_panic_rate`] turns them on. This is the chaos
+    /// hook the serve layer's supervisor and circuit breaker are tested
+    /// through; with [`FaultConfig::none`] it behaves exactly like
+    /// [`SolveSession::new`].
+    pub fn with_faults(config: FaultConfig, seed: u64) -> Self {
+        Self {
+            solver: Box::new(FaultInjectingSolver::new(InsertionSolver::new(), config, seed)),
+            evaluator: Arc::new(IncrementalInsertion::new()),
+        }
     }
 
     /// Work counters accumulated across every request this session served
@@ -93,7 +110,7 @@ impl SolveSession {
         // memo left behind by the previous request's instance.
         let Ok(mut engine) = crate::Engine::new_with(
             instance,
-            &self.solver,
+            &*self.solver,
             Arc::clone(&self.evaluator) as Arc<dyn CandidateEvaluator>,
             deadline,
         ) else {
@@ -124,13 +141,29 @@ impl SolveSession {
         instance: &Instance,
         deadline: Deadline,
     ) -> Solution {
+        match self.try_solve_tasnet(net, critic, instance, deadline) {
+            Some(solution) => solution,
+            None => instance.reference_solution(),
+        }
+    }
+
+    /// [`SolveSession::solve_tasnet`] without the reference-solution
+    /// backstop: `None` means the model-driven episode could not run (no
+    /// initial routes, solver failure, deadline). Serving layers that track
+    /// model health (circuit breaking, degraded fallbacks) need the failure
+    /// to surface instead of being silently papered over.
+    pub fn try_solve_tasnet(
+        &mut self,
+        net: &Tasnet,
+        critic: &Critic,
+        instance: &Instance,
+        deadline: Deadline,
+    ) -> Option<Solution> {
         // The rng is unused under greedy decoding; a fixed seed keeps the
         // signature honest and the output deterministic.
         let mut rng = SmallRng::seed_from_u64(0);
-        match run_episode_within(net, critic, instance, &self.solver, true, deadline, &mut rng) {
-            Some(ep) => ep.solution,
-            None => instance.reference_solution(),
-        }
+        run_episode_within(net, critic, instance, &*self.solver, true, deadline, &mut rng)
+            .map(|ep| ep.solution)
     }
 
     /// Probes whether adding `task` to `worker`'s mandatory-only assignment
@@ -163,7 +196,7 @@ impl SolveSession {
         self.evaluator.begin_engine();
         let prepared = self.evaluator.prepare(WorkerEval {
             instance,
-            solver: &self.solver,
+            solver: &*self.solver,
             worker,
             assigned: &[],
             route: &route,
@@ -187,6 +220,7 @@ mod tests {
     use rand::{rngs::SmallRng, SeedableRng};
     use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
     use smore_model::evaluate;
+    use smore_tsptw::FaultConfig;
 
     fn instance(seed: u64) -> Instance {
         let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), seed);
@@ -258,6 +292,31 @@ mod tests {
         assert!(evaluate(&inst, &g).unwrap().completed > 0);
         assert!(evaluate(&inst, &r).unwrap().completed > 0);
         assert!(session.evaluator_stats().evaluations > 0);
+    }
+
+    #[test]
+    fn faultless_chaos_session_matches_plain_session() {
+        let inst = instance(307);
+        let mut plain = SolveSession::new();
+        let mut chaos = SolveSession::with_faults(FaultConfig::none(), 9);
+        let a = plain.solve_policy(&inst, &mut GreedySelection, Deadline::none());
+        let b = chaos.solve_policy(&inst, &mut GreedySelection, Deadline::none());
+        assert_eq!(a, b, "a zero-rate fault schedule must be a transparent pass-through");
+        let pa = plain.probe(&inst, WorkerId(0), SensingTaskId(0)).unwrap();
+        let pb = chaos.probe(&inst, WorkerId(0), SensingTaskId(0)).unwrap();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn injected_panic_escapes_the_session() {
+        // The serve supervisor owns containment; the session must not
+        // swallow the panic into a quiet reference solution.
+        let inst = instance(308);
+        let mut chaos = SolveSession::with_faults(FaultConfig::none().with_panic_rate(1.0), 9);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = chaos.probe(&inst, WorkerId(0), SensingTaskId(0));
+        }));
+        assert!(caught.is_err(), "panic_rate 1.0 must escape to the caller");
     }
 
     #[test]

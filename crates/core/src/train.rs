@@ -30,7 +30,7 @@ use crate::policy::{GreedySelection, RatioGreedySelection, SelectionPolicy};
 use crate::tasnet::{Critic, SelectMode, StepLogProbs, Tasnet};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use smore_model::{Deadline, Instance, Solution};
+use smore_model::{Deadline, Instance, Solution, TrainProgress};
 use smore_nn::{
     episode_seed, parallel_map, parallel_map_owned, Adam, GradBatch, Matrix, Tape, TapePool,
 };
@@ -550,6 +550,48 @@ pub fn train_tasnet_validated(
     cfg: &TasnetTrainConfig,
     seed: u64,
 ) -> TasnetTrainReport {
+    train_tasnet_resumable(
+        net,
+        critic,
+        instances,
+        validation,
+        solver,
+        cfg,
+        seed,
+        TrainProgress { warmup_done: 0, epochs_done: 0 },
+        |_, _, _| {},
+    )
+}
+
+/// [`train_tasnet_validated`] that can pick up where a crashed run left
+/// off, and reports progress after every completed epoch.
+///
+/// `start` says how many warm-up / REINFORCE epochs a previous run already
+/// finished (the parameters in `net`/`critic` must come from the matching
+/// checkpoint); `on_epoch` fires after each newly completed epoch with the
+/// cumulative progress, which is where callers persist a checkpoint.
+///
+/// Each epoch draws from its own seed stream indexed by the *absolute*
+/// epoch number ([`episode_seed`] + the stream tags above), so a resumed
+/// run replays exactly the episodes the crashed run would have run next —
+/// skipping finished epochs never perturbs the remaining ones.
+///
+/// Optimizer moments are rebuilt fresh on resume (checkpoints carry
+/// parameters, not Adam state), so a resumed run matches an uninterrupted
+/// one in schedule, not bit-for-bit in weights. Two resumes from the same
+/// checkpoint are bit-identical to each other.
+#[allow(clippy::too_many_arguments)]
+pub fn train_tasnet_resumable(
+    net: &mut Tasnet,
+    critic: &mut Critic,
+    instances: &[Instance],
+    validation: &[Instance],
+    solver: &dyn TsptwSolver,
+    cfg: &TasnetTrainConfig,
+    seed: u64,
+    start: TrainProgress,
+    mut on_epoch: impl FnMut(&Tasnet, &Critic, TrainProgress),
+) -> TasnetTrainReport {
     let mut policy_adam = Adam::new(cfg.lr);
     let mut critic_adam = Adam::new(cfg.critic_lr);
     let mut report = TasnetTrainReport::default();
@@ -573,8 +615,10 @@ pub fn train_tasnet_validated(
     };
 
     // Stage 1: imitation warm-up toward the greedy selection rule — plain
-    // behaviour cloning first, then DAgger-style student rollouts.
-    for epoch in 0..cfg.warmup_epochs {
+    // behaviour cloning first, then DAgger-style student rollouts. Epochs a
+    // previous run finished are skipped; the seed streams are epoch-indexed,
+    // so the ones that do run draw exactly what a straight run would.
+    for epoch in start.warmup_done.min(cfg.warmup_epochs)..cfg.warmup_epochs {
         let student_rollout = epoch >= cfg.warmup_epochs.div_ceil(2);
         let stats = imitation_epoch(
             net,
@@ -588,13 +632,14 @@ pub fn train_tasnet_validated(
             &pool,
         );
         report.non_finite_skips += stats.skips;
+        on_epoch(net, critic, TrainProgress { warmup_done: epoch + 1, epochs_done: 0 });
     }
     checkpoint(net, critic, &mut best, &mut report);
 
     // Stage 2: REINFORCE with critic baseline (Equation 12), at the RL
     // learning rate.
     policy_adam = Adam::new(cfg.rl_lr);
-    for epoch in 0..cfg.epochs {
+    for epoch in start.epochs_done.min(cfg.epochs)..cfg.epochs {
         let stats = reinforce_epoch(
             net,
             critic,
@@ -610,6 +655,11 @@ pub fn train_tasnet_validated(
         report.non_finite_skips += stats.skips;
         report.epoch_mean_objective.push(stats.mean_objective());
         checkpoint(net, critic, &mut best, &mut report);
+        on_epoch(
+            net,
+            critic,
+            TrainProgress { warmup_done: cfg.warmup_epochs, epochs_done: epoch + 1 },
+        );
     }
 
     if let Some((_, params)) = best {
@@ -707,6 +757,91 @@ mod tests {
         assert!(report.epoch_mean_objective.iter().all(|o| o.is_finite() && *o >= 0.0));
         assert_ne!(before, net.store.to_json(), "training must move the parameters");
         assert_eq!(report.non_finite_skips, 0, "healthy training must not trip the guard");
+    }
+
+    #[test]
+    fn resume_replays_the_remaining_epoch_schedule_deterministically() {
+        let cfg = TasnetTrainConfig {
+            warmup_epochs: 1,
+            epochs: 2,
+            batch: 2,
+            lr: 1e-3,
+            rl_lr: 2e-4,
+            critic_lr: 1e-3,
+            threads: 1,
+        };
+        let fresh_start = TrainProgress { warmup_done: 0, epochs_done: 0 };
+
+        // Straight run, recording a "checkpoint" after every epoch.
+        let (instances, mut net, mut critic) = setup();
+        let mut ckpts: Vec<(TrainProgress, smore_nn::ParamStore, smore_nn::ParamStore)> =
+            Vec::new();
+        let solver = InsertionSolver::new();
+        train_tasnet_resumable(
+            &mut net,
+            &mut critic,
+            &instances,
+            &[],
+            &solver,
+            &cfg,
+            3,
+            fresh_start,
+            |n, c, progress| ckpts.push((progress, n.store.clone(), c.store.clone())),
+        );
+        let progress: Vec<TrainProgress> = ckpts.iter().map(|(p, _, _)| *p).collect();
+        assert_eq!(
+            progress,
+            vec![
+                TrainProgress { warmup_done: 1, epochs_done: 0 },
+                TrainProgress { warmup_done: 1, epochs_done: 1 },
+                TrainProgress { warmup_done: 1, epochs_done: 2 },
+            ]
+        );
+
+        // Two independent resumes from the mid-RL checkpoint must agree
+        // bit-for-bit and must only run the one remaining epoch.
+        let mut finals = Vec::new();
+        for _ in 0..2 {
+            let (instances, mut net, mut critic) = setup();
+            let (start, policy, critic_params) = &ckpts[1];
+            net.store.load_values_from(policy);
+            critic.store.load_values_from(critic_params);
+            let mut resumed_epochs = Vec::new();
+            let report = train_tasnet_resumable(
+                &mut net,
+                &mut critic,
+                &instances,
+                &[],
+                &solver,
+                &cfg,
+                3,
+                *start,
+                |_, _, p| resumed_epochs.push(p),
+            );
+            assert_eq!(resumed_epochs, vec![TrainProgress { warmup_done: 1, epochs_done: 2 }]);
+            assert_eq!(report.epoch_mean_objective.len(), 1);
+            finals.push(net.store.to_json());
+        }
+        assert_eq!(finals[0], finals[1], "resume from the same checkpoint must be deterministic");
+
+        // Resuming a finished run trains nothing and leaves parameters alone.
+        let (instances, mut net, mut critic) = setup();
+        let (done, policy, critic_params) = &ckpts[2];
+        net.store.load_values_from(policy);
+        critic.store.load_values_from(critic_params);
+        let report = train_tasnet_resumable(
+            &mut net,
+            &mut critic,
+            &instances,
+            &[],
+            &solver,
+            &cfg,
+            3,
+            *done,
+            |_, _, _| panic!("no epochs remain"),
+        );
+        assert!(report.epoch_mean_objective.is_empty());
+        assert_eq!(net.store.to_json(), policy.to_json());
     }
 
     #[test]

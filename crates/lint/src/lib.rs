@@ -6,7 +6,7 @@
 //! windows) stay correct only if determinism-scoped modules never touch
 //! ambient nondeterminism and solver code never compares floats bare. This
 //! crate is a small static-analysis pass — a comment/string-aware lexer, not
-//! a full parser — that enforces four repo-specific rules over every `.rs`
+//! a full parser — that enforces five repo-specific rules over every `.rs`
 //! file in the workspace:
 //!
 //! | rule | contract |
@@ -15,6 +15,7 @@
 //! | `D2` | no `Instant::now`/`SystemTime::now`/`thread_rng` in those modules |
 //! | `N1` | no bare float `==`/`!=` or `partial_cmp().unwrap()` in solver code |
 //! | `E1` | no `.unwrap()`/`.expect()`/`panic!` in library code outside tests |
+//! | `E2` | every `catch_unwind` outside tests carries a justifying allow |
 //!
 //! Scopes come from `crates/lint/lint.toml` (overridable by a workspace-root
 //! `lint.toml`); individual sites escape with

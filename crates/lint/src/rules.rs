@@ -1,5 +1,5 @@
 //! The rule set: determinism (D1, D2), numeric safety (N1) and
-//! error-discipline (E1) contracts.
+//! error-discipline (E1, E2) contracts.
 //!
 //! Every rule works on the sanitized token stream of a [`ScannedFile`]
 //! (comments/strings already blanked), skips test-gated regions, and honors
@@ -14,7 +14,7 @@ use std::fmt;
 /// A single rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule id: `D1`, `D2`, `N1`, `E1`.
+    /// Rule id: `D1`, `D2`, `N1`, `E1`, `E2`.
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -68,6 +68,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no .unwrap()/.expect()/panic! in library code outside tests; \
                   return typed errors, or document the invariant behind an inline allow",
     },
+    RuleInfo {
+        id: "E2",
+        summary: "every catch_unwind outside tests is an audited supervision boundary; \
+                  each site must carry a justifying `// smore-lint: allow(E2): <why>`",
+    },
 ];
 
 /// Run every applicable rule over one file.
@@ -105,6 +110,11 @@ pub fn check_file(file: &SourceFile, source: &str, config: &Config) -> Vec<Diagn
     }
     if file.kind == TargetKind::Lib && config.scope("E1").applies_to(&file.module, &file.krate) {
         rule_e1(&scanned, &mut push);
+    }
+    if matches!(file.kind, TargetKind::Lib | TargetKind::Bin)
+        && config.scope("E2").applies_to(&file.module, &file.krate)
+    {
+        rule_e2(&scanned, &mut push);
     }
     // Each rule scans the file top-to-bottom, but a rule with two detectors
     // (N1: eq-ops, then partial_cmp) appends its passes back-to-back; sort so
@@ -222,6 +232,32 @@ fn rule_e1(
                 "`panic!` in library code".to_string(),
                 "return a typed error instead; escape unreachable defensive panics with \
                  `// smore-lint: allow(E1): <why it cannot be reached>`",
+            );
+        }
+    }
+}
+
+/// E2 — unaudited `catch_unwind` boundaries. Unlike the other rules this is
+/// an *allow-audit*: there is no clean way to use `catch_unwind`, only a
+/// justified one, so every site fires until it carries an `allow(E2)`
+/// explaining what the boundary contains and who recovers.
+fn rule_e2(
+    scanned: &ScannedFile,
+    push: &mut impl FnMut(&'static str, usize, String, &'static str),
+) {
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        // Importing the symbol is not the boundary; calling it is.
+        if line.trim_start().starts_with("use ") {
+            continue;
+        }
+        if contains_path_pattern(line, "catch_unwind") {
+            push(
+                "E2",
+                idx + 1,
+                "unaudited `catch_unwind` boundary".to_string(),
+                "swallowing a panic hides broken invariants unless the state that \
+                 panicked is quarantined or rebuilt; document the containment story \
+                 with `// smore-lint: allow(E2): <what is contained, who recovers>`",
             );
         }
     }

@@ -1,0 +1,12 @@
+//! E2 fixture: audited `catch_unwind` boundaries, each carrying its
+//! containment justification. Expected violations: none.
+
+pub fn supervise(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    // smore-lint: allow(E2): supervision boundary — the worker's session is
+    // quarantined on panic and the supervisor respawns a fresh worker.
+    std::panic::catch_unwind(f).is_ok()
+}
+
+pub fn isolate(f: impl FnOnce() -> u64 + std::panic::UnwindSafe) -> u64 {
+    std::panic::catch_unwind(f).unwrap_or(0) // smore-lint: allow(E2): f owns no shared state; the default is a full answer
+}

@@ -1,0 +1,24 @@
+//! E2 fixture: unaudited `catch_unwind` boundaries. Expected violations:
+//! lines 8, 14 — and none inside the `#[cfg(test)]` module (nor on the
+//! `use` import line).
+
+pub fn run_quietly(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    // A bare boundary with no containment story: what state did the panic
+    // leave behind, and who rebuilds it?
+    std::panic::catch_unwind(f).is_ok()
+}
+
+pub fn run_with_default(f: impl FnOnce() -> u64 + std::panic::UnwindSafe) -> u64 {
+    use std::panic::catch_unwind;
+    // Imported form must be caught too.
+    catch_unwind(f).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn catching_panics_is_fine_in_tests() {
+        let caught = std::panic::catch_unwind(|| panic!("boom"));
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,9 @@
+//! E2 fixture: no panic-catching at all — errors travel as `Result`.
+//! Expected violations: none (mentions of catch_unwind in comments and
+//! strings must not fire).
+
+/// Runs `f`, mapping its typed error. Nothing here needs catch_unwind.
+pub fn run(f: impl FnOnce() -> Result<u64, String>) -> Result<u64, String> {
+    let hint = "prefer Result over catch_unwind";
+    f().map_err(|e| format!("{hint}: {e}"))
+}

@@ -131,6 +131,37 @@ fn e1_clean_and_allowed_are_silent() {
 }
 
 #[test]
+fn e2_flags_unaudited_catch_unwind_but_not_imports_or_tests() {
+    // Violations on the two call sites only: the `use` import line and the
+    // `#[cfg(test)]` module's catch are exempt.
+    assert_eq!(
+        lines_for("E2", "e2_bad.rs", "serve", "serve::supervisor", TargetKind::Lib),
+        vec![8, 14]
+    );
+}
+
+#[test]
+fn e2_audits_bins_but_not_test_targets() {
+    // Unlike E1 the audit covers binaries too; test/bench targets stay out.
+    assert_eq!(lines_for("E2", "e2_bad.rs", "cli", "cli::commands", TargetKind::Bin), vec![8, 14]);
+    for kind in [TargetKind::Test, TargetKind::Bench] {
+        assert_eq!(lines_for("E2", "e2_bad.rs", "serve", "serve::supervisor", kind), vec![]);
+    }
+}
+
+#[test]
+fn e2_clean_and_allowed_are_silent() {
+    assert_eq!(
+        lines_for("E2", "e2_clean.rs", "serve", "serve::supervisor", TargetKind::Lib),
+        vec![]
+    );
+    assert_eq!(
+        lines_for("E2", "e2_allowed.rs", "serve", "serve::supervisor", TargetKind::Lib),
+        vec![]
+    );
+}
+
+#[test]
 fn workspace_is_lint_clean() {
     // The CI gate in executable form: the real tree, real config, zero
     // diagnostics. If this fails, either fix the new violation or annotate

@@ -88,6 +88,15 @@ pub struct SolveResponse {
     pub per_worker_rtt: Vec<f64>,
     /// One working route per worker.
     pub routes: Vec<Route>,
+    /// True when the requested model path did *not* produce this answer —
+    /// the circuit breaker was open or the model episode failed, and a
+    /// baseline heuristic served the request instead. Omitted when false,
+    /// so healthy responses are byte-identical to pre-degradation builds.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub degraded: bool,
+    /// Why the response is degraded (present iff `degraded`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub degraded_reason: Option<String>,
 }
 
 /// Body of `POST /v1/feasible`: probe whether one `(worker, task)` pair
@@ -123,10 +132,27 @@ pub struct FeasibleResponse {
     pub route: Option<Route>,
 }
 
+/// Training progress carried inside a checkpoint, enabling
+/// `smore-cli train --resume` to continue an interrupted run from the last
+/// epoch whose checkpoint reached disk intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainProgress {
+    /// Completed imitation warmup epochs.
+    pub warmup_done: usize,
+    /// Completed REINFORCE epochs.
+    pub epochs_done: usize,
+}
+
 /// A trained SMORE parameter bundle: TASNet configuration plus serialized
 /// policy and critic parameter stores. `smore-cli train` writes this format
 /// to disk and `POST /admin/reload` accepts it over the wire, so retrained
 /// weights hot-swap into a running server without a restart.
+///
+/// Checkpoints written by `smore-cli train` are *sealed*: `checksum` holds
+/// an FNV-1a digest of every other field, and loaders reject files whose
+/// content no longer matches it (a torn or truncated write). Legacy
+/// checkpoints without a checksum still load — the field is optional at the
+/// serde layer so old files and hand-built test fixtures stay valid.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ModelCheckpoint {
     /// Grid rows of the TASNet configuration the parameters belong to.
@@ -143,6 +169,13 @@ pub struct ModelCheckpoint {
     pub policy: String,
     /// Serialized critic parameters (`ParamStore` JSON).
     pub critic: String,
+    /// FNV-1a digest of all other fields; `None` on legacy checkpoints.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub checksum: Option<u64>,
+    /// Training progress at the time this checkpoint was written; `None`
+    /// for finished models and legacy checkpoints.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub progress: Option<TrainProgress>,
 }
 
 /// Uniform JSON error body for every non-2xx API response.

@@ -17,11 +17,14 @@
 //! * [`reduction`] — the executable OP → USMDW NP-hardness reduction.
 //! * [`dto`] — wire-format request/response DTOs for the `smore-serve`
 //!   JSON API (solve/feasible bodies, model checkpoints).
+//! * [`checkpoint`] — crash-safe checkpoint persistence: sealed content
+//!   checksums, atomic temp-file + fsync + rename writes, verifying loads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod assignment;
+pub mod checkpoint;
 mod deadline;
 pub mod dto;
 mod instance;
@@ -33,10 +36,11 @@ pub mod tsp;
 mod worker;
 
 pub use assignment::AssignmentState;
+pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
 pub use deadline::{Deadline, DeadlineSpec};
 pub use dto::{
     ErrorBody, FeasibleRequest, FeasibleResponse, GenerateSpec, ModelCheckpoint, SolveRequest,
-    SolveResponse,
+    SolveResponse, TrainProgress,
 };
 pub use instance::{Instance, InstanceError};
 pub use route::{schedule_route, Infeasibility, Route, Schedule, Stop, StopTiming, TIME_EPS};

@@ -21,9 +21,11 @@ use smore::{GreedySelection, RandomSelection, RatioGreedySelection, SolveSession
 use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
 use smore_model::{
     evaluate, DeadlineSpec, FeasibleRequest, FeasibleResponse, GenerateSpec, Instance,
-    ModelCheckpoint, SensingTaskId, SolveRequest, SolveResponse, WorkerId,
+    ModelCheckpoint, SensingTaskId, Solution, SolveRequest, SolveResponse, WorkerId,
 };
+use smore_tsptw::{run_fallback, FallbackStage};
 
+use crate::breaker::{Admission, CircuitBreaker};
 use crate::http::{Method, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::ModelRegistry;
@@ -37,6 +39,9 @@ pub struct Api {
     pub metrics: Arc<Metrics>,
     /// Set by `POST /admin/shutdown`; the accept loop watches it.
     pub shutdown: Arc<AtomicBool>,
+    /// Model-path circuit breaker; open means `/v1/solve` model requests
+    /// are answered by the baseline fallback with `"degraded": true`.
+    pub breaker: Arc<CircuitBreaker>,
 }
 
 /// Paths the router knows (used to distinguish 404 from 405).
@@ -248,7 +253,7 @@ impl Api {
         };
         let deadline = DeadlineSpec { budget_ms: parsed.budget_ms }.start();
 
-        let (solution, model_version) = match method {
+        let (solution, model_version, degraded, degraded_reason) = match method {
             SolveMethod::Smore => {
                 let Some((model, version)) = self.registry.snapshot() else {
                     return error_response(
@@ -256,17 +261,68 @@ impl Api {
                         "method smore requires a loaded checkpoint (POST /admin/reload first)",
                     );
                 };
-                (session.solve_tasnet(&model.net, &model.critic, &instance, deadline), version)
+                let admission = self.breaker.admit(version);
+                // The model path is an ordinary `run_fallback` chain —
+                // the same machinery the offline FallbackSolver uses —
+                // with the model stage elided while the breaker is open.
+                let cell = std::cell::RefCell::new(&mut *session);
+                let mut stages: Vec<FallbackStage<'_, Instance, Solution, String>> = Vec::new();
+                if admission != Admission::Degraded {
+                    stages.push(FallbackStage {
+                        label: "tasnet",
+                        run: Box::new(|inst: &Instance| {
+                            cell.borrow_mut()
+                                .try_solve_tasnet(&model.net, &model.critic, inst, deadline)
+                                .ok_or_else(|| "model episode failed".to_string())
+                        }),
+                    });
+                }
+                stages.push(FallbackStage {
+                    label: "greedy",
+                    run: Box::new(|inst: &Instance| {
+                        Ok(cell.borrow_mut().solve_policy(inst, &mut GreedySelection, deadline))
+                    }),
+                });
+                let (winner, solution) =
+                    match run_fallback(&instance, &mut stages, || "empty fallback chain".into()) {
+                        Ok(r) => r,
+                        Err(e) => return error_response(500, format!("solve failed: {e}")),
+                    };
+                drop(stages);
+                let model_ran = admission != Admission::Degraded;
+                let model_won = model_ran && winner == 0;
+                if model_ran {
+                    if model_won {
+                        self.breaker.on_success(version);
+                    } else if self.breaker.on_failure(version) {
+                        self.metrics.record_breaker_trip();
+                    }
+                }
+                self.metrics.set_breaker_state(self.breaker.state().gauge());
+                let (degraded, reason) = if !model_ran {
+                    (true, Some("circuit breaker open: served by greedy fallback".to_string()))
+                } else if !model_won {
+                    (true, Some("model episode failed: served by greedy fallback".to_string()))
+                } else {
+                    (false, None)
+                };
+                if degraded {
+                    self.metrics.record_degraded();
+                }
+                (solution, version, degraded, reason)
             }
             SolveMethod::Greedy => {
-                (session.solve_policy(&instance, &mut GreedySelection, deadline), 0)
+                (session.solve_policy(&instance, &mut GreedySelection, deadline), 0, false, None)
             }
-            SolveMethod::Ratio => {
-                (session.solve_policy(&instance, &mut RatioGreedySelection, deadline), 0)
-            }
+            SolveMethod::Ratio => (
+                session.solve_policy(&instance, &mut RatioGreedySelection, deadline),
+                0,
+                false,
+                None,
+            ),
             SolveMethod::Random => {
                 let mut policy = RandomSelection::new(parsed.seed.unwrap_or(0));
-                (session.solve_policy(&instance, &mut policy, deadline), 0)
+                (session.solve_policy(&instance, &mut policy, deadline), 0, false, None)
             }
         };
 
@@ -285,6 +341,8 @@ impl Api {
             per_worker_incentive: stats.per_worker_incentive,
             per_worker_rtt: stats.per_worker_rtt,
             routes: solution.routes,
+            degraded,
+            degraded_reason,
         };
         match serde_json::to_string(&body) {
             Ok(json) => Response::json(200, json),
@@ -379,9 +437,15 @@ impl Api {
         match self.registry.load(&ckpt) {
             Ok(version) => {
                 self.metrics.set_model_version(version);
+                // The fresh version starts with a closed breaker (the
+                // breaker itself resets lazily on the first admit).
+                self.metrics.set_breaker_state(0);
                 Response::json(200, format!("{{\"model_version\":{version}}}"))
             }
-            Err(e) => error_response(400, format!("checkpoint rejected: {e}")),
+            Err(e) => {
+                self.metrics.record_checkpoint_reject();
+                error_response(400, format!("checkpoint rejected: {e}"))
+            }
         }
     }
 }
@@ -389,12 +453,29 @@ impl Api {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::breaker::BreakerState;
+    use crate::registry::LoadedModel;
+    use smore::{Critic, Tasnet, TasnetConfig};
+    use smore_tsptw::FaultConfig;
+
+    /// A tiny but real model sized for the small delivery grid, so `method
+    /// =smore` requests against generated delivery instances decode.
+    fn delivery_model(seed: u64) -> LoadedModel {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 5);
+        let inst = g.gen_default(&mut SmallRng::seed_from_u64(5));
+        let mut cfg = TasnetConfig::for_grid(inst.lattice.grid.rows, inst.lattice.grid.cols);
+        cfg.d_model = 16;
+        cfg.heads = 2;
+        cfg.enc_layers = 1;
+        LoadedModel { net: Tasnet::new(cfg, seed), critic: Critic::new(16, seed + 1) }
+    }
 
     fn api() -> Api {
         Api {
             registry: Arc::new(ModelRegistry::new()),
             metrics: Arc::new(Metrics::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
+            breaker: Arc::new(CircuitBreaker::default()),
         }
     }
 
@@ -512,6 +593,76 @@ mod tests {
     fn json_string_escapes_specials() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn healthy_model_answers_are_not_marked_degraded() {
+        let api = api();
+        api.registry.install(delivery_model(9));
+        let mut s = SolveSession::new();
+        let resp =
+            api.handle(&mut s, &post("/v1/solve", "dataset=delivery&gen_seed=7&method=smore"));
+        assert_eq!(resp.status, 200, "body: {:?}", String::from_utf8_lossy(&resp.body));
+        let body = String::from_utf8(resp.body).expect("utf8");
+        // `degraded` is skip-serialized when false, keeping healthy bodies
+        // identical to the pre-breaker wire format.
+        assert!(!body.contains("degraded"), "body: {body}");
+        assert_eq!(api.breaker.state(), BreakerState::Closed);
+        assert_eq!(api.metrics.degraded_total(), 0);
+    }
+
+    #[test]
+    fn model_failures_trip_the_breaker_and_answers_degrade() {
+        let api = api();
+        api.registry.install(delivery_model(9));
+        // Every inner-solver call fails spuriously: the model episode can
+        // never plan initial routes, so each smore request falls back.
+        let config = FaultConfig { spurious_infeasible_rate: 1.0, ..FaultConfig::uniform(0.0) };
+        let mut s = SolveSession::with_faults(config, 42);
+        let req = post("/v1/solve", "dataset=delivery&gen_seed=7&method=smore");
+        for i in 0..3 {
+            let resp = api.handle(&mut s, &req);
+            assert_eq!(resp.status, 200, "request {i}");
+            let body = String::from_utf8(resp.body).expect("utf8");
+            assert!(body.contains("\"degraded\":true"), "request {i}: {body}");
+            assert!(body.contains("model episode failed"), "request {i}: {body}");
+        }
+        // Three consecutive failures trip the default breaker open.
+        assert_eq!(api.breaker.state(), BreakerState::Open);
+        assert_eq!(api.breaker.trips(), 1);
+        let resp = api.handle(&mut s, &req);
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        assert!(body.contains("circuit breaker open"), "body: {body}");
+        assert_eq!(api.metrics.degraded_total(), 4);
+    }
+
+    #[test]
+    fn breaker_probe_success_restores_normal_answers() {
+        let api = api();
+        api.registry.install(delivery_model(9));
+        let req = post("/v1/solve", "dataset=delivery&gen_seed=7&method=smore");
+        let config = FaultConfig { spurious_infeasible_rate: 1.0, ..FaultConfig::uniform(0.0) };
+        let mut broken = SolveSession::with_faults(config, 42);
+        for _ in 0..3 {
+            api.handle(&mut broken, &req);
+        }
+        assert_eq!(api.breaker.state(), BreakerState::Open);
+        // Cool down through the open window on a healthy session; the
+        // probe request reaches the model, succeeds, and closes the breaker.
+        let mut healthy = SolveSession::new();
+        let mut saw_probe_success = false;
+        for _ in 0..crate::breaker::BreakerConfig::default().open_requests_before_probe + 1 {
+            let resp = api.handle(&mut healthy, &req);
+            assert_eq!(resp.status, 200);
+            let body = String::from_utf8(resp.body).expect("utf8");
+            if !body.contains("degraded") {
+                saw_probe_success = true;
+                break;
+            }
+        }
+        assert!(saw_probe_success, "a probe should have reached the healthy model");
+        assert_eq!(api.breaker.state(), BreakerState::Closed);
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Per-model-version circuit breaker for the `/v1/solve` model path.
+//!
+//! Consecutive model failures (failed TASNet episodes, watchdog-killed
+//! solves) trip the breaker **open**: further model-path requests are
+//! answered by the baseline fallback chain immediately, marked
+//! `"degraded": true`, instead of burning a worker on a model that is
+//! demonstrably broken. After a fixed number of degraded answers the
+//! breaker goes **half-open** and lets probe requests through to the real
+//! model; one success closes it, one failure re-opens it.
+//!
+//! The state machine is deliberately clock-free — cooldown is counted in
+//! *requests*, not seconds — so breaker behavior is a deterministic
+//! function of the request/outcome sequence (the same property the rest of
+//! the serving stack maintains). A checkpoint reload resets the breaker:
+//! the new model version earns its own verdict.
+
+use std::sync::Mutex;
+
+/// Breaker tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive model failures that trip the breaker open.
+    pub failure_threshold: usize,
+    /// Degraded answers served while open before a half-open probe is let
+    /// through to the model again.
+    pub open_requests_before_probe: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, open_requests_before_probe: 8 }
+    }
+}
+
+/// The three classic breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Model path healthy; every request goes to the model.
+    Closed,
+    /// Model path disabled; requests are served degraded.
+    Open,
+    /// Probing: requests go to the model, one verdict decides.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable gauge encoding for `/metrics` (0 closed, 1 half-open, 2 open).
+    pub fn gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// What the breaker decided for one incoming model-path request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: use the model normally.
+    Normal,
+    /// Breaker half-open: use the model; this request's outcome decides
+    /// whether the breaker closes or re-opens.
+    Probe,
+    /// Breaker open: skip the model, serve the baseline fallback.
+    Degraded,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: usize,
+    degraded_since_open: usize,
+    model_version: u64,
+    trips: u64,
+}
+
+/// The breaker itself. One per server; internally keyed by model version
+/// (a reload resets the state machine for the fresh version).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new(BreakerConfig::default())
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                degraded_since_open: 0,
+                model_version: 0,
+                trips: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding this mutex cannot leave partial state (every
+        // transition is a handful of integer stores), so poisoning is
+        // recovered rather than propagated.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits one model-path request against `model_version`, advancing the
+    /// open→half-open cooldown when applicable.
+    pub fn admit(&self, model_version: u64) -> Admission {
+        let mut inner = self.lock();
+        inner.reset_if_new_version(model_version);
+        match inner.state {
+            BreakerState::Closed => Admission::Normal,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open => {
+                inner.degraded_since_open += 1;
+                if inner.degraded_since_open >= self.config.open_requests_before_probe {
+                    inner.state = BreakerState::HalfOpen;
+                    Admission::Probe
+                } else {
+                    Admission::Degraded
+                }
+            }
+        }
+    }
+
+    /// Records a successful model answer: failures reset; a half-open
+    /// breaker closes.
+    pub fn on_success(&self, model_version: u64) {
+        let mut inner = self.lock();
+        inner.reset_if_new_version(model_version);
+        inner.consecutive_failures = 0;
+        inner.degraded_since_open = 0;
+        inner.state = BreakerState::Closed;
+    }
+
+    /// Records a failed model answer. Returns `true` when this failure
+    /// tripped the breaker open (for logging/metrics at the call site).
+    pub fn on_failure(&self, model_version: u64) -> bool {
+        let mut inner = self.lock();
+        inner.reset_if_new_version(model_version);
+        inner.consecutive_failures += 1;
+        let should_open = match inner.state {
+            // A failed half-open probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => inner.consecutive_failures >= self.config.failure_threshold,
+            BreakerState::Open => false,
+        };
+        if should_open {
+            inner.state = BreakerState::Open;
+            inner.degraded_since_open = 0;
+            inner.trips += 1;
+        }
+        should_open
+    }
+
+    /// Current state (for `/metrics` and tests).
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// How many times the breaker has tripped open since construction.
+    pub fn trips(&self) -> u64 {
+        self.lock().trips
+    }
+}
+
+impl Inner {
+    fn reset_if_new_version(&mut self, model_version: u64) {
+        if self.model_version != model_version {
+            self.model_version = model_version;
+            self.state = BreakerState::Closed;
+            self.consecutive_failures = 0;
+            self.degraded_since_open = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig { failure_threshold: 3, open_requests_before_probe: 2 })
+    }
+
+    #[test]
+    fn stays_closed_below_the_failure_threshold() {
+        let b = breaker();
+        for _ in 0..2 {
+            assert!(!b.on_failure(1));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(1), Admission::Normal);
+        // A success resets the streak: two more failures still don't trip.
+        b.on_success(1);
+        assert!(!b.on_failure(1));
+        assert!(!b.on_failure(1));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_open_then_cools_down_to_a_probe() {
+        let b = breaker();
+        b.on_failure(1);
+        b.on_failure(1);
+        assert!(b.on_failure(1), "third consecutive failure must trip");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        // Cooldown counted in requests: first degraded, second is a probe.
+        assert_eq!(b.admit(1), Admission::Degraded);
+        assert_eq!(b.admit(1), Admission::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_success_closes_and_probe_failure_reopens() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.on_failure(1);
+        }
+        for _ in 0..2 {
+            b.admit(1);
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.on_failure(1), "failed probe re-opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        for _ in 0..2 {
+            b.admit(1);
+        }
+        b.on_success(1);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(1), Admission::Normal);
+    }
+
+    #[test]
+    fn reload_resets_the_breaker_for_the_new_version() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.on_failure(1);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Version 2 arrives (checkpoint reload): fresh verdict.
+        assert_eq!(b.admit(2), Admission::Normal);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert_eq!(BreakerState::Closed.gauge(), 0);
+        assert_eq!(BreakerState::HalfOpen.gauge(), 1);
+        assert_eq!(BreakerState::Open.gauge(), 2);
+    }
+}

@@ -220,6 +220,7 @@ pub fn reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -289,7 +290,7 @@ mod tests {
 
     #[test]
     fn every_emitted_status_has_a_reason() {
-        for s in [200, 400, 404, 405, 409, 413, 431, 500, 503] {
+        for s in [200, 400, 404, 405, 409, 413, 431, 500, 503, 504] {
             assert_ne!(reason(s), "Unknown", "status {s}");
         }
     }

@@ -18,8 +18,15 @@
 //! * [`metrics`] — atomic counters (requests by endpoint/status, shed
 //!   count, queue high-water mark) and latency histograms, rendered as
 //!   plain text.
-//! * [`server`] — the acceptor thread + fixed worker pool, each worker
-//!   owning one [`smore::SolveSession`]; graceful shutdown.
+//! * [`server`] — the acceptor thread + supervised worker pool, each
+//!   worker owning one [`smore::SolveSession`]; graceful shutdown.
+//! * [`supervisor`] — fault tolerance for the pool: per-request panic
+//!   containment (`catch_unwind` + session quarantine + respawn) and a
+//!   watchdog answering a structured 504 when a solver wedges past the
+//!   hard deadline.
+//! * [`breaker`] — a per-model-version circuit breaker; consecutive model
+//!   failures flip `/v1/solve` onto the baseline fallback (marked
+//!   `"degraded": true`) until a half-open probe succeeds.
 //!
 //! Handlers are deterministic in the request bytes and the loaded
 //! checkpoint: identical requests produce byte-identical response bodies
@@ -29,13 +36,16 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod breaker;
 pub mod http;
 pub mod metrics;
 pub mod queue;
 pub mod registry;
 pub mod server;
+pub mod supervisor;
 
 pub use api::{endpoint_of, error_response, Api};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use http::{Method, ParseError, Request, Response};
 pub use metrics::{Endpoint, Metrics};
 pub use queue::{BoundedQueue, PushError};

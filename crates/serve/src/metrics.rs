@@ -72,7 +72,7 @@ impl Endpoint {
 
 /// Statuses tracked as counter dimensions (a response with any other status
 /// lands in the trailing `other` bucket).
-const STATUSES: [u16; 9] = [200, 400, 404, 405, 409, 413, 431, 500, 503];
+const STATUSES: [u16; 10] = [200, 400, 404, 405, 409, 413, 431, 500, 503, 504];
 
 fn status_index(status: u16) -> usize {
     STATUSES.iter().position(|&s| s == status).unwrap_or(STATUSES.len())
@@ -95,6 +95,12 @@ struct EndpointMetrics {
     latency_sum_us: AtomicU64,
 }
 
+/// Smoothing factor of the latency EWMA feeding the adaptive `Retry-After`.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Ceiling on the advertised `Retry-After`, in seconds.
+const RETRY_AFTER_MAX_SECS: u32 = 30;
+
 /// The server-wide metrics registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -103,6 +109,18 @@ pub struct Metrics {
     queue_depth: AtomicUsize,
     queue_high_water: AtomicUsize,
     model_version: AtomicU64,
+    // Fault-tolerance surface: supervisor, watchdog, breaker, degradation.
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    watchdog_kills: AtomicU64,
+    pool_size: AtomicUsize,
+    degraded_total: AtomicU64,
+    breaker_state: AtomicU64,
+    breaker_trips: AtomicU64,
+    checkpoint_rejects: AtomicU64,
+    // f64 bits of the request-latency EWMA (ms), updated per request.
+    latency_ewma_ms_bits: AtomicU64,
+    retry_after_secs: AtomicU64,
 }
 
 impl Metrics {
@@ -122,6 +140,114 @@ impl Metrics {
         e.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
         e.latency_count.fetch_add(1, Ordering::Relaxed);
         e.latency_sum_us.fetch_add((latency_ms * 1000.0).max(0.0) as u64, Ordering::Relaxed);
+        self.observe_latency_ewma(latency_ms);
+    }
+
+    /// Folds one latency observation into the EWMA (lock-free CAS loop).
+    fn observe_latency_ewma(&self, latency_ms: f64) {
+        let sample = latency_ms.max(0.0);
+        let mut current = self.latency_ewma_ms_bits.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(current);
+            // First observation seeds the average directly.
+            // smore-lint: allow(N1): 0.0 is the exact never-written sentinel
+            // (stores only ever hold a positive sample), not a computed value.
+            let new = if old == 0.0 { sample } else { old + EWMA_ALPHA * (sample - old) };
+            match self.latency_ewma_ms_bits.compare_exchange_weak(
+                current,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The current request-latency EWMA in milliseconds.
+    pub fn latency_ewma_ms(&self) -> f64 {
+        f64::from_bits(self.latency_ewma_ms_bits.load(Ordering::Relaxed))
+    }
+
+    /// Computes the `Retry-After` seconds to advertise on a shed response:
+    /// the estimated time for `threads` workers to drain `queue_depth`
+    /// requests at the recent EWMA latency, clamped to `[floor_secs, 30]`.
+    /// The advertised value is also published as a `/metrics` gauge.
+    pub fn adaptive_retry_after(&self, queue_depth: usize, threads: usize, floor_secs: u32) -> u32 {
+        let drain_secs =
+            queue_depth as f64 * self.latency_ewma_ms() / 1000.0 / threads.max(1) as f64;
+        let secs = (drain_secs.ceil() as u64)
+            .clamp(floor_secs.max(1) as u64, RETRY_AFTER_MAX_SECS as u64) as u32;
+        self.retry_after_secs.store(secs as u64, Ordering::Relaxed);
+        secs
+    }
+
+    /// Records a request handler panic contained by the supervisor.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total contained worker panics.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Records a worker respawn after a panic exit.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total worker respawns.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Records a request answered 504 by the watchdog (solver overran the
+    /// hard deadline).
+    pub fn record_watchdog_kill(&self) {
+        self.watchdog_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total watchdog-answered requests.
+    pub fn watchdog_kills(&self) -> u64 {
+        self.watchdog_kills.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the live worker-pool size.
+    pub fn set_pool_size(&self, size: usize) {
+        self.pool_size.store(size, Ordering::Relaxed);
+    }
+
+    /// The live worker-pool size last published.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size.load(Ordering::Relaxed)
+    }
+
+    /// Records a `/v1/solve` answered by the degraded fallback path.
+    pub fn record_degraded(&self) {
+        self.degraded_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total degraded answers.
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded_total.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the breaker state gauge (0 closed, 1 half-open, 2 open).
+    pub fn set_breaker_state(&self, gauge: u64) {
+        self.breaker_state.store(gauge, Ordering::Relaxed);
+    }
+
+    /// Records one breaker trip (closed/half-open → open).
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a checkpoint rejected at load time (bad checksum, bad
+    /// params) — the previous model stayed live.
+    pub fn record_checkpoint_reject(&self) {
+        self.checkpoint_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a request shed by the acceptor (queue full).
@@ -189,6 +315,41 @@ impl Metrics {
             self.queue_high_water.load(Ordering::Relaxed)
         );
         let _ = writeln!(out, "smore_model_version {}", self.model_version.load(Ordering::Relaxed));
+        let _ = writeln!(
+            out,
+            "smore_worker_panics_total {}",
+            self.worker_panics.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "smore_worker_respawns_total {}",
+            self.worker_respawns.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "smore_watchdog_kills_total {}",
+            self.watchdog_kills.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "smore_worker_pool_size {}", self.pool_size.load(Ordering::Relaxed));
+        let _ =
+            writeln!(out, "smore_degraded_total {}", self.degraded_total.load(Ordering::Relaxed));
+        let _ = writeln!(out, "smore_breaker_state {}", self.breaker_state.load(Ordering::Relaxed));
+        let _ = writeln!(
+            out,
+            "smore_breaker_trips_total {}",
+            self.breaker_trips.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "smore_checkpoint_rejects_total {}",
+            self.checkpoint_rejects.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "smore_latency_ewma_ms {:.3}", self.latency_ewma_ms());
+        let _ = writeln!(
+            out,
+            "smore_retry_after_secs {}",
+            self.retry_after_secs.load(Ordering::Relaxed)
+        );
         for (ei, endpoint) in ENDPOINTS.iter().enumerate() {
             let e = &self.endpoints[ei];
             let count = e.latency_count.load(Ordering::Relaxed);
@@ -273,6 +434,53 @@ mod tests {
         assert!(text.contains("smore_latency_ms_bucket{endpoint=\"feasible\",le=\"50\"} 2"));
         assert!(text.contains("smore_latency_ms_bucket{endpoint=\"feasible\",le=\"2500\"} 2"));
         assert!(text.contains("smore_latency_ms_bucket{endpoint=\"feasible\",le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn adaptive_retry_after_scales_with_queue_and_latency() {
+        let m = Metrics::new();
+        // No latency data yet: the floor wins.
+        assert_eq!(m.adaptive_retry_after(10, 2, 1), 1);
+        // Push the EWMA to ~1000ms: 10 queued / 2 workers ≈ 5s drain.
+        for _ in 0..64 {
+            m.record(Endpoint::Solve, 200, 1000.0);
+        }
+        let secs = m.adaptive_retry_after(10, 2, 1);
+        assert!((4..=6).contains(&secs), "expected ~5s, got {secs}");
+        // A huge backlog saturates at the 30s ceiling.
+        assert_eq!(m.adaptive_retry_after(10_000, 1, 1), 30);
+        // The floor is still honored when the queue is empty.
+        assert_eq!(m.adaptive_retry_after(0, 2, 3), 3);
+        let text = m.render();
+        assert!(text.contains("smore_retry_after_secs 3"), "{text}");
+        assert!(text.contains("smore_latency_ewma_ms"), "{text}");
+    }
+
+    #[test]
+    fn fault_tolerance_counters_render() {
+        let m = Metrics::new();
+        m.record_worker_panic();
+        m.record_worker_respawn();
+        m.record_watchdog_kill();
+        m.set_pool_size(4);
+        m.record_degraded();
+        m.set_breaker_state(2);
+        m.record_breaker_trip();
+        m.record_checkpoint_reject();
+        m.record(Endpoint::Solve, 504, 100.0);
+        let text = m.render();
+        assert!(text.contains("smore_worker_panics_total 1"), "{text}");
+        assert!(text.contains("smore_worker_respawns_total 1"), "{text}");
+        assert!(text.contains("smore_watchdog_kills_total 1"), "{text}");
+        assert!(text.contains("smore_worker_pool_size 4"), "{text}");
+        assert!(text.contains("smore_degraded_total 1"), "{text}");
+        assert!(text.contains("smore_breaker_state 2"), "{text}");
+        assert!(text.contains("smore_breaker_trips_total 1"), "{text}");
+        assert!(text.contains("smore_checkpoint_rejects_total 1"), "{text}");
+        assert!(
+            text.contains("smore_requests_total{endpoint=\"solve\",status=\"504\"} 1"),
+            "504 must be a first-class status dimension: {text}"
+        );
     }
 
     #[test]

@@ -145,6 +145,29 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_queue_lock_is_recovered_not_propagated() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).expect("push");
+        let poisoner = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let _guard = q.inner.lock().unwrap_or_else(|e| e.into_inner());
+                // smore-lint: allow(E1): deliberate poison for the test.
+                panic!("poisoning the queue lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "poisoner must panic");
+        assert!(q.inner.is_poisoned(), "lock must actually be poisoned");
+        // Every operation keeps working after the holder panicked.
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.try_push(2).expect("push after poison"), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.shut_down();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn concurrent_producers_and_consumers_conserve_items() {
         let q = Arc::new(BoundedQueue::new(8));
         let producers: Vec<_> = (0..4)

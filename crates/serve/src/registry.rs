@@ -29,6 +29,9 @@ pub enum RegistryError {
     BadCriticParams(String),
     /// A config field is out of the buildable range.
     BadConfig(String),
+    /// The sealed content checksum does not match the fields (a torn,
+    /// truncated, or bit-flipped checkpoint).
+    BadChecksum(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -37,14 +40,18 @@ impl std::fmt::Display for RegistryError {
             RegistryError::BadPolicyParams(e) => write!(f, "policy params: {e}"),
             RegistryError::BadCriticParams(e) => write!(f, "critic params: {e}"),
             RegistryError::BadConfig(e) => write!(f, "checkpoint config: {e}"),
+            RegistryError::BadChecksum(e) => write!(f, "checkpoint integrity: {e}"),
         }
     }
 }
 
 impl std::error::Error for RegistryError {}
 
-/// Builds a [`LoadedModel`] from a checkpoint DTO.
+/// Builds a [`LoadedModel`] from a checkpoint DTO. Sealed checkpoints are
+/// checksum-verified first — a corrupt one is rejected wholesale before any
+/// parameter parsing, and the caller's previous model stays live.
 pub fn build_model(ckpt: &ModelCheckpoint) -> Result<LoadedModel, RegistryError> {
+    ckpt.verify().map_err(|e| RegistryError::BadChecksum(e.to_string()))?;
     if ckpt.grid_rows == 0 || ckpt.grid_cols == 0 {
         return Err(RegistryError::BadConfig("grid must be non-empty".into()));
     }
@@ -153,6 +160,8 @@ mod tests {
             enc_layers: 1,
             policy: m.net.store.to_json(),
             critic: m.critic.store.to_json(),
+            checksum: None,
+            progress: None,
         }
     }
 
@@ -208,5 +217,40 @@ mod tests {
         let mut ckpt = tiny_checkpoint();
         ckpt.policy = "{not json".into();
         assert!(matches!(build_model(&ckpt), Err(RegistryError::BadPolicyParams(_))));
+    }
+
+    #[test]
+    fn tampered_sealed_checkpoint_is_rejected_before_parsing() {
+        let reg = ModelRegistry::new();
+        reg.install(tiny_model());
+        let mut ckpt = tiny_checkpoint().sealed();
+        ckpt.d_model = 999; // simulated bit-flip/truncation after sealing
+        assert!(matches!(reg.load(&ckpt), Err(RegistryError::BadChecksum(_))));
+        assert_eq!(reg.version(), 1, "previous model must stay live");
+        assert!(reg.snapshot().is_some());
+    }
+
+    #[test]
+    fn poisoned_slot_lock_is_recovered_not_propagated() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.install(tiny_model());
+        // Poison the slot's RwLock: a thread panics while holding the
+        // write guard (the same lock `swap` and `snapshot` take).
+        let poisoner = {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let _guard = reg.slot.write().unwrap_or_else(|e| e.into_inner());
+                // smore-lint: allow(E1): deliberate poison for the test.
+                panic!("poisoning the registry lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "poisoner must panic");
+        assert!(reg.slot.is_poisoned(), "lock must actually be poisoned");
+        // Reads and writes keep working: poisoning is recovered inline.
+        let (snap, v) = reg.snapshot().expect("snapshot after poison");
+        assert_eq!(v, 1);
+        assert_eq!(snap.net.cfg.d_model, 8);
+        assert_eq!(reg.install(tiny_model()), 2);
+        assert_eq!(reg.snapshot().expect("snapshot").1, 2);
     }
 }

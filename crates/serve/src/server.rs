@@ -20,20 +20,22 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use smore::SolveSession;
+use smore_tsptw::FaultConfig;
 
-use crate::api::{endpoint_of, error_response, Api};
-use crate::http::{read_request, write_response, Response};
+use crate::api::Api;
+use crate::breaker::CircuitBreaker;
+use crate::http::{write_response, Response};
 use crate::metrics::{Endpoint, Metrics};
 use crate::queue::BoundedQueue;
 use crate::registry::ModelRegistry;
+use crate::supervisor::start_supervised_pool;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads (each owns one [`SolveSession`]).
+    /// Worker threads (each owns one `SolveSession`).
     pub threads: usize,
     /// Bounded queue capacity; connections beyond it are shed with 503.
     pub queue_capacity: usize,
@@ -41,8 +43,18 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Socket read timeout so a silent client cannot pin a worker forever.
     pub read_timeout: Duration,
-    /// `Retry-After` seconds advertised on shed responses.
+    /// Floor for the adaptive `Retry-After` advertised on shed responses.
     pub retry_after_secs: u32,
+    /// Watchdog limit: a request still unanswered past this gets a 504
+    /// from the watchdog even if the solver is wedged.
+    pub hard_deadline: Duration,
+    /// Server-side chaos: inject solver faults into every worker session.
+    /// `None` (the default) serves faultlessly.
+    pub faults: Option<FaultConfig>,
+    /// Seed for the fault-injection schedule. One shared seed keeps the
+    /// schedule a pure function of the problem, preserving byte-identical
+    /// responses across workers.
+    pub fault_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +66,9 @@ impl Default for ServeConfig {
             max_body_bytes: 8 * 1024 * 1024,
             read_timeout: Duration::from_secs(10),
             retry_after_secs: 1,
+            hard_deadline: Duration::from_secs(30),
+            faults: None,
+            fault_seed: 0,
         }
     }
 }
@@ -65,7 +80,7 @@ pub struct ServerHandle {
     registry: Arc<ModelRegistry>,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -102,8 +117,8 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
@@ -111,6 +126,20 @@ impl ServerHandle {
 /// How often the nonblocking acceptor polls for connections and checks the
 /// shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Answers a shed connection with `503 + Retry-After` and closes it
+/// gracefully. The client's request bytes are still unread at this point;
+/// closing with unread data makes the kernel send RST, which can destroy
+/// the 503 frame before the client reads it. Draining to the client's FIN
+/// (bounded by a short timeout) lets the frame arrive intact.
+fn shed_connection(stream: &mut TcpStream, response: &Response) {
+    let _ = stream.set_nonblocking(false);
+    let _ = write_response(stream, response);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut sink = [0u8; 1024];
+    while matches!(std::io::Read::read(stream, &mut sink), Ok(n) if n > 0) {}
+}
 
 /// Binds, spawns the acceptor and worker pool, and returns immediately.
 pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
@@ -125,31 +154,24 @@ pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Resu
         registry: Arc::clone(&registry),
         metrics: Arc::clone(&metrics),
         shutdown: Arc::clone(&shutdown),
+        breaker: Arc::new(CircuitBreaker::default()),
     });
     let queue: Arc<BoundedQueue<(TcpStream, Instant)>> =
         Arc::new(BoundedQueue::new(config.queue_capacity));
 
-    let workers = (0..config.threads.max(1))
-        .map(|_| {
-            let queue = Arc::clone(&queue);
-            let api = Arc::clone(&api);
-            let metrics = Arc::clone(&metrics);
-            let config = config.clone();
-            std::thread::spawn(move || {
-                let mut session = SolveSession::new();
-                while let Some((mut stream, arrival)) = queue.pop() {
-                    metrics.set_queue_depth(queue.depth());
-                    serve_connection(&mut stream, arrival, &api, &metrics, &config, &mut session);
-                }
-            })
-        })
-        .collect();
+    let supervisor = start_supervised_pool(
+        Arc::clone(&queue),
+        Arc::clone(&api),
+        Arc::clone(&metrics),
+        config.clone(),
+    );
 
     let acceptor = {
         let queue = Arc::clone(&queue);
         let metrics = Arc::clone(&metrics);
         let shutdown = Arc::clone(&shutdown);
-        let retry_after = config.retry_after_secs;
+        let threads = config.threads.max(1);
+        let retry_floor = config.retry_after_secs;
         std::thread::spawn(move || {
             while !shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
@@ -158,12 +180,20 @@ pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Resu
                         Err(((mut stream, arrival), _reason)) => {
                             // Queue full (or racing shutdown): shed from the
                             // acceptor so backpressure costs no worker time.
+                            // Retry-After adapts to how long the backlog
+                            // will take to drain at the observed latency.
                             metrics.record_shed();
-                            let response = Response::shed(retry_after);
-                            let _ = write_response(&mut stream, &response);
+                            let retry =
+                                metrics.adaptive_retry_after(queue.depth(), threads, retry_floor);
+                            let response = Response::shed(retry);
+                            let status = response.status;
+                            // Off-thread: the graceful close below blocks
+                            // up to the drain timeout, which would stall
+                            // the acceptor during a shed burst.
+                            std::thread::spawn(move || shed_connection(&mut stream, &response));
                             metrics.record(
                                 Endpoint::Other,
-                                response.status,
+                                status,
                                 arrival.elapsed().as_secs_f64() * 1000.0,
                             );
                         }
@@ -182,28 +212,14 @@ pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Resu
         })
     };
 
-    Ok(ServerHandle { addr, metrics, registry, shutdown, acceptor: Some(acceptor), workers })
-}
-
-/// Parses, dispatches, answers, and records one connection.
-fn serve_connection(
-    stream: &mut TcpStream,
-    arrival: Instant,
-    api: &Api,
-    metrics: &Metrics,
-    config: &ServeConfig,
-    session: &mut SolveSession,
-) {
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let (endpoint, response) = match read_request(stream, config.max_body_bytes) {
-        Ok(request) => (endpoint_of(&request.path), api.handle(session, &request)),
-        Err(parse_err) => {
-            (Endpoint::Other, error_response(parse_err.status(), parse_err.to_string()))
-        }
-    };
-    // Record even when the client vanished mid-write — the work happened.
-    let _ = write_response(stream, &response);
-    metrics.record(endpoint, response.status, arrival.elapsed().as_secs_f64() * 1000.0);
+    Ok(ServerHandle {
+        addr,
+        metrics,
+        registry,
+        shutdown,
+        acceptor: Some(acceptor),
+        supervisor: Some(supervisor),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,278 @@
+//! Supervised worker pool: per-request panic containment, quarantine +
+//! respawn, and a watchdog enforcing hard per-request deadlines.
+//!
+//! The pool holds `threads` workers, each owning one [`SolveSession`]. A
+//! request handler runs inside `catch_unwind`; a panic is contained to the
+//! request, the client gets a structured 500, and the worker thread exits
+//! — its session is quarantined (a panic mid-solve may leave memo state
+//! inconsistent) and the supervisor respawns a fresh worker in the same
+//! slot, so the pool never shrinks while the server runs.
+//!
+//! The watchdog covers the failure `catch_unwind` cannot: a solver that
+//! wedges (infinite loop, pathological instance) without panicking. Each
+//! worker arms a per-slot watch entry before dispatching; the watchdog
+//! scans the slots and, past the hard deadline, *takes* the entry, answers
+//! the client with a structured 504, and shuts the socket down. Take-
+//! ownership on a `Mutex<Option<..>>` means exactly one side ever writes a
+//! response — there is no double-write race by construction. The wedged
+//! solve finishes (or not) in the background; the client is long gone.
+//!
+//! Everything observable lands in `/metrics`: `smore_worker_panics_total`,
+//! `smore_worker_respawns_total`, `smore_watchdog_kills_total`, and the
+//! `smore_worker_pool_size` gauge.
+
+use std::net::{Shutdown, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use smore::SolveSession;
+
+use crate::api::{endpoint_of, error_response, Api};
+use crate::http::{read_request, write_response};
+use crate::metrics::{Endpoint, Metrics};
+use crate::queue::BoundedQueue;
+use crate::server::ServeConfig;
+
+/// How often the watchdog scans the armed slots.
+const WATCHDOG_POLL: Duration = Duration::from_millis(2);
+
+/// How often the supervisor checks worker liveness.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(5);
+
+/// Why a worker's loop ended.
+enum ExitReason {
+    /// The queue shut down and drained: normal exit, no respawn.
+    Drained,
+    /// A request handler panicked: session quarantined, respawn me.
+    Panicked,
+}
+
+/// One in-flight request the watchdog is covering. Held in a
+/// `Mutex<Option<ArmedRequest>>`; whoever `take`s it owns the response.
+struct ArmedRequest {
+    /// A clone of the connection (shares the socket with the worker's).
+    stream: TcpStream,
+    /// Metrics dimension for the 504 the watchdog may record.
+    endpoint: Endpoint,
+    /// Accept timestamp, for the latency histogram.
+    arrival: Instant,
+    /// Past this instant the watchdog answers 504.
+    deadline: Instant,
+}
+
+type WatchSlot = Arc<Mutex<Option<ArmedRequest>>>;
+
+fn lock_slot(slot: &WatchSlot) -> std::sync::MutexGuard<'_, Option<ArmedRequest>> {
+    // Arm/claim/kill are all single `Option` stores; poisoning carries no
+    // partial state worth propagating.
+    slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Everything needed to (re)spawn one worker. Cloned Arcs only, so the
+/// supervisor thread can keep spawning after `start_supervised_pool`
+/// returns.
+struct WorkerCtx {
+    queue: Arc<BoundedQueue<(TcpStream, Instant)>>,
+    api: Arc<Api>,
+    metrics: Arc<Metrics>,
+    config: ServeConfig,
+    slots: Vec<WatchSlot>,
+}
+
+impl WorkerCtx {
+    fn spawn(&self, index: usize) -> JoinHandle<ExitReason> {
+        let queue = Arc::clone(&self.queue);
+        let api = Arc::clone(&self.api);
+        let metrics = Arc::clone(&self.metrics);
+        let config = self.config.clone();
+        let slot = Arc::clone(&self.slots[index]);
+        std::thread::spawn(move || worker_loop(&queue, &api, &metrics, &config, &slot))
+    }
+}
+
+/// Builds the session a fresh worker starts with. Fault injection (chaos
+/// testing) uses one shared seed: the injected fault schedule is a pure
+/// function of (seed, problem), so responses stay byte-identical no matter
+/// which worker answers — the same determinism contract as healthy serving.
+fn make_session(config: &ServeConfig) -> SolveSession {
+    match config.faults {
+        Some(faults) => SolveSession::with_faults(faults, config.fault_seed),
+        None => SolveSession::new(),
+    }
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<(TcpStream, Instant)>,
+    api: &Api,
+    metrics: &Metrics,
+    config: &ServeConfig,
+    slot: &WatchSlot,
+) -> ExitReason {
+    let mut session = make_session(config);
+    while let Some((mut stream, arrival)) = queue.pop() {
+        metrics.set_queue_depth(queue.depth());
+        if !serve_supervised(&mut stream, arrival, api, metrics, config, &mut session, slot) {
+            return ExitReason::Panicked;
+        }
+    }
+    ExitReason::Drained
+}
+
+/// Parses, dispatches (inside `catch_unwind`), answers, and records one
+/// connection. Returns `false` when the handler panicked and the worker
+/// must quarantine its session by exiting.
+#[allow(clippy::too_many_arguments)]
+fn serve_supervised(
+    stream: &mut TcpStream,
+    arrival: Instant,
+    api: &Api,
+    metrics: &Metrics,
+    config: &ServeConfig,
+    session: &mut SolveSession,
+    slot: &WatchSlot,
+) -> bool {
+    // The read phase is covered by the socket timeout, not the watchdog: a
+    // slow-loris client costs at most `read_timeout`, never a worker.
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let request = match read_request(stream, config.max_body_bytes) {
+        Ok(request) => request,
+        Err(parse_err) => {
+            let response = error_response(parse_err.status(), parse_err.to_string());
+            let _ = write_response(stream, &response);
+            metrics.record(
+                Endpoint::Other,
+                response.status,
+                arrival.elapsed().as_secs_f64() * 1000.0,
+            );
+            return true;
+        }
+    };
+    let endpoint = endpoint_of(&request.path);
+
+    // Arm the watchdog. If the socket cannot be cloned (fd exhaustion) the
+    // request runs uncovered — the worker then always owns the response.
+    let armed = stream.try_clone().ok().map(|covered| ArmedRequest {
+        stream: covered,
+        endpoint,
+        arrival,
+        deadline: Instant::now() + config.hard_deadline,
+    });
+    let covered = armed.is_some();
+    if covered {
+        *lock_slot(slot) = armed;
+    }
+
+    // smore-lint: allow(E2): the supervision boundary. A panicking handler
+    // is contained here: the client gets a structured 500, the session is
+    // quarantined, and the supervisor respawns the worker.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| api.handle(session, &request)));
+
+    // Claim the response right to disarm the watchdog. `None` means the
+    // watchdog already answered 504 — drop our (late) result unsent.
+    let we_answer = if covered { lock_slot(slot).take().is_some() } else { true };
+
+    match outcome {
+        Ok(response) => {
+            if we_answer {
+                let _ = write_response(stream, &response);
+                metrics.record(endpoint, response.status, arrival.elapsed().as_secs_f64() * 1000.0);
+            }
+            true
+        }
+        Err(_) => {
+            metrics.record_worker_panic();
+            if we_answer {
+                let response = error_response(500, "internal error: request handler panicked");
+                let _ = write_response(stream, &response);
+                metrics.record(endpoint, 500, arrival.elapsed().as_secs_f64() * 1000.0);
+            }
+            false
+        }
+    }
+}
+
+fn watchdog_loop(slots: &[WatchSlot], stop: &AtomicBool, metrics: &Metrics) {
+    while !stop.load(Ordering::SeqCst) {
+        for slot in slots {
+            let overdue = {
+                let mut guard = lock_slot(slot);
+                match guard.as_ref() {
+                    Some(armed) if Instant::now() >= armed.deadline => guard.take(),
+                    _ => None,
+                }
+            };
+            if let Some(mut armed) = overdue {
+                let response =
+                    error_response(504, "request exceeded the hard deadline; solver abandoned");
+                let _ = write_response(&mut armed.stream, &response);
+                // Shut the shared socket down so the client sees EOF now,
+                // not when the wedged solve eventually finishes.
+                let _ = armed.stream.shutdown(Shutdown::Both);
+                metrics.record_watchdog_kill();
+                metrics.record(armed.endpoint, 504, armed.arrival.elapsed().as_secs_f64() * 1000.0);
+            }
+        }
+        std::thread::sleep(WATCHDOG_POLL);
+    }
+}
+
+/// Spawns the supervised worker pool plus its watchdog, and the supervisor
+/// thread that watches both. The returned handle joins once every worker
+/// has drained after queue shutdown.
+pub(crate) fn start_supervised_pool(
+    queue: Arc<BoundedQueue<(TcpStream, Instant)>>,
+    api: Arc<Api>,
+    metrics: Arc<Metrics>,
+    config: ServeConfig,
+) -> JoinHandle<()> {
+    let n = config.threads.max(1);
+    let slots: Vec<WatchSlot> = (0..n).map(|_| Arc::new(Mutex::new(None))).collect();
+    let ctx = WorkerCtx { queue, api, metrics: Arc::clone(&metrics), config, slots };
+    ctx.metrics.set_pool_size(n);
+
+    let mut handles: Vec<Option<JoinHandle<ExitReason>>> =
+        (0..n).map(|i| Some(ctx.spawn(i))).collect();
+
+    let watchdog_stop = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let slots = ctx.slots.clone();
+        let stop = Arc::clone(&watchdog_stop);
+        let metrics = Arc::clone(&metrics);
+        std::thread::spawn(move || watchdog_loop(&slots, &stop, &metrics))
+    };
+
+    std::thread::spawn(move || {
+        loop {
+            let mut drained = 0;
+            for i in 0..n {
+                let finished = handles[i].as_ref().is_some_and(|h| h.is_finished());
+                if finished {
+                    // smore-lint: allow(E1): is_some_and on the line above
+                    // guarantees the slot is occupied.
+                    let handle = handles[i].take().expect("checked above");
+                    // A join error means the thread panicked outside the
+                    // per-request guard (a worker-loop bug): still respawn
+                    // — the pool must not shrink while serving.
+                    let reason = handle.join().unwrap_or(ExitReason::Panicked);
+                    if matches!(reason, ExitReason::Panicked) {
+                        metrics.record_worker_respawn();
+                        handles[i] = Some(ctx.spawn(i));
+                    }
+                }
+                if handles[i].is_none() {
+                    drained += 1;
+                }
+            }
+            metrics.set_pool_size(n - drained);
+            if drained == n {
+                break;
+            }
+            std::thread::sleep(SUPERVISOR_POLL);
+        }
+        watchdog_stop.store(true, Ordering::SeqCst);
+        let _ = watchdog.join();
+    })
+}

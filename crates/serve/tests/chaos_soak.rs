@@ -1,0 +1,195 @@
+//! Chaos soak: hostile clients plus injected solver faults (spurious
+//! failures AND panics) against a live server, over real TCP.
+//!
+//! The invariants under test are the fault-tolerance layer's contract:
+//!
+//! * the server process never dies — `/healthz` answers after the storm;
+//! * the worker pool never shrinks — every panicked worker is respawned
+//!   (`smore_worker_pool_size` ends at the configured size, and panic and
+//!   respawn counters match);
+//! * every well-formed request gets a framed HTTP response — a panicked
+//!   handler is a structured 500, never a hung or torn connection;
+//! * a corrupt checkpoint reload is a 4xx and the server keeps serving.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use smore_serve::{start, ModelRegistry, ServeConfig, ServerHandle};
+use smore_tsptw::FaultConfig;
+
+const THREADS: usize = 2;
+
+fn boot_chaotic() -> ServerHandle {
+    // Fault rates are per solver *operation*; one solve request makes many,
+    // so these small rates still panic a worker every dozen-odd requests.
+    let faults = FaultConfig::uniform(0.002).with_panic_rate(0.0005);
+    let config = ServeConfig {
+        threads: THREADS,
+        queue_capacity: 256,
+        read_timeout: Duration::from_millis(500),
+        faults: Some(faults),
+        fault_seed: 11,
+        ..ServeConfig::default()
+    };
+    start(config, Arc::new(ModelRegistry::new())).expect("bind")
+}
+
+/// Full request/response over one fresh connection; panics on an unframed
+/// reply — exactly the soak invariant for well-formed requests.
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("write");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read");
+    let reply = String::from_utf8_lossy(&reply).to_string();
+    let status: u16 = reply
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unframed reply: {reply:?}"));
+    let body = reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn solve_request(i: usize) -> String {
+    let method = ["greedy", "ratio", "random"][i % 3];
+    format!(
+        "POST /v1/solve?dataset=delivery&gen_seed={}&method={method}&seed={i} HTTP/1.1\r\nHost: t\r\n\r\n",
+        i % 5
+    )
+}
+
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    let (status, body) = roundtrip(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "/metrics must answer during the soak");
+    body.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{body}"))
+}
+
+/// One hostile client action; none of these expect a well-formed answer,
+/// they only must not kill or wedge the server.
+fn hostile(addr: SocketAddr, kind: usize) {
+    let raw = solve_request(kind);
+    match kind % 4 {
+        // Half a request, then drop mid-line.
+        0 => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let _ = s.write_all(&raw.as_bytes()[..raw.len() / 2]);
+        }
+        // Slow-loris: dribble a prefix, stall, never finish the head.
+        1 => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let _ = s.write_all(&raw.as_bytes()[..4]);
+            std::thread::sleep(Duration::from_millis(20));
+            let _ = s.write_all(&raw.as_bytes()[4..8]);
+        }
+        // Bytes that are not HTTP at all.
+        2 => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let _ = s.write_all(b"\x01\x02 not http at all\r\n\r\n");
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        }
+        // Valid request, disconnect before reading the answer.
+        _ => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let _ = s.write_all(raw.as_bytes());
+        }
+    }
+}
+
+#[test]
+fn soak_survives_hostile_clients_and_injected_panics() {
+    let server = boot_chaotic();
+    let addr = server.addr();
+
+    // Interleave well-formed solves with hostile connections from several
+    // client threads. Every well-formed request must come back framed
+    // (roundtrip panics otherwise); hostile ones just must not wound the
+    // server.
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut statuses = Vec::new();
+                for i in 0..30 {
+                    let n = c * 30 + i;
+                    if n % 3 == 2 {
+                        hostile(addr, n);
+                    } else {
+                        let (status, _) = roundtrip(addr, solve_request(n).as_bytes());
+                        statuses.push(status);
+                    }
+                }
+                statuses
+            })
+        })
+        .collect();
+    let mut statuses = Vec::new();
+    for c in clients {
+        statuses.extend(c.join().expect("client thread"));
+    }
+
+    // Every well-formed request was answered with a known status: 200 for
+    // survivors, 500 for panic-hit requests, 503 for sheds. Nothing else.
+    assert!(!statuses.is_empty());
+    for status in &statuses {
+        assert!(matches!(status, 200 | 500 | 503), "unexpected status {status} under chaos");
+    }
+
+    // The injected panic rate is high enough that a zero-panic run means
+    // fault injection silently stopped working.
+    let panics = metric(addr, "smore_worker_panics_total");
+    let respawns = metric(addr, "smore_worker_respawns_total");
+    assert!(panics >= 1, "fault injection produced no panics");
+    assert_eq!(panics, respawns, "every panic must trigger exactly one respawn");
+    assert_eq!(metric(addr, "smore_worker_pool_size"), THREADS as u64, "pool must never shrink");
+
+    // Corrupt checkpoint reload: a 4xx, never a dropped model or a death.
+    let garbage = "{definitely not a checkpoint";
+    let reload = format!(
+        "POST /admin/reload HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{garbage}",
+        garbage.len()
+    );
+    let (status, _) = roundtrip(addr, reload.as_bytes());
+    assert_eq!(status, 400, "corrupt reload must be rejected as client error");
+
+    // The process is still alive and answering.
+    let (status, body) = roundtrip(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"), "healthz body: {body}");
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn panicking_request_is_answered_with_structured_500_and_pool_recovers() {
+    // Deterministic worst case: every solver operation panics, so the very
+    // first solve hits the supervision boundary.
+    let config = ServeConfig {
+        threads: 1,
+        queue_capacity: 16,
+        faults: Some(FaultConfig::uniform(0.0).with_panic_rate(1.0)),
+        fault_seed: 3,
+        ..ServeConfig::default()
+    };
+    let server = start(config, Arc::new(ModelRegistry::new())).expect("bind");
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(addr, solve_request(0).as_bytes());
+    assert_eq!(status, 500, "panicked handler must answer a structured 500");
+    assert!(body.contains("panicked"), "body names the cause: {body}");
+
+    // The lone worker died with the panic; the supervisor must have
+    // respawned it, and the replacement must answer a harmless request.
+    let (status, _) = roundtrip(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(metric(addr, "smore_worker_pool_size"), 1);
+    assert!(metric(addr, "smore_worker_panics_total") >= 1);
+
+    server.stop();
+    server.join();
+}

@@ -152,6 +152,8 @@ fn checkpoint_reloads_under_load_fail_zero_requests() {
                 enc_layers: 1,
                 policy: model.net.store.to_json(),
                 critic: model.critic.store.to_json(),
+                checksum: None,
+                progress: None,
             };
             let body = serde_json::to_string(&ckpt).expect("checkpoint json");
             let raw = format!(

@@ -46,6 +46,7 @@ pub use hybrid::HybridSolver;
 pub use insertion::InsertionSolver;
 pub use problem::{TsptwNode, TsptwProblem, TsptwSolution, TsptwSolver};
 pub use resilience::{
-    DeadlineSolver, FallbackSolver, FaultConfig, FaultInjectingSolver, VerifyingSolver,
+    run_fallback, DeadlineSolver, FallbackSolver, FallbackStage, FaultConfig, FaultInjectingSolver,
+    VerifyingSolver,
 };
 pub use slack::ScheduleSlack;

@@ -98,14 +98,53 @@ impl<S: TsptwSolver> TsptwSolver for VerifyingSolver<S> {
     }
 }
 
+/// One stage of a generic fallback chain: a label for accounting and a
+/// fallible attempt on a shared input.
+///
+/// This is the input→output-generic core that [`FallbackSolver`] (TSPTW
+/// solves) and `smore-serve`'s degraded `/v1/solve` path (model inference →
+/// baseline heuristics) both run on, so "try stages in order, first success
+/// wins, last error escapes" exists exactly once in the workspace.
+pub struct FallbackStage<'a, I: ?Sized, O, E> {
+    /// Stage name, surfaced in accounting and degraded-mode reasons.
+    pub label: &'a str,
+    /// The attempt itself.
+    pub run: Box<dyn FnMut(&I) -> Result<O, E> + 'a>,
+}
+
+/// Runs `input` through `stages` in order until one succeeds.
+///
+/// On success returns the winning stage's index alongside its output. When
+/// every stage fails, the error of the *last* stage escapes — by
+/// convention the most trustworthy stage sits last, so its verdict wins.
+/// An empty chain yields `empty_err()`.
+pub fn run_fallback<I: ?Sized, O, E>(
+    input: &I,
+    stages: &mut [FallbackStage<'_, I, O, E>],
+    empty_err: impl FnOnce() -> E,
+) -> Result<(usize, O), E> {
+    let mut last_err = None;
+    for (index, stage) in stages.iter_mut().enumerate() {
+        match (stage.run)(input) {
+            Ok(out) => return Ok((index, out)),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(match last_err {
+        Some(e) => e,
+        None => empty_err(),
+    })
+}
+
 /// An ordered chain of solvers tried until one succeeds.
 ///
 /// Typical production chain: GPN (fast, learned) → insertion (reliable
 /// heuristic) → exact DP for small instances (ground truth). Every stage's
 /// result still flows through whatever verification the stages carry; the
-/// chain itself only sequences attempts. When every stage fails, the chain
-/// reports the error of the *last* stage — by convention the most
-/// trustworthy solver sits last, so its verdict (usually `Infeasible`) wins.
+/// chain itself only sequences attempts (the sequencing is
+/// [`run_fallback`]). When every stage fails, the chain reports the error
+/// of the *last* stage — by convention the most trustworthy solver sits
+/// last, so its verdict (usually `Infeasible`) wins.
 pub struct FallbackSolver {
     chain: Vec<Box<dyn TsptwSolver>>,
     wins: Vec<AtomicUsize>,
@@ -160,18 +199,26 @@ impl TsptwSolver for FallbackSolver {
     }
 
     fn solve(&self, p: &TsptwProblem) -> Result<TsptwSolution, SolveError> {
-        let mut last_err = SolveError::InvalidInput("empty fallback chain".into());
-        for (stage, solver) in self.chain.iter().enumerate() {
-            match solver.solve(p) {
-                Ok(sol) => {
-                    self.wins[stage].fetch_add(1, Ordering::Relaxed);
-                    return Ok(sol);
-                }
-                Err(e) => last_err = e,
+        let mut stages: Vec<FallbackStage<'_, TsptwProblem, TsptwSolution, SolveError>> = self
+            .chain
+            .iter()
+            .map(|solver| FallbackStage {
+                label: solver.name(),
+                run: Box::new(move |p: &TsptwProblem| solver.solve(p)),
+            })
+            .collect();
+        match run_fallback(p, &mut stages, || {
+            SolveError::InvalidInput("empty fallback chain".into())
+        }) {
+            Ok((stage, sol)) => {
+                self.wins[stage].fetch_add(1, Ordering::Relaxed);
+                Ok(sol)
+            }
+            Err(e) => {
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                Err(e)
             }
         }
-        self.exhausted.fetch_add(1, Ordering::Relaxed);
-        Err(last_err)
     }
 }
 
@@ -223,17 +270,34 @@ pub struct FaultConfig {
     /// Probability of corrupting the claimed rtt of an otherwise valid
     /// solution (the lie a [`VerifyingSolver`] must catch).
     pub rtt_corruption_rate: f64,
+    /// Probability of panicking outright instead of returning — the fault a
+    /// supervisor (e.g. `smore-serve`'s worker pool) must contain. Not part
+    /// of [`FaultConfig::uniform`]: panics are opt-in via
+    /// [`FaultConfig::with_panic_rate`] so error-path tests stay alive.
+    pub panic_rate: f64,
 }
 
 impl FaultConfig {
-    /// All three fault classes at the same `rate`.
+    /// The three *recoverable* fault classes at the same `rate`; panics stay
+    /// off.
     pub fn uniform(rate: f64) -> Self {
-        Self { failure_rate: rate, spurious_infeasible_rate: rate, rtt_corruption_rate: rate }
+        Self {
+            failure_rate: rate,
+            spurious_infeasible_rate: rate,
+            rtt_corruption_rate: rate,
+            panic_rate: 0.0,
+        }
     }
 
     /// No faults at all (the wrapper becomes a transparent pass-through).
     pub fn none() -> Self {
         Self::uniform(0.0)
+    }
+
+    /// Sets the panic probability (builder style).
+    pub fn with_panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate;
+        self
     }
 }
 
@@ -315,6 +379,15 @@ impl<S: TsptwSolver> TsptwSolver for FaultInjectingSolver<S> {
         }
         let spurious = stream.next_unit() < self.config.spurious_infeasible_rate;
         let corrupt = stream.next_unit() < self.config.rtt_corruption_rate;
+        // The panic draw comes *after* the three original draws so turning it
+        // on (or off) never shifts the (seed, problem) schedule of the
+        // recoverable fault classes.
+        if stream.next_unit() < self.config.panic_rate {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            // smore-lint: allow(E1): deliberate chaos-injection site; the
+            // serve supervisor's catch_unwind is exactly what it exercises.
+            panic!("injected panic (chaos)");
+        }
         let result = self.inner.solve(p)?;
         if spurious {
             self.injected.fetch_add(1, Ordering::Relaxed);
@@ -466,6 +539,7 @@ mod tests {
                 failure_rate: 1.0,
                 spurious_infeasible_rate: 0.0,
                 rtt_corruption_rate: 0.0,
+                panic_rate: 0.0,
             },
             7,
         );
@@ -482,6 +556,48 @@ mod tests {
     }
 
     #[test]
+    fn run_fallback_is_generic_over_non_solver_stages() {
+        // The serve crate drives run_fallback with (request → response)
+        // stages; mirror that shape here so the generic contract is pinned.
+        let mut stages: Vec<FallbackStage<'_, str, usize, String>> = vec![
+            FallbackStage { label: "broken", run: Box::new(|_s| Err("down".to_string())) },
+            FallbackStage { label: "length", run: Box::new(|s: &str| Ok(s.len())) },
+        ];
+        let (winner, out) = run_fallback("hello", &mut stages, || "empty".to_string()).unwrap();
+        assert_eq!((winner, out), (1, 5));
+        assert_eq!(stages[winner].label, "length");
+
+        let mut none: Vec<FallbackStage<'_, str, usize, String>> = Vec::new();
+        assert_eq!(run_fallback("x", &mut none, || "empty".to_string()), Err("empty".to_string()));
+    }
+
+    #[test]
+    fn panic_rate_one_always_panics_and_does_not_shift_other_draws() {
+        let panicky = FaultInjectingSolver::new(
+            InsertionSolver::new(),
+            FaultConfig::none().with_panic_rate(1.0),
+            31,
+        );
+        let calm = FaultInjectingSolver::new(InsertionSolver::new(), FaultConfig::uniform(0.5), 31);
+        let calm_ref =
+            FaultInjectingSolver::new(InsertionSolver::new(), FaultConfig::uniform(0.5), 31);
+        let mut rng = SmallRng::seed_from_u64(21);
+        for _ in 0..5 {
+            let p = random_worker_problem(&mut rng, 5, 0.4);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // smore-lint: allow(E1): asserting the injected panic fires.
+                let _ = panicky.solve(&p);
+            }));
+            assert!(caught.is_err(), "panic_rate 1.0 must always panic");
+            // The panic draw sits after the recoverable draws, so a config
+            // with panics disabled produces the exact same fault schedule it
+            // did before the field existed.
+            assert_eq!(calm.solve(&p), calm_ref.solve(&p));
+        }
+        assert_eq!(panicky.injected(), 5);
+    }
+
+    #[test]
     fn verifier_catches_injected_rtt_corruption() {
         let corrupting = FaultInjectingSolver::new(
             InsertionSolver::new(),
@@ -489,6 +605,7 @@ mod tests {
                 failure_rate: 0.0,
                 spurious_infeasible_rate: 0.0,
                 rtt_corruption_rate: 1.0,
+                panic_rate: 0.0,
             },
             23,
         );
