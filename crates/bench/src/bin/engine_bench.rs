@@ -208,10 +208,15 @@ fn main() {
             "  \"scale\": \"{:?}\",\n",
             "  \"instances\": {},\n",
             "  \"reps\": {},\n",
+            "  \"host_hardware_threads\": {},\n",
             "  \"presets\": [\n{}\n  ]\n",
             "}}\n"
         ),
-        args.scale, args.instances, args.reps, presets,
+        args.scale,
+        args.instances,
+        args.reps,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        presets,
     );
     std::fs::write(&args.out, &json).expect("write bench report");
     eprintln!("wrote {}", args.out.display());

@@ -83,6 +83,7 @@ fn solver_ablation(cfg: &HarnessConfig) -> String {
         lr: 1e-3,
         length_penalty: 1.0,
         threads: cfg.tasnet_train.threads,
+        micro_batch: 8,
     };
     let mut generator = |r: &mut SmallRng| random_worker_problem(r, 7, 0.5);
     train_gpn(&mut policy, &mut generator, &train_cfg, cfg.seed + 1);

@@ -460,6 +460,11 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"smore-serve loadgen\",");
     let _ = writeln!(
         json,
+        "  \"host_hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    let _ = writeln!(
+        json,
         "  \"config\": {{\"connections\": {}, \"requests\": {}, \"server_threads\": {}, \"queue_capacity\": {}, \"seed\": {}, \"external_addr\": {}, \"retries\": {}, \"chaos\": {}, \"chaos_fail_rate\": {}, \"chaos_panic_rate\": {}}},",
         args.connections,
         args.requests,

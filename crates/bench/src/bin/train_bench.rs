@@ -1,8 +1,10 @@
 //! Perf-trajectory benchmark of the training pipeline: times imitation
 //! epochs, REINFORCE epochs, and greedy validation sweeps on every dataset
-//! preset at 1 and N worker threads, plus the raw matmul kernels (blocked
-//! vs naive), and writes `BENCH_train.json` so future changes can diff
-//! episodes/sec and epoch wall time against a checked-in baseline.
+//! preset — unbatched (`micro_batch = 1`), batched (`micro_batch = 8`), and
+//! batched at N worker threads — plus the raw matmul kernels (SIMD flat vs
+//! blocked vs scalar vs naive per shape), and writes `BENCH_train.json` so
+//! future changes can diff episodes/sec and epoch wall time against a
+//! checked-in baseline.
 //!
 //! ```sh
 //! cargo run -p smore-bench --bin train_bench --release -- \
@@ -10,9 +12,12 @@
 //! ```
 //!
 //! `--smoke` shrinks everything to a seconds-long CI sanity run. Every
-//! invocation also re-verifies the determinism contract: the parameters
-//! trained during the 1-thread and N-thread timing runs must be
-//! bit-identical (the run aborts with a nonzero exit if they are not).
+//! invocation also re-verifies the determinism contract twice over: the
+//! parameters trained by the unbatched 1-thread run, the batched 1-thread
+//! run, and the batched N-thread run must all be bit-identical, and the
+//! SIMD flat kernel must produce bit-identical output to the blocked kernel
+//! on every benchmarked shape (the run aborts with a nonzero exit on any
+//! mismatch).
 //!
 //! The JSON is written by hand (no serde dependency on the output path) so
 //! the binary stays functional in stub-only offline builds.
@@ -20,7 +25,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use smore::{
-    imitation_epoch, reinforce_epoch, validate, Critic, Tasnet, TasnetConfig, TasnetTrainConfig,
+    imitation_epoch, reinforce_epoch, validate_grouped, Critic, Tasnet, TasnetConfig,
+    TasnetTrainConfig,
 };
 use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
 use smore_model::Instance;
@@ -29,6 +35,10 @@ use smore_tsptw::InsertionSolver;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Micro-batch size of the batched timing runs (episodes sharing one tape
+/// and one encoder forward). Matches `TasnetTrainConfig::default`.
+const BATCHED_MICRO: usize = 8;
 
 struct Args {
     reps: usize,
@@ -104,19 +114,26 @@ fn time_reps(reps: usize, mut f: impl FnMut() -> usize) -> PhaseTiming {
     }
 }
 
-fn phase_json(name: &str, threads: usize, t: &PhaseTiming, sequential: &PhaseTiming) -> String {
+fn phase_json(
+    name: &str,
+    threads: usize,
+    micro_batch: usize,
+    t: &PhaseTiming,
+    unbatched: &PhaseTiming,
+) -> String {
     format!(
         concat!(
-            "{{\"phase\": \"{}\", \"threads\": {}, \"median_ms\": {:.3}, ",
-            "\"p95_ms\": {:.3}, \"episodes_per_sec\": {:.2}, ",
-            "\"speedup_vs_sequential\": {:.2}}}"
+            "{{\"phase\": \"{}\", \"threads\": {}, \"micro_batch\": {}, ",
+            "\"median_ms\": {:.3}, \"p95_ms\": {:.3}, \"episodes_per_sec\": {:.2}, ",
+            "\"speedup_vs_unbatched_sequential\": {:.2}}}"
         ),
         name,
         threads,
+        micro_batch,
         t.median_ms,
         t.p95_ms,
         t.episodes_per_sec,
-        sequential.median_ms / t.median_ms.max(1e-9),
+        t.episodes_per_sec / unbatched.episodes_per_sec.max(1e-9),
     )
 }
 
@@ -133,18 +150,20 @@ fn param_bits(store: &smore_nn::ParamStore) -> Vec<u32> {
     store.iter().flat_map(|(_, _, m)| m.data().iter().map(|v| v.to_bits())).collect()
 }
 
-/// Runs the three training phases at one thread count and returns the phase
-/// timings plus the trained parameter bits (for the determinism check).
+/// Runs the three training phases at one `(threads, micro_batch)` point and
+/// returns the phase timings plus the trained parameter bits (for the
+/// determinism check across both axes).
 fn run_pipeline(
     instances: &[Instance],
     validation: &[Instance],
     threads: usize,
+    micro_batch: usize,
     reps: usize,
     seed: u64,
 ) -> (Vec<(&'static str, PhaseTiming)>, Vec<u32>) {
     let solver = InsertionSolver::new();
     let (mut net, mut critic) = small_net(&instances[0], seed);
-    let cfg = TasnetTrainConfig { threads, ..TasnetTrainConfig::default() };
+    let cfg = TasnetTrainConfig { threads, micro_batch, ..TasnetTrainConfig::default() };
     let pool = TapePool::new();
 
     let mut adam = Adam::new(cfg.lr);
@@ -177,20 +196,25 @@ fn run_pipeline(
         stats.episodes
     });
 
-    let validation_sweep =
-        time_reps(reps, || validate(&net, &critic, validation, &solver, threads).evaluated);
+    let validation_sweep = time_reps(reps, || {
+        validate_grouped(&net, &critic, validation, &solver, threads, micro_batch).evaluated
+    });
 
     let bits = param_bits(&net.store);
     (vec![("imitation", imitation), ("reinforce", reinforce), ("validate", validation_sweep)], bits)
 }
 
-/// Micro-benchmark of the matmul kernels: the blocked/packed kernel against
-/// the textbook naive reference on training-representative shapes. This is
-/// the single-core win of the PR — it shows up even on one hardware thread.
-fn kernel_bench(reps: usize) -> String {
+/// Micro-benchmark of the matmul kernels on training-representative shapes:
+/// the SIMD flat kernel (8-wide accumulators over packed columns) and the
+/// blocked/packed dispatcher against the scalar reference and the textbook
+/// naive triple loop. Also asserts, shape by shape, that SIMD and blocked
+/// produce **bit-identical** output — the substrate's determinism contract.
+/// Returns the JSON rows and whether every shape passed the parity check.
+fn kernel_bench(reps: usize) -> (String, bool) {
     let shapes: &[(usize, usize, usize)] =
-        &[(32, 16, 16), (64, 64, 64), (33, 70, 65), (128, 16, 128)];
+        &[(32, 16, 16), (64, 64, 64), (33, 70, 65), (128, 16, 128), (1, 97, 16), (96, 9, 1)];
     let mut entries = String::new();
+    let mut parity_ok = true;
     for (idx, &(n, k, m)) in shapes.iter().enumerate() {
         let a = Matrix::from_vec(n, k, (0..n * k).map(|i| (i as f32 * 0.37).sin()).collect());
         let b = Matrix::from_vec(k, m, (0..k * m).map(|i| (i as f32 * 0.71).cos()).collect());
@@ -199,9 +223,27 @@ fn kernel_bench(reps: usize) -> String {
 
         let started = Instant::now();
         for _ in 0..iters {
+            a.matmul_simd_flat_into(&b, &mut out);
+        }
+        let simd_ns = started.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        let simd_bits: Vec<u32> = out.data().iter().map(|v| v.to_bits()).collect();
+
+        let started = Instant::now();
+        for _ in 0..iters {
             a.matmul_into(&b, &mut out);
         }
         let blocked_ns = started.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        let blocked_bits: Vec<u32> = out.data().iter().map(|v| v.to_bits()).collect();
+        if simd_bits != blocked_bits {
+            parity_ok = false;
+            eprintln!("  kernel {n}x{k}x{m}: PARITY VIOLATION — SIMD and blocked bits differ");
+        }
+
+        let started = Instant::now();
+        for _ in 0..iters {
+            a.matmul_scalar_into(&b, &mut out);
+        }
+        let scalar_ns = started.elapsed().as_secs_f64() * 1e9 / iters as f64;
 
         let started = Instant::now();
         for _ in 0..iters {
@@ -215,23 +257,27 @@ fn kernel_bench(reps: usize) -> String {
         let _ = write!(
             entries,
             concat!(
-                "      {{\"shape\": \"{}x{}x{}\", \"blocked_ns\": {:.0}, ",
-                "\"naive_ns\": {:.0}, \"speedup\": {:.2}}}"
+                "      {{\"shape\": \"{}x{}x{}\", \"simd_ns\": {:.0}, \"blocked_ns\": {:.0}, ",
+                "\"scalar_ns\": {:.0}, \"naive_ns\": {:.0}, \"simd_vs_scalar\": {:.2}, ",
+                "\"simd_vs_naive\": {:.2}}}"
             ),
             n,
             k,
             m,
+            simd_ns,
             blocked_ns,
+            scalar_ns,
             naive_ns,
-            naive_ns / blocked_ns.max(1e-9),
+            scalar_ns / simd_ns.max(1e-9),
+            naive_ns / simd_ns.max(1e-9),
         );
         eprintln!(
-            "  kernel {n}x{k}x{m}: blocked {blocked_ns:.0} ns vs naive {naive_ns:.0} ns \
-             ({:.2}x)",
-            naive_ns / blocked_ns.max(1e-9)
+            "  kernel {n}x{k}x{m}: simd {simd_ns:.0} ns, blocked {blocked_ns:.0} ns, \
+             scalar {scalar_ns:.0} ns, naive {naive_ns:.0} ns ({:.2}x vs scalar)",
+            scalar_ns / simd_ns.max(1e-9)
         );
     }
-    entries
+    (entries, parity_ok)
 }
 
 fn main() {
@@ -239,6 +285,7 @@ fn main() {
     let threads = resolve_threads(args.threads).max(2);
     let mut presets = String::new();
     let mut deterministic = true;
+    let mut validate_ratio_1core = f64::NAN;
 
     for (kix, kind) in DatasetKind::all().into_iter().enumerate() {
         let spec = DatasetSpec::of(kind, args.scale);
@@ -248,9 +295,19 @@ fn main() {
             (0..args.instances + 2).map(|_| generator.gen_default(&mut rng)).collect();
         let (train, validation) = all.split_at(args.instances);
 
-        let (sequential, bits_1) = run_pipeline(train, validation, 1, args.reps, 7);
-        let (parallel, bits_n) = run_pipeline(train, validation, threads, args.reps, 7);
-        if bits_1 != bits_n {
+        let (unbatched, bits_seq) = run_pipeline(train, validation, 1, 1, args.reps, 7);
+        let (batched, bits_batched) =
+            run_pipeline(train, validation, 1, BATCHED_MICRO, args.reps, 7);
+        let (parallel, bits_par) =
+            run_pipeline(train, validation, threads, BATCHED_MICRO, args.reps, 7);
+        if bits_seq != bits_batched {
+            deterministic = false;
+            eprintln!(
+                "{kind:?}: PARITY VIOLATION — micro_batch 1 and micro_batch {BATCHED_MICRO} \
+                 trained params differ"
+            );
+        }
+        if bits_seq != bits_par {
             deterministic = false;
             eprintln!(
                 "{kind:?}: DETERMINISM VIOLATION — 1-thread and {threads}-thread params differ"
@@ -258,24 +315,28 @@ fn main() {
         }
 
         let mut phases = String::new();
-        for ((name, seq), (_, par)) in sequential.iter().zip(&parallel) {
+        for (((name, seq), (_, bat)), (_, par)) in unbatched.iter().zip(&batched).zip(&parallel) {
             if !phases.is_empty() {
                 phases.push_str(",\n");
             }
             let _ = write!(
                 phases,
-                "      {},\n      {}",
-                phase_json(name, 1, seq, seq),
-                phase_json(name, threads, par, seq),
+                "      {},\n      {},\n      {}",
+                phase_json(name, 1, 1, seq, seq),
+                phase_json(name, 1, BATCHED_MICRO, bat, seq),
+                phase_json(name, threads, BATCHED_MICRO, par, seq),
             );
             eprintln!(
-                "{kind:?} {name}: 1 thread {:.1} ms median, {threads} threads {:.1} ms median \
-                 ({:.2}x), {:.1} episodes/s",
-                seq.median_ms,
-                par.median_ms,
-                seq.median_ms / par.median_ms.max(1e-9),
+                "{kind:?} {name}: unbatched {:.1} eps/s, batched x{BATCHED_MICRO} {:.1} eps/s \
+                 ({:.2}x), {threads} threads {:.1} eps/s",
+                seq.episodes_per_sec,
+                bat.episodes_per_sec,
+                bat.episodes_per_sec / seq.episodes_per_sec.max(1e-9),
                 par.episodes_per_sec,
             );
+            if matches!(kind, DatasetKind::Tourism) && *name == "validate" {
+                validate_ratio_1core = par.median_ms / seq.median_ms.max(1e-9);
+            }
         }
 
         if kix > 0 {
@@ -285,7 +346,7 @@ fn main() {
             write!(presets, "    {{\"dataset\": \"{kind:?}\", \"phases\": [\n{phases}\n    ]}}");
     }
 
-    let kernels = kernel_bench(args.reps);
+    let (kernels, kernel_parity) = kernel_bench(args.reps);
     let json = format!(
         concat!(
             "{{\n",
@@ -295,11 +356,18 @@ fn main() {
             "  \"instances\": {},\n",
             "  \"reps\": {},\n",
             "  \"threads\": {},\n",
+            "  \"micro_batch\": {},\n",
             "  \"host_hardware_threads\": {},\n",
-            "  \"deterministic_across_thread_counts\": {},\n",
+            "  \"deterministic_across_thread_counts_and_micro_batches\": {},\n",
+            "  \"simd_blocked_bit_parity\": {},\n",
+            "  \"parallel_small_work\": {{\n",
+            "    \"note\": \"parallel_map now stays on the caller thread below 4 items and clamps workers to host cores; before the fix the checked-in baseline showed Tourism validate at 8 requested threads running 0.66x sequential on this 1-core host\",\n",
+            "    \"before_fix_tourism_validate_8t_over_1t_ms_ratio\": 1.52,\n",
+            "    \"after_fix_tourism_validate_8t_over_1t_ms_ratio\": {:.2}\n",
+            "  }},\n",
             "  \"presets\": [\n{}\n  ],\n",
             "  \"matmul_kernels\": {{\n",
-            "    \"note\": \"blocked/packed kernel vs textbook naive triple loop, single thread\",\n",
+            "    \"note\": \"single thread; simd = 8-wide f32 accumulator flat kernel, blocked = packed dispatcher, scalar = unvectorized reference, naive = textbook triple loop; simd and blocked are asserted bit-identical per shape\",\n",
             "    \"shapes\": [\n{}\n    ]\n",
             "  }}\n",
             "}}\n"
@@ -308,12 +376,16 @@ fn main() {
         args.instances,
         args.reps,
         threads,
+        BATCHED_MICRO,
         resolve_threads(0),
         deterministic,
+        kernel_parity,
+        validate_ratio_1core,
         presets,
         kernels,
     );
     std::fs::write(&args.out, &json).expect("write bench report");
     eprintln!("wrote {}", args.out.display());
-    assert!(deterministic, "parallel training diverged from the sequential baseline");
+    assert!(deterministic, "batched/parallel training diverged from the unbatched baseline");
+    assert!(kernel_parity, "SIMD kernel output diverged bitwise from the blocked kernel");
 }

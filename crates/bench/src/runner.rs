@@ -104,6 +104,7 @@ impl HarnessConfig {
                 rl_lr: 2e-4,
                 critic_lr: 1e-3,
                 threads: 0,
+                micro_batch: 8,
             },
             jdrl_epochs: 8,
             single_stage_epochs: 2,
@@ -126,6 +127,7 @@ impl HarnessConfig {
                 rl_lr: 2e-4,
                 critic_lr: 1e-3,
                 threads: 0,
+                micro_batch: 8,
             },
             jdrl_epochs: 12,
             single_stage_epochs: 4,

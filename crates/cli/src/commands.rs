@@ -112,6 +112,7 @@ pub fn train(args: &Args) -> Result<(), CliError> {
         rl_lr: 2e-4,
         critic_lr: 1e-3,
         threads: args.num("threads", 0)?,
+        micro_batch: args.num("micro-batch", 8)?,
     };
 
     let mut net = Tasnet::new(cfg.clone(), seed);
@@ -395,6 +396,9 @@ USAGE: smore-cli train --instances F --out MODEL [options]
   --seed N          init + training seed             (default 42)
   --threads N       0 = all cores; results are bit-identical
                     for every thread count           (default 0)
+  --micro-batch N   episodes sharing one tape + encoder pass;
+                    results are bit-identical for every
+                    micro-batch size                 (default 8)
   --resume          continue from MODEL's last intact epoch
                     checkpoint (crash recovery); corrupt or
                     missing files fall back to a fresh start

@@ -248,31 +248,100 @@ impl Tasnet {
         m
     }
 
-    /// Runs the static Worker & Sensing Task Representation module.
+    /// Runs the static Worker & Sensing Task Representation module for one
+    /// instance. Delegates to [`Tasnet::encode_batch`] with a single-episode
+    /// batch — there is exactly one encoder code path, so batched and
+    /// unbatched training are bit-identical by construction.
     pub fn encode(&self, tape: &mut Tape, instance: &Instance) -> EpisodeEncoding {
-        // Worker embeddings: conv over each worker's grid → FC → encoder.
-        let mut rows = Vec::with_capacity(instance.n_workers());
-        for w in 0..instance.n_workers() {
-            let grid = self.worker_grid(instance, WorkerId(w));
-            let cols = tape.constant(Conv3x3::im2col(&grid));
-            let feat = self.conv.forward(tape, &self.store, cols);
-            let flat = tape.reshape(
-                feat,
-                1,
-                self.cfg.grid_rows * self.cfg.grid_cols * self.cfg.conv_channels,
-            );
-            rows.push(self.worker_fc.forward(tape, &self.store, flat));
+        let mut encs = self.encode_batch(tape, &[instance]);
+        // smore-lint: allow(E1): encode_batch returns exactly one encoding
+        // per input instance.
+        encs.pop().expect("encode_batch yields one encoding per instance")
+    }
+
+    /// Batched Worker & Sensing Task Representation (DESIGN.md §13): all
+    /// episodes' workers (and tasks) are row-stacked so the convolution,
+    /// FC, and both Transformer encoders each run **once** per layer for
+    /// the whole batch, instead of once per episode. Attention inside the
+    /// encoders is segmented per episode, and all parameter gradients split
+    /// into per-episode sinks — so the gradients each episode contributes
+    /// are bit-identical to encoding it alone.
+    ///
+    /// Returns one [`EpisodeEncoding`] per instance, in order; the views it
+    /// holds ([`Tape::slice_rows`] of the batched embeddings) behave exactly
+    /// like unbatched encodings for the decode phase.
+    pub fn encode_batch(&self, tape: &mut Tape, instances: &[&Instance]) -> Vec<EpisodeEncoding> {
+        assert!(!instances.is_empty(), "encode_batch needs at least one instance");
+        let hw = self.cfg.grid_rows * self.cfg.grid_cols;
+        let ch = self.cfg.conv_channels;
+
+        // Row layouts: conv rows (one grid cell per row, per worker), worker
+        // rows, and task rows, each with per-episode boundaries.
+        let mut conv_offsets = vec![0usize];
+        let mut worker_offsets = vec![0usize];
+        let mut task_offsets = vec![0usize];
+        for inst in instances {
+            conv_offsets.push(conv_offsets[conv_offsets.len() - 1] + inst.n_workers() * hw);
+            worker_offsets.push(worker_offsets[worker_offsets.len() - 1] + inst.n_workers());
+            task_offsets.push(task_offsets[task_offsets.len() - 1] + inst.n_tasks());
         }
-        let stacked = tape.concat_rows(&rows);
-        let worker_embs = self.worker_encoder.forward(tape, &self.store, stacked);
+        let total_workers = worker_offsets[worker_offsets.len() - 1];
+        let total_tasks = task_offsets[task_offsets.len() - 1];
+        let total_conv_rows = conv_offsets[conv_offsets.len() - 1];
 
-        // Sensing-task embeddings.
-        let feats = tape.constant(Self::task_features(instance));
-        let embedded = self.task_embed.forward(tape, &self.store, feats);
-        let task_embs = self.task_encoder.forward(tape, &self.store, embedded);
-        let sbar = tape.mean_rows(task_embs);
+        // Worker embeddings: one conv + FC + encoder pass over every worker
+        // of every episode.
+        let mut cols_all = Matrix::zeros(total_conv_rows, 9);
+        let mut row = 0;
+        for inst in instances {
+            for w in 0..inst.n_workers() {
+                let grid = self.worker_grid(inst, WorkerId(w));
+                let cols = Conv3x3::im2col(&grid);
+                for r in 0..hw {
+                    cols_all.row_slice_mut(row + r).copy_from_slice(cols.row_slice(r));
+                }
+                row += hw;
+            }
+        }
+        let conv_seg = tape.segments(conv_offsets);
+        let worker_seg = tape.segments(worker_offsets.clone());
+        let task_seg = tape.segments(task_offsets.clone());
+        let cols_v = tape.constant(cols_all);
+        let feat = self.conv.forward_seg(tape, &self.store, cols_v, conv_seg);
+        // Row-major reshape: each worker's [hw, ch] block flattens to its
+        // own [1, hw·ch] row, preserving element order.
+        let flat = tape.reshape(feat, total_workers, hw * ch);
+        let fc = self.worker_fc.forward_seg(tape, &self.store, flat, worker_seg);
+        let worker_embs = self.worker_encoder.forward_seg(tape, &self.store, fc, worker_seg);
 
-        EpisodeEncoding { worker_embs, task_embs, sbar, budget0: instance.budget.max(1.0) }
+        // Sensing-task embeddings, likewise stacked.
+        let mut feats_all = Matrix::zeros(total_tasks, 5);
+        for (e, inst) in instances.iter().enumerate() {
+            let feats = Self::task_features(inst);
+            for r in 0..inst.n_tasks() {
+                feats_all.row_slice_mut(task_offsets[e] + r).copy_from_slice(feats.row_slice(r));
+            }
+        }
+        let feats_v = tape.constant(feats_all);
+        let embedded = self.task_embed.forward_seg(tape, &self.store, feats_v, task_seg);
+        let task_embs = self.task_encoder.forward_seg(tape, &self.store, embedded, task_seg);
+
+        // Per-episode views of the batched embeddings.
+        instances
+            .iter()
+            .enumerate()
+            .map(|(e, inst)| {
+                let w_view = tape.slice_rows(worker_embs, worker_offsets[e], inst.n_workers());
+                let t_view = tape.slice_rows(task_embs, task_offsets[e], inst.n_tasks());
+                let sbar = tape.mean_rows(t_view);
+                EpisodeEncoding {
+                    worker_embs: w_view,
+                    task_embs: t_view,
+                    sbar,
+                    budget0: inst.budget.max(1.0),
+                }
+            })
+            .collect()
     }
 
     /// Mean-pooled embedding of a worker's assigned tasks (`s̄_j`), or a zero

@@ -9,21 +9,32 @@
 //! # Batch parallelism and determinism
 //!
 //! Per-episode gradients within a batch are independent (the paper trains
-//! on GPU batches for the same reason), so every batch fans its episodes
-//! out over worker threads ([`TasnetTrainConfig::threads`]). The contract,
-//! verified by `tests/train_determinism.rs`:
+//! on GPU batches for the same reason). Episodes are packed into *groups*
+//! of [`TasnetTrainConfig::micro_batch`] that share one [`Tape`]: the
+//! group's instances run through [`Tasnet::encode_batch`] in a single
+//! batched encoder pass (DESIGN.md §13), decode sequentially under
+//! per-episode tape scopes, and one backward over the summed group loss
+//! splits gradients back per episode via
+//! [`Tape::scatter_grads_into_batches`]. Groups fan out over worker
+//! threads ([`TasnetTrainConfig::threads`]). The contract, verified by
+//! `tests/train_determinism.rs`:
 //!
 //! * each episode draws from its own RNG, seeded by
 //!   [`smore_nn::episode_seed`]`(seed, stream, episode_index)` — a function
-//!   of the schedule position only, never of thread interleaving;
-//! * each episode rolls on its own [`Tape`] (recycled through a
-//!   [`TapePool`]) and scatters into a private [`GradBatch`];
+//!   of the schedule position only, never of thread interleaving or group
+//!   packing;
+//! * batched forwards are row-segmented, never reassociating sums across
+//!   the episode dimension, so action probabilities — and therefore the
+//!   sampled trajectories — are bit-identical for every `micro_batch`;
+//! * segmented backward reduces each episode's parameter gradient into its
+//!   own sink, streaming exactly the rows a solo tape would, in the same
+//!   order;
 //! * batches merge into the shared [`ParamStore`](smore_nn::ParamStore) in
 //!   episode-index order, so the f32 summation order is fixed.
 //!
 //! Together these make gradients — and therefore trained parameters —
-//! bit-identical for every thread count, including the sequential
-//! `threads = 1` baseline.
+//! bit-identical for every thread count *and* every micro-batch size,
+//! including the sequential `threads = 1, micro_batch = 1` baseline.
 
 use crate::engine::Engine;
 use crate::policy::{GreedySelection, RatioGreedySelection, SelectionPolicy};
@@ -123,19 +134,67 @@ pub fn run_episode_on(
     Some(Episode { tape, logps, objective, solution: engine.state.into_solution(), summary })
 }
 
-/// Pool-aware rollout: takes a recycled tape and returns it to `pool` when
-/// the instance admits no episode, so failed rollouts don't leak buffers.
-fn run_episode_pooled(
+/// One episode rolled on a *shared group tape* (DESIGN.md §13): `slot` is
+/// its encode segment index within the group, so its decode leaves are
+/// scoped to it and one group backward can split its gradients back out.
+/// A micro-batch group's shared tape plus its per-slot rollouts, as handed
+/// from the rollout phase to the backward phase.
+type GroupRollout = (Tape, Vec<Option<RolledOut>>);
+
+struct RolledOut {
+    slot: usize,
+    logps: Vec<StepLogProbs>,
+    objective: f64,
+    summary: Matrix,
+}
+
+/// Rolls a group of instances on one shared tape: a single batched encoder
+/// pass over every member that admits an engine, then a sequential decode
+/// per member under its own tape scope. Members that admit no engine come
+/// back as `None`, exactly as [`run_episode`] would. RNG seeds are a
+/// function of each member's global episode index (`start + member`), so
+/// trajectories are independent of group packing.
+fn rollout_group(
     net: &Tasnet,
     critic: &Critic,
-    instance: &Instance,
+    members: &[Instance],
     solver: &dyn TsptwSolver,
     greedy: bool,
-    rng: &mut SmallRng,
-    pool: &TapePool,
-) -> Option<Episode> {
-    let tape = pool.take();
-    run_episode_on(net, critic, instance, solver, greedy, Deadline::none(), rng, tape)
+    seeds: (u64, u64, u64),
+    tape: &mut Tape,
+) -> Vec<Option<RolledOut>> {
+    let (seed, stream_id, start) = seeds;
+    let mut engines: Vec<Option<Engine>> =
+        members.iter().map(|inst| Engine::new(inst, solver).ok()).collect();
+    let chosen: Vec<usize> =
+        engines.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect();
+    let mut out: Vec<Option<RolledOut>> = members.iter().map(|_| None).collect();
+    if chosen.is_empty() {
+        return out;
+    }
+    let insts: Vec<&Instance> = chosen.iter().map(|&i| &members[i]).collect();
+    let encs = net.encode_batch(tape, &insts);
+    for (slot, &m) in chosen.iter().enumerate() {
+        let Some(mut engine) = engines[m].take() else { continue };
+        tape.set_scope(slot as u32);
+        let summary = critic.features(tape, &encs[slot]);
+        let mut rng = SmallRng::seed_from_u64(episode_seed(seed, stream_id, start + m as u64));
+        let mut logps = Vec::new();
+        while engine.has_candidates() {
+            let Some(((worker, task), lp)) =
+                net.select(tape, &encs[slot], &engine, greedy, &mut rng)
+            else {
+                break;
+            };
+            if engine.apply(worker, task).is_err() {
+                break;
+            }
+            logps.push(lp);
+        }
+        out[m] = Some(RolledOut { slot, logps, objective: engine.state.objective(), summary });
+    }
+    tape.set_scope(0);
+    out
 }
 
 /// Training hyperparameters.
@@ -162,6 +221,13 @@ pub struct TasnetTrainConfig {
     /// (`0` = all available cores). Results are bit-identical for every
     /// value — see the module docs.
     pub threads: usize,
+    /// Episodes encoded per shared tape (DESIGN.md §13): the batched
+    /// encoder runs once for this many episodes, and one backward pass
+    /// splits their gradients back out. Trained parameters are
+    /// bit-identical for every value (`0` is treated as 1); larger values
+    /// amortize encoder cost, bounded above by [`TasnetTrainConfig::batch`]
+    /// per gradient step.
+    pub micro_batch: usize,
 }
 
 impl Default for TasnetTrainConfig {
@@ -174,6 +240,7 @@ impl Default for TasnetTrainConfig {
             rl_lr: 2e-4,
             critic_lr: 1e-3,
             threads: 0,
+            micro_batch: 8,
         }
     }
 }
@@ -241,19 +308,46 @@ pub fn validate(
     solver: &dyn TsptwSolver,
     threads: usize,
 ) -> ValidationStats {
+    validate_grouped(net, critic, validation, solver, threads, DEFAULT_VALIDATE_MICRO_BATCH)
+}
+
+/// Group size [`validate`] uses for its batched encoder passes. Batched
+/// forwards are bit-identical to solo forwards (DESIGN.md §13), so this is
+/// purely a throughput knob; any value yields the same statistics.
+const DEFAULT_VALIDATE_MICRO_BATCH: usize = 8;
+
+/// [`validate`] with an explicit encoder group size: `micro_batch`
+/// instances share one tape and one batched encoder pass. Results are
+/// identical for every group size.
+pub fn validate_grouped(
+    net: &Tasnet,
+    critic: &Critic,
+    validation: &[Instance],
+    solver: &dyn TsptwSolver,
+    threads: usize,
+    micro_batch: usize,
+) -> ValidationStats {
+    let micro = micro_batch.max(1);
     let pool = TapePool::new();
-    let objectives: Vec<Option<f64>> = parallel_map(threads, validation, |i, inst| {
-        let mut rng =
-            SmallRng::seed_from_u64(episode_seed(0, stream(STREAM_VALIDATE, 0), i as u64));
-        run_episode_pooled(net, critic, inst, solver, true, &mut rng, &pool).map(|ep| {
-            let objective = ep.objective;
-            pool.put(ep.tape);
-            objective
-        })
+    let groups: Vec<(u64, &[Instance])> =
+        validation.chunks(micro).enumerate().map(|(g, c)| ((g * micro) as u64, c)).collect();
+    let per_group: Vec<Vec<Option<f64>>> = parallel_map(threads, &groups, |_, (start, members)| {
+        let mut tape = pool.take();
+        let rolled = rollout_group(
+            net,
+            critic,
+            members,
+            solver,
+            true,
+            (0, stream(STREAM_VALIDATE, 0), *start),
+            &mut tape,
+        );
+        pool.put(tape);
+        rolled.into_iter().map(|r| r.map(|ep| ep.objective)).collect()
     });
     let mut stats = ValidationStats::default();
     let mut total = 0.0;
-    for obj in objectives {
+    for obj in per_group.into_iter().flatten() {
         match obj {
             Some(o) => {
                 total += o;
@@ -266,6 +360,49 @@ pub fn validate(
         stats.mean_objective = total / stats.evaluated as f64;
     }
     stats
+}
+
+/// Greedy-decodes a batch of instances on one shared tape with a single
+/// batched encoder pass (DESIGN.md §13) — the serve-side micro-batching
+/// primitive behind `LoadedModel::forward_batch`. Returns one solution per
+/// instance (`None` when the instance admits no episode). Batched forwards
+/// are bit-identical to solo forwards, so each returned solution equals
+/// what a greedy [`run_episode`] on that instance alone would produce.
+pub fn greedy_solve_batch(
+    net: &Tasnet,
+    instances: &[Instance],
+    solver: &dyn TsptwSolver,
+) -> Vec<Option<Solution>> {
+    let mut tape = Tape::new();
+    let mut engines: Vec<Option<Engine>> =
+        instances.iter().map(|inst| Engine::new(inst, solver).ok()).collect();
+    let chosen: Vec<usize> =
+        engines.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect();
+    let mut out: Vec<Option<Solution>> = instances.iter().map(|_| None).collect();
+    if chosen.is_empty() {
+        return out;
+    }
+    let insts: Vec<&Instance> = chosen.iter().map(|&i| &instances[i]).collect();
+    let encs = net.encode_batch(&mut tape, &insts);
+    for (slot, &m) in chosen.iter().enumerate() {
+        let Some(mut engine) = engines[m].take() else { continue };
+        tape.set_scope(slot as u32);
+        // Greedy decode never samples; the RNG only satisfies the select
+        // signature.
+        let mut rng = SmallRng::seed_from_u64(0);
+        while engine.has_candidates() {
+            let Some(((worker, task), _)) =
+                net.select(&mut tape, &encs[slot], &engine, true, &mut rng)
+            else {
+                break;
+            };
+            if engine.apply(worker, task).is_err() {
+                break;
+            }
+        }
+        out[m] = Some(engine.state.into_solution());
+    }
+    out
 }
 
 /// Rolls a heuristic selection policy through the engine, recording the
@@ -287,49 +424,6 @@ fn teacher_trajectory(
     Some((actions, engine.state.objective()))
 }
 
-/// One imitation pass over an instance. The better of the two greedy
-/// teachers (coverage-gain greedy vs coverage-incentive-ratio greedy) is
-/// picked in hindsight and labels every visited state; TASNet is trained to
-/// assign the labels high probability. With `student_rollout` the *student's*
-/// greedy action drives the engine while the teacher still provides the
-/// label (DAgger-style), correcting the compounding state-distribution drift
-/// of plain behaviour cloning. REINFORCE then refines past the teachers.
-fn imitation_episode(
-    net: &Tasnet,
-    instance: &Instance,
-    solver: &dyn TsptwSolver,
-    student_rollout: bool,
-    rng: &mut SmallRng,
-    tape: &mut Tape,
-) -> Option<Vec<StepLogProbs>> {
-    let value = teacher_trajectory(&mut GreedySelection, instance, solver)?;
-    let ratio = teacher_trajectory(&mut RatioGreedySelection, instance, solver)?;
-    let mut teacher: Box<dyn SelectionPolicy> =
-        if ratio.1 > value.1 { Box::new(RatioGreedySelection) } else { Box::new(GreedySelection) };
-
-    let mut engine = Engine::new(instance, solver).ok()?;
-    let enc = net.encode(tape, instance);
-    let mut logps = Vec::new();
-    while engine.has_candidates() {
-        let Some(label) = teacher.select(&engine) else { break };
-        let ((w, t), lp) = net.select_with(tape, &enc, &engine, SelectMode::Force(label), rng)?;
-        debug_assert_eq!((w, t), label);
-        logps.push(lp);
-        let action = if student_rollout {
-            // Second pass for the executed action; its log-probs are not
-            // part of the loss.
-            let ((sw, st), _) = net.select_with(tape, &enc, &engine, SelectMode::Greedy, rng)?;
-            (sw, st)
-        } else {
-            label
-        };
-        if engine.apply(action.0, action.1).is_err() {
-            break;
-        }
-    }
-    Some(logps)
-}
-
 /// Per-episode result of a gradient computation.
 enum EpisodeGrads {
     /// Gradients ready to merge (with the episode's objective when sampled).
@@ -338,6 +432,120 @@ enum EpisodeGrads {
     NonFinite,
     /// No gradient to contribute (empty episode or ~zero advantage).
     Empty,
+}
+
+/// One imitation pass over a *group* of instances sharing a tape. The
+/// better of the two greedy teachers (coverage-gain greedy vs
+/// coverage-incentive-ratio greedy) is picked in hindsight per instance and
+/// labels every visited state; TASNet is trained to assign the labels high
+/// probability. With `student_rollout` the *student's* greedy action drives
+/// the engine while the teacher still provides the label (DAgger-style),
+/// correcting the compounding state-distribution drift of plain behaviour
+/// cloning. REINFORCE then refines past the teachers.
+///
+/// The group shares one batched encoder pass; per-member cross-entropy
+/// losses are summed into one backward, and the segmented tape splits the
+/// gradients back per member — bit-identical to running each member alone.
+fn imitation_group(
+    net: &Tasnet,
+    members: &[Instance],
+    solver: &dyn TsptwSolver,
+    student_rollout: bool,
+    batch_size: usize,
+    seeds: (u64, u64, u64),
+    tape: &mut Tape,
+) -> Vec<EpisodeGrads> {
+    let (seed, stream_id, start) = seeds;
+    // Teacher pick + engine per member; members without both contribute
+    // nothing (exactly as a solo pass would).
+    let mut prep: Vec<Option<(Engine, Box<dyn SelectionPolicy>)>> = members
+        .iter()
+        .map(|inst| {
+            let value = teacher_trajectory(&mut GreedySelection, inst, solver)?;
+            let ratio = teacher_trajectory(&mut RatioGreedySelection, inst, solver)?;
+            let teacher: Box<dyn SelectionPolicy> = if ratio.1 > value.1 {
+                Box::new(RatioGreedySelection)
+            } else {
+                Box::new(GreedySelection)
+            };
+            let engine = Engine::new(inst, solver).ok()?;
+            Some((engine, teacher))
+        })
+        .collect();
+    let chosen: Vec<usize> =
+        prep.iter().enumerate().filter_map(|(i, p)| p.as_ref().map(|_| i)).collect();
+    let mut out: Vec<EpisodeGrads> = members.iter().map(|_| EpisodeGrads::Empty).collect();
+    if chosen.is_empty() {
+        return out;
+    }
+    let insts: Vec<&Instance> = chosen.iter().map(|&i| &members[i]).collect();
+    let encs = net.encode_batch(tape, &insts);
+    let mut losses = Vec::new();
+    let mut ready: Vec<(usize, usize)> = Vec::new();
+    for (slot, &m) in chosen.iter().enumerate() {
+        let Some((mut engine, mut teacher)) = prep[m].take() else { continue };
+        tape.set_scope(slot as u32);
+        let mut rng = SmallRng::seed_from_u64(episode_seed(seed, stream_id, start + m as u64));
+        let mut logps = Vec::new();
+        let mut aborted = false;
+        while engine.has_candidates() {
+            let Some(label) = teacher.select(&engine) else { break };
+            let Some(((w, t), lp)) =
+                net.select_with(tape, &encs[slot], &engine, SelectMode::Force(label), &mut rng)
+            else {
+                aborted = true;
+                break;
+            };
+            debug_assert_eq!((w, t), label);
+            logps.push(lp);
+            let action = if student_rollout {
+                // Second pass for the executed action; its log-probs are
+                // not part of the loss.
+                match net.select_with(tape, &encs[slot], &engine, SelectMode::Greedy, &mut rng) {
+                    Some((pair, _)) => pair,
+                    None => {
+                        aborted = true;
+                        break;
+                    }
+                }
+            } else {
+                label
+            };
+            if engine.apply(action.0, action.1).is_err() {
+                break;
+            }
+        }
+        if aborted || logps.is_empty() {
+            continue;
+        }
+        let vars: Vec<_> = logps.iter().flat_map(|s| [s.worker, s.task]).collect();
+        let n = vars.len() as f32;
+        let cat = tape.concat_cols(&vars);
+        let total = tape.sum_all(cat);
+        // Cross-entropy: maximize the teacher actions' log-likelihood.
+        let loss = tape.scale(total, -1.0 / (n * batch_size as f32));
+        if tape.value(loss).data().iter().all(|v| v.is_finite()) {
+            losses.push(loss);
+            ready.push((m, slot));
+        } else {
+            out[m] = EpisodeGrads::NonFinite;
+        }
+    }
+    tape.set_scope(0);
+    if losses.is_empty() {
+        return out;
+    }
+    // One backward over the summed group loss: concat backward seeds every
+    // member's loss with the same unit gradient a solo backward would use.
+    let cat = tape.concat_cols(&losses);
+    let total = tape.sum_all(cat);
+    tape.backward(total);
+    let mut batches: Vec<GradBatch> = (0..encs.len()).map(|_| GradBatch::new()).collect();
+    tape.scatter_grads_into_batches(&mut batches);
+    for (m, slot) in ready {
+        out[m] = EpisodeGrads::Ready(std::mem::replace(&mut batches[slot], GradBatch::new()));
+    }
+    out
 }
 
 /// One imitation (behaviour-cloning / DAgger) pass over `instances`,
@@ -356,52 +564,34 @@ pub fn imitation_epoch(
     pool: &TapePool,
 ) -> EpochStats {
     let batch_size = cfg.batch.max(1);
+    let micro = cfg.micro_batch.max(1);
     let mut stats = EpochStats::default();
     let mut index = 0u64;
     for chunk in instances.chunks(batch_size) {
         let net_ref: &Tasnet = net;
-        let results: Vec<EpisodeGrads> = parallel_map(cfg.threads, chunk, |off, instance| {
-            let mut rng = SmallRng::seed_from_u64(episode_seed(
-                seed,
-                stream(STREAM_WARMUP, epoch),
-                index + off as u64,
-            ));
-            let mut tape = pool.take();
-            let outcome = match imitation_episode(
-                net_ref,
-                instance,
-                solver,
-                student_rollout,
-                &mut rng,
-                &mut tape,
-            ) {
-                None => EpisodeGrads::Empty,
-                Some(logps) if logps.is_empty() => EpisodeGrads::Empty,
-                Some(logps) => {
-                    let vars: Vec<_> = logps.iter().flat_map(|s| [s.worker, s.task]).collect();
-                    let n = vars.len() as f32;
-                    let cat = tape.concat_cols(&vars);
-                    let total = tape.sum_all(cat);
-                    // Cross-entropy: maximize the teacher actions'
-                    // log-likelihood.
-                    let loss = tape.scale(total, -1.0 / (n * batch_size as f32));
-                    if tape.value(loss).data().iter().all(|v| v.is_finite()) {
-                        tape.backward(loss);
-                        let mut grads = GradBatch::new();
-                        tape.scatter_grads_into(&mut grads);
-                        EpisodeGrads::Ready(grads)
-                    } else {
-                        EpisodeGrads::NonFinite
-                    }
-                }
-            };
-            pool.put(tape);
-            outcome
-        });
+        let groups: Vec<(u64, &[Instance])> =
+            chunk.chunks(micro).enumerate().map(|(g, c)| (index + (g * micro) as u64, c)).collect();
+        let results: Vec<Vec<EpisodeGrads>> =
+            parallel_map(cfg.threads, &groups, |_, (start, members)| {
+                let mut tape = pool.take();
+                let out = imitation_group(
+                    net_ref,
+                    members,
+                    solver,
+                    student_rollout,
+                    batch_size,
+                    (seed, stream(STREAM_WARMUP, epoch), *start),
+                    &mut tape,
+                );
+                pool.put(tape);
+                out
+            });
         index += chunk.len() as u64;
 
+        // Merge in episode order (groups are in chunk order, members in
+        // group order), keeping the f32 summation order fixed.
         let mut stepped = false;
-        for r in results {
+        for r in results.into_iter().flatten() {
             match r {
                 EpisodeGrads::Ready(grads) => {
                     grads.merge_into(&mut net.store);
@@ -437,88 +627,84 @@ pub fn reinforce_epoch(
     pool: &TapePool,
 ) -> EpochStats {
     let batch_size = cfg.batch.max(1);
+    let micro = cfg.micro_batch.max(1);
     let mut stats = EpochStats::default();
     let mut index = 0u64;
     for chunk in instances.chunks(batch_size) {
-        let mut episodes = Vec::with_capacity(chunk.len());
-        {
-            let net_ref: &Tasnet = net;
-            let critic_ref: &Critic = critic;
-            let rolled: Vec<Option<Episode>> = parallel_map(cfg.threads, chunk, |off, instance| {
-                let mut rng = SmallRng::seed_from_u64(episode_seed(
-                    seed,
-                    stream(STREAM_REINFORCE, epoch),
-                    index + off as u64,
-                ));
-                run_episode_pooled(net_ref, critic_ref, instance, solver, false, &mut rng, pool)
+        // Phase 1: batched rollouts — each group shares one encoder pass.
+        let net_ref: &Tasnet = net;
+        let critic_ref: &Critic = critic;
+        let groups: Vec<(u64, &[Instance])> =
+            chunk.chunks(micro).enumerate().map(|(g, c)| (index + (g * micro) as u64, c)).collect();
+        let rollouts: Vec<GroupRollout> =
+            parallel_map(cfg.threads, &groups, |_, (start, members)| {
+                let mut tape = pool.take();
+                let rolled = rollout_group(
+                    net_ref,
+                    critic_ref,
+                    members,
+                    solver,
+                    false,
+                    (seed, stream(STREAM_REINFORCE, epoch), *start),
+                    &mut tape,
+                );
+                (tape, rolled)
             });
-            for ep in rolled.into_iter().flatten() {
-                // Divergence guard: a non-finite objective means the rollout
-                // itself went numerically bad — training on it would poison
-                // the parameters irreversibly.
+        index += chunk.len() as u64;
+
+        // Phase 2: chunk-level divergence guard, critic baseline, and
+        // batch-normalized advantages — all in episode order.
+        let mut advantages = Vec::new();
+        let mut norms: Vec<Vec<Option<f32>>> =
+            rollouts.iter().map(|(_, rolled)| rolled.iter().map(|_| None).collect()).collect();
+        let mut eligible: Vec<(usize, usize)> = Vec::new();
+        for (g, (_, rolled)) in rollouts.iter().enumerate() {
+            for (ri, r) in rolled.iter().enumerate() {
+                let Some(ep) = r else { continue };
+                // Divergence guard: a non-finite objective means the
+                // rollout itself went numerically bad — training on it
+                // would poison the parameters irreversibly.
                 if !ep.objective.is_finite() {
                     stats.skips += 1;
-                    pool.put(ep.tape);
                     continue;
                 }
                 stats.objective_sum += ep.objective;
                 stats.episodes += 1;
-                episodes.push(ep);
+                advantages.push(ep.objective as f32 - critic.predict(&ep.summary));
+                eligible.push((g, ri));
             }
         }
-        index += chunk.len() as u64;
-        if episodes.is_empty() {
+        if eligible.is_empty() {
+            for (tape, _) in rollouts {
+                pool.put(tape);
+            }
             continue;
         }
-
-        // Advantages: objective minus the critic's value, normalized per
-        // batch to stabilize the small-batch policy gradient.
-        let advantages: Vec<f32> =
-            episodes.iter().map(|ep| ep.objective as f32 - critic.predict(&ep.summary)).collect();
         let std = {
             let mean = advantages.iter().sum::<f32>() / advantages.len() as f32;
             let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
                 / advantages.len() as f32;
             var.sqrt().max(1e-3)
         };
-        for ep in &episodes {
-            critic.accumulate_loss(&ep.summary, ep.objective as f32);
+        for (&(g, ri), adv) in eligible.iter().zip(&advantages) {
+            if let Some(ep) = rollouts[g].1[ri].as_ref() {
+                critic.accumulate_loss(&ep.summary, ep.objective as f32);
+            }
+            norms[g][ri] = Some(adv / std);
         }
 
-        let work: Vec<(Episode, f32)> = episodes.into_iter().zip(advantages).collect();
-        let results: Vec<EpisodeGrads> =
-            parallel_map_owned(cfg.threads, work, |_, (mut ep, adv)| {
-                let norm_adv = adv / std;
-                // Divergence guard: skip the batch entry rather than push a
-                // NaN/Inf gradient through Adam (which would zero out the
-                // learned parameters for good). The warm-up checkpoint (or
-                // best validated parameters) survives untouched.
-                if !norm_adv.is_finite() {
-                    pool.put(ep.tape);
-                    return EpisodeGrads::NonFinite;
-                }
-                if ep.logps.is_empty() || norm_adv.abs() < 1e-6 {
-                    pool.put(ep.tape);
-                    return EpisodeGrads::Empty;
-                }
-                let vars: Vec<_> = ep.logps.iter().flat_map(|s| [s.worker, s.task]).collect();
-                let cat = ep.tape.concat_cols(&vars);
-                let total = ep.tape.sum_all(cat);
-                let loss = ep.tape.scale(total, -norm_adv / batch_size as f32);
-                let outcome = if ep.tape.value(loss).data().iter().all(|v| v.is_finite()) {
-                    ep.tape.backward(loss);
-                    let mut grads = GradBatch::new();
-                    ep.tape.scatter_grads_into(&mut grads);
-                    EpisodeGrads::Ready(grads)
-                } else {
-                    EpisodeGrads::NonFinite
-                };
-                pool.put(ep.tape);
-                outcome
+        // Phase 3: one backward per group; the segmented tape splits
+        // gradients back per episode.
+        let work: Vec<(GroupRollout, Vec<Option<f32>>)> = rollouts.into_iter().zip(norms).collect();
+        let results: Vec<Vec<EpisodeGrads>> =
+            parallel_map_owned(cfg.threads, work, |_, ((mut tape, rolled), advs)| {
+                let out = backward_group(&mut tape, &rolled, &advs, batch_size);
+                pool.put(tape);
+                out
             });
 
         let mut stepped = false;
-        for r in results {
+        for r in results.into_iter().flatten() {
             match r {
                 EpisodeGrads::Ready(grads) => {
                     grads.merge_into(&mut net.store);
@@ -534,6 +720,61 @@ pub fn reinforce_epoch(
         critic_adam.step(&mut critic.store);
     }
     stats
+}
+
+/// REINFORCE backward for one rolled-out group: per-episode losses
+/// `−Â · Σ log p / batch` are summed into one backward pass, and the
+/// segmented tape splits the gradients back per episode. `advs` carries
+/// each member's batch-normalized advantage (`None` = excluded by the
+/// chunk-level guard).
+fn backward_group(
+    tape: &mut Tape,
+    rolled: &[Option<RolledOut>],
+    advs: &[Option<f32>],
+    batch_size: usize,
+) -> Vec<EpisodeGrads> {
+    let mut out: Vec<EpisodeGrads> = rolled.iter().map(|_| EpisodeGrads::Empty).collect();
+    let mut losses = Vec::new();
+    let mut ready: Vec<(usize, usize)> = Vec::new();
+    let mut slots = 0usize;
+    for (i, (r, adv)) in rolled.iter().zip(advs).enumerate() {
+        let Some(ep) = r else { continue };
+        slots = slots.max(ep.slot + 1);
+        let Some(norm_adv) = *adv else { continue };
+        // Divergence guard: skip the batch entry rather than push a
+        // NaN/Inf gradient through Adam (which would zero out the learned
+        // parameters for good). The warm-up checkpoint (or best validated
+        // parameters) survives untouched.
+        if !norm_adv.is_finite() {
+            out[i] = EpisodeGrads::NonFinite;
+            continue;
+        }
+        if ep.logps.is_empty() || norm_adv.abs() < 1e-6 {
+            continue;
+        }
+        let vars: Vec<_> = ep.logps.iter().flat_map(|s| [s.worker, s.task]).collect();
+        let cat = tape.concat_cols(&vars);
+        let total = tape.sum_all(cat);
+        let loss = tape.scale(total, -norm_adv / batch_size as f32);
+        if tape.value(loss).data().iter().all(|v| v.is_finite()) {
+            losses.push(loss);
+            ready.push((i, ep.slot));
+        } else {
+            out[i] = EpisodeGrads::NonFinite;
+        }
+    }
+    if losses.is_empty() {
+        return out;
+    }
+    let cat = tape.concat_cols(&losses);
+    let total = tape.sum_all(cat);
+    tape.backward(total);
+    let mut batches: Vec<GradBatch> = (0..slots).map(|_| GradBatch::new()).collect();
+    tape.scatter_grads_into_batches(&mut batches);
+    for (i, slot) in ready {
+        out[i] = EpisodeGrads::Ready(std::mem::replace(&mut batches[slot], GradBatch::new()));
+    }
+    out
 }
 
 /// Trains TASNet (and its critic) on `instances`: optional imitation
@@ -606,7 +847,7 @@ pub fn train_tasnet_resumable(
         if validation.is_empty() {
             return;
         }
-        let stats = validate(net, critic, validation, solver, cfg.threads);
+        let stats = validate_grouped(net, critic, validation, solver, cfg.threads, cfg.micro_batch);
         report.validation_curve.push(stats.mean_objective);
         report.validation_skipped.push(stats.skipped);
         if best.as_ref().is_none_or(|(b, _)| stats.mean_objective > *b) {
@@ -751,6 +992,7 @@ mod tests {
             rl_lr: 2e-4,
             critic_lr: 1e-3,
             threads: 2,
+            micro_batch: 2,
         };
         let report = train_tasnet(&mut net, &mut critic, &instances, &solver, &cfg, 3);
         assert_eq!(report.epoch_mean_objective.len(), 2);
@@ -769,6 +1011,7 @@ mod tests {
             rl_lr: 2e-4,
             critic_lr: 1e-3,
             threads: 1,
+            micro_batch: 2,
         };
         let fresh_start = TrainProgress { warmup_done: 0, epochs_done: 0 };
 

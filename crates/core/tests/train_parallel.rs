@@ -1,7 +1,10 @@
 //! Determinism contract of the batch-parallel training pipeline: trained
-//! parameters must be **bit-identical** for every thread count, because
-//! per-episode RNG seeds derive from the schedule position and per-episode
-//! gradients merge into the store in episode-index order.
+//! parameters must be **bit-identical** for every thread count *and* every
+//! micro-batch (episodes per shared tape) size, because per-episode RNG
+//! seeds derive from the schedule position, batched forwards never
+//! reassociate sums across the episode dimension, segmented backward
+//! reduces each episode's gradients into its own sink, and per-episode
+//! gradients merge into the store in episode-index order (DESIGN.md §13).
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -30,7 +33,7 @@ fn param_bits(store: &smore_nn::ParamStore) -> Vec<Vec<u32>> {
     store.iter().map(|(_, _, m)| m.data().iter().map(|v| v.to_bits()).collect()).collect()
 }
 
-fn train_with(threads: usize) -> (Vec<Vec<u32>>, Vec<Vec<u32>>, Vec<f64>) {
+fn train_with(threads: usize, micro_batch: usize) -> (Vec<Vec<u32>>, Vec<Vec<u32>>, Vec<f64>) {
     let all = instances(4);
     let (fit, val) = all.split_at(3);
     let (mut net, mut critic) = small_net(&all[0], 5);
@@ -42,6 +45,7 @@ fn train_with(threads: usize) -> (Vec<Vec<u32>>, Vec<Vec<u32>>, Vec<f64>) {
         rl_lr: 2e-4,
         critic_lr: 1e-3,
         threads,
+        micro_batch,
     };
     let report =
         train_tasnet_validated(&mut net, &mut critic, fit, val, &InsertionSolver::new(), &cfg, 11);
@@ -50,8 +54,8 @@ fn train_with(threads: usize) -> (Vec<Vec<u32>>, Vec<Vec<u32>>, Vec<f64>) {
 
 #[test]
 fn repeated_training_runs_are_bit_reproducible() {
-    let a = train_with(1);
-    let b = train_with(1);
+    let a = train_with(1, 1);
+    let b = train_with(1, 1);
     assert_eq!(a.0, b.0, "same-process training reruns must be bit-identical");
 }
 
@@ -82,27 +86,46 @@ fn sampled_rollouts_are_bit_reproducible() {
 }
 
 #[test]
-fn trained_parameters_are_bit_identical_across_thread_counts() {
-    let (policy_1, critic_1, curve_1) = train_with(1);
-    for threads in [2, 8] {
-        let (policy_n, critic_n, curve_n) = train_with(threads);
-        assert_eq!(policy_1, policy_n, "policy parameters diverged at {threads} threads");
-        assert_eq!(critic_1, critic_n, "critic parameters diverged at {threads} threads");
-        assert_eq!(curve_1, curve_n, "validation curve diverged at {threads} threads");
+fn trained_parameters_are_bit_identical_across_thread_counts_and_micro_batches() {
+    let (policy_1, critic_1, curve_1) = train_with(1, 1);
+    for threads in [1, 2, 8] {
+        for micro_batch in [1, 4, 17] {
+            if (threads, micro_batch) == (1, 1) {
+                continue;
+            }
+            let (policy_n, critic_n, curve_n) = train_with(threads, micro_batch);
+            assert_eq!(
+                policy_1, policy_n,
+                "policy parameters diverged at {threads} threads, micro_batch {micro_batch}"
+            );
+            assert_eq!(
+                critic_1, critic_n,
+                "critic parameters diverged at {threads} threads, micro_batch {micro_batch}"
+            );
+            assert_eq!(
+                curve_1, curve_n,
+                "validation curve diverged at {threads} threads, micro_batch {micro_batch}"
+            );
+        }
     }
 }
 
 #[test]
 fn parallel_validation_matches_sequential_and_accounts_every_instance() {
+    use smore::validate_grouped;
     let all = instances(5);
     let (net, critic) = small_net(&all[0], 9);
     let solver = InsertionSolver::new();
-    let sequential = validate(&net, &critic, &all, &solver, 1);
+    let sequential = validate_grouped(&net, &critic, &all, &solver, 1, 1);
     for threads in [2, 8] {
-        let parallel = validate(&net, &critic, &all, &solver, threads);
-        assert_eq!(sequential.mean_objective.to_bits(), parallel.mean_objective.to_bits());
-        assert_eq!(sequential.evaluated, parallel.evaluated);
-        assert_eq!(sequential.skipped, parallel.skipped);
+        for micro_batch in [1, 3, 8] {
+            let parallel = validate_grouped(&net, &critic, &all, &solver, threads, micro_batch);
+            assert_eq!(sequential.mean_objective.to_bits(), parallel.mean_objective.to_bits());
+            assert_eq!(sequential.evaluated, parallel.evaluated);
+            assert_eq!(sequential.skipped, parallel.skipped);
+        }
     }
+    let default_path = validate(&net, &critic, &all, &solver, 2);
+    assert_eq!(sequential.mean_objective.to_bits(), default_path.mean_objective.to_bits());
     assert_eq!(sequential.evaluated + sequential.skipped, all.len());
 }

@@ -4,10 +4,18 @@
 //!
 //! Layers own [`ParamId`]s into a shared [`ParamStore`]; `forward` records
 //! operations on a caller-provided [`Tape`].
+//!
+//! Every row-wise layer also has a `forward_seg` variant that runs N
+//! episodes stacked along the row axis through **one** kernel call per
+//! layer, with a [`SegId`] marking the episode boundaries so parameter
+//! gradients stay separable per episode (DESIGN.md §13). Attention — the
+//! only op that mixes rows — is computed per segment, so no information
+//! leaks across episodes and the math per episode is exactly the
+//! batch-size-1 math.
 
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
-use crate::tape::{Tape, Var};
+use crate::tape::{SegId, Tape, Var};
 use rand::Rng;
 
 /// A dense affine layer `y = x·W + b`.
@@ -48,6 +56,20 @@ impl Linear {
             None => y,
         }
     }
+
+    /// Batched [`Linear::forward`]: `x` row-stacks episodes per `seg`; one
+    /// matmul serves all of them and the weight gradient splits per episode.
+    pub fn forward_seg(&self, tape: &mut Tape, store: &ParamStore, x: Var, seg: SegId) -> Var {
+        let w = tape.param(store, self.w);
+        let y = tape.matmul_seg(x, w, seg);
+        match self.b {
+            Some(b) => {
+                let b = tape.param(store, b);
+                tape.add_broadcast_seg(y, b, seg)
+            }
+            None => y,
+        }
+    }
 }
 
 /// Layer normalization with learned affine scale and shift.
@@ -73,6 +95,16 @@ impl LayerNorm {
         let b = tape.param(store, self.bias);
         let scaled = tape.mul_broadcast(normed, g);
         tape.add_broadcast(scaled, b)
+    }
+
+    /// Batched [`LayerNorm::forward`]: normalization is already row-wise;
+    /// the affine gain/bias gradients split per episode via `seg`.
+    pub fn forward_seg(&self, tape: &mut Tape, store: &ParamStore, x: Var, seg: SegId) -> Var {
+        let normed = tape.norm_rows(x, self.eps);
+        let g = tape.param(store, self.gain);
+        let b = tape.param(store, self.bias);
+        let scaled = tape.mul_broadcast_seg(normed, g, seg);
+        tape.add_broadcast_seg(scaled, b, seg)
     }
 }
 
@@ -155,6 +187,49 @@ impl MultiHeadAttention {
     ) -> Var {
         self.forward(tape, store, x, x, mask)
     }
+
+    /// Batched unmasked self-attention over row-stacked episodes: the q/k/v
+    /// and output projections run once over the whole stack (per-episode
+    /// weight gradients via `seg`), while the attention itself — the only
+    /// row-mixing step — runs per segment so episodes never see each
+    /// other's rows. Within one segment the arithmetic is exactly
+    /// [`MultiHeadAttention::self_attention`] on that episode alone.
+    pub fn self_attention_seg(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        seg: SegId,
+    ) -> Var {
+        let offsets = tape.segment_offsets(seg).to_vec();
+        let q = self.wq.forward_seg(tape, store, x, seg);
+        let k = self.wk.forward_seg(tape, store, x, seg);
+        let v = self.wv.forward_seg(tape, store, x, seg);
+        let dk = self.d_model / self.heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let mut episode_outputs = Vec::with_capacity(offsets.len() - 1);
+        for w in offsets.windows(2) {
+            let (start, len) = (w[0], w[1] - w[0]);
+            let qe = tape.slice_rows(q, start, len);
+            let ke = tape.slice_rows(k, start, len);
+            let ve = tape.slice_rows(v, start, len);
+            let mut head_outputs = Vec::with_capacity(self.heads);
+            for h in 0..self.heads {
+                let qh = tape.slice_cols(qe, h * dk, dk);
+                let kh = tape.slice_cols(ke, h * dk, dk);
+                let vh = tape.slice_cols(ve, h * dk, dk);
+                let kht = tape.transpose(kh);
+                let scores = tape.matmul(qh, kht);
+                let scaled = tape.scale(scores, scale);
+                let attn = tape.softmax_rows(scaled, None);
+                head_outputs.push(tape.matmul(attn, vh));
+            }
+            episode_outputs.push(tape.concat_cols(&head_outputs));
+        }
+        let concat = tape.concat_rows(&episode_outputs);
+        self.wo.forward_seg(tape, store, concat, seg)
+    }
 }
 
 /// Position-wise feed-forward block `relu(x·W1 + b1)·W2 + b2`.
@@ -184,6 +259,13 @@ impl FeedForward {
         let h = self.l1.forward(tape, store, x);
         let h = tape.relu(h);
         self.l2.forward(tape, store, h)
+    }
+
+    /// Batched [`FeedForward::forward`] over row-stacked episodes.
+    pub fn forward_seg(&self, tape: &mut Tape, store: &ParamStore, x: Var, seg: SegId) -> Var {
+        let h = self.l1.forward_seg(tape, store, x, seg);
+        let h = tape.relu(h);
+        self.l2.forward_seg(tape, store, h, seg)
     }
 }
 
@@ -225,6 +307,16 @@ impl EncoderLayer {
         let res = tape.add(x, ff);
         self.norm2.forward(tape, store, res)
     }
+
+    /// Batched [`EncoderLayer::forward`] over row-stacked episodes.
+    pub fn forward_seg(&self, tape: &mut Tape, store: &ParamStore, x: Var, seg: SegId) -> Var {
+        let attn = self.mha.self_attention_seg(tape, store, x, seg);
+        let res = tape.add(x, attn);
+        let x = self.norm1.forward_seg(tape, store, res, seg);
+        let ff = self.ff.forward_seg(tape, store, x, seg);
+        let res = tape.add(x, ff);
+        self.norm2.forward_seg(tape, store, res, seg)
+    }
 }
 
 /// A stack of [`EncoderLayer`]s (the paper uses 3 layers × 8 heads).
@@ -257,6 +349,15 @@ impl Encoder {
         }
         x
     }
+
+    /// Batched [`Encoder::forward`]: one pass encodes every episode stacked
+    /// in `x`, sharing each layer's kernel calls across the batch.
+    pub fn forward_seg(&self, tape: &mut Tape, store: &ParamStore, mut x: Var, seg: SegId) -> Var {
+        for layer in &self.layers {
+            x = layer.forward_seg(tape, store, x, seg);
+        }
+        x
+    }
 }
 
 /// A simple multi-layer perceptron with ReLU hidden activations (used for
@@ -286,6 +387,18 @@ impl Mlp {
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, mut x: Var) -> Var {
         for (i, layer) in self.layers.iter().enumerate() {
             x = layer.forward(tape, store, x);
+            if i + 1 < self.layers.len() {
+                x = tape.relu(x);
+            }
+        }
+        x
+    }
+
+    /// Batched [`Mlp::forward`] over row-stacked inputs (one row — or row
+    /// block — per episode, boundaries per `seg`).
+    pub fn forward_seg(&self, tape: &mut Tape, store: &ParamStore, mut x: Var, seg: SegId) -> Var {
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward_seg(tape, store, x, seg);
             if i + 1 < self.layers.len() {
                 x = tape.relu(x);
             }
@@ -353,6 +466,16 @@ impl Conv3x3 {
         let b = tape.param(store, self.b);
         let y = tape.matmul(im2col, w);
         let y = tape.add_broadcast(y, b);
+        tape.relu(y)
+    }
+
+    /// Batched [`Conv3x3::forward`]: `im2col` row-stacks every grid of every
+    /// episode; `seg` marks episode boundaries in those rows.
+    pub fn forward_seg(&self, tape: &mut Tape, store: &ParamStore, im2col: Var, seg: SegId) -> Var {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let y = tape.matmul_seg(im2col, w, seg);
+        let y = tape.add_broadcast_seg(y, b, seg);
         tape.relu(y)
     }
 }

@@ -37,4 +37,4 @@ pub use optim::Adam;
 pub use parallel::{episode_seed, parallel_map, parallel_map_owned, resolve_threads};
 pub use params::{GradBatch, ParamId, ParamStore};
 pub use sample::{argmax_row, sample_row, select_row};
-pub use tape::{Tape, TapePool, Var, NEG_INF};
+pub use tape::{SegId, Tape, TapePool, Var, NEG_INF};

@@ -3,12 +3,20 @@
 //!
 //! The matmul family is the training hot path. [`Matrix::matmul`] packs the
 //! right operand into a transposed thread-local scratch once per call and
-//! computes cache-blocked dot products with a branch-free four-accumulator
-//! inner loop that LLVM autovectorizes; [`Matrix::matmul_abt_acc`] and
+//! computes cache-blocked dot products with a branch-free eight-accumulator
+//! (one AVX vector wide) inner loop; [`Matrix::matmul_abt_acc`] and
 //! [`Matrix::matmul_atb_acc`] are the fused `C += A×Bᵀ` / `C += Aᵀ×B`
 //! kernels the tape's matmul gradients use so backward never materializes
-//! an explicit transpose. [`Matrix::matmul_naive`] keeps the textbook
-//! triple loop as the parity reference for kernel tests.
+//! an explicit transpose, and their `*_rows` range variants back the
+//! batch-segmented gradient path (DESIGN.md §13).
+//!
+//! Accumulation-order contract: every kernel reduces each output element
+//! strictly in `k` order with the same 8-way partial-sum tree, so results
+//! are bit-identical across call sites, blocking choices, batch sizes, and
+//! thread counts. [`Matrix::matmul_simd_flat_into`] (no cache blocking) and
+//! [`Matrix::matmul_scalar_into`] (the pre-SIMD four-accumulator kernel)
+//! are kept as the parity/benchmark references; [`Matrix::matmul_naive`]
+//! keeps the textbook triple loop as the tolerance reference.
 
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -25,12 +33,40 @@ const MC: usize = 32;
 /// Column block edge of the blocked matmul.
 const NC: usize = 64;
 
-/// Branch-free dot product with four independent accumulators (breaks the
-/// serial FP dependency chain so the loop vectorizes). The accumulation
-/// order depends only on the length, never on the values or on blocking,
-/// which keeps results bit-identical across call sites and thread counts.
+/// Branch-free dot product with eight independent accumulators — one AVX
+/// vector wide, so LLVM lowers the body to packed f32 FMAs/adds on x86-64.
+/// Partials combine in a fixed pairwise tree and the tail runs in order:
+/// the accumulation order depends only on the length, never on the values
+/// or on blocking, which keeps results bit-identical across call sites,
+/// batch sizes, and thread counts.
 #[inline]
 fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    let (a8, at) = a.split_at(chunks * 8);
+    let (b8, bt) = b.split_at(chunks * 8);
+    for (x, y) in a8.chunks_exact(8).zip(b8.chunks_exact(8)) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+        acc[4] += x[4] * y[4];
+        acc[5] += x[5] * y[5];
+        acc[6] += x[6] * y[6];
+        acc[7] += x[7] * y[7];
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (x, y) in at.iter().zip(bt) {
+        s += x * y;
+    }
+    s
+}
+
+/// The pre-SIMD four-accumulator dot, kept verbatim so `train_bench` can
+/// measure the 8-wide kernel against the exact code it replaced.
+#[inline]
+fn dot4(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f32; 4];
     let chunks = a.len() / 4;
@@ -49,10 +85,25 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
     s
 }
 
-/// `dst += c · src` (the axpy kernel of the fused `Aᵀ×B` gradient path).
+/// `dst += c · src` — the axpy kernel of the fused `Aᵀ×B` gradient path,
+/// unrolled 8 wide. Element-wise, so the unroll cannot change results.
 #[inline]
 fn axpy(c: f32, src: &[f32], dst: &mut [f32]) {
-    for (d, &s) in dst.iter_mut().zip(src) {
+    debug_assert_eq!(src.len(), dst.len());
+    let chunks = dst.len() / 8 * 8;
+    let (d8, dt) = dst.split_at_mut(chunks);
+    let (s8, st) = src.split_at(chunks);
+    for (d, s) in d8.chunks_exact_mut(8).zip(s8.chunks_exact(8)) {
+        d[0] += c * s[0];
+        d[1] += c * s[1];
+        d[2] += c * s[2];
+        d[3] += c * s[3];
+        d[4] += c * s[4];
+        d[5] += c * s[5];
+        d[6] += c * s[6];
+        d[7] += c * s[7];
+    }
+    for (d, &s) in dt.iter_mut().zip(st) {
         *d += c * s;
     }
 }
@@ -169,6 +220,35 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension or output-shape mismatch.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_packed_with(other, out, true, dot);
+    }
+
+    /// The pre-SIMD blocked kernel (four-accumulator dot), retained only so
+    /// `train_bench` can report the 8-wide kernel's per-shape speedup
+    /// against the exact code it replaced. Not used on any hot path.
+    pub fn matmul_scalar_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_packed_with(other, out, true, dot4);
+    }
+
+    /// The SIMD kernel without cache blocking. Blocking only reorders
+    /// *which* outputs are produced when, never the accumulation order
+    /// within one output, so this must be bit-identical to
+    /// [`Matrix::matmul_into`] — the kernel proptests enforce exactly that.
+    pub fn matmul_simd_flat_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_packed_with(other, out, false, dot);
+    }
+
+    /// Shared packed-operand matmul skeleton: asserts shapes, handles the
+    /// degenerate and column-vector edges, packs `other` transposed into the
+    /// thread-local scratch, then runs the (optionally cache-blocked) dot
+    /// loop with the supplied inner kernel.
+    fn matmul_packed_with(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        blocked: bool,
+        dot_fn: fn(&[f32], &[f32]) -> f32,
+    ) {
         assert_eq!(
             self.cols,
             other.rows,
@@ -189,7 +269,7 @@ impl Matrix {
             // `other` is a column vector: its single column is already
             // contiguous, no packing needed.
             for i in 0..n {
-                out.data[i] = dot(&self.data[i * k..(i + 1) * k], &other.data);
+                out.data[i] = dot_fn(&self.data[i * k..(i + 1) * k], &other.data);
             }
             return;
         }
@@ -205,19 +285,18 @@ impl Matrix {
                 }
             }
             // Block over output rows/cols so an `MC × k` slab of A and an
-            // `NC × k` slab of the pack stay cache-resident. Blocking only
-            // reorders *which* outputs are produced when, never the
-            // accumulation order within one output, so results are
-            // bit-identical to the unblocked loop.
-            for ib in (0..n).step_by(MC) {
-                let ih = (ib + MC).min(n);
-                for jb in (0..m).step_by(NC) {
-                    let jh = (jb + NC).min(m);
+            // `NC × k` slab of the pack stay cache-resident (a single
+            // full-range block when `blocked` is off).
+            let (mc, nc) = if blocked { (MC, NC) } else { (n, m) };
+            for ib in (0..n).step_by(mc) {
+                let ih = (ib + mc).min(n);
+                for jb in (0..m).step_by(nc) {
+                    let jh = (jb + nc).min(m);
                     for i in ib..ih {
                         let a_row = &self.data[i * k..(i + 1) * k];
                         let out_row = &mut out.data[i * m..(i + 1) * m];
                         for j in jb..jh {
-                            out_row[j] = dot(a_row, &packed[j * k..(j + 1) * k]);
+                            out_row[j] = dot_fn(a_row, &packed[j * k..(j + 1) * k]);
                         }
                     }
                 }
@@ -259,6 +338,20 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn matmul_atb_acc(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_atb_acc_rows(0, self.rows, other, out);
+    }
+
+    /// [`Matrix::matmul_atb_acc`] restricted to the row range `r0..r1` of
+    /// both operands: `out += self[r0..r1]ᵀ × other[r0..r1]`.
+    ///
+    /// This is the kernel behind per-segment parameter gradients (DESIGN.md
+    /// §13): each batch segment streams its own rows, in row order, into its
+    /// own accumulator — exactly the arithmetic the batch-size-1 path does,
+    /// so segment gradients are bit-identical to unbatched ones.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or an out-of-bounds row range.
+    pub fn matmul_atb_acc_rows(&self, r0: usize, r1: usize, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows,
             other.rows,
@@ -267,8 +360,9 @@ impl Matrix {
             other.shape()
         );
         assert_eq!(out.shape(), (self.cols, other.cols), "matmul_atb output shape mismatch");
+        assert!(r0 <= r1 && r1 <= self.rows, "matmul_atb row range out of bounds");
         let (k, m) = (self.cols, other.cols);
-        for i in 0..self.rows {
+        for i in r0..r1 {
             let a_row = &self.data[i * k..(i + 1) * k];
             let b_row = &other.data[i * m..(i + 1) * m];
             for (p, &a) in a_row.iter().enumerate() {
@@ -347,8 +441,19 @@ impl Matrix {
 
     /// Sum of each column: a `1 × cols` row vector.
     pub fn sum_rows(&self) -> Matrix {
+        self.sum_rows_range(0, self.rows)
+    }
+
+    /// Column sums over the row range `r0..r1` only, accumulated in row
+    /// order — the per-segment form of [`Matrix::sum_rows`] used by the
+    /// batched broadcast gradients (DESIGN.md §13).
+    ///
+    /// # Panics
+    /// Panics on an out-of-bounds row range.
+    pub fn sum_rows_range(&self, r0: usize, r1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "sum_rows row range out of bounds");
         let mut out = Matrix::zeros(1, self.cols);
-        for r in 0..self.rows {
+        for r in r0..r1 {
             for c in 0..self.cols {
                 out.data[c] += self.data[r * self.cols + c];
             }
@@ -449,6 +554,65 @@ mod tests {
         for (o, e) in out.data().iter().zip(expected.data()) {
             assert!((o - e).abs() < 1e-5, "{o} vs {e}");
         }
+    }
+
+    #[test]
+    fn blocked_and_flat_simd_kernels_are_bit_identical() {
+        // Blocking must only reorder which outputs are produced when —
+        // never the reduction order within one output.
+        for (n, k, m) in [(5, 7, 9), (33, 70, 65), (40, 9, 70), (1, 13, 4), (3, 1, 1)] {
+            let a = Matrix::from_vec(n, k, (0..n * k).map(|i| (i as f32 * 0.37).sin()).collect());
+            let b = Matrix::from_vec(k, m, (0..k * m).map(|i| (i as f32 * 0.71).cos()).collect());
+            let mut blocked = Matrix::zeros(n, m);
+            let mut flat = Matrix::zeros(n, m);
+            a.matmul_into(&b, &mut blocked);
+            a.matmul_simd_flat_into(&b, &mut flat);
+            let lhs: Vec<u32> = blocked.data().iter().map(|x| x.to_bits()).collect();
+            let rhs: Vec<u32> = flat.data().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(lhs, rhs, "{n}x{k}x{m}");
+        }
+    }
+
+    #[test]
+    fn legacy_scalar_kernel_matches_naive_reference() {
+        for (n, k, m) in [(5, 7, 9), (33, 70, 65), (2, 5, 1)] {
+            let a = Matrix::from_vec(n, k, (0..n * k).map(|i| (i as f32 * 0.53).sin()).collect());
+            let b = Matrix::from_vec(k, m, (0..k * m).map(|i| (i as f32 * 0.19).cos()).collect());
+            let mut fast = Matrix::zeros(n, m);
+            a.matmul_scalar_into(&b, &mut fast);
+            let slow = a.matmul_naive(&b);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0), "{n}x{k}x{m}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_atb_rows_cover_the_full_product() {
+        // Per-segment accumulation into separate sinks, then summed, must
+        // equal the full fused kernel (same row order inside each segment).
+        let a = Matrix::from_vec(7, 3, (0..21).map(|i| (i as f32 * 0.13).sin()).collect());
+        let b = Matrix::from_vec(7, 4, (0..28).map(|i| (i as f32 * 0.29).cos()).collect());
+        let mut full = Matrix::zeros(3, 4);
+        a.matmul_atb_acc(&b, &mut full);
+        let mut summed = Matrix::zeros(3, 4);
+        for (r0, r1) in [(0, 2), (2, 2), (2, 7)] {
+            let mut seg = Matrix::zeros(3, 4);
+            a.matmul_atb_acc_rows(r0, r1, &b, &mut seg);
+            summed.add_assign(&seg);
+        }
+        for (x, y) in summed.data().iter().zip(full.data()) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sum_rows_range_segments_cover_sum_rows() {
+        let a = Matrix::from_vec(5, 3, (0..15).map(|i| i as f32 * 0.5).collect());
+        assert_eq!(a.sum_rows_range(0, 5), a.sum_rows());
+        let mut acc = a.sum_rows_range(0, 2);
+        acc.add_assign(&a.sum_rows_range(2, 5));
+        assert_eq!(acc, a.sum_rows());
     }
 
     #[test]

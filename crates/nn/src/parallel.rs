@@ -39,6 +39,25 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// Batches smaller than this run on the caller thread: spawning and joining
+/// scoped workers costs tens of microseconds each, which swamps the work
+/// itself for a handful of items (a `threads = 8` validation pass over a few
+/// instances used to run *slower* than sequential for exactly this reason).
+const MIN_PARALLEL_ITEMS: usize = 4;
+
+/// Decides how many workers a batch of `items` actually gets: tiny batches
+/// stay on the caller thread, and the requested knob is clamped to the
+/// host's hardware threads — the map is pure compute, so oversubscribing
+/// cores only adds scheduler churn. Never changes *results*: outputs are
+/// assembled by index, so any worker count yields identical bits.
+fn plan_workers(requested: usize, items: usize) -> usize {
+    if items < MIN_PARALLEL_ITEMS {
+        return 1;
+    }
+    let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    resolve_threads(requested).min(hardware).min(items)
+}
+
 /// Maps `f` over `items` on up to `threads` workers, returning results in
 /// input order.
 ///
@@ -55,7 +74,7 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = resolve_threads(threads).min(items.len().max(1));
+    let workers = plan_workers(threads, items.len());
     if workers <= 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
@@ -102,7 +121,7 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    let workers = resolve_threads(threads).min(items.len().max(1));
+    let workers = plan_workers(threads, items.len());
     if workers <= 1 || items.len() <= 1 {
         return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
@@ -189,6 +208,18 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
         assert_eq!(parallel_map(8, &[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn tiny_batches_run_on_the_caller_thread() {
+        let caller = std::thread::current().id();
+        let ids = parallel_map(8, &[1u32, 2, 3], |_, _| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller), "below-threshold work must not spawn");
+        let moved = parallel_map_owned(8, vec![1u32, 2, 3], |_, _| std::thread::current().id());
+        assert!(moved.iter().all(|id| *id == caller), "owned variant must not spawn either");
+        let items: Vec<u32> = (0..MIN_PARALLEL_ITEMS as u32 + 1).collect();
+        let expected: Vec<u32> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(parallel_map(8, &items, |_, &x| x * 2), expected);
     }
 
     #[test]

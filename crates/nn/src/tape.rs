@@ -10,6 +10,20 @@
 //! add/mul, element-wise nonlinearities, masked softmax / log-softmax,
 //! pooling, concatenation, slicing/gathering, row normalization, and scalar
 //! extraction for policy-gradient losses.
+//!
+//! # Batched episodes (DESIGN.md §13)
+//!
+//! One tape can hold N episodes at once: batched activations stack episodes
+//! along the row axis, a [`SegId`] names the row ranges (one per episode),
+//! and the `*_seg` ops ([`Tape::matmul_seg`], [`Tape::add_broadcast_seg`],
+//! [`Tape::mul_broadcast_seg`]) route each shared parameter's gradient into
+//! a **per-episode sink** instead of one pooled accumulator. Per-episode
+//! decode nodes are tagged with the tape's current scope
+//! ([`Tape::set_scope`]); after one `backward` over the whole batch,
+//! [`Tape::scatter_grads_into_batches`] reassembles N independent
+//! [`GradBatch`](crate::params::GradBatch)es that are bit-identical to N
+//! separate batch-size-1 tapes, because every per-episode reduction streams
+//! exactly the rows (in the row order) the unbatched path would.
 
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
@@ -20,6 +34,11 @@ pub const NEG_INF: f32 = -1.0e9;
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(usize);
+
+/// Handle to a segment table registered with [`Tape::segments`]: the row
+/// ranges that split a batched (row-stacked) activation into its episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegId(usize);
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -66,6 +85,15 @@ enum Op {
     Square(Var),
     /// Row-major reshape (same element count).
     Reshape(Var),
+    /// Rows `[start, start+len)` — an episode's view of a batched matrix.
+    SliceRows(Var, usize),
+    /// `a × b` where `a` row-stacks episodes (per [`SegId`]) and `b` is a
+    /// shared parameter leaf: `db` splits into per-episode sinks.
+    MatmulSeg(Var, Var, SegId),
+    /// Segmented [`Op::AddBroadcast`]: `db` splits into per-episode sinks.
+    AddBroadcastSeg(Var, Var, SegId),
+    /// Segmented [`Op::MulBroadcast`]: `db` splits into per-episode sinks.
+    MulBroadcastSeg(Var, Var, SegId),
 }
 
 struct Node {
@@ -74,6 +102,12 @@ struct Node {
     op: Op,
     /// Whether any ancestor is a parameter (gradient needs propagating).
     needs_grad: bool,
+    /// Which episode of a batched tape this node belongs to (scope at
+    /// record time). Only consulted for parameter leaves at scatter time.
+    episode: u32,
+    /// Per-episode gradient sinks, filled by the `*_seg` backward ops when
+    /// this node is a shared parameter leaf of a batched section.
+    seg_grad: Option<Vec<Option<Matrix>>>,
 }
 
 /// A reverse-mode autodiff tape.
@@ -87,6 +121,10 @@ pub struct Tape {
     nodes: Vec<Node>,
     /// Recycled matrix buffers (capacity retained across episodes).
     pool: Vec<Vec<f32>>,
+    /// Registered segment tables (row offsets per batched section).
+    segs: Vec<Vec<usize>>,
+    /// Episode scope applied to nodes recorded from now on.
+    scope: u32,
 }
 
 impl Tape {
@@ -106,7 +144,50 @@ impl Tape {
             if let Some(g) = node.grad {
                 self.pool.push(g.into_vec());
             }
+            if let Some(sinks) = node.seg_grad {
+                for g in sinks.into_iter().flatten() {
+                    self.pool.push(g.into_vec());
+                }
+            }
         }
+        self.segs.clear();
+        self.scope = 0;
+    }
+
+    /// Registers a segment table: `offsets` are the row boundaries of the
+    /// episodes stacked in a batched matrix (`offsets[e]..offsets[e+1]` is
+    /// episode `e`; `offsets.len() - 1` episodes total). Episode index `e`
+    /// is also the [`GradBatch`](crate::params::GradBatch) slot
+    /// [`Tape::scatter_grads_into_batches`] routes segment `e`'s parameter
+    /// gradients to.
+    ///
+    /// # Panics
+    /// Panics if `offsets` has fewer than two entries or is not
+    /// non-decreasing.
+    pub fn segments(&mut self, offsets: Vec<usize>) -> SegId {
+        assert!(offsets.len() >= 2, "segment table needs at least one segment");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "segment offsets must be sorted");
+        self.segs.push(offsets);
+        SegId(self.segs.len() - 1)
+    }
+
+    /// The row-offset table registered under `seg`.
+    pub fn segment_offsets(&self, seg: SegId) -> &[usize] {
+        &self.segs[seg.0]
+    }
+
+    /// Sets the episode scope: nodes recorded after this call are tagged as
+    /// belonging to episode `episode` of the batched tape. Parameter leaves
+    /// created under a scope scatter their gradient into that episode's
+    /// [`GradBatch`](crate::params::GradBatch). Reset to 0 by
+    /// [`Tape::clear`].
+    pub fn set_scope(&mut self, episode: u32) {
+        self.scope = episode;
+    }
+
+    /// The current episode scope.
+    pub fn scope(&self) -> u32 {
+        self.scope
     }
 
     /// A zero-filled `rows × cols` matrix drawn from the recycle pool.
@@ -153,7 +234,8 @@ impl Tape {
     }
 
     fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
-        self.nodes.push(Node { value, grad: None, op, needs_grad });
+        let episode = self.scope;
+        self.nodes.push(Node { value, grad: None, op, needs_grad, episode, seg_grad: None });
         Var(self.nodes.len() - 1)
     }
 
@@ -232,6 +314,72 @@ impl Tape {
         }
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::MulBroadcast(a, b), ng)
+    }
+
+    /// Asserts the invariants shared by the `*_seg` ops: `b` must be a leaf
+    /// (its gradient terminates in per-episode sinks rather than
+    /// propagating further) and the segment table must cover `a`'s rows.
+    fn check_seg(&self, a: Var, b: Var, seg: SegId) {
+        assert!(
+            matches!(self.nodes[b.0].op, Op::Leaf(_)),
+            "segmented ops require the shared operand to be a leaf"
+        );
+        let offsets = &self.segs[seg.0];
+        assert!(
+            *offsets.last().unwrap_or(&0) <= self.value(a).rows(),
+            "segment table exceeds the batched operand's rows"
+        );
+    }
+
+    /// `a × b` where `a` row-stacks episodes per `seg` and `b` is a shared
+    /// parameter leaf. Forward and `da` are identical to [`Tape::matmul`]
+    /// (both are row-wise in `a`); `db` accumulates each episode's row range
+    /// separately into per-episode sinks so one backward over a batch yields
+    /// the same per-episode gradients as N unbatched tapes, bit for bit.
+    pub fn matmul_seg(&mut self, a: Var, b: Var, seg: SegId) -> Var {
+        self.check_seg(a, b, seg);
+        let rows = self.value(a).rows();
+        let cols = self.value(b).cols();
+        let mut v = Self::pooled_zeros(&mut self.pool, rows, cols);
+        self.nodes[a.0].value.matmul_into(&self.nodes[b.0].value, &mut v);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::MatmulSeg(a, b, seg), ng)
+    }
+
+    /// Segmented [`Tape::add_broadcast`]: `b`'s gradient (a column sum) is
+    /// taken per episode row range into per-episode sinks.
+    pub fn add_broadcast_seg(&mut self, a: Var, b: Var, seg: SegId) -> Var {
+        self.check_seg(a, b, seg);
+        let (am, bm) = (self.value(a), self.value(b));
+        assert_eq!(bm.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
+        let mut v = am.clone();
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                let x = v.get(r, c) + bm.get(0, c);
+                v.set(r, c, x);
+            }
+        }
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::AddBroadcastSeg(a, b, seg), ng)
+    }
+
+    /// Segmented [`Tape::mul_broadcast`]: `b`'s gradient is taken per
+    /// episode row range into per-episode sinks.
+    pub fn mul_broadcast_seg(&mut self, a: Var, b: Var, seg: SegId) -> Var {
+        self.check_seg(a, b, seg);
+        let (am, bm) = (self.value(a), self.value(b));
+        assert_eq!(bm.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
+        let mut v = am.clone();
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                let x = v.get(r, c) * bm.get(0, c);
+                v.set(r, c, x);
+            }
+        }
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::MulBroadcastSeg(a, b, seg), ng)
     }
 
     /// `c · a`.
@@ -377,6 +525,21 @@ impl Tape {
         self.push(v, Op::SliceCols(a, start), ng)
     }
 
+    /// Rows `[start, start+len)` of `a` — an episode's contiguous view of a
+    /// batched (row-stacked) matrix. Backward adds the view's gradient back
+    /// into the matching rows, element-wise and in row order.
+    pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
+        assert!(start + len <= self.value(a).rows(), "slice_rows out of bounds");
+        let cols = self.value(a).cols();
+        let mut v = Self::pooled_zeros(&mut self.pool, len, cols);
+        let m = &self.nodes[a.0].value;
+        for r in 0..len {
+            v.row_slice_mut(r).copy_from_slice(m.row_slice(start + r));
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::SliceRows(a, start), ng)
+    }
+
     /// Gathers rows of `a` by `indices` (duplicates allowed); `[k, d]`.
     pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
         let m = self.value(a);
@@ -452,6 +615,19 @@ impl Tape {
             let op = self.nodes[i].op.clone();
             self.propagate(&op, i, &grad);
             self.nodes[i].grad = Some(grad);
+        }
+    }
+
+    /// Takes leaf `v`'s per-episode sink vector, creating an empty one of
+    /// `n` slots on first touch. Segment counts must agree across every
+    /// `*_seg` op that shares the leaf.
+    fn take_seg_sinks(&mut self, v: Var, n: usize) -> Vec<Option<Matrix>> {
+        match self.nodes[v.0].seg_grad.take() {
+            Some(sinks) => {
+                assert_eq!(sinks.len(), n, "segment count mismatch across ops sharing a leaf");
+                sinks
+            }
+            None => (0..n).map(|_| None).collect(),
         }
     }
 
@@ -672,15 +848,108 @@ impl Tape {
                 g.set(*r, *c, grad.item());
                 self.accumulate(*a, g);
             }
+            Op::SliceRows(a, start) => {
+                if self.needs(*a) {
+                    let mut g = self.take_grad_or_zeros(*a);
+                    for r in 0..grad.rows() {
+                        let dst = g.row_slice_mut(start + r);
+                        for (d, &s) in dst.iter_mut().zip(grad.row_slice(r)) {
+                            *d += s;
+                        }
+                    }
+                    self.nodes[a.0].grad = Some(g);
+                }
+            }
+            Op::MatmulSeg(a, b, seg) => {
+                // da is row-wise, exactly as for Op::Matmul. db streams each
+                // episode's row range — in row order, the order the
+                // batch-size-1 path uses — into that episode's sink.
+                if self.needs(*a) {
+                    let mut g = self.take_grad_or_zeros(*a);
+                    grad.matmul_abt_acc(&self.nodes[b.0].value, &mut g);
+                    self.nodes[a.0].grad = Some(g);
+                }
+                if self.needs(*b) {
+                    let offsets = self.segs[seg.0].clone();
+                    let n = offsets.len() - 1;
+                    let (br, bc) = self.nodes[b.0].value.shape();
+                    let mut sinks = self.take_seg_sinks(*b, n);
+                    for (e, sink) in sinks.iter_mut().enumerate() {
+                        let mut g = match sink.take() {
+                            Some(g) => g,
+                            None => Self::pooled_zeros(&mut self.pool, br, bc),
+                        };
+                        self.nodes[a.0].value.matmul_atb_acc_rows(
+                            offsets[e],
+                            offsets[e + 1],
+                            grad,
+                            &mut g,
+                        );
+                        *sink = Some(g);
+                    }
+                    self.nodes[b.0].seg_grad = Some(sinks);
+                }
+            }
+            Op::AddBroadcastSeg(a, b, seg) => {
+                self.accumulate(*a, grad.clone());
+                if self.needs(*b) {
+                    let offsets = self.segs[seg.0].clone();
+                    let n = offsets.len() - 1;
+                    let mut sinks = self.take_seg_sinks(*b, n);
+                    for (e, sink) in sinks.iter_mut().enumerate() {
+                        let part = grad.sum_rows_range(offsets[e], offsets[e + 1]);
+                        match sink {
+                            Some(g) => g.add_assign(&part),
+                            s @ None => *s = Some(part),
+                        }
+                    }
+                    self.nodes[b.0].seg_grad = Some(sinks);
+                }
+            }
+            Op::MulBroadcastSeg(a, b, seg) => {
+                if self.needs(*a) {
+                    let bm = self.value(*b).clone();
+                    let mut g = grad.clone();
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            let x = g.get(r, c) * bm.get(0, c);
+                            g.set(r, c, x);
+                        }
+                    }
+                    self.accumulate(*a, g);
+                }
+                if self.needs(*b) {
+                    let prod = grad.zip(self.value(*a), |g, x| g * x);
+                    let offsets = self.segs[seg.0].clone();
+                    let n = offsets.len() - 1;
+                    let mut sinks = self.take_seg_sinks(*b, n);
+                    for (e, sink) in sinks.iter_mut().enumerate() {
+                        let part = prod.sum_rows_range(offsets[e], offsets[e + 1]);
+                        match sink {
+                            Some(g) => g.add_assign(&part),
+                            s @ None => *s = Some(part),
+                        }
+                    }
+                    self.nodes[b.0].seg_grad = Some(sinks);
+                }
+            }
         }
     }
 
     /// After [`Tape::backward`], adds each parameter node's gradient into the
-    /// store's accumulators.
+    /// store's accumulators. Per-episode sinks (if any) are folded in
+    /// episode order before the node's own gradient.
     pub fn scatter_grads(&self, store: &mut ParamStore) {
         for node in &self.nodes {
-            if let (Op::Leaf(Some(id)), Some(grad)) = (&node.op, &node.grad) {
-                store.accumulate_grad(*id, grad);
+            if let Op::Leaf(Some(id)) = &node.op {
+                if let Some(sinks) = &node.seg_grad {
+                    for g in sinks.iter().flatten() {
+                        store.accumulate_grad(*id, g);
+                    }
+                }
+                if let Some(grad) = &node.grad {
+                    store.accumulate_grad(*id, grad);
+                }
             }
         }
     }
@@ -691,8 +960,43 @@ impl Tape {
     /// store in deterministic episode order.
     pub fn scatter_grads_into(&self, batch: &mut crate::params::GradBatch) {
         for node in &self.nodes {
-            if let (Op::Leaf(Some(id)), Some(grad)) = (&node.op, &node.grad) {
-                batch.accumulate(*id, grad);
+            if let Op::Leaf(Some(id)) = &node.op {
+                if let Some(sinks) = &node.seg_grad {
+                    for g in sinks.iter().flatten() {
+                        batch.accumulate(*id, g);
+                    }
+                }
+                if let Some(grad) = &node.grad {
+                    batch.accumulate(*id, grad);
+                }
+            }
+        }
+    }
+
+    /// Splits a batched tape's gradients back into one
+    /// [`GradBatch`](crate::params::GradBatch) per episode: segment sinks go
+    /// to their segment's slot, ordinary leaf gradients to the slot of the
+    /// episode scope the leaf was recorded under. Each resulting batch is
+    /// bit-identical to what a separate batch-size-1 tape would have
+    /// produced for that episode, so callers can merge them in episode
+    /// order exactly as before batching.
+    ///
+    /// # Panics
+    /// Panics if a segment table or episode scope addresses a slot outside
+    /// `batches`.
+    pub fn scatter_grads_into_batches(&self, batches: &mut [crate::params::GradBatch]) {
+        for node in &self.nodes {
+            if let Op::Leaf(Some(id)) = &node.op {
+                if let Some(sinks) = &node.seg_grad {
+                    for (e, g) in sinks.iter().enumerate() {
+                        if let Some(g) = g {
+                            batches[e].accumulate(*id, g);
+                        }
+                    }
+                }
+                if let Some(grad) = &node.grad {
+                    batches[node.episode as usize].accumulate(*id, grad);
+                }
             }
         }
     }
@@ -917,5 +1221,156 @@ mod tests {
         let mask = Matrix::from_vec(1, 2, vec![NEG_INF, NEG_INF]);
         let p = t.softmax_rows(x, Some(&mask));
         assert_eq!(t.value(p).data(), &[0.0, 0.0]);
+    }
+
+    fn grad_bits(b: &crate::params::GradBatch, store: &ParamStore) -> Vec<u32> {
+        let mut fresh = store.clone();
+        fresh.zero_grads();
+        b.merge_into(&mut fresh);
+        let ids: Vec<ParamId> = fresh.iter().map(|(id, _, _)| id).collect();
+        let mut bits = Vec::new();
+        for id in ids {
+            bits.extend(fresh.grad(id).data().iter().map(|x| x.to_bits()));
+        }
+        bits
+    }
+
+    /// The core batching contract: one tape holding N episodes through
+    /// segmented ops must scatter per-episode gradients bit-identical to N
+    /// separate batch-size-1 tapes.
+    #[test]
+    fn segmented_batch_grads_match_single_episode_tapes_bitwise() {
+        let mut store = ParamStore::new();
+        let w_id =
+            store.alloc("w", Matrix::from_vec(3, 2, (0..6).map(|i| (i as f32).sin()).collect()));
+        let b_id = store.alloc("b", Matrix::from_vec(1, 2, vec![0.25, -0.5]));
+        let g_id = store.alloc("g", Matrix::from_vec(1, 2, vec![1.5, 0.75]));
+        // Three episodes with different row counts (2, 1, 4).
+        let rows = [2usize, 1, 4];
+        let episode_input = |e: usize, n: usize| {
+            Matrix::from_vec(n, 3, (0..n * 3).map(|i| ((i + 7 * e) as f32 * 0.31).cos()).collect())
+        };
+
+        // Reference: each episode on its own tape with segmented ops over a
+        // single full-range segment (the batch-size-1 path).
+        let mut expected = Vec::new();
+        for (e, &n) in rows.iter().enumerate() {
+            let mut t = Tape::new();
+            let seg = t.segments(vec![0, n]);
+            let x = t.constant(episode_input(e, n));
+            let w = t.param(&store, w_id);
+            let b = t.param(&store, b_id);
+            let g = t.param(&store, g_id);
+            let y = t.matmul_seg(x, w, seg);
+            let y = t.add_broadcast_seg(y, b, seg);
+            let y = t.mul_broadcast_seg(y, g, seg);
+            let y = t.tanh(y);
+            let loss = t.sum_all(y);
+            t.backward(loss);
+            let mut batch = crate::params::GradBatch::new();
+            t.scatter_grads_into(&mut batch);
+            expected.push(grad_bits(&batch, &store));
+        }
+
+        // Batched: all episodes row-stacked on one tape, one backward.
+        let mut t = Tape::new();
+        let total: usize = rows.iter().sum();
+        let mut offsets = vec![0];
+        for &n in &rows {
+            offsets.push(offsets.last().copied().unwrap_or(0) + n);
+        }
+        let seg = t.segments(offsets.clone());
+        let stacked = {
+            let mut m = Matrix::zeros(total, 3);
+            for (e, &n) in rows.iter().enumerate() {
+                let src = episode_input(e, n);
+                for r in 0..n {
+                    m.row_slice_mut(offsets[e] + r).copy_from_slice(src.row_slice(r));
+                }
+            }
+            m
+        };
+        let x = t.constant(stacked);
+        let w = t.param(&store, w_id);
+        let b = t.param(&store, b_id);
+        let g = t.param(&store, g_id);
+        let y = t.matmul_seg(x, w, seg);
+        let y = t.add_broadcast_seg(y, b, seg);
+        let y = t.mul_broadcast_seg(y, g, seg);
+        let y = t.tanh(y);
+        // Per-episode scalar losses, summed: each episode's subgraph gets a
+        // unit seed, exactly as its own backward would.
+        let mut losses = Vec::new();
+        for e in 0..rows.len() {
+            let view = t.slice_rows(y, offsets[e], rows[e]);
+            losses.push(t.sum_all(view));
+        }
+        let cat = t.concat_cols(&losses);
+        let loss = t.sum_all(cat);
+        t.backward(loss);
+        let mut batches = vec![crate::params::GradBatch::new(); rows.len()];
+        t.scatter_grads_into_batches(&mut batches);
+
+        for (e, batch) in batches.iter().enumerate() {
+            assert_eq!(
+                grad_bits(batch, &store),
+                expected[e],
+                "episode {e} grads must be bit-equal"
+            );
+        }
+    }
+
+    /// Decode-phase leaves recorded under an episode scope land in that
+    /// episode's batch.
+    #[test]
+    fn scoped_leaves_scatter_to_their_episode() {
+        let mut store = ParamStore::new();
+        let w = store.alloc("w", Matrix::scalar(2.0));
+        let mut t = Tape::new();
+        let mut losses = Vec::new();
+        for e in 0..2u32 {
+            t.set_scope(e);
+            let p = t.param(&store, w);
+            let c = t.constant(Matrix::scalar(e as f32 + 1.0));
+            let y = t.mul(p, c);
+            losses.push(t.sum_all(y));
+        }
+        let cat = t.concat_cols(&losses);
+        let loss = t.sum_all(cat);
+        t.backward(loss);
+        let mut batches = vec![crate::params::GradBatch::new(); 2];
+        t.scatter_grads_into_batches(&mut batches);
+        let g = |b: &crate::params::GradBatch| {
+            let mut fresh = store.clone();
+            fresh.zero_grads();
+            b.merge_into(&mut fresh);
+            fresh.grad(w).item()
+        };
+        assert_eq!(g(&batches[0]), 1.0);
+        assert_eq!(g(&batches[1]), 2.0);
+    }
+
+    #[test]
+    fn slice_rows_backward_routes_to_the_right_rows() {
+        let mut store = ParamStore::new();
+        let w = store.alloc("w", Matrix::from_vec(3, 2, vec![1.0; 6]));
+        let mut t = Tape::new();
+        let p = t.param(&store, w);
+        let mid = t.slice_rows(p, 1, 1);
+        let s = t.sum_all(mid);
+        t.backward(s);
+        t.scatter_grads(&mut store);
+        assert_eq!(store.grad(w).data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cleared_tape_forgets_scope_and_segments() {
+        let mut t = Tape::new();
+        t.set_scope(5);
+        let _ = t.segments(vec![0, 3]);
+        t.clear();
+        assert_eq!(t.scope(), 0);
+        let s = t.segments(vec![0, 1]);
+        assert_eq!(t.segment_offsets(s), &[0, 1]);
     }
 }

@@ -256,7 +256,9 @@ fn encoder_stack_end_to_end() {
 
 #[test]
 fn mlp_end_to_end() {
-    let mut rng = SmallRng::seed_from_u64(11);
+    // Seed chosen so no hidden relu preactivation lands within the finite-
+    // difference step of zero (a kink crossing breaks the numeric gradient).
+    let mut rng = SmallRng::seed_from_u64(16);
     let mut store = ParamStore::new();
     let mlp = Mlp::new(&mut store, "mlp", &[5, 7, 1], &mut rng);
     let x = rand_matrix(&mut rng, 2, 5);
@@ -287,6 +289,40 @@ fn conv3x3_end_to_end() {
             t.sum_all(sq)
         },
         8e-2,
+    );
+}
+
+#[test]
+fn segmented_batch_ops_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(14);
+    let mut store = ParamStore::new();
+    let w = store.alloc("w", rand_matrix(&mut rng, 3, 4));
+    let bias = store.alloc("bias", rand_matrix(&mut rng, 1, 4));
+    let gain = store.alloc("gain", rand_matrix(&mut rng, 1, 4));
+    // Two episodes row-stacked: rows 0..2 and 2..5 of one batched input.
+    let x = rand_matrix(&mut rng, 5, 3);
+    gradcheck(
+        &mut store,
+        &|t, s| {
+            let seg = t.segments(vec![0, 2, 5]);
+            let xv = t.constant(x.clone());
+            let wv = t.param(s, w);
+            let bv = t.param(s, bias);
+            let gv = t.param(s, gain);
+            let y = t.matmul_seg(xv, wv, seg);
+            let y = t.add_broadcast_seg(y, bv, seg);
+            let y = t.mul_broadcast_seg(y, gv, seg);
+            // Per-episode views with different downstream math, so each
+            // episode's sink carries a distinct gradient.
+            let e0 = t.slice_rows(y, 0, 2);
+            let e1 = t.slice_rows(y, 2, 3);
+            let s0 = t.sum_all(e0);
+            let sq1 = t.square(e1);
+            let s1 = t.sum_all(sq1);
+            let both = t.concat_cols(&[s0, s1]);
+            t.sum_all(both)
+        },
+        5e-2,
     );
 }
 

@@ -110,6 +110,80 @@ proptest! {
         }
     }
 
+    /// The SIMD flat kernel is **bit-identical** to the blocked/packed
+    /// dispatcher over random shapes: both compute every output element as
+    /// one in-order 8-accumulator dot over the packed column, so blocking
+    /// only changes *which* element is computed next, never its value.
+    /// Ranges start at 1 to draw the 1×N / N×1 edges, and upper bounds are
+    /// off the 8-lane grid so inner dims exercise every tail length.
+    #[test]
+    fn simd_matmul_is_bit_identical_to_blocked(
+        n in 1usize..48, k in 1usize..81, m in 1usize..72, seed in 0u64..1 << 32,
+    ) {
+        let a = rand_m(n, k, seed);
+        let b = rand_m(k, m, seed ^ 0x5A5A);
+        let mut simd = Matrix::zeros(n, m);
+        a.matmul_simd_flat_into(&b, &mut simd);
+        let mut blocked = Matrix::zeros(n, m);
+        a.matmul_into(&b, &mut blocked);
+        for (x, y) in simd.data().iter().zip(blocked.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{}x{}x{}: {} vs {}", n, k, m, x, y);
+        }
+    }
+
+    /// Bit-parity pinned on the lane-boundary shapes the random draw can
+    /// miss: row/column vectors, inner dims at 8k±1, and a degenerate 1×1.
+    #[test]
+    fn simd_matmul_bit_parity_on_lane_edges(seed in 0u64..1 << 32) {
+        let shapes: &[(usize, usize, usize)] = &[
+            (1, 1, 1),
+            (1, 97, 16),
+            (96, 9, 1),
+            (1, 8, 1),
+            (1, 7, 33),
+            (40, 15, 1),
+            (3, 17, 5),
+            (2, 65, 2),
+        ];
+        for &(n, k, m) in shapes {
+            let a = rand_m(n, k, seed);
+            let b = rand_m(k, m, seed ^ 0xF00D);
+            let mut simd = Matrix::zeros(n, m);
+            a.matmul_simd_flat_into(&b, &mut simd);
+            let mut blocked = Matrix::zeros(n, m);
+            a.matmul_into(&b, &mut blocked);
+            let simd_bits: Vec<u32> = simd.data().iter().map(|v| v.to_bits()).collect();
+            let blocked_bits: Vec<u32> = blocked.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&simd_bits, &blocked_bits, "shape {}x{}x{}", n, k, m);
+        }
+    }
+
+    /// The row-ranged fused gradient kernel (`out += A[r0..r1]ᵀ × B[r0..r1]`,
+    /// the segmented-backward workhorse) matches slicing the rows out and
+    /// running the full fused kernel — bitwise, since both walk the same
+    /// rows in the same order.
+    #[test]
+    fn ranged_atb_matches_sliced_full_kernel(
+        n in 2usize..20, k in 1usize..24, m in 1usize..24, seed in 0u64..1 << 32,
+        lo in 0usize..10, width in 1usize..10,
+    ) {
+        let r0 = lo.min(n - 1);
+        let r1 = (r0 + width).min(n);
+        let a = rand_m(n, k, seed);
+        let c = rand_m(n, m, seed ^ 0x77);
+        let mut ranged = Matrix::full(k, m, 0.125);
+        a.matmul_atb_acc_rows(r0, r1, &c, &mut ranged);
+
+        let rows = r1 - r0;
+        let a_slice = Matrix::from_vec(rows, k, a.data()[r0 * k..r1 * k].to_vec());
+        let c_slice = Matrix::from_vec(rows, m, c.data()[r0 * m..r1 * m].to_vec());
+        let mut full = Matrix::full(k, m, 0.125);
+        a_slice.matmul_atb_acc(&c_slice, &mut full);
+        for (x, y) in ranged.data().iter().zip(full.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "range {}..{} of {}", r0, r1, n);
+        }
+    }
+
     /// The fused gradient kernels `out += A×Bᵀ` and `out += Aᵀ×B` agree
     /// with explicit transpose-then-multiply over random shapes, and
     /// genuinely accumulate on top of the existing buffer.

@@ -20,6 +20,23 @@ pub struct LoadedModel {
     pub critic: Critic,
 }
 
+impl LoadedModel {
+    /// Greedy-decodes a batch of instances sharing **one** batched encoder
+    /// pass (DESIGN.md §13) — the micro-batching primitive for serving:
+    /// queued requests against the same snapshot can be answered with a
+    /// single model forward instead of one per request. Returns one
+    /// solution per instance (`None` when the instance admits no episode).
+    /// Batched forwards are bit-identical to solo forwards, so each row
+    /// equals what a single-instance solve would return.
+    pub fn forward_batch(
+        &self,
+        instances: &[smore_model::Instance],
+        solver: &dyn smore_tsptw::TsptwSolver,
+    ) -> Vec<Option<smore_model::Solution>> {
+        smore::greedy_solve_batch(&self.net, instances, solver)
+    }
+}
+
 /// Why a checkpoint could not be loaded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegistryError {
@@ -228,6 +245,44 @@ mod tests {
         assert!(matches!(reg.load(&ckpt), Err(RegistryError::BadChecksum(_))));
         assert_eq!(reg.version(), 1, "previous model must stay live");
         assert!(reg.snapshot().is_some());
+    }
+
+    #[test]
+    fn forward_batch_rows_match_independent_single_forwards() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+        use smore_tsptw::InsertionSolver;
+
+        let mut model = tiny_model();
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 31);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let template = g.gen_default(&mut rng);
+        let grid = &template.lattice.grid;
+        let mut cfg = TasnetConfig::for_grid(grid.rows, grid.cols);
+        cfg.d_model = 8;
+        cfg.heads = 2;
+        cfg.enc_layers = 1;
+        model.net = Tasnet::new(cfg, 7);
+
+        let mut instances = vec![template];
+        for _ in 0..4 {
+            instances.push(g.gen_default(&mut rng));
+        }
+        let solver = InsertionSolver::new();
+        let batched = model.forward_batch(&instances, &solver);
+        assert_eq!(batched.len(), instances.len());
+        for (inst, row) in instances.iter().zip(&batched) {
+            let solo = model.forward_batch(std::slice::from_ref(inst), &solver);
+            assert_eq!(
+                row, &solo[0],
+                "batched row must be byte-for-byte the single-instance solve"
+            );
+        }
+        assert!(
+            batched.iter().any(|r| r.is_some()),
+            "at least one instance should admit an episode"
+        );
     }
 
     #[test]

@@ -247,22 +247,22 @@ pub(crate) fn start_supervised_pool(
     std::thread::spawn(move || {
         loop {
             let mut drained = 0;
-            for i in 0..n {
-                let finished = handles[i].as_ref().is_some_and(|h| h.is_finished());
+            for (i, slot) in handles.iter_mut().enumerate() {
+                let finished = slot.as_ref().is_some_and(|h| h.is_finished());
                 if finished {
                     // smore-lint: allow(E1): is_some_and on the line above
                     // guarantees the slot is occupied.
-                    let handle = handles[i].take().expect("checked above");
+                    let handle = slot.take().expect("checked above");
                     // A join error means the thread panicked outside the
                     // per-request guard (a worker-loop bug): still respawn
                     // — the pool must not shrink while serving.
                     let reason = handle.join().unwrap_or(ExitReason::Panicked);
                     if matches!(reason, ExitReason::Panicked) {
                         metrics.record_worker_respawn();
-                        handles[i] = Some(ctx.spawn(i));
+                        *slot = Some(ctx.spawn(i));
                     }
                 }
-                if handles[i].is_none() {
+                if slot.is_none() {
                     drained += 1;
                 }
             }

@@ -64,6 +64,16 @@ pub struct GpnPolicy {
     wk: Linear,
 }
 
+/// Encoder state of one problem on a (possibly shared) tape: the node
+/// embeddings, their pointer keys, and the graph mean — everything the
+/// decode loop reads. Produced by [`GpnPolicy::encode_batch`].
+#[derive(Clone, Copy)]
+pub struct GpnEncoding {
+    enc: Var,
+    keys: Var,
+    graph_mean: Var,
+}
+
 /// Result of one decode pass.
 pub struct Decode {
     /// Visiting order (may be partial if decoding got stuck).
@@ -147,13 +157,68 @@ impl GpnPolicy {
         m
     }
 
+    /// Encodes a batch of problems in one segmented pass (DESIGN.md §13):
+    /// all problems' node features are row-stacked, so the embedding, the
+    /// Transformer encoder, and the pointer key projection each run once
+    /// per layer for the whole batch. Per-problem gradients split back out
+    /// through the segment sinks, bit-identical to encoding each problem
+    /// alone. Every problem must have at least one node.
+    pub fn encode_batch(&self, tape: &mut Tape, problems: &[&TsptwProblem]) -> Vec<GpnEncoding> {
+        assert!(!problems.is_empty(), "encode_batch needs at least one problem");
+        let mut offsets = vec![0usize];
+        for p in problems {
+            assert!(!p.nodes.is_empty(), "encode_batch requires non-empty problems");
+            offsets.push(offsets[offsets.len() - 1] + p.nodes.len());
+        }
+        let total = offsets[offsets.len() - 1];
+        let mut feats_all = Matrix::zeros(total, FEATURES);
+        for (e, p) in problems.iter().enumerate() {
+            let f = Self::features(p);
+            for r in 0..p.nodes.len() {
+                feats_all.row_slice_mut(offsets[e] + r).copy_from_slice(f.row_slice(r));
+            }
+        }
+        let seg = tape.segments(offsets.clone());
+        let fv = tape.constant(feats_all);
+        let embedded = self.embed.forward_seg(tape, &self.store, fv, seg);
+        let enc_all = self.encoder.forward_seg(tape, &self.store, embedded, seg);
+        let keys_all = self.wk.forward_seg(tape, &self.store, enc_all, seg);
+        problems
+            .iter()
+            .enumerate()
+            .map(|(e, p)| {
+                let enc = tape.slice_rows(enc_all, offsets[e], p.nodes.len());
+                let keys = tape.slice_rows(keys_all, offsets[e], p.nodes.len());
+                let graph_mean = tape.mean_rows(enc);
+                GpnEncoding { enc, keys, graph_mean }
+            })
+            .collect()
+    }
+
     /// Runs one decode over `p`, recording decisions on `tape`.
     ///
     /// `rng = None` decodes greedily (inference); `Some` samples (training).
-    pub fn decode(
+    /// Delegates to [`GpnPolicy::encode_batch`] with a single-problem batch
+    /// and then [`GpnPolicy::decode_with`], so solo and batched decodes are
+    /// one code path.
+    pub fn decode(&self, tape: &mut Tape, p: &TsptwProblem, rng: Option<&mut SmallRng>) -> Decode {
+        if p.nodes.is_empty() {
+            return Decode { order: vec![], logps: vec![], complete: true };
+        }
+        let mut encs = self.encode_batch(tape, &[p]);
+        // smore-lint: allow(E1): encode_batch returns exactly one encoding
+        // per input problem.
+        let enc = encs.pop().expect("encode_batch yields one encoding per problem");
+        self.decode_with(tape, p, &enc, rng)
+    }
+
+    /// Decodes `p` from a precomputed [`GpnEncoding`] (typically one slot
+    /// of an [`GpnPolicy::encode_batch`] call on a shared tape).
+    pub fn decode_with(
         &self,
         tape: &mut Tape,
         p: &TsptwProblem,
+        encoding: &GpnEncoding,
         mut rng: Option<&mut SmallRng>,
     ) -> Decode {
         let n = p.nodes.len();
@@ -161,11 +226,7 @@ impl GpnPolicy {
             return Decode { order: vec![], logps: vec![], complete: true };
         }
         let horizon = (p.deadline - p.depart).max(1.0);
-        let feats = tape.constant(Self::features(p));
-        let embedded = self.embed.forward(tape, &self.store, feats);
-        let enc = self.encoder.forward(tape, &self.store, embedded);
-        let keys = self.wk.forward(tape, &self.store, enc);
-        let graph_mean = tape.mean_rows(enc);
+        let GpnEncoding { enc, keys, graph_mean } = *encoding;
 
         let mut visited = vec![false; n];
         let mut order = Vec::with_capacity(n);
@@ -266,9 +327,14 @@ pub struct GpnTrainConfig {
     pub length_penalty: f64,
     /// Worker threads for batch rollout/backward (`0` = all available
     /// cores). Trained parameters are bit-identical for every value: each
-    /// episode decodes on its own tape with a schedule-derived RNG seed,
-    /// and gradients merge in episode order.
+    /// episode draws a schedule-derived RNG seed, and gradients merge in
+    /// episode order.
     pub threads: usize,
+    /// Episodes encoded per shared tape (DESIGN.md §13): the batched
+    /// encoder runs once for this many problems, and one backward pass
+    /// splits their gradients back out. Trained parameters are
+    /// bit-identical for every value (`0` is treated as 1).
+    pub micro_batch: usize,
 }
 
 impl Default for GpnTrainConfig {
@@ -280,6 +346,7 @@ impl Default for GpnTrainConfig {
             lr: 1e-3,
             length_penalty: 1.0,
             threads: 0,
+            micro_batch: 8,
         }
     }
 }
@@ -311,9 +378,11 @@ fn reward(p: &TsptwProblem, decode: &Decode, level: RewardLevel, penalty: f64) -
     }
 }
 
-/// One sampled decode: its tape, decision log-probs, and realized reward.
+/// One sampled decode on a shared group tape: its encode slot (`None` for
+/// zero-node problems, which are never encoded), decision log-probs, and
+/// realized reward.
 struct Rollout {
-    tape: Tape,
+    slot: Option<usize>,
     logps: Vec<Var>,
     reward: f64,
 }
@@ -324,12 +393,14 @@ struct Rollout {
 /// weights and maximizes the upper reward. REINFORCE with a batch-mean
 /// baseline.
 ///
-/// Batch episodes fan out over [`GpnTrainConfig::threads`] workers, each
-/// decoding on its own recycled tape with an RNG seeded from the episode's
-/// schedule position; per-episode gradients merge into the store in episode
-/// order, so the result is bit-identical for every thread count. Problems
-/// themselves are drawn sequentially from the training RNG (the generator
-/// is stateful), which also keeps the instance sequence thread-independent.
+/// Batch episodes are packed into groups of [`GpnTrainConfig::micro_batch`]
+/// sharing one recycled tape and one batched encoder pass; groups fan out
+/// over [`GpnTrainConfig::threads`] workers, each episode with an RNG
+/// seeded from its schedule position; per-episode gradients merge into the
+/// store in episode order, so the result is bit-identical for every thread
+/// count and micro-batch size. Problems themselves are drawn sequentially
+/// from the training RNG (the generator is stateful), which also keeps the
+/// instance sequence thread-independent.
 pub fn train_gpn(
     policy: &mut GpnPolicy,
     generator: &mut dyn FnMut(&mut SmallRng) -> TsptwProblem,
@@ -350,48 +421,117 @@ pub fn train_gpn(
             let problems: Vec<TsptwProblem> = (0..cfg.batch).map(|_| generator(&mut rng)).collect();
             let stream = ((stage as u64 + 1) << 48) | iter as u64;
             let policy_ref: &GpnPolicy = policy;
-            let rollouts: Vec<Rollout> = parallel_map(cfg.threads, &problems, |j, p| {
-                let mut ep_rng = SmallRng::seed_from_u64(episode_seed(seed, stream, j as u64));
-                let mut tape = pool.take();
-                let decode = policy_ref.decode(&mut tape, p, Some(&mut ep_rng));
-                let r = reward(p, &decode, level, cfg.length_penalty);
-                Rollout { tape, logps: decode.logps, reward: r }
-            });
+            let micro = cfg.micro_batch.max(1);
+            let groups: Vec<(u64, &[TsptwProblem])> =
+                problems.chunks(micro).enumerate().map(|(g, c)| ((g * micro) as u64, c)).collect();
+            // Phase 1: each group shares one tape and one batched encoder
+            // pass, then decodes each member under its own tape scope.
+            let rollouts: Vec<(Tape, Vec<Rollout>)> =
+                parallel_map(cfg.threads, &groups, |_, (start, members)| {
+                    let mut tape = pool.take();
+                    let encodable: Vec<usize> = members
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| !p.nodes.is_empty())
+                        .map(|(i, _)| i)
+                        .collect();
+                    let encs = if encodable.is_empty() {
+                        Vec::new()
+                    } else {
+                        let ps: Vec<&TsptwProblem> =
+                            encodable.iter().map(|&i| &members[i]).collect();
+                        policy_ref.encode_batch(&mut tape, &ps)
+                    };
+                    let mut slot_of: Vec<Option<usize>> = vec![None; members.len()];
+                    for (s, &i) in encodable.iter().enumerate() {
+                        slot_of[i] = Some(s);
+                    }
+                    let eps: Vec<Rollout> = members
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            let mut ep_rng = SmallRng::seed_from_u64(episode_seed(
+                                seed,
+                                stream,
+                                start + i as u64,
+                            ));
+                            let decode = match slot_of[i] {
+                                Some(s) => {
+                                    tape.set_scope(s as u32);
+                                    policy_ref.decode_with(
+                                        &mut tape,
+                                        p,
+                                        &encs[s],
+                                        Some(&mut ep_rng),
+                                    )
+                                }
+                                None => Decode { order: vec![], logps: vec![], complete: true },
+                            };
+                            let r = reward(p, &decode, level, cfg.length_penalty);
+                            Rollout { slot: slot_of[i], logps: decode.logps, reward: r }
+                        })
+                        .collect();
+                    tape.set_scope(0);
+                    (tape, eps)
+                });
 
-            let baseline = rollouts.iter().map(|r| r.reward).sum::<f64>() / cfg.batch.max(1) as f64;
+            let baseline =
+                rollouts.iter().flat_map(|(_, eps)| eps.iter().map(|r| r.reward)).sum::<f64>()
+                    / cfg.batch.max(1) as f64;
             match level {
                 RewardLevel::Lower => report.final_lower_reward = baseline,
                 RewardLevel::Upper => report.final_upper_reward = baseline,
             }
 
-            // loss = −Σ (R − b)·Σ log π ; gradients flow through log-probs.
+            // Phase 2: loss = −Σ (R − b)·Σ log π per episode, summed per
+            // group into one backward; the segmented tape splits the
+            // gradients back per episode.
             let batch_f = cfg.batch.max(1) as f32;
-            let grads: Vec<Option<GradBatch>> =
-                parallel_map_owned(cfg.threads, rollouts, |_, mut r| {
-                    let adv = (r.reward - baseline) as f32;
-                    // smore-lint: allow(N1): deliberate exact-zero test — it
-                    // only skips the no-op gradient; any nonzero advantage,
-                    // however tiny, must still flow through backward().
-                    if adv == 0.0 || r.logps.is_empty() {
-                        pool.put(r.tape);
-                        return None;
+            let grads: Vec<Vec<Option<GradBatch>>> =
+                parallel_map_owned(cfg.threads, rollouts, |_, (mut tape, eps)| {
+                    let mut out: Vec<Option<GradBatch>> = eps.iter().map(|_| None).collect();
+                    let mut losses = Vec::new();
+                    let mut ready: Vec<(usize, usize)> = Vec::new();
+                    let mut slots = 0usize;
+                    for (i, r) in eps.iter().enumerate() {
+                        if let Some(s) = r.slot {
+                            slots = slots.max(s + 1);
+                        }
+                        let adv = (r.reward - baseline) as f32;
+                        // smore-lint: allow(N1): deliberate exact-zero test —
+                        // it only skips the no-op gradient; any nonzero
+                        // advantage, however tiny, must still flow through
+                        // backward().
+                        if adv == 0.0 || r.logps.is_empty() {
+                            continue;
+                        }
+                        let Some(s) = r.slot else { continue };
+                        let summed = if r.logps.len() == 1 {
+                            r.logps[0]
+                        } else {
+                            let cat = tape.concat_cols(&r.logps);
+                            tape.sum_all(cat)
+                        };
+                        losses.push(tape.scale(summed, -adv / batch_f));
+                        ready.push((i, s));
                     }
-                    let summed = if r.logps.len() == 1 {
-                        r.logps[0]
-                    } else {
-                        let cat = r.tape.concat_cols(&r.logps);
-                        r.tape.sum_all(cat)
-                    };
-                    let loss = r.tape.scale(summed, -adv / batch_f);
-                    r.tape.backward(loss);
-                    let mut batch = GradBatch::new();
-                    r.tape.scatter_grads_into(&mut batch);
-                    pool.put(r.tape);
-                    Some(batch)
+                    if !losses.is_empty() {
+                        let cat = tape.concat_cols(&losses);
+                        let total = tape.sum_all(cat);
+                        tape.backward(total);
+                        let mut batches: Vec<GradBatch> =
+                            (0..slots).map(|_| GradBatch::new()).collect();
+                        tape.scatter_grads_into_batches(&mut batches);
+                        for (i, s) in ready {
+                            out[i] = Some(std::mem::replace(&mut batches[s], GradBatch::new()));
+                        }
+                    }
+                    pool.put(tape);
+                    out
                 });
 
             let mut stepped = false;
-            for g in grads.into_iter().flatten() {
+            for g in grads.into_iter().flatten().flatten() {
                 g.merge_into(&mut policy.store);
                 stepped = true;
             }
@@ -486,6 +626,7 @@ mod tests {
             lr: 2e-3,
             length_penalty: 1.0,
             threads: 2,
+            micro_batch: 4,
         };
         let report = train_gpn(&mut policy, &mut gen, &cfg, 7);
         let after = eval(&policy);
@@ -497,8 +638,8 @@ mod tests {
     }
 
     #[test]
-    fn gpn_training_is_bit_identical_across_thread_counts() {
-        let run = |threads: usize| {
+    fn gpn_training_is_bit_identical_across_thread_counts_and_micro_batches() {
+        let run = |threads: usize, micro_batch: usize| {
             let mut policy =
                 GpnPolicy::new(GpnConfig { d_model: 16, heads: 2, enc_layers: 1, clip: 10.0 }, 13);
             let mut gen = |rng: &mut SmallRng| random_worker_problem(rng, 5, 0.4);
@@ -509,6 +650,7 @@ mod tests {
                 lr: 2e-3,
                 length_penalty: 1.0,
                 threads,
+                micro_batch,
             };
             train_gpn(&mut policy, &mut gen, &cfg, 17);
             policy
@@ -517,9 +659,15 @@ mod tests {
                 .map(|(_, _, m)| m.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>())
                 .collect::<Vec<_>>()
         };
-        let sequential = run(1);
+        let sequential = run(1, 1);
         for threads in [2, 8] {
-            assert_eq!(sequential, run(threads), "diverged at {threads} threads");
+            for micro_batch in [1, 3, 8] {
+                assert_eq!(
+                    sequential,
+                    run(threads, micro_batch),
+                    "diverged at {threads} threads, micro_batch {micro_batch}"
+                );
+            }
         }
     }
 

@@ -40,7 +40,8 @@ mod slack;
 pub use error::SolveError;
 pub use exact::ExactDpSolver;
 pub use gpn::{
-    train_gpn, Decode, GpnConfig, GpnPolicy, GpnSolver, GpnTrainConfig, RewardLevel, TrainReport,
+    train_gpn, Decode, GpnConfig, GpnEncoding, GpnPolicy, GpnSolver, GpnTrainConfig, RewardLevel,
+    TrainReport,
 };
 pub use hybrid::HybridSolver;
 pub use insertion::InsertionSolver;

@@ -109,6 +109,7 @@ pub struct FallbackStage<'a, I: ?Sized, O, E> {
     /// Stage name, surfaced in accounting and degraded-mode reasons.
     pub label: &'a str,
     /// The attempt itself.
+    #[allow(clippy::type_complexity)]
     pub run: Box<dyn FnMut(&I) -> Result<O, E> + 'a>,
 }
 

@@ -41,6 +41,7 @@ pub fn train_smore_quick(
         rl_lr: 2e-4,
         critic_lr: 1e-3,
         threads: 0,
+        micro_batch: 8,
     };
     let (fit, held_out) = train.split_at(train.len().saturating_sub(2).max(1));
     smore::train_tasnet_validated(

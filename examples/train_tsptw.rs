@@ -23,6 +23,7 @@ fn main() {
         lr: 1e-3,
         length_penalty: 1.0,
         threads: 0,
+        micro_batch: 8,
     };
     let mut generator = |r: &mut rand::rngs::SmallRng| random_worker_problem(r, 7, 0.5);
     let report = train_gpn(&mut policy, &mut generator, &cfg, 11);

@@ -33,6 +33,7 @@ fn every_method_produces_valid_solutions() {
         rl_lr: 2e-4,
         critic_lr: 1e-3,
         threads: 2,
+        micro_batch: 2,
     };
     smore::train_tasnet(&mut net, &mut critic, &instances[..2], &InsertionSolver::new(), &cfg, 5);
 
@@ -80,6 +81,7 @@ fn warm_started_smore_at_least_matches_random_baseline() {
         rl_lr: 2e-4,
         critic_lr: 1e-3,
         threads: 2,
+        micro_batch: 2,
     };
     smore::train_tasnet(&mut net, &mut critic, &instances[..3], &InsertionSolver::new(), &cfg, 5);
     let mut smore = SmoreSolver::new(net, critic, InsertionSolver::new());

@@ -23,6 +23,7 @@ fn gpn_backed_framework_produces_valid_solutions() {
         lr: 2e-3,
         length_penalty: 1.0,
         threads: 2,
+        micro_batch: 3,
     };
     let mut generator = |r: &mut SmallRng| random_worker_problem(r, 5, 0.5);
     train_gpn(&mut policy, &mut generator, &cfg, 2);

@@ -38,6 +38,7 @@ fn trained_model_roundtrips_and_reproduces_solutions() {
         rl_lr: 2e-4,
         critic_lr: 1e-3,
         threads: 2,
+        micro_batch: 2,
     };
     smore::train_tasnet(&mut net, &mut critic, &instances[..2], &InsertionSolver::new(), &tc, 3);
 
