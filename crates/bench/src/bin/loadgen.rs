@@ -1,34 +1,56 @@
 //! `smore-loadgen` — load-test and chaos harness for the `smore-serve` API.
 //!
-//! Drives N concurrent client connections (one request per connection, the
-//! server's framing model) with a seeded, deterministic mix of
-//! `/v1/solve` and `/v1/feasible` query-form requests, then writes
+//! Drives N concurrent client connections with a seeded, deterministic mix
+//! of `/v1/solve` and `/v1/feasible` query-form requests, then writes
 //! `BENCH_serve.json` with throughput, latency percentiles, status counts,
-//! retry totals, and the server's own shed/queue/fault-tolerance metrics.
+//! retry totals, and the server's own shed/queue/batch/fault-tolerance
+//! metrics.
 //!
 //! ```sh
 //! cargo run -p smore-bench --bin smore-loadgen --release -- \
 //!     [--connections N] [--requests N] [--server-threads N] [--queue N] \
 //!     [--seed N] [--addr HOST:PORT] [--out PATH] [--retries N] \
+//!     [--keepalive] [--pipeline K] [--mix burst|legacy] [--ramp N] \
+//!     [--max-batch N] [--max-delay-us N] [--reference PATH] \
 //!     [--chaos] [--chaos-fail-rate R] [--chaos-panic-rate R]
 //! ```
 //!
-//! `--chaos` runs a second phase after the clean baseline, interleaving
-//! hostile client behavior into the mix — connection resets mid-request,
-//! slow-loris partial writes, corrupt and oversized payloads,
-//! disconnect-before-read — while `--chaos-fail-rate` /
-//! `--chaos-panic-rate` arm the server-side fault injection hook
-//! (`FaultInjectingSolver` inside every worker session). Both phases are
-//! recorded in the output JSON. After a chaos run the harness asserts the
-//! soak invariants: the server still answers `/healthz`, the worker pool
-//! has not shrunk, and every well-formed request got a framed response.
-//! 503 answers are retried with jittered exponential backoff that honors
-//! the server's `Retry-After` header.
+//! Two request mixes are built in. `burst` (the canonical serving mix) is
+//! the paper's replan storm: feasibility probes dominate, with one full
+//! model solve per 512 requests — the workload the readiness loop and
+//! micro-batch admission are built for. `legacy` is the original
+//! solve-heavy 4-way mix kept for continuity with earlier reports. The
+//! main phase runs the selected mix; a smaller `legacy_mix` phase is
+//! always recorded alongside the burst so both appear in the JSON.
 //!
-//! Without `--addr` an in-process server is booted on an ephemeral port (so
-//! the harness is self-contained); with it, an already-running server is
-//! targeted. The JSON is written by hand (no serde on the output path) so
-//! the binary stays functional in stub-only offline builds.
+//! `--keepalive` reuses client connections (HTTP/1.1 framing by
+//! `Content-Length`); against a server that answers `Connection: close`
+//! the client transparently reconnects, so the flag is safe on any core.
+//! `--pipeline K` writes K requests back-to-back per connection before
+//! reading the K responses (requires a keep-alive server). `--ramp N`
+//! runs a ramped open-loop sweep after the main phases: connection-count
+//! steps up to N, every connection held open concurrently, recording a
+//! throughput/latency/shed curve per step.
+//!
+//! `--chaos` runs a hostile-client phase against a **separate** server
+//! boot with server-side fault injection armed — the baseline phases are
+//! always measured against a fault-free server, so clean numbers can
+//! never be contaminated by an injected fault schedule (the two configs
+//! are recorded under separate JSON blocks). After a chaos run the
+//! harness asserts the soak invariants: the server still answers
+//! `/healthz`, the worker pool has not shrunk, and every well-formed
+//! request got a framed response. 503 answers are retried with jittered
+//! exponential backoff that honors the server's `Retry-After` header.
+//!
+//! `--reference PATH` embeds a previously captured report (for example
+//! the last thread-per-connection run) verbatim under
+//! `reference_thread_per_conn` and computes before/after speedups.
+//!
+//! Without `--addr` an in-process server is booted on an ephemeral port
+//! (so the harness is self-contained) and a deterministic tiny TASNet
+//! checkpoint is installed so `method=smore` requests exercise the model
+//! path. The JSON is written by hand (no serde on the output path) so the
+//! binary stays functional in stub-only offline builds.
 
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
@@ -46,9 +68,24 @@ struct Args {
     addr: Option<String>,
     out: PathBuf,
     retries: usize,
+    keepalive: bool,
+    pipeline: usize,
+    mix: Mix,
+    ramp: usize,
+    max_batch: usize,
+    max_delay_us: u64,
+    reference: Option<PathBuf>,
     chaos: bool,
     chaos_fail_rate: f64,
     chaos_panic_rate: f64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    /// Probe-dominated replan storm with one model solve per 512 requests.
+    Burst,
+    /// The original solve-heavy 4-way mix.
+    Legacy,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +98,13 @@ fn parse_args() -> Args {
         addr: None,
         out: PathBuf::from("BENCH_serve.json"),
         retries: 3,
+        keepalive: false,
+        pipeline: 1,
+        mix: Mix::Burst,
+        ramp: 0,
+        max_batch: 8,
+        max_delay_us: 500,
+        reference: None,
         chaos: false,
         chaos_fail_rate: 0.0,
         chaos_panic_rate: 0.0,
@@ -85,6 +129,28 @@ fn parse_args() -> Args {
             "--retries" => {
                 args.retries = it.next().and_then(|s| s.parse().ok()).expect("--retries N")
             }
+            "--keepalive" => args.keepalive = true,
+            "--pipeline" => {
+                args.pipeline = it.next().and_then(|s| s.parse().ok()).expect("--pipeline K")
+            }
+            "--mix" => {
+                args.mix = match it.next().as_deref() {
+                    Some("burst") => Mix::Burst,
+                    Some("legacy") => Mix::Legacy,
+                    other => panic!("--mix burst|legacy, got {other:?}"),
+                }
+            }
+            "--ramp" => args.ramp = it.next().and_then(|s| s.parse().ok()).expect("--ramp N"),
+            "--max-batch" => {
+                args.max_batch = it.next().and_then(|s| s.parse().ok()).expect("--max-batch N")
+            }
+            "--max-delay-us" => {
+                args.max_delay_us =
+                    it.next().and_then(|s| s.parse().ok()).expect("--max-delay-us N")
+            }
+            "--reference" => {
+                args.reference = Some(PathBuf::from(it.next().expect("--reference PATH")))
+            }
             "--chaos" => args.chaos = true,
             "--chaos-fail-rate" => {
                 args.chaos_fail_rate =
@@ -98,6 +164,7 @@ fn parse_args() -> Args {
             _ => {}
         }
     }
+    args.pipeline = args.pipeline.max(1);
     args
 }
 
@@ -110,61 +177,211 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The deterministic request mix: solve (greedy/ratio/random) and feasible
-/// probes over the two fast dataset presets, all in query form.
-fn request_for(client: usize, iteration: usize, seed: u64) -> String {
-    let mix = seed
+/// One deterministic request of the selected mix, in query form.
+fn request_for(mix: Mix, client: usize, iteration: usize, seed: u64) -> String {
+    let m = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add((client as u64) * 31 + iteration as u64);
-    let gen_seed = mix % 5;
-    let target = match mix % 4 {
-        0 => format!("/v1/solve?dataset=delivery&gen_seed={gen_seed}&method=greedy"),
-        1 => format!("/v1/solve?dataset=tourism&gen_seed={gen_seed}&method=ratio"),
-        2 => format!(
-            "/v1/feasible?dataset=delivery&gen_seed={gen_seed}&worker={}&task={}",
-            mix % 4,
-            mix % 6
-        ),
-        _ => format!("/v1/solve?dataset=delivery&gen_seed={gen_seed}&method=random&seed={mix}"),
+    let gen_seed = m % 5;
+    let target = match mix {
+        Mix::Burst => {
+            if m.is_multiple_of(512) {
+                format!("/v1/solve?dataset=delivery&gen_seed={gen_seed}&method=smore")
+            } else if m.is_multiple_of(2) {
+                format!(
+                    "/v1/feasible?dataset=delivery&gen_seed={gen_seed}&worker={}&task={}",
+                    m % 4,
+                    m % 6
+                )
+            } else {
+                format!(
+                    "/v1/feasible?dataset=tourism&gen_seed={gen_seed}&worker={}&task={}",
+                    m % 3,
+                    m % 5
+                )
+            }
+        }
+        Mix::Legacy => match m % 4 {
+            0 => format!("/v1/solve?dataset=delivery&gen_seed={gen_seed}&method=greedy"),
+            1 => format!("/v1/solve?dataset=tourism&gen_seed={gen_seed}&method=ratio"),
+            2 => format!(
+                "/v1/feasible?dataset=delivery&gen_seed={gen_seed}&worker={}&task={}",
+                m % 4,
+                m % 6
+            ),
+            _ => format!("/v1/solve?dataset=delivery&gen_seed={gen_seed}&method=random&seed={m}"),
+        },
     };
     format!("POST {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n")
 }
 
-/// One request over one fresh connection. Returns (status, latency_ms,
-/// Retry-After seconds if present), or an error string if the connection
-/// failed outside the protocol.
-fn fire(addr: &str, raw: &str) -> Result<(u16, f64, Option<u64>), String> {
-    let started = Instant::now();
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
-    stream.write_all(raw.as_bytes()).map_err(|e| format!("write: {e}"))?;
-    let mut reply = Vec::new();
-    stream.read_to_end(&mut reply).map_err(|e| format!("read: {e}"))?;
-    let latency_ms = started.elapsed().as_secs_f64() * 1e3;
-    let head = String::from_utf8_lossy(&reply);
+/// Status line + the response headers the harness cares about.
+struct RespMeta {
+    status: u16,
+    retry_after: Option<u64>,
+    close: bool,
+}
+
+/// Reads exactly one `Content-Length`-framed response from `stream`,
+/// carrying any over-read bytes (pipelined follow-ups) across calls.
+fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<RespMeta, String> {
+    let mut data = std::mem::take(carry);
+    let head_end = loop {
+        if let Some(pos) = find_subslice(&data, b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let mut tmp = [0u8; 4096];
+        let n = stream.read(&mut tmp).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err(format!("eof before response head ({} bytes buffered)", data.len()));
+        }
+        data.extend_from_slice(&tmp[..n]);
+    };
+    let head = String::from_utf8_lossy(&data[..head_end]).into_owned();
     let status: u16 = head
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("unframed reply: {:?}", &head[..head.len().min(80)]))?;
-    let retry_after = head.lines().find_map(|l| {
-        let (name, value) = l.split_once(':')?;
-        name.trim().eq_ignore_ascii_case("retry-after").then(|| value.trim().parse().ok())?
-    });
-    Ok((status, latency_ms, retry_after))
+    let mut content_length = 0usize;
+    let mut retry_after = None;
+    let mut close = false;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|e| format!("bad content-length: {e}"))?;
+        } else if name.eq_ignore_ascii_case("retry-after") {
+            retry_after = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        }
+    }
+    let total = head_end + content_length;
+    while data.len() < total {
+        let mut tmp = [0u8; 4096];
+        let n = stream.read(&mut tmp).map_err(|e| format!("read body: {e}"))?;
+        if n == 0 {
+            return Err("eof mid-body".into());
+        }
+        data.extend_from_slice(&tmp[..n]);
+    }
+    *carry = data.split_off(total);
+    Ok(RespMeta { status, retry_after, close })
 }
 
-/// [`fire`] with jittered exponential backoff on 503, honoring the
-/// server's `Retry-After` header (capped so a harness run stays bounded).
-/// Returns (final status, last latency_ms, retries used).
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// A client connection that reuses its socket when the server allows it.
+/// Against a `Connection: close` server it degrades to one connection per
+/// request; either way every response is `Content-Length`-framed.
+struct Client {
+    addr: String,
+    keepalive: bool,
+    stream: Option<TcpStream>,
+    carry: Vec<u8>,
+}
+
+impl Client {
+    fn new(addr: &str, keepalive: bool) -> Self {
+        Client { addr: addr.to_string(), keepalive, stream: None, carry: Vec::new() }
+    }
+
+    fn connect(&mut self) -> Result<(), String> {
+        let stream = TcpStream::connect(&self.addr).map_err(|e| format!("connect: {e}"))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        self.stream = Some(stream);
+        self.carry.clear();
+        Ok(())
+    }
+
+    /// One request/response round trip. A failure on a *reused*
+    /// connection (the server closed it while idle — a legal keep-alive
+    /// race) is retried once on a fresh connection.
+    fn fire(&mut self, raw: &str) -> Result<(u16, f64, Option<u64>), String> {
+        let started = Instant::now();
+        let reused = self.stream.is_some();
+        if !reused {
+            self.connect()?;
+        }
+        match self.round_trip(raw) {
+            Ok(meta) => Ok((meta.status, started.elapsed().as_secs_f64() * 1e3, meta.retry_after)),
+            Err(_) if reused => {
+                self.stream = None;
+                self.connect()?;
+                let meta = self.round_trip(raw)?;
+                Ok((meta.status, started.elapsed().as_secs_f64() * 1e3, meta.retry_after))
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn round_trip(&mut self, raw: &str) -> Result<RespMeta, String> {
+        let stream = self.stream.as_mut().ok_or("no stream")?;
+        stream.write_all(raw.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        let meta = read_response(stream, &mut self.carry)?;
+        if meta.close || !self.keepalive {
+            self.stream = None;
+            self.carry.clear();
+        }
+        Ok(meta)
+    }
+
+    /// Writes `raws` back-to-back, then reads all responses in order
+    /// (HTTP/1.1 pipelining). The full burst round-trip latency is
+    /// attributed to each request. Requires a keep-alive server.
+    fn fire_pipelined(&mut self, raws: &[String]) -> Result<Vec<(u16, f64)>, String> {
+        let started = Instant::now();
+        if self.stream.is_none() {
+            self.connect()?;
+        }
+        let stream = self.stream.as_mut().ok_or("no stream")?;
+        let mut wire = String::new();
+        for raw in raws {
+            wire.push_str(raw);
+        }
+        stream.write_all(wire.as_bytes()).map_err(|e| format!("pipeline write: {e}"))?;
+        let mut out = Vec::with_capacity(raws.len());
+        let mut closed = false;
+        for _ in raws {
+            let meta = read_response(stream, &mut self.carry)?;
+            closed = meta.close;
+            out.push((meta.status, 0.0));
+        }
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        for slot in &mut out {
+            slot.1 = ms;
+        }
+        if closed || !self.keepalive {
+            self.stream = None;
+            self.carry.clear();
+        }
+        Ok(out)
+    }
+}
+
+/// One request over one fresh connection (chaos helpers and one-shot
+/// admin calls). Returns (status, latency_ms, Retry-After if present).
+fn fire(addr: &str, raw: &str) -> Result<(u16, f64, Option<u64>), String> {
+    Client::new(addr, false).fire(raw)
+}
+
+/// [`Client::fire`] with jittered exponential backoff on 503, honoring
+/// the server's `Retry-After` header (capped so a run stays bounded).
 fn fire_with_retry(
-    addr: &str,
+    client: &mut Client,
     raw: &str,
     max_retries: usize,
     rng: &mut u64,
 ) -> Result<(u16, f64, u32), String> {
     let mut retries = 0u32;
     loop {
-        let (status, ms, retry_after) = fire(addr, raw)?;
+        let (status, ms, retry_after) = client.fire(raw)?;
         if status != 503 || retries as usize >= max_retries {
             return Ok((status, ms, retries));
         }
@@ -229,8 +446,8 @@ fn fire_chaos(addr: &str, action: ChaosAction, raw: &str) -> Result<Option<u16>,
             let _ = stream.write_all(&bytes[..4.min(bytes.len())]);
             std::thread::sleep(Duration::from_millis(30));
             let _ = stream.write_all(&bytes[4.min(bytes.len())..8.min(bytes.len())]);
-            // Never finish the head; the server's read timeout reclaims the
-            // worker.
+            // Never finish the head; the server's idle timeout reclaims the
+            // connection.
             Ok(None)
         }
         ChaosAction::CorruptPayload => {
@@ -275,7 +492,7 @@ fn scrape(metrics: &str, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// Aggregated results of one load phase (baseline or chaos).
+/// Aggregated results of one load phase.
 #[derive(Default)]
 struct PhaseReport {
     latencies: Vec<f64>,
@@ -286,46 +503,103 @@ struct PhaseReport {
     wall_s: f64,
 }
 
-/// Fires `requests` requests from `connections` client threads. With
-/// `chaos` set, 3 of every 8 requests turn hostile (deterministically).
-fn run_phase(addr: &str, args: &Args, chaos: bool, phase: u64) -> PhaseReport {
-    let per_client = args.requests.div_ceil(args.connections);
+impl PhaseReport {
+    fn absorb(&mut self, part: PhaseReport) {
+        self.latencies.extend(part.latencies);
+        for (status, n) in part.status_counts {
+            match self.status_counts.iter_mut().find(|(k, _)| *k == status) {
+                Some((_, m)) => *m += n,
+                None => self.status_counts.push((status, n)),
+            }
+        }
+        self.errors.extend(part.errors);
+        self.retries += part.retries;
+        for (t, n) in self.chaos_counts.iter_mut().zip(part.chaos_counts) {
+            *t += n;
+        }
+    }
+
+    fn count_status(&mut self, status: u16) {
+        match self.status_counts.iter_mut().find(|(k, _)| *k == status) {
+            Some((_, n)) => *n += 1,
+            None => self.status_counts.push((status, 1)),
+        }
+    }
+
+    fn seal(mut self, started: Instant) -> PhaseReport {
+        self.wall_s = started.elapsed().as_secs_f64();
+        self.status_counts.sort_by_key(|(k, _)| *k);
+        self.latencies.sort_by(f64::total_cmp);
+        self
+    }
+
+    fn rps(&self) -> f64 {
+        self.latencies.len() as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Fires `requests` requests of `mix` from `connections` client threads.
+/// With `chaos` set, 3 of every 8 requests turn hostile
+/// (deterministically).
+fn run_phase(
+    addr: &str,
+    args: &Args,
+    mix: Mix,
+    requests: usize,
+    chaos: bool,
+    phase: u64,
+) -> PhaseReport {
+    let per_client = requests.div_ceil(args.connections);
     let started = Instant::now();
     let workers: Vec<_> = (0..args.connections)
         .map(|client| {
             let addr = addr.to_string();
             let seed = args.seed.wrapping_add(phase.wrapping_mul(0x5851_F42D_4C95_7F2D));
             let max_retries = args.retries;
+            let keepalive = args.keepalive;
+            let pipeline = if chaos { 1 } else { args.pipeline };
             std::thread::spawn(move || {
                 let mut report = PhaseReport::default();
                 let mut rng = seed ^ ((client as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
-                let mut statuses = Vec::new();
-                for i in 0..per_client {
-                    let raw = request_for(client, i, seed);
+                let mut conn = Client::new(&addr, keepalive);
+                let mut i = 0usize;
+                while i < per_client {
+                    if pipeline > 1 {
+                        let burst: Vec<String> = (i..(i + pipeline).min(per_client))
+                            .map(|j| request_for(mix, client, j, seed))
+                            .collect();
+                        i += burst.len();
+                        match conn.fire_pipelined(&burst) {
+                            Ok(answers) => {
+                                for (status, ms) in answers {
+                                    report.count_status(status);
+                                    report.latencies.push(ms);
+                                }
+                            }
+                            Err(e) => report.errors.push(e),
+                        }
+                        continue;
+                    }
+                    let raw = request_for(mix, client, i, seed);
+                    i += 1;
                     let draw = splitmix64(&mut rng);
                     if chaos && draw % 8 < 3 {
                         let slot = (draw / 8) as usize % CHAOS_ACTIONS.len();
                         report.chaos_counts[slot] += 1;
                         match fire_chaos(&addr, CHAOS_ACTIONS[slot], &raw) {
-                            Ok(Some(status)) => statuses.push(status),
+                            Ok(Some(status)) => report.count_status(status),
                             Ok(None) => {}
                             Err(e) => report.errors.push(e),
                         }
                         continue;
                     }
-                    match fire_with_retry(&addr, &raw, max_retries, &mut rng) {
+                    match fire_with_retry(&mut conn, &raw, max_retries, &mut rng) {
                         Ok((status, ms, retries)) => {
-                            statuses.push(status);
+                            report.count_status(status);
                             report.latencies.push(ms);
                             report.retries += u64::from(retries);
                         }
                         Err(e) => report.errors.push(e),
-                    }
-                }
-                for s in statuses {
-                    match report.status_counts.iter_mut().find(|(k, _)| *k == s) {
-                        Some((_, n)) => *n += 1,
-                        None => report.status_counts.push((s, 1)),
                     }
                 }
                 report
@@ -335,24 +609,60 @@ fn run_phase(addr: &str, args: &Args, chaos: bool, phase: u64) -> PhaseReport {
 
     let mut total = PhaseReport::default();
     for w in workers {
-        let part = w.join().expect("client thread panicked");
-        total.latencies.extend(part.latencies);
-        for (status, n) in part.status_counts {
-            match total.status_counts.iter_mut().find(|(k, _)| *k == status) {
-                Some((_, m)) => *m += n,
-                None => total.status_counts.push((status, n)),
-            }
-        }
-        total.errors.extend(part.errors);
-        total.retries += part.retries;
-        for (t, n) in total.chaos_counts.iter_mut().zip(part.chaos_counts) {
-            *t += n;
-        }
+        total.absorb(w.join().expect("client thread panicked"));
     }
-    total.wall_s = started.elapsed().as_secs_f64();
-    total.status_counts.sort_by_key(|(k, _)| *k);
-    total.latencies.sort_by(f64::total_cmp);
-    total
+    total.seal(started)
+}
+
+/// One step of the ramped open-loop sweep: `conns` keep-alive connections
+/// all held open concurrently, probe traffic rotating through every one
+/// of them from a bounded pool of driver threads.
+fn run_ramp_step(addr: &str, args: &Args, conns: usize, requests: usize) -> PhaseReport {
+    let drivers = args.connections.min(conns).max(1);
+    let per_driver_conns = conns.div_ceil(drivers);
+    let per_conn_requests = requests.div_ceil(conns).max(1);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..drivers)
+        .map(|driver| {
+            let addr = addr.to_string();
+            let seed = args.seed ^ 0xC0FF_EE00;
+            std::thread::spawn(move || {
+                let mut report = PhaseReport::default();
+                let mut clients: Vec<Client> =
+                    (0..per_driver_conns).map(|_| Client::new(&addr, true)).collect();
+                // Open every connection up front so the full set is held
+                // concurrently for the whole step.
+                for c in &mut clients {
+                    if let Err(e) = c.connect() {
+                        report.errors.push(e);
+                    }
+                }
+                for round in 0..per_conn_requests {
+                    for (ci, conn) in clients.iter_mut().enumerate() {
+                        let raw = request_for(
+                            Mix::Burst,
+                            driver * per_driver_conns + ci,
+                            round + 1,
+                            seed,
+                        );
+                        match conn.fire(&raw) {
+                            Ok((status, ms, _)) => {
+                                report.count_status(status);
+                                report.latencies.push(ms);
+                            }
+                            Err(e) => report.errors.push(e),
+                        }
+                    }
+                }
+                report
+            })
+        })
+        .collect();
+    let mut total = PhaseReport::default();
+    for w in workers {
+        total.absorb(w.join().expect("ramp driver panicked"));
+    }
+    total.seal(started)
 }
 
 /// Serializes one phase as a JSON object (hand-written; serde-free).
@@ -366,7 +676,7 @@ fn phase_json(report: &PhaseReport, chaos: bool) -> String {
     let _ = write!(json, "{{\"answered\": {answered}, ");
     let _ = write!(json, "\"transport_errors\": {}, ", report.errors.len());
     let _ = write!(json, "\"client_retries\": {}, ", report.retries);
-    let _ = write!(json, "\"throughput_rps\": {:.2}, ", answered as f64 / report.wall_s.max(1e-9));
+    let _ = write!(json, "\"throughput_rps\": {:.2}, ", report.rps());
     let _ = write!(
         json,
         "\"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}}, ",
@@ -393,67 +703,160 @@ fn phase_json(report: &PhaseReport, chaos: bool) -> String {
     json
 }
 
+/// A deterministic tiny TASNet checkpoint sized for the `delivery/small`
+/// grid, so `method=smore` requests exercise the model path without a
+/// training run. Seeded construction keeps every response byte-identical
+/// across boots.
+fn install_tiny_model(registry: &smore_serve::ModelRegistry) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+
+    let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 0);
+    let template = g.gen_default(&mut SmallRng::seed_from_u64(0));
+    let grid = &template.lattice.grid;
+    let mut cfg = smore::TasnetConfig::for_grid(grid.rows, grid.cols);
+    cfg.d_model = 8;
+    cfg.heads = 2;
+    cfg.enc_layers = 1;
+    let model = smore_serve::LoadedModel {
+        net: smore::Tasnet::new(cfg, 7),
+        critic: smore::Critic::new(8, 8),
+    };
+    registry.install(model);
+}
+
+struct BootedServer {
+    addr: String,
+    handle: Option<smore_serve::ServerHandle>,
+}
+
+/// Boots an in-process server. `faults` arms server-side fault injection
+/// (chaos phases only — baseline servers are always fault-free).
+fn boot_server(args: &Args, faults: Option<smore_tsptw::FaultConfig>) -> BootedServer {
+    let config = smore_serve::ServeConfig {
+        threads: args.server_threads,
+        queue_capacity: args.queue,
+        max_batch: args.max_batch,
+        max_delay_us: args.max_delay_us,
+        read_timeout: Duration::from_secs(2),
+        faults,
+        fault_seed: args.seed,
+        ..smore_serve::ServeConfig::default()
+    };
+    let registry = Arc::new(smore_serve::ModelRegistry::new());
+    install_tiny_model(&registry);
+    let handle = smore_serve::start(config, registry).expect("bind in-process server");
+    BootedServer { addr: handle.addr().to_string(), handle: Some(handle) }
+}
+
+fn shutdown_server(server: &mut BootedServer) {
+    if let Some(handle) = server.handle.take() {
+        let _ = fire(&server.addr, "POST /admin/shutdown HTTP/1.1\r\nHost: loadgen\r\n\r\n");
+        handle.join();
+    }
+}
+
+fn scrape_metrics(addr: &str) -> String {
+    let mut reply = String::new();
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n");
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.read_to_string(&mut reply);
+    }
+    reply
+}
+
 fn main() {
     let args = parse_args();
+    let mix_name = match args.mix {
+        Mix::Burst => "burst",
+        Mix::Legacy => "legacy",
+    };
 
-    // Boot an in-process server unless an external one was named.
-    let (addr, server) = match &args.addr {
+    // Baseline server: always fault-free, so clean numbers can never be
+    // contaminated by an injected fault schedule.
+    let (addr, mut server) = match &args.addr {
         Some(addr) => (addr.clone(), None),
         None => {
-            let faults = (args.chaos_fail_rate > 0.0 || args.chaos_panic_rate > 0.0).then(|| {
-                smore_tsptw::FaultConfig::uniform(args.chaos_fail_rate)
-                    .with_panic_rate(args.chaos_panic_rate)
-            });
-            let config = smore_serve::ServeConfig {
-                threads: args.server_threads,
-                queue_capacity: args.queue,
-                read_timeout: Duration::from_secs(2),
-                faults,
-                fault_seed: args.seed,
-                ..smore_serve::ServeConfig::default()
-            };
-            let handle = smore_serve::start(config, Arc::new(smore_serve::ModelRegistry::new()))
-                .expect("bind in-process server");
-            (handle.addr().to_string(), Some(handle))
+            let booted = boot_server(&args, None);
+            (booted.addr.clone(), Some(booted))
         }
     };
     eprintln!(
-        "loadgen: {} connections, {} requests against {addr} (seed {}, chaos {})",
-        args.connections, args.requests, args.seed, args.chaos
+        "loadgen: {} connections, {} requests against {addr} (seed {}, mix {mix_name}, keepalive {}, pipeline {}, chaos {})",
+        args.connections, args.requests, args.seed, args.keepalive, args.pipeline, args.chaos
     );
 
-    let baseline = run_phase(&addr, &args, false, 0);
-    let chaos = args.chaos.then(|| run_phase(&addr, &args, true, 1));
+    let baseline = run_phase(&addr, &args, args.mix, args.requests, false, 0);
+    // A smaller run of the other mix, so reports always carry both.
+    let legacy = (args.mix == Mix::Burst)
+        .then(|| run_phase(&addr, &args, Mix::Legacy, (args.requests / 4).max(128), false, 2));
 
-    // Soak invariant: after everything above, the server must still answer.
-    let health = fire(&addr, "GET /healthz HTTP/1.1\r\nHost: loadgen\r\n\r\n");
-    let alive = matches!(health, Ok((200, _, _)));
-
-    // Server-side truth: shed count, queue high-water mark, fault counters.
-    let metrics_text = {
-        let mut reply = String::new();
-        if let Ok(mut stream) = TcpStream::connect(&addr) {
-            let _ = stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n");
-            let _ = stream.read_to_string(&mut reply);
-        }
-        reply
+    // Ramped open-loop sweep: connection-count steps, all held open.
+    let ramp_steps: Vec<usize> = if args.ramp > 0 {
+        let mut steps: Vec<usize> =
+            [64, 256, 1024, 4096].iter().copied().filter(|s| *s < args.ramp).collect();
+        steps.push(args.ramp);
+        steps
+    } else {
+        Vec::new()
     };
+    let ramp: Vec<(usize, PhaseReport)> = ramp_steps
+        .iter()
+        .map(|&conns| {
+            eprintln!("loadgen: ramp step {conns} connections");
+            let requests = (conns * 2).max(2048);
+            (conns, run_ramp_step(&addr, &args, conns, requests))
+        })
+        .collect();
+
+    // Server-side truth from the baseline server before it goes away.
+    let metrics_text = scrape_metrics(&addr);
+    let health = fire(&addr, "GET /healthz HTTP/1.1\r\nHost: loadgen\r\n\r\n");
+    let mut alive = matches!(health, Ok((200, _, _)));
+    if let Some(booted) = server.as_mut() {
+        shutdown_server(booted);
+    }
+
+    // Chaos phase: a separate boot with server-side fault injection armed,
+    // recorded under its own config block.
+    let chaos = args.chaos.then(|| {
+        let faults = (args.chaos_fail_rate > 0.0 || args.chaos_panic_rate > 0.0).then(|| {
+            smore_tsptw::FaultConfig::uniform(args.chaos_fail_rate)
+                .with_panic_rate(args.chaos_panic_rate)
+        });
+        let mut chaos_server = boot_server(&args, faults);
+        let chaos_addr = chaos_server.addr.clone();
+        let report = run_phase(&chaos_addr, &args, args.mix, args.requests, true, 1);
+        let chaos_metrics = scrape_metrics(&chaos_addr);
+        let chaos_alive = matches!(
+            fire(&chaos_addr, "GET /healthz HTTP/1.1\r\nHost: loadgen\r\n\r\n"),
+            Ok((200, _, _))
+        );
+        alive = alive && chaos_alive;
+        shutdown_server(&mut chaos_server);
+        (report, chaos_metrics)
+    });
+
     let shed_total = scrape(&metrics_text, "smore_shed_total");
     let queue_hwm = scrape(&metrics_text, "smore_queue_depth_high_water");
-    let worker_panics = scrape(&metrics_text, "smore_worker_panics_total");
-    let worker_respawns = scrape(&metrics_text, "smore_worker_respawns_total");
-    let watchdog_kills = scrape(&metrics_text, "smore_watchdog_kills_total");
-    let pool_size = scrape(&metrics_text, "smore_worker_pool_size");
-    let degraded_total = scrape(&metrics_text, "smore_degraded_total");
-    let breaker_trips = scrape(&metrics_text, "smore_breaker_trips_total");
+    let batch_full = scrape(&metrics_text, "smore_batch_flush_total{reason=\"full\"}");
+    let batch_deadline = scrape(&metrics_text, "smore_batch_flush_total{reason=\"deadline\"}");
+    let conns_accepted = scrape(&metrics_text, "smore_connections_accepted_total");
+    let fault_metrics = chaos.as_ref().map_or(&metrics_text, |(_, m)| m);
+    let worker_panics = scrape(fault_metrics, "smore_worker_panics_total");
+    let worker_respawns = scrape(fault_metrics, "smore_worker_respawns_total");
+    let watchdog_kills = scrape(fault_metrics, "smore_watchdog_kills_total");
+    let pool_size = scrape(fault_metrics, "smore_worker_pool_size");
+    let degraded_total = scrape(fault_metrics, "smore_degraded_total");
+    let breaker_trips = scrape(fault_metrics, "smore_breaker_trips_total");
 
     // Soak invariant: supervised respawns must keep the pool at full size.
     let pool_intact = args.addr.is_some() || pool_size == args.server_threads.max(1) as u64;
 
-    if let Some(handle) = server {
-        let _ = fire(&addr, "POST /admin/shutdown HTTP/1.1\r\n\r\n");
-        handle.join();
-    }
+    let reference = args.reference.as_ref().and_then(|p| std::fs::read_to_string(p).ok());
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -465,7 +868,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"config\": {{\"connections\": {}, \"requests\": {}, \"server_threads\": {}, \"queue_capacity\": {}, \"seed\": {}, \"external_addr\": {}, \"retries\": {}, \"chaos\": {}, \"chaos_fail_rate\": {}, \"chaos_panic_rate\": {}}},",
+        "  \"config\": {{\"connections\": {}, \"requests\": {}, \"server_threads\": {}, \"queue_capacity\": {}, \"seed\": {}, \"external_addr\": {}, \"retries\": {}, \"keepalive\": {}, \"pipeline\": {}, \"mix\": \"{mix_name}\", \"max_batch\": {}, \"max_delay_us\": {}, \"chaos\": false}},",
         args.connections,
         args.requests,
         args.server_threads,
@@ -473,17 +876,78 @@ fn main() {
         args.seed,
         args.addr.is_some(),
         args.retries,
-        args.chaos,
-        args.chaos_fail_rate,
-        args.chaos_panic_rate
+        args.keepalive,
+        args.pipeline,
+        args.max_batch,
+        args.max_delay_us,
     );
     let _ = writeln!(json, "  \"baseline\": {},", phase_json(&baseline, false));
-    match &chaos {
+    match &legacy {
         Some(report) => {
-            let _ = writeln!(json, "  \"chaos\": {},", phase_json(report, true));
+            let _ = writeln!(json, "  \"legacy_mix\": {},", phase_json(report, false));
+        }
+        None => {
+            let _ = writeln!(json, "  \"legacy_mix\": null,");
+        }
+    }
+    if ramp.is_empty() {
+        let _ = writeln!(json, "  \"ramp\": null,");
+    } else {
+        let _ = writeln!(json, "  \"ramp\": [");
+        for (i, (conns, report)) in ramp.iter().enumerate() {
+            let sep = if i + 1 == ramp.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"connections\": {conns}, \"report\": {}}}{sep}",
+                phase_json(report, false)
+            );
+        }
+        let _ = writeln!(json, "  ],");
+    }
+    match &chaos {
+        Some((report, _)) => {
+            let _ = writeln!(
+                json,
+                "  \"chaos\": {{\"config\": {{\"chaos_fail_rate\": {}, \"chaos_panic_rate\": {}, \"separate_server\": true}}, \"report\": {}}},",
+                args.chaos_fail_rate,
+                args.chaos_panic_rate,
+                phase_json(report, true)
+            );
         }
         None => {
             let _ = writeln!(json, "  \"chaos\": null,");
+        }
+    }
+    match &reference {
+        Some(prior) => {
+            let _ = writeln!(json, "  \"reference_thread_per_conn\": {},", prior.trim_end());
+            // Before/after speedups against the embedded reference's
+            // baseline block (same mix, thread-per-connection core).
+            let ref_line = prior.lines().find(|l| l.trim_start().starts_with("\"baseline\""));
+            let ref_rps = ref_line.and_then(|l| {
+                l.split("\"throughput_rps\": ").nth(1)?.split(',').next()?.trim().parse().ok()
+            });
+            let ref_p50: Option<f64> = ref_line
+                .and_then(|l| l.split("\"p50\": ").nth(1)?.split(',').next()?.trim().parse().ok());
+            let now_rps = baseline.rps();
+            let now_p50 = percentile(&baseline.latencies, 0.50);
+            match (ref_rps, ref_p50) {
+                (Some(r), Some(p)) if now_rps > 0.0 && now_p50 > 0.0 => {
+                    let r: f64 = r;
+                    let _ = writeln!(
+                        json,
+                        "  \"speedup_vs_reference\": {{\"throughput_x\": {:.2}, \"p50_x\": {:.2}}},",
+                        now_rps / r.max(1e-9),
+                        p / now_p50
+                    );
+                }
+                _ => {
+                    let _ = writeln!(json, "  \"speedup_vs_reference\": null,");
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(json, "  \"reference_thread_per_conn\": null,");
         }
     }
     let _ = writeln!(
@@ -494,6 +958,10 @@ fn main() {
         json,
         "  \"soak\": {{\"alive_after_run\": {alive}, \"pool_intact\": {pool_intact}}},"
     );
+    let _ = writeln!(
+        json,
+        "  \"server_batch\": {{\"flush_full\": {batch_full}, \"flush_deadline\": {batch_deadline}, \"connections_accepted\": {conns_accepted}}},"
+    );
     let _ = writeln!(json, "  \"server_shed_total\": {shed_total},");
     let _ = writeln!(json, "  \"server_queue_high_water\": {queue_hwm}");
     let _ = writeln!(json, "}}");
@@ -502,14 +970,32 @@ fn main() {
 
     let answered = baseline.latencies.len();
     eprintln!(
-        "loadgen: baseline {answered} answered in {:.2}s ({:.1} rps), p50 {:.1} ms, p99 {:.1} ms, {} retries",
+        "loadgen: baseline ({mix_name}) {answered} answered in {:.2}s ({:.1} rps), p50 {:.1} ms, p99 {:.1} ms, {} retries",
         baseline.wall_s,
-        answered as f64 / baseline.wall_s.max(1e-9),
+        baseline.rps(),
         percentile(&baseline.latencies, 0.50),
         percentile(&baseline.latencies, 0.99),
         baseline.retries,
     );
-    if let Some(report) = &chaos {
+    if let Some(report) = &legacy {
+        eprintln!(
+            "loadgen: legacy mix {} answered in {:.2}s ({:.1} rps), p50 {:.1} ms",
+            report.latencies.len(),
+            report.wall_s,
+            report.rps(),
+            percentile(&report.latencies, 0.50),
+        );
+    }
+    for (conns, report) in &ramp {
+        eprintln!(
+            "loadgen: ramp {conns} conns: {} answered ({:.1} rps), p50 {:.1} ms, {} transport errors",
+            report.latencies.len(),
+            report.rps(),
+            percentile(&report.latencies, 0.50),
+            report.errors.len(),
+        );
+    }
+    if let Some((report, _)) = &chaos {
         eprintln!(
             "loadgen: chaos {} answered + {} hostile in {:.2}s, {} retries, {} transport errors",
             report.latencies.len(),
@@ -525,8 +1011,13 @@ fn main() {
     );
 
     let mut failed = false;
-    let errors: Vec<&String> =
-        baseline.errors.iter().chain(chaos.iter().flat_map(|c| c.errors.iter())).collect();
+    let errors: Vec<&String> = baseline
+        .errors
+        .iter()
+        .chain(legacy.iter().flat_map(|r| r.errors.iter()))
+        .chain(ramp.iter().flat_map(|(_, r)| r.errors.iter()))
+        .chain(chaos.iter().flat_map(|(c, _)| c.errors.iter()))
+        .collect();
     if !errors.is_empty() {
         for e in errors.iter().take(5) {
             eprintln!("loadgen: transport error: {e}");

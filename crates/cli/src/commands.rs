@@ -317,6 +317,9 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     let port: u16 = args.num("port", 8080)?;
     let threads: usize = args.num("threads", 2)?;
     let queue: usize = args.num("queue", 64)?;
+    let max_batch: usize = args.num("max-batch", 8)?;
+    let max_delay_us: u64 = args.num("max-delay-us", 500)?;
+    let max_connections: usize = args.num("max-connections", 8192)?;
     let hard_deadline_ms: u64 = args.num("hard-deadline-ms", 30_000)?;
     let chaos_fail: f64 = args.num("chaos-fail-rate", 0.0)?;
     let chaos_panic: f64 = args.num("chaos-panic-rate", 0.0)?;
@@ -343,6 +346,9 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         addr: format!("{host}:{port}"),
         threads,
         queue_capacity: queue,
+        max_batch,
+        max_delay_us,
+        max_connections,
         hard_deadline: std::time::Duration::from_millis(hard_deadline_ms),
         faults,
         fault_seed: chaos_seed,
@@ -435,8 +441,14 @@ USAGE: smore-cli serve [options]
   --host H          bind host                        (default 127.0.0.1)
   --port P          bind port, 0 = ephemeral         (default 8080)
   --threads N       worker threads                   (default 2)
-  --queue N         bounded queue capacity; connections beyond it
-                    are shed with 503 + adaptive Retry-After (default 64)
+  --queue N         bounded queue capacity in micro-batches; requests
+                    beyond it are shed with 503 + adaptive Retry-After
+                    (default 64)
+  --max-batch N     micro-batch admission: flush a batch at N requests
+                    (1 disables coalescing)           (default 8)
+  --max-delay-us US micro-batch admission: flush a non-full batch once
+                    its oldest request has waited US µs (default 500)
+  --max-connections N  cap on concurrently open connections (default 8192)
   --model F         checkpoint to load at boot (smore-cli train output)
   --hard-deadline-ms MS  watchdog limit: unanswered requests past this
                     get a structured 504              (default 30000)

@@ -61,7 +61,8 @@ pub use single_stage::{train_single_stage, SingleStageNet, SingleStageSolver};
 pub use solver::SmoreSolver;
 pub use tasnet::{Critic, EpisodeEncoding, SelectMode, StepLogProbs, Tasnet, TasnetConfig};
 pub use train::{
-    greedy_solve_batch, imitation_epoch, reinforce_epoch, run_episode, run_episode_on,
-    run_episode_within, train_tasnet, train_tasnet_resumable, train_tasnet_validated, validate,
-    validate_grouped, Episode, EpochStats, TasnetTrainConfig, TasnetTrainReport, ValidationStats,
+    greedy_solve_batch, greedy_solve_batch_refs, imitation_epoch, reinforce_epoch, run_episode,
+    run_episode_on, run_episode_within, train_tasnet, train_tasnet_resumable,
+    train_tasnet_validated, validate, validate_grouped, Episode, EpochStats, TasnetTrainConfig,
+    TasnetTrainReport, ValidationStats,
 };

@@ -166,6 +166,21 @@ impl SolveSession {
             .map(|ep| ep.solution)
     }
 
+    /// Greedy-decodes a batch of instances with one shared encoder pass
+    /// (the serve layer's micro-batch admission path), routed through this
+    /// session's own TSPTW solver so fault injection applies exactly as it
+    /// does to solo solves. Rows are bit-identical to a singleton call on
+    /// the same instance ([`greedy_solve_batch`](crate::greedy_solve_batch)
+    /// proves batch invariance), which is what lets the server coalesce
+    /// requests without changing a single response byte.
+    pub fn solve_tasnet_batch(
+        &mut self,
+        net: &Tasnet,
+        instances: &[&Instance],
+    ) -> Vec<Option<Solution>> {
+        crate::train::greedy_solve_batch_refs(net, instances, &*self.solver)
+    }
+
     /// Probes whether adding `task` to `worker`'s mandatory-only assignment
     /// admits a feasible route, via the incremental evaluator (slack-based
     /// insertion, TSPTW re-solve only as a fallback).

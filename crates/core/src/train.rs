@@ -373,6 +373,19 @@ pub fn greedy_solve_batch(
     instances: &[Instance],
     solver: &dyn TsptwSolver,
 ) -> Vec<Option<Solution>> {
+    let refs: Vec<&Instance> = instances.iter().collect();
+    greedy_solve_batch_refs(net, &refs, solver)
+}
+
+/// [`greedy_solve_batch`] over borrowed instances. The serve layer's
+/// micro-batcher coalesces requests whose instances live in a per-worker
+/// cache; taking `&[&Instance]` lets it batch without cloning each
+/// instance into a contiguous owned slice first.
+pub fn greedy_solve_batch_refs(
+    net: &Tasnet,
+    instances: &[&Instance],
+    solver: &dyn TsptwSolver,
+) -> Vec<Option<Solution>> {
     let mut tape = Tape::new();
     let mut engines: Vec<Option<Engine>> =
         instances.iter().map(|inst| Engine::new(inst, solver).ok()).collect();
@@ -382,7 +395,7 @@ pub fn greedy_solve_batch(
     if chosen.is_empty() {
         return out;
     }
-    let insts: Vec<&Instance> = chosen.iter().map(|&i| &instances[i]).collect();
+    let insts: Vec<&Instance> = chosen.iter().map(|&i| instances[i]).collect();
     let encs = net.encode_batch(&mut tape, &insts);
     for (slot, &m) in chosen.iter().enumerate() {
         let Some(mut engine) = engines[m].take() else { continue };

@@ -1,16 +1,34 @@
-//! Request routing and endpoint handlers.
+//! Request routing and endpoint handlers, split into **plan** and
+//! **execute** halves so the event loop can coalesce solver work into
+//! micro-batches without touching response bytes.
+//!
+//! `Api::plan` runs on the event-loop thread: it parses and validates a
+//! request and either answers it outright (`Plan::Ready` — admin
+//! endpoints, health, metrics, every 4xx) or produces a `WorkItem`
+//! describing the solver-bound work. Work items flow through the batcher
+//! to the worker pool, where `Api::execute` (or the batched
+//! model-forward path plus `Api::finish_model_solve`) turns them into
+//! responses.
 //!
 //! A handler is a pure function of (request, registry snapshot, solve
 //! session): no ambient clocks, no global state, no randomness beyond the
 //! request's own seed. That is what makes the serving determinism contract
 //! (identical request bytes → byte-identical response bodies, regardless of
-//! which worker thread answers) hold by construction.
+//! which worker thread or micro-batch answers) hold by construction. The
+//! model path *always* runs through
+//! [`SolveSession::solve_tasnet_batch`] — a solo request is a batch of
+//! one — so batch placement can never change a byte. The exception is a
+//! request carrying `budget_ms`: its anytime deadline binds the solve to
+//! that request's own clock, so it is never batched and keeps the solo
+//! deadline-honouring path.
 //!
 //! Requests carry their instance either inline (JSON body, validated on
 //! deserialize by `smore-model`) or as a seeded generator spec — in the
 //! body's `gen` field or directly in the query string
 //! (`POST /v1/solve?dataset=delivery&gen_seed=7&method=greedy`), which
-//! keeps load-generator requests tiny.
+//! keeps load-generator requests tiny. Generated instances are
+//! deterministic in (dataset, scale, seed), so workers serve them from a
+//! small per-session `InstanceCache` instead of regenerating per request.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -20,15 +38,14 @@ use rand::SeedableRng;
 use smore::{GreedySelection, RandomSelection, RatioGreedySelection, SolveSession};
 use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
 use smore_model::{
-    evaluate, DeadlineSpec, FeasibleRequest, FeasibleResponse, GenerateSpec, Instance,
+    evaluate, Deadline, DeadlineSpec, FeasibleRequest, FeasibleResponse, GenerateSpec, Instance,
     ModelCheckpoint, SensingTaskId, Solution, SolveRequest, SolveResponse, WorkerId,
 };
-use smore_tsptw::{run_fallback, FallbackStage};
 
 use crate::breaker::{Admission, CircuitBreaker};
 use crate::http::{Method, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
-use crate::registry::ModelRegistry;
+use crate::registry::{LoadedModel, ModelRegistry};
 
 /// Shared handler context: everything a worker thread needs besides its own
 /// [`SolveSession`].
@@ -37,7 +54,7 @@ pub struct Api {
     pub registry: Arc<ModelRegistry>,
     /// Server-wide counters.
     pub metrics: Arc<Metrics>,
-    /// Set by `POST /admin/shutdown`; the accept loop watches it.
+    /// Set by `POST /admin/shutdown`; the event loop watches it.
     pub shutdown: Arc<AtomicBool>,
     /// Model-path circuit breaker; open means `/v1/solve` model requests
     /// are answered by the baseline fallback with `"degraded": true`.
@@ -124,41 +141,108 @@ fn gen_spec_from_query(query: &str) -> Result<GenerateSpec, String> {
     Ok(GenerateSpec { dataset, scale, seed })
 }
 
-/// Materializes the instance a request refers to: inline XOR generated.
-fn materialize(
+/// Where a work item's instance comes from. Spec validation happens at plan
+/// time; materialization is deferred to the worker so generation cost (and
+/// the cache that removes it) stays off the event-loop thread.
+pub(crate) enum InstanceSource {
+    /// The client sent the instance inline.
+    Inline(Arc<Instance>),
+    /// A validated seeded-generator spec; deterministic in its key.
+    Generated {
+        /// Dataset preset.
+        kind: DatasetKind,
+        /// Scale preset.
+        scale: Scale,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Resolves the instance reference of a request into a validated source:
+/// inline XOR generated, with every spec error caught here (plan time).
+fn plan_source(
     instance: Option<Instance>,
     generate: Option<GenerateSpec>,
-) -> Result<Instance, String> {
+) -> Result<InstanceSource, String> {
     match (instance, generate) {
-        (Some(inst), None) => Ok(inst),
-        (None, Some(spec)) => instance_from_spec(&spec),
+        (Some(inst), None) => Ok(InstanceSource::Inline(Arc::new(inst))),
+        (None, Some(spec)) => {
+            let kind = match spec.dataset.as_str() {
+                "delivery" => DatasetKind::Delivery,
+                "tourism" => DatasetKind::Tourism,
+                "lade" => DatasetKind::LaDe,
+                other => {
+                    return Err(format!(
+                        "unknown dataset {other:?} (expected delivery|tourism|lade)"
+                    ))
+                }
+            };
+            let scale = match spec.scale.as_deref().unwrap_or("small") {
+                "small" => Scale::Small,
+                "paper" => Scale::Paper,
+                other => return Err(format!("unknown scale {other:?} (expected small|paper)")),
+            };
+            Ok(InstanceSource::Generated { kind, scale, seed: spec.seed })
+        }
         (Some(_), Some(_)) => Err("provide exactly one of `instance` and `gen`, not both".into()),
         (None, None) => Err("provide one of `instance` (inline) or `gen` (generator spec)".into()),
     }
 }
 
-fn instance_from_spec(spec: &GenerateSpec) -> Result<Instance, String> {
-    let kind = match spec.dataset.as_str() {
-        "delivery" => DatasetKind::Delivery,
-        "tourism" => DatasetKind::Tourism,
-        "lade" => DatasetKind::LaDe,
-        other => return Err(format!("unknown dataset {other:?} (expected delivery|tourism|lade)")),
-    };
-    let scale = match spec.scale.as_deref().unwrap_or("small") {
-        "small" => Scale::Small,
-        "paper" => Scale::Paper,
-        other => return Err(format!("unknown scale {other:?} (expected small|paper)")),
-    };
-    let generator = InstanceGenerator::new(DatasetSpec::of(kind, scale), spec.seed);
-    Ok(generator.gen_default(&mut SmallRng::seed_from_u64(spec.seed)))
+/// A small per-worker cache of generated instances. Generation is
+/// deterministic in `(dataset, scale, seed)`, so serving a cached copy is
+/// byte-transparent; it removes the dominant per-request cost of the
+/// query-form fast path (generating a small instance costs ~5× a
+/// feasibility probe). Linear scan over a `Vec` keeps the serve crate
+/// inside the D1 no-hash-containers contract; at ≤ 32 entries the scan is
+/// cheaper than hashing anyway.
+pub(crate) struct InstanceCache {
+    entries: Vec<((DatasetKind, Scale, u64), Arc<Instance>)>,
+    cap: usize,
+}
+
+impl InstanceCache {
+    /// A cache evicting least-recently-used entries beyond `cap`.
+    pub(crate) fn new(cap: usize) -> Self {
+        InstanceCache { entries: Vec::new(), cap: cap.max(1) }
+    }
+
+    /// The instance a source refers to, generated at most once per key
+    /// while cached. Inline sources pass through untouched.
+    pub(crate) fn materialize(&mut self, source: &InstanceSource) -> Arc<Instance> {
+        match *source {
+            InstanceSource::Inline(ref inst) => Arc::clone(inst),
+            InstanceSource::Generated { kind, scale, seed } => {
+                let key = (kind, scale, seed);
+                if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+                    // Move-to-back LRU: the Vec's tail is most recent.
+                    let entry = self.entries.remove(pos);
+                    let inst = Arc::clone(&entry.1);
+                    self.entries.push(entry);
+                    return inst;
+                }
+                let generator = InstanceGenerator::new(DatasetSpec::of(kind, scale), seed);
+                let inst = Arc::new(generator.gen_default(&mut SmallRng::seed_from_u64(seed)));
+                if self.entries.len() >= self.cap {
+                    self.entries.remove(0);
+                }
+                self.entries.push((key, Arc::clone(&inst)));
+                inst
+            }
+        }
+    }
 }
 
 /// The selection method a solve request resolved to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SolveMethod {
+pub(crate) enum SolveMethod {
+    /// TASNet model decoding (with greedy fallback).
     Smore,
+    /// Greedy marginal-gain selection.
     Greedy,
+    /// Ratio-greedy selection.
     Ratio,
+    /// Seeded random selection.
     Random,
 }
 
@@ -173,48 +257,123 @@ impl SolveMethod {
     }
 }
 
+/// The solver-bound half of a planned request.
+pub(crate) enum WorkKind {
+    /// Heuristic `/v1/solve` (greedy / ratio / random).
+    Policy {
+        /// Which heuristic.
+        method: SolveMethod,
+        /// Seed for `method=random`.
+        seed: u64,
+        /// Optional per-request deadline budget.
+        budget_ms: Option<u64>,
+    },
+    /// Model-path `/v1/solve` against a checkpoint snapshot.
+    Model {
+        /// The snapshot taken at plan time (hot reloads do not move it).
+        model: Arc<LoadedModel>,
+        /// Version of that snapshot, echoed in the response.
+        version: u64,
+        /// False when the circuit breaker refused admission: skip the
+        /// model and serve the degraded greedy fallback.
+        admitted: bool,
+        /// Optional per-request deadline budget.
+        budget_ms: Option<u64>,
+    },
+    /// `/v1/feasible` candidate probe.
+    Probe {
+        /// Worker index (bounds-checked against the instance at exec).
+        worker: usize,
+        /// Task index (bounds-checked against the instance at exec).
+        task: usize,
+    },
+}
+
+/// A validated, solver-bound unit of work.
+pub(crate) struct WorkItem {
+    /// Metrics dimension (Solve or Feasible).
+    pub(crate) endpoint: Endpoint,
+    /// Where the instance comes from.
+    pub(crate) source: InstanceSource,
+    /// What to run against it.
+    pub(crate) kind: WorkKind,
+}
+
+impl WorkItem {
+    /// The model snapshot this item can join a micro-batch under, if any:
+    /// admitted model solves without a deadline budget.
+    pub(crate) fn batch_model(&self) -> Option<(&Arc<LoadedModel>, u64)> {
+        match &self.kind {
+            WorkKind::Model { model, version, admitted: true, budget_ms: None } => {
+                Some((model, *version))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// What planning a request produced.
+pub(crate) enum Plan {
+    /// The response is already determined; write it now.
+    Ready(Response),
+    /// Solver-bound work for the batcher + worker pool.
+    Work(Box<WorkItem>),
+}
+
 impl Api {
-    /// Routes one parsed request to its handler.
-    pub fn handle(&self, session: &mut SolveSession, req: &Request) -> Response {
+    /// Routes one parsed request: answers it directly when no solver work
+    /// is needed, otherwise returns the validated work item.
+    pub(crate) fn plan(&self, req: &Request) -> Plan {
         match (req.method, req.path.as_str()) {
-            (Method::Get, "/healthz") => Response::json(
+            (Method::Get, "/healthz") => Plan::Ready(Response::json(
                 200,
                 format!("{{\"status\":\"ok\",\"model_version\":{}}}", self.registry.version()),
-            ),
-            (Method::Get, "/metrics") => Response::text(200, self.metrics.render()),
-            (Method::Post, "/v1/solve") => self.solve(session, req),
-            (Method::Post, "/v1/feasible") => self.feasible(session, req),
-            (Method::Post, "/admin/reload") => self.reload(req),
+            )),
+            (Method::Get, "/metrics") => Plan::Ready(Response::text(200, self.metrics.render())),
+            (Method::Post, "/v1/solve") => self.plan_solve(req),
+            (Method::Post, "/v1/feasible") => self.plan_feasible(req),
+            (Method::Post, "/admin/reload") => Plan::Ready(self.reload(req)),
             (Method::Post, "/admin/shutdown") => {
                 self.shutdown.store(true, Ordering::SeqCst);
-                Response::json(200, "{\"status\":\"shutting down\"}")
+                Plan::Ready(Response::json(200, "{\"status\":\"shutting down\"}"))
             }
             (_, path) if KNOWN_PATHS.contains(&path) => {
-                error_response(405, format!("method not allowed for {path}"))
+                Plan::Ready(error_response(405, format!("method not allowed for {path}")))
             }
-            (_, path) => error_response(404, format!("no such endpoint: {path}")),
+            (_, path) => Plan::Ready(error_response(404, format!("no such endpoint: {path}"))),
         }
     }
 
-    /// `POST /v1/solve` — full-instance USMDW solve.
-    fn solve(&self, session: &mut SolveSession, req: &Request) -> Response {
+    /// Routes one parsed request to a finished response — the synchronous
+    /// path for unit tests and embedded callers without a worker pool.
+    pub fn handle(&self, session: &mut SolveSession, req: &Request) -> Response {
+        match self.plan(req) {
+            Plan::Ready(response) => response,
+            Plan::Work(item) => self.execute(session, &item, &mut InstanceCache::new(4)),
+        }
+    }
+
+    /// `POST /v1/solve` — parse, validate, and classify.
+    fn plan_solve(&self, req: &Request) -> Plan {
         let parsed = if !req.body.is_empty() {
             match body_json::<SolveRequest>(&req.body) {
                 Ok(p) => p,
-                Err(e) => return error_response(400, format!("invalid solve request: {e}")),
+                Err(e) => {
+                    return Plan::Ready(error_response(400, format!("invalid solve request: {e}")))
+                }
             }
         } else if !req.query.is_empty() {
             let generate = match gen_spec_from_query(&req.query) {
                 Ok(g) => g,
-                Err(e) => return error_response(400, e),
+                Err(e) => return Plan::Ready(error_response(400, e)),
             };
             let budget_ms = match query_num::<u64>(&req.query, "budget_ms") {
                 Ok(b) => b,
-                Err(e) => return error_response(400, e),
+                Err(e) => return Plan::Ready(error_response(400, e)),
             };
             let seed = match query_num::<u64>(&req.query, "seed") {
                 Ok(s) => s,
-                Err(e) => return error_response(400, e),
+                Err(e) => return Plan::Ready(error_response(400, e)),
             };
             SolveRequest {
                 instance: None,
@@ -224,7 +383,10 @@ impl Api {
                 seed,
             }
         } else {
-            return error_response(400, "empty solve request: send a JSON body or a query form");
+            return Plan::Ready(error_response(
+                400,
+                "empty solve request: send a JSON body or a query form",
+            ));
         };
 
         let method = match parsed.method.as_deref().unwrap_or("auto") {
@@ -240,100 +402,196 @@ impl Api {
                 }
             }
             other => {
-                return error_response(
+                return Plan::Ready(error_response(
                     400,
                     format!("unknown method {other:?} (expected smore|greedy|ratio|random|auto)"),
-                )
+                ))
             }
         };
 
-        let instance = match materialize(parsed.instance, parsed.generate) {
-            Ok(inst) => inst,
-            Err(e) => return error_response(400, e),
+        let source = match plan_source(parsed.instance, parsed.generate) {
+            Ok(source) => source,
+            Err(e) => return Plan::Ready(error_response(400, e)),
         };
-        let deadline = DeadlineSpec { budget_ms: parsed.budget_ms }.start();
 
-        let (solution, model_version, degraded, degraded_reason) = match method {
+        let kind = match method {
             SolveMethod::Smore => {
                 let Some((model, version)) = self.registry.snapshot() else {
-                    return error_response(
+                    return Plan::Ready(error_response(
                         409,
                         "method smore requires a loaded checkpoint (POST /admin/reload first)",
-                    );
+                    ));
                 };
-                let admission = self.breaker.admit(version);
-                // The model path is an ordinary `run_fallback` chain —
-                // the same machinery the offline FallbackSolver uses —
-                // with the model stage elided while the breaker is open.
-                let cell = std::cell::RefCell::new(&mut *session);
-                let mut stages: Vec<FallbackStage<'_, Instance, Solution, String>> = Vec::new();
-                if admission != Admission::Degraded {
-                    stages.push(FallbackStage {
-                        label: "tasnet",
-                        run: Box::new(|inst: &Instance| {
-                            cell.borrow_mut()
-                                .try_solve_tasnet(&model.net, &model.critic, inst, deadline)
-                                .ok_or_else(|| "model episode failed".to_string())
-                        }),
-                    });
-                }
-                stages.push(FallbackStage {
-                    label: "greedy",
-                    run: Box::new(|inst: &Instance| {
-                        Ok(cell.borrow_mut().solve_policy(inst, &mut GreedySelection, deadline))
-                    }),
-                });
-                let (winner, solution) =
-                    match run_fallback(&instance, &mut stages, || "empty fallback chain".into()) {
-                        Ok(r) => r,
-                        Err(e) => return error_response(500, format!("solve failed: {e}")),
-                    };
-                drop(stages);
-                let model_ran = admission != Admission::Degraded;
-                let model_won = model_ran && winner == 0;
-                if model_ran {
-                    if model_won {
-                        self.breaker.on_success(version);
-                    } else if self.breaker.on_failure(version) {
-                        self.metrics.record_breaker_trip();
-                    }
-                }
-                self.metrics.set_breaker_state(self.breaker.state().gauge());
-                let (degraded, reason) = if !model_ran {
-                    (true, Some("circuit breaker open: served by greedy fallback".to_string()))
-                } else if !model_won {
-                    (true, Some("model episode failed: served by greedy fallback".to_string()))
-                } else {
-                    (false, None)
-                };
-                if degraded {
-                    self.metrics.record_degraded();
-                }
-                (solution, version, degraded, reason)
+                let admitted = self.breaker.admit(version) != Admission::Degraded;
+                WorkKind::Model { model, version, admitted, budget_ms: parsed.budget_ms }
             }
-            SolveMethod::Greedy => {
-                (session.solve_policy(&instance, &mut GreedySelection, deadline), 0, false, None)
+            method => WorkKind::Policy {
+                method,
+                seed: parsed.seed.unwrap_or(0),
+                budget_ms: parsed.budget_ms,
+            },
+        };
+        Plan::Work(Box::new(WorkItem { endpoint: Endpoint::Solve, source, kind }))
+    }
+
+    /// `POST /v1/feasible` — parse and validate the probe form.
+    fn plan_feasible(&self, req: &Request) -> Plan {
+        let parsed = if !req.body.is_empty() {
+            match body_json::<FeasibleRequest>(&req.body) {
+                Ok(p) => p,
+                Err(e) => {
+                    return Plan::Ready(error_response(
+                        400,
+                        format!("invalid feasible request: {e}"),
+                    ))
+                }
             }
-            SolveMethod::Ratio => (
-                session.solve_policy(&instance, &mut RatioGreedySelection, deadline),
-                0,
-                false,
-                None,
-            ),
-            SolveMethod::Random => {
-                let mut policy = RandomSelection::new(parsed.seed.unwrap_or(0));
-                (session.solve_policy(&instance, &mut policy, deadline), 0, false, None)
-            }
+        } else if !req.query.is_empty() {
+            let generate = match gen_spec_from_query(&req.query) {
+                Ok(g) => g,
+                Err(e) => return Plan::Ready(error_response(400, e)),
+            };
+            let (worker, task) = match (
+                query_num::<usize>(&req.query, "worker"),
+                query_num::<usize>(&req.query, "task"),
+            ) {
+                (Ok(Some(w)), Ok(Some(t))) => (w, t),
+                (Err(e), _) | (_, Err(e)) => return Plan::Ready(error_response(400, e)),
+                _ => {
+                    return Plan::Ready(error_response(
+                        400,
+                        "query form requires worker=<i> and task=<j>",
+                    ));
+                }
+            };
+            FeasibleRequest { instance: None, generate: Some(generate), worker, task }
+        } else {
+            return Plan::Ready(error_response(
+                400,
+                "empty feasible request: send a JSON body or a query form",
+            ));
         };
 
-        let stats = match evaluate(&instance, &solution) {
+        let source = match plan_source(parsed.instance, parsed.generate) {
+            Ok(source) => source,
+            Err(e) => return Plan::Ready(error_response(400, e)),
+        };
+        Plan::Work(Box::new(WorkItem {
+            endpoint: Endpoint::Feasible,
+            source,
+            kind: WorkKind::Probe { worker: parsed.worker, task: parsed.task },
+        }))
+    }
+
+    /// Executes one work item on a worker session — the solo path. Batched
+    /// model items run the forward together via
+    /// [`SolveSession::solve_tasnet_batch`] and scatter through
+    /// `Api::finish_model_solve`; a batchable item executed here still
+    /// runs as a batch of one, so its bytes cannot depend on placement.
+    pub(crate) fn execute(
+        &self,
+        session: &mut SolveSession,
+        item: &WorkItem,
+        cache: &mut InstanceCache,
+    ) -> Response {
+        let instance = cache.materialize(&item.source);
+        match item.kind {
+            WorkKind::Policy { method, seed, budget_ms } => {
+                let deadline = DeadlineSpec { budget_ms }.start();
+                let solution = match method {
+                    SolveMethod::Ratio => {
+                        session.solve_policy(&instance, &mut RatioGreedySelection, deadline)
+                    }
+                    SolveMethod::Random => {
+                        let mut policy = RandomSelection::new(seed);
+                        session.solve_policy(&instance, &mut policy, deadline)
+                    }
+                    // Smore plans as WorkKind::Model, never Policy.
+                    SolveMethod::Greedy | SolveMethod::Smore => {
+                        session.solve_policy(&instance, &mut GreedySelection, deadline)
+                    }
+                };
+                self.solution_response(method.label(), 0, &instance, solution, false, None)
+            }
+            WorkKind::Model { ref model, version, admitted, budget_ms } => {
+                let deadline = DeadlineSpec { budget_ms }.start();
+                let forward = if !admitted {
+                    None
+                } else if budget_ms.is_some() {
+                    // Deadline-bound: the solo anytime path.
+                    session.try_solve_tasnet(&model.net, &model.critic, &instance, deadline)
+                } else {
+                    // The batch path with a batch of one: identical bytes
+                    // to the same request answered inside a larger batch.
+                    session.solve_tasnet_batch(&model.net, &[&instance]).pop().flatten()
+                };
+                self.finish_model_solve(session, version, admitted, deadline, &instance, forward)
+            }
+            WorkKind::Probe { worker, task } => {
+                self.probe_response(session, &instance, worker, task)
+            }
+        }
+    }
+
+    /// Turns a model forward outcome into the response: success closes the
+    /// breaker window, a failed episode falls back to greedy (on the
+    /// *remaining* deadline) and reports `degraded`. Shared by the solo
+    /// path and the micro-batch scatter.
+    pub(crate) fn finish_model_solve(
+        &self,
+        session: &mut SolveSession,
+        version: u64,
+        admitted: bool,
+        deadline: Deadline,
+        instance: &Instance,
+        forward: Option<Solution>,
+    ) -> Response {
+        let (solution, degraded, reason) = match (admitted, forward) {
+            (true, Some(solution)) => {
+                self.breaker.on_success(version);
+                (solution, false, None)
+            }
+            (true, None) => {
+                if self.breaker.on_failure(version) {
+                    self.metrics.record_breaker_trip();
+                }
+                (
+                    session.solve_policy(instance, &mut GreedySelection, deadline),
+                    true,
+                    Some("model episode failed: served by greedy fallback".to_string()),
+                )
+            }
+            (false, _) => (
+                session.solve_policy(instance, &mut GreedySelection, deadline),
+                true,
+                Some("circuit breaker open: served by greedy fallback".to_string()),
+            ),
+        };
+        self.metrics.set_breaker_state(self.breaker.state().gauge());
+        if degraded {
+            self.metrics.record_degraded();
+        }
+        self.solution_response("smore", version, instance, solution, degraded, reason)
+    }
+
+    /// Validates and serializes a finished solve.
+    fn solution_response(
+        &self,
+        method: &str,
+        model_version: u64,
+        instance: &Instance,
+        solution: Solution,
+        degraded: bool,
+        degraded_reason: Option<String>,
+    ) -> Response {
+        let stats = match evaluate(instance, &solution) {
             Ok(stats) => stats,
             // Solvers return validated solutions; reaching this is a server
             // bug, not a client error.
             Err(e) => return error_response(500, format!("solution failed validation: {e}")),
         };
         let body = SolveResponse {
-            method: method.label().to_string(),
+            method: method.to_string(),
             model_version,
             objective: stats.objective,
             completed: stats.completed,
@@ -350,74 +608,46 @@ impl Api {
         }
     }
 
-    /// `POST /v1/feasible` — single `(worker, task)` candidate probe.
-    fn feasible(&self, session: &mut SolveSession, req: &Request) -> Response {
-        let parsed = if !req.body.is_empty() {
-            match body_json::<FeasibleRequest>(&req.body) {
-                Ok(p) => p,
-                Err(e) => return error_response(400, format!("invalid feasible request: {e}")),
-            }
-        } else if !req.query.is_empty() {
-            let generate = match gen_spec_from_query(&req.query) {
-                Ok(g) => g,
-                Err(e) => return error_response(400, e),
-            };
-            let (worker, task) = match (
-                query_num::<usize>(&req.query, "worker"),
-                query_num::<usize>(&req.query, "task"),
-            ) {
-                (Ok(Some(w)), Ok(Some(t))) => (w, t),
-                (Err(e), _) | (_, Err(e)) => return error_response(400, e),
-                _ => {
-                    return error_response(400, "query form requires worker=<i> and task=<j>");
-                }
-            };
-            FeasibleRequest { instance: None, generate: Some(generate), worker, task }
-        } else {
-            return error_response(400, "empty feasible request: send a JSON body or a query form");
-        };
-
-        let instance = match materialize(parsed.instance, parsed.generate) {
-            Ok(inst) => inst,
-            Err(e) => return error_response(400, e),
-        };
+    /// Executes a `(worker, task)` candidate probe.
+    fn probe_response(
+        &self,
+        session: &mut SolveSession,
+        instance: &Instance,
+        worker: usize,
+        task: usize,
+    ) -> Response {
         // Bounds-check before the probe — SolveSession::probe panics on
         // out-of-range ids by contract.
-        if parsed.worker >= instance.n_workers() {
+        if worker >= instance.n_workers() {
             return error_response(
                 400,
-                format!(
-                    "worker {} out of range (instance has {})",
-                    parsed.worker,
-                    instance.n_workers()
-                ),
+                format!("worker {} out of range (instance has {})", worker, instance.n_workers()),
             );
         }
-        if parsed.task >= instance.n_tasks() {
+        if task >= instance.n_tasks() {
             return error_response(
                 400,
-                format!("task {} out of range (instance has {})", parsed.task, instance.n_tasks()),
+                format!("task {} out of range (instance has {})", task, instance.n_tasks()),
             );
         }
 
-        let body =
-            match session.probe(&instance, WorkerId(parsed.worker), SensingTaskId(parsed.task)) {
-                Ok(Some(probe)) => FeasibleResponse {
-                    feasible: true,
-                    rtt: Some(probe.rtt),
-                    delta_in: Some(probe.delta_in),
-                    route: Some(probe.route),
-                },
-                Ok(None) => {
-                    FeasibleResponse { feasible: false, rtt: None, delta_in: None, route: None }
-                }
-                Err(e) => {
-                    return error_response(
-                        400,
-                        format!("worker {} has no feasible mandatory route: {e}", parsed.worker),
-                    )
-                }
-            };
+        let body = match session.probe(instance, WorkerId(worker), SensingTaskId(task)) {
+            Ok(Some(probe)) => FeasibleResponse {
+                feasible: true,
+                rtt: Some(probe.rtt),
+                delta_in: Some(probe.delta_in),
+                route: Some(probe.route),
+            },
+            Ok(None) => {
+                FeasibleResponse { feasible: false, rtt: None, delta_in: None, route: None }
+            }
+            Err(e) => {
+                return error_response(
+                    400,
+                    format!("worker {} has no feasible mandatory route: {e}", worker),
+                )
+            }
+        };
         match serde_json::to_string(&body) {
             Ok(json) => Response::json(200, json),
             Err(e) => error_response(500, format!("response serialization failed: {e}")),
@@ -480,11 +710,23 @@ mod tests {
     }
 
     fn get(path: &str) -> Request {
-        Request { method: Method::Get, path: path.into(), query: String::new(), body: Vec::new() }
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            query: String::new(),
+            body: Vec::new(),
+            close: false,
+        }
     }
 
     fn post(path: &str, query: &str) -> Request {
-        Request { method: Method::Post, path: path.into(), query: query.into(), body: Vec::new() }
+        Request {
+            method: Method::Post,
+            path: path.into(),
+            query: query.into(),
+            body: Vec::new(),
+            close: false,
+        }
     }
 
     #[test]
@@ -585,6 +827,7 @@ mod tests {
             path: "/admin/reload".into(),
             query: String::new(),
             body: b"not json".to_vec(),
+            close: false,
         };
         assert_eq!(api.handle(&mut s, &garbage).status, 400);
     }
@@ -593,6 +836,60 @@ mod tests {
     fn json_string_escapes_specials() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn plan_classifies_requests() {
+        let api = api();
+        // Admin/health/metrics and validation errors are Ready.
+        assert!(matches!(api.plan(&get("/healthz")), Plan::Ready(_)));
+        assert!(matches!(api.plan(&get("/metrics")), Plan::Ready(_)));
+        assert!(matches!(api.plan(&post("/v1/solve", "dataset=mars")), Plan::Ready(_)));
+        // Heuristic solves and probes are Work but never batchable.
+        let Plan::Work(item) = api.plan(&post("/v1/solve", "dataset=delivery&method=greedy"))
+        else {
+            panic!("greedy solve must be Work");
+        };
+        assert!(item.batch_model().is_none());
+        let Plan::Work(probe) = api.plan(&post("/v1/feasible", "dataset=delivery&worker=0&task=0"))
+        else {
+            panic!("probe must be Work");
+        };
+        assert!(probe.batch_model().is_none());
+        assert_eq!(probe.endpoint, Endpoint::Feasible);
+        // Model solves without a budget batch under the snapshot version;
+        // a budget_ms makes the same request solo.
+        api.registry.install(delivery_model(9));
+        let Plan::Work(model) = api.plan(&post("/v1/solve", "dataset=delivery&method=smore"))
+        else {
+            panic!("model solve must be Work");
+        };
+        let (_, version) = model.batch_model().expect("admitted, budget-free: batchable");
+        assert_eq!(version, 1);
+        let Plan::Work(budgeted) =
+            api.plan(&post("/v1/solve", "dataset=delivery&method=smore&budget_ms=50"))
+        else {
+            panic!("budgeted model solve must be Work");
+        };
+        assert!(budgeted.batch_model().is_none(), "deadline requests never batch");
+    }
+
+    #[test]
+    fn instance_cache_returns_identical_instances_and_evicts_lru() {
+        let mut cache = InstanceCache::new(2);
+        let source = |seed| InstanceSource::Generated {
+            kind: DatasetKind::Delivery,
+            scale: Scale::Small,
+            seed,
+        };
+        let a1 = cache.materialize(&source(1));
+        let a2 = cache.materialize(&source(1));
+        assert!(Arc::ptr_eq(&a1, &a2), "hit must serve the cached Arc");
+        // Fill past capacity: seed 1 is the LRU victim after 2 and 3.
+        let _ = cache.materialize(&source(2));
+        let _ = cache.materialize(&source(3));
+        let a3 = cache.materialize(&source(1));
+        assert!(!Arc::ptr_eq(&a1, &a3), "evicted entry must be regenerated");
     }
 
     #[test]
@@ -678,5 +975,48 @@ mod tests {
         let c = api.handle(&mut s2, &req);
         assert_eq!(a.body, b.body, "same session, interleaved other work");
         assert_eq!(a.body, c.body, "fresh session");
+    }
+
+    #[test]
+    fn batched_model_solve_matches_solo_byte_for_byte() {
+        let api = api();
+        api.registry.install(delivery_model(9));
+        let mut s = SolveSession::new();
+        // Solo answer through the public path (a batch of one inside).
+        let req = post("/v1/solve", "dataset=delivery&gen_seed=7&method=smore");
+        let solo = api.handle(&mut s, &req);
+        assert_eq!(solo.status, 200);
+        // The same request as one row of a 4-wide batch: forward all rows
+        // through the session batch primitive, then scatter row 0.
+        let Plan::Work(item) = api.plan(&req) else { panic!("smore solve must be Work") };
+        let (model, version) = {
+            let (m, v) = item.batch_model().expect("batchable");
+            (Arc::clone(m), v)
+        };
+        let mut cache = InstanceCache::new(8);
+        let instance = cache.materialize(&item.source);
+        let others: Vec<Arc<Instance>> = (0..3)
+            .map(|seed| {
+                cache.materialize(&InstanceSource::Generated {
+                    kind: DatasetKind::Delivery,
+                    scale: Scale::Small,
+                    seed,
+                })
+            })
+            .collect();
+        let mut refs: Vec<&Instance> = vec![&instance];
+        refs.extend(others.iter().map(|a| a.as_ref()));
+        let rows = s.solve_tasnet_batch(&model.net, &refs);
+        assert_eq!(rows.len(), 4);
+        let row0 = rows.into_iter().next().expect("row 0");
+        let batched = api.finish_model_solve(
+            &mut s,
+            version,
+            true,
+            DeadlineSpec { budget_ms: None }.start(),
+            &instance,
+            row0,
+        );
+        assert_eq!(solo.body, batched.body, "batch placement changed response bytes");
     }
 }

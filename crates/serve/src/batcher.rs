@@ -1,0 +1,119 @@
+//! Micro-batch admission: coalesces planned work items into one queue
+//! handoff (and, downstream, one shared model-forward pass for items on the
+//! same checkpoint version).
+//!
+//! The event loop admits solver-bound items here instead of pushing each
+//! one onto the work queue individually. A batch flushes when it reaches
+//! `max_batch` items (reason `full`) or when its oldest item has waited
+//! `max_delay` (reason `deadline`). The delay bound keeps the latency cost
+//! of coalescing explicit and small — a lone request is never held longer
+//! than `max_delay`.
+//!
+//! The batcher never inspects item payloads, so batch *placement* is pure
+//! arrival-order bookkeeping; determinism of the responses themselves is
+//! the handlers' contract (see `api.rs`).
+
+use std::time::{Duration, Instant};
+
+use crate::metrics::FlushReason;
+
+/// Accumulates items for micro-batch admission.
+pub(crate) struct Batcher<T> {
+    pending: Vec<T>,
+    oldest: Option<Instant>,
+    max_batch: usize,
+    max_delay: Duration,
+}
+
+impl<T> Batcher<T> {
+    /// A batcher flushing at `max_batch` items or `max_delay` age,
+    /// whichever comes first (`max_batch` minimum 1).
+    pub(crate) fn new(max_batch: usize, max_delay: Duration) -> Self {
+        Batcher { pending: Vec::new(), oldest: None, max_batch: max_batch.max(1), max_delay }
+    }
+
+    /// Admits one item. Returns the full batch when this item filled it;
+    /// otherwise the item waits for more arrivals or the deadline sweep.
+    pub(crate) fn admit(&mut self, item: T, now: Instant) -> Option<(Vec<T>, FlushReason)> {
+        if self.pending.is_empty() {
+            self.oldest = Some(now);
+        }
+        self.pending.push(item);
+        if self.pending.len() >= self.max_batch {
+            return self.flush(FlushReason::Full);
+        }
+        None
+    }
+
+    /// Whether the pending batch's oldest item has aged past `max_delay`.
+    pub(crate) fn due(&self, now: Instant) -> bool {
+        match self.oldest {
+            Some(oldest) => now.duration_since(oldest) >= self.max_delay,
+            None => false,
+        }
+    }
+
+    /// Time until the pending batch comes due, if anything is pending —
+    /// the event loop's sleep bound.
+    pub(crate) fn due_in(&self, now: Instant) -> Option<Duration> {
+        let oldest = self.oldest?;
+        Some(self.max_delay.saturating_sub(now.duration_since(oldest)))
+    }
+
+    /// Hands out the pending batch (empty → `None`).
+    pub(crate) fn flush(&mut self, reason: FlushReason) -> Option<(Vec<T>, FlushReason)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.oldest = None;
+        Some((std::mem::take(&mut self.pending), reason))
+    }
+
+    /// Number of items waiting in the pending batch.
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_max_batch_and_flushes_full() {
+        let mut b = Batcher::new(3, Duration::from_millis(10));
+        let t0 = Instant::now();
+        assert!(b.admit(1, t0).is_none());
+        assert!(b.admit(2, t0).is_none());
+        let (batch, reason) = b.admit(3, t0).expect("third item fills the batch");
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert_eq!(reason, FlushReason::Full);
+        assert_eq!(b.pending_len(), 0);
+        assert!(!b.due(t0 + Duration::from_secs(1)), "flushed batcher is never due");
+    }
+
+    #[test]
+    fn deadline_is_measured_from_the_oldest_item() {
+        let mut b = Batcher::new(8, Duration::from_millis(10));
+        let t0 = Instant::now();
+        assert!(b.admit("a", t0).is_none());
+        // A later arrival does not extend the oldest item's deadline.
+        assert!(b.admit("b", t0 + Duration::from_millis(9)).is_none());
+        assert!(!b.due(t0 + Duration::from_millis(9)));
+        assert!(b.due(t0 + Duration::from_millis(10)));
+        assert_eq!(b.due_in(t0 + Duration::from_millis(4)), Some(Duration::from_millis(6)));
+        let (batch, reason) = b.flush(FlushReason::Deadline).expect("pending items");
+        assert_eq!(batch, vec!["a", "b"]);
+        assert_eq!(reason, FlushReason::Deadline);
+        assert!(b.flush(FlushReason::Deadline).is_none(), "second flush is empty");
+    }
+
+    #[test]
+    fn max_batch_one_degenerates_to_immediate_passthrough() {
+        let mut b = Batcher::new(1, Duration::from_millis(500));
+        let t0 = Instant::now();
+        let (batch, reason) = b.admit(42, t0).expect("batch of one flushes at once");
+        assert_eq!(batch, vec![42]);
+        assert_eq!(reason, FlushReason::Full);
+    }
+}

@@ -1,11 +1,16 @@
 //! Minimal HTTP/1.1 framing over `std::net::TcpStream`.
 //!
 //! The server speaks exactly the subset the API needs: `GET`/`POST`
-//! requests with an optional `Content-Length` body, one request per
-//! connection (`Connection: close` on every response — connection setup is
-//! cheap on loopback and per-request connections keep the bounded-queue
-//! semantics honest: one queue slot == one request). Parsing is defensive:
-//! header and body size caps, typed errors, no panics.
+//! requests with an optional `Content-Length` body, keep-alive and
+//! pipelining per HTTP/1.1 defaults (a request carrying `Connection:
+//! close` gets `Connection: close` on its response and ends the
+//! connection). Parsing is defensive: header and body size caps, typed
+//! errors, no panics. Two consumption styles share one parser:
+//!
+//! * [`read_request`] — blocking, one request from a stream (tests,
+//!   simple clients);
+//! * `parse_buffered` — incremental, over a connection's accumulated
+//!   read buffer (the event loop's per-connection state machines).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -25,6 +30,9 @@ pub struct Request {
     pub query: String,
     /// The request body (empty for bodyless requests).
     pub body: Vec<u8>,
+    /// The client sent `Connection: close`: answer this request, then end
+    /// the connection instead of keeping it alive.
+    pub close: bool,
 }
 
 /// Request methods the API accepts.
@@ -123,8 +131,55 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
 }
 
 /// Index of `\r\n\r\n` in `bytes`, if present.
-fn find_head_end(bytes: &[u8]) -> Option<usize> {
+pub(crate) fn find_head_end(bytes: &[u8]) -> Option<usize> {
     bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One step of incremental parsing over a connection's read buffer.
+#[derive(Debug)]
+pub(crate) enum Parsed {
+    /// A complete request; `consumed` bytes of the buffer belong to it.
+    Complete {
+        /// The parsed request.
+        request: Box<Request>,
+        /// Head + body length to drain from the front of the buffer.
+        consumed: usize,
+    },
+    /// The buffer holds only part of a request head or body; read more.
+    Partial,
+    /// The buffer cannot be a valid request; answer and close.
+    Invalid(ParseError),
+}
+
+/// Attempts to parse one request from the front of `buf` without blocking,
+/// enforcing `max_body_bytes`. The caller drains `consumed` bytes on
+/// [`Parsed::Complete`] and may call again for pipelined successors.
+pub(crate) fn parse_buffered(buf: &[u8], max_body_bytes: usize) -> Parsed {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Parsed::Invalid(ParseError::HeadTooLarge);
+        }
+        return Parsed::Partial;
+    };
+    let (request, content_length) = match parse_head(&buf[..head_end]) {
+        Ok(parsed) => parsed,
+        Err(e) => return Parsed::Invalid(e),
+    };
+    if content_length > max_body_bytes {
+        return Parsed::Invalid(ParseError::BodyTooLarge {
+            declared: content_length,
+            cap: max_body_bytes,
+        });
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Parsed::Partial;
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    Parsed::Complete {
+        request: Box::new(Request { body, ..request }),
+        consumed: body_start + content_length,
+    }
 }
 
 /// Parses the request line + headers; returns the request (empty body) and
@@ -148,11 +203,17 @@ fn parse_head(head: &[u8]) -> Result<(Request, usize), ParseError> {
 
     let mut content_length = 0usize;
     let mut saw_content_length = false;
+    let mut close = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value.trim().parse().map_err(|_| ParseError::BadContentLength)?;
             saw_content_length = true;
+        } else if name.eq_ignore_ascii_case("connection")
+            && value.trim().eq_ignore_ascii_case("close")
+        {
+            close = true;
         }
     }
     // POST without Content-Length is treated as an empty body (the
@@ -165,7 +226,7 @@ fn parse_head(head: &[u8]) -> Result<(Request, usize), ParseError> {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target.to_string(), String::new()),
     };
-    Ok((Request { method, path, query, body: Vec::new() }, content_length))
+    Ok((Request { method, path, query, body: Vec::new(), close }, content_length))
 }
 
 /// An outgoing response.
@@ -225,23 +286,37 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serializes and writes `response` to `stream`. Write errors are returned
-/// (the caller counts them but cannot do anything else — the client is
-/// gone).
-pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+/// Appends the serialized response to `out` (the event loop's
+/// per-connection write buffer). `keep_alive` selects the `Connection:`
+/// header; a `close` response is the last one on its connection.
+pub fn encode_response(response: &Response, keep_alive: bool, out: &mut Vec<u8>) {
+    use std::fmt::Write as _;
+    let mut head = String::with_capacity(128);
+    let _ = write!(
+        head,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     if let Some(secs) = response.retry_after {
-        head.push_str(&format!("Retry-After: {secs}\r\n"));
+        let _ = write!(head, "Retry-After: {secs}\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(&response.body);
+}
+
+/// Serializes and writes `response` to `stream` with `Connection: close`
+/// (blocking one-shot path: tests and shed responses). Write errors are
+/// returned (the caller counts them but cannot do anything else — the
+/// client is gone).
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(128 + response.body.len());
+    encode_response(response, false, &mut bytes);
+    stream.write_all(&bytes)?;
     stream.flush()
 }
 
@@ -293,5 +368,66 @@ mod tests {
         for s in [200, 400, 404, 405, 409, 413, 431, 500, 503, 504] {
             assert_ne!(reason(s), "Unknown", "status {s}");
         }
+    }
+
+    #[test]
+    fn connection_close_header_is_detected() {
+        let (req, _) = head_of("GET /healthz HTTP/1.1\r\nConnection: close").unwrap();
+        assert!(req.close);
+        let (req, _) = head_of("GET /healthz HTTP/1.1\r\nConnection: keep-alive").unwrap();
+        assert!(!req.close);
+        let (req, _) = head_of("GET /healthz HTTP/1.1\r\nHost: t").unwrap();
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parse_buffered_handles_partial_pipelined_and_invalid_input() {
+        let one = b"POST /v1/solve?seed=1 HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        // Every strict prefix is Partial, never an error.
+        for cut in 0..one.len() {
+            assert!(matches!(parse_buffered(&one[..cut], 1024), Parsed::Partial), "cut {cut}");
+        }
+        // Two pipelined requests parse in sequence, draining `consumed`.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(one);
+        buf.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let Parsed::Complete { request, consumed } = parse_buffered(&buf, 1024) else {
+            panic!("first request must parse");
+        };
+        assert_eq!(request.path, "/v1/solve");
+        assert_eq!(request.body, b"hi");
+        assert_eq!(consumed, one.len());
+        buf.drain(..consumed);
+        let Parsed::Complete { request, consumed } = parse_buffered(&buf, 1024) else {
+            panic!("second request must parse");
+        };
+        assert_eq!(request.path, "/healthz");
+        assert_eq!(request.method, Method::Get);
+        buf.drain(..consumed);
+        assert!(matches!(parse_buffered(&buf, 1024), Parsed::Partial), "empty buffer");
+        // Oversized declared body and garbage are Invalid.
+        assert!(matches!(
+            parse_buffered(b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\n", 10),
+            Parsed::Invalid(ParseError::BodyTooLarge { declared: 99, cap: 10 })
+        ));
+        assert!(matches!(
+            parse_buffered(b"garbage\r\n\r\n", 1024),
+            Parsed::Invalid(ParseError::BadRequestLine)
+        ));
+    }
+
+    #[test]
+    fn encode_response_sets_connection_header() {
+        let resp = Response::json(200, "{}");
+        let mut keep = Vec::new();
+        encode_response(&resp, true, &mut keep);
+        let keep = String::from_utf8(keep).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"), "{keep}");
+        assert!(keep.ends_with("\r\n\r\n{}"), "{keep}");
+        let mut close = Vec::new();
+        encode_response(&Response::shed(3), false, &mut close);
+        let close = String::from_utf8(close).unwrap();
+        assert!(close.contains("Connection: close\r\n"), "{close}");
+        assert!(close.contains("Retry-After: 3\r\n"), "{close}");
     }
 }

@@ -4,41 +4,56 @@
 //! explicit overload behavior:
 //!
 //! * [`http`] — minimal HTTP/1.1 framing over `std::net` (no external
-//!   dependencies): GET/POST, size caps, typed parse errors, one request
-//!   per connection.
-//! * [`queue`] — a bounded MPMC queue between the acceptor and the worker
-//!   pool; a full queue sheds with `503 + Retry-After` instead of growing
-//!   latency without bound, and shutdown drains every accepted request.
+//!   dependencies): GET/POST, size caps, typed parse errors, keep-alive
+//!   and pipelining via incremental buffer parsing.
+//! * `poller` (private) — the readiness layer: nonblocking sockets in a
+//!   generation-guarded slab, swept with adaptive per-connection backoff;
+//!   per-connection state machines enforce pipeline response order.
+//! * `batcher` (private) — micro-batch admission: solver-bound requests
+//!   coalesce into one queue handoff, flushed at `max_batch` items or
+//!   `max_delay_us` age, whichever first.
+//! * [`queue`] — a bounded MPMC queue between the event loop and the
+//!   worker pool; a full queue sheds with `503 + Retry-After` instead of
+//!   growing latency without bound, and shutdown drains every admitted
+//!   request.
 //! * [`registry`] — TASNet checkpoints behind `Arc`, hot-swapped by
 //!   `POST /admin/reload` without dropping in-flight requests.
-//! * [`api`] — routing + handlers: `POST /v1/solve` (full instance or
-//!   seeded generator spec, per-request deadline budgets), `POST
-//!   /v1/feasible` (single candidate probe through the incremental
-//!   evaluator), `GET /healthz`, `GET /metrics`, and the admin endpoints.
+//! * [`api`] — routing + handlers, split into a cheap `plan` step (run on
+//!   the event loop: routing, validation, admission) and an `execute` step
+//!   (run on workers): `POST /v1/solve` (full instance or seeded generator
+//!   spec, per-request deadline budgets), `POST /v1/feasible` (single
+//!   candidate probe through the incremental evaluator), `GET /healthz`,
+//!   `GET /metrics`, and the admin endpoints.
 //! * [`metrics`] — atomic counters (requests by endpoint/status, shed
-//!   count, queue high-water mark) and latency histograms, rendered as
-//!   plain text.
-//! * [`server`] — the acceptor thread + supervised worker pool, each
-//!   worker owning one [`smore::SolveSession`]; graceful shutdown.
-//! * [`supervisor`] — fault tolerance for the pool: per-request panic
-//!   containment (`catch_unwind` + session quarantine + respawn) and a
-//!   watchdog answering a structured 504 when a solver wedges past the
-//!   hard deadline.
+//!   count, queue high-water mark, batch-size histogram, flush reasons,
+//!   connection-state gauges) and latency histograms, rendered as plain
+//!   text.
+//! * [`server`] — a single readiness event loop owning every socket +
+//!   the supervised worker pool, each worker owning one
+//!   [`smore::SolveSession`]; graceful drain on shutdown.
+//! * [`supervisor`] — fault tolerance for the pool: per-job panic
+//!   containment (`catch_unwind` + session quarantine + respawn + requeue
+//!   of innocent batchmates) and a watchdog answering a structured 504
+//!   when a solver wedges past the hard deadline.
 //! * [`breaker`] — a per-model-version circuit breaker; consecutive model
 //!   failures flip `/v1/solve` onto the baseline fallback (marked
 //!   `"degraded": true`) until a half-open probe succeeds.
 //!
 //! Handlers are deterministic in the request bytes and the loaded
 //! checkpoint: identical requests produce byte-identical response bodies
-//! regardless of thread-pool size or request interleaving.
+//! regardless of thread-pool size, request interleaving, or micro-batch
+//! placement (model forwards always go through the batch path, so a
+//! singleton and a batch row compute identically).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
+mod batcher;
 pub mod breaker;
 pub mod http;
 pub mod metrics;
+mod poller;
 pub mod queue;
 pub mod registry;
 pub mod server;
@@ -47,7 +62,7 @@ pub mod supervisor;
 pub use api::{endpoint_of, error_response, Api};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use http::{Method, ParseError, Request, Response};
-pub use metrics::{Endpoint, Metrics};
+pub use metrics::{Endpoint, FlushReason, Metrics, BATCH_BUCKETS};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{build_model, LoadedModel, ModelRegistry, RegistryError};
 pub use server::{start, ServeConfig, ServerHandle};

@@ -95,6 +95,31 @@ struct EndpointMetrics {
     latency_sum_us: AtomicU64,
 }
 
+/// Why the micro-batcher flushed a batch to the worker queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The batch reached `max_batch` items.
+    Full,
+    /// The oldest pending item aged past `max_delay_us`.
+    Deadline,
+}
+
+impl FlushReason {
+    /// Stable label used in the `smore_batch_flush_total` metric.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushReason::Full => "full",
+            FlushReason::Deadline => "deadline",
+        }
+    }
+}
+
+/// Upper bucket bounds of the batch-size histogram (the last implicit
+/// bucket is `+Inf`).
+pub const BATCH_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+const N_BATCH_BUCKETS: usize = BATCH_BUCKETS.len() + 1;
+
 /// Smoothing factor of the latency EWMA feeding the adaptive `Retry-After`.
 const EWMA_ALPHA: f64 = 0.2;
 
@@ -121,6 +146,15 @@ pub struct Metrics {
     // f64 bits of the request-latency EWMA (ms), updated per request.
     latency_ewma_ms_bits: AtomicU64,
     retry_after_secs: AtomicU64,
+    // Event-loop surface: micro-batch admission and connection states.
+    batch_buckets: [AtomicU64; N_BATCH_BUCKETS],
+    batch_count: AtomicU64,
+    batch_item_sum: AtomicU64,
+    batch_flush_full: AtomicU64,
+    batch_flush_deadline: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_open: AtomicUsize,
+    connections_busy: AtomicUsize,
 }
 
 impl Metrics {
@@ -250,6 +284,56 @@ impl Metrics {
         self.checkpoint_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one flushed micro-batch: its size lands in the
+    /// `smore_batch_size` histogram, the reason in
+    /// `smore_batch_flush_total{reason=...}`.
+    pub fn record_batch_flush(&self, size: usize, reason: FlushReason) {
+        let bucket =
+            BATCH_BUCKETS.iter().position(|&ub| size as u64 <= ub).unwrap_or(BATCH_BUCKETS.len());
+        self.batch_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.batch_count.fetch_add(1, Ordering::Relaxed);
+        self.batch_item_sum.fetch_add(size as u64, Ordering::Relaxed);
+        match reason {
+            FlushReason::Full => self.batch_flush_full.fetch_add(1, Ordering::Relaxed),
+            FlushReason::Deadline => self.batch_flush_deadline.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Total flushed batches (the batch-size histogram's count).
+    pub fn batch_count(&self) -> u64 {
+        self.batch_count.load(Ordering::Relaxed)
+    }
+
+    /// Flushes counted for `reason`.
+    pub fn batch_flushes(&self, reason: FlushReason) -> u64 {
+        match reason {
+            FlushReason::Full => self.batch_flush_full.load(Ordering::Relaxed),
+            FlushReason::Deadline => self.batch_flush_deadline.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records one accepted connection.
+    pub fn record_connection_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total connections accepted since start.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the connection-state gauges: `open` registered
+    /// connections, of which `busy` have at least one request in flight.
+    pub fn set_connection_states(&self, open: usize, busy: usize) {
+        self.connections_open.store(open, Ordering::Relaxed);
+        self.connections_busy.store(busy, Ordering::Relaxed);
+    }
+
+    /// Currently open connections last published.
+    pub fn connections_open(&self) -> usize {
+        self.connections_open.load(Ordering::Relaxed)
+    }
+
     /// Records a request shed by the acceptor (queue full).
     pub fn record_shed(&self) {
         self.shed_total.fetch_add(1, Ordering::Relaxed);
@@ -343,6 +427,46 @@ impl Metrics {
             out,
             "smore_checkpoint_rejects_total {}",
             self.checkpoint_rejects.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "smore_batch_flush_total{{reason=\"full\"}} {}",
+            self.batch_flush_full.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "smore_batch_flush_total{{reason=\"deadline\"}} {}",
+            self.batch_flush_deadline.load(Ordering::Relaxed)
+        );
+        let batch_count = self.batch_count.load(Ordering::Relaxed);
+        if batch_count > 0 {
+            let mut cum = 0u64;
+            for (bi, ub) in BATCH_BUCKETS.iter().enumerate() {
+                cum += self.batch_buckets[bi].load(Ordering::Relaxed);
+                let _ = writeln!(out, "smore_batch_size_bucket{{le=\"{ub}\"}} {cum}");
+            }
+            let _ = writeln!(out, "smore_batch_size_bucket{{le=\"+Inf\"}} {batch_count}");
+            let _ = writeln!(
+                out,
+                "smore_batch_size_sum {}",
+                self.batch_item_sum.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(out, "smore_batch_size_count {batch_count}");
+        }
+        let _ = writeln!(
+            out,
+            "smore_connections_accepted_total {}",
+            self.connections_accepted.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "smore_connections_open {}",
+            self.connections_open.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "smore_connections_busy {}",
+            self.connections_busy.load(Ordering::Relaxed)
         );
         let _ = writeln!(out, "smore_latency_ewma_ms {:.3}", self.latency_ewma_ms());
         let _ = writeln!(
@@ -481,6 +605,32 @@ mod tests {
             text.contains("smore_requests_total{endpoint=\"solve\",status=\"504\"} 1"),
             "504 must be a first-class status dimension: {text}"
         );
+    }
+
+    #[test]
+    fn batcher_and_connection_metrics_render() {
+        let m = Metrics::new();
+        m.record_batch_flush(1, FlushReason::Deadline);
+        m.record_batch_flush(8, FlushReason::Full);
+        m.record_batch_flush(3, FlushReason::Full);
+        m.record_connection_accepted();
+        m.record_connection_accepted();
+        m.set_connection_states(2, 1);
+        assert_eq!(m.batch_count(), 3);
+        assert_eq!(m.batch_flushes(FlushReason::Full), 2);
+        assert_eq!(m.batch_flushes(FlushReason::Deadline), 1);
+        let text = m.render();
+        assert!(text.contains("smore_batch_flush_total{reason=\"full\"} 2"), "{text}");
+        assert!(text.contains("smore_batch_flush_total{reason=\"deadline\"} 1"), "{text}");
+        assert!(text.contains("smore_batch_size_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("smore_batch_size_bucket{le=\"4\"} 2"), "{text}");
+        assert!(text.contains("smore_batch_size_bucket{le=\"8\"} 3"), "{text}");
+        assert!(text.contains("smore_batch_size_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("smore_batch_size_sum 12"), "{text}");
+        assert!(text.contains("smore_batch_size_count 3"), "{text}");
+        assert!(text.contains("smore_connections_accepted_total 2"), "{text}");
+        assert!(text.contains("smore_connections_open 2"), "{text}");
+        assert!(text.contains("smore_connections_busy 1"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! Readiness sweeping over nonblocking sockets, and the per-connection
+//! state machine for HTTP/1.1 keep-alive and pipelining.
+//!
+//! The workspace forbids unsafe code and external crates, so there is no
+//! OS readiness queue (epoll/kqueue) to call into. Instead every
+//! connection socket runs in nonblocking mode and the event loop *sweeps*:
+//! a `read` returning `WouldBlock` means "idle", anything else is
+//! progress. To keep a sweep over thousands of mostly-idle connections
+//! cheap, each connection carries an adaptive poll deadline — an idle
+//! connection's next read attempt backs off geometrically (1ms doubling to
+//! [`MAX_IDLE_BACKOFF`]) and snaps back to zero on any activity, so active
+//! connections are polled every loop iteration while parked keep-alive
+//! connections cost a clock comparison.
+//!
+//! [`Conn`] owns the byte-level invariants of pipelining: requests are
+//! numbered in arrival order and responses are written in exactly that
+//! order, no matter how the worker pool reorders completion. Out-of-order
+//! completions park in a small per-connection buffer until their turn.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Idle-poll backoff ceiling. A parked keep-alive connection is probed at
+/// least this often, bounding worst-case added latency for a connection
+/// that wakes up after a long quiet spell.
+pub(crate) const MAX_IDLE_BACKOFF: Duration = Duration::from_millis(32);
+
+/// Per-sweep read chunk. Large enough to take a full pipelined burst in
+/// one syscall, small enough to keep one connection from starving a sweep.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Cap on buffered bytes read ahead of parsing per connection; a client
+/// pipelining faster than the server answers is paused, not buffered
+/// without bound.
+pub(crate) const MAX_READ_BUF: usize = 256 * 1024;
+
+/// Stable handle to a pooled connection. The generation guards against
+/// slot reuse: a completion for a connection that died and whose slot now
+/// hosts a stranger resolves to `None` instead of the stranger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ConnToken {
+    pub(crate) index: usize,
+    pub(crate) generation: u64,
+}
+
+/// What a read sweep observed on one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadOutcome {
+    /// New bytes landed in the read buffer.
+    Data,
+    /// Nothing to read right now.
+    Idle,
+    /// Peer half-closed; no more requests will arrive.
+    Eof,
+    /// The connection is unusable (reset, broken pipe, …).
+    Dead,
+}
+
+/// One pooled connection's state.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into requests.
+    pub(crate) read_buf: Vec<u8>,
+    /// Encoded response bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    /// Sequence number the next parsed request will get.
+    next_seq: u64,
+    /// Sequence number the next written response must have.
+    next_write_seq: u64,
+    /// Completions that arrived ahead of their turn (seq, encoded bytes).
+    parked: Vec<(u64, Vec<u8>)>,
+    /// Requests handed to workers (or pending inline) and not yet written.
+    pub(crate) in_flight: usize,
+    /// Set once a request or error demands the connection close after the
+    /// response with this seq is written.
+    close_after: Option<u64>,
+    /// Peer sent EOF; drain writes, accept no new requests.
+    pub(crate) peer_closed: bool,
+    /// Instant of the last read/write progress (idle-cull clock).
+    pub(crate) last_activity: Instant,
+    /// Current idle backoff (zero while the connection is active).
+    backoff: Duration,
+    /// Next read attempt not before this instant.
+    due_at: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Self {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            next_seq: 0,
+            next_write_seq: 0,
+            parked: Vec::new(),
+            in_flight: 0,
+            close_after: None,
+            peer_closed: false,
+            last_activity: now,
+            backoff: Duration::ZERO,
+            due_at: now,
+        }
+    }
+
+    /// Whether this connection should be read-swept now.
+    pub(crate) fn read_due(&self, now: Instant) -> bool {
+        now >= self.due_at && !self.peer_closed && self.close_after.is_none()
+    }
+
+    /// Reads whatever the socket has ready into `read_buf`, up to the
+    /// buffer cap. Updates the activity clock and idle backoff.
+    pub(crate) fn sweep_read(&mut self, now: Instant) -> ReadOutcome {
+        if self.read_buf.len() >= MAX_READ_BUF {
+            // Parsing is behind; let it catch up before reading more.
+            return ReadOutcome::Idle;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut got_any = false;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    return if got_any { ReadOutcome::Data } else { ReadOutcome::Eof };
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    got_any = true;
+                    self.last_activity = now;
+                    self.backoff = Duration::ZERO;
+                    self.due_at = now;
+                    if n < chunk.len() || self.read_buf.len() >= MAX_READ_BUF {
+                        return ReadOutcome::Data;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    return if got_any {
+                        ReadOutcome::Data
+                    } else {
+                        self.backoff = if self.backoff.is_zero() {
+                            Duration::from_millis(1)
+                        } else {
+                            (self.backoff * 2).min(MAX_IDLE_BACKOFF)
+                        };
+                        self.due_at = now + self.backoff;
+                        ReadOutcome::Idle
+                    };
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Dead,
+            }
+        }
+    }
+
+    /// Assigns the next request sequence number (arrival order).
+    pub(crate) fn assign_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.in_flight += 1;
+        seq
+    }
+
+    /// Marks the connection to close after the response for `seq` goes
+    /// out (`Connection: close`, parse errors, watchdog kills).
+    pub(crate) fn close_after(&mut self, seq: u64) {
+        self.close_after = Some(match self.close_after {
+            Some(existing) => existing.min(seq),
+            None => seq,
+        });
+    }
+
+    /// Whether a response for `seq` will still be written. False once an
+    /// earlier response already closed the connection.
+    fn will_write(&self, seq: u64) -> bool {
+        self.close_after.map(|c| seq <= c).unwrap_or(true)
+    }
+
+    /// Accepts the encoded response for request `seq`, releasing it to the
+    /// write buffer in arrival order (parking it if earlier responses are
+    /// still pending).
+    pub(crate) fn complete(&mut self, seq: u64, encoded: Vec<u8>) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if !self.will_write(seq) {
+            return;
+        }
+        if seq == self.next_write_seq {
+            self.write_buf.extend_from_slice(&encoded);
+            self.next_write_seq += 1;
+            // Release any parked successors that are now in order.
+            while let Some(pos) = self.parked.iter().position(|(s, _)| *s == self.next_write_seq) {
+                let (_, bytes) = self.parked.swap_remove(pos);
+                self.write_buf.extend_from_slice(&bytes);
+                self.next_write_seq += 1;
+            }
+        } else {
+            self.parked.push((seq, encoded));
+        }
+    }
+
+    /// Pushes buffered response bytes into the socket without blocking.
+    /// Returns `false` when the connection broke.
+    pub(crate) fn flush_writes(&mut self, now: Instant) -> bool {
+        while !self.write_buf.is_empty() {
+            match self.stream.write(&self.write_buf) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.write_buf.drain(..n);
+                    self.last_activity = now;
+                    self.backoff = Duration::ZERO;
+                    self.due_at = now;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Whether the connection has finished its final response and should
+    /// be closed by the event loop.
+    pub(crate) fn finished(&self) -> bool {
+        let closing = self.close_after.map(|c| self.next_write_seq > c).unwrap_or(false);
+        (closing || self.peer_closed) && self.write_buf.is_empty() && self.in_flight == 0
+    }
+
+    /// Whether new requests may still be parsed from this connection.
+    pub(crate) fn accepting_requests(&self) -> bool {
+        self.close_after.is_none()
+    }
+
+    /// Whether the response for `seq` is the connection's last (drives the
+    /// `Connection:` header on that response).
+    pub(crate) fn closing_at(&self, seq: u64) -> bool {
+        self.close_after == Some(seq)
+    }
+
+    /// Whether encoded bytes are still waiting for the socket.
+    pub(crate) fn has_pending_writes(&self) -> bool {
+        !self.write_buf.is_empty()
+    }
+}
+
+/// Slab of pooled connections swept by the event loop.
+pub(crate) struct SweepPoller {
+    slots: Vec<Option<Conn>>,
+    generations: Vec<u64>,
+    free: Vec<usize>,
+    open: usize,
+}
+
+impl SweepPoller {
+    pub(crate) fn new() -> Self {
+        SweepPoller { slots: Vec::new(), generations: Vec::new(), free: Vec::new(), open: 0 }
+    }
+
+    /// Adopts a connection into the slab (the stream must already be
+    /// nonblocking). Returns its token.
+    pub(crate) fn register(&mut self, stream: TcpStream, now: Instant) -> ConnToken {
+        let conn = Conn::new(stream, now);
+        self.open += 1;
+        match self.free.pop() {
+            Some(index) => {
+                self.generations[index] += 1;
+                self.slots[index] = Some(conn);
+                ConnToken { index, generation: self.generations[index] }
+            }
+            None => {
+                self.slots.push(Some(conn));
+                self.generations.push(0);
+                ConnToken { index: self.slots.len() - 1, generation: 0 }
+            }
+        }
+    }
+
+    /// The connection behind `token`, unless it died and the slot was
+    /// reused since.
+    pub(crate) fn get_mut(&mut self, token: ConnToken) -> Option<&mut Conn> {
+        if self.generations.get(token.index) != Some(&token.generation) {
+            return None;
+        }
+        self.slots.get_mut(token.index).and_then(Option::as_mut)
+    }
+
+    /// Drops the connection behind `token` (the socket closes on drop).
+    pub(crate) fn close(&mut self, token: ConnToken) {
+        if self.generations.get(token.index) == Some(&token.generation) {
+            if let Some(slot) = self.slots.get_mut(token.index) {
+                if slot.take().is_some() {
+                    self.open -= 1;
+                    self.free.push(token.index);
+                }
+            }
+        }
+    }
+
+    /// Upper bound of slot indices ever used; drive allocation-free sweeps
+    /// with [`SweepPoller::token_at`] over `0..slot_count()`.
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Token of the live connection in slot `index`, if any.
+    pub(crate) fn token_at(&self, index: usize) -> Option<ConnToken> {
+        self.slots.get(index).and_then(|slot| {
+            slot.as_ref().map(|_| ConnToken { index, generation: self.generations[index] })
+        })
+    }
+
+    /// Tokens of every live connection (snapshot; safe to close while
+    /// iterating the returned list).
+    pub(crate) fn tokens(&self) -> Vec<ConnToken> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.as_ref().map(|_| ConnToken { index: i, generation: self.generations[i] })
+            })
+            .collect()
+    }
+
+    /// Number of live connections.
+    pub(crate) fn open_count(&self) -> usize {
+        self.open
+    }
+
+    /// Number of live connections with requests in flight.
+    pub(crate) fn busy_count(&self) -> usize {
+        self.slots.iter().flatten().filter(|c| c.in_flight > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+        (client, server)
+    }
+
+    #[test]
+    fn sweep_reads_data_and_backs_off_when_idle() {
+        let (mut client, server) = pair();
+        let now = Instant::now();
+        let mut conn = Conn::new(server, now);
+        assert_eq!(conn.sweep_read(now), ReadOutcome::Idle);
+        assert!(!conn.read_due(now), "idle connection backs off");
+        assert!(conn.read_due(now + Duration::from_millis(1)));
+        client.write_all(b"hello").expect("write");
+        client.flush().expect("flush");
+        // Give the loopback a moment to deliver.
+        std::thread::sleep(Duration::from_millis(10));
+        let later = Instant::now();
+        assert_eq!(conn.sweep_read(later), ReadOutcome::Data);
+        assert_eq!(conn.read_buf, b"hello");
+        assert!(conn.read_due(later), "activity resets the backoff");
+        drop(client);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(conn.sweep_read(Instant::now()), ReadOutcome::Eof);
+        assert!(conn.peer_closed);
+    }
+
+    #[test]
+    fn completions_are_written_in_request_order() {
+        let (mut client, server) = pair();
+        let now = Instant::now();
+        let mut conn = Conn::new(server, now);
+        let s0 = conn.assign_seq();
+        let s1 = conn.assign_seq();
+        let s2 = conn.assign_seq();
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+        // Finish out of order: 2, 0, 1.
+        conn.complete(s2, b"C".to_vec());
+        conn.complete(s0, b"A".to_vec());
+        conn.complete(s1, b"B".to_vec());
+        assert_eq!(conn.in_flight, 0, "all three completions released");
+        assert!(conn.flush_writes(Instant::now()));
+        client.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        let mut got = [0u8; 3];
+        client.read_exact(&mut got).expect("read");
+        assert_eq!(&got, b"ABC", "pipelined responses must preserve request order");
+    }
+
+    #[test]
+    fn close_after_suppresses_later_responses_and_finishes() {
+        let (_client, server) = pair();
+        let now = Instant::now();
+        let mut conn = Conn::new(server, now);
+        let s0 = conn.assign_seq();
+        let s1 = conn.assign_seq();
+        conn.close_after(s0);
+        assert!(!conn.accepting_requests());
+        conn.complete(s1, b"LATE".to_vec());
+        conn.complete(s0, b"BYE".to_vec());
+        assert_eq!(conn.write_buf, b"BYE", "responses after the close boundary are dropped");
+        assert!(conn.flush_writes(Instant::now()));
+        assert!(conn.finished());
+    }
+
+    #[test]
+    fn slab_reuses_slots_with_generation_guard() {
+        let mut poller = SweepPoller::new();
+        let now = Instant::now();
+        let (_c1, s1) = pair();
+        let (_c2, s2) = pair();
+        let t1 = poller.register(s1, now);
+        assert_eq!(poller.open_count(), 1);
+        poller.close(t1);
+        assert_eq!(poller.open_count(), 0);
+        let t2 = poller.register(s2, now);
+        assert_eq!(t2.index, t1.index, "slot is reused");
+        assert_ne!(t2.generation, t1.generation, "generation moves on");
+        assert!(poller.get_mut(t1).is_none(), "stale token must not resolve");
+        assert!(poller.get_mut(t2).is_some());
+        assert_eq!(poller.busy_count(), 0);
+        poller.get_mut(t2).expect("live").assign_seq();
+        assert_eq!(poller.busy_count(), 1);
+    }
+}

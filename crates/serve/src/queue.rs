@@ -75,6 +75,18 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Puts `item` back at the *front* of the queue, ignoring capacity and
+    /// the shutdown flag. This is the re-admission path for work that was
+    /// already accepted once: a panicking worker hands its unfinished job
+    /// items back before exiting, and they must neither be shed (the
+    /// client was never told 503) nor dropped during a shutdown drain.
+    pub fn requeue(&self, item: T) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.items.push_front(item);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
     /// Flips the shutdown flag and wakes every blocked worker. Items
     /// already queued are still drained by subsequent `pop` calls.
     pub fn shut_down(&self) {
@@ -124,6 +136,24 @@ mod tests {
         q.shut_down();
         assert!(matches!(q.try_push(2), Err((_, PushError::ShuttingDown))));
         assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn requeue_jumps_the_line_and_ignores_capacity_and_shutdown() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).expect("push");
+        q.try_push(2).expect("push");
+        // Full queue: requeue still lands, at the front.
+        q.requeue(0);
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop(), Some(0));
+        // Shutdown drain: requeued items are still handed out.
+        q.shut_down();
+        q.requeue(9);
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
     }
 

@@ -1,34 +1,48 @@
-//! The server proper: acceptor thread, bounded queue, worker pool.
+//! The server proper: a single readiness event loop over nonblocking
+//! sockets, micro-batch admission, and the supervised worker pool.
 //!
-//! Flow of one request: the acceptor `accept()`s a connection and
-//! `try_push`es it (with its arrival timestamp) onto the bounded queue. A
-//! full queue means the acceptor itself answers `503 + Retry-After` and
-//! closes — shedding costs no worker time and bounds queue latency. Worker
-//! threads pop connections, parse the request, dispatch through
-//! [`Api::handle`] with their thread-local [`SolveSession`], write the
-//! response, and close. Latency is measured accept → response written, so
-//! the histogram includes queue wait.
+//! One thread owns *every* socket. Each loop iteration it: accepts a burst
+//! of new connections (nonblocking listener), drains finished
+//! `Completion`s from the workers onto their owning connections, sweeps
+//! due connections for readable bytes, parses as many pipelined requests
+//! as each connection has buffered, plans them (`Api::plan`), answers
+//! the cheap ones inline (health, metrics, admin, every 4xx), admits
+//! solver-bound work to the `Batcher`, dispatches full or overdue
+//! batches onto the bounded queue as one `Job`, flushes pending response
+//! bytes, and finally sleeps — blocking on the completions channel with a
+//! short timeout, so a finishing worker wakes it instantly.
 //!
-//! Shutdown (via [`ServerHandle::stop`] or `POST /admin/shutdown`) flips a
-//! flag the acceptor polls; it closes the listener, shuts the queue down,
-//! and every already-accepted connection is still answered before the
-//! workers exit.
+//! Backpressure is unchanged in spirit from the thread-per-connection
+//! design but now sheds *requests*, not connections: a full queue answers
+//! each item of the rejected batch with `503 + Retry-After` on its own
+//! connection, which stays open for the retry. Latency is measured
+//! parse-complete → response written, so the histogram includes queue wait
+//! and batch delay.
+//!
+//! Shutdown (via [`ServerHandle::stop`] or `POST /admin/shutdown`) drops
+//! the listener, flushes the batcher, shuts the queue down, and drains:
+//! every admitted request is still answered, then all connections are
+//! flushed and closed and the loop exits.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use smore_tsptw::FaultConfig;
 
-use crate::api::Api;
+use crate::api::{endpoint_of, error_response, Api, Plan};
+use crate::batcher::Batcher;
 use crate::breaker::CircuitBreaker;
-use crate::http::{write_response, Response};
-use crate::metrics::{Endpoint, Metrics};
+use crate::http::{encode_response, parse_buffered, Parsed, Response};
+use crate::metrics::{Endpoint, FlushReason, Metrics};
+use crate::poller::{ConnToken, ReadOutcome, SweepPoller};
 use crate::queue::BoundedQueue;
 use crate::registry::ModelRegistry;
-use crate::supervisor::start_supervised_pool;
+use crate::supervisor::{start_supervised_pool, Completion, Job, JobItem};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -37,17 +51,27 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads (each owns one `SolveSession`).
     pub threads: usize,
-    /// Bounded queue capacity; connections beyond it are shed with 503.
+    /// Bounded queue capacity in *jobs* (micro-batches); work beyond it is
+    /// shed with 503 per request.
     pub queue_capacity: usize,
     /// Per-request body size cap in bytes.
     pub max_body_bytes: usize,
-    /// Socket read timeout so a silent client cannot pin a worker forever.
+    /// Idle cull: a connection with no traffic and nothing in flight for
+    /// this long is closed (also bounds slow-loris clients).
     pub read_timeout: Duration,
     /// Floor for the adaptive `Retry-After` advertised on shed responses.
     pub retry_after_secs: u32,
     /// Watchdog limit: a request still unanswered past this gets a 504
     /// from the watchdog even if the solver is wedged.
     pub hard_deadline: Duration,
+    /// Micro-batch admission: flush a batch at this many requests.
+    pub max_batch: usize,
+    /// Micro-batch admission: flush a non-full batch once its oldest
+    /// request has waited this many microseconds.
+    pub max_delay_us: u64,
+    /// Hard cap on concurrently open connections; the accept burst pauses
+    /// at the cap and resumes as connections close.
+    pub max_connections: usize,
     /// Server-side chaos: inject solver faults into every worker session.
     /// `None` (the default) serves faultlessly.
     pub faults: Option<FaultConfig>,
@@ -67,6 +91,9 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(10),
             retry_after_secs: 1,
             hard_deadline: Duration::from_secs(30),
+            max_batch: 8,
+            max_delay_us: 500,
+            max_connections: 8192,
             faults: None,
             fault_seed: 0,
         }
@@ -79,7 +106,7 @@ pub struct ServerHandle {
     metrics: Arc<Metrics>,
     registry: Arc<ModelRegistry>,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
 }
 
@@ -110,12 +137,12 @@ impl ServerHandle {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Blocks until the acceptor and every worker have exited (all accepted
-    /// requests answered). Call [`ServerHandle::stop`] first, or let a
-    /// `POST /admin/shutdown` trigger it remotely.
+    /// Blocks until the event loop and every worker have exited (all
+    /// admitted requests answered). Call [`ServerHandle::stop`] first, or
+    /// let a `POST /admin/shutdown` trigger it remotely.
     pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         if let Some(supervisor) = self.supervisor.take() {
             let _ = supervisor.join();
@@ -123,25 +150,381 @@ impl ServerHandle {
     }
 }
 
-/// How often the nonblocking acceptor polls for connections and checks the
-/// shutdown flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Connections accepted per loop iteration before yielding to the sweep.
+const ACCEPT_BURST: usize = 128;
 
-/// Answers a shed connection with `503 + Retry-After` and closes it
-/// gracefully. The client's request bytes are still unread at this point;
-/// closing with unread data makes the kernel send RST, which can destroy
-/// the 503 frame before the client reads it. Draining to the client's FIN
-/// (bounded by a short timeout) lets the frame arrive intact.
-fn shed_connection(stream: &mut TcpStream, response: &Response) {
-    let _ = stream.set_nonblocking(false);
-    let _ = write_response(stream, response);
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let mut sink = [0u8; 1024];
-    while matches!(std::io::Read::read(stream, &mut sink), Ok(n) if n > 0) {}
+/// Cap on requests parsed-but-unanswered per connection; a client
+/// pipelining deeper than this is paused (not read) until answers drain.
+const MAX_PIPELINE: usize = 32;
+
+/// Idle-iteration sleep bound (the completions channel wakes the loop
+/// early whenever a worker finishes).
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+
+/// Cadence of idle culls and connection-state gauge refreshes.
+const HOUSEKEEPING_EVERY: Duration = Duration::from_millis(100);
+
+/// Bound on the final drain flush at shutdown: after this, unread response
+/// bytes belong to clients that stopped reading.
+const DRAIN_FLUSH_LIMIT: Duration = Duration::from_secs(1);
+
+/// One parse step's outcome, extracted under the connection borrow so the
+/// follow-up (plan, admit, dispatch) can re-borrow the event loop freely.
+enum ParseStep {
+    Request { request: Box<crate::http::Request>, seq: u64 },
+    Error { seq: u64, status: u16, message: String },
+    Done,
 }
 
-/// Binds, spawns the acceptor and worker pool, and returns immediately.
+struct EventLoop {
+    listener: Option<TcpListener>,
+    poller: SweepPoller,
+    batcher: Batcher<JobItem>,
+    queue: Arc<BoundedQueue<Job>>,
+    completions: Receiver<Completion>,
+    api: Arc<Api>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    config: ServeConfig,
+    /// Requests admitted to the queue and not yet answered by a
+    /// completion; drain waits for zero.
+    outstanding: usize,
+    draining: bool,
+    last_housekeeping: Instant,
+    /// Anything happened this iteration → skip the sleep.
+    activity: bool,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        loop {
+            let now = Instant::now();
+            self.activity = false;
+
+            if !self.draining && self.shutdown.load(Ordering::SeqCst) {
+                // Begin drain: refuse new connections, flush the pending
+                // batch, stop admitting, answer everything in flight.
+                self.listener = None;
+                if let Some((batch, reason)) = self.batcher.flush(FlushReason::Deadline) {
+                    self.dispatch(batch, reason);
+                }
+                self.queue.shut_down();
+                self.draining = true;
+            }
+
+            self.accept_burst(now);
+            while let Ok(completion) = self.completions.try_recv() {
+                self.deliver(completion);
+            }
+            if !self.draining {
+                self.sweep_and_parse(now);
+                if self.batcher.due(now) {
+                    if let Some((batch, reason)) = self.batcher.flush(FlushReason::Deadline) {
+                        self.dispatch(batch, reason);
+                    }
+                }
+            }
+            self.flush_connections(now);
+
+            if now.duration_since(self.last_housekeeping) >= HOUSEKEEPING_EVERY {
+                self.housekeeping(now);
+                self.last_housekeeping = now;
+            }
+
+            if self.draining && self.outstanding == 0 && self.batcher.pending_len() == 0 {
+                self.finish_drain();
+                return;
+            }
+
+            if !self.activity {
+                let mut wait = IDLE_SLEEP;
+                if let Some(due_in) = self.batcher.due_in(now) {
+                    wait = wait.min(due_in);
+                }
+                match self.completions.recv_timeout(wait.max(Duration::from_micros(50))) {
+                    Ok(completion) => self.deliver(completion),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {}
+                }
+            }
+        }
+    }
+
+    fn accept_burst(&mut self, now: Instant) {
+        let Some(listener) = self.listener.as_ref() else { return };
+        for _ in 0..ACCEPT_BURST {
+            if self.poller.open_count() >= self.config.max_connections {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    // Responses are single buffered writes; Nagle only adds
+                    // latency here.
+                    let _ = stream.set_nodelay(true);
+                    self.metrics.record_connection_accepted();
+                    self.poller.register(stream, now);
+                    self.activity = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                // Transient accept failure (e.g. aborted handshake).
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Routes one worker/watchdog completion onto its connection.
+    fn deliver(&mut self, completion: Completion) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.respond(
+            completion.conn,
+            completion.seq,
+            completion.endpoint,
+            completion.arrival,
+            completion.response,
+            completion.close_conn,
+        );
+    }
+
+    /// Records and enqueues one response onto its connection's write
+    /// buffer (in pipeline order). The single recording point for every
+    /// answered request, inline or via workers.
+    fn respond(
+        &mut self,
+        token: ConnToken,
+        seq: u64,
+        endpoint: Endpoint,
+        arrival: Instant,
+        response: Response,
+        close_conn: bool,
+    ) {
+        self.metrics.record(endpoint, response.status, arrival.elapsed().as_secs_f64() * 1000.0);
+        if let Some(conn) = self.poller.get_mut(token) {
+            if close_conn {
+                conn.close_after(seq);
+            }
+            let mut encoded = Vec::new();
+            encode_response(&response, !conn.closing_at(seq), &mut encoded);
+            conn.complete(seq, encoded);
+        }
+        self.activity = true;
+    }
+
+    fn sweep_and_parse(&mut self, now: Instant) {
+        for i in 0..self.poller.slot_count() {
+            let Some(token) = self.poller.token_at(i) else { continue };
+            let (outcome, parse_worthy) = {
+                let Some(conn) = self.poller.get_mut(token) else { continue };
+                let outcome = if conn.read_due(now) && conn.in_flight < MAX_PIPELINE {
+                    conn.sweep_read(now)
+                } else {
+                    ReadOutcome::Idle
+                };
+                (outcome, !conn.read_buf.is_empty() && conn.accepting_requests())
+            };
+            match outcome {
+                ReadOutcome::Dead => {
+                    self.poller.close(token);
+                    continue;
+                }
+                ReadOutcome::Data => self.activity = true,
+                ReadOutcome::Eof | ReadOutcome::Idle => {}
+            }
+            if parse_worthy {
+                self.parse_connection(token, now);
+            }
+        }
+    }
+
+    /// Parses every complete pipelined request buffered on one connection
+    /// and plans each: inline answers for cheap endpoints, batcher
+    /// admission for solver-bound work.
+    fn parse_connection(&mut self, token: ConnToken, now: Instant) {
+        loop {
+            let step = {
+                let Some(conn) = self.poller.get_mut(token) else { return };
+                if !conn.accepting_requests()
+                    || conn.in_flight >= MAX_PIPELINE
+                    || conn.read_buf.is_empty()
+                {
+                    ParseStep::Done
+                } else {
+                    match parse_buffered(&conn.read_buf, self.config.max_body_bytes) {
+                        Parsed::Partial => {
+                            if conn.peer_closed {
+                                // The peer hung up mid-request; answer the
+                                // torso with a 400 like the blocking
+                                // reader did, then close.
+                                let seq = conn.assign_seq();
+                                conn.close_after(seq);
+                                conn.read_buf.clear();
+                                ParseStep::Error {
+                                    seq,
+                                    status: 400,
+                                    message: "connection closed mid-request".to_string(),
+                                }
+                            } else {
+                                ParseStep::Done
+                            }
+                        }
+                        Parsed::Invalid(parse_err) => {
+                            let seq = conn.assign_seq();
+                            conn.close_after(seq);
+                            conn.read_buf.clear();
+                            ParseStep::Error {
+                                seq,
+                                status: parse_err.status(),
+                                message: parse_err.to_string(),
+                            }
+                        }
+                        Parsed::Complete { request, consumed } => {
+                            conn.read_buf.drain(..consumed);
+                            let seq = conn.assign_seq();
+                            if request.close {
+                                conn.close_after(seq);
+                            }
+                            ParseStep::Request { request, seq }
+                        }
+                    }
+                }
+            };
+            match step {
+                ParseStep::Done => return,
+                ParseStep::Error { seq, status, message } => {
+                    self.respond(
+                        token,
+                        seq,
+                        Endpoint::Other,
+                        now,
+                        error_response(status, message),
+                        true,
+                    );
+                    return;
+                }
+                ParseStep::Request { request, seq } => {
+                    self.activity = true;
+                    let endpoint = endpoint_of(&request.path);
+                    match self.api.plan(&request) {
+                        Plan::Ready(response) => {
+                            self.respond(token, seq, endpoint, now, response, false)
+                        }
+                        Plan::Work(item) => {
+                            let job_item = JobItem { conn: token, seq, arrival: now, work: *item };
+                            if let Some((batch, reason)) = self.batcher.admit(job_item, now) {
+                                self.dispatch(batch, reason);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hands one flushed micro-batch to the worker queue, or sheds each of
+    /// its requests with `503 + Retry-After` when the queue is full.
+    fn dispatch(&mut self, batch: Vec<JobItem>, reason: FlushReason) {
+        let size = batch.len();
+        self.metrics.record_batch_flush(size, reason);
+        match self.queue.try_push(batch) {
+            Ok(depth) => {
+                self.metrics.set_queue_depth(depth);
+                self.outstanding += size;
+            }
+            Err((batch, _refused)) => {
+                let threads = self.config.threads.max(1);
+                // Retry-After adapts to how long the backlog will take to
+                // drain at the observed latency; depth is jobs, so scale
+                // by the batch bound for a request-count estimate.
+                let backlog = self.queue.depth().saturating_mul(self.config.max_batch.max(1));
+                for item in batch {
+                    self.metrics.record_shed();
+                    let retry = self.metrics.adaptive_retry_after(
+                        backlog,
+                        threads,
+                        self.config.retry_after_secs,
+                    );
+                    self.respond(
+                        item.conn,
+                        item.seq,
+                        item.work.endpoint,
+                        item.arrival,
+                        Response::shed(retry),
+                        false,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pushes buffered response bytes out and closes connections that are
+    /// finished or broken.
+    fn flush_connections(&mut self, now: Instant) {
+        for i in 0..self.poller.slot_count() {
+            let Some(token) = self.poller.token_at(i) else { continue };
+            let (alive, finished, had_writes) = {
+                let Some(conn) = self.poller.get_mut(token) else { continue };
+                let had_writes = conn.has_pending_writes();
+                let alive = conn.flush_writes(now);
+                (alive, conn.finished(), had_writes)
+            };
+            if had_writes {
+                self.activity = true;
+            }
+            if !alive || finished {
+                self.poller.close(token);
+            }
+        }
+    }
+
+    /// Culls idle connections and refreshes the connection-state gauges.
+    fn housekeeping(&mut self, now: Instant) {
+        for i in 0..self.poller.slot_count() {
+            let Some(token) = self.poller.token_at(i) else { continue };
+            let idle_out = {
+                let Some(conn) = self.poller.get_mut(token) else { continue };
+                conn.in_flight == 0
+                    && !conn.has_pending_writes()
+                    && now.duration_since(conn.last_activity) >= self.config.read_timeout
+            };
+            if idle_out {
+                self.poller.close(token);
+            }
+        }
+        self.metrics.set_connection_states(self.poller.open_count(), self.poller.busy_count());
+    }
+
+    /// Final shutdown phase: push remaining response bytes out (bounded),
+    /// then close every connection.
+    fn finish_drain(&mut self) {
+        let limit = Instant::now() + DRAIN_FLUSH_LIMIT;
+        loop {
+            let now = Instant::now();
+            let mut pending = false;
+            for i in 0..self.poller.slot_count() {
+                let Some(token) = self.poller.token_at(i) else { continue };
+                let (alive, still_pending) = {
+                    let Some(conn) = self.poller.get_mut(token) else { continue };
+                    let alive = conn.flush_writes(now);
+                    (alive, conn.has_pending_writes())
+                };
+                if !alive {
+                    self.poller.close(token);
+                } else if still_pending {
+                    pending = true;
+                }
+            }
+            if !pending || Instant::now() >= limit {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        for token in self.poller.tokens() {
+            self.poller.close(token);
+        }
+        self.metrics.set_connection_states(0, 0);
+    }
+}
+
+/// Binds, spawns the event loop and worker pool, and returns immediately.
 pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
@@ -156,60 +539,35 @@ pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Resu
         shutdown: Arc::clone(&shutdown),
         breaker: Arc::new(CircuitBreaker::default()),
     });
-    let queue: Arc<BoundedQueue<(TcpStream, Instant)>> =
-        Arc::new(BoundedQueue::new(config.queue_capacity));
+    let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_capacity));
+    let (completions_tx, completions_rx) = std::sync::mpsc::channel::<Completion>();
 
     let supervisor = start_supervised_pool(
         Arc::clone(&queue),
+        completions_tx,
         Arc::clone(&api),
         Arc::clone(&metrics),
         config.clone(),
     );
 
-    let acceptor = {
-        let queue = Arc::clone(&queue);
-        let metrics = Arc::clone(&metrics);
-        let shutdown = Arc::clone(&shutdown);
-        let threads = config.threads.max(1);
-        let retry_floor = config.retry_after_secs;
-        std::thread::spawn(move || {
-            while !shutdown.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => match queue.try_push((stream, Instant::now())) {
-                        Ok(depth) => metrics.set_queue_depth(depth),
-                        Err(((mut stream, arrival), _reason)) => {
-                            // Queue full (or racing shutdown): shed from the
-                            // acceptor so backpressure costs no worker time.
-                            // Retry-After adapts to how long the backlog
-                            // will take to drain at the observed latency.
-                            metrics.record_shed();
-                            let retry =
-                                metrics.adaptive_retry_after(queue.depth(), threads, retry_floor);
-                            let response = Response::shed(retry);
-                            let status = response.status;
-                            // Off-thread: the graceful close below blocks
-                            // up to the drain timeout, which would stall
-                            // the acceptor during a shed burst.
-                            std::thread::spawn(move || shed_connection(&mut stream, &response));
-                            metrics.record(
-                                Endpoint::Other,
-                                status,
-                                arrival.elapsed().as_secs_f64() * 1000.0,
-                            );
-                        }
-                    },
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                    // Transient accept failure (e.g. aborted handshake).
-                    Err(_) => std::thread::sleep(ACCEPT_POLL),
-                }
-            }
-            // Listener drops here: new connections are refused while the
-            // queue drains the ones already accepted.
-            drop(listener);
-            queue.shut_down();
-        })
+    let event_loop = {
+        let now = Instant::now();
+        let state = EventLoop {
+            listener: Some(listener),
+            poller: SweepPoller::new(),
+            batcher: Batcher::new(config.max_batch, Duration::from_micros(config.max_delay_us)),
+            queue,
+            completions: completions_rx,
+            api,
+            metrics: Arc::clone(&metrics),
+            shutdown: Arc::clone(&shutdown),
+            config,
+            outstanding: 0,
+            draining: false,
+            last_housekeeping: now,
+            activity: false,
+        };
+        std::thread::spawn(move || state.run())
     };
 
     Ok(ServerHandle {
@@ -217,7 +575,7 @@ pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Resu
         metrics,
         registry,
         shutdown,
-        acceptor: Some(acceptor),
+        event_loop: Some(event_loop),
         supervisor: Some(supervisor),
     })
 }
@@ -226,18 +584,31 @@ pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Resu
 mod tests {
     use super::*;
     use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
 
     fn boot(threads: usize, queue_capacity: usize) -> ServerHandle {
+        boot_with(threads, queue_capacity, 8, 500)
+    }
+
+    fn boot_with(
+        threads: usize,
+        queue_capacity: usize,
+        max_batch: usize,
+        max_delay_us: u64,
+    ) -> ServerHandle {
         let config = ServeConfig {
             threads,
             queue_capacity,
+            max_batch,
+            max_delay_us,
             read_timeout: Duration::from_secs(5),
             ..ServeConfig::default()
         };
         start(config, Arc::new(ModelRegistry::new())).expect("bind")
     }
 
-    /// One full request/response round trip over real TCP.
+    /// One full request/response round trip over real TCP. Sends
+    /// `Connection: close` so `read_to_string` sees EOF.
     fn roundtrip(addr: SocketAddr, raw: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream.write_all(raw.as_bytes()).expect("write");
@@ -246,10 +617,41 @@ mod tests {
         out
     }
 
+    fn closing(request_line: &str) -> String {
+        format!("{request_line}\r\nHost: t\r\nConnection: close\r\n\r\n")
+    }
+
+    /// Reads exactly one `Content-Length`-framed response off a keep-alive
+    /// connection. `buf` carries over bytes read past the frame boundary
+    /// (pipelined responses coalesce into one segment), so pass the same
+    /// buffer for every response on a connection.
+    fn read_framed(stream: &mut TcpStream, buf: &mut Vec<u8>) -> String {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+                let content_length: usize = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .and_then(|v| v.trim().parse().ok())
+                    .expect("framed response must carry Content-Length");
+                let frame_len = head_end + 4 + content_length;
+                if buf.len() >= frame_len {
+                    let frame = String::from_utf8_lossy(&buf[..frame_len]).to_string();
+                    buf.drain(..frame_len);
+                    return frame;
+                }
+            }
+            let n = stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "unexpected EOF mid-response: {:?}", String::from_utf8_lossy(buf));
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
     #[test]
     fn healthz_round_trips_over_tcp() {
         let server = boot(2, 16);
-        let reply = roundtrip(server.addr(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        let reply = roundtrip(server.addr(), &closing("GET /healthz HTTP/1.1"));
         assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
         assert!(reply.contains("\"status\":\"ok\""), "{reply}");
         assert!(reply.contains("Connection: close"), "{reply}");
@@ -260,11 +662,45 @@ mod tests {
     #[test]
     fn unknown_paths_and_bad_requests_get_error_statuses() {
         let server = boot(2, 16);
-        assert!(roundtrip(server.addr(), "GET /nope HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
         assert!(
-            roundtrip(server.addr(), "PUT /healthz HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405")
+            roundtrip(server.addr(), &closing("GET /nope HTTP/1.1")).starts_with("HTTP/1.1 404")
+        );
+        assert!(
+            roundtrip(server.addr(), &closing("PUT /healthz HTTP/1.1")).starts_with("HTTP/1.1 405")
         );
         assert!(roundtrip(server.addr(), "garbage\r\n\r\n").starts_with("HTTP/1.1 400"));
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn keep_alive_pipelining_answers_in_order_and_honours_close() {
+        let server = boot(2, 16);
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        // Three pipelined requests in one write; the third asks to close.
+        let burst = concat!(
+            "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n",
+            "POST /v1/feasible?dataset=delivery&gen_seed=7&worker=0&task=0 HTTP/1.1\r\nHost: t\r\n\r\n",
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        stream.write_all(burst.as_bytes()).expect("write");
+        let mut carry = Vec::new();
+        let first = read_framed(&mut stream, &mut carry);
+        assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+        assert!(first.contains("Connection: keep-alive"), "{first}");
+        assert!(first.contains("\"status\":\"ok\""), "{first}");
+        let second = read_framed(&mut stream, &mut carry);
+        assert!(second.starts_with("HTTP/1.1 200"), "{second}");
+        assert!(second.contains("\"feasible\""), "pipeline order broken: {second}");
+        let third = read_framed(&mut stream, &mut carry);
+        assert!(third.contains("Connection: close"), "{third}");
+        assert!(third.contains("\"status\":\"ok\""), "{third}");
+        // The server closes after the close-marked response.
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("read");
+        assert!(carry.is_empty(), "unframed leftover: {:?}", String::from_utf8_lossy(&carry));
+        assert!(rest.is_empty(), "bytes after close: {:?}", String::from_utf8_lossy(&rest));
         server.stop();
         server.join();
     }
@@ -274,45 +710,52 @@ mod tests {
         let server = boot(2, 16);
         let reply = roundtrip(
             server.addr(),
-            "POST /v1/solve?dataset=delivery&gen_seed=7&method=greedy HTTP/1.1\r\nHost: t\r\n\r\n",
+            &closing("POST /v1/solve?dataset=delivery&gen_seed=7&method=greedy HTTP/1.1"),
         );
         assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
-        let metrics = roundtrip(server.addr(), "GET /metrics HTTP/1.1\r\n\r\n");
+        let metrics = roundtrip(server.addr(), &closing("GET /metrics HTTP/1.1"));
         assert!(
             metrics.contains("smore_requests_total{endpoint=\"solve\",status=\"200\"} 1"),
             "{metrics}"
         );
+        assert!(metrics.contains("smore_batch_flush_total"), "{metrics}");
+        assert!(metrics.contains("smore_connections_accepted_total"), "{metrics}");
         server.stop();
         server.join();
     }
 
     #[test]
-    fn full_queue_sheds_with_503_and_retry_after() {
-        // One worker, queue of one. Idle connections pin the worker (it
-        // blocks reading) and fill the queue; the rest must be shed.
-        let server = boot(1, 1);
-        let mut idle: Vec<TcpStream> = Vec::new();
+    fn full_queue_sheds_requests_with_503_and_retry_after() {
+        // One worker, queue of one job, batches of one: the first solve
+        // occupies the worker (~tens of ms), the second fills the queue,
+        // and later solves must be shed with 503 on their own connection.
+        let server = boot_with(1, 1, 1, 0);
+        let mut clients: Vec<TcpStream> = (0..8)
+            .map(|_| {
+                let mut stream = TcpStream::connect(server.addr()).expect("connect");
+                stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+                stream
+                    .write_all(
+                        b"POST /v1/solve?dataset=delivery&gen_seed=9&method=greedy HTTP/1.1\r\nHost: t\r\n\r\n",
+                    )
+                    .expect("write");
+                stream
+            })
+            .collect();
         let mut shed_seen = 0;
-        for _ in 0..8 {
-            let stream = TcpStream::connect(server.addr()).expect("connect");
-            stream.set_read_timeout(Some(Duration::from_millis(300))).expect("timeout");
-            idle.push(stream);
-            std::thread::sleep(Duration::from_millis(20));
-        }
-        for stream in &mut idle {
-            let mut buf = [0u8; 512];
-            if let Ok(n) = stream.read(&mut buf) {
-                let head = String::from_utf8_lossy(&buf[..n]).to_string();
-                if head.starts_with("HTTP/1.1 503") {
-                    assert!(head.contains("Retry-After: 1"), "{head}");
-                    shed_seen += 1;
-                }
+        for stream in &mut clients {
+            let reply = read_framed(stream, &mut Vec::new());
+            if reply.starts_with("HTTP/1.1 503") {
+                assert!(reply.contains("Retry-After: "), "{reply}");
+                shed_seen += 1;
+            } else {
+                assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
             }
         }
         assert!(shed_seen >= 1, "expected at least one shed response");
         assert!(server.metrics().shed_total() >= 1);
         assert!(server.metrics().queue_high_water() >= 1);
-        drop(idle);
+        drop(clients);
         server.stop();
         server.join();
     }
@@ -321,7 +764,7 @@ mod tests {
     fn admin_shutdown_drains_and_exits() {
         let server = boot(2, 16);
         let addr = server.addr();
-        let reply = roundtrip(addr, "POST /admin/shutdown HTTP/1.1\r\n\r\n");
+        let reply = roundtrip(addr, &closing("POST /admin/shutdown HTTP/1.1"));
         assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
         assert!(reply.contains("shutting down"), "{reply}");
         server.join();

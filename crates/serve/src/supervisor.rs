@@ -1,39 +1,58 @@
-//! Supervised worker pool: per-request panic containment, quarantine +
-//! respawn, and a watchdog enforcing hard per-request deadlines.
+//! Supervised worker pool over micro-batched jobs: per-request panic
+//! containment, quarantine + respawn, and a watchdog enforcing hard
+//! per-job deadlines.
 //!
-//! The pool holds `threads` workers, each owning one [`SolveSession`]. A
-//! request handler runs inside `catch_unwind`; a panic is contained to the
-//! request, the client gets a structured 500, and the worker thread exits
-//! — its session is quarantined (a panic mid-solve may leave memo state
-//! inconsistent) and the supervisor respawns a fresh worker in the same
-//! slot, so the pool never shrinks while the server runs.
+//! The pool holds `threads` workers, each owning one [`SolveSession`] and
+//! a small generated-instance cache. Workers pop `Job`s — micro-batches
+//! of planned work items — and answer each item with a `Completion` sent
+//! back to the event loop, which owns all sockets. Within a job, admitted
+//! model solves sharing a checkpoint version run as **one**
+//! [`SolveSession::solve_tasnet_batch`] forward pass (the micro-batch
+//! payoff); every other item executes solo. Responses are byte-identical
+//! either way — the batch primitive proves row/singleton equivalence — so
+//! batch placement is invisible to clients.
+//!
+//! Panic containment per item: each item's execution runs inside
+//! `catch_unwind`. A panic answers *that* item with a structured 500,
+//! requeues the job's unanswered remainder at the front of the queue (the
+//! clients were never told 503; their work must not be lost), and exits
+//! the worker — its session is quarantined and the supervisor respawns a
+//! fresh worker in the same slot. A panic inside a *shared* forward pass
+//! cannot be pinned to one item, so the group's items are requeued as
+//! singleton jobs: innocents complete on retry, the guilty item panics
+//! again solo and collects its 500. Every recorded panic coincides with
+//! exactly one worker exit, so `smore_worker_panics_total ==
+//! smore_worker_respawns_total` holds under any interleaving.
 //!
 //! The watchdog covers the failure `catch_unwind` cannot: a solver that
-//! wedges (infinite loop, pathological instance) without panicking. Each
-//! worker arms a per-slot watch entry before dispatching; the watchdog
-//! scans the slots and, past the hard deadline, *takes* the entry, answers
-//! the client with a structured 504, and shuts the socket down. Take-
-//! ownership on a `Mutex<Option<..>>` means exactly one side ever writes a
-//! response — there is no double-write race by construction. The wedged
-//! solve finishes (or not) in the background; the client is long gone.
+//! wedges without panicking. Each worker arms a per-slot watch over its
+//! whole job before touching it and claims items one by one as it answers
+//! them; past the hard deadline the watchdog *takes* the watch and answers
+//! every unclaimed item with a 504 completion that also closes the
+//! connection. Take-ownership on a `Mutex<Option<..>>` means exactly one
+//! side ever answers a given item — there is no double-write race by
+//! construction.
 //!
 //! Everything observable lands in `/metrics`: `smore_worker_panics_total`,
 //! `smore_worker_respawns_total`, `smore_watchdog_kills_total`, and the
 //! `smore_worker_pool_size` gauge.
 
-use std::net::{Shutdown, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use smore::SolveSession;
+use smore_model::{DeadlineSpec, Instance, Solution};
 
-use crate::api::{endpoint_of, error_response, Api};
-use crate::http::{read_request, write_response};
+use crate::api::{error_response, Api, InstanceCache, WorkItem, WorkKind};
+use crate::http::Response;
 use crate::metrics::{Endpoint, Metrics};
+use crate::poller::ConnToken;
 use crate::queue::BoundedQueue;
+use crate::registry::LoadedModel;
 use crate::server::ServeConfig;
 
 /// How often the watchdog scans the armed slots.
@@ -41,6 +60,42 @@ const WATCHDOG_POLL: Duration = Duration::from_millis(2);
 
 /// How often the supervisor checks worker liveness.
 const SUPERVISOR_POLL: Duration = Duration::from_millis(5);
+
+/// Generated-instance cache entries per worker (keyed by dataset, scale,
+/// seed — see [`InstanceCache`]).
+const WORKER_CACHE_ENTRIES: usize = 32;
+
+/// One planned request inside a job.
+pub(crate) struct JobItem {
+    /// The connection that asked (generation-guarded).
+    pub(crate) conn: ConnToken,
+    /// Pipelining sequence number on that connection.
+    pub(crate) seq: u64,
+    /// Accept-to-answer clock for the latency histogram.
+    pub(crate) arrival: Instant,
+    /// The validated work.
+    pub(crate) work: WorkItem,
+}
+
+/// A micro-batch of planned requests, dispatched as one queue handoff.
+pub(crate) type Job = Vec<JobItem>;
+
+/// A finished answer travelling back to the event loop, which writes it
+/// on the owning connection (in pipeline order) and records the metrics.
+pub(crate) struct Completion {
+    /// The connection to answer on.
+    pub(crate) conn: ConnToken,
+    /// Pipelining sequence number of the request being answered.
+    pub(crate) seq: u64,
+    /// Metrics dimension.
+    pub(crate) endpoint: Endpoint,
+    /// Accept timestamp of the request.
+    pub(crate) arrival: Instant,
+    /// The response to encode and write.
+    pub(crate) response: Response,
+    /// Close the connection after writing (watchdog kills).
+    pub(crate) close_conn: bool,
+}
 
 /// Why a worker's loop ended.
 enum ExitReason {
@@ -50,22 +105,26 @@ enum ExitReason {
     Panicked,
 }
 
-/// One in-flight request the watchdog is covering. Held in a
-/// `Mutex<Option<ArmedRequest>>`; whoever `take`s it owns the response.
-struct ArmedRequest {
-    /// A clone of the connection (shares the socket with the worker's).
-    stream: TcpStream,
-    /// Metrics dimension for the 504 the watchdog may record.
+/// One unanswered job item under watchdog cover. Whoever `take`s an entry
+/// owns that item's response.
+struct WatchEntry {
+    conn: ConnToken,
+    seq: u64,
     endpoint: Endpoint,
-    /// Accept timestamp, for the latency histogram.
     arrival: Instant,
-    /// Past this instant the watchdog answers 504.
-    deadline: Instant,
 }
 
-type WatchSlot = Arc<Mutex<Option<ArmedRequest>>>;
+/// A worker's in-flight job as the watchdog sees it.
+struct JobWatch {
+    /// Past this instant the watchdog answers every unclaimed item.
+    deadline: Instant,
+    /// One slot per job item; `None` once claimed by either side.
+    pending: Vec<Option<WatchEntry>>,
+}
 
-fn lock_slot(slot: &WatchSlot) -> std::sync::MutexGuard<'_, Option<ArmedRequest>> {
+type WatchSlot = Arc<Mutex<Option<JobWatch>>>;
+
+fn lock_slot(slot: &WatchSlot) -> std::sync::MutexGuard<'_, Option<JobWatch>> {
     // Arm/claim/kill are all single `Option` stores; poisoning carries no
     // partial state worth propagating.
     slot.lock().unwrap_or_else(|e| e.into_inner())
@@ -75,7 +134,8 @@ fn lock_slot(slot: &WatchSlot) -> std::sync::MutexGuard<'_, Option<ArmedRequest>
 /// supervisor thread can keep spawning after `start_supervised_pool`
 /// returns.
 struct WorkerCtx {
-    queue: Arc<BoundedQueue<(TcpStream, Instant)>>,
+    queue: Arc<BoundedQueue<Job>>,
+    completions: Sender<Completion>,
     api: Arc<Api>,
     metrics: Arc<Metrics>,
     config: ServeConfig,
@@ -85,11 +145,14 @@ struct WorkerCtx {
 impl WorkerCtx {
     fn spawn(&self, index: usize) -> JoinHandle<ExitReason> {
         let queue = Arc::clone(&self.queue);
+        let completions = self.completions.clone();
         let api = Arc::clone(&self.api);
         let metrics = Arc::clone(&self.metrics);
         let config = self.config.clone();
         let slot = Arc::clone(&self.slots[index]);
-        std::thread::spawn(move || worker_loop(&queue, &api, &metrics, &config, &slot))
+        std::thread::spawn(move || {
+            worker_loop(&queue, &completions, &api, &metrics, &config, &slot)
+        })
     }
 }
 
@@ -105,114 +168,251 @@ fn make_session(config: &ServeConfig) -> SolveSession {
 }
 
 fn worker_loop(
-    queue: &BoundedQueue<(TcpStream, Instant)>,
+    queue: &BoundedQueue<Job>,
+    completions: &Sender<Completion>,
     api: &Api,
     metrics: &Metrics,
     config: &ServeConfig,
     slot: &WatchSlot,
 ) -> ExitReason {
     let mut session = make_session(config);
-    while let Some((mut stream, arrival)) = queue.pop() {
+    let mut cache = InstanceCache::new(WORKER_CACHE_ENTRIES);
+    while let Some(job) = queue.pop() {
         metrics.set_queue_depth(queue.depth());
-        if !serve_supervised(&mut stream, arrival, api, metrics, config, &mut session, slot) {
+        let ctx = JobCtx { queue, completions, api, metrics, config, slot };
+        if !process_job(job, &ctx, &mut session, &mut cache) {
             return ExitReason::Panicked;
         }
     }
     ExitReason::Drained
 }
 
-/// Parses, dispatches (inside `catch_unwind`), answers, and records one
-/// connection. Returns `false` when the handler panicked and the worker
-/// must quarantine its session by exiting.
-#[allow(clippy::too_many_arguments)]
-fn serve_supervised(
-    stream: &mut TcpStream,
-    arrival: Instant,
-    api: &Api,
-    metrics: &Metrics,
-    config: &ServeConfig,
-    session: &mut SolveSession,
-    slot: &WatchSlot,
-) -> bool {
-    // The read phase is covered by the socket timeout, not the watchdog: a
-    // slow-loris client costs at most `read_timeout`, never a worker.
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let request = match read_request(stream, config.max_body_bytes) {
-        Ok(request) => request,
-        Err(parse_err) => {
-            let response = error_response(parse_err.status(), parse_err.to_string());
-            let _ = write_response(stream, &response);
-            metrics.record(
-                Endpoint::Other,
-                response.status,
-                arrival.elapsed().as_secs_f64() * 1000.0,
-            );
-            return true;
-        }
-    };
-    let endpoint = endpoint_of(&request.path);
+/// Borrowed context for one job's processing.
+struct JobCtx<'a> {
+    queue: &'a BoundedQueue<Job>,
+    completions: &'a Sender<Completion>,
+    api: &'a Api,
+    metrics: &'a Metrics,
+    config: &'a ServeConfig,
+    slot: &'a WatchSlot,
+}
 
-    // Arm the watchdog. If the socket cannot be cloned (fd exhaustion) the
-    // request runs uncovered — the worker then always owns the response.
-    let armed = stream.try_clone().ok().map(|covered| ArmedRequest {
-        stream: covered,
-        endpoint,
-        arrival,
-        deadline: Instant::now() + config.hard_deadline,
-    });
-    let covered = armed.is_some();
-    if covered {
-        *lock_slot(slot) = armed;
+impl JobCtx<'_> {
+    /// Claims item `i` from this worker's watch. `false` means the
+    /// watchdog already answered it (504) — drop our result unsent.
+    fn claim(&self, i: usize) -> bool {
+        let mut guard = lock_slot(self.slot);
+        match guard.as_mut() {
+            Some(watch) => watch.pending.get_mut(i).and_then(Option::take).is_some(),
+            None => false,
+        }
     }
 
-    // smore-lint: allow(E2): the supervision boundary. A panicking handler
-    // is contained here: the client gets a structured 500, the session is
-    // quarantined, and the supervisor respawns the worker.
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| api.handle(session, &request)));
-
-    // Claim the response right to disarm the watchdog. `None` means the
-    // watchdog already answered 504 — drop our (late) result unsent.
-    let we_answer = if covered { lock_slot(slot).take().is_some() } else { true };
-
-    match outcome {
-        Ok(response) => {
-            if we_answer {
-                let _ = write_response(stream, &response);
-                metrics.record(endpoint, response.status, arrival.elapsed().as_secs_f64() * 1000.0);
-            }
-            true
-        }
-        Err(_) => {
-            metrics.record_worker_panic();
-            if we_answer {
-                let response = error_response(500, "internal error: request handler panicked");
-                let _ = write_response(stream, &response);
-                metrics.record(endpoint, 500, arrival.elapsed().as_secs_f64() * 1000.0);
-            }
-            false
-        }
+    /// Sends a completion back to the event loop. A send error means the
+    /// loop already exited (shutdown teardown); the answer has nowhere to
+    /// go and is dropped with it.
+    fn answer(&self, entry: &JobItem, response: Response) {
+        let _ = self.completions.send(Completion {
+            conn: entry.conn,
+            seq: entry.seq,
+            endpoint: entry.work.endpoint,
+            arrival: entry.arrival,
+            response,
+            close_conn: false,
+        });
     }
 }
 
-fn watchdog_loop(slots: &[WatchSlot], stop: &AtomicBool, metrics: &Metrics) {
+/// Processes one job: one shared forward pass per checkpoint version, then
+/// per-item finishing in arrival order. Returns `false` when a panic was
+/// contained and the worker must quarantine its session by exiting.
+fn process_job(
+    job: Job,
+    ctx: &JobCtx<'_>,
+    session: &mut SolveSession,
+    cache: &mut InstanceCache,
+) -> bool {
+    // Arm the watchdog over the whole job before touching any item.
+    let deadline = Instant::now() + ctx.config.hard_deadline;
+    *lock_slot(ctx.slot) = Some(JobWatch {
+        deadline,
+        pending: job
+            .iter()
+            .map(|item| {
+                Some(WatchEntry {
+                    conn: item.conn,
+                    seq: item.seq,
+                    endpoint: item.work.endpoint,
+                    arrival: item.arrival,
+                })
+            })
+            .collect(),
+    });
+
+    let mut items: Vec<Option<JobItem>> = job.into_iter().map(Some).collect();
+
+    // Phase 1 — group admitted, budget-free model solves by checkpoint
+    // version and run each group as one shared forward pass.
+    let mut groups: Vec<(u64, Arc<LoadedModel>, Vec<usize>)> = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        let Some(item) = item else { continue };
+        if let Some((model, version)) = item.work.batch_model() {
+            match groups.iter_mut().find(|(v, _, _)| *v == version) {
+                Some((_, _, idxs)) => idxs.push(i),
+                None => groups.push((version, Arc::clone(model), vec![i])),
+            }
+        }
+    }
+    let mut forwards: Vec<Option<Option<Solution>>> = items.iter().map(|_| None).collect();
+    for (_, model, idxs) in &groups {
+        let instances: Vec<Arc<Instance>> = idxs
+            .iter()
+            .filter_map(|&i| items[i].as_ref().map(|item| cache.materialize(&item.work.source)))
+            .collect();
+        let refs: Vec<&Instance> = instances.iter().map(|a| a.as_ref()).collect();
+        // smore-lint: allow(E2): the supervision boundary for the shared
+        // forward pass; a panic here is contained and the group retried.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            session.solve_tasnet_batch(&model.net, &refs)
+        }));
+        match outcome {
+            Ok(rows) => {
+                for (k, &i) in idxs.iter().enumerate() {
+                    forwards[i] = Some(rows.get(k).cloned().flatten());
+                }
+            }
+            Err(_) => {
+                ctx.metrics.record_worker_panic();
+                requeue_after_forward_panic(&mut items, idxs, ctx);
+                return false;
+            }
+        }
+    }
+
+    // Phase 2 — answer every item in arrival order. Batched model items
+    // scatter their precomputed forward; everything else executes solo.
+    for i in 0..items.len() {
+        let Some(item) = items[i].take() else { continue };
+        let forward = forwards[i].take();
+        let handler = || match (&item.work.kind, forward) {
+            (&WorkKind::Model { version, admitted: true, budget_ms: None, .. }, Some(fwd)) => {
+                let instance = cache.materialize(&item.work.source);
+                let deadline = DeadlineSpec { budget_ms: None }.start();
+                ctx.api.finish_model_solve(session, version, true, deadline, &instance, fwd)
+            }
+            _ => ctx.api.execute(session, &item.work, cache),
+        };
+        // smore-lint: allow(E2): the per-item supervision boundary. A
+        // panicking handler is contained here: the client gets a
+        // structured 500, the session is quarantined, and the supervisor
+        // respawns the worker.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(handler));
+        match outcome {
+            Ok(response) => {
+                if ctx.claim(i) {
+                    ctx.answer(&item, response);
+                }
+            }
+            Err(_) => {
+                ctx.metrics.record_worker_panic();
+                if ctx.claim(i) {
+                    ctx.answer(
+                        &item,
+                        error_response(500, "internal error: request handler panicked"),
+                    );
+                }
+                requeue_rest(&mut items, ctx);
+                return false;
+            }
+        }
+    }
+    *lock_slot(ctx.slot) = None;
+    true
+}
+
+/// After a shared forward pass panicked: requeue the group's items as
+/// singleton jobs (the guilty item panics again solo and collects its 500;
+/// innocents complete normally) and everything else still unanswered as
+/// one job. Items the watchdog already claimed are dropped — it answered
+/// them with a 504.
+fn requeue_after_forward_panic(items: &mut [Option<JobItem>], group: &[usize], ctx: &JobCtx<'_>) {
+    let Some(watch) = lock_slot(ctx.slot).take() else {
+        // The watchdog took the whole job and answered every item.
+        return;
+    };
+    let mut singles: Vec<Job> = Vec::new();
+    let mut rest: Job = Vec::new();
+    for (i, slot) in items.iter_mut().enumerate() {
+        let unclaimed = watch.pending.get(i).map(Option::is_some).unwrap_or(false);
+        let Some(item) = slot.take() else { continue };
+        if !unclaimed {
+            continue;
+        }
+        if group.contains(&i) {
+            singles.push(vec![item]);
+        } else {
+            rest.push(item);
+        }
+    }
+    // `requeue` pushes to the front, so push in reverse of the desired
+    // head order: singleton retries first, then the untouched remainder.
+    if !rest.is_empty() {
+        ctx.queue.requeue(rest);
+    }
+    for single in singles.into_iter().rev() {
+        ctx.queue.requeue(single);
+    }
+}
+
+/// After a per-item panic: requeue every still-unanswered item as one job.
+fn requeue_rest(items: &mut [Option<JobItem>], ctx: &JobCtx<'_>) {
+    let Some(watch) = lock_slot(ctx.slot).take() else {
+        return;
+    };
+    let rest: Job = items
+        .iter_mut()
+        .enumerate()
+        .filter(|(i, _)| watch.pending.get(*i).map(Option::is_some).unwrap_or(false))
+        .filter_map(|(_, slot)| slot.take())
+        .collect();
+    if !rest.is_empty() {
+        ctx.queue.requeue(rest);
+    }
+}
+
+fn watchdog_loop(
+    slots: &[WatchSlot],
+    stop: &AtomicBool,
+    completions: &Sender<Completion>,
+    metrics: &Metrics,
+) {
     while !stop.load(Ordering::SeqCst) {
         for slot in slots {
             let overdue = {
                 let mut guard = lock_slot(slot);
                 match guard.as_ref() {
-                    Some(armed) if Instant::now() >= armed.deadline => guard.take(),
+                    Some(watch) if Instant::now() >= watch.deadline => guard.take(),
                     _ => None,
                 }
             };
-            if let Some(mut armed) = overdue {
-                let response =
-                    error_response(504, "request exceeded the hard deadline; solver abandoned");
-                let _ = write_response(&mut armed.stream, &response);
-                // Shut the shared socket down so the client sees EOF now,
-                // not when the wedged solve eventually finishes.
-                let _ = armed.stream.shutdown(Shutdown::Both);
-                metrics.record_watchdog_kill();
-                metrics.record(armed.endpoint, 504, armed.arrival.elapsed().as_secs_f64() * 1000.0);
+            if let Some(watch) = overdue {
+                for entry in watch.pending.into_iter().flatten() {
+                    metrics.record_watchdog_kill();
+                    // Closing the connection is what makes the kill real
+                    // for a pipelining client: later requests on the same
+                    // connection died with the wedged worker.
+                    let _ = completions.send(Completion {
+                        conn: entry.conn,
+                        seq: entry.seq,
+                        endpoint: entry.endpoint,
+                        arrival: entry.arrival,
+                        response: error_response(
+                            504,
+                            "request exceeded the hard deadline; solver abandoned",
+                        ),
+                        close_conn: true,
+                    });
+                }
             }
         }
         std::thread::sleep(WATCHDOG_POLL);
@@ -223,14 +423,15 @@ fn watchdog_loop(slots: &[WatchSlot], stop: &AtomicBool, metrics: &Metrics) {
 /// thread that watches both. The returned handle joins once every worker
 /// has drained after queue shutdown.
 pub(crate) fn start_supervised_pool(
-    queue: Arc<BoundedQueue<(TcpStream, Instant)>>,
+    queue: Arc<BoundedQueue<Job>>,
+    completions: Sender<Completion>,
     api: Arc<Api>,
     metrics: Arc<Metrics>,
     config: ServeConfig,
 ) -> JoinHandle<()> {
     let n = config.threads.max(1);
     let slots: Vec<WatchSlot> = (0..n).map(|_| Arc::new(Mutex::new(None))).collect();
-    let ctx = WorkerCtx { queue, api, metrics: Arc::clone(&metrics), config, slots };
+    let ctx = WorkerCtx { queue, completions, api, metrics: Arc::clone(&metrics), config, slots };
     ctx.metrics.set_pool_size(n);
 
     let mut handles: Vec<Option<JoinHandle<ExitReason>>> =
@@ -240,8 +441,9 @@ pub(crate) fn start_supervised_pool(
     let watchdog = {
         let slots = ctx.slots.clone();
         let stop = Arc::clone(&watchdog_stop);
+        let completions = ctx.completions.clone();
         let metrics = Arc::clone(&metrics);
-        std::thread::spawn(move || watchdog_loop(&slots, &stop, &metrics))
+        std::thread::spawn(move || watchdog_loop(&slots, &stop, &completions, &metrics))
     };
 
     std::thread::spawn(move || {

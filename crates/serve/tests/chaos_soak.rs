@@ -37,13 +37,31 @@ fn boot_chaotic() -> ServerHandle {
 }
 
 /// Full request/response over one fresh connection; panics on an unframed
-/// reply — exactly the soak invariant for well-formed requests.
+/// reply — exactly the soak invariant for well-formed requests. Replies
+/// are read by `Content-Length` framing (connections stay alive, so EOF
+/// never comes for healthy responses).
 fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
     stream.write_all(raw).expect("write");
-    let mut reply = Vec::new();
-    stream.read_to_end(&mut reply).expect("read");
-    let reply = String::from_utf8_lossy(&reply).to_string();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let reply = loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or_else(|| panic!("unframed reply: {head:?}"));
+            if buf.len() >= head_end + 4 + content_length {
+                break String::from_utf8_lossy(&buf[..head_end + 4 + content_length]).to_string();
+            }
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "unframed reply (EOF): {:?}", String::from_utf8_lossy(&buf));
+        buf.extend_from_slice(&chunk[..n]);
+    };
     let status: u16 = reply
         .split_whitespace()
         .nth(1)

@@ -21,12 +21,30 @@ fn boot(threads: usize, registry: Arc<ModelRegistry>) -> smore_serve::ServerHand
     start(config, registry).expect("bind")
 }
 
+/// One request/response round trip. The server keeps connections alive, so
+/// the reply is read by `Content-Length` framing rather than EOF.
 fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(60))).expect("timeout");
     stream.write_all(raw).expect("write");
-    let mut reply = Vec::new();
-    stream.read_to_end(&mut reply).expect("read");
-    let reply = String::from_utf8_lossy(&reply).to_string();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let reply = loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or_else(|| panic!("unframed reply: {head:?}"));
+            if buf.len() >= head_end + 4 + content_length {
+                break String::from_utf8_lossy(&buf[..head_end + 4 + content_length]).to_string();
+            }
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "EOF mid-response: {:?}", String::from_utf8_lossy(&buf));
+        buf.extend_from_slice(&chunk[..n]);
+    };
     let status: u16 = reply
         .split_whitespace()
         .nth(1)

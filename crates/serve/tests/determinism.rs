@@ -1,15 +1,19 @@
 //! Serving determinism contract: identical `/v1/solve` request bytes must
 //! produce **byte-identical** response bodies — across repeated requests,
-//! across server restarts, and across thread-pool sizes.
+//! across server restarts, across thread-pool sizes, and across
+//! micro-batch placement (a request answered as one row of a coalesced
+//! batch must match the same request answered alone).
 //!
 //! Responses contain no timestamps or host-dependent fields, handlers are
-//! pure in (request bytes, loaded checkpoint), and each worker thread's
-//! `SolveSession` re-arms its evaluator between requests, so this holds by
-//! construction; the test pins it down over real TCP.
+//! pure in (request bytes, loaded checkpoint), model forwards always go
+//! through the batch path (a singleton is a batch of one), and each worker
+//! thread's `SolveSession` re-arms its evaluator between requests, so this
+//! holds by construction; the tests pin it down over real TCP.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 use smore::{Critic, Tasnet, TasnetConfig};
 use smore_serve::{start, LoadedModel, ModelRegistry, ServeConfig};
@@ -19,11 +23,42 @@ fn boot(threads: usize, registry: Arc<ModelRegistry>) -> smore_serve::ServerHand
     start(config, registry).expect("bind")
 }
 
+/// Boots with explicit batching knobs (the batch-placement test sweeps
+/// them).
+fn boot_batched(
+    threads: usize,
+    max_batch: usize,
+    max_delay_us: u64,
+    registry: Arc<ModelRegistry>,
+) -> smore_serve::ServerHandle {
+    let config = ServeConfig { threads, max_batch, max_delay_us, ..ServeConfig::default() };
+    start(config, registry).expect("bind")
+}
+
+/// One request/response round trip, reading the reply by `Content-Length`
+/// framing (connections stay alive, so EOF never comes).
 fn body_of(addr: SocketAddr, raw: &str) -> (String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
     stream.write_all(raw.as_bytes()).expect("write");
-    let mut reply = String::new();
-    stream.read_to_string(&mut reply).expect("read");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let reply = loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or_else(|| panic!("unframed reply: {head:?}"));
+            if buf.len() >= head_end + 4 + content_length {
+                break String::from_utf8_lossy(&buf[..head_end + 4 + content_length]).to_string();
+            }
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "EOF mid-response: {:?}", String::from_utf8_lossy(&buf));
+        buf.extend_from_slice(&chunk[..n]);
+    };
     let (head, body) = reply.split_once("\r\n\r\n").expect("framed response");
     (head.to_string(), body.to_string())
 }
@@ -83,6 +118,50 @@ fn identical_requests_are_byte_identical_across_runs_and_pool_sizes() {
     }
     server4.stop();
     server4.join();
+}
+
+#[test]
+fn batched_solves_are_byte_identical_to_sequential_across_batch_and_pool_sizes() {
+    let (rows, cols) = grid_of_delivery_small();
+    let smore_solve =
+        "POST /v1/solve?dataset=delivery&gen_seed=11&method=smore HTTP/1.1\r\nHost: t\r\n\r\n";
+
+    // Sequential reference: batching disabled, one worker.
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(tiny_model_for(rows, cols));
+    let reference_server = boot_batched(1, 1, 0, Arc::clone(&registry));
+    let (head, reference) = body_of(reference_server.addr(), smore_solve);
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    reference_server.stop();
+    reference_server.join();
+
+    // Sweep batch bound × pool size; a generous flush delay forces
+    // concurrent requests to actually coalesce into shared batches.
+    for &(threads, max_batch) in &[(1usize, 1usize), (1, 8), (4, 1), (4, 8)] {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.install(tiny_model_for(rows, cols));
+        let server = boot_batched(threads, max_batch, 20_000, Arc::clone(&registry));
+        let addr = server.addr();
+        let clients: Vec<_> =
+            (0..16).map(|_| std::thread::spawn(move || body_of(addr, smore_solve))).collect();
+        for (c, handle) in clients.into_iter().enumerate() {
+            let (head, body) = handle.join().expect("client thread");
+            assert!(head.starts_with("HTTP/1.1 200 OK"), "client {c}: {head}");
+            assert_eq!(
+                body, reference,
+                "threads={threads} max_batch={max_batch} client {c}: \
+                 batched response diverged from sequential reference"
+            );
+        }
+        let flushed_full = server.metrics().batch_flushes(smore_serve::FlushReason::Full);
+        let flushed_deadline = server.metrics().batch_flushes(smore_serve::FlushReason::Deadline);
+        assert!(
+            flushed_full + flushed_deadline > 0,
+            "threads={threads} max_batch={max_batch}: no batches flushed"
+        );
+        server.stop();
+        server.join();
+    }
 }
 
 #[test]
