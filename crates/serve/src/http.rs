@@ -146,7 +146,14 @@ pub(crate) enum Parsed {
         consumed: usize,
     },
     /// The buffer holds only part of a request head or body; read more.
-    Partial,
+    Partial {
+        /// Total buffered bytes (head + declared body) this request needs
+        /// before it can complete, once the head is parsed; `None` while
+        /// the head itself is still incomplete. The event loop uses this
+        /// to let a connection's read buffer grow past its default cap for
+        /// bodies that are large but within `max_body_bytes`.
+        needed: Option<usize>,
+    },
     /// The buffer cannot be a valid request; answer and close.
     Invalid(ParseError),
 }
@@ -159,7 +166,7 @@ pub(crate) fn parse_buffered(buf: &[u8], max_body_bytes: usize) -> Parsed {
         if buf.len() > MAX_HEAD_BYTES {
             return Parsed::Invalid(ParseError::HeadTooLarge);
         }
-        return Parsed::Partial;
+        return Parsed::Partial { needed: None };
     };
     let (request, content_length) = match parse_head(&buf[..head_end]) {
         Ok(parsed) => parsed,
@@ -173,7 +180,7 @@ pub(crate) fn parse_buffered(buf: &[u8], max_body_bytes: usize) -> Parsed {
     }
     let body_start = head_end + 4;
     if buf.len() < body_start + content_length {
-        return Parsed::Partial;
+        return Parsed::Partial { needed: Some(body_start + content_length) };
     }
     let body = buf[body_start..body_start + content_length].to_vec();
     Parsed::Complete {
@@ -204,17 +211,26 @@ fn parse_head(head: &[u8]) -> Result<(Request, usize), ParseError> {
     let mut content_length = 0usize;
     let mut saw_content_length = false;
     let mut close = false;
+    let mut keep_alive = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
         let name = name.trim();
         if name.eq_ignore_ascii_case("content-length") {
             content_length = value.trim().parse().map_err(|_| ParseError::BadContentLength)?;
             saw_content_length = true;
-        } else if name.eq_ignore_ascii_case("connection")
-            && value.trim().eq_ignore_ascii_case("close")
-        {
-            close = true;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.trim().eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.trim().eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
         }
+    }
+    // HTTP/1.0 defaults to one request per connection: without an explicit
+    // `Connection: keep-alive` the response must close, or a 1.0 client
+    // waiting for close-delimited EOF hangs until the idle cull.
+    if version == "HTTP/1.0" && !keep_alive {
+        close = true;
     }
     // POST without Content-Length is treated as an empty body (the
     // query-string request form uses this); a GET never carries one.
@@ -381,11 +397,30 @@ mod tests {
     }
 
     #[test]
+    fn http_1_0_defaults_to_close_unless_keep_alive_requested() {
+        let (req, _) = head_of("GET /healthz HTTP/1.0\r\nHost: t").unwrap();
+        assert!(req.close, "HTTP/1.0 defaults to one request per connection");
+        let (req, _) = head_of("GET /healthz HTTP/1.0\r\nConnection: keep-alive").unwrap();
+        assert!(!req.close, "explicit keep-alive overrides the 1.0 default");
+        let (req, _) = head_of("GET /healthz HTTP/1.0\r\nConnection: close").unwrap();
+        assert!(req.close);
+    }
+
+    #[test]
     fn parse_buffered_handles_partial_pipelined_and_invalid_input() {
         let one = b"POST /v1/solve?seed=1 HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
-        // Every strict prefix is Partial, never an error.
+        // Every strict prefix is Partial, never an error. Once the head is
+        // in, the hint reports how many bytes the full request needs.
+        let head_len = one.len() - 2;
         for cut in 0..one.len() {
-            assert!(matches!(parse_buffered(&one[..cut], 1024), Parsed::Partial), "cut {cut}");
+            match parse_buffered(&one[..cut], 1024) {
+                Parsed::Partial { needed: None } => assert!(cut < head_len, "cut {cut}"),
+                Parsed::Partial { needed: Some(n) } => {
+                    assert!(cut >= head_len, "cut {cut}");
+                    assert_eq!(n, one.len(), "cut {cut}");
+                }
+                other => panic!("cut {cut}: expected Partial, got {other:?}"),
+            }
         }
         // Two pipelined requests parse in sequence, draining `consumed`.
         let mut buf = Vec::new();
@@ -404,7 +439,7 @@ mod tests {
         assert_eq!(request.path, "/healthz");
         assert_eq!(request.method, Method::Get);
         buf.drain(..consumed);
-        assert!(matches!(parse_buffered(&buf, 1024), Parsed::Partial), "empty buffer");
+        assert!(matches!(parse_buffered(&buf, 1024), Parsed::Partial { .. }), "empty buffer");
         // Oversized declared body and garbage are Invalid.
         assert!(matches!(
             parse_buffered(b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\n", 10),

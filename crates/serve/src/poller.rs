@@ -30,9 +30,11 @@ pub(crate) const MAX_IDLE_BACKOFF: Duration = Duration::from_millis(32);
 /// one syscall, small enough to keep one connection from starving a sweep.
 const READ_CHUNK: usize = 16 * 1024;
 
-/// Cap on buffered bytes read ahead of parsing per connection; a client
-/// pipelining faster than the server answers is paused, not buffered
-/// without bound.
+/// Default cap on buffered bytes read ahead of parsing per connection; a
+/// client pipelining faster than the server answers is paused, not
+/// buffered without bound. A request whose declared body needs more room
+/// (but fits `max_body_bytes`) raises the cap via [`Conn::raise_read_cap`]
+/// for exactly that request.
 pub(crate) const MAX_READ_BUF: usize = 256 * 1024;
 
 /// Stable handle to a pooled connection. The generation guards against
@@ -79,6 +81,13 @@ pub(crate) struct Conn {
     pub(crate) peer_closed: bool,
     /// Instant of the last read/write progress (idle-cull clock).
     pub(crate) last_activity: Instant,
+    /// Instant the socket last accepted buffered response bytes (or had
+    /// none pending). Stale while `write_buf` is non-empty means the peer
+    /// stopped reading — the write-side slow-loris the cull must bound.
+    last_write_progress: Instant,
+    /// Read-ahead cap currently in force ([`MAX_READ_BUF`] unless raised
+    /// for an oversized in-flight request body).
+    read_cap: usize,
     /// Current idle backoff (zero while the connection is active).
     backoff: Duration,
     /// Next read attempt not before this instant.
@@ -98,9 +107,31 @@ impl Conn {
             close_after: None,
             peer_closed: false,
             last_activity: now,
+            last_write_progress: now,
+            read_cap: MAX_READ_BUF,
             backoff: Duration::ZERO,
             due_at: now,
         }
+    }
+
+    /// Lets the read buffer grow to `needed` bytes so a request whose
+    /// declared body exceeds [`MAX_READ_BUF`] (but passed the
+    /// `max_body_bytes` check at parse time) can finish arriving instead
+    /// of stalling forever. Resets back via [`Conn::reset_read_cap`] once
+    /// the request completes.
+    pub(crate) fn raise_read_cap(&mut self, needed: usize, now: Instant) {
+        if needed > self.read_cap {
+            self.read_cap = needed;
+            // The buffer may have been parked at the old cap; resume
+            // reading on the next sweep.
+            self.backoff = Duration::ZERO;
+            self.due_at = now;
+        }
+    }
+
+    /// Restores the default read-ahead cap (call when a request completes).
+    pub(crate) fn reset_read_cap(&mut self) {
+        self.read_cap = MAX_READ_BUF;
     }
 
     /// Whether this connection should be read-swept now.
@@ -111,7 +142,7 @@ impl Conn {
     /// Reads whatever the socket has ready into `read_buf`, up to the
     /// buffer cap. Updates the activity clock and idle backoff.
     pub(crate) fn sweep_read(&mut self, now: Instant) -> ReadOutcome {
-        if self.read_buf.len() >= MAX_READ_BUF {
+        if self.read_buf.len() >= self.read_cap {
             // Parsing is behind; let it catch up before reading more.
             return ReadOutcome::Idle;
         }
@@ -129,7 +160,7 @@ impl Conn {
                     self.last_activity = now;
                     self.backoff = Duration::ZERO;
                     self.due_at = now;
-                    if n < chunk.len() || self.read_buf.len() >= MAX_READ_BUF {
+                    if n < chunk.len() || self.read_buf.len() >= self.read_cap {
                         return ReadOutcome::Data;
                     }
                 }
@@ -200,12 +231,17 @@ impl Conn {
     /// Pushes buffered response bytes into the socket without blocking.
     /// Returns `false` when the connection broke.
     pub(crate) fn flush_writes(&mut self, now: Instant) -> bool {
+        if self.write_buf.is_empty() {
+            self.last_write_progress = now;
+            return true;
+        }
         while !self.write_buf.is_empty() {
             match self.stream.write(&self.write_buf) {
                 Ok(0) => return false,
                 Ok(n) => {
                     self.write_buf.drain(..n);
                     self.last_activity = now;
+                    self.last_write_progress = now;
                     self.backoff = Duration::ZERO;
                     self.due_at = now;
                 }
@@ -215,6 +251,15 @@ impl Conn {
             }
         }
         true
+    }
+
+    /// Whether buffered response bytes have made no socket progress for
+    /// `timeout` — the peer sent a request and then stopped reading. The
+    /// event loop flushes every connection each iteration, so while the
+    /// write buffer is empty the progress clock stays fresh; stale +
+    /// pending means zero bytes accepted over the whole window.
+    pub(crate) fn write_stalled(&self, now: Instant, timeout: Duration) -> bool {
+        !self.write_buf.is_empty() && now.duration_since(self.last_write_progress) >= timeout
     }
 
     /// Whether the connection has finished its final response and should
@@ -401,6 +446,47 @@ mod tests {
         assert_eq!(conn.write_buf, b"BYE", "responses after the close boundary are dropped");
         assert!(conn.flush_writes(Instant::now()));
         assert!(conn.finished());
+    }
+
+    #[test]
+    fn raised_read_cap_resumes_reading_past_the_default_cap() {
+        let (mut client, server) = pair();
+        let now = Instant::now();
+        let mut conn = Conn::new(server, now);
+        client.write_all(b"tail").expect("write");
+        client.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(10));
+        // Simulate a request whose body filled the default read-ahead cap.
+        conn.read_buf = vec![0u8; MAX_READ_BUF];
+        assert_eq!(conn.sweep_read(Instant::now()), ReadOutcome::Idle, "cap blocks reads");
+        conn.raise_read_cap(MAX_READ_BUF + 16, Instant::now());
+        assert_eq!(conn.sweep_read(Instant::now()), ReadOutcome::Data);
+        assert_eq!(&conn.read_buf[MAX_READ_BUF..], b"tail");
+        conn.reset_read_cap();
+        assert_eq!(conn.sweep_read(Instant::now()), ReadOutcome::Idle, "default cap restored");
+    }
+
+    #[test]
+    fn unread_responses_stall_the_write_clock_until_the_peer_reads() {
+        let (mut client, server) = pair();
+        let t0 = Instant::now();
+        let mut conn = Conn::new(server, t0);
+        let timeout = Duration::from_millis(100);
+        assert!(!conn.write_stalled(t0 + timeout, timeout), "no pending writes, no stall");
+        // A response far larger than the socket buffers; the peer reads none.
+        let seq = conn.assign_seq();
+        conn.complete(seq, vec![b'x'; 64 * 1024 * 1024]);
+        assert!(conn.flush_writes(t0));
+        assert!(conn.has_pending_writes(), "the kernel cannot swallow 64 MiB unread");
+        assert!(!conn.write_stalled(t0, timeout));
+        assert!(conn.write_stalled(t0 + timeout, timeout), "no progress for a full window");
+        // The peer reads; the next flush makes progress and resets the clock.
+        let mut sink = vec![0u8; 1024 * 1024];
+        client.read_exact(&mut sink).expect("read");
+        std::thread::sleep(Duration::from_millis(10));
+        let t1 = Instant::now();
+        assert!(conn.flush_writes(t1));
+        assert!(!conn.write_stalled(t1 + timeout / 2, timeout), "progress resets the clock");
     }
 
     #[test]

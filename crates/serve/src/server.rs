@@ -56,8 +56,10 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Per-request body size cap in bytes.
     pub max_body_bytes: usize,
-    /// Idle cull: a connection with no traffic and nothing in flight for
-    /// this long is closed (also bounds slow-loris clients).
+    /// Cull window: a connection with no traffic and nothing in flight for
+    /// this long is closed, as is one whose buffered response bytes the
+    /// peer has refused to accept for this long (bounds slow-loris clients
+    /// on both the read and the write side).
     pub read_timeout: Duration,
     /// Floor for the adaptive `Retry-After` advertised on shed responses.
     pub retry_after_secs: u32,
@@ -349,7 +351,7 @@ impl EventLoop {
                     ParseStep::Done
                 } else {
                     match parse_buffered(&conn.read_buf, self.config.max_body_bytes) {
-                        Parsed::Partial => {
+                        Parsed::Partial { needed } => {
                             if conn.peer_closed {
                                 // The peer hung up mid-request; answer the
                                 // torso with a 400 like the blocking
@@ -363,6 +365,13 @@ impl EventLoop {
                                     message: "connection closed mid-request".to_string(),
                                 }
                             } else {
+                                // A declared body larger than the default
+                                // read-ahead cap (already bounded by
+                                // max_body_bytes at parse time) must be
+                                // allowed to finish arriving.
+                                if let Some(needed) = needed {
+                                    conn.raise_read_cap(needed, now);
+                                }
                                 ParseStep::Done
                             }
                         }
@@ -378,6 +387,7 @@ impl EventLoop {
                         }
                         Parsed::Complete { request, consumed } => {
                             conn.read_buf.drain(..consumed);
+                            conn.reset_read_cap();
                             let seq = conn.assign_seq();
                             if request.close {
                                 conn.close_after(seq);
@@ -408,7 +418,13 @@ impl EventLoop {
                             self.respond(token, seq, endpoint, now, response, false)
                         }
                         Plan::Work(item) => {
-                            let job_item = JobItem { conn: token, seq, arrival: now, work: *item };
+                            let job_item = JobItem {
+                                conn: token,
+                                seq,
+                                arrival: now,
+                                work: *item,
+                                retried: false,
+                            };
                             if let Some((batch, reason)) = self.batcher.admit(job_item, now) {
                                 self.dispatch(batch, reason);
                             }
@@ -475,17 +491,25 @@ impl EventLoop {
         }
     }
 
-    /// Culls idle connections and refreshes the connection-state gauges.
+    /// Culls dead-weight connections and refreshes the connection-state
+    /// gauges. Two ways out: *idle* (nothing in flight, nothing buffered,
+    /// no traffic for `read_timeout` — bounds read-side slow-loris) and
+    /// *write-stalled* (buffered response bytes the peer has not accepted
+    /// for `read_timeout` — bounds a client that sends requests but never
+    /// reads the answers, which would otherwise pin its connection and
+    /// slot forever). In-flight work without pending writes is solver
+    /// latency; the watchdog's hard deadline covers that instead.
     fn housekeeping(&mut self, now: Instant) {
         for i in 0..self.poller.slot_count() {
             let Some(token) = self.poller.token_at(i) else { continue };
-            let idle_out = {
+            let cull = {
                 let Some(conn) = self.poller.get_mut(token) else { continue };
-                conn.in_flight == 0
+                let idle = conn.in_flight == 0
                     && !conn.has_pending_writes()
-                    && now.duration_since(conn.last_activity) >= self.config.read_timeout
+                    && now.duration_since(conn.last_activity) >= self.config.read_timeout;
+                idle || conn.write_stalled(now, self.config.read_timeout)
             };
-            if idle_out {
+            if cull {
                 self.poller.close(token);
             }
         }
@@ -701,6 +725,100 @@ mod tests {
         stream.read_to_end(&mut rest).expect("read");
         assert!(carry.is_empty(), "unframed leftover: {:?}", String::from_utf8_lossy(&carry));
         assert!(rest.is_empty(), "bytes after close: {:?}", String::from_utf8_lossy(&rest));
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn large_bodies_within_the_cap_complete_instead_of_stalling() {
+        // A declared body larger than the per-connection read-ahead cap
+        // (but within max_body_bytes) must finish arriving and get an
+        // answer. It used to wedge at the cap — parse stayed Partial
+        // forever and the idle cull killed the connection with no
+        // response.
+        let server = boot(2, 16);
+        let body = "x".repeat(300 * 1024);
+        let raw = format!(
+            "POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let reply = roundtrip(server.addr(), &raw);
+        assert!(
+            reply.starts_with("HTTP/1.1 400"),
+            "garbage 300 KiB body must be answered, got: {:?}",
+            &reply[..reply.len().min(120)]
+        );
+        assert!(reply.contains("invalid solve request"), "{reply}");
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn http_1_0_requests_default_to_connection_close() {
+        // An HTTP/1.0 client without `Connection: keep-alive` waits for
+        // close-delimited EOF; keeping it alive would hang it until the
+        // idle cull.
+        let server = boot(2, 16);
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(3))).expect("timeout");
+        stream.write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n").expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("response then prompt EOF");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        assert!(out.contains("Connection: close"), "{out}");
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn client_that_never_reads_its_responses_is_culled() {
+        // Write-side slow-loris: send requests, never read the answers.
+        // Once the socket stops accepting response bytes the connection
+        // must be culled after read_timeout, not pinned forever.
+        let config = ServeConfig {
+            threads: 2,
+            queue_capacity: 16,
+            read_timeout: Duration::from_millis(400),
+            ..ServeConfig::default()
+        };
+        let server = start(config, Arc::new(ModelRegistry::new())).expect("bind");
+        // Size the burst off one measured /metrics reply so the response
+        // volume far exceeds what the kernel socket buffers can absorb.
+        let probe = roundtrip(server.addr(), &closing("GET /metrics HTTP/1.1"));
+        let count = (48 * 1024 * 1024 / probe.len().max(256)).clamp(2_000, 60_000);
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        let burst = b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n".repeat(count);
+        stream.write_all(&burst).expect("write");
+        // Refuse to read through the whole cull window.
+        std::thread::sleep(Duration::from_millis(1500));
+        // Drain: the server must have closed its end (kernel-buffered
+        // bytes, then EOF or reset). A read timeout here means the
+        // connection survived the window — the bug this test pins down.
+        let mut chunk = [0u8; 64 * 1024];
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(_) => assert!(Instant::now() < deadline, "drain did not reach EOF"),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    break
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    panic!("write-stalled connection was never culled")
+                }
+                Err(e) => panic!("unexpected read error: {e}"),
+            }
+        }
+        // The slot is free again: a fresh client is served normally.
+        let reply = roundtrip(server.addr(), &closing("GET /healthz HTTP/1.1"));
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
         server.stop();
         server.join();
     }

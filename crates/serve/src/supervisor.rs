@@ -19,10 +19,14 @@
 //! the worker — its session is quarantined and the supervisor respawns a
 //! fresh worker in the same slot. A panic inside a *shared* forward pass
 //! cannot be pinned to one item, so the group's items are requeued as
-//! singleton jobs: innocents complete on retry, the guilty item panics
-//! again solo and collects its 500. Every recorded panic coincides with
-//! exactly one worker exit, so `smore_worker_panics_total ==
-//! smore_worker_respawns_total` holds under any interleaving.
+//! singleton jobs marked `retried`: a retried item never re-enters the
+//! batch forward but runs through the per-item path, where innocents
+//! complete normally and the guilty item panics inside its own
+//! `catch_unwind` and collects a structured 500 — a deterministic forward
+//! panic therefore costs at most two attempts, never an unbounded
+//! respawn loop. Every recorded panic coincides with exactly one worker
+//! exit, so `smore_worker_panics_total == smore_worker_respawns_total`
+//! holds under any interleaving.
 //!
 //! The watchdog covers the failure `catch_unwind` cannot: a solver that
 //! wedges without panicking. Each worker arms a per-slot watch over its
@@ -75,6 +79,13 @@ pub(crate) struct JobItem {
     pub(crate) arrival: Instant,
     /// The validated work.
     pub(crate) work: WorkItem,
+    /// This item already survived a shared-forward panic and was requeued
+    /// solo. It must skip phase-1 batch grouping and run through the
+    /// per-item path, whose `catch_unwind` converts a second panic into a
+    /// structured 500 — otherwise a deterministic forward panic (fault
+    /// injection, a poison instance) would re-enter the batch forward and
+    /// retry forever, killing a worker per attempt.
+    pub(crate) retried: bool,
 }
 
 /// A micro-batch of planned requests, dispatched as one queue handoff.
@@ -256,6 +267,11 @@ fn process_job(
     let mut groups: Vec<(u64, Arc<LoadedModel>, Vec<usize>)> = Vec::new();
     for (i, item) in items.iter().enumerate() {
         let Some(item) = item else { continue };
+        // A retry after a shared-forward panic runs per-item (phase 2),
+        // where its own catch_unwind answers a 500 if it panics again.
+        if item.retried {
+            continue;
+        }
         if let Some((model, version)) = item.work.batch_model() {
             match groups.iter_mut().find(|(v, _, _)| *v == version) {
                 Some((_, _, idxs)) => idxs.push(i),
@@ -331,10 +347,12 @@ fn process_job(
 }
 
 /// After a shared forward pass panicked: requeue the group's items as
-/// singleton jobs (the guilty item panics again solo and collects its 500;
-/// innocents complete normally) and everything else still unanswered as
-/// one job. Items the watchdog already claimed are dropped — it answered
-/// them with a 504.
+/// singleton jobs marked `retried` — on retry they skip batch grouping and
+/// run per-item, so innocents complete normally and the guilty item panics
+/// once more inside the per-item `catch_unwind`, collecting a structured
+/// 500 instead of looping through the batch forward forever. Everything
+/// else still unanswered requeues as one job. Items the watchdog already
+/// claimed are dropped — it answered them with a 504.
 fn requeue_after_forward_panic(items: &mut [Option<JobItem>], group: &[usize], ctx: &JobCtx<'_>) {
     let Some(watch) = lock_slot(ctx.slot).take() else {
         // The watchdog took the whole job and answered every item.
@@ -344,11 +362,12 @@ fn requeue_after_forward_panic(items: &mut [Option<JobItem>], group: &[usize], c
     let mut rest: Job = Vec::new();
     for (i, slot) in items.iter_mut().enumerate() {
         let unclaimed = watch.pending.get(i).map(Option::is_some).unwrap_or(false);
-        let Some(item) = slot.take() else { continue };
+        let Some(mut item) = slot.take() else { continue };
         if !unclaimed {
             continue;
         }
         if group.contains(&i) {
+            item.retried = true;
             singles.push(vec![item]);
         } else {
             rest.push(item);

@@ -16,7 +16,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-use smore_serve::{start, ModelRegistry, ServeConfig, ServerHandle};
+use smore::{Critic, Tasnet, TasnetConfig};
+use smore_serve::{start, LoadedModel, ModelRegistry, ServeConfig, ServerHandle};
 use smore_tsptw::FaultConfig;
 
 const THREADS: usize = 2;
@@ -179,6 +180,74 @@ fn soak_survives_hostile_clients_and_injected_panics() {
     assert_eq!(status, 200);
     assert!(body.contains("ok"), "healthz body: {body}");
 
+    server.stop();
+    server.join();
+}
+
+/// A deterministic tiny checkpoint sized for the delivery/small grid (same
+/// construction as determinism.rs).
+fn tiny_delivery_model() -> LoadedModel {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+    let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), 11);
+    let inst = g.gen_default(&mut SmallRng::seed_from_u64(11));
+    let mut cfg = TasnetConfig::for_grid(inst.lattice.grid.rows, inst.lattice.grid.cols);
+    cfg.d_model = 16;
+    cfg.heads = 2;
+    cfg.enc_layers = 1;
+    LoadedModel { net: Tasnet::new(cfg, 5), critic: Critic::new(16, 6) }
+}
+
+#[test]
+fn deterministic_batch_forward_panic_converges_to_a_500() {
+    // Fault injection is a pure function of (seed, problem), so a panic in
+    // the shared batch forward panics identically on retry. The requeued
+    // singleton must run through the per-item path — whose catch_unwind
+    // answers a structured 500 — instead of re-entering the batch forward
+    // and respawn-looping forever with the job pinned at the queue front.
+    let config = ServeConfig {
+        threads: 1,
+        queue_capacity: 16,
+        faults: Some(FaultConfig::uniform(0.0).with_panic_rate(1.0)),
+        fault_seed: 3,
+        ..ServeConfig::default()
+    };
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(tiny_delivery_model());
+    let server = start(config, registry).expect("bind");
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(
+        addr,
+        b"POST /v1/solve?dataset=delivery&gen_seed=7&method=smore HTTP/1.1\r\nHost: t\r\n\r\n",
+    );
+    assert_eq!(status, 500, "body: {body}");
+    assert!(body.contains("panicked"), "body names the cause: {body}");
+
+    // Both attempts were contained (batch forward, then the solo retry):
+    // two panics, two respawns, pool intact, server alive. The respawn
+    // counter trails the panic counter until the supervisor joins the dead
+    // worker thread, so poll until they converge.
+    let (status, _) = roundtrip(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    let panics = metric(addr, "smore_worker_panics_total");
+    assert!(panics >= 2, "batch forward and solo retry must both be contained, got {panics}");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let respawns = metric(addr, "smore_worker_respawns_total");
+        if respawns == panics {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "every panic must trigger exactly one respawn: {panics} panics, {respawns} respawns"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(metric(addr, "smore_worker_pool_size"), 1);
+
+    // Shutdown must drain cleanly — `outstanding` reached zero.
     server.stop();
     server.join();
 }
