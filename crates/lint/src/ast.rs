@@ -1,0 +1,561 @@
+//! A brace-matched item parser over sanitized source.
+//!
+//! [`crate::source::ScannedFile`] gives rules a token-safe view of one file;
+//! this module adds the *shape*: which `fn` bodies exist, which `impl` block
+//! each sits in, what the `struct` fields are typed as, and which calls each
+//! body makes. It is deliberately a bracket matcher, not a grammar — exactly
+//! enough structure for the concurrency rules (C1 lock ordering, C2
+//! event-loop blocking) to reason about "inside `fn x` of `impl Y`" and to
+//! resolve `self.field.method(..)` through struct field types.
+//!
+//! Everything operates on the sanitized text (comments/strings blanked), so
+//! byte offsets map 1:1 onto the original source and prose can never fake an
+//! item boundary.
+
+/// A byte span `[start, end)` into the sanitized text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Inclusive start offset.
+    pub start: usize,
+    /// Exclusive end offset.
+    pub end: usize,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// `module::Type::name` for methods, `module::name` for free functions
+    /// (inline `mod` segments included).
+    pub qualified: String,
+    /// The `impl` type the fn sits in, module-qualified (`module::Type`).
+    pub self_type: Option<String>,
+    /// Parameter `(name, type-text)` pairs, `self` receivers skipped.
+    pub params: Vec<(String, String)>,
+    /// Body span (inside the braces). Bodiless decls get an empty span.
+    pub body: Span,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// One parsed `struct` item (named-field form only; tuple structs carry no
+/// resolvable field names and are skipped).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Module-qualified name (`module::Type`).
+    pub qualified: String,
+    /// Field `(name, type-text)` pairs.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Parse result for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` with a body, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every named-field `struct`.
+    pub structs: Vec<StructItem>,
+}
+
+/// Parse the sanitized text of one file whose scoping module path is
+/// `module` (e.g. `serve::queue`).
+pub fn parse_file(sanitized: &str, module: &str) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let bytes = sanitized.as_bytes();
+    let line_starts = line_starts(bytes);
+    let mut ctx = Ctx { sanitized, bytes, line_starts: &line_starts, out: &mut out };
+    parse_items(&mut ctx, 0, bytes.len(), module, None);
+    out
+}
+
+struct Ctx<'a> {
+    sanitized: &'a str,
+    bytes: &'a [u8],
+    line_starts: &'a [usize],
+    out: &'a mut ParsedFile,
+}
+
+/// Byte offsets where each line starts; `line_of` binary-searches this.
+fn line_starts(bytes: &[u8]) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line number of byte offset `pos`.
+pub fn line_of(line_starts: &[usize], pos: usize) -> usize {
+    match line_starts.binary_search(&pos) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scan `[start, end)` for items, recursing into inline `mod` and `impl`
+/// blocks. `self_type` is `Some(module-qualified type)` inside an impl.
+fn parse_items(ctx: &mut Ctx<'_>, start: usize, end: usize, module: &str, self_type: Option<&str>) {
+    let bytes = ctx.bytes;
+    let mut i = start;
+    while i < end {
+        let b = bytes[i];
+        if !is_ident_byte(b) {
+            // Skip over nested braces of non-item expressions only when we
+            // meet them outside an item keyword; items are found by keyword,
+            // so plain forward scanning is fine.
+            i += 1;
+            continue;
+        }
+        let word_start = i;
+        while i < end && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        // Keywords only count at identifier boundaries.
+        if word_start > 0 && is_ident_byte(bytes[word_start - 1]) {
+            continue;
+        }
+        match &ctx.sanitized[word_start..i] {
+            "fn" => {
+                i = parse_fn(ctx, i, end, module, self_type);
+            }
+            "struct" => {
+                i = parse_struct(ctx, i, end, module);
+            }
+            "impl" => {
+                i = parse_impl(ctx, i, end, module);
+            }
+            "mod" => {
+                i = parse_mod(ctx, i, end, module, self_type);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parse after the `fn` keyword at `i`. Returns the offset to resume at.
+fn parse_fn(
+    ctx: &mut Ctx<'_>,
+    i: usize,
+    end: usize,
+    module: &str,
+    self_type: Option<&str>,
+) -> usize {
+    let bytes = ctx.bytes;
+    let mut j = skip_ws(bytes, i, end);
+    let name_start = j;
+    while j < end && is_ident_byte(bytes[j]) {
+        j += 1;
+    }
+    if j == name_start {
+        return i;
+    }
+    let name = ctx.sanitized[name_start..j].to_string();
+    let line = line_of(ctx.line_starts, name_start);
+    // Optional generics on the name.
+    j = skip_ws(bytes, j, end);
+    if j < end && bytes[j] == b'<' {
+        j = skip_angle(bytes, j, end);
+        j = skip_ws(bytes, j, end);
+    }
+    if j >= end || bytes[j] != b'(' {
+        return j;
+    }
+    let params_end = match_bracket(bytes, j, b'(', b')', end);
+    let params = parse_params(&ctx.sanitized[j + 1..params_end.saturating_sub(1).max(j + 1)]);
+    // Find the body `{` or a terminating `;` (trait method decl), skipping
+    // return type and where clause.
+    let mut k = params_end;
+    let mut body = Span { start: 0, end: 0 };
+    while k < end {
+        match bytes[k] {
+            b';' => {
+                k += 1;
+                break;
+            }
+            b'{' => {
+                let close = match_bracket(bytes, k, b'{', b'}', end);
+                body = Span { start: k + 1, end: close.saturating_sub(1) };
+                k = close;
+                break;
+            }
+            b'<' => k = skip_angle(bytes, k, end),
+            _ => k += 1,
+        }
+    }
+    let qualified = match self_type {
+        Some(t) => format!("{t}::{name}"),
+        None => format!("{module}::{name}"),
+    };
+    ctx.out.fns.push(FnItem {
+        name,
+        qualified,
+        self_type: self_type.map(|t| t.to_string()),
+        params,
+        body,
+        line,
+    });
+    k
+}
+
+/// Parse after the `struct` keyword. Only named-field bodies are recorded.
+fn parse_struct(ctx: &mut Ctx<'_>, i: usize, end: usize, module: &str) -> usize {
+    let bytes = ctx.bytes;
+    let mut j = skip_ws(bytes, i, end);
+    let name_start = j;
+    while j < end && is_ident_byte(bytes[j]) {
+        j += 1;
+    }
+    if j == name_start {
+        return i;
+    }
+    let name = &ctx.sanitized[name_start..j];
+    j = skip_ws(bytes, j, end);
+    if j < end && bytes[j] == b'<' {
+        j = skip_angle(bytes, j, end);
+        j = skip_ws(bytes, j, end);
+    }
+    if j >= end || bytes[j] != b'{' {
+        // Tuple struct or unit struct: skip to `;`.
+        while j < end && bytes[j] != b';' && bytes[j] != b'{' {
+            j += 1;
+        }
+        return j;
+    }
+    let close = match_bracket(bytes, j, b'{', b'}', end);
+    let body = &ctx.sanitized[j + 1..close.saturating_sub(1).max(j + 1)];
+    let fields = parse_fields(body);
+    ctx.out.structs.push(StructItem { qualified: format!("{module}::{name}"), fields });
+    close
+}
+
+/// Parse after the `impl` keyword: recurse into the block with the impl
+/// type as `self_type`. Handles `impl<T> Type`, `impl Trait for Type`.
+fn parse_impl(ctx: &mut Ctx<'_>, i: usize, end: usize, module: &str) -> usize {
+    let bytes = ctx.bytes;
+    let mut j = skip_ws(bytes, i, end);
+    if j < end && bytes[j] == b'<' {
+        j = skip_angle(bytes, j, end);
+        j = skip_ws(bytes, j, end);
+    }
+    // Header runs to the `{`; the self type is the last path before it
+    // (after ` for ` when present).
+    let mut header_end = j;
+    while header_end < end && bytes[header_end] != b'{' {
+        if bytes[header_end] == b'<' {
+            header_end = skip_angle(bytes, header_end, end);
+        } else {
+            header_end += 1;
+        }
+    }
+    if header_end >= end {
+        return j;
+    }
+    let header = &ctx.sanitized[j..header_end];
+    let type_part = match find_word(header, "for") {
+        Some(pos) => &header[pos + 3..],
+        None => header,
+    };
+    let type_name = last_path_segment(type_part);
+    let close = match_bracket(bytes, header_end, b'{', b'}', end);
+    if let Some(t) = type_name {
+        let qualified = format!("{module}::{t}");
+        parse_items(ctx, header_end + 1, close.saturating_sub(1), module, Some(&qualified));
+    }
+    close
+}
+
+/// Parse after the `mod` keyword: recurse with an extended module path.
+fn parse_mod(
+    ctx: &mut Ctx<'_>,
+    i: usize,
+    end: usize,
+    module: &str,
+    self_type: Option<&str>,
+) -> usize {
+    let bytes = ctx.bytes;
+    let mut j = skip_ws(bytes, i, end);
+    let name_start = j;
+    while j < end && is_ident_byte(bytes[j]) {
+        j += 1;
+    }
+    if j == name_start {
+        return i;
+    }
+    let name = ctx.sanitized[name_start..j].to_string();
+    j = skip_ws(bytes, j, end);
+    if j >= end || bytes[j] != b'{' {
+        // `mod name;` — out-of-line, nothing to recurse into.
+        return j;
+    }
+    let close = match_bracket(bytes, j, b'{', b'}', end);
+    let nested = format!("{module}::{name}");
+    parse_items(ctx, j + 1, close.saturating_sub(1), &nested, self_type);
+    close
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize, end: usize) -> usize {
+    while i < end && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// From `open` at `bytes[i]`, return the offset just past the matching
+/// `close`. Never panics; clamps at `end` on malformed input.
+pub fn match_bracket(bytes: &[u8], i: usize, open: u8, close: u8, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < end {
+        let b = bytes[j];
+        if b == open {
+            depth += 1;
+        } else if b == close {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Skip a balanced `<…>` starting at `bytes[i] == b'<'`, tolerating the
+/// shift/comparison ambiguity by bailing at `;`, `{` or unbalanced depth.
+fn skip_angle(bytes: &[u8], i: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < end {
+        match bytes[j] {
+            b'<' => depth += 1,
+            b'>' => {
+                depth -= 1;
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+            b';' | b'{' => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Split a parameter list on top-level commas into `(name, type)` pairs.
+fn parse_params(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for part in split_top_level(text, b',') {
+        let part = part.trim();
+        if part.is_empty() || part.starts_with('&') && part.contains("self") && !part.contains(':')
+        {
+            continue;
+        }
+        if part == "self" || part == "mut self" || part.ends_with("self") && !part.contains(':') {
+            continue;
+        }
+        if let Some((name, ty)) = part.split_once(':') {
+            let name = name.trim().trim_start_matches("mut ").trim();
+            if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.is_empty() {
+                out.push((name.to_string(), ty.trim().to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Split struct fields on top-level commas into `(name, type)` pairs.
+fn parse_fields(body: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for part in split_top_level(body, b',') {
+        let part = part.trim();
+        // Drop attributes and visibility.
+        let part = part.rsplit(']').next().unwrap_or(part).trim();
+        let part = part.strip_prefix("pub(crate)").unwrap_or(part);
+        let part = part.strip_prefix("pub").unwrap_or(part).trim();
+        if let Some((name, ty)) = part.split_once(':') {
+            let name = name.trim();
+            if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.is_empty() {
+                out.push((name.to_string(), ty.trim().to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Split on `sep` outside any `<>`, `()`, `[]`, `{}` nesting.
+fn split_top_level(text: &str, sep: u8) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'<' | b'(' | b'[' | b'{' => depth += 1,
+            b'>' | b')' | b']' | b'}' => depth -= 1,
+            _ if b == sep && depth <= 0 => {
+                out.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&text[start..]);
+    out
+}
+
+/// Find `word` at identifier boundaries; returns its byte offset.
+fn find_word(text: &str, word: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = text.get(from..).and_then(|s| s.find(word)) {
+        let pos = from + pos;
+        let before = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + word.len() >= bytes.len() || !is_ident_byte(bytes[pos + word.len()]);
+        if before && after {
+            return Some(pos);
+        }
+        from = pos + 1;
+    }
+    None
+}
+
+/// Last path segment of a type expression: `smore_serve::Queue<T>` → `Queue`.
+fn last_path_segment(text: &str) -> Option<String> {
+    let text = text.trim();
+    let base = match text.find('<') {
+        Some(p) => &text[..p],
+        None => text,
+    };
+    let seg = base.rsplit("::").next()?.trim();
+    if seg.is_empty() || !seg.as_bytes()[0].is_ascii_alphabetic() {
+        return None;
+    }
+    Some(seg.to_string())
+}
+
+/// Innermost interesting type of a field/param: unwraps references,
+/// `Arc`/`Rc`/`Box` and `Option`, stops at anything else. `Mutex`/`RwLock`
+/// are *kept* (the lock rules key on them): `Arc<Mutex<Inner>>` → `Mutex<Inner>`.
+pub fn unwrap_type(ty: &str) -> &str {
+    let mut t = ty.trim();
+    loop {
+        t = t.trim_start_matches('&').trim();
+        t = t.strip_prefix("mut ").unwrap_or(t).trim();
+        // Strip a leading lifetime.
+        if t.starts_with('\'') {
+            match t.find(char::is_whitespace) {
+                Some(p) => t = t[p..].trim(),
+                None => return t,
+            }
+            continue;
+        }
+        let head = t.split('<').next().unwrap_or(t).trim();
+        let head_leaf = head.rsplit("::").next().unwrap_or(head);
+        if matches!(head_leaf, "Arc" | "Rc" | "Box" | "Option") {
+            match (t.find('<'), t.rfind('>')) {
+                (Some(a), Some(b)) if b > a => t = t[a + 1..b].trim(),
+                _ => return t,
+            }
+        } else {
+            return t;
+        }
+    }
+}
+
+/// Lock flavour of a type (after [`unwrap_type`]): `Mutex<..>` / `RwLock<..>`.
+pub fn lock_kind(ty: &str) -> Option<&'static str> {
+    let t = unwrap_type(ty);
+    let head = t.split('<').next().unwrap_or(t).trim();
+    match head.rsplit("::").next().unwrap_or(head) {
+        "Mutex" => Some("Mutex"),
+        "RwLock" => Some("RwLock"),
+        _ => None,
+    }
+}
+
+/// The plain (non-lock, non-wrapper) type leaf, for method resolution:
+/// `Arc<BoundedQueue<Job>>` → `BoundedQueue`; `Mutex<Inner>` → `Mutex`.
+pub fn type_leaf(ty: &str) -> Option<String> {
+    last_path_segment(unwrap_type(ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ScannedFile;
+
+    fn parse(src: &str) -> ParsedFile {
+        let scanned = ScannedFile::scan(src);
+        parse_file(&scanned.sanitized, "serve::queue")
+    }
+
+    #[test]
+    fn free_fn_and_method_are_qualified() {
+        let src = "fn helper(x: u32) -> u32 { x }\n\
+                   struct Q { inner: Mutex<Inner>, cap: usize }\n\
+                   impl Q {\n    pub fn push(&self, item: u32) { self.inner.lock(); }\n}\n";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(names, ["serve::queue::helper", "serve::queue::Q::push"]);
+        assert_eq!(p.fns[1].self_type.as_deref(), Some("serve::queue::Q"));
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields[0], ("inner".to_string(), "Mutex<Inner>".to_string()));
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let src = "impl Drop for Pool {\n    fn drop(&mut self) { cleanup(); }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].qualified, "serve::queue::Pool::drop");
+    }
+
+    #[test]
+    fn inline_mod_extends_the_path() {
+        let src = "mod sub {\n    pub fn go() {}\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].qualified, "serve::queue::sub::go");
+    }
+
+    #[test]
+    fn body_spans_cover_the_braces() {
+        let src = "fn f() { one(); two(); }\n";
+        let p = parse(src);
+        let body = &src[p.fns[0].body.start..p.fns[0].body.end];
+        assert!(body.contains("one()") && body.contains("two()"));
+    }
+
+    #[test]
+    fn generic_fns_and_where_clauses_parse() {
+        let src =
+            "fn pick<T: Clone>(xs: &[T], idx: usize) -> T where T: Default { xs[idx].clone() }\n";
+        let p = parse(src);
+        assert_eq!(p.fns[0].name, "pick");
+        assert_eq!(p.fns[0].params.len(), 2);
+        assert_eq!(p.fns[0].params[1].0, "idx");
+    }
+
+    #[test]
+    fn type_unwrapping() {
+        assert_eq!(unwrap_type("Arc<Mutex<Option<JobWatch>>>"), "Mutex<Option<JobWatch>>");
+        assert_eq!(lock_kind("Arc<Mutex<Inner>>"), Some("Mutex"));
+        assert_eq!(lock_kind("RwLock<Option<(Arc<M>, u64)>>"), Some("RwLock"));
+        assert_eq!(lock_kind("Arc<BoundedQueue<Job>>"), None);
+        assert_eq!(type_leaf("Arc<BoundedQueue<Job>>").as_deref(), Some("BoundedQueue"));
+        assert_eq!(type_leaf("&'a mut SweepPoller").as_deref(), Some("SweepPoller"));
+    }
+
+    #[test]
+    fn trait_method_decl_without_body_is_skipped_over() {
+        let src = "trait T { fn a(&self); fn b(&self); }\nfn after() {}\n";
+        let p = parse(src);
+        assert!(p.fns.iter().any(|f| f.name == "after"));
+    }
+}

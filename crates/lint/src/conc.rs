@@ -1,0 +1,1245 @@
+//! Concurrency rules: C1 lock-order analysis and C2 event-loop blocking.
+//!
+//! Both rules work on the whole workspace at once, not line by line. The
+//! [`crate::ast`] parser gives each file its functions, impl context and
+//! struct field types; this module links them into a call graph:
+//!
+//! - `self.method(..)` resolves through the enclosing `impl`,
+//! - `self.field.method(..)` resolves through the struct's field type
+//!   (unwrapping `Arc`/`Option` and friends),
+//! - `param.method(..)` resolves through the parameter type,
+//! - bare `helper(..)` resolves to same-module then unique-in-crate fns.
+//!
+//! Anything unresolved is then matched against the *standard-library
+//! blocking vocabulary*: `.lock()`, RwLock `.read()`/`.write()` (empty
+//! argument lists distinguish them from `io::Read`/`io::Write`, which take
+//! buffers), `.recv()`, Condvar `.wait(..)`, `thread::sleep`, `.join()`,
+//! file I/O, and blocking stream helpers (`write_all`, `read_to_end`).
+//!
+//! **C1** treats lock acquisitions as graph nodes: an edge `a → b` means
+//! "some function acquires `b` (directly or through calls) while holding
+//! `a`". Guard liveness is lexical — a `let`-bound guard lives to the end
+//! of its block or an explicit `drop(guard)`, an unbound temporary to the
+//! end of its statement. Helpers whose tail expression *returns* a guard
+//! (`lock_slot`, `CircuitBreaker::lock`) count as acquisitions at their
+//! call sites. A cycle in the graph is a potential deadlock and fails the
+//! build; the full graph is exported as DOT/JSON for CI artifacts.
+//!
+//! **C2** takes a configured set of function-path prefixes (the serve event
+//! loop) and denies every blocking operation inside them, directly or
+//! through any resolvable call chain (`try_lock`/`try_recv`/`recv_timeout`
+//! and friends never match). Violations anchor at the in-scope line so an
+//! `// smore-lint: allow(C2): <why>` reads next to the call it excuses.
+
+use crate::ast::{self, type_leaf, FnItem};
+use crate::config::Config;
+use crate::rules::{Diagnostic, Suppressions};
+use crate::source::{AllowHit, ScannedFile};
+use crate::walk::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One loaded + parsed workspace file, input to the cross-file rules.
+#[derive(Debug)]
+pub struct FileEntry {
+    /// Classification from the workspace walk.
+    pub file: SourceFile,
+    /// Original source text (C3 reads string-literal contents from it).
+    pub source: String,
+    /// Token-safe scan.
+    pub scanned: ScannedFile,
+    /// Item structure.
+    pub parsed: ast::ParsedFile,
+}
+
+impl FileEntry {
+    /// Scan and parse one source file.
+    pub fn build(file: SourceFile, source: String) -> FileEntry {
+        let scanned = ScannedFile::scan(&source);
+        let parsed = ast::parse_file(&scanned.sanitized, &file.module);
+        FileEntry { file, source, scanned, parsed }
+    }
+}
+
+/// The lock-order graph C1 builds, exportable as a CI artifact.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// `lock id -> (flavour, first acquisition site)`.
+    pub nodes: BTreeMap<String, (String, String)>,
+    /// `(from, to) -> witness descriptions`.
+    pub edges: BTreeMap<(String, String), Vec<String>>,
+    /// Lock-id cycles found (empty means the order is consistent).
+    pub cycles: Vec<Vec<String>>,
+}
+
+impl LockGraph {
+    /// Render as Graphviz DOT.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph lock_order {\n    rankdir=LR;\n");
+        for (id, (kind, site)) in &self.nodes {
+            out.push_str(&format!("    \"{id}\" [label=\"{id}\\n{kind} @ {site}\"];\n"));
+        }
+        let cyclic: BTreeSet<(&String, &String)> = self
+            .cycles
+            .iter()
+            .flat_map(|c| c.iter().zip(c.iter().cycle().skip(1)).take(c.len()))
+            .collect();
+        for ((from, to), wits) in &self.edges {
+            let color = if cyclic.contains(&(from, to)) { " color=red penwidth=2" } else { "" };
+            let label = wits.first().map(String::as_str).unwrap_or("");
+            out.push_str(&format!("    \"{from}\" -> \"{to}\" [label=\"{label}\"{color}];\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render as JSON (hand-rolled; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"nodes\": [\n");
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|(id, (kind, site))| {
+                format!(
+                    "    {{\"id\": \"{}\", \"kind\": \"{}\", \"site\": \"{}\"}}",
+                    esc(id),
+                    esc(kind),
+                    esc(site)
+                )
+            })
+            .collect();
+        out.push_str(&nodes.join(",\n"));
+        out.push_str("\n  ],\n  \"edges\": [\n");
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|((from, to), wits)| {
+                let w: Vec<String> = wits.iter().map(|w| format!("\"{}\"", esc(w))).collect();
+                format!(
+                    "    {{\"from\": \"{}\", \"to\": \"{}\", \"witnesses\": [{}]}}",
+                    esc(from),
+                    esc(to),
+                    w.join(", ")
+                )
+            })
+            .collect();
+        out.push_str(&edges.join(",\n"));
+        out.push_str("\n  ],\n  \"cycles\": [");
+        let cycles: Vec<String> = self
+            .cycles
+            .iter()
+            .map(|c| {
+                let ids: Vec<String> = c.iter().map(|id| format!("\"{}\"", esc(id))).collect();
+                format!("[{}]", ids.join(", "))
+            })
+            .collect();
+        out.push_str(&cycles.join(", "));
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Result of the concurrency pass.
+pub struct ConcReport {
+    /// C1 + C2 diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The lock-order graph (always built when C1 is in scope somewhere).
+    pub lock_graph: LockGraph,
+}
+
+// ---------------------------------------------------------------------------
+// Event extraction
+// ---------------------------------------------------------------------------
+
+/// A function-body event the rules care about, in source order.
+#[derive(Debug, Clone)]
+enum EventKind {
+    /// Direct std-lock acquisition (or a call to a guard-returning helper,
+    /// rewritten during analysis).
+    Acquire { lock: String, flavour: &'static str },
+    /// Resolved call to a workspace function.
+    Call { target: FnId },
+    /// A std blocking operation that is not a lock (sleep, recv, file I/O…).
+    Blocking { what: String },
+    /// `drop(ident)` — ends the liveness of a bound guard.
+    Drop { binding: String },
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    kind: EventKind,
+    /// Byte offset of the call/op name in the sanitized text.
+    offset: usize,
+    /// 1-based line.
+    line: usize,
+    /// Guard liveness end (Acquire / guard-call only).
+    live_end: usize,
+    /// `let`-binding name when the expression is simply bound.
+    binding: Option<String>,
+    /// True when the event is the fn's tail expression and the guard is not
+    /// consumed by further projection — i.e. the fn *returns* the guard.
+    returns_guard: bool,
+}
+
+/// `(entry index, fn index)` into the workspace model.
+type FnId = (usize, usize);
+
+struct Model<'a> {
+    entries: &'a [FileEntry],
+    /// `module-qualified type -> method name -> fn`.
+    methods: BTreeMap<&'a str, BTreeMap<&'a str, FnId>>,
+    /// `module-qualified type -> field -> type text`.
+    fields: BTreeMap<&'a str, BTreeMap<&'a str, &'a str>>,
+    /// Bare type name -> qualified candidates.
+    types_by_name: BTreeMap<&'a str, Vec<&'a str>>,
+    /// Bare free-fn name -> candidates.
+    free_fns: BTreeMap<&'a str, Vec<FnId>>,
+    /// Fully qualified free-fn name -> fn.
+    free_by_qualified: BTreeMap<&'a str, FnId>,
+    /// Extracted events per fn.
+    events: Vec<Vec<Vec<Event>>>,
+    /// Guard-returning fns and the lock they hand out.
+    guard_locks: BTreeMap<FnId, (String, &'static str)>,
+}
+
+fn fn_at(entries: &[FileEntry], id: FnId) -> &FnItem {
+    &entries[id.0].parsed.fns[id.1]
+}
+
+impl<'a> Model<'a> {
+    fn build(entries: &'a [FileEntry]) -> Model<'a> {
+        let mut methods: BTreeMap<&str, BTreeMap<&str, FnId>> = BTreeMap::new();
+        let mut fields: BTreeMap<&str, BTreeMap<&str, &str>> = BTreeMap::new();
+        let mut types_by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        let mut free_fns: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut free_by_qualified: BTreeMap<&str, FnId> = BTreeMap::new();
+        for (ei, entry) in entries.iter().enumerate() {
+            for s in &entry.parsed.structs {
+                let f = fields.entry(s.qualified.as_str()).or_default();
+                for (name, ty) in &s.fields {
+                    f.insert(name.as_str(), ty.as_str());
+                }
+                let bare = s.qualified.rsplit("::").next().unwrap_or(&s.qualified);
+                types_by_name.entry(bare).or_default().push(s.qualified.as_str());
+            }
+            for (fi, func) in entry.parsed.fns.iter().enumerate() {
+                match &func.self_type {
+                    Some(t) => {
+                        methods.entry(t.as_str()).or_default().insert(func.name.as_str(), (ei, fi));
+                        let bare = t.rsplit("::").next().unwrap_or(t);
+                        let cands = types_by_name.entry(bare).or_default();
+                        if !cands.contains(&t.as_str()) {
+                            cands.push(t.as_str());
+                        }
+                    }
+                    None => {
+                        free_fns.entry(func.name.as_str()).or_default().push((ei, fi));
+                        free_by_qualified.insert(func.qualified.as_str(), (ei, fi));
+                    }
+                }
+            }
+        }
+        let mut model = Model {
+            entries,
+            methods,
+            fields,
+            types_by_name,
+            free_fns,
+            free_by_qualified,
+            events: Vec::new(),
+            guard_locks: BTreeMap::new(),
+        };
+        model.events = entries
+            .iter()
+            .enumerate()
+            .map(|(ei, entry)| {
+                entry.parsed.fns.iter().map(|func| extract_events(&model, ei, func)).collect()
+            })
+            .collect();
+        model.detect_guard_fns();
+        model
+    }
+
+    /// Resolve a bare type name from the viewpoint of `module`/`krate`:
+    /// same module first, then a unique candidate within the crate.
+    fn resolve_type(&self, name: &str, module: &str, krate: &str) -> Option<&'a str> {
+        let cands = self.types_by_name.get(name)?;
+        let local = format!("{module}::{name}");
+        if let Some(&c) = cands.iter().find(|&&c| c == local) {
+            return Some(c);
+        }
+        let in_crate: Vec<&&str> =
+            cands.iter().filter(|c| **c == krate || c.starts_with(&format!("{krate}::"))).collect();
+        if in_crate.len() == 1 {
+            return Some(*in_crate[0]);
+        }
+        if cands.len() == 1 {
+            return Some(cands[0]);
+        }
+        None
+    }
+
+    /// Resolve one call site to a workspace fn.
+    fn resolve_call(
+        &self,
+        ei: usize,
+        func: &FnItem,
+        name: &str,
+        receiver: Option<&[String]>,
+        path: Option<&str>,
+    ) -> Option<FnId> {
+        let module = &self.entries[ei].file.module;
+        let krate = &self.entries[ei].file.krate;
+        if let Some(chain) = receiver {
+            match chain {
+                [s] if s == "self" => {
+                    let t = func.self_type.as_deref()?;
+                    return self.methods.get(t)?.get(name).copied();
+                }
+                [s, field] if s == "self" => {
+                    let t = func.self_type.as_deref()?;
+                    let ty = self.fields.get(t)?.get(field.as_str())?;
+                    let leaf = type_leaf(ty)?;
+                    let qual = self.resolve_type(&leaf, module, krate)?;
+                    return self.methods.get(qual)?.get(name).copied();
+                }
+                [p] => {
+                    let ty = func.params.iter().find(|(n, _)| n == p).map(|(_, t)| t)?;
+                    let leaf = type_leaf(ty)?;
+                    let qual = self.resolve_type(&leaf, module, krate)?;
+                    return self.methods.get(qual)?.get(name).copied();
+                }
+                _ => return None,
+            }
+        }
+        if let Some(p) = path {
+            let seg = p.rsplit("::").next().unwrap_or(p);
+            if let Some(qual) = self.resolve_type(seg, module, krate) {
+                return self.methods.get(qual)?.get(name).copied();
+            }
+            return None;
+        }
+        // Bare call: same module, then unique in crate.
+        let local = format!("{module}::{name}");
+        if let Some(&id) = self.free_by_qualified.get(local.as_str()) {
+            return Some(id);
+        }
+        let cands = self.free_fns.get(name)?;
+        let in_crate: Vec<&FnId> =
+            cands.iter().filter(|(cei, _)| self.entries[*cei].file.krate == *krate).collect();
+        if in_crate.len() == 1 {
+            return Some(*in_crate[0]);
+        }
+        None
+    }
+
+    /// Mark fns whose tail expression hands a guard to the caller, and
+    /// record which lock that guard protects. Runs to fixpoint so helpers
+    /// wrapping helpers resolve.
+    fn detect_guard_fns(&mut self) {
+        loop {
+            let mut changed = false;
+            for ei in 0..self.entries.len() {
+                for fi in 0..self.events[ei].len() {
+                    if self.guard_locks.contains_key(&(ei, fi)) {
+                        continue;
+                    }
+                    let found = self.events[ei][fi].iter().find_map(|ev| {
+                        if !ev.returns_guard {
+                            return None;
+                        }
+                        match &ev.kind {
+                            EventKind::Acquire { lock, flavour } => Some((lock.clone(), *flavour)),
+                            EventKind::Call { target } => self.guard_locks.get(target).cloned(),
+                            _ => None,
+                        }
+                    });
+                    if let Some(g) = found {
+                        self.guard_locks.insert((ei, fi), g);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Transitive lock-acquisition set of a fn (lock ids it may take while
+    /// running, through any resolvable call chain).
+    fn acquires(&self, id: FnId, memo: &mut BTreeMap<FnId, BTreeSet<String>>) -> BTreeSet<String> {
+        if let Some(s) = memo.get(&id) {
+            return s.clone();
+        }
+        memo.insert(id, BTreeSet::new()); // cycle guard
+        let mut set = BTreeSet::new();
+        for ev in &self.events[id.0][id.1] {
+            match &ev.kind {
+                EventKind::Acquire { lock, .. } => {
+                    set.insert(lock.clone());
+                }
+                EventKind::Call { target } => {
+                    if let Some((lock, _)) = self.guard_locks.get(target) {
+                        set.insert(lock.clone());
+                    }
+                    set.extend(self.acquires(*target, memo));
+                }
+                _ => {}
+            }
+        }
+        memo.insert(id, set.clone());
+        set
+    }
+
+    /// First blocking operation reachable from `id`, with its call chain.
+    fn blocking_reach(&self, id: FnId, memo: &mut BTreeMap<FnId, Option<Reach>>) -> Option<Reach> {
+        if let Some(r) = memo.get(&id) {
+            return r.clone();
+        }
+        memo.insert(id, None); // cycle guard
+        let mut found: Option<Reach> = None;
+        for ev in &self.events[id.0][id.1] {
+            let here = |what: &str| -> Reach {
+                Reach {
+                    what: what.to_string(),
+                    site: format!("{}:{}", self.entries[id.0].file.rel_path, ev.line),
+                    chain: vec![fn_at(self.entries, id).qualified.clone()],
+                }
+            };
+            match &ev.kind {
+                EventKind::Acquire { lock, flavour } => {
+                    let verb = match *flavour {
+                        "RwLock" => "RwLock acquisition",
+                        _ => "Mutex lock",
+                    };
+                    found = Some(here(&format!("{verb} of `{lock}`")));
+                }
+                EventKind::Blocking { what } => {
+                    found = Some(here(what));
+                }
+                EventKind::Call { target } => {
+                    if let Some(mut r) = self.blocking_reach(*target, memo) {
+                        r.chain.insert(0, fn_at(self.entries, id).qualified.clone());
+                        found = Some(r);
+                    }
+                }
+                EventKind::Drop { .. } => {}
+            }
+            if found.is_some() {
+                break;
+            }
+        }
+        memo.insert(id, found.clone());
+        found
+    }
+}
+
+/// A blocking operation reachable through calls.
+#[derive(Debug, Clone)]
+struct Reach {
+    what: String,
+    site: String,
+    chain: Vec<String>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Pull every call/acquisition event out of one fn body.
+fn extract_events(model: &Model<'_>, ei: usize, func: &FnItem) -> Vec<Event> {
+    let entry = &model.entries[ei];
+    let text = &entry.scanned.sanitized;
+    let bytes = text.as_bytes();
+    let body = func.body;
+    let mut out = Vec::new();
+    if body.end <= body.start {
+        return out;
+    }
+    let mut i = body.start;
+    while i < body.end {
+        if !is_ident_byte(bytes[i]) {
+            i += 1;
+            continue;
+        }
+        let name_start = i;
+        while i < body.end && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if name_start > 0 && is_ident_byte(bytes[name_start - 1]) {
+            continue;
+        }
+        let name = &text[name_start..i];
+        // Keywords and definitions are not calls.
+        if matches!(
+            name,
+            "if" | "while"
+                | "for"
+                | "match"
+                | "return"
+                | "loop"
+                | "let"
+                | "fn"
+                | "else"
+                | "move"
+                | "in"
+                | "mut"
+                | "ref"
+                | "as"
+                | "impl"
+                | "dyn"
+                | "where"
+                | "break"
+                | "continue"
+                | "struct"
+                | "enum"
+                | "use"
+                | "pub"
+                | "unsafe"
+                | "const"
+                | "static"
+        ) {
+            continue;
+        }
+        let mut j = i;
+        while j < body.end && bytes[j] == b' ' {
+            j += 1;
+        }
+        if j >= body.end || bytes[j] != b'(' {
+            continue;
+        }
+        // Skip `fn name(` definitions nested in the body (closures are fine).
+        let before = text[body.start..name_start].trim_end();
+        if before.ends_with("fn") {
+            continue;
+        }
+        let close = ast::match_bracket(bytes, j, b'(', b')', body.end);
+        let args_empty = text[j + 1..close.saturating_sub(1).max(j + 1)].trim().is_empty();
+        let line = line_of_offset(text, name_start);
+
+        let (receiver, path) = receiver_of(text, name_start, body.start);
+        if entry.scanned.is_test_code(line) {
+            continue;
+        }
+
+        // `drop(guard)` ends liveness.
+        if name == "drop" && receiver.is_none() && path.is_none() {
+            let arg = text[j + 1..close.saturating_sub(1).max(j + 1)].trim();
+            if arg.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !arg.is_empty() {
+                out.push(Event {
+                    kind: EventKind::Drop { binding: arg.to_string() },
+                    offset: name_start,
+                    line,
+                    live_end: 0,
+                    binding: None,
+                    returns_guard: false,
+                });
+            }
+            continue;
+        }
+
+        let resolved = model.resolve_call(ei, func, name, receiver.as_deref(), path.as_deref());
+
+        // Expression shape: where does the guard/temporary live to, is it
+        // simply `let`-bound, is it the fn's returned tail expression?
+        let expr_start = expr_start_of(name_start, &receiver, &path);
+        let (chain_end, consumed) = chain_end_of(bytes, close, body.end);
+        let binding = binding_of(text, expr_start, body.start);
+        let stmt_end = statement_end(bytes, chain_end, body.end);
+        let live_end = if binding.is_some() {
+            enclosing_block_end(bytes, chain_end, body.end)
+        } else {
+            stmt_end
+        };
+        let returns_guard = !consumed && tail_position(bytes, chain_end, body.end);
+
+        if let Some(target) = resolved {
+            out.push(Event {
+                kind: EventKind::Call { target },
+                offset: name_start,
+                line,
+                live_end,
+                binding,
+                returns_guard,
+            });
+            continue;
+        }
+
+        // Unresolved: match the std blocking/lock vocabulary.
+        let path_leaf = path.as_deref().map(|p| p.rsplit("::").next().unwrap_or(p).to_string());
+        let ev =
+            classify_std_op(model, ei, func, name, &receiver, path_leaf.as_deref(), args_empty);
+        match ev {
+            Some(StdOp::Acquire { lock, flavour }) => out.push(Event {
+                kind: EventKind::Acquire { lock, flavour },
+                offset: name_start,
+                line,
+                live_end,
+                binding,
+                returns_guard,
+            }),
+            Some(StdOp::Blocking(what)) => out.push(Event {
+                kind: EventKind::Blocking { what },
+                offset: name_start,
+                line,
+                live_end: stmt_end,
+                binding: None,
+                returns_guard: false,
+            }),
+            None => {}
+        }
+    }
+    out
+}
+
+enum StdOp {
+    Acquire { lock: String, flavour: &'static str },
+    Blocking(String),
+}
+
+/// Classify an unresolved call against the std blocking vocabulary.
+fn classify_std_op(
+    model: &Model<'_>,
+    ei: usize,
+    func: &FnItem,
+    name: &str,
+    receiver: &Option<Vec<String>>,
+    path_leaf: Option<&str>,
+    args_empty: bool,
+) -> Option<StdOp> {
+    let has_receiver = receiver.is_some();
+    // Lock acquisitions (guards worth tracking for C1).
+    let flavour = match name {
+        "lock" if args_empty && has_receiver => Some("Mutex"),
+        "read" | "write" if args_empty && has_receiver => Some("RwLock"),
+        _ => None,
+    };
+    if let Some(flavour) = flavour {
+        let lock = lock_id(model, ei, func, receiver.as_deref().unwrap_or(&[]));
+        return Some(StdOp::Acquire { lock, flavour });
+    }
+    // Non-lock blocking operations.
+    if let Some(p) = path_leaf {
+        if p == "thread" && name == "sleep" {
+            return Some(StdOp::Blocking("thread::sleep".to_string()));
+        }
+        if p == "fs" {
+            return Some(StdOp::Blocking(format!("fs::{name} file I/O")));
+        }
+        if (p == "File" || p == "OpenOptions") && matches!(name, "open" | "create" | "new") {
+            return Some(StdOp::Blocking(format!("{p}::{name} file I/O")));
+        }
+        if p == "TcpStream" && name == "connect" {
+            return Some(StdOp::Blocking("TcpStream::connect".to_string()));
+        }
+    }
+    if has_receiver {
+        match name {
+            "recv" if args_empty => {
+                return Some(StdOp::Blocking("channel `.recv()` without timeout".to_string()))
+            }
+            "wait" => return Some(StdOp::Blocking("Condvar `.wait(..)`".to_string())),
+            "join" if args_empty => return Some(StdOp::Blocking("thread `.join()`".to_string())),
+            "write_all" | "read_to_end" | "read_to_string" | "read_exact" => {
+                return Some(StdOp::Blocking(format!("blocking stream `.{name}(..)`")))
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Stable, human-readable lock identity for an acquisition receiver.
+fn lock_id(model: &Model<'_>, ei: usize, func: &FnItem, receiver: &[String]) -> String {
+    let module = &model.entries[ei].file.module;
+    match receiver {
+        [s, field] if s == "self" => {
+            if let Some(t) = func.self_type.as_deref() {
+                return format!("{t}.{field}");
+            }
+            format!("{module}::self.{field}")
+        }
+        [p] => {
+            // A parameter: identify by its (possibly aliased) type.
+            if let Some((_, ty)) = func.params.iter().find(|(n, _)| n == p) {
+                if let Some(leaf) = type_leaf(ty) {
+                    return format!("{module}::{leaf}");
+                }
+            }
+            format!("{}.{p}", func.qualified)
+        }
+        chain => format!("{}.{}", func.qualified, chain.join(".")),
+    }
+}
+
+/// Walk back from a call name to collect its receiver chain (`self.queue`
+/// before `.try_push(`) or leading path (`thread` before `::sleep(`).
+fn receiver_of(
+    text: &str,
+    name_start: usize,
+    floor: usize,
+) -> (Option<Vec<String>>, Option<String>) {
+    let bytes = text.as_bytes();
+    let mut k = name_start;
+    while k > floor && bytes[k - 1] == b' ' {
+        k -= 1;
+    }
+    if k >= 2 && &text[k - 2..k] == "::" {
+        // Path call: collect the `::`-joined path going back.
+        let mut start = k - 2;
+        loop {
+            let seg_end = start;
+            let mut s = seg_end;
+            while s > floor && is_ident_byte(bytes[s - 1]) {
+                s -= 1;
+            }
+            if s == seg_end {
+                break;
+            }
+            start = s;
+            if start >= 2 && &text[start - 2..start] == "::" {
+                start -= 2;
+            } else {
+                break;
+            }
+        }
+        let path = text[start..k - 2].trim_start_matches("::").to_string();
+        if path.is_empty() {
+            return (None, None);
+        }
+        return (None, Some(path));
+    }
+    if k == floor || bytes[k - 1] != b'.' {
+        return (None, None);
+    }
+    // Method call: walk the dotted chain backwards.
+    let mut chain: Vec<String> = Vec::new();
+    let mut pos = k - 1; // at the `.`
+    loop {
+        let mut s = pos;
+        while s > floor && (bytes[s - 1] == b' ' || bytes[s - 1] == b'\n') {
+            s -= 1;
+        }
+        let atom_end = s;
+        while s > floor && is_ident_byte(bytes[s - 1]) {
+            s -= 1;
+        }
+        if s == atom_end {
+            // `foo().bar(` or `(expr).bar(` — opaque receiver.
+            return (Some(vec!["<expr>".to_string()]), None);
+        }
+        chain.push(text[s..atom_end].to_string());
+        let mut t = s;
+        while t > floor && (bytes[t - 1] == b' ' || bytes[t - 1] == b'\n') {
+            t -= 1;
+        }
+        if t > floor && bytes[t - 1] == b'.' {
+            pos = t - 1;
+        } else {
+            break;
+        }
+    }
+    chain.reverse();
+    (Some(chain), None)
+}
+
+/// Start offset of the whole call expression (receiver chain included).
+fn expr_start_of(
+    name_start: usize,
+    receiver: &Option<Vec<String>>,
+    path: &Option<String>,
+) -> usize {
+    let back = match (receiver, path) {
+        (Some(chain), _) => chain.iter().map(|a| a.len() + 1).sum::<usize>(),
+        (_, Some(p)) => p.len() + 2,
+        _ => 0,
+    };
+    name_start.saturating_sub(back)
+}
+
+/// Follow the guard-preserving method chain after the call's closing paren.
+/// Returns `(end offset, consumed)` — `consumed` is true when a further
+/// projection (`.field`, `.other(..)`) uses the guard rather than keeping it.
+fn chain_end_of(bytes: &[u8], mut i: usize, end: usize) -> (usize, bool) {
+    loop {
+        let mut j = i;
+        while j < end && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j >= end || bytes[j] != b'.' {
+            return (i, false);
+        }
+        let mut k = j + 1;
+        while k < end && (bytes[k] as char).is_whitespace() {
+            k += 1;
+        }
+        let m_start = k;
+        while k < end && is_ident_byte(bytes[k]) {
+            k += 1;
+        }
+        let method = &bytes[m_start..k];
+        let mut a = k;
+        while a < end && bytes[a] == b' ' {
+            a += 1;
+        }
+        let preserving = matches!(method, b"unwrap" | b"expect" | b"unwrap_or_else");
+        if a < end && bytes[a] == b'(' {
+            let close = ast::match_bracket(bytes, a, b'(', b')', end);
+            if preserving {
+                i = close;
+                continue;
+            }
+            return (close, true);
+        }
+        // `.field` projection consumes the guard.
+        return (k, true);
+    }
+}
+
+/// Is there only whitespace between `i` and the end of the body? (tail
+/// expression position — the fn returns this value).
+fn tail_position(bytes: &[u8], mut i: usize, end: usize) -> bool {
+    while i < end {
+        if !(bytes[i] as char).is_whitespace() {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// `let <ident> =` / `let mut <ident> =` immediately before the expression?
+fn binding_of(text: &str, expr_start: usize, floor: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut k = expr_start;
+    while k > floor && (bytes[k - 1] as char).is_whitespace() {
+        k -= 1;
+    }
+    if k == floor || bytes[k - 1] != b'=' {
+        return None;
+    }
+    k -= 1;
+    if k > floor && (bytes[k - 1] == b'=' || bytes[k - 1] == b'<' || bytes[k - 1] == b'>') {
+        return None; // comparison, not a binding
+    }
+    while k > floor && (bytes[k - 1] as char).is_whitespace() {
+        k -= 1;
+    }
+    let ident_end = k;
+    while k > floor && is_ident_byte(bytes[k - 1]) {
+        k -= 1;
+    }
+    if k == ident_end {
+        return None;
+    }
+    let ident = text[k..ident_end].to_string();
+    let mut before = text[floor..k].trim_end();
+    if let Some(b) = before.strip_suffix("mut") {
+        before = b.trim_end();
+    }
+    if before.ends_with("let") {
+        return Some(ident);
+    }
+    None
+}
+
+/// Next `;` after `i`, skipping over balanced brace blocks (a temporary in
+/// a `match` scrutinee lives through the whole match).
+fn statement_end(bytes: &[u8], mut i: usize, end: usize) -> usize {
+    while i < end {
+        match bytes[i] {
+            b';' => return i,
+            b'{' => i = ast::match_bracket(bytes, i, b'{', b'}', end),
+            b'(' => i = ast::match_bracket(bytes, i, b'(', b')', end),
+            b'}' => return i,
+            _ => i += 1,
+        }
+    }
+    end
+}
+
+/// Close offset of the innermost block enclosing `i`.
+fn enclosing_block_end(bytes: &[u8], mut i: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    while i < end {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+fn line_of_offset(text: &str, offset: usize) -> usize {
+    text[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+// ---------------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------------
+
+/// Run C1 + C2 over the workspace. `sup` collects which allows suppressed a
+/// diagnostic (for the A1 audit).
+pub fn check_concurrency(
+    entries: &[FileEntry],
+    config: &Config,
+    sup: &mut Suppressions,
+) -> ConcReport {
+    let model = Model::build(entries);
+    let mut diagnostics = Vec::new();
+    let mut graph = LockGraph::default();
+
+    run_c1(&model, config, sup, &mut diagnostics, &mut graph);
+    run_c2(&model, config, sup, &mut diagnostics);
+
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    ConcReport { diagnostics, lock_graph: graph }
+}
+
+/// Record a suppression or push a diagnostic, honoring allows + test masks.
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    entry: &FileEntry,
+    rule: &'static str,
+    line: usize,
+    message: String,
+    help: &'static str,
+    sup: &mut Suppressions,
+    out: &mut Vec<Diagnostic>,
+) -> bool {
+    if entry.scanned.is_test_code(line) {
+        return false;
+    }
+    match entry.scanned.allow_kind(rule, line) {
+        Some(AllowHit::Line) => {
+            sup.insert((entry.file.rel_path.clone(), rule.to_string(), line));
+            return false;
+        }
+        Some(AllowHit::File) => {
+            sup.insert((entry.file.rel_path.clone(), rule.to_string(), 0));
+            return false;
+        }
+        None => {}
+    }
+    out.push(Diagnostic {
+        rule,
+        file: entry.file.rel_path.clone(),
+        line,
+        message,
+        help,
+        snippet: entry
+            .source
+            .lines()
+            .nth(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default(),
+    });
+    true
+}
+
+const C1_HELP: &str =
+    "acquire locks in one global order everywhere (see DESIGN.md §15); restructure so the \
+     inner lock is taken after the outer guard is dropped, or escape a reviewed site with \
+     `// smore-lint: allow(C1): <why the order is safe>`";
+
+fn run_c1(
+    model: &Model<'_>,
+    config: &Config,
+    sup: &mut Suppressions,
+    diagnostics: &mut Vec<Diagnostic>,
+    graph: &mut LockGraph,
+) {
+    let scope = config.scope("C1");
+    let mut acq_memo: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
+    // Edge -> (entry idx, witness line, description) for diagnostics.
+    type EdgeSites = BTreeMap<(String, String), Vec<(usize, usize, String)>>;
+    let mut edge_sites: EdgeSites = BTreeMap::new();
+
+    for (ei, entry) in model.entries.iter().enumerate() {
+        if !scope.applies_to(&entry.file.module, &entry.file.krate) {
+            continue;
+        }
+        for (fi, func) in entry.parsed.fns.iter().enumerate() {
+            let events = &model.events[ei][fi];
+            // Live guards: (lock id, live_end, binding).
+            let mut live: Vec<(String, usize, Option<String>)> = Vec::new();
+            for ev in events {
+                live.retain(|(_, end, _)| ev.offset < *end);
+                if let EventKind::Drop { binding } = &ev.kind {
+                    live.retain(|(_, _, b)| b.as_deref() != Some(binding.as_str()));
+                    continue;
+                }
+                // What does this event acquire, directly or via calls?
+                let (own, via): (Vec<(String, &'static str)>, BTreeSet<String>) = match &ev.kind {
+                    EventKind::Acquire { lock, flavour } => {
+                        (vec![(lock.clone(), *flavour)], BTreeSet::new())
+                    }
+                    EventKind::Call { target } => {
+                        let guard = model.guard_locks.get(target).cloned();
+                        let transitive = model.acquires(*target, &mut acq_memo);
+                        (guard.into_iter().collect(), transitive)
+                    }
+                    _ => (Vec::new(), BTreeSet::new()),
+                };
+                if own.is_empty() && via.is_empty() {
+                    continue;
+                }
+                let site = format!("{}:{}", entry.file.rel_path, ev.line);
+                for (lock, flavour) in &own {
+                    graph
+                        .nodes
+                        .entry(lock.clone())
+                        .or_insert_with(|| (flavour.to_string(), site.clone()));
+                }
+                // Edges from every held lock to every lock this event takes.
+                let mut taken: BTreeSet<String> = via;
+                taken.extend(own.iter().map(|(l, _)| l.clone()));
+                for (held, _, _) in &live {
+                    for lock in &taken {
+                        if lock == held {
+                            continue;
+                        }
+                        let desc = format!("{} ({site})", func.qualified);
+                        if entry.scanned.allow_kind("C1", ev.line).is_some()
+                            && !entry.scanned.is_test_code(ev.line)
+                        {
+                            // Allowed site: contributes nothing to the graph.
+                            let hit = entry.scanned.allow_kind("C1", ev.line);
+                            let key_line = if hit == Some(AllowHit::Line) { ev.line } else { 0 };
+                            sup.insert((entry.file.rel_path.clone(), "C1".into(), key_line));
+                            continue;
+                        }
+                        graph
+                            .edges
+                            .entry((held.clone(), lock.clone()))
+                            .or_default()
+                            .push(desc.clone());
+                        edge_sites
+                            .entry((held.clone(), lock.clone()))
+                            .or_default()
+                            .push((ei, ev.line, desc));
+                        graph
+                            .nodes
+                            .entry(held.clone())
+                            .or_insert_with(|| ("Mutex".to_string(), "held".to_string()));
+                        graph
+                            .nodes
+                            .entry(lock.clone())
+                            .or_insert_with(|| ("Mutex".to_string(), site.clone()));
+                    }
+                }
+                // The event's own acquisitions become live guards.
+                for (lock, _) in own {
+                    live.push((lock, ev.live_end, ev.binding.clone()));
+                }
+            }
+        }
+    }
+
+    graph.cycles = find_cycles(&graph.edges);
+    for cycle in &graph.cycles.clone() {
+        let order = cycle.join(" -> ");
+        for (from, to) in cycle.iter().zip(cycle.iter().cycle().skip(1)).take(cycle.len()) {
+            if let Some(sites) = edge_sites.get(&(from.clone(), to.clone())) {
+                for (ei, line, _) in sites {
+                    emit(
+                        &model.entries[*ei],
+                        "C1",
+                        *line,
+                        format!(
+                            "lock-order cycle: `{from}` is held while acquiring `{to}` \
+                             (cycle: {order} -> {first})",
+                            first = cycle.first().map(String::as_str).unwrap_or("")
+                        ),
+                        C1_HELP,
+                        sup,
+                        diagnostics,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// All elementary cycles' node lists — via iterative DFS back-edge
+/// detection, reporting each cycle once by its sorted-first rotation.
+fn find_cycles(edges: &BTreeMap<(String, String), Vec<String>>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+        adj.entry(to).or_default();
+    }
+    let mut color: BTreeMap<&str, u8> = adj.keys().map(|k| (*k, 0u8)).collect();
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for start in nodes {
+        if color[start] != 0 {
+            continue;
+        }
+        // Stack of (node, next-child-index); path mirrors the grey chain.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        if let Some(c) = color.get_mut(start) {
+            *c = 1;
+        }
+        while let Some((node, idx)) = stack.last_mut() {
+            let children = adj.get(*node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if *idx < children.len() {
+                let child = children[*idx];
+                *idx += 1;
+                match color.get(child).copied().unwrap_or(2) {
+                    0 => {
+                        if let Some(c) = color.get_mut(child) {
+                            *c = 1;
+                        }
+                        stack.push((child, 0));
+                        path.push(child);
+                    }
+                    1 => {
+                        // Back edge: the cycle is the path suffix from child.
+                        if let Some(pos) = path.iter().position(|n| *n == child) {
+                            let mut cyc: Vec<String> =
+                                path[pos..].iter().map(|s| s.to_string()).collect();
+                            // Canonical rotation for dedup.
+                            if let Some(min_idx) = cyc
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, v)| (*v).clone())
+                                .map(|(i, _)| i)
+                            {
+                                cyc.rotate_left(min_idx);
+                            }
+                            cycles.insert(cyc);
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                if let Some(c) = color.get_mut(*node) {
+                    *c = 2;
+                }
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    cycles.into_iter().collect()
+}
+
+const C2_HELP: &str =
+    "the event loop must never block: use try_lock/try_recv/recv_timeout, move the work to \
+     a worker thread, or hand the data over through the existing queue; a reviewed \
+     exception needs `// smore-lint: allow(C2): <why the critical section is bounded>`";
+
+fn run_c2(
+    model: &Model<'_>,
+    config: &Config,
+    sup: &mut Suppressions,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let scope = config.scope("C2");
+    if scope.functions.is_empty() {
+        return;
+    }
+    let in_scope = |qualified: &str| -> bool {
+        scope.functions.iter().any(|prefix| crate::config::path_covers(prefix, qualified))
+    };
+    let mut reach_memo: BTreeMap<FnId, Option<Reach>> = BTreeMap::new();
+    for (ei, entry) in model.entries.iter().enumerate() {
+        for (fi, func) in entry.parsed.fns.iter().enumerate() {
+            if !in_scope(&func.qualified) {
+                continue;
+            }
+            let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+            for ev in &model.events[ei][fi] {
+                match &ev.kind {
+                    EventKind::Acquire { lock, flavour } => {
+                        let verb =
+                            if *flavour == "RwLock" { "RwLock acquisition" } else { "`.lock()`" };
+                        if seen.insert((ev.line, lock.clone())) {
+                            emit(
+                                entry,
+                                "C2",
+                                ev.line,
+                                format!(
+                                    "blocking {verb} of `{lock}` inside event-loop scope \
+                                     `{}`",
+                                    func.qualified
+                                ),
+                                C2_HELP,
+                                sup,
+                                diagnostics,
+                            );
+                        }
+                    }
+                    EventKind::Blocking { what } => {
+                        if seen.insert((ev.line, what.clone())) {
+                            emit(
+                                entry,
+                                "C2",
+                                ev.line,
+                                format!(
+                                    "blocking {what} inside event-loop scope `{}`",
+                                    func.qualified
+                                ),
+                                C2_HELP,
+                                sup,
+                                diagnostics,
+                            );
+                        }
+                    }
+                    EventKind::Call { target } => {
+                        // In-scope callees report their own sites.
+                        let callee = fn_at(model.entries, *target);
+                        if in_scope(&callee.qualified) {
+                            continue;
+                        }
+                        let reach = if let Some((lock, _)) = model.guard_locks.get(target) {
+                            Some(Reach {
+                                what: format!("lock of `{lock}`"),
+                                site: format!(
+                                    "{}:{}",
+                                    model.entries[target.0].file.rel_path, callee.line
+                                ),
+                                chain: vec![callee.qualified.clone()],
+                            })
+                        } else {
+                            model.blocking_reach(*target, &mut reach_memo)
+                        };
+                        if let Some(r) = reach {
+                            if seen.insert((ev.line, r.site.clone())) {
+                                emit(
+                                    entry,
+                                    "C2",
+                                    ev.line,
+                                    format!(
+                                        "call into `{}` reaches blocking {} at {} \
+                                         (path: {})",
+                                        callee.qualified,
+                                        r.what,
+                                        r.site,
+                                        r.chain.join(" -> ")
+                                    ),
+                                    C2_HELP,
+                                    sup,
+                                    diagnostics,
+                                );
+                            }
+                        }
+                    }
+                    EventKind::Drop { .. } => {}
+                }
+            }
+        }
+    }
+}

@@ -21,6 +21,9 @@ pub struct RuleScope {
     pub allow_modules: Vec<String>,
     /// Crate short names the rule never applies to.
     pub exempt_crates: Vec<String>,
+    /// Qualified function-path prefixes (`serve::server::EventLoop`) for
+    /// rules scoped to functions rather than modules (C2's event loop).
+    pub functions: Vec<String>,
 }
 
 impl RuleScope {
@@ -39,7 +42,7 @@ impl RuleScope {
 }
 
 /// `prefix` covers `module` iff equal or `module` starts with `prefix::`.
-fn path_covers(prefix: &str, module: &str) -> bool {
+pub fn path_covers(prefix: &str, module: &str) -> bool {
     module == prefix
         || (module.len() > prefix.len()
             && module.starts_with(prefix)
@@ -53,8 +56,14 @@ pub struct Config {
     pub exclude: Vec<String>,
     /// Crates whose targets are all binaries (no library contract).
     pub bin_crates: Vec<String>,
-    /// Per-rule scopes, keyed by rule id (`D1`, `D2`, `N1`, `E1`).
+    /// Per-rule scopes, keyed by rule id (`D1`, `D2`, `N1`, `E1`, …).
     pub rules: BTreeMap<String, RuleScope>,
+    /// C3: workspace-relative file declaring the `METRIC_NAMES` registry.
+    pub metrics_registry: Option<String>,
+    /// C3: markdown docs cross-checked against the registry.
+    pub metrics_docs: Vec<String>,
+    /// C3: extra `smore_*` tokens that are legitimately not metrics.
+    pub metrics_ignore: Vec<String>,
 }
 
 impl Config {
@@ -77,23 +86,42 @@ impl Config {
     /// Parse a config from TOML text.
     pub fn parse(text: &str) -> Result<Config, ConfigError> {
         let doc = parse_toml_subset(text)?;
-        let mut cfg =
-            Config { exclude: Vec::new(), bin_crates: Vec::new(), rules: BTreeMap::new() };
+        let mut cfg = Config {
+            exclude: Vec::new(),
+            bin_crates: Vec::new(),
+            rules: BTreeMap::new(),
+            metrics_registry: None,
+            metrics_docs: Vec::new(),
+            metrics_ignore: Vec::new(),
+        };
         for (key, value) in doc {
             match key.as_str() {
                 "exclude" => cfg.exclude = value.into_strings("exclude")?,
                 "bin_crates" => cfg.bin_crates = value.into_strings("bin_crates")?,
                 "schema" => {}
+                // C3's registry wiring is config, not scope.
+                "rules.C3.registry" => cfg.metrics_registry = Some(value.into_string(&key)?),
+                "rules.C3.docs" => cfg.metrics_docs = value.into_strings(&key)?,
+                "rules.C3.ignore" => cfg.metrics_ignore = value.into_strings(&key)?,
                 k if k.starts_with("rules.") => {
                     let rest = &k["rules.".len()..];
                     let (rule, field) = rest
                         .split_once('.')
                         .ok_or_else(|| ConfigError::new(format!("bare table key `{k}`")))?;
+                    // A typo'd rule id would silently mis-scope (or switch
+                    // off) the intended rule — reject it up front.
+                    if !crate::rules::RULES.iter().any(|r| r.id == rule) {
+                        return Err(ConfigError::new(format!(
+                            "unknown rule `{rule}` in `[rules.{rule}]` (known: {})",
+                            crate::rules::RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+                        )));
+                    }
                     let scope = cfg.rules.entry(rule.to_string()).or_default();
                     match field {
                         "modules" => scope.modules = value.into_strings(k)?,
                         "allow" => scope.allow_modules = value.into_strings(k)?,
                         "exempt_crates" => scope.exempt_crates = value.into_strings(k)?,
+                        "functions" => scope.functions = value.into_strings(k)?,
                         _ => {
                             return Err(ConfigError::new(format!(
                                 "unknown rule field `{field}` in `{k}`"
@@ -157,6 +185,13 @@ impl Value {
             Value::Bool(b) => {
                 Err(ConfigError::new(format!("`{key}` must be a string array, got `{b}`")))
             }
+        }
+    }
+
+    fn into_string(self, key: &str) -> Result<String, ConfigError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(ConfigError::new(format!("`{key}` must be a string, got {other:?}"))),
         }
     }
 }
@@ -340,5 +375,13 @@ exempt_crates = ["cli", "lint"]
     #[test]
     fn rejects_unknown_keys() {
         assert!(Config::parse("mystery = 3\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_rule_ids() {
+        let err = Config::parse("[rules.C9]\nmodules = [\"serve\"]\n")
+            .expect_err("typo'd rule id must not be silently accepted");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown rule `C9`") && msg.contains("C1, C2, C3"), "{msg}");
     }
 }

@@ -1,13 +1,13 @@
 //! `smore-lint` — the workspace invariant checker.
 //!
 //! Stock clippy cannot express the contracts this workspace depends on:
-//! bit-identical training at any thread count (PR 3) and f64 objective /
+//! bit-identical training at any thread count (PR 3), f64 objective /
 //! feasibility arithmetic (hierarchical entropy coverage `φ`, TSPTW time
-//! windows) stay correct only if determinism-scoped modules never touch
-//! ambient nondeterminism and solver code never compares floats bare. This
-//! crate is a small static-analysis pass — a comment/string-aware lexer, not
-//! a full parser — that enforces five repo-specific rules over every `.rs`
-//! file in the workspace:
+//! windows), and — since the serving stack of PRs 5–8 — concurrency
+//! discipline across the event loop, queue, registry and supervisor. This
+//! crate is a small static-analysis pass: a comment/string-aware lexer plus
+//! a brace-matched item parser ([`ast`]), enforcing nine repo-specific
+//! rules over every `.rs` file in the workspace:
 //!
 //! | rule | contract |
 //! |------|----------|
@@ -16,26 +16,37 @@
 //! | `N1` | no bare float `==`/`!=` or `partial_cmp().unwrap()` in solver code |
 //! | `E1` | no `.unwrap()`/`.expect()`/`panic!` in library code outside tests |
 //! | `E2` | every `catch_unwind` outside tests carries a justifying allow |
+//! | `C1` | lock acquisitions form an acyclic order graph (deadlock freedom) |
+//! | `C2` | no blocking call inside the event-loop function scope |
+//! | `C3` | every `smore_*` metric name matches the `METRIC_NAMES` registry |
+//! | `A1` | every `smore-lint: allow(..)` still suppresses something |
 //!
 //! Scopes come from `crates/lint/lint.toml` (overridable by a workspace-root
 //! `lint.toml`); individual sites escape with
 //! `// smore-lint: allow(<rule>): <justification>`. The binary runs as
 //! `cargo run -p smore-lint -- --workspace`, prints `file:line` diagnostics
 //! with a fix hint, and exits nonzero on any violation — it is a CI gate.
+//! `--lock-graph`/`--lock-graph-dot` export C1's lock-order graph for CI
+//! artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod conc;
 pub mod config;
+pub mod metrics;
 pub mod rules;
 pub mod source;
 pub mod walk;
 
+pub use conc::{check_concurrency, FileEntry, LockGraph};
 pub use config::{Config, ConfigError, RuleScope};
-pub use rules::{check_file, Diagnostic, RuleInfo, RULES};
+pub use rules::{check_file, Diagnostic, RuleInfo, Suppressions, RULES};
 pub use source::ScannedFile;
 pub use walk::{classify, workspace_files, SourceFile, TargetKind};
 
+use std::fmt;
 use std::path::Path;
 
 /// The default config, checked in next to this crate so the offline shadow
@@ -56,17 +67,83 @@ pub fn load_config(root: &Path) -> Result<Config, ConfigError> {
     Config::parse("")
 }
 
-/// Lint the whole workspace at `root`. Returns diagnostics sorted by file
-/// then line (deterministic across runs).
-pub fn check_workspace(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnostic>> {
-    let files = workspace_files(root, config)?;
-    let mut out = Vec::new();
-    for file in &files {
-        let source = std::fs::read_to_string(&file.path)?;
-        out.extend(check_file(file, &source, config));
+/// Everything one workspace check produces.
+pub struct WorkspaceReport {
+    /// Diagnostics sorted by file then line (deterministic across runs).
+    pub diagnostics: Vec<Diagnostic>,
+    /// C1's lock-order graph, for `--lock-graph` artifacts.
+    pub lock_graph: LockGraph,
+}
+
+/// A failure to *run* the check (distinct from finding violations).
+#[derive(Debug)]
+pub enum WorkspaceError {
+    /// A file or directory could not be read.
+    Io {
+        /// What we tried to read.
+        path: String,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+}
+
+impl fmt::Display for WorkspaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkspaceError::Io { path, error } => write!(f, "cannot read `{path}`: {error}"),
+        }
     }
-    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(out)
+}
+
+impl std::error::Error for WorkspaceError {}
+
+/// Lint the whole workspace at `root`: per-file line rules, the cross-file
+/// concurrency rules (C1/C2), the metrics-registry audit (C3), then the
+/// unused-allow audit (A1) over everything the other rules suppressed.
+pub fn check_workspace(root: &Path, config: &Config) -> Result<WorkspaceReport, WorkspaceError> {
+    let files = workspace_files(root, config)
+        .map_err(|error| WorkspaceError::Io { path: root.display().to_string(), error })?;
+    let mut entries = Vec::with_capacity(files.len());
+    for file in files {
+        let source = std::fs::read_to_string(&file.path)
+            .map_err(|error| WorkspaceError::Io { path: file.rel_path.clone(), error })?;
+        entries.push(FileEntry::build(file, source));
+    }
+
+    let mut sup = Suppressions::new();
+    let mut out = Vec::new();
+    for entry in &entries {
+        out.extend(rules::check_file_scanned(
+            &entry.file,
+            &entry.scanned,
+            &entry.source,
+            config,
+            &mut sup,
+        ));
+    }
+
+    let conc_report = conc::check_concurrency(&entries, config, &mut sup);
+    out.extend(conc_report.diagnostics);
+
+    let mut docs = Vec::new();
+    for rel in &config.metrics_docs {
+        // Absent docs are skipped (stripped-down checkouts — e.g. the
+        // offline shadow workspace — only sync the source dirs); any other
+        // read failure is still fatal.
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(text) => docs.push((rel.clone(), text)),
+            Err(error) if error.kind() == std::io::ErrorKind::NotFound => {}
+            Err(error) => return Err(WorkspaceError::Io { path: rel.clone(), error }),
+        }
+    }
+    out.extend(metrics::check_metrics(&entries, &docs, config, &mut sup));
+
+    for entry in &entries {
+        out.extend(rules::check_unused_allows(&entry.file, &entry.scanned, &sup));
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(WorkspaceReport { diagnostics: out, lock_graph: conc_report.lock_graph })
 }
 
 /// Walk upward from `start` to the first directory whose `Cargo.toml`

@@ -1,6 +1,9 @@
 //! CLI entry point: `cargo run -p smore-lint -- --workspace`.
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! Exit codes: `0` clean, `1` violations found, `2` usage error, `3` bad
+//! lint.toml, `4` unreadable file or other I/O failure. CI keys off these:
+//! `1` means the tree has violations to fix, `3`/`4` mean the lint run
+//! itself is broken and the gate must not be treated as passed.
 
 #![forbid(unsafe_code)]
 
@@ -9,20 +12,33 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-smore-lint: workspace invariant checker (determinism + numeric safety)
+smore-lint: workspace invariant checker (determinism + numeric safety + concurrency)
 
 USAGE:
     smore-lint --workspace [--config <lint.toml>] [--root <dir>] [--quiet]
+               [--lock-graph <out.json>] [--lock-graph-dot <out.dot>]
     smore-lint --list-rules
 
 OPTIONS:
-    --workspace        lint every .rs file under crates/, tests/, examples/
-    --config <path>    explicit lint.toml (default: <root>/lint.toml, then
-                       crates/lint/lint.toml)
-    --root <dir>       workspace root (default: walk up from cwd)
-    --quiet            print only the per-rule summary line
-    --list-rules       print the rule table and exit
+    --workspace             lint every .rs file under crates/, tests/, examples/
+    --config <path>         explicit lint.toml (default: <root>/lint.toml, then
+                            crates/lint/lint.toml)
+    --root <dir>            workspace root (default: walk up from cwd)
+    --quiet                 print only the per-rule summary line
+    --lock-graph <path>     write the C1 lock-order graph as JSON
+    --lock-graph-dot <path> write the C1 lock-order graph as Graphviz DOT
+    --list-rules            print the rule table and exit
+
+EXIT CODES:
+    0  clean    1  violations    2  usage    3  bad config    4  I/O error
 ";
+
+/// What went wrong, mapped to an exit code.
+enum CliError {
+    Usage(String),
+    Config(String),
+    Io(String),
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -33,18 +49,28 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("smore-lint: {msg}");
             ExitCode::from(2)
+        }
+        Err(CliError::Config(msg)) => {
+            eprintln!("smore-lint: config error: {msg}");
+            ExitCode::from(3)
+        }
+        Err(CliError::Io(msg)) => {
+            eprintln!("smore-lint: i/o error: {msg}");
+            ExitCode::from(4)
         }
     }
 }
 
-fn run() -> Result<usize, String> {
+fn run() -> Result<usize, CliError> {
     let mut workspace = false;
     let mut quiet = false;
     let mut config_path: Option<PathBuf> = None;
     let mut root_arg: Option<PathBuf> = None;
+    let mut graph_json: Option<PathBuf> = None;
+    let mut graph_dot: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,10 +78,26 @@ fn run() -> Result<usize, String> {
             "--workspace" => workspace = true,
             "--quiet" | "-q" => quiet = true,
             "--config" => {
-                config_path = Some(PathBuf::from(args.next().ok_or("--config needs a path")?));
+                config_path = Some(PathBuf::from(
+                    args.next().ok_or_else(|| CliError::Usage("--config needs a path".into()))?,
+                ));
             }
             "--root" => {
-                root_arg = Some(PathBuf::from(args.next().ok_or("--root needs a path")?));
+                root_arg = Some(PathBuf::from(
+                    args.next().ok_or_else(|| CliError::Usage("--root needs a path".into()))?,
+                ));
+            }
+            "--lock-graph" => {
+                graph_json = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| CliError::Usage("--lock-graph needs a path".into()))?,
+                ));
+            }
+            "--lock-graph-dot" => {
+                graph_dot = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| CliError::Usage("--lock-graph-dot needs a path".into()))?,
+                ));
             }
             "--list-rules" => {
                 for rule in RULES {
@@ -67,28 +109,43 @@ fn run() -> Result<usize, String> {
                 print!("{USAGE}");
                 return Ok(0);
             }
-            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+            other => return Err(CliError::Usage(format!("unknown argument `{other}`\n\n{USAGE}"))),
         }
     }
     if !workspace {
-        return Err(format!("nothing to do (pass --workspace)\n\n{USAGE}"));
+        return Err(CliError::Usage(format!("nothing to do (pass --workspace)\n\n{USAGE}")));
     }
 
     let root = match root_arg {
         Some(r) => r,
         None => {
-            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
-            find_workspace_root(&cwd).ok_or("no workspace root found above cwd")?
+            let cwd = std::env::current_dir().map_err(|e| CliError::Io(e.to_string()))?;
+            find_workspace_root(&cwd)
+                .ok_or_else(|| CliError::Io("no workspace root found above cwd".into()))?
         }
     };
     let config: Config = match config_path {
-        Some(p) => Config::load(&p).map_err(|e| e.to_string())?,
-        None => load_config(&root).map_err(|e| e.to_string())?,
+        Some(p) => {
+            // Distinguish "file unreadable" (I/O) from "file malformed" (config).
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| CliError::Io(format!("cannot read `{}`: {e}", p.display())))?;
+            Config::parse(&text).map_err(|e| CliError::Config(e.to_string()))?
+        }
+        None => load_config(&root).map_err(|e| CliError::Config(e.to_string()))?,
     };
 
-    let diagnostics = check_workspace(&root, &config).map_err(|e| e.to_string())?;
+    let report = check_workspace(&root, &config).map_err(|e| CliError::Io(e.to_string()))?;
+
+    if let Some(path) = &graph_json {
+        write_artifact(path, &report.lock_graph.to_json())?;
+    }
+    if let Some(path) = &graph_dot {
+        write_artifact(path, &report.lock_graph.to_dot())?;
+    }
+
+    let diagnostics = &report.diagnostics;
     if !quiet {
-        for d in &diagnostics {
+        for d in diagnostics {
             println!("{d}\n");
         }
     }
@@ -104,5 +161,28 @@ fn run() -> Result<usize, String> {
     } else {
         println!("smore-lint: {total} violation(s) ({summary})");
     }
+    if report.lock_graph.cycles.is_empty() {
+        println!(
+            "smore-lint: lock-order graph acyclic ({} locks, {} edges)",
+            report.lock_graph.nodes.len(),
+            report.lock_graph.edges.len()
+        );
+    } else {
+        println!(
+            "smore-lint: lock-order graph has {} cycle(s) — see C1 diagnostics",
+            report.lock_graph.cycles.len()
+        );
+    }
     Ok(total)
+}
+
+fn write_artifact(path: &PathBuf, contents: &str) -> Result<(), CliError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| CliError::Io(format!("cannot create `{}`: {e}", parent.display())))?;
+        }
+    }
+    std::fs::write(path, contents)
+        .map_err(|e| CliError::Io(format!("cannot write `{}`: {e}", path.display())))
 }

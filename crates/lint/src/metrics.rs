@@ -1,0 +1,244 @@
+//! C3 — metrics-registry consistency.
+//!
+//! Every `smore_*` metric name that appears in a string literal anywhere in
+//! the workspace (emission sites, /metrics assertions in tests, dashboards'
+//! doc snippets) must match the single declared registry: the
+//! `METRIC_NAMES` const table in `crates/serve/src/metrics.rs`. The rule
+//! also runs in reverse — a registered name that no code ever emits is dead
+//! and flagged — and over the configured markdown docs, so DESIGN.md and
+//! the code cannot drift apart on a metric's spelling.
+//!
+//! Names are matched as `smore_[a-z0-9_]+` tokens inside string literals
+//! only (the sanitizer records their spans); `{smore_x}` format captures
+//! and `smore_<crate>` library names (`smore_model::…` in docs) are skipped.
+
+use crate::conc::FileEntry;
+use crate::config::Config;
+use crate::rules::{Diagnostic, Suppressions};
+use crate::source::AllowHit;
+use std::collections::{BTreeMap, BTreeSet};
+
+const C3_HELP: &str =
+    "declare every emitted metric in METRIC_NAMES (crates/serve/src/metrics.rs) and spell \
+     it identically at every emission/assertion/doc site; remove registry entries nothing \
+     emits; escape a deliberately foreign name with `// smore-lint: allow(C3): <why>`";
+
+/// One markdown document to audit: `(workspace-relative path, contents)`.
+pub type DocFile = (String, String);
+
+/// Run the registry audit. `registry_rel` is the file declaring
+/// `METRIC_NAMES`; `docs` are markdown files to cross-check.
+pub fn check_metrics(
+    entries: &[FileEntry],
+    docs: &[DocFile],
+    config: &Config,
+    sup: &mut Suppressions,
+) -> Vec<Diagnostic> {
+    let scope = config.scope("C3");
+    if scope.modules.is_empty() && config.metrics_registry.is_none() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+
+    // Crate lib names are legitimate non-metric `smore_*` tokens.
+    let mut ignore: BTreeSet<String> =
+        entries.iter().map(|e| format!("smore_{}", e.file.krate.replace('-', "_"))).collect();
+    ignore.extend(config.metrics_ignore.iter().cloned());
+
+    // Locate and parse the registry const.
+    let registry_rel = config.metrics_registry.as_deref().unwrap_or("");
+    let Some(reg_entry) = entries.iter().find(|e| e.file.rel_path == registry_rel) else {
+        out.push(Diagnostic {
+            rule: "C3",
+            file: registry_rel.to_string(),
+            line: 1,
+            message: format!(
+                "metrics registry file `{registry_rel}` (rules.C3.registry) not found in the \
+                 workspace"
+            ),
+            help: C3_HELP,
+            snippet: String::new(),
+        });
+        return out;
+    };
+    let Some((registry, const_span, const_line)) = parse_registry(reg_entry) else {
+        out.push(Diagnostic {
+            rule: "C3",
+            file: reg_entry.file.rel_path.clone(),
+            line: 1,
+            message: "no `METRIC_NAMES: &[&str]` const table found in the registry file"
+                .to_string(),
+            help: C3_HELP,
+            snippet: String::new(),
+        });
+        return out;
+    };
+
+    // Sweep every in-scope file's string literals.
+    let mut emitted: BTreeMap<String, usize> = BTreeMap::new();
+    for entry in entries {
+        if !scope.applies_to(&entry.file.module, &entry.file.krate) {
+            continue;
+        }
+        let is_registry_file = entry.file.rel_path == reg_entry.file.rel_path;
+        for &(start, end) in &entry.scanned.strings {
+            let Some(text) = entry.source.get(start..end) else { continue };
+            for (rel_off, token) in metric_tokens(text) {
+                let abs = start + rel_off;
+                let in_decl = is_registry_file && abs >= const_span.0 && abs < const_span.1;
+                if ignore.contains(&token) {
+                    continue;
+                }
+                if !in_decl && registry.contains(&token) {
+                    *emitted.entry(token.clone()).or_insert(0) += 1;
+                    continue;
+                }
+                if in_decl {
+                    continue;
+                }
+                let line = line_of(&entry.source, abs);
+                push(
+                    entry,
+                    line,
+                    format!("metric name `{token}` is not declared in METRIC_NAMES"),
+                    sup,
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    // Reverse check: registered but never emitted anywhere in code.
+    for name in &registry {
+        if !emitted.contains_key(name) {
+            push(
+                reg_entry,
+                const_line,
+                format!("metric `{name}` is declared in METRIC_NAMES but never emitted"),
+                sup,
+                &mut out,
+            );
+        }
+    }
+
+    // Docs: every metric-looking token must be a registered name.
+    for (path, text) in docs {
+        for (off, token) in metric_tokens(text) {
+            if ignore.contains(&token) || registry.contains(&token) {
+                continue;
+            }
+            let line = line_of(text, off);
+            out.push(Diagnostic {
+                rule: "C3",
+                file: path.clone(),
+                line,
+                message: format!(
+                    "doc mentions metric `{token}` which is not declared in METRIC_NAMES"
+                ),
+                help: C3_HELP,
+                snippet: text
+                    .lines()
+                    .nth(line - 1)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+            });
+        }
+    }
+
+    out
+}
+
+fn push(
+    entry: &FileEntry,
+    line: usize,
+    message: String,
+    sup: &mut Suppressions,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Unlike most rules C3 checks test code too: /metrics assertions in
+    // tests are exactly where typo'd names hide. Allows still work.
+    match entry.scanned.allow_kind("C3", line) {
+        Some(AllowHit::Line) => {
+            sup.insert((entry.file.rel_path.clone(), "C3".to_string(), line));
+            return;
+        }
+        Some(AllowHit::File) => {
+            sup.insert((entry.file.rel_path.clone(), "C3".to_string(), 0));
+            return;
+        }
+        None => {}
+    }
+    out.push(Diagnostic {
+        rule: "C3",
+        file: entry.file.rel_path.clone(),
+        line,
+        message,
+        help: C3_HELP,
+        snippet: entry
+            .source
+            .lines()
+            .nth(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default(),
+    });
+}
+
+/// Find the `METRIC_NAMES` const and return `(names, value byte-span in the
+/// original source, 1-based line of the const)`.
+fn parse_registry(entry: &FileEntry) -> Option<(BTreeSet<String>, (usize, usize), usize)> {
+    let sanitized = &entry.scanned.sanitized;
+    let bytes = sanitized.as_bytes();
+    let pos = sanitized.find("METRIC_NAMES")?;
+    let line = line_of(sanitized, pos);
+    // Skip the type annotation to the `=`, then match the `[ … ]` value.
+    let eq = sanitized[pos..].find('=').map(|p| pos + p)?;
+    let open = sanitized[eq..].find('[').map(|p| eq + p)?;
+    let close = crate::ast::match_bracket(bytes, open, b'[', b']', bytes.len());
+    let span = (open, close);
+    let mut names = BTreeSet::new();
+    for &(s, e) in &entry.scanned.strings {
+        if s >= open && e <= close {
+            if let Some(name) = entry.source.get(s..e) {
+                let name = name.trim().trim_matches('"');
+                if !name.is_empty() {
+                    names.insert(name.to_string());
+                }
+            }
+        }
+    }
+    Some((names, span, line))
+}
+
+/// `smore_[a-z0-9_]+` tokens in `text`, with byte offsets. Skips `{smore_x`
+/// format captures and requires an identifier boundary on both sides.
+fn metric_tokens(text: &str) -> Vec<(usize, String)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = text.get(from..).and_then(|s| s.find("smore_")) {
+        let start = from + p;
+        let before = start
+            .checked_sub(1)
+            .map(|i| bytes[i])
+            .filter(|&b| b.is_ascii_alphanumeric() || b == b'_' || b == b'{');
+        let mut end = start + "smore_".len();
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        from = end;
+        if before.is_some() || end == start + "smore_".len() {
+            continue;
+        }
+        out.push((start, text[start..end].trim_end_matches('_').to_string()));
+    }
+    out
+}
+
+/// 1-based line of byte offset `pos`.
+fn line_of(text: &str, pos: usize) -> usize {
+    text[..pos.min(text.len())].bytes().filter(|&b| b == b'\n').count() + 1
+}

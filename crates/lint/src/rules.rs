@@ -7,14 +7,20 @@
 //! `lint.toml`; see [`crate::config`].
 
 use crate::config::Config;
-use crate::source::ScannedFile;
+use crate::source::{AllowHit, ScannedFile};
 use crate::walk::{SourceFile, TargetKind};
+use std::collections::BTreeSet;
 use std::fmt;
+
+/// Which allow directives actually suppressed a diagnostic:
+/// `(workspace-relative file, rule id, governed line)` — line 0 records a
+/// file-wide `allow-file` hit. Feeds the A1 unused-allow audit.
+pub type Suppressions = BTreeSet<(String, String, usize)>;
 
 /// A single rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule id: `D1`, `D2`, `N1`, `E1`, `E2`.
+    /// Rule id: `D1`, `D2`, `N1`, `E1`, `E2`, `C1`, `C2`, `C3`, `A1`.
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -73,11 +79,45 @@ pub const RULES: &[RuleInfo] = &[
         summary: "every catch_unwind outside tests is an audited supervision boundary; \
                   each site must carry a justifying `// smore-lint: allow(E2): <why>`",
     },
+    RuleInfo {
+        id: "C1",
+        summary: "lock acquisitions must form an acyclic order graph across the workspace \
+                  (guards held while taking another lock, directly or through calls); \
+                  the graph is exported as a DOT/JSON artifact",
+    },
+    RuleInfo {
+        id: "C2",
+        summary: "no blocking operation — .lock()/.read()/.write(), bare recv(), \
+                  thread::sleep, Condvar wait, file I/O, write_all/read_to_end — inside \
+                  the configured event-loop scope, directly or via any resolvable call",
+    },
+    RuleInfo {
+        id: "C3",
+        summary: "every smore_* metric name in any string literal or doc must match the \
+                  single METRIC_NAMES registry; registered names nobody emits are dead",
+    },
+    RuleInfo {
+        id: "A1",
+        summary: "every `smore-lint: allow(..)` must still suppress something; stale \
+                  escapes are removed, not accumulated",
+    },
 ];
 
 /// Run every applicable rule over one file.
 pub fn check_file(file: &SourceFile, source: &str, config: &Config) -> Vec<Diagnostic> {
     let scanned = ScannedFile::scan(source);
+    let mut sup = Suppressions::new();
+    check_file_scanned(file, &scanned, source, config, &mut sup)
+}
+
+/// [`check_file`] over an existing scan, recording allow hits into `sup`.
+pub fn check_file_scanned(
+    file: &SourceFile,
+    scanned: &ScannedFile,
+    source: &str,
+    config: &Config,
+    sup: &mut Suppressions,
+) -> Vec<Diagnostic> {
     let original_lines: Vec<&str> = source.lines().collect();
     let mut out = Vec::new();
 
@@ -86,8 +126,19 @@ pub fn check_file(file: &SourceFile, source: &str, config: &Config) -> Vec<Diagn
     };
 
     let mut push = |rule: &'static str, line: usize, message: String, help: &'static str| {
-        if scanned.is_test_code(line) || scanned.is_allowed(rule, line) {
+        if scanned.is_test_code(line) {
             return;
+        }
+        match scanned.allow_kind(rule, line) {
+            Some(AllowHit::Line) => {
+                sup.insert((file.rel_path.clone(), rule.to_string(), line));
+                return;
+            }
+            Some(AllowHit::File) => {
+                sup.insert((file.rel_path.clone(), rule.to_string(), 0));
+                return;
+            }
+            None => {}
         }
         out.push(Diagnostic {
             rule,
@@ -100,21 +151,21 @@ pub fn check_file(file: &SourceFile, source: &str, config: &Config) -> Vec<Diagn
     };
 
     if config.scope("D1").applies_to(&file.module, &file.krate) && file.kind == TargetKind::Lib {
-        rule_d1(&scanned, &file.module, &mut push);
+        rule_d1(scanned, &file.module, &mut push);
     }
     if config.scope("D2").applies_to(&file.module, &file.krate) && file.kind == TargetKind::Lib {
-        rule_d2(&scanned, &file.module, &mut push);
+        rule_d2(scanned, &file.module, &mut push);
     }
     if config.scope("N1").applies_to(&file.module, &file.krate) && file.kind == TargetKind::Lib {
-        rule_n1(&scanned, &mut push);
+        rule_n1(scanned, &mut push);
     }
     if file.kind == TargetKind::Lib && config.scope("E1").applies_to(&file.module, &file.krate) {
-        rule_e1(&scanned, &mut push);
+        rule_e1(scanned, &mut push);
     }
     if matches!(file.kind, TargetKind::Lib | TargetKind::Bin)
         && config.scope("E2").applies_to(&file.module, &file.krate)
     {
-        rule_e2(&scanned, &mut push);
+        rule_e2(scanned, &mut push);
     }
     // Each rule scans the file top-to-bottom, but a rule with two detectors
     // (N1: eq-ops, then partial_cmp) appends its passes back-to-back; sort so
@@ -261,6 +312,60 @@ fn rule_e2(
             );
         }
     }
+}
+
+/// A1 — the unused-allow self-check. Runs after every other rule so `sup`
+/// records which directives earned their keep; any `allow(..)` that
+/// suppressed nothing is stale and must be deleted, not accumulated.
+/// Directives inside test-gated regions are decorative (no rule ever fires
+/// there) and are flagged the same way.
+pub fn check_unused_allows(
+    file: &SourceFile,
+    scanned: &ScannedFile,
+    sup: &Suppressions,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for site in &scanned.directives {
+        for rule in &site.rules {
+            // allow(A1) exists only to excuse another directive on its line;
+            // auditing it would recurse.
+            if rule == "A1" {
+                continue;
+            }
+            let used = if site.file_wide {
+                sup.iter().any(|(f, r, _)| f == &file.rel_path && r == rule)
+            } else {
+                sup.contains(&(file.rel_path.clone(), rule.clone(), site.governed_line))
+            };
+            if used {
+                continue;
+            }
+            // An allow can itself be excused (e.g. kept for an imminently
+            // landing change) with allow(A1) on the same line.
+            if scanned.is_allowed("A1", site.directive_line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "A1",
+                file: file.rel_path.clone(),
+                line: site.directive_line,
+                message: format!(
+                    "`smore-lint: allow({rule})` suppresses nothing — the code it excused \
+                     no longer trips the rule{}",
+                    if scanned.is_test_code(site.directive_line) {
+                        " (directive sits in test-gated code where rules never fire)"
+                    } else {
+                        ""
+                    }
+                ),
+                help: "delete the stale directive; if the escape is being kept deliberately \
+                       for an in-flight change, justify it with \
+                       `// smore-lint: allow(A1): <why it stays>` on the same line",
+                snippet: String::new(),
+            });
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------

@@ -28,6 +28,11 @@ pub struct ScannedFile {
     pub sanitized: String,
     /// `lines[i]` is the sanitized text of 1-based line `i + 1`.
     pub lines: Vec<String>,
+    /// Byte spans (into the *original* source) of string-literal contents,
+    /// for rules that must read literals (C3 scans metric names in them).
+    pub strings: Vec<(usize, usize)>,
+    /// Every allow directive found, for the A1 unused-allow audit.
+    pub directives: Vec<AllowSite>,
     /// `allow[i]` lists rule ids escaped on 1-based line `i + 1`.
     allow: Vec<Vec<String>>,
     /// Rule ids escaped for the whole file via `allow-file`.
@@ -36,27 +41,63 @@ pub struct ScannedFile {
     test_mask: Vec<bool>,
 }
 
+/// How an allow matched, for suppression accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowHit {
+    /// A line-scoped `allow(..)` governing the diagnostic line.
+    Line,
+    /// A file-wide `allow-file(..)`.
+    File,
+}
+
+/// One `// smore-lint: allow(..)` directive, as written.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// Rule ids the directive names.
+    pub rules: Vec<String>,
+    /// 1-based line the directive comment starts on.
+    pub directive_line: usize,
+    /// 1-based line the directive governs (== `directive_line` for inline
+    /// directives; the next code line for standalone ones; 0 for file-wide).
+    pub governed_line: usize,
+    /// Was this an `allow-file`?
+    pub file_wide: bool,
+}
+
 impl ScannedFile {
     /// Scan `source`, stripping literals and collecting escape directives.
     pub fn scan(source: &str) -> ScannedFile {
-        let (sanitized, comments) = sanitize(source);
+        let (sanitized, comments, strings) = sanitize(source);
         let line_count = sanitized.lines().count().max(1);
         let lines: Vec<String> = sanitized.lines().map(|l| l.to_string()).collect();
         let mut allow = vec![Vec::new(); line_count];
         let mut allow_file = Vec::new();
-        apply_directives(&comments, &lines, &mut allow, &mut allow_file);
+        let mut directives = Vec::new();
+        apply_directives(&comments, &lines, &mut allow, &mut allow_file, &mut directives);
         let test_mask = mask_test_regions(&lines);
-        ScannedFile { sanitized, lines, allow, allow_file, test_mask }
+        ScannedFile { sanitized, lines, strings, directives, allow, allow_file, test_mask }
     }
 
     /// Is `rule` escaped on 1-based `line` (inline or file-wide)?
     pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
-        if self.allow_file.iter().any(|r| r == rule) {
-            return true;
-        }
-        line.checked_sub(1)
+        self.allow_kind(rule, line).is_some()
+    }
+
+    /// How is `rule` escaped on 1-based `line`, if at all? Line-scoped
+    /// allows win over file-wide ones so suppression credit lands on the
+    /// directive closest to the site.
+    pub fn allow_kind(&self, rule: &str, line: usize) -> Option<AllowHit> {
+        let line_hit = line
+            .checked_sub(1)
             .and_then(|i| self.allow.get(i))
-            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+            .is_some_and(|rules| rules.iter().any(|r| r == rule));
+        if line_hit {
+            return Some(AllowHit::Line);
+        }
+        if self.allow_file.iter().any(|r| r == rule) {
+            return Some(AllowHit::File);
+        }
+        None
     }
 
     /// Is 1-based `line` inside a `#[cfg(test)]` / `#[test]` gated item?
@@ -74,12 +115,13 @@ struct Comment {
     text: String,
 }
 
-/// Strip comment/string/char contents, returning the sanitized source and
-/// the list of captured comments.
-fn sanitize(source: &str) -> (String, Vec<Comment>) {
+/// Strip comment/string/char contents, returning the sanitized source, the
+/// list of captured comments, and the content spans of string literals.
+fn sanitize(source: &str) -> (String, Vec<Comment>, Vec<(usize, usize)>) {
     let bytes = source.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut comments = Vec::new();
+    let mut strings = Vec::new();
     let mut line = 1usize;
     let mut i = 0usize;
 
@@ -137,10 +179,16 @@ fn sanitize(source: &str) -> (String, Vec<Comment>) {
                 });
             }
             b'"' => {
+                let start = i + 1;
                 i = skip_string(bytes, i, &mut out, &mut line);
+                strings.push((start, i.saturating_sub(1).max(start)));
             }
             b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                let start = i;
                 i = skip_raw_or_byte(bytes, i, &mut out, &mut line);
+                // Content sits between the delimiters; approximating with
+                // the full literal span is fine for token scanning.
+                strings.push((start, i));
             }
             b'\'' => {
                 i = skip_char_or_lifetime(bytes, i, &mut out);
@@ -154,7 +202,7 @@ fn sanitize(source: &str) -> (String, Vec<Comment>) {
     // Sanitization only ever substitutes ASCII spaces for non-newline bytes,
     // so the output is valid UTF-8 whenever the input was.
     let sanitized = String::from_utf8(out).unwrap_or_default();
-    (sanitized, comments)
+    (sanitized, comments, strings)
 }
 
 /// Does `bytes[i..]` start a raw string (`r"`, `r#"`), byte string (`b"`),
@@ -318,11 +366,20 @@ fn apply_directives(
     lines: &[String],
     allow: &mut [Vec<String>],
     allow_file: &mut Vec<String>,
+    directives: &mut Vec<AllowSite>,
 ) {
     for c in comments {
         let Some(directive) = parse_directive(&c.text) else { continue };
         match directive {
-            Directive::AllowFile(rules) => allow_file.extend(rules),
+            Directive::AllowFile(rules) => {
+                directives.push(AllowSite {
+                    rules: rules.clone(),
+                    directive_line: c.line,
+                    governed_line: 0,
+                    file_wide: true,
+                });
+                allow_file.extend(rules);
+            }
             Directive::Allow(rules) => {
                 let idx = c.line - 1;
                 let own_line_has_code =
@@ -337,6 +394,12 @@ fn apply_directives(
                     }
                     t
                 };
+                directives.push(AllowSite {
+                    rules: rules.clone(),
+                    directive_line: c.line,
+                    governed_line: target + 1,
+                    file_wide: false,
+                });
                 if let Some(slot) = allow.get_mut(target) {
                     slot.extend(rules);
                 }

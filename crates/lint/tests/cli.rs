@@ -1,0 +1,118 @@
+//! Exit-code contract of the `smore-lint` binary.
+//!
+//! CI keys off these: `0` clean, `1` violations, `2` usage error, `3` bad
+//! lint.toml, `4` unreadable input. Each failure mode must produce a
+//! readable message on stderr, not a panic backtrace.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smore-lint"))
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn unknown_argument_exits_2_with_usage() {
+    let out = bin().arg("--frobnicate").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown argument"), "{err}");
+    assert!(err.contains("USAGE"), "usage text must be shown: {err}");
+}
+
+#[test]
+fn missing_workspace_flag_exits_2() {
+    let out = bin().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workspace"));
+}
+
+#[test]
+fn malformed_config_exits_3_with_message() {
+    let dir = scratch("bad-config");
+    let cfg = dir.join("lint.toml");
+    std::fs::write(&cfg, "schema = 1\n[rules.D1]\nnot_a_real_key = true\n").expect("write");
+    let out = bin().args(["--workspace", "--config"]).arg(&cfg).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("config error"), "{err}");
+    assert!(!err.contains("panicked"), "must report, not panic: {err}");
+}
+
+#[test]
+fn unreadable_config_path_exits_4() {
+    let out = bin()
+        .args(["--workspace", "--config", "/nonexistent/nowhere/lint.toml"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("i/o error") && err.contains("lint.toml"), "{err}");
+}
+
+#[test]
+fn unreadable_source_file_exits_4_and_names_the_file() {
+    // Invalid UTF-8: the walk lists the file, read_to_string fails (and a
+    // permission check is useless here — tests may run as root).
+    let root = scratch("unreadable-root");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write");
+    let src = root.join("crates/broken/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(src.join("oops.rs"), [0xFFu8, 0xFE, 0x00, 0x41]).expect("write");
+    let out = bin().args(["--workspace", "--root"]).arg(&root).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("oops.rs"), "the offending path must be named: {err}");
+}
+
+#[test]
+fn clean_tree_exits_0_and_writes_lock_graph_artifacts() {
+    let root = scratch("clean-root");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write");
+    let src = root.join("crates/tidy/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(src.join("lib.rs"), "pub fn two() -> u32 {\n    2\n}\n").expect("write");
+    let json = root.join("artifacts/lock-order.json");
+    let dot = root.join("artifacts/lock-order.dot");
+    let out = bin()
+        .args(["--workspace", "--root"])
+        .arg(&root)
+        .arg("--lock-graph")
+        .arg(&json)
+        .arg("--lock-graph-dot")
+        .arg(&dot)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let graph = std::fs::read_to_string(&json).expect("json artifact written");
+    assert!(graph.contains("\"cycles\": []"), "{graph}");
+    let dot_text = std::fs::read_to_string(&dot).expect("dot artifact written");
+    assert!(dot_text.starts_with("digraph lock_order"), "{dot_text}");
+}
+
+#[test]
+fn violations_exit_1() {
+    let root = scratch("dirty-root");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write");
+    let src = root.join("crates/dirty/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    // E1 applies to lib code with the default (empty) config.
+    std::fs::write(src.join("lib.rs"), "pub fn boom(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n")
+        .expect("write");
+    let out = bin().args(["--workspace", "--root"]).arg(&root).output().expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[E1]"));
+}

@@ -1,0 +1,204 @@
+//! Fixture-driven end-to-end tests for the concurrency rules (C1 lock
+//! order, C2 no-blocking-in-event-loop), the metrics-registry audit (C3),
+//! and the unused-allow audit (A1).
+//!
+//! Unlike the per-line rules in `rules.rs`, these run through
+//! [`smore_lint::check_concurrency`] / [`smore_lint::metrics::check_metrics`]
+//! over a synthetic workspace of [`FileEntry`]s, each test supplying its own
+//! minimal config so the fixtures are in scope regardless of the shipped
+//! `lint.toml`.
+
+use smore_lint::{check_concurrency, Config, FileEntry, SourceFile, Suppressions, TargetKind};
+use std::path::Path;
+
+fn entry(name: &str, module: &str) -> FileEntry {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let file = SourceFile {
+        rel_path: format!("crates/fixture/src/{name}"),
+        path,
+        krate: "fixture".to_string(),
+        module: module.to_string(),
+        kind: TargetKind::Lib,
+    };
+    FileEntry::build(file, source)
+}
+
+fn c1_config() -> Config {
+    Config::parse("[rules.C1]\nmodules = [\"fixture\"]\n").expect("config parses")
+}
+
+fn c2_config() -> Config {
+    Config::parse("[rules.C2]\nfunctions = [\"fixture::lp::Loop\"]\n").expect("config parses")
+}
+
+fn c3_config() -> Config {
+    Config::parse(
+        "[rules.C3]\nmodules = [\"fixture\"]\nregistry = \"crates/fixture/src/c3_registry.rs\"\n",
+    )
+    .expect("config parses")
+}
+
+// --- C1 ---------------------------------------------------------------------
+
+#[test]
+fn c1_opposite_nesting_orders_form_a_cycle() {
+    let entries = vec![entry("c1_bad.rs", "fixture::pair")];
+    let mut sup = Suppressions::new();
+    let report = check_concurrency(&entries, &c1_config(), &mut sup);
+    assert!(
+        !report.lock_graph.cycles.is_empty(),
+        "opposite lock orders must form a cycle; graph: {}",
+        report.lock_graph.to_json()
+    );
+    let c1: Vec<_> = report.diagnostics.iter().filter(|d| d.rule == "C1").collect();
+    assert!(
+        c1.iter().any(|d| d.line == 22) && c1.iter().any(|d| d.line == 34),
+        "both reverse-order witnesses must be reported, got: {c1:?}"
+    );
+    // Both locks appear as graph nodes with their flavour.
+    assert_eq!(report.lock_graph.nodes.len(), 2, "{}", report.lock_graph.to_json());
+    assert!(report.lock_graph.to_dot().contains("color=red"), "cyclic edges render red in DOT");
+}
+
+#[test]
+fn c1_consistent_nesting_is_an_edge_but_no_cycle() {
+    let entries = vec![entry("c1_clean.rs", "fixture::pair")];
+    let mut sup = Suppressions::new();
+    let report = check_concurrency(&entries, &c1_config(), &mut sup);
+    assert!(report.diagnostics.iter().all(|d| d.rule != "C1"), "{:?}", report.diagnostics);
+    assert!(report.lock_graph.cycles.is_empty());
+    assert_eq!(
+        report.lock_graph.edges.len(),
+        1,
+        "one-directional nesting is exactly one edge: {}",
+        report.lock_graph.to_json()
+    );
+}
+
+#[test]
+fn c1_allowed_witness_breaks_the_cycle_and_counts_as_used() {
+    let entries = vec![entry("c1_allowed.rs", "fixture::pair")];
+    let mut sup = Suppressions::new();
+    let report = check_concurrency(&entries, &c1_config(), &mut sup);
+    assert!(report.diagnostics.iter().all(|d| d.rule != "C1"), "{:?}", report.diagnostics);
+    assert!(report.lock_graph.cycles.is_empty(), "{}", report.lock_graph.to_json());
+    // The allow is recorded as used, so A1 stays silent about it.
+    assert!(sup.iter().any(|(_, rule, _)| rule == "C1"), "allow must be recorded: {sup:?}");
+    let a1 = smore_lint::rules::check_unused_allows(&entries[0].file, &entries[0].scanned, &sup);
+    assert!(a1.is_empty(), "used allow must not be flagged: {a1:?}");
+}
+
+// --- C2 ---------------------------------------------------------------------
+
+#[test]
+fn c2_flags_direct_and_transitive_blocking_in_scope() {
+    let entries = vec![entry("c2_bad.rs", "fixture::lp")];
+    let mut sup = Suppressions::new();
+    let report = check_concurrency(&entries, &c2_config(), &mut sup);
+    let lines: Vec<usize> =
+        report.diagnostics.iter().filter(|d| d.rule == "C2").map(|d| d.line).collect();
+    // .lock(), bare recv(), thread::sleep, fs::read_to_string — and the
+    // helper() call is *not* separately flagged because the callee is
+    // itself in scope and reports its own site (line 24).
+    assert_eq!(lines, vec![15, 17, 18, 19, 24], "got {:?}", report.diagnostics);
+}
+
+#[test]
+fn c2_nonblocking_variants_are_clean() {
+    let entries = vec![entry("c2_clean.rs", "fixture::lp")];
+    let mut sup = Suppressions::new();
+    let report = check_concurrency(&entries, &c2_config(), &mut sup);
+    assert!(report.diagnostics.iter().all(|d| d.rule != "C2"), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn c2_justified_allows_silence_the_rule_and_count_as_used() {
+    let entries = vec![entry("c2_allowed.rs", "fixture::lp")];
+    let mut sup = Suppressions::new();
+    let report = check_concurrency(&entries, &c2_config(), &mut sup);
+    assert!(report.diagnostics.iter().all(|d| d.rule != "C2"), "{:?}", report.diagnostics);
+    assert_eq!(sup.iter().filter(|(_, rule, _)| rule == "C2").count(), 2, "{sup:?}");
+}
+
+#[test]
+fn c2_out_of_scope_functions_are_exempt() {
+    // Same blocking code, but the scope names a different type.
+    let entries = vec![entry("c2_bad.rs", "fixture::other")];
+    let mut sup = Suppressions::new();
+    let report = check_concurrency(&entries, &c2_config(), &mut sup);
+    assert!(report.diagnostics.iter().all(|d| d.rule != "C2"), "{:?}", report.diagnostics);
+}
+
+// --- C3 ---------------------------------------------------------------------
+
+fn run_c3(code_fixture: &str) -> Vec<smore_lint::Diagnostic> {
+    let entries =
+        vec![entry("c3_registry.rs", "fixture::metrics"), entry(code_fixture, "fixture::render")];
+    let mut sup = Suppressions::new();
+    smore_lint::metrics::check_metrics(&entries, &[], &c3_config(), &mut sup)
+}
+
+#[test]
+fn c3_flags_typo_and_dead_registry_entry() {
+    let diags = run_c3("c3_bad.rs");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("smore_requets_total")
+            && d.file.ends_with("c3_bad.rs")
+            && d.line == 7),
+        "typo'd emission must be flagged at its line: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("smore_dead_gauge")
+            && d.message.contains("never emitted")
+            && d.file.ends_with("c3_registry.rs")),
+        "dead registry entry must be flagged at the const: {diags:?}"
+    );
+}
+
+#[test]
+fn c3_matching_surface_and_format_captures_are_clean() {
+    let diags = run_c3("c3_clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn c3_allowed_foreign_name_is_suppressed() {
+    let diags = run_c3("c3_allowed.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn c3_docs_are_audited_against_the_registry() {
+    let entries =
+        vec![entry("c3_registry.rs", "fixture::metrics"), entry("c3_clean.rs", "fixture::render")];
+    let mut sup = Suppressions::new();
+    let docs = vec![(
+        "DESIGN.md".to_string(),
+        "dashboards watch `smore_requests_ok` and\n`smore_requets_total` for shed spikes\n"
+            .to_string(),
+    )];
+    let diags = smore_lint::metrics::check_metrics(&entries, &docs, &c3_config(), &mut sup);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].file, "DESIGN.md");
+    assert_eq!(diags[0].line, 2);
+    assert!(diags[0].message.contains("smore_requets_total"));
+}
+
+// --- A1 ---------------------------------------------------------------------
+
+#[test]
+fn a1_flags_stale_line_and_file_directives() {
+    let e = entry("a1_bad.rs", "fixture::a1");
+    // Run the per-file rules so any genuinely-used allow would register.
+    let mut sup = Suppressions::new();
+    let config = Config::parse("[rules.E1]\nexempt_crates = []\n").expect("config parses");
+    let diags =
+        smore_lint::rules::check_file_scanned(&e.file, &e.scanned, &e.source, &config, &mut sup);
+    assert!(diags.is_empty(), "fixture has no live violations: {diags:?}");
+    let a1 = smore_lint::rules::check_unused_allows(&e.file, &e.scanned, &sup);
+    let lines: Vec<usize> = a1.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![3, 7], "both stale directives flagged: {a1:?}");
+}

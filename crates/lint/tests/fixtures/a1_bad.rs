@@ -1,0 +1,10 @@
+// Known-bad A1 fixture: directives that no longer suppress anything.
+pub fn add(a: u32, b: u32) -> u32 {
+    // smore-lint: allow(E1): stale — nothing on the next line panics.
+    a + b
+}
+
+// smore-lint: allow-file(D2): stale — no ambient clocks in this file.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}

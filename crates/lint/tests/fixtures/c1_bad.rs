@@ -1,0 +1,36 @@
+// Known-bad C1 fixture: Alpha::with_beta holds Alpha.inner while taking
+// Beta.inner (through the callee), Beta::with_alpha does the reverse — a
+// two-node cycle in the lock-order graph.
+use std::sync::Mutex;
+
+pub struct Alpha {
+    inner: Mutex<u32>,
+}
+
+pub struct Beta {
+    inner: Mutex<u32>,
+}
+
+impl Alpha {
+    pub fn bump(&self) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        *g += 1;
+    }
+
+    pub fn with_beta(&self, peer: &Beta) {
+        let _g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        peer.bump();
+    }
+}
+
+impl Beta {
+    pub fn bump(&self) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        *g += 1;
+    }
+
+    pub fn with_alpha(&self, peer: &Alpha) {
+        let _g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        peer.bump();
+    }
+}

@@ -1,0 +1,35 @@
+// Clean C1 fixture: locks nest, but only ever in one direction
+// (Alpha.inner before Beta.inner) — an edge in the graph, no cycle.
+use std::sync::Mutex;
+
+pub struct Alpha {
+    inner: Mutex<u32>,
+}
+
+pub struct Beta {
+    inner: Mutex<u32>,
+}
+
+impl Alpha {
+    pub fn with_beta(&self, peer: &Beta) {
+        let _g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        peer.bump();
+    }
+}
+
+impl Beta {
+    pub fn bump(&self) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        *g += 1;
+    }
+
+    pub fn alone(&self, peer: &Alpha) {
+        // Taking Beta.inner with nothing held, then Alpha.inner after the
+        // guard is dropped, adds no reverse edge.
+        {
+            let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            *g += 1;
+        }
+        peer.with_beta(self);
+    }
+}

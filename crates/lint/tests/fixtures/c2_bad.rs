@@ -1,0 +1,27 @@
+// Known-bad C2 fixture: blocking operations inside the event-loop scope —
+// a direct mutex lock, a bare channel recv, a thread::sleep, file I/O, and
+// a call whose callee blocks transitively.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Loop {
+    state: Mutex<u32>,
+    jobs: Receiver<u32>,
+}
+
+impl Loop {
+    pub fn tick(&self) {
+        let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        drop(g);
+        let _job = self.jobs.recv();
+        std::thread::sleep(Duration::from_millis(1));
+        let _data = std::fs::read_to_string("state.json");
+        self.helper();
+    }
+
+    pub fn helper(&self) {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *g += 1;
+    }
+}

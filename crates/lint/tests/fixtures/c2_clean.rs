@@ -1,0 +1,21 @@
+// Clean C2 fixture: the event loop only ever uses nonblocking variants —
+// try_lock, try_recv, recv_timeout — and hands real work to helpers
+// outside its own scope is not needed here because nothing blocks.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Loop {
+    state: Mutex<u32>,
+    jobs: Receiver<u32>,
+}
+
+impl Loop {
+    pub fn tick(&self) {
+        if let Ok(mut g) = self.state.try_lock() {
+            *g += 1;
+        }
+        let _job = self.jobs.try_recv();
+        let _next = self.jobs.recv_timeout(Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,11 @@
+// Allowed C3 fixture: a deliberately foreign (unregistered) name carries
+// a justified allow, the registered surface is fully emitted.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("smore_requests_ok 1\n");
+    out.push_str("smore_dead_gauge 0\n");
+    // smore-lint: allow(C3): fixture — scraped from a foreign exporter,
+    // deliberately not part of our registry.
+    out.push_str("smore_foreign_scrape 3\n");
+    out
+}

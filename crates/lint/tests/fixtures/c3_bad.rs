@@ -1,0 +1,9 @@
+// Known-bad C3 fixture: emits one registered name, one typo'd name, and
+// never emits `smore_dead_gauge` — so the sweep flags the typo and the
+// reverse check flags the dead registry entry.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("smore_requests_ok 1\n");
+    out.push_str("smore_requets_total 2\n");
+    out
+}

@@ -1,0 +1,10 @@
+// Clean C3 fixture: every emitted name is registered, every registered
+// name is emitted, and `{smore_obj:.3}` format captures are not metric
+// names.
+pub fn render(smore_obj: f64) -> String {
+    let mut out = String::new();
+    out.push_str("smore_requests_ok 1\n");
+    out.push_str("smore_dead_gauge 0\n");
+    out.push_str(&format!("objective {smore_obj:.3}\n"));
+    out
+}

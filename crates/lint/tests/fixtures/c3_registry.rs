@@ -1,0 +1,7 @@
+// C3 fixture registry: the declared metric surface shared by the c3_*
+// fixtures. `smore_dead_gauge` is only emitted by the clean fixture — the
+// bad fixture leaves it dead to trip the reverse check.
+pub const METRIC_NAMES: &[&str] = &[
+    "smore_requests_ok",
+    "smore_dead_gauge",
+];

@@ -172,11 +172,17 @@ fn workspace_is_lint_clean() {
         .expect("crates/lint has a workspace root two levels up")
         .to_path_buf();
     let config = smore_lint::load_config(&root).expect("workspace lint config must parse");
-    let diags = smore_lint::check_workspace(&root, &config).expect("workspace walk must succeed");
+    let report = smore_lint::check_workspace(&root, &config).expect("workspace walk must succeed");
+    let diags = &report.diagnostics;
     assert!(
         diags.is_empty(),
         "workspace must be lint-clean, found {}:\n{}",
         diags.len(),
         diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    assert!(
+        report.lock_graph.cycles.is_empty(),
+        "lock-order graph must be acyclic, found cycles: {:?}",
+        report.lock_graph.cycles
     );
 }

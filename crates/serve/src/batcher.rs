@@ -109,6 +109,23 @@ mod tests {
     }
 
     #[test]
+    fn job_at_exactly_max_delay_age_is_due_and_flushes_deadline() {
+        // Boundary pin: `due` uses >=, so a job admitted exactly
+        // `max_delay` (i.e. --max-delay-us) ago is flushed on that very
+        // sweep with reason `deadline` — not held for one more iteration.
+        let mut b = Batcher::new(8, Duration::from_micros(500));
+        let t0 = Instant::now();
+        assert!(b.admit("job", t0).is_none());
+        let at_deadline = t0 + Duration::from_micros(500);
+        assert_eq!(b.due_in(at_deadline), Some(Duration::ZERO), "due_in hits zero, not 1us");
+        assert!(b.due(at_deadline), "exact max_delay age must already be due");
+        let (batch, reason) = b.flush(FlushReason::Deadline).expect("due batch flushes");
+        assert_eq!(batch, vec!["job"]);
+        assert_eq!(reason, FlushReason::Deadline);
+        assert!(!b.due(at_deadline + Duration::from_secs(1)), "nothing pending after flush");
+    }
+
+    #[test]
     fn max_batch_one_degenerates_to_immediate_passthrough() {
         let mut b = Batcher::new(1, Duration::from_millis(500));
         let t0 = Instant::now();

@@ -63,6 +63,6 @@ pub use api::{endpoint_of, error_response, Api};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use http::{Method, ParseError, Request, Response};
 pub use metrics::{Endpoint, FlushReason, Metrics, BATCH_BUCKETS};
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{BoundedQueue, PushError, Refused};
 pub use registry::{build_model, LoadedModel, ModelRegistry, RegistryError};
 pub use server::{start, ServeConfig, ServerHandle};

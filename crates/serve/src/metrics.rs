@@ -126,6 +126,40 @@ const EWMA_ALPHA: f64 = 0.2;
 /// Ceiling on the advertised `Retry-After`, in seconds.
 const RETRY_AFTER_MAX_SECS: u32 = 30;
 
+/// The single source of truth for `/metrics` line names: every `smore_*`
+/// metric emitted anywhere (render below, test assertions, DESIGN.md) must
+/// appear here, and every name here must be emitted by [`Metrics::render`].
+/// smore-lint's C3 rule enforces both directions workspace-wide, so a typo'd
+/// name in code, tests or docs fails CI instead of silently breaking
+/// dashboards.
+pub const METRIC_NAMES: &[&str] = &[
+    "smore_requests_total",
+    "smore_shed_total",
+    "smore_queue_depth",
+    "smore_queue_depth_high_water",
+    "smore_model_version",
+    "smore_worker_panics_total",
+    "smore_worker_respawns_total",
+    "smore_watchdog_kills_total",
+    "smore_worker_pool_size",
+    "smore_degraded_total",
+    "smore_breaker_state",
+    "smore_breaker_trips_total",
+    "smore_checkpoint_rejects_total",
+    "smore_batch_flush_total",
+    "smore_batch_size_bucket",
+    "smore_batch_size_sum",
+    "smore_batch_size_count",
+    "smore_connections_accepted_total",
+    "smore_connections_open",
+    "smore_connections_busy",
+    "smore_latency_ewma_ms",
+    "smore_retry_after_secs",
+    "smore_latency_ms_bucket",
+    "smore_latency_ms_sum",
+    "smore_latency_ms_count",
+];
+
 /// The server-wide metrics registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -631,6 +665,47 @@ mod tests {
         assert!(text.contains("smore_connections_accepted_total 2"), "{text}");
         assert!(text.contains("smore_connections_open 2"), "{text}");
         assert!(text.contains("smore_connections_busy 1"), "{text}");
+    }
+
+    #[test]
+    fn render_emits_exactly_the_registered_metric_names() {
+        // Drive every code path so render() prints its full surface, then
+        // check both directions against METRIC_NAMES: no line with an
+        // undeclared name, no declared name missing from the output.
+        let m = Metrics::new();
+        m.record(Endpoint::Solve, 200, 3.0);
+        m.record_shed();
+        m.set_queue_depth(2);
+        m.set_model_version(1);
+        m.record_worker_panic();
+        m.record_worker_respawn();
+        m.record_watchdog_kill();
+        m.set_pool_size(1);
+        m.record_degraded();
+        m.set_breaker_state(1);
+        m.record_breaker_trip();
+        m.record_checkpoint_reject();
+        m.record_batch_flush(2, FlushReason::Full);
+        m.record_connection_accepted();
+        m.set_connection_states(1, 1);
+        m.adaptive_retry_after(1, 1, 1);
+        let text = m.render();
+        for line in text.lines().filter(|l| l.starts_with("smore_")) {
+            let name: String = line
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_')
+                .collect();
+            assert!(
+                METRIC_NAMES.contains(&name.as_str()),
+                "render() emits `{name}` which is not declared in METRIC_NAMES"
+            );
+        }
+        for name in METRIC_NAMES {
+            assert!(
+                text.lines().any(|l| l.starts_with(name)),
+                "METRIC_NAMES declares `{name}` but render() never emits it"
+            );
+        }
     }
 
     #[test]

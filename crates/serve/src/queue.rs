@@ -19,6 +19,21 @@ pub enum PushError {
     ShuttingDown,
 }
 
+/// A refused push. The item comes back for shedding, together with the
+/// queue depth observed under the same lock acquisition — so shed paths
+/// size their `Retry-After` without re-locking the queue (the event loop
+/// must not take the mutex twice per shed; smore-lint's C2 rule polices
+/// the loop for exactly this kind of avoidable blocking).
+#[derive(Debug)]
+pub struct Refused<T> {
+    /// The item that did not fit, handed back to the caller.
+    pub item: T,
+    /// Why it was refused.
+    pub reason: PushError,
+    /// Queue depth at refusal time.
+    pub depth: usize,
+}
+
 struct Inner<T> {
     items: VecDeque<T>,
     shutdown: bool,
@@ -42,16 +57,19 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Enqueues `item` if there is room. On failure the item comes back to
-    /// the caller (for shedding) together with the reason. On success the
-    /// returned depth is the queue length including the new item — callers
-    /// feed it to the metrics high-water mark.
-    pub fn try_push(&self, item: T) -> Result<usize, (T, PushError)> {
+    /// the caller (for shedding) as a [`Refused`] carrying the reason and
+    /// the depth seen under the lock. On success the returned depth is the
+    /// queue length including the new item — callers feed it to the
+    /// metrics high-water mark.
+    pub fn try_push(&self, item: T) -> Result<usize, Refused<T>> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.shutdown {
-            return Err((item, PushError::ShuttingDown));
+            let depth = inner.items.len();
+            return Err(Refused { item, reason: PushError::ShuttingDown, depth });
         }
         if inner.items.len() >= self.capacity {
-            return Err((item, PushError::Full));
+            let depth = inner.items.len();
+            return Err(Refused { item, reason: PushError::Full, depth });
         }
         inner.items.push_back(item);
         let depth = inner.items.len();
@@ -123,7 +141,10 @@ mod tests {
         q.try_push("a").expect("push");
         q.try_push("b").expect("push");
         match q.try_push("c") {
-            Err((item, PushError::Full)) => assert_eq!(item, "c"),
+            Err(Refused { item, reason: PushError::Full, depth }) => {
+                assert_eq!(item, "c");
+                assert_eq!(depth, 2, "refusal must report the depth seen under the lock");
+            }
             other => panic!("expected Full, got {other:?}"),
         }
         assert_eq!(q.depth(), 2);
@@ -134,7 +155,7 @@ mod tests {
         let q = BoundedQueue::new(4);
         q.try_push(1).expect("push");
         q.shut_down();
-        assert!(matches!(q.try_push(2), Err((_, PushError::ShuttingDown))));
+        assert!(matches!(q.try_push(2), Err(Refused { reason: PushError::ShuttingDown, .. })));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
     }
@@ -182,7 +203,7 @@ mod tests {
             let q = Arc::clone(&q);
             thread::spawn(move || {
                 let _guard = q.inner.lock().unwrap_or_else(|e| e.into_inner());
-                // smore-lint: allow(E1): deliberate poison for the test.
+                // Deliberate poison: panic while holding the lock.
                 panic!("poisoning the queue lock");
             })
         };

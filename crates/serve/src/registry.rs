@@ -295,7 +295,7 @@ mod tests {
             let reg = Arc::clone(&reg);
             std::thread::spawn(move || {
                 let _guard = reg.slot.write().unwrap_or_else(|e| e.into_inner());
-                // smore-lint: allow(E1): deliberate poison for the test.
+                // Deliberate poison: panic while holding the lock.
                 panic!("poisoning the registry lock");
             })
         };

@@ -210,6 +210,9 @@ impl EventLoop {
                 if let Some((batch, reason)) = self.batcher.flush(FlushReason::Deadline) {
                     self.dispatch(batch, reason);
                 }
+                // smore-lint: allow(C2): shutdown one-shot — flips a flag
+                // and notifies under a lock nothing holds for long; runs
+                // once per process lifetime, never on the request path.
                 self.queue.shut_down();
                 self.draining = true;
             }
@@ -413,6 +416,13 @@ impl EventLoop {
                 ParseStep::Request { request, seq } => {
                     self.activity = true;
                     let endpoint = endpoint_of(&request.path);
+                    // smore-lint: allow(C2): plan() only snapshots the
+                    // registry (RwLock read of an Arc clone) and polls the
+                    // breaker (Mutex over two ints); both critical sections
+                    // are O(1) pointer/integer work with no I/O, and the
+                    // writers (reload thread, breaker updates) hold them
+                    // equally briefly. Solver work itself goes through the
+                    // queue to the workers, never inline here.
                     match self.api.plan(&request) {
                         Plan::Ready(response) => {
                             self.respond(token, seq, endpoint, now, response, false)
@@ -440,18 +450,24 @@ impl EventLoop {
     fn dispatch(&mut self, batch: Vec<JobItem>, reason: FlushReason) {
         let size = batch.len();
         self.metrics.record_batch_flush(size, reason);
+        // smore-lint: allow(C2): the queue mutex guards a VecDeque
+        // push/len — a bounded O(1) critical section; workers holding it
+        // do the same. The refusal carries the depth seen under that one
+        // acquisition, so the shed path below never re-locks.
         match self.queue.try_push(batch) {
             Ok(depth) => {
                 self.metrics.set_queue_depth(depth);
                 self.outstanding += size;
             }
-            Err((batch, _refused)) => {
+            Err(refused) => {
                 let threads = self.config.threads.max(1);
                 // Retry-After adapts to how long the backlog will take to
-                // drain at the observed latency; depth is jobs, so scale
-                // by the batch bound for a request-count estimate.
-                let backlog = self.queue.depth().saturating_mul(self.config.max_batch.max(1));
-                for item in batch {
+                // drain at the observed latency; the refusal carries the
+                // depth seen under the push's own lock acquisition (no
+                // second queue.depth() lock on the event loop), in jobs —
+                // scale by the batch bound for a request-count estimate.
+                let backlog = refused.depth.saturating_mul(self.config.max_batch.max(1));
+                for item in refused.item {
                     self.metrics.record_shed();
                     let retry = self.metrics.adaptive_retry_after(
                         backlog,
@@ -539,6 +555,10 @@ impl EventLoop {
             if !pending || Instant::now() >= limit {
                 break;
             }
+            // smore-lint: allow(C2): shutdown drain only — the loop is
+            // bounded by DRAIN_FLUSH_LIMIT and no new work is admitted;
+            // a 500us nap between flush sweeps trades nothing but exit
+            // latency.
             std::thread::sleep(Duration::from_micros(500));
         }
         for token in self.poller.tokens() {

@@ -586,7 +586,7 @@ mod tests {
         for _ in 0..5 {
             let p = random_worker_problem(&mut rng, 5, 0.4);
             let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                // smore-lint: allow(E1): asserting the injected panic fires.
+                // Asserting the injected panic fires.
                 let _ = panicky.solve(&p);
             }));
             assert!(caught.is_err(), "panic_rate 1.0 must always panic");
