@@ -12,7 +12,8 @@
 //!     [--seed N] [--addr HOST:PORT] [--out PATH] [--retries N] \
 //!     [--keepalive] [--pipeline K] [--mix burst|legacy] [--ramp N] \
 //!     [--max-batch N] [--max-delay-us N] [--reference PATH] \
-//!     [--chaos] [--chaos-fail-rate R] [--chaos-panic-rate R]
+//!     [--chaos] [--chaos-fail-rate R] [--chaos-panic-rate R] \
+//!     [--events] [--event-sessions N]
 //! ```
 //!
 //! Two request mixes are built in. `burst` (the canonical serving mix) is
@@ -31,6 +32,12 @@
 //! runs a ramped open-loop sweep after the main phases: connection-count
 //! steps up to N, every connection held open concurrently, recording a
 //! throughput/latency/shed curve per step.
+//!
+//! `--events` adds a streaming-traffic phase: `--event-sessions` driver
+//! threads each own one `/v1/events` session and replay a seeded event
+//! stream (task arrivals, progress, cancellations, ticks) in strict
+//! `seq` order, recording per-envelope latency and the server's replan
+//! count. Any non-200 answer to a well-formed envelope fails the run.
 //!
 //! `--chaos` runs a hostile-client phase against a **separate** server
 //! boot with server-side fault injection armed — the baseline phases are
@@ -78,6 +85,8 @@ struct Args {
     chaos: bool,
     chaos_fail_rate: f64,
     chaos_panic_rate: f64,
+    events: bool,
+    event_sessions: usize,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -108,6 +117,8 @@ fn parse_args() -> Args {
         chaos: false,
         chaos_fail_rate: 0.0,
         chaos_panic_rate: 0.0,
+        events: false,
+        event_sessions: 8,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -159,6 +170,11 @@ fn parse_args() -> Args {
             "--chaos-panic-rate" => {
                 args.chaos_panic_rate =
                     it.next().and_then(|s| s.parse().ok()).expect("--chaos-panic-rate R")
+            }
+            "--events" => args.events = true,
+            "--event-sessions" => {
+                args.event_sessions =
+                    it.next().and_then(|s| s.parse().ok()).expect("--event-sessions N")
             }
             // Tolerate flags injected by wrapper scripts (e.g. --offline).
             _ => {}
@@ -665,6 +681,58 @@ fn run_ramp_step(addr: &str, args: &Args, conns: usize, requests: usize) -> Phas
     total.seal(started)
 }
 
+/// Streaming-events phase (`--events`): each driver thread owns one
+/// `/v1/events` session (`lg-{i}`) and replays a seeded stream from
+/// [`smore_datasets::gen_event_stream`], one envelope per request in
+/// strict `seq` order — the protocol forbids concurrency inside a
+/// session, so load parallelism comes from concurrent sessions. Any
+/// non-200 on a well-formed envelope is a failure the main gate catches
+/// through `status_counts`.
+fn run_events_phase(addr: &str, args: &Args) -> PhaseReport {
+    use smore_datasets::{DatasetKind, EventStreamSpec, Scale};
+    let started = Instant::now();
+    // The server caps live sessions (LRU) — stay comfortably below it.
+    let sessions = args.event_sessions.clamp(1, 16);
+    let workers: Vec<_> = (0..sessions)
+        .map(|client| {
+            let addr = addr.to_string();
+            let seed = args.seed.wrapping_add(client as u64);
+            let keepalive = args.keepalive;
+            std::thread::spawn(move || {
+                let mut report = PhaseReport::default();
+                let kind = match client % 3 {
+                    0 => DatasetKind::Delivery,
+                    1 => DatasetKind::Tourism,
+                    _ => DatasetKind::LaDe,
+                };
+                let mut spec = EventStreamSpec::preset(kind, Scale::Small, seed);
+                spec.session = format!("lg-{client}");
+                let lines = smore_datasets::gen_event_stream(&spec);
+                let mut conn = Client::new(&addr, keepalive);
+                for body in &lines {
+                    let raw = format!(
+                        "POST /v1/events HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    match conn.fire(&raw) {
+                        Ok((status, ms, _)) => {
+                            report.count_status(status);
+                            report.latencies.push(ms);
+                        }
+                        Err(e) => report.errors.push(e),
+                    }
+                }
+                report
+            })
+        })
+        .collect();
+    let mut total = PhaseReport::default();
+    for w in workers {
+        total.absorb(w.join().expect("events driver panicked"));
+    }
+    total.seal(started)
+}
+
 /// Serializes one phase as a JSON object (hand-written; serde-free).
 fn phase_json(report: &PhaseReport, chaos: bool) -> String {
     let answered = report.latencies.len();
@@ -793,6 +861,7 @@ fn main() {
     // A smaller run of the other mix, so reports always carry both.
     let legacy = (args.mix == Mix::Burst)
         .then(|| run_phase(&addr, &args, Mix::Legacy, (args.requests / 4).max(128), false, 2));
+    let events = args.events.then(|| run_events_phase(&addr, &args));
 
     // Ramped open-loop sweep: connection-count steps, all held open.
     let ramp_steps: Vec<usize> = if args.ramp > 0 {
@@ -841,6 +910,7 @@ fn main() {
     });
 
     let shed_total = scrape(&metrics_text, "smore_shed_total");
+    let replan_count = scrape(&metrics_text, "smore_replan_latency_ms_count");
     let queue_hwm = scrape(&metrics_text, "smore_queue_depth_high_water");
     let batch_full = scrape(&metrics_text, "smore_batch_flush_total{reason=\"full\"}");
     let batch_deadline = scrape(&metrics_text, "smore_batch_flush_total{reason=\"deadline\"}");
@@ -888,6 +958,19 @@ fn main() {
         }
         None => {
             let _ = writeln!(json, "  \"legacy_mix\": null,");
+        }
+    }
+    match &events {
+        Some(report) => {
+            let _ = writeln!(
+                json,
+                "  \"events\": {{\"sessions\": {}, \"replan_count\": {replan_count}, \"report\": {}}},",
+                args.event_sessions.clamp(1, 16),
+                phase_json(report, false)
+            );
+        }
+        None => {
+            let _ = writeln!(json, "  \"events\": null,");
         }
     }
     if ramp.is_empty() {
@@ -986,6 +1069,16 @@ fn main() {
             percentile(&report.latencies, 0.50),
         );
     }
+    if let Some(report) = &events {
+        eprintln!(
+            "loadgen: events {} envelopes over {} sessions in {:.2}s, p50 {:.1} ms, {} replans server-side",
+            report.latencies.len(),
+            args.event_sessions.clamp(1, 16),
+            report.wall_s,
+            percentile(&report.latencies, 0.50),
+            replan_count,
+        );
+    }
     for (conns, report) in &ramp {
         eprintln!(
             "loadgen: ramp {conns} conns: {} answered ({:.1} rps), p50 {:.1} ms, {} transport errors",
@@ -1015,6 +1108,7 @@ fn main() {
         .errors
         .iter()
         .chain(legacy.iter().flat_map(|r| r.errors.iter()))
+        .chain(events.iter().flat_map(|r| r.errors.iter()))
         .chain(ramp.iter().flat_map(|(_, r)| r.errors.iter()))
         .chain(chaos.iter().flat_map(|(c, _)| c.errors.iter()))
         .collect();
@@ -1035,6 +1129,14 @@ fn main() {
             args.server_threads.max(1)
         );
         failed = true;
+    }
+    if let Some(report) = &events {
+        let non_200: u64 =
+            report.status_counts.iter().filter(|(k, _)| *k != 200).map(|(_, n)| *n).sum();
+        if non_200 > 0 {
+            eprintln!("loadgen: EVENTS FAILURE: {non_200} well-formed envelopes answered non-200");
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);

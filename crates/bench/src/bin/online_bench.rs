@@ -1,0 +1,353 @@
+//! Online replanning benchmark: pins mid-route **suffix replanning**
+//! against the **full-horizon re-solve oracle** on every dataset preset
+//! and writes `BENCH_online.json`.
+//!
+//! ```sh
+//! cargo run -p smore-bench --bin online_bench --release -- \
+//!     [--batches N] [--arrivals N] [--seeds N] [--out PATH]
+//! ```
+//!
+//! For each preset two [`smore::OnlineWorld`]s consume the *same* seeded
+//! event stream (ticks, task arrivals, worker progress, a mid-stream
+//! drop): one replans only the uncommitted route suffixes
+//! ([`smore::ReplanMode::Suffix`]), the other releases every unexecuted
+//! commitment and re-decides the whole remaining horizon
+//! ([`smore::ReplanMode::FullHorizon`]) — the quality oracle. A third
+//! series measures the **cold re-solve**: at every batch index, build a
+//! fresh world and solve the full accumulated event history from scratch
+//! — what a server without incremental session state would pay per
+//! batch. The report records per-batch latency medians, final
+//! objectives, and exact task-lifecycle accounting, then enforces the
+//! acceptance gates:
+//!
+//! * suffix median replan latency ≥ 3× faster than the cold re-solve
+//!   median (the first batch — the initial solve, identical work in
+//!   every series — is timed separately and excluded from the medians);
+//! * suffix final objective within 2% of the full-horizon oracle's on
+//!   every preset;
+//! * every world's accounting reconciles (arrived = pending + committed
+//!   + completed + rejected + expired + cancelled, exactly).
+//!
+//! The JSON is written by hand (no serde on the output path) so the
+//! binary stays functional in stub-only offline builds.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smore::{OnlineConfig, OnlineEvent, OnlineWorld, ReplanMode};
+use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+use smore_geo::Point;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    batches: usize,
+    arrivals: usize,
+    seeds: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { batches: 12, arrivals: 3, seeds: 3, out: PathBuf::from("BENCH_online.json") };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--batches" => {
+                args.batches = it.next().and_then(|s| s.parse().ok()).expect("--batches N")
+            }
+            "--arrivals" => {
+                args.arrivals = it.next().and_then(|s| s.parse().ok()).expect("--arrivals N")
+            }
+            "--seeds" => args.seeds = it.next().and_then(|s| s.parse().ok()).expect("--seeds N"),
+            "--out" => args.out = PathBuf::from(it.next().expect("--out PATH")),
+            // Tolerate flags injected by wrapper scripts (e.g. --offline).
+            _ => {}
+        }
+    }
+    args
+}
+
+/// The same seeded stream shape the datasets JSONL generator emits, as
+/// in-memory events: per batch one tick plus arrivals, worker progress,
+/// occasional (possibly stale) cancels, and one mid-stream worker drop.
+fn event_batches(
+    spec: &DatasetSpec,
+    seed: u64,
+    batches: usize,
+    max_arrivals: usize,
+    max_progress: &[usize],
+    n_tasks: usize,
+) -> Vec<Vec<OnlineEvent>> {
+    let n_workers = max_progress.len();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5851_F42D_4C95_7F2D);
+    let mut progress = vec![0usize; n_workers];
+    let mut dropped = vec![false; n_workers];
+    let mut out = Vec::with_capacity(batches + 1);
+    out.push(vec![OnlineEvent::Tick { now: 0.0 }]);
+    for batch in 1..=batches {
+        let now = spec.horizon * 0.8 * batch as f64 / batches.max(1) as f64;
+        let mut events = vec![OnlineEvent::Tick { now }];
+        let arrivals = rng.gen_range(0..=max_arrivals);
+        for _ in 0..arrivals {
+            let x: f64 = rng.gen_range(0.05..0.95);
+            let y: f64 = rng.gen_range(0.05..0.95);
+            let lead: f64 = rng.gen_range(5.0..15.0);
+            let stretch: f64 = rng.gen_range(1.0..2.0);
+            let window_start = now + lead;
+            let window_end = f64::min(window_start + spec.window_len * stretch, spec.horizon);
+            if window_end - window_start <= spec.sensing_service {
+                continue;
+            }
+            events.push(OnlineEvent::TaskArrived {
+                loc: Point::new(x * spec.region_width, y * spec.region_height),
+                window_start,
+                window_end,
+                service: spec.sensing_service,
+            });
+        }
+        for w in 0..n_workers {
+            if !dropped[w] && progress[w] < max_progress[w] && rng.gen_range(0.0..1.0) < 0.3 {
+                progress[w] += 1;
+                events
+                    .push(OnlineEvent::WorkerProgress { worker: w, completed_stops: progress[w] });
+            }
+        }
+        if n_tasks > 0 && rng.gen_range(0.0..1.0) < 0.25 {
+            events.push(OnlineEvent::TaskCancelled { task: rng.gen_range(0..n_tasks) });
+        }
+        if batch == batches / 2 && n_workers > 1 && rng.gen_range(0.0..1.0) < 0.5 {
+            let w = n_workers - 1;
+            if !dropped[w] {
+                dropped[w] = true;
+                events.push(OnlineEvent::WorkerDropped { worker: w });
+            }
+        }
+        out.push(events);
+    }
+    out
+}
+
+/// One mode's run over a stream: per-batch latencies (the initial batch
+/// separated out), final objective/coverage, and accounting.
+struct ModeRun {
+    initial_ms: f64,
+    replan_ms: Vec<f64>,
+    objective: f64,
+    coverage: f64,
+    rejected: usize,
+    expired: usize,
+    cancelled: usize,
+    completed: usize,
+    committed: usize,
+    reconciles: bool,
+    checksum: u64,
+}
+
+fn run_mode(
+    instance: &smore_model::Instance,
+    batches: &[Vec<OnlineEvent>],
+    mode: ReplanMode,
+) -> ModeRun {
+    let mut world = OnlineWorld::new(instance.clone(), OnlineConfig::default())
+        .expect("generated instances admit mandatory routes");
+    let mut initial_ms = 0.0;
+    let mut replan_ms = Vec::with_capacity(batches.len().saturating_sub(1));
+    for (i, batch) in batches.iter().enumerate() {
+        let started = Instant::now();
+        world.apply_batch_with(batch, mode).expect("generated streams are valid");
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        if i == 0 {
+            initial_ms = ms;
+        } else {
+            replan_ms.push(ms);
+        }
+    }
+    let acc = world.accounting();
+    ModeRun {
+        initial_ms,
+        replan_ms,
+        objective: world.objective(),
+        coverage: world.coverage(),
+        rejected: acc.rejected,
+        expired: acc.expired,
+        cancelled: acc.cancelled,
+        completed: acc.completed,
+        committed: acc.committed,
+        reconciles: acc.reconciles(),
+        checksum: world.checksum(),
+    }
+}
+
+/// Cold re-solve latencies: at each batch index past the first, the cost
+/// of building a fresh world and solving the entire accumulated event
+/// history in one shot — the per-batch price of *not* keeping session
+/// state. (Events concatenate cleanly: ticks are monotone and progress
+/// counters are absolute, and the single trailing replan still sees every
+/// alive task.)
+fn cold_resolve_ms(instance: &smore_model::Instance, batches: &[Vec<OnlineEvent>]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(batches.len().saturating_sub(1));
+    for upto in 2..=batches.len() {
+        let history: Vec<OnlineEvent> =
+            batches[..upto].iter().flat_map(|b| b.iter().cloned()).collect();
+        let started = Instant::now();
+        let mut world = OnlineWorld::new(instance.clone(), OnlineConfig::default())
+            .expect("generated instances admit mandatory routes");
+        world
+            .apply_batch_with(&history, ReplanMode::FullHorizon)
+            .expect("generated streams are valid");
+        out.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    out
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+fn mode_json(run: &ModeRun, med: f64, mean: f64) -> String {
+    format!(
+        "{{\"initial_solve_ms\": {:.4}, \"replan_median_ms\": {med:.4}, \
+         \"replan_mean_ms\": {mean:.4}, \"objective\": {:.6}, \"coverage\": {:.6}, \
+         \"accounting\": {{\"committed\": {}, \"completed\": {}, \"rejected\": {}, \
+         \"expired\": {}, \"cancelled\": {}, \"reconciles\": {}}}, \
+         \"checksum\": \"{:016x}\"}}",
+        run.initial_ms,
+        run.objective,
+        run.coverage,
+        run.committed,
+        run.completed,
+        run.rejected,
+        run.expired,
+        run.cancelled,
+        run.reconciles,
+        run.checksum,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let presets = [DatasetKind::Delivery, DatasetKind::Tourism, DatasetKind::LaDe];
+    let mut preset_blocks = Vec::new();
+    let mut failures = Vec::new();
+
+    for kind in presets {
+        let spec = DatasetSpec::of(kind, Scale::Small);
+        // Per preset, pool replan latencies across seeds and judge the
+        // objective gate on each seed independently.
+        let mut suffix_ms = Vec::new();
+        let mut full_ms = Vec::new();
+        let mut cold_ms = Vec::new();
+        let mut suffix_last = None;
+        let mut full_last = None;
+        let mut worst_regression: f64 = 0.0;
+        for seed in 0..args.seeds {
+            let generator = InstanceGenerator::new(spec.clone(), seed);
+            let instance = generator.gen_default(&mut SmallRng::seed_from_u64(seed));
+            let max_progress: Vec<usize> =
+                instance.workers.iter().map(|w| w.travel_tasks.len()).collect();
+            let batches = event_batches(
+                &spec,
+                seed,
+                args.batches,
+                args.arrivals,
+                &max_progress,
+                instance.n_tasks(),
+            );
+            let suffix = run_mode(&instance, &batches, ReplanMode::Suffix);
+            let full = run_mode(&instance, &batches, ReplanMode::FullHorizon);
+            if !suffix.reconciles || !full.reconciles {
+                failures
+                    .push(format!("{}: seed {seed}: accounting does not reconcile", kind.name()));
+            }
+            // Regression of suffix replanning vs the re-solve oracle,
+            // positive when the oracle ends ahead.
+            let regression = if full.objective.abs() > 1e-9 {
+                (full.objective - suffix.objective) / full.objective.abs()
+            } else {
+                0.0
+            };
+            worst_regression = worst_regression.max(regression);
+            suffix_ms.extend(suffix.replan_ms.iter().copied());
+            full_ms.extend(full.replan_ms.iter().copied());
+            cold_ms.extend(cold_resolve_ms(&instance, &batches));
+            suffix_last = Some(suffix);
+            full_last = Some(full);
+        }
+        let suffix_run = suffix_last.expect("at least one seed");
+        let full_run = full_last.expect("at least one seed");
+        let suffix_med = median(&mut suffix_ms);
+        let full_med = median(&mut full_ms);
+        let cold_med = median(&mut cold_ms);
+        let suffix_mean = suffix_ms.iter().sum::<f64>() / suffix_ms.len().max(1) as f64;
+        let full_mean = full_ms.iter().sum::<f64>() / full_ms.len().max(1) as f64;
+        let cold_mean = cold_ms.iter().sum::<f64>() / cold_ms.len().max(1) as f64;
+        let speedup = cold_med / suffix_med.max(1e-9);
+        if speedup < 3.0 {
+            failures.push(format!(
+                "{}: suffix median {suffix_med:.4} ms only {speedup:.2}x faster than the \
+                 cold re-solve median {cold_med:.4} ms (gate: >= 3x)",
+                kind.name()
+            ));
+        }
+        if worst_regression > 0.02 {
+            failures.push(format!(
+                "{}: suffix objective trails the oracle by {:.2}% (gate: <= 2%)",
+                kind.name(),
+                worst_regression * 100.0
+            ));
+        }
+        eprintln!(
+            "online_bench: {}: suffix {suffix_med:.3} ms vs oracle {full_med:.3} ms vs \
+             cold {cold_med:.3} ms ({speedup:.1}x vs cold), worst regression {:.2}%",
+            kind.name(),
+            worst_regression * 100.0
+        );
+        let mut block = String::new();
+        let _ = write!(
+            block,
+            "    {{\"preset\": \"{}\", \"suffix\": {}, \"full_horizon\": {}, \
+             \"cold_resolve\": {{\"median_ms\": {cold_med:.4}, \"mean_ms\": {cold_mean:.4}}}, \
+             \"replan_speedup_vs_cold_x\": {speedup:.2}, \
+             \"worst_objective_regression\": {:.4}}}",
+            kind.name(),
+            mode_json(&suffix_run, suffix_med, suffix_mean),
+            mode_json(&full_run, full_med, full_mean),
+            worst_regression,
+        );
+        preset_blocks.push(block);
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"smore-online replanning\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"batches\": {}, \"max_arrivals_per_batch\": {}, \"seeds\": {}, \
+         \"scale\": \"small\"}},",
+        args.batches, args.arrivals, args.seeds
+    );
+    let _ = writeln!(
+        json,
+        "  \"gates\": {{\"min_replan_speedup_vs_cold_x\": 3.0, \
+         \"max_objective_regression_vs_oracle\": 0.02, \"accounting_reconciles\": true}},"
+    );
+    let _ = writeln!(json, "  \"presets\": [");
+    let _ = writeln!(json, "{}", preset_blocks.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"gates_passed\": {}", failures.is_empty());
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("online_bench: report -> {}", args.out.display());
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("online_bench: GATE FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,10 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use smore::{Critic, SmoreSolver, Tasnet, TasnetConfig, TasnetTrainConfig};
 use smore_baselines::{GreedySolver, JdrlPolicy, JdrlSolver, MsaConfig, MsaSolver, RandomSolver};
-use smore_datasets::{DatasetKind, DatasetSpec, DatasetStats, InstanceGenerator, Scale};
+use smore_datasets::{
+    gen_event_stream, DatasetKind, DatasetSpec, DatasetStats, EventStreamSpec, InstanceGenerator,
+    Scale,
+};
 use smore_model::{
     evaluate, load_checkpoint, save_checkpoint, DeadlineSpec, Instance, ModelCheckpoint, Solution,
     TrainProgress, UsmdwSolver,
@@ -366,6 +369,126 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `events` — generate a replayable online event stream (JSONL), or
+/// replay one against a running server's `POST /v1/events`.
+pub fn events(args: &Args) -> Result<(), CliError> {
+    if let Some(path) = args.get("replay") {
+        return events_replay(path, args);
+    }
+    let kind = dataset_kind(args.get_or("dataset", "delivery"))?;
+    let scale = scale(args.get_or("scale", "small"))?;
+    let seed: u64 = args.num("seed", 7)?;
+    let out = args.require("out")?;
+    let mut spec = EventStreamSpec::preset(kind, scale, seed);
+    spec.batches = args.num("batches", spec.batches)?;
+    spec.max_arrivals_per_batch = args.num("arrivals", spec.max_arrivals_per_batch)?;
+    let mode = args.get_or("mode", "suffix");
+    if mode != "suffix" && mode != "full_horizon" {
+        return Err(CliError::Usage(format!("unknown mode {mode:?} (suffix | full_horizon)")));
+    }
+    spec.mode = mode.to_string();
+    if let Some(session) = args.get("session") {
+        spec.session = session.to_string();
+    }
+    let lines = gen_event_stream(&spec);
+    let mut text = lines.join("\n");
+    text.push('\n');
+    std::fs::write(out, text).map_err(|e| CliError::Io(format!("write {out}: {e}")))?;
+    println!("wrote {} event envelopes to {out} (session {})", lines.len(), spec.session);
+    Ok(())
+}
+
+/// Replays a JSONL event file line-by-line, strictly in order, each line
+/// POSTed verbatim as one `/v1/events` body. Any transport failure or
+/// non-200 answer is a hard error (the stream's seq chain breaks there
+/// anyway), so CI can assert "replay succeeded" from the exit code alone.
+fn events_replay(path: &str, args: &Args) -> Result<(), CliError> {
+    let addr = args.require("addr")?;
+    let raw =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
+    let mut posted = 0usize;
+    let mut last_body = String::new();
+    for line in raw.lines().filter(|l| !l.trim().is_empty()) {
+        let request = format!(
+            "POST /v1/events HTTP/1.1\r\nHost: smore-cli\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{line}",
+            line.len()
+        );
+        let (status, body) = http_round_trip(addr, &request)?;
+        posted += 1;
+        if status != 200 {
+            let head: String = body.chars().take(160).collect();
+            return Err(CliError::InvalidData(format!("envelope {posted}: HTTP {status}: {head}")));
+        }
+        last_body = body;
+    }
+    if posted == 0 {
+        return Err(CliError::InvalidData(format!("{path} holds no event envelopes")));
+    }
+    let checksum = last_body
+        .split("\"checksum\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .unwrap_or("missing");
+    println!("replayed {posted} envelopes, 0 transport errors");
+    println!("final checksum {checksum}");
+    if let Some(expect) = args.get("expect") {
+        if expect != checksum {
+            return Err(CliError::InvalidData(format!(
+                "final checksum {checksum} does not match --expect {expect}"
+            )));
+        }
+        println!("checksum matches --expect");
+    }
+    Ok(())
+}
+
+/// One `Connection: close` HTTP exchange: returns (status, body). The
+/// response is `Content-Length`-framed, so a keep-alive server (which may
+/// ignore the close request header) cannot stall the read.
+fn http_round_trip(addr: &str, raw: &str) -> Result<(u16, String), CliError> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::Io(format!("connect {addr}: {e}")))?;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    stream.write_all(raw.as_bytes()).map_err(|e| CliError::Io(format!("write {addr}: {e}")))?;
+    let mut data = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = data.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let mut tmp = [0u8; 4096];
+        let n = stream.read(&mut tmp).map_err(|e| CliError::Io(format!("read {addr}: {e}")))?;
+        if n == 0 {
+            return Err(CliError::Io(format!("{addr} closed before a response head")));
+        }
+        data.extend_from_slice(&tmp[..n]);
+    };
+    let head = String::from_utf8_lossy(&data[..head_end]).into_owned();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| CliError::Parse(format!("unframed reply from {addr}")))?;
+    let content_length: usize = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+    while data.len() < head_end + content_length {
+        let mut tmp = [0u8; 4096];
+        let n =
+            stream.read(&mut tmp).map_err(|e| CliError::Io(format!("read body {addr}: {e}")))?;
+        if n == 0 {
+            return Err(CliError::Io(format!("{addr} closed mid-body")));
+        }
+        data.extend_from_slice(&tmp[..n]);
+    }
+    let body = String::from_utf8_lossy(&data[head_end..head_end + content_length]).into_owned();
+    Ok((status, body))
+}
+
 /// Detailed usage for one command (`smore-cli <command> --help`).
 pub fn command_usage(command: &str) -> Option<&'static str> {
     Some(match command {
@@ -465,8 +588,35 @@ Prints `listening on ADDR` once bound, then runs until
   POST /v1/feasible   single (worker, task) probe
   GET  /healthz       liveness + model version
   GET  /metrics       plain-text counters and latency histograms
+  POST /v1/events     online session: streamed event batches with
+                      mid-route suffix replanning (see `events --help`)
   POST /admin/reload  hot-swap the checkpoint (train-output JSON body)
   POST /admin/shutdown drain and exit"
+        }
+        "events" => {
+            "\
+smore-cli events — generate or replay an online event stream (JSONL)
+
+USAGE: smore-cli events --out F [options]           (generate)
+       smore-cli events --replay F --addr HOST:PORT (replay)
+  --out F           write one /v1/events envelope per line
+  --dataset NAME    delivery | tourism | lade        (default delivery)
+  --scale NAME      small | paper                    (default small)
+  --seed N          stream + instance seed           (default 7)
+  --batches N       event batches after the seq-0 creation (default 8)
+  --arrivals N      max task arrivals per batch      (default 3)
+  --mode M          suffix | full_horizon            (default suffix)
+  --session ID      session id override              (default ev-DATASET-SEED)
+
+  --replay F        POST each line of F in order to a running server
+  --addr HOST:PORT  server address (required with --replay)
+  --expect HEX      fail unless the final response checksum matches
+
+Replay is strict: any transport failure or non-200 answer exits nonzero
+(the envelope seq chain is broken at that point regardless). On success
+it prints `final checksum HEX` — the server's order-sensitive digest of
+the session's end state, byte-stable across thread counts and batch
+sizes, so CI can pin it."
         }
         _ => return None,
     })
@@ -499,6 +649,8 @@ COMMANDS:
            or re-check instances   --instances F --validate
   serve    online assignment API   [--port P] [--threads N] [--queue N]
                                    [--model MODEL]
+  events   online event streams    --out F [--dataset D] [--seed N]
+           (generate or replay)    --replay F --addr HOST:PORT [--expect HEX]
 
 EXIT CODES:
   0 ok   2 usage   3 io   4 parse   5 invalid data   6 solve/evaluate
@@ -627,6 +779,42 @@ mod tests {
         std::fs::write(&a, &bytes[..40]).unwrap();
         train(&args(&format!("train --instances {inst} --out {a} {flags} --resume"))).unwrap();
         assert!(load_checkpoint(std::path::Path::new(&a)).expect("recovered").verify().is_ok());
+    }
+
+    #[test]
+    fn events_generate_and_replay_roundtrip() {
+        let file = tmp("events.jsonl");
+        events(&args(&format!("events --out {file} --dataset delivery --seed 7 --batches 4")))
+            .unwrap();
+        let text = std::fs::read_to_string(&file).unwrap();
+        assert_eq!(text.lines().count(), 5, "seq-0 creation + 4 batches");
+        assert!(text.lines().next().unwrap().contains("\"seq\":0"));
+
+        // Replay against an in-process server (the online replanner is
+        // greedy — no model checkpoint needed).
+        let registry = std::sync::Arc::new(smore_serve::ModelRegistry::new());
+        let config = smore_serve::ServeConfig { threads: 1, ..Default::default() };
+        let handle = smore_serve::start(config, registry).expect("bind test server");
+        let addr = handle.addr().to_string();
+        events(&args(&format!("events --replay {file} --addr {addr}"))).unwrap();
+        // Replaying again resets the session at seq 0 and must succeed.
+        events(&args(&format!("events --replay {file} --addr {addr}"))).unwrap();
+        // A wrong --expect checksum fails with invalid-data.
+        let e = events(&args(&format!("events --replay {file} --addr {addr} --expect bad")))
+            .unwrap_err();
+        assert_eq!(e.exit_code(), 5, "{e:?}");
+        let _ = http_round_trip(
+            &addr,
+            "POST /admin/shutdown HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n",
+        );
+        handle.join();
+    }
+
+    #[test]
+    fn events_rejects_bad_mode_and_missing_flags() {
+        assert!(events(&args("events --out /tmp/x.jsonl --mode warp")).is_err());
+        assert!(events(&args("events")).is_err(), "generate requires --out");
+        assert!(events(&args("events --replay /no/such/file --addr 127.0.0.1:1")).is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn main() {
         "solve" => commands::solve(&parsed),
         "inspect" => commands::inspect(&parsed),
         "serve" => commands::serve(&parsed),
+        "events" => commands::events(&parsed),
         "" | "help" => {
             println!("{}", commands::USAGE);
             return;

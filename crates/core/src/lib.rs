@@ -28,6 +28,12 @@
 //!   incremental evaluator) for online serving: policy solves, TASNet
 //!   decoding against shared checkpoints, and single-pair feasibility
 //!   probes, with the evaluator re-armed correctly between requests.
+//! * [`OnlineWorld`] — the streaming/dynamic variant: a versioned,
+//!   deterministic world state fed by event batches ([`OnlineEvent`]:
+//!   arrivals, cancellations, worker progress/drops, ticks), replanning
+//!   only uncommitted route suffixes each batch, with explicit rejections
+//!   under a configurable penalty ([`OnlineConfig`]) and exact lifecycle
+//!   accounting ([`Accounting`]).
 //! * [`SmoreError`] — typed engine failures. [`Engine`] construction and
 //!   `apply` return `Result`, and every solver honours a wall-clock
 //!   `Deadline` budget: on expiry the best valid partial solution is
@@ -39,6 +45,7 @@
 mod engine;
 mod error;
 mod evaluator;
+mod online;
 mod policy;
 mod route_planning;
 mod session;
@@ -51,6 +58,10 @@ pub use engine::{Candidate, CandidateMap, Engine};
 pub use error::SmoreError;
 pub use evaluator::{
     CandidateEvaluator, EvalStats, FullResolve, IncrementalInsertion, PreparedWorker, WorkerEval,
+};
+pub use online::{
+    Accounting, BatchOutcome, OnlineConfig, OnlineError, OnlineEvent, OnlineWorld, ReplanMode,
+    TaskState, WorkerOnline,
 };
 pub use policy::{
     GreedySelection, RandomSelection, RatioGreedySelection, SelectionPolicy, SmoreFramework,

@@ -1,0 +1,223 @@
+//! Seeded arrival-stream generator for the online (`/v1/events`) subsystem.
+//!
+//! Emits a replayable event file: one JSON envelope per line (JSONL), the
+//! exact bodies `POST /v1/events` accepts. Line 0 creates the session from
+//! the same `(dataset, scale, seed)` generator preset the server resolves,
+//! so client and server agree on the instance without shipping it; later
+//! lines advance simulated time and inject task arrivals, worker progress,
+//! cancellations, and (rarely) worker drops.
+//!
+//! Envelope JSON is assembled by hand (`format!`, not a serializer) so the
+//! emitted bytes are identical in normal builds and in offline builds whose
+//! serde stand-in cannot round-trip — the event-file checksum contract in
+//! CI depends on that.
+//!
+//! Every generated stream is *valid by construction*: progress counters are
+//! monotone and bounded by each worker's mandatory-stop count, dropped
+//! workers never report progress again, and cancellations only name task
+//! ids that exist (cancelling an already-terminal task is a counted no-op
+//! server-side, so stale cancels are fine to emit).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::InstanceGenerator;
+use crate::spec::{DatasetKind, DatasetSpec, Scale};
+
+/// Parameters of one synthetic event stream.
+#[derive(Debug, Clone)]
+pub struct EventStreamSpec {
+    /// Dataset preset named in the session-creating envelope.
+    pub kind: DatasetKind,
+    /// Scale preset.
+    pub scale: Scale,
+    /// Generator seed (instance and stream randomness both derive from it).
+    pub seed: u64,
+    /// Session id carried by every envelope.
+    pub session: String,
+    /// Batches after the session-creating one (envelopes total `batches+1`).
+    pub batches: usize,
+    /// Maximum task arrivals injected per batch (each batch draws
+    /// `0..=max`).
+    pub max_arrivals_per_batch: usize,
+    /// Replan mode label carried by every envelope (`suffix` or
+    /// `full_horizon`).
+    pub mode: String,
+}
+
+impl EventStreamSpec {
+    /// The default replayable preset for `(kind, scale, seed)`: 8 batches,
+    /// up to 3 arrivals each, suffix replanning.
+    pub fn preset(kind: DatasetKind, scale: Scale, seed: u64) -> Self {
+        let dataset = dataset_label(kind);
+        EventStreamSpec {
+            kind,
+            scale,
+            seed,
+            session: format!("ev-{dataset}-{seed}"),
+            batches: 8,
+            max_arrivals_per_batch: 3,
+            mode: "suffix".to_string(),
+        }
+    }
+}
+
+fn dataset_label(kind: DatasetKind) -> &'static str {
+    match kind {
+        DatasetKind::Delivery => "delivery",
+        DatasetKind::Tourism => "tourism",
+        DatasetKind::LaDe => "lade",
+    }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Generates the stream: one JSON envelope per returned line, ready to be
+/// written as a JSONL file or POSTed verbatim in order.
+pub fn gen_event_stream(spec: &EventStreamSpec) -> Vec<String> {
+    let dataset_spec = DatasetSpec::of(spec.kind, spec.scale);
+    // The same instance the server will materialize from the gen spec —
+    // used only to bound progress/cancel events to valid targets.
+    let generator = InstanceGenerator::new(dataset_spec.clone(), spec.seed);
+    let instance = generator.gen_default(&mut SmallRng::seed_from_u64(spec.seed));
+    let n_workers = instance.n_workers();
+    let n_tasks = instance.n_tasks();
+    // A worker's route always contains its mandatory travel stops;
+    // progress bounded by that count can never overrun the route even
+    // after replans rearrange sensing insertions.
+    let max_progress: Vec<usize> =
+        (0..n_workers).map(|w| instance.workers[w].travel_tasks.len()).collect();
+
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x5851_F42D_4C95_7F2D);
+    let mut lines = Vec::with_capacity(spec.batches + 1);
+    lines.push(format!(
+        "{{\"session\":\"{}\",\"seq\":0,\"mode\":\"{}\",\"gen\":{{\"dataset\":\"{}\",\
+         \"scale\":\"{}\",\"seed\":{}}},\"events\":[{{\"type\":\"tick\",\"now\":0}}]}}",
+        spec.session,
+        spec.mode,
+        dataset_label(spec.kind),
+        scale_label(spec.scale),
+        spec.seed,
+    ));
+
+    let horizon = dataset_spec.horizon;
+    let mut progress = vec![0usize; n_workers];
+    let mut dropped = vec![false; n_workers];
+    for batch in 1..=spec.batches {
+        // Ticks sweep ~80% of the horizon so late arrivals still fit
+        // their windows instead of expiring on arrival.
+        let now = horizon * 0.8 * batch as f64 / spec.batches.max(1) as f64;
+        let mut events = vec![format!("{{\"type\":\"tick\",\"now\":{now}}}")];
+
+        let arrivals = rng.gen_range(0..=spec.max_arrivals_per_batch);
+        for _ in 0..arrivals {
+            let x = rng.gen_range(0.05..0.95) * dataset_spec.region_width;
+            let y = rng.gen_range(0.05..0.95) * dataset_spec.region_height;
+            let lead: f64 = rng.gen_range(5.0..15.0);
+            let stretch: f64 = rng.gen_range(1.0..2.0);
+            let start = now + lead;
+            let end = f64::min(start + dataset_spec.window_len * stretch, horizon);
+            if end - start <= dataset_spec.sensing_service {
+                continue;
+            }
+            events.push(format!(
+                "{{\"type\":\"task_arrived\",\"x\":{x},\"y\":{y},\"window_start\":{start},\
+                 \"window_end\":{end},\"service\":{}}}",
+                dataset_spec.sensing_service,
+            ));
+        }
+
+        // Some workers advance one mandatory stop.
+        for w in 0..n_workers {
+            if !dropped[w] && progress[w] < max_progress[w] && rng.gen_range(0.0..1.0) < 0.3 {
+                progress[w] += 1;
+                events.push(format!(
+                    "{{\"type\":\"worker_progress\",\"worker\":{w},\"completed_stops\":{}}}",
+                    progress[w],
+                ));
+            }
+        }
+
+        // Rare cancels (possibly stale — the server counts those as
+        // no-ops) and at most one rare drop per stream tail.
+        if n_tasks > 0 && rng.gen_range(0.0..1.0) < 0.25 {
+            let task = rng.gen_range(0..n_tasks);
+            events.push(format!("{{\"type\":\"task_cancelled\",\"task\":{task}}}"));
+        }
+        if batch == spec.batches / 2 && n_workers > 1 && rng.gen_range(0.0..1.0) < 0.5 {
+            let w = n_workers - 1;
+            if !dropped[w] {
+                dropped[w] = true;
+                events.push(format!("{{\"type\":\"worker_dropped\",\"worker\":{w}}}"));
+            }
+        }
+
+        lines.push(format!(
+            "{{\"session\":\"{}\",\"seq\":{batch},\"mode\":\"{}\",\"events\":[{}]}}",
+            spec.session,
+            spec.mode,
+            events.join(","),
+        ));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_sequenced() {
+        let spec = EventStreamSpec::preset(DatasetKind::Delivery, Scale::Small, 7);
+        let a = gen_event_stream(&spec);
+        let b = gen_event_stream(&spec);
+        assert_eq!(a, b, "same spec must emit identical bytes");
+        assert_eq!(a.len(), spec.batches + 1);
+        for (i, line) in a.iter().enumerate() {
+            assert!(line.contains(&format!("\"seq\":{i}")), "line {i}: {line}");
+            assert!(line.contains("\"session\":\"ev-delivery-7\""), "line {i}: {line}");
+        }
+        assert!(a[0].contains("\"gen\":{\"dataset\":\"delivery\",\"scale\":\"small\",\"seed\":7}"));
+        assert!(!a[1].contains("\"gen\""), "only seq 0 carries the instance source");
+    }
+
+    #[test]
+    fn progress_events_are_monotone_and_bounded() {
+        for seed in [1, 7, 21] {
+            let spec = EventStreamSpec::preset(DatasetKind::Delivery, Scale::Small, seed);
+            let generator =
+                InstanceGenerator::new(DatasetSpec::of(spec.kind, spec.scale), spec.seed);
+            let instance = generator.gen_default(&mut SmallRng::seed_from_u64(spec.seed));
+            let mut last = vec![0usize; instance.n_workers()];
+            for line in gen_event_stream(&spec) {
+                // Scrape worker_progress pairs out of the hand-built JSON.
+                let mut rest = line.as_str();
+                while let Some(pos) = rest.find("\"worker_progress\",\"worker\":") {
+                    let tail = &rest[pos + 27..];
+                    let worker: usize =
+                        tail[..tail.find(',').expect("comma")].parse().expect("worker id");
+                    let stops_tail =
+                        &tail[tail.find("\"completed_stops\":").expect("stops") + 18..];
+                    let stops: usize =
+                        stops_tail[..stops_tail.find('}').expect("brace")].parse().expect("stops");
+                    assert!(stops > last[worker], "progress must be strictly monotone");
+                    assert!(stops <= instance.workers[worker].travel_tasks.len());
+                    last[worker] = stops;
+                    rest = stops_tail;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = gen_event_stream(&EventStreamSpec::preset(DatasetKind::Delivery, Scale::Small, 1));
+        let b = gen_event_stream(&EventStreamSpec::preset(DatasetKind::Delivery, Scale::Small, 2));
+        assert_ne!(a, b);
+    }
+}

@@ -11,14 +11,18 @@
 //! * [`DatasetSpec`] / [`DatasetKind`] / [`Scale`] — parameterizations.
 //! * [`InstanceGenerator`] / [`InstanceSplit`] — deterministic generation.
 //! * [`DatasetStats`] / [`Histogram`] — the statistics behind Figure 4.
+//! * [`EventStreamSpec`] / [`gen_event_stream`] — seeded arrival-stream
+//!   (JSONL) generation for the online `/v1/events` subsystem.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod events;
 mod gen;
 mod spec;
 mod stats;
 
+pub use events::{gen_event_stream, EventStreamSpec};
 pub use gen::{InstanceGenerator, InstanceSplit};
 pub use spec::{DatasetKind, DatasetSpec, Scale};
 pub use stats::{DatasetStats, Histogram};

@@ -185,6 +185,111 @@ pub struct ErrorBody {
     pub error: String,
 }
 
+/// One `(task, worker)` pair in an events response. A named struct rather
+/// than a tuple so the wire shape is self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventsPair {
+    /// Sensing-task index.
+    pub task: usize,
+    /// Worker index.
+    pub worker: usize,
+}
+
+/// Cumulative task-lifecycle accounting carried in every events response.
+/// The counts reconcile exactly: `arrived` equals the sum of the others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventsAccounting {
+    /// Tasks that ever entered the world (initial instance + arrivals).
+    pub arrived: usize,
+    /// Tasks still awaiting a decision.
+    pub pending: usize,
+    /// Tasks committed to a worker's route suffix.
+    pub committed: usize,
+    /// Tasks whose sensing stop has been executed.
+    pub completed: usize,
+    /// Tasks explicitly rejected (feasible but unaffordable).
+    pub rejected: usize,
+    /// Tasks whose window closed while pending.
+    pub expired: usize,
+    /// Tasks cancelled by the client.
+    pub cancelled: usize,
+}
+
+/// Per-worker snapshot in an events response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventsWorker {
+    /// Worker index.
+    pub worker: usize,
+    /// Executed route prefix length (stops already performed).
+    pub executed: usize,
+    /// Total stops on the worker's current route.
+    pub stops: usize,
+    /// Route travel time of the current route.
+    pub rtt: f64,
+    /// Incentive committed to this worker so far.
+    pub incentive: f64,
+    /// Whether the worker has dropped out (incentive frozen).
+    pub dropped: bool,
+}
+
+/// Body of a successful `POST /v1/events` response: what the batch changed
+/// plus a full post-batch world snapshot. Like [`SolveResponse`] it carries
+/// no timestamps or host-dependent fields — identical event sequences must
+/// produce byte-identical response bodies regardless of pool size or batch
+/// admission (the serving determinism contract extended to the online path).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventsResponse {
+    /// Echo of the session id the batch applied to.
+    pub session: String,
+    /// Echo of the applied sequence number.
+    pub seq: u64,
+    /// World version after the batch (increments by one per batch).
+    pub version: u64,
+    /// Simulated time after the batch.
+    pub sim_time: f64,
+    /// Replan mode that ran: `suffix` or `full_horizon`.
+    pub mode: String,
+    /// Task ids that arrived in this batch.
+    pub arrived: Vec<usize>,
+    /// Pairs committed by this batch's replan pass.
+    pub committed: Vec<EventsPair>,
+    /// Pairs completed by this batch's progress events.
+    pub completed: Vec<EventsPair>,
+    /// Tasks rejected by this batch's replan pass.
+    pub rejected: Vec<usize>,
+    /// Tasks expired by this batch's replan pass.
+    pub expired: Vec<usize>,
+    /// Tasks cancelled by this batch.
+    pub cancelled: Vec<usize>,
+    /// Previously committed tasks released back to pending by drops.
+    pub released: Vec<usize>,
+    /// Workers that dropped in this batch.
+    pub dropped_workers: Vec<usize>,
+    /// Cancels of already-terminal tasks (ignored, counted).
+    pub stale_cancels: usize,
+    /// Transient (worker, task) offers probed by the replan pass.
+    pub offered: u64,
+    /// Objective after the batch: `φ − λ · |rejected|`.
+    pub objective: f64,
+    /// Coverage term `φ(completed ∪ committed)`.
+    pub coverage: f64,
+    /// Total rejection penalty `λ · |rejected|`.
+    pub penalty: f64,
+    /// Total committed incentive.
+    pub spent: f64,
+    /// The instance budget `B`.
+    pub budget: f64,
+    /// Sum of executed route-prefix lengths across workers.
+    pub committed_prefix: usize,
+    /// Cumulative lifecycle accounting (reconciles exactly).
+    pub accounting: EventsAccounting,
+    /// Per-worker route snapshots.
+    pub workers: Vec<EventsWorker>,
+    /// FNV-1a 64 checksum of the canonical post-batch state, as 16 lowercase
+    /// hex digits. Clients compare this across replays to verify determinism.
+    pub checksum: String,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,8 +39,8 @@ pub use assignment::AssignmentState;
 pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
 pub use deadline::{Deadline, DeadlineSpec};
 pub use dto::{
-    ErrorBody, FeasibleRequest, FeasibleResponse, GenerateSpec, ModelCheckpoint, SolveRequest,
-    SolveResponse, TrainProgress,
+    ErrorBody, EventsAccounting, EventsPair, EventsResponse, EventsWorker, FeasibleRequest,
+    FeasibleResponse, GenerateSpec, ModelCheckpoint, SolveRequest, SolveResponse, TrainProgress,
 };
 pub use instance::{Instance, InstanceError};
 pub use route::{schedule_route, Infeasibility, Route, Schedule, Stop, StopTiming, TIME_EPS};

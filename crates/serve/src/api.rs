@@ -43,8 +43,9 @@ use smore_model::{
 };
 
 use crate::breaker::{Admission, CircuitBreaker};
+use crate::events::{EventsPlanner, EventsStore, EventsWork};
 use crate::http::{Method, Request, Response};
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::{Endpoint, EventKind, Metrics};
 use crate::registry::{LoadedModel, ModelRegistry};
 
 /// Shared handler context: everything a worker thread needs besides its own
@@ -59,17 +60,27 @@ pub struct Api {
     /// Model-path circuit breaker; open means `/v1/solve` model requests
     /// are answered by the baseline fallback with `"degraded": true`.
     pub breaker: Arc<CircuitBreaker>,
+    /// Online-world sessions behind `POST /v1/events`.
+    pub events: Arc<EventsStore>,
 }
 
 /// Paths the router knows (used to distinguish 404 from 405).
-const KNOWN_PATHS: [&str; 6] =
-    ["/healthz", "/metrics", "/v1/solve", "/v1/feasible", "/admin/reload", "/admin/shutdown"];
+const KNOWN_PATHS: [&str; 7] = [
+    "/healthz",
+    "/metrics",
+    "/v1/solve",
+    "/v1/feasible",
+    "/v1/events",
+    "/admin/reload",
+    "/admin/shutdown",
+];
 
 /// The metrics dimension a path belongs to.
 pub fn endpoint_of(path: &str) -> Endpoint {
     match path {
         "/v1/solve" => Endpoint::Solve,
         "/v1/feasible" => Endpoint::Feasible,
+        "/v1/events" => Endpoint::Events,
         "/healthz" => Endpoint::Healthz,
         "/metrics" => Endpoint::Metrics,
         "/admin/reload" => Endpoint::Reload,
@@ -287,6 +298,10 @@ pub(crate) enum WorkKind {
         /// Task index (bounds-checked against the instance at exec).
         task: usize,
     },
+    /// `/v1/events` batch against the session store. Executes solo
+    /// (never model-batchable); the item's `source` is only materialized
+    /// for session-creating (`seq == 0`) batches.
+    Events(Box<EventsWork>),
 }
 
 /// A validated, solver-bound unit of work.
@@ -332,6 +347,7 @@ impl Api {
             (Method::Get, "/metrics") => Plan::Ready(Response::text(200, self.metrics.render())),
             (Method::Post, "/v1/solve") => self.plan_solve(req),
             (Method::Post, "/v1/feasible") => self.plan_feasible(req),
+            (Method::Post, "/v1/events") => self.plan_events(req),
             (Method::Post, "/admin/reload") => Plan::Ready(self.reload(req)),
             (Method::Post, "/admin/shutdown") => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -483,6 +499,60 @@ impl Api {
         }))
     }
 
+    /// `POST /v1/events` — parse the envelope (hand-rolled, depth-capped;
+    /// no serde on the hot path) and validate the instance source. Only
+    /// session-creating (`seq == 0`) envelopes may carry one.
+    fn plan_events(&self, req: &Request) -> Plan {
+        if req.body.is_empty() {
+            return Plan::Ready(error_response(400, "empty events request: send a JSON envelope"));
+        }
+        let envelope = match EventsPlanner::parse(&req.body) {
+            Ok(e) => e,
+            Err(e) => {
+                return Plan::Ready(error_response(400, format!("invalid events envelope: {e}")))
+            }
+        };
+        let instance = match envelope.instance_json.as_deref() {
+            None => None,
+            Some(text) => match serde_json::from_str::<Instance>(text) {
+                Ok(inst) => Some(inst),
+                Err(e) => {
+                    return Plan::Ready(error_response(
+                        400,
+                        format!("invalid inline instance: {e}"),
+                    ))
+                }
+            },
+        };
+        let source = if envelope.seq == 0 {
+            match plan_source(instance, envelope.generate) {
+                Ok(source) => source,
+                Err(e) => return Plan::Ready(error_response(400, e)),
+            }
+        } else {
+            if instance.is_some() || envelope.generate.is_some() {
+                return Plan::Ready(error_response(
+                    400,
+                    "an instance source (`instance` or `gen`) is only allowed at seq 0",
+                ));
+            }
+            // Never materialized: execute_events only touches the source
+            // on session-creating batches.
+            InstanceSource::Generated { kind: DatasetKind::Delivery, scale: Scale::Small, seed: 0 }
+        };
+        Plan::Work(Box::new(WorkItem {
+            endpoint: Endpoint::Events,
+            source,
+            kind: WorkKind::Events(Box::new(EventsWork {
+                session: envelope.session,
+                seq: envelope.seq,
+                mode: envelope.mode,
+                penalty: envelope.penalty,
+                events: envelope.events,
+            })),
+        }))
+    }
+
     /// Executes one work item on a worker session — the solo path. Batched
     /// model items run the forward together via
     /// [`SolveSession::solve_tasnet_batch`] and scatter through
@@ -494,6 +564,11 @@ impl Api {
         item: &WorkItem,
         cache: &mut InstanceCache,
     ) -> Response {
+        // Events batches run against the session store, not a solver
+        // session, and only need an instance when creating a session.
+        if let WorkKind::Events(ref work) = item.kind {
+            return self.execute_events(work, &item.source, cache);
+        }
         let instance = cache.materialize(&item.source);
         match item.kind {
             WorkKind::Policy { method, seed, budget_ms } => {
@@ -530,6 +605,34 @@ impl Api {
             WorkKind::Probe { worker, task } => {
                 self.probe_response(session, &instance, worker, task)
             }
+            // Handled above; unreachable here.
+            WorkKind::Events(_) => error_response(500, "events item reached the solver path"),
+        }
+    }
+
+    /// Executes one events batch: applies it to the session store, records
+    /// the online-subsystem metrics, and serializes the response.
+    fn execute_events(
+        &self,
+        work: &EventsWork,
+        source: &InstanceSource,
+        cache: &mut InstanceCache,
+    ) -> Response {
+        for event in &work.events {
+            self.metrics.record_event(EventKind::of(event));
+        }
+        let instance = (work.seq == 0).then(|| cache.materialize(source));
+        match self.events.apply(work, instance) {
+            Ok((body, replan_ms)) => {
+                self.metrics.record_events_rejected(body.rejected.len() as u64);
+                self.metrics.record_replan_latency(replan_ms);
+                self.metrics.set_committed_prefix(body.committed_prefix);
+                match serde_json::to_string(&body) {
+                    Ok(json) => Response::json(200, json),
+                    Err(e) => error_response(500, format!("response serialization failed: {e}")),
+                }
+            }
+            Err((status, message)) => error_response(status, message),
         }
     }
 
@@ -706,6 +809,7 @@ mod tests {
             metrics: Arc::new(Metrics::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
             breaker: Arc::new(CircuitBreaker::default()),
+            events: Arc::new(EventsStore::new()),
         }
     }
 
@@ -830,6 +934,42 @@ mod tests {
             close: false,
         };
         assert_eq!(api.handle(&mut s, &garbage).status, 400);
+    }
+
+    #[test]
+    fn events_endpoint_streams_batches_in_sequence() {
+        let api = api();
+        let mut s = SolveSession::new();
+        let req = |json: &str| Request {
+            method: Method::Post,
+            path: "/v1/events".into(),
+            query: String::new(),
+            body: json.as_bytes().to_vec(),
+            close: false,
+        };
+        let create = r#"{"session":"s","seq":0,"gen":{"dataset":"delivery","seed":7},
+            "events":[{"type":"tick","now":0}]}"#;
+        let r0 = api.handle(&mut s, &req(create));
+        assert_eq!(r0.status, 200, "body: {:?}", String::from_utf8_lossy(&r0.body));
+        let text = String::from_utf8(r0.body).expect("utf8");
+        assert!(text.contains("\"version\":1"), "{text}");
+        assert!(text.contains("\"checksum\":"), "{text}");
+        // Out-of-order sequence numbers are a structured 400.
+        let bad = api.handle(&mut s, &req(r#"{"session":"s","seq":7,"events":[]}"#));
+        assert_eq!(bad.status, 400);
+        assert!(String::from_utf8_lossy(&bad.body).contains("expected seq 1"));
+        let r1 = api
+            .handle(&mut s, &req(r#"{"session":"s","seq":1,"events":[{"type":"tick","now":5}]}"#));
+        assert_eq!(r1.status, 200);
+        // Unknown sessions are a 404; instance sources after seq 0 a 400.
+        assert_eq!(api.handle(&mut s, &req(r#"{"session":"z","seq":1,"events":[]}"#)).status, 404);
+        let late_gen = r#"{"session":"s","seq":2,"gen":{"dataset":"delivery"},"events":[]}"#;
+        assert_eq!(api.handle(&mut s, &req(late_gen)).status, 400);
+        // Garbage bodies are 400s, and the event metrics recorded.
+        assert_eq!(api.handle(&mut s, &req("{nope")).status, 400);
+        assert_eq!(api.handle(&mut s, &req("")).status, 400);
+        assert_eq!(api.metrics.events_total(EventKind::Tick), 2);
+        assert!(api.metrics.replan_count() >= 2);
     }
 
     #[test]

@@ -1,0 +1,948 @@
+//! The `POST /v1/events` surface: envelope parsing and the per-session
+//! online-world store.
+//!
+//! The endpoint streams batched lifecycle events (`task_arrived`,
+//! `task_cancelled`, `worker_progress`, `worker_dropped`, `tick`) into a
+//! [`smore::OnlineWorld`] kept per session id. Two halves mirror the
+//! plan/execute split of the rest of the API:
+//!
+//! * [`EventsPlanner`] runs on the event-loop thread. It parses the JSON
+//!   envelope with a hand-rolled, depth-capped recursive-descent parser —
+//!   pure CPU over the request bytes, no locks, no I/O — so the C2
+//!   no-blocking contract holds by construction. Hand-rolling also keeps
+//!   the endpoint fully exercisable in offline builds whose serde_json
+//!   stand-in cannot deserialize (only the optional inline `instance`
+//!   form needs a real serde_json).
+//! * [`EventsStore`] runs on worker threads. It owns the sessions behind
+//!   one mutex (a `Vec` scan, not a hash map — D1), applies each batch
+//!   transactionally through [`smore::OnlineWorld::apply_batch_with`],
+//!   and enforces the per-session sequence-number contract: batch `seq`
+//!   must equal the number of batches already applied, so replaying a
+//!   recorded stream is the only way to advance a session — which is what
+//!   makes the final-state checksum a meaningful determinism probe.
+//!
+//! Sessions are created by `seq == 0` envelopes (which carry the instance
+//! source and optional `rejection_penalty`), advanced by `seq > 0`
+//! envelopes, and evicted least-recently-used beyond a fixed cap.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use smore::{OnlineConfig, OnlineEvent, OnlineWorld, ReplanMode};
+use smore_geo::Point;
+use smore_model::{
+    EventsAccounting, EventsPair, EventsResponse, EventsWorker, GenerateSpec, Instance,
+};
+
+/// Live sessions kept per server (LRU beyond this).
+const SESSION_CAP: usize = 32;
+
+/// Hard cap on events per envelope; larger batches are a 400.
+const MAX_EVENTS_PER_BATCH: usize = 1024;
+
+/// Session-id length cap.
+const MAX_SESSION_ID: usize = 64;
+
+/// JSON nesting depth cap for the hand parser (an inline `instance` is the
+/// deepest legitimate envelope; 64 leaves headroom without letting a
+/// bracket bomb recurse unboundedly).
+const MAX_JSON_DEPTH: usize = 64;
+
+/// A parsed JSON value. Objects are ordered `Vec`s, not hash maps: the
+/// serve crate is D1-scoped (byte-identical responses forbid hash-order
+/// iteration anywhere on the request path).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON numbers are f64 on the wire).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes after JSON value at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(format!("JSON nesting deeper than {MAX_JSON_DEPTH}"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err("truncated JSON: expected a value".to_string()),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("truncated JSON string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("truncated escape sequence".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err("unpaired surrogate escape".to_string());
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err("unpaired surrogate escape".to_string());
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate escape".to_string());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err("invalid unicode escape".to_string()),
+                            }
+                        }
+                        other => {
+                            return Err(format!("invalid escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                // The body passed an UTF-8 check before parsing; multibyte
+                // sequences are copied through verbatim.
+                _ => {
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err("invalid UTF-8 inside string".to_string()),
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err("truncated unicode escape".to_string());
+            };
+            let digit = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return Err("invalid unicode escape digit".to_string()),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number token".to_string())?;
+        token
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number {token:?} at offset {start}"))
+    }
+}
+
+/// Serializes a parsed [`Json`] value back to JSON text (used to hand the
+/// inline `instance` form to serde's validate-on-deserialize path).
+fn write_json(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        // `{}` prints integral f64s without a trailing `.0`, so integer
+        // fields survive the round trip into serde's u64/usize slots.
+        Json::Num(n) => out.push_str(&format!("{n}")),
+        Json::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(&Json::Str(key.clone()), out);
+                out.push(':');
+                write_json(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn obj_get<'a>(entries: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    entries.iter().find_map(|(k, v)| (k == key).then_some(v))
+}
+
+fn as_f64(v: &Json, what: &str) -> Result<f64, String> {
+    match v {
+        Json::Num(n) => Ok(*n),
+        _ => Err(format!("{what} must be a number")),
+    }
+}
+
+fn as_u64(v: &Json, what: &str) -> Result<u64, String> {
+    match v {
+        // smore-lint: allow(N1): exact integrality test on a parsed JSON
+        // number — fract()==0.0 is the definition of "is an integer", not a
+        // tolerance comparison.
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => Ok(*n as u64),
+        _ => Err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+fn as_usize(v: &Json, what: &str) -> Result<usize, String> {
+    Ok(as_u64(v, what)? as usize)
+}
+
+fn as_str<'a>(v: &'a Json, what: &str) -> Result<&'a str, String> {
+    match v {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("{what} must be a string")),
+    }
+}
+
+fn reject_unknown_keys(
+    entries: &[(String, Json)],
+    known: &[&str],
+    ctx: &str,
+) -> Result<(), String> {
+    for (key, _) in entries {
+        if !known.contains(&key.as_str()) {
+            return Err(format!("unknown {ctx} field {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// A fully parsed `/v1/events` envelope, before instance-source resolution
+/// (the planner cannot touch serde or the generator registry; `api.rs`
+/// finishes the job with `plan_source`).
+pub(crate) struct EventsEnvelope {
+    /// Client-chosen session id.
+    pub(crate) session: String,
+    /// Batch sequence number within the session.
+    pub(crate) seq: u64,
+    /// Replan mode for this batch.
+    pub(crate) mode: ReplanMode,
+    /// `rejection_penalty` override (`seq == 0` only).
+    pub(crate) penalty: Option<f64>,
+    /// Seeded-generator instance source (`seq == 0` only).
+    pub(crate) generate: Option<GenerateSpec>,
+    /// Inline instance, re-serialized for serde validation (`seq == 0`
+    /// only).
+    pub(crate) instance_json: Option<String>,
+    /// The batch events, in envelope order.
+    pub(crate) events: Vec<OnlineEvent>,
+}
+
+/// The plan-time half of `/v1/events`: pure parsing, registered in the C2
+/// no-blocking scope. Nothing here locks, sleeps, or touches I/O.
+pub(crate) struct EventsPlanner;
+
+impl EventsPlanner {
+    /// Parses one envelope body. Every failure is a client-facing 400
+    /// message; nothing panics on arbitrary, truncated, or mutated bytes.
+    pub(crate) fn parse(body: &[u8]) -> Result<EventsEnvelope, String> {
+        let text =
+            std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+        let root = JsonParser::parse(text)?;
+        let Json::Obj(entries) = root else {
+            return Err("envelope must be a JSON object".to_string());
+        };
+        reject_unknown_keys(
+            &entries,
+            &["session", "seq", "mode", "gen", "instance", "rejection_penalty", "events"],
+            "envelope",
+        )?;
+
+        let session =
+            as_str(obj_get(&entries, "session").ok_or("envelope requires session")?, "session")?;
+        if session.is_empty() || session.len() > MAX_SESSION_ID {
+            return Err(format!("session id must be 1..={MAX_SESSION_ID} characters"));
+        }
+        if !session.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')) {
+            return Err("session id must be alphanumeric plus '-', '_', '.'".to_string());
+        }
+        let seq = as_u64(obj_get(&entries, "seq").ok_or("envelope requires seq")?, "seq")?;
+
+        let mode = match obj_get(&entries, "mode") {
+            None => ReplanMode::Suffix,
+            Some(v) => match as_str(v, "mode")? {
+                "suffix" => ReplanMode::Suffix,
+                "full_horizon" => ReplanMode::FullHorizon,
+                other => {
+                    return Err(format!("unknown mode {other:?} (expected suffix|full_horizon)"))
+                }
+            },
+        };
+
+        let penalty = match obj_get(&entries, "rejection_penalty") {
+            None => None,
+            Some(v) => {
+                let p = as_f64(v, "rejection_penalty")?;
+                if !p.is_finite() || p < 0.0 {
+                    return Err("rejection_penalty must be finite and non-negative".to_string());
+                }
+                Some(p)
+            }
+        };
+
+        let generate = match obj_get(&entries, "gen") {
+            None => None,
+            Some(Json::Obj(g)) => {
+                reject_unknown_keys(g, &["dataset", "scale", "seed"], "gen")?;
+                let dataset =
+                    as_str(obj_get(g, "dataset").ok_or("gen requires dataset")?, "gen.dataset")?
+                        .to_string();
+                let scale = match obj_get(g, "scale") {
+                    None => None,
+                    Some(v) => Some(as_str(v, "gen.scale")?.to_string()),
+                };
+                let seed = match obj_get(g, "seed") {
+                    None => 0,
+                    Some(v) => as_u64(v, "gen.seed")?,
+                };
+                Some(GenerateSpec { dataset, scale, seed })
+            }
+            Some(_) => return Err("gen must be an object".to_string()),
+        };
+
+        let instance_json = obj_get(&entries, "instance").map(|v| {
+            let mut out = String::new();
+            write_json(v, &mut out);
+            out
+        });
+
+        let Some(Json::Arr(raw_events)) = obj_get(&entries, "events") else {
+            return Err("envelope requires an events array".to_string());
+        };
+        if raw_events.len() > MAX_EVENTS_PER_BATCH {
+            return Err(format!(
+                "batch of {} events exceeds the {MAX_EVENTS_PER_BATCH}-event cap",
+                raw_events.len()
+            ));
+        }
+        let mut events = Vec::with_capacity(raw_events.len());
+        for (i, raw) in raw_events.iter().enumerate() {
+            events.push(Self::parse_event(raw).map_err(|e| format!("events[{i}]: {e}"))?);
+        }
+
+        Ok(EventsEnvelope {
+            session: session.to_string(),
+            seq,
+            mode,
+            penalty,
+            generate,
+            instance_json,
+            events,
+        })
+    }
+
+    fn parse_event(raw: &Json) -> Result<OnlineEvent, String> {
+        let Json::Obj(e) = raw else {
+            return Err("event must be a JSON object".to_string());
+        };
+        let kind = as_str(obj_get(e, "type").ok_or("event requires type")?, "type")?;
+        match kind {
+            "task_arrived" => {
+                reject_unknown_keys(
+                    e,
+                    &["type", "x", "y", "window_start", "window_end", "service"],
+                    "task_arrived",
+                )?;
+                Ok(OnlineEvent::TaskArrived {
+                    loc: Point::new(
+                        as_f64(obj_get(e, "x").ok_or("task_arrived requires x")?, "x")?,
+                        as_f64(obj_get(e, "y").ok_or("task_arrived requires y")?, "y")?,
+                    ),
+                    window_start: as_f64(
+                        obj_get(e, "window_start").ok_or("task_arrived requires window_start")?,
+                        "window_start",
+                    )?,
+                    window_end: as_f64(
+                        obj_get(e, "window_end").ok_or("task_arrived requires window_end")?,
+                        "window_end",
+                    )?,
+                    service: as_f64(
+                        obj_get(e, "service").ok_or("task_arrived requires service")?,
+                        "service",
+                    )?,
+                })
+            }
+            "task_cancelled" => {
+                reject_unknown_keys(e, &["type", "task"], "task_cancelled")?;
+                Ok(OnlineEvent::TaskCancelled {
+                    task: as_usize(
+                        obj_get(e, "task").ok_or("task_cancelled requires task")?,
+                        "task",
+                    )?,
+                })
+            }
+            "worker_progress" => {
+                reject_unknown_keys(e, &["type", "worker", "completed_stops"], "worker_progress")?;
+                Ok(OnlineEvent::WorkerProgress {
+                    worker: as_usize(
+                        obj_get(e, "worker").ok_or("worker_progress requires worker")?,
+                        "worker",
+                    )?,
+                    completed_stops: as_usize(
+                        obj_get(e, "completed_stops")
+                            .ok_or("worker_progress requires completed_stops")?,
+                        "completed_stops",
+                    )?,
+                })
+            }
+            "worker_dropped" => {
+                reject_unknown_keys(e, &["type", "worker"], "worker_dropped")?;
+                Ok(OnlineEvent::WorkerDropped {
+                    worker: as_usize(
+                        obj_get(e, "worker").ok_or("worker_dropped requires worker")?,
+                        "worker",
+                    )?,
+                })
+            }
+            "tick" => {
+                reject_unknown_keys(e, &["type", "now"], "tick")?;
+                Ok(OnlineEvent::Tick {
+                    now: as_f64(obj_get(e, "now").ok_or("tick requires now")?, "now")?,
+                })
+            }
+            other => Err(format!(
+                "unknown event type {other:?} (expected task_arrived|task_cancelled|\
+                 worker_progress|worker_dropped|tick)"
+            )),
+        }
+    }
+}
+
+/// The execute-time half of a planned events batch (travels inside the
+/// work item; the instance source rides in the item's `source` slot).
+pub(crate) struct EventsWork {
+    /// Session id.
+    pub(crate) session: String,
+    /// Batch sequence number.
+    pub(crate) seq: u64,
+    /// Replan mode.
+    pub(crate) mode: ReplanMode,
+    /// `rejection_penalty` override for session creation.
+    pub(crate) penalty: Option<f64>,
+    /// The batch events.
+    pub(crate) events: Vec<OnlineEvent>,
+}
+
+struct OnlineSession {
+    world: OnlineWorld,
+    next_seq: u64,
+}
+
+/// Per-server session store: online worlds keyed by session id, advanced
+/// strictly in sequence order. Locked only on worker threads (the event
+/// loop plans events without touching it), held across one batch apply so
+/// concurrent batches against the same session serialize.
+pub struct EventsStore {
+    sessions: Mutex<Vec<(String, OnlineSession)>>,
+}
+
+impl Default for EventsStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventsStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        EventsStore { sessions: Mutex::new(Vec::new()) }
+    }
+
+    /// Applies one planned batch. `instance` must be present exactly when
+    /// `work.seq == 0` (the planner enforces the envelope side of that).
+    /// Returns the response plus the wall-clock milliseconds the replan
+    /// (the `apply_batch_with` call) took.
+    pub(crate) fn apply(
+        &self,
+        work: &EventsWork,
+        instance: Option<Arc<Instance>>,
+    ) -> Result<(EventsResponse, f64), (u16, String)> {
+        // Batch apply is transactional (staged world, all-or-nothing), so
+        // a poisoned lock holds no partial state worth propagating.
+        let mut guard = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        let sessions = &mut *guard;
+
+        if work.seq == 0 {
+            let Some(instance) = instance else {
+                return Err((400, "seq 0 requires an instance source".to_string()));
+            };
+            let config = OnlineConfig {
+                rejection_penalty: work
+                    .penalty
+                    .unwrap_or(OnlineConfig::default().rejection_penalty),
+            };
+            let world = OnlineWorld::new((*instance).clone(), config)
+                .map_err(|e| (400, format!("cannot start session: {e}")))?;
+            if let Some(pos) = sessions.iter().position(|(k, _)| k == &work.session) {
+                // seq 0 resets an existing session — replays are idempotent.
+                sessions.remove(pos);
+            }
+            if sessions.len() >= SESSION_CAP {
+                sessions.remove(0);
+            }
+            sessions.push((work.session.clone(), OnlineSession { world, next_seq: 0 }));
+        }
+
+        let Some(pos) = sessions.iter().position(|(k, _)| k == &work.session) else {
+            return Err((
+                404,
+                format!("unknown session {:?} (start one with seq 0)", work.session),
+            ));
+        };
+        let state = &mut sessions[pos].1;
+        if work.seq != state.next_seq {
+            return Err((
+                400,
+                format!(
+                    "out-of-order seq {} for session {:?}: expected seq {}",
+                    work.seq, work.session, state.next_seq
+                ),
+            ));
+        }
+
+        let start = Instant::now();
+        let outcome = state
+            .world
+            .apply_batch_with(&work.events, work.mode)
+            .map_err(|e| (400, format!("event batch rejected: {e}")))?;
+        let replan_ms = start.elapsed().as_secs_f64() * 1000.0;
+        state.next_seq += 1;
+
+        let response = EventsResponse {
+            session: work.session.clone(),
+            seq: work.seq,
+            version: outcome.version,
+            sim_time: outcome.sim_time,
+            mode: work.mode.label().to_string(),
+            arrived: outcome.arrived.clone(),
+            committed: outcome
+                .committed
+                .iter()
+                .map(|&(task, worker)| EventsPair { task, worker })
+                .collect(),
+            completed: outcome
+                .completed
+                .iter()
+                .map(|&(task, worker)| EventsPair { task, worker })
+                .collect(),
+            rejected: outcome.rejected.clone(),
+            expired: outcome.expired.clone(),
+            cancelled: outcome.cancelled.clone(),
+            released: outcome.released.clone(),
+            dropped_workers: outcome.dropped_workers.clone(),
+            stale_cancels: outcome.stale_cancels,
+            offered: outcome.offered,
+            objective: outcome.objective,
+            coverage: outcome.coverage,
+            penalty: outcome.penalty,
+            spent: outcome.spent,
+            budget: outcome.budget,
+            committed_prefix: state.world.committed_prefix_len(),
+            accounting: EventsAccounting {
+                arrived: outcome.accounting.arrived,
+                pending: outcome.accounting.pending,
+                committed: outcome.accounting.committed,
+                completed: outcome.accounting.completed,
+                rejected: outcome.accounting.rejected,
+                expired: outcome.accounting.expired,
+                cancelled: outcome.accounting.cancelled,
+            },
+            workers: state
+                .world
+                .workers()
+                .iter()
+                .enumerate()
+                .map(|(i, w)| EventsWorker {
+                    worker: i,
+                    executed: w.executed,
+                    stops: w.route.stops.len(),
+                    rtt: w.schedule.rtt,
+                    incentive: w.incentive,
+                    dropped: w.dropped,
+                })
+                .collect(),
+            checksum: format!("{:016x}", outcome.checksum),
+        };
+
+        // Move-to-back LRU so cap eviction hits the stalest session.
+        let entry = sessions.remove(pos);
+        sessions.push(entry);
+        Ok((response, replan_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use smore_datasets::{DatasetKind, DatasetSpec, InstanceGenerator, Scale};
+
+    fn instance(seed: u64) -> Arc<Instance> {
+        let g = InstanceGenerator::new(DatasetSpec::of(DatasetKind::Delivery, Scale::Small), seed);
+        Arc::new(g.gen_default(&mut SmallRng::seed_from_u64(seed)))
+    }
+
+    fn envelope(session: &str, seq: u64, events_json: &str) -> Vec<u8> {
+        let gen = if seq == 0 { ",\"gen\":{\"dataset\":\"delivery\",\"seed\":7}" } else { "" };
+        format!("{{\"session\":\"{session}\",\"seq\":{seq}{gen},\"events\":[{events_json}]}}")
+            .into_bytes()
+    }
+
+    fn work(session: &str, seq: u64, events: Vec<OnlineEvent>) -> EventsWork {
+        EventsWork {
+            session: session.to_string(),
+            seq,
+            mode: ReplanMode::Suffix,
+            penalty: None,
+            events,
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_a_full_envelope() {
+        let body = envelope(
+            "s-1",
+            0,
+            r#"{"type":"tick","now":5.0},
+               {"type":"task_arrived","x":10.0,"y":20.5,"window_start":30,"window_end":90,"service":5},
+               {"type":"task_cancelled","task":3},
+               {"type":"worker_progress","worker":0,"completed_stops":2},
+               {"type":"worker_dropped","worker":1}"#,
+        );
+        let parsed = EventsPlanner::parse(&body).expect("parse");
+        assert_eq!(parsed.session, "s-1");
+        assert_eq!(parsed.seq, 0);
+        assert_eq!(parsed.mode, ReplanMode::Suffix);
+        assert_eq!(parsed.generate.as_ref().map(|g| g.seed), Some(7));
+        assert_eq!(parsed.events.len(), 5);
+        assert!(matches!(parsed.events[0], OnlineEvent::Tick { now } if now == 5.0));
+        assert!(matches!(
+            parsed.events[1],
+            OnlineEvent::TaskArrived { window_start: 30.0, window_end: 90.0, service: 5.0, .. }
+        ));
+        assert!(matches!(parsed.events[2], OnlineEvent::TaskCancelled { task: 3 }));
+        assert!(matches!(
+            parsed.events[3],
+            OnlineEvent::WorkerProgress { worker: 0, completed_stops: 2 }
+        ));
+        assert!(matches!(parsed.events[4], OnlineEvent::WorkerDropped { worker: 1 }));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_envelopes_without_panicking() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"not json",
+            b"[1,2,3]",
+            b"{\"session\":\"s\"}",
+            b"{\"session\":\"s\",\"seq\":0}",
+            b"{\"session\":\"s\",\"seq\":-1,\"events\":[]}",
+            b"{\"session\":\"s\",\"seq\":0.5,\"events\":[]}",
+            b"{\"session\":\"\",\"seq\":0,\"events\":[]}",
+            b"{\"session\":\"bad id\",\"seq\":0,\"events\":[]}",
+            b"{\"session\":\"s\",\"seq\":0,\"events\":[{\"type\":\"nope\"}]}",
+            b"{\"session\":\"s\",\"seq\":0,\"events\":[{\"type\":\"tick\"}]}",
+            b"{\"session\":\"s\",\"seq\":0,\"events\":[{\"type\":\"tick\",\"now\":\"x\"}]}",
+            b"{\"session\":\"s\",\"seq\":0,\"events\":[{\"type\":\"tick\",\"now\":1,\"z\":2}]}",
+            b"{\"session\":\"s\",\"seq\":0,\"events\":[],\"bogus\":1}",
+            b"{\"session\":\"s\",\"seq\":0,\"mode\":\"psychic\",\"events\":[]}",
+            b"{\"session\":\"s\",\"seq\":0,\"rejection_penalty\":-1,\"events\":[]}",
+            b"{\"session\":\"s\",\"seq\":0,\"events\":[",
+            b"{\"session\":\"s\",\"seq\":0,\"events\":[]}trailing",
+            b"\xff\xfe",
+        ];
+        for case in cases {
+            assert!(
+                EventsPlanner::parse(case).is_err(),
+                "should reject {:?}",
+                String::from_utf8_lossy(case)
+            );
+        }
+    }
+
+    #[test]
+    fn parser_caps_nesting_depth() {
+        let mut body = String::from("{\"session\":\"s\",\"seq\":0,\"events\":[],\"gen\":");
+        body.push_str(&"[".repeat(200));
+        body.push_str(&"]".repeat(200));
+        body.push('}');
+        assert!(EventsPlanner::parse(body.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parser_handles_string_escapes_and_unicode() {
+        let body = br#"{"session":"aAb","seq":0,"events":[]}"#;
+        let parsed = EventsPlanner::parse(body).expect("parse");
+        assert_eq!(parsed.session, "aAb");
+        // Unpaired surrogates are rejected, not panicked on.
+        let bad = br#"{"session":"x","seq":0,"events":[],"mode":"\ud800"}"#;
+        assert!(EventsPlanner::parse(bad).is_err());
+    }
+
+    #[test]
+    fn write_json_round_trips_integers_without_decimal_points() {
+        let mut out = String::new();
+        write_json(
+            &Json::Obj(vec![
+                ("n".to_string(), Json::Num(5.0)),
+                ("f".to_string(), Json::Num(2.5)),
+                ("s".to_string(), Json::Str("a\"b".to_string())),
+            ]),
+            &mut out,
+        );
+        assert_eq!(out, r#"{"n":5,"f":2.5,"s":"a\"b"}"#);
+    }
+
+    #[test]
+    fn store_enforces_sequence_order_and_session_existence() {
+        let store = EventsStore::new();
+        let err = store.apply(&work("s", 3, vec![]), None).expect_err("unknown session");
+        assert_eq!(err.0, 404);
+        let (first, _) = store
+            .apply(&work("s", 0, vec![OnlineEvent::Tick { now: 0.0 }]), Some(instance(7)))
+            .expect("create");
+        assert_eq!(first.version, 1);
+        assert!(first.accounting.arrived > 0);
+        let err = store.apply(&work("s", 5, vec![]), None).expect_err("out of order");
+        assert_eq!(err.0, 400);
+        assert!(err.1.contains("expected seq 1"), "{}", err.1);
+        let (second, _) =
+            store.apply(&work("s", 1, vec![OnlineEvent::Tick { now: 5.0 }]), None).expect("seq 1");
+        assert_eq!(second.version, 2);
+        assert_eq!(second.checksum.len(), 16);
+    }
+
+    #[test]
+    fn store_seq_zero_resets_an_existing_session() {
+        let store = EventsStore::new();
+        let (a, _) = store
+            .apply(&work("s", 0, vec![OnlineEvent::Tick { now: 0.0 }]), Some(instance(7)))
+            .expect("create");
+        store.apply(&work("s", 1, vec![OnlineEvent::Tick { now: 9.0 }]), None).expect("advance");
+        let (b, _) = store
+            .apply(&work("s", 0, vec![OnlineEvent::Tick { now: 0.0 }]), Some(instance(7)))
+            .expect("reset");
+        assert_eq!(a.checksum, b.checksum, "reset must reproduce the original world");
+    }
+
+    #[test]
+    fn store_rejects_invalid_batches_without_advancing_seq() {
+        let store = EventsStore::new();
+        store.apply(&work("s", 0, vec![]), Some(instance(7))).expect("create");
+        let err = store
+            .apply(&work("s", 1, vec![OnlineEvent::WorkerDropped { worker: 999 }]), None)
+            .expect_err("unknown worker");
+        assert_eq!(err.0, 400);
+        // The failed batch consumed no sequence number.
+        let (ok, _) =
+            store.apply(&work("s", 1, vec![OnlineEvent::Tick { now: 1.0 }]), None).expect("retry");
+        assert_eq!(ok.seq, 1);
+    }
+
+    #[test]
+    fn store_replay_reproduces_checksums() {
+        let batches: Vec<Vec<OnlineEvent>> = vec![
+            vec![OnlineEvent::Tick { now: 0.0 }],
+            vec![
+                OnlineEvent::Tick { now: 10.0 },
+                OnlineEvent::TaskArrived {
+                    loc: Point::new(150.0, 200.0),
+                    window_start: 30.0,
+                    window_end: 90.0,
+                    service: 5.0,
+                },
+            ],
+            vec![OnlineEvent::Tick { now: 25.0 }],
+        ];
+        let run = || {
+            let store = EventsStore::new();
+            let mut sums = Vec::new();
+            for (i, b) in batches.iter().enumerate() {
+                let inst = (i == 0).then(|| instance(7));
+                let (resp, _) = store.apply(&work("s", i as u64, b.clone()), inst).expect("apply");
+                sums.push(resp.checksum);
+            }
+            sums
+        };
+        assert_eq!(run(), run());
+    }
+}

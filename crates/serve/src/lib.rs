@@ -24,6 +24,11 @@
 //!   spec, per-request deadline budgets), `POST /v1/feasible` (single
 //!   candidate probe through the incremental evaluator), `GET /healthz`,
 //!   `GET /metrics`, and the admin endpoints.
+//! * [`events`] — the `POST /v1/events` online subsystem: a hand-rolled,
+//!   depth-capped envelope parser (run at plan time on the event loop —
+//!   pure CPU, C2-safe) plus a per-session store of versioned
+//!   [`smore::OnlineWorld`]s advanced strictly in sequence order, with
+//!   mid-route suffix replanning on every applied batch.
 //! * [`metrics`] — atomic counters (requests by endpoint/status, shed
 //!   count, queue high-water mark, batch-size histogram, flush reasons,
 //!   connection-state gauges) and latency histograms, rendered as plain
@@ -51,6 +56,7 @@
 pub mod api;
 mod batcher;
 pub mod breaker;
+pub mod events;
 pub mod http;
 pub mod metrics;
 mod poller;
@@ -61,6 +67,7 @@ pub mod supervisor;
 
 pub use api::{endpoint_of, error_response, Api};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use events::EventsStore;
 pub use http::{Method, ParseError, Request, Response};
 pub use metrics::{Endpoint, FlushReason, Metrics, BATCH_BUCKETS};
 pub use queue::{BoundedQueue, PushError, Refused};

@@ -28,18 +28,21 @@ pub enum Endpoint {
     Reload,
     /// `POST /admin/shutdown`
     Shutdown,
+    /// `POST /v1/events`
+    Events,
     /// Anything else (404s, parse failures).
     Other,
 }
 
 /// All endpoints, in render order.
-pub const ENDPOINTS: [Endpoint; 7] = [
+pub const ENDPOINTS: [Endpoint; 8] = [
     Endpoint::Solve,
     Endpoint::Feasible,
     Endpoint::Healthz,
     Endpoint::Metrics,
     Endpoint::Reload,
     Endpoint::Shutdown,
+    Endpoint::Events,
     Endpoint::Other,
 ];
 
@@ -53,6 +56,7 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::Reload => "reload",
             Endpoint::Shutdown => "shutdown",
+            Endpoint::Events => "events",
             Endpoint::Other => "other",
         }
     }
@@ -65,7 +69,8 @@ impl Endpoint {
             Endpoint::Metrics => 3,
             Endpoint::Reload => 4,
             Endpoint::Shutdown => 5,
-            Endpoint::Other => 6,
+            Endpoint::Events => 6,
+            Endpoint::Other => 7,
         }
     }
 }
@@ -120,6 +125,66 @@ pub const BATCH_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 const N_BATCH_BUCKETS: usize = BATCH_BUCKETS.len() + 1;
 
+/// Kinds of `/v1/events` stream events, as metric dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A sensing task arrived.
+    TaskArrived,
+    /// A task was cancelled by the requester.
+    TaskCancelled,
+    /// A worker reported route progress.
+    WorkerProgress,
+    /// A worker left the system.
+    WorkerDropped,
+    /// Simulated time advanced.
+    Tick,
+}
+
+/// All event kinds, in render order.
+pub const EVENT_KINDS: [EventKind; 5] = [
+    EventKind::TaskArrived,
+    EventKind::TaskCancelled,
+    EventKind::WorkerProgress,
+    EventKind::WorkerDropped,
+    EventKind::Tick,
+];
+
+impl EventKind {
+    /// The metric dimension of a wire event.
+    pub fn of(event: &smore::OnlineEvent) -> Self {
+        match event {
+            smore::OnlineEvent::TaskArrived { .. } => EventKind::TaskArrived,
+            smore::OnlineEvent::TaskCancelled { .. } => EventKind::TaskCancelled,
+            smore::OnlineEvent::WorkerProgress { .. } => EventKind::WorkerProgress,
+            smore::OnlineEvent::WorkerDropped { .. } => EventKind::WorkerDropped,
+            smore::OnlineEvent::Tick { .. } => EventKind::Tick,
+        }
+    }
+
+    /// Stable label used in the `smore_events_total` metric.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::TaskArrived => "task_arrived",
+            EventKind::TaskCancelled => "task_cancelled",
+            EventKind::WorkerProgress => "worker_progress",
+            EventKind::WorkerDropped => "worker_dropped",
+            EventKind::Tick => "tick",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            EventKind::TaskArrived => 0,
+            EventKind::TaskCancelled => 1,
+            EventKind::WorkerProgress => 2,
+            EventKind::WorkerDropped => 3,
+            EventKind::Tick => 4,
+        }
+    }
+}
+
+const N_EVENT_KINDS: usize = EVENT_KINDS.len();
+
 /// Smoothing factor of the latency EWMA feeding the adaptive `Retry-After`.
 const EWMA_ALPHA: f64 = 0.2;
 
@@ -158,6 +223,12 @@ pub const METRIC_NAMES: &[&str] = &[
     "smore_latency_ms_bucket",
     "smore_latency_ms_sum",
     "smore_latency_ms_count",
+    "smore_events_total",
+    "smore_events_rejected_total",
+    "smore_replan_latency_ms_bucket",
+    "smore_replan_latency_ms_sum",
+    "smore_replan_latency_ms_count",
+    "smore_replan_committed_prefix",
 ];
 
 /// The server-wide metrics registry.
@@ -189,6 +260,13 @@ pub struct Metrics {
     connections_accepted: AtomicU64,
     connections_open: AtomicUsize,
     connections_busy: AtomicUsize,
+    // Online subsystem surface: /v1/events stream + suffix replanning.
+    events_by_kind: [AtomicU64; N_EVENT_KINDS],
+    events_rejected: AtomicU64,
+    replan_buckets: [AtomicU64; N_BUCKETS],
+    replan_count: AtomicU64,
+    replan_sum_us: AtomicU64,
+    replan_committed_prefix: AtomicUsize,
 }
 
 impl Metrics {
@@ -346,6 +424,48 @@ impl Metrics {
         }
     }
 
+    /// Records one processed `/v1/events` stream event by kind.
+    pub fn record_event(&self, kind: EventKind) {
+        self.events_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Events recorded for `kind`.
+    pub fn events_total(&self, kind: EventKind) -> u64 {
+        self.events_by_kind[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Records `n` tasks rejected (unaffordable) by a replan pass.
+    pub fn record_events_rejected(&self, n: u64) {
+        self.events_rejected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total rejected tasks across all sessions.
+    pub fn events_rejected_total(&self) -> u64 {
+        self.events_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Records one suffix-replan pass latency, in milliseconds.
+    pub fn record_replan_latency(&self, latency_ms: f64) {
+        let bucket = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&ub| latency_ms <= ub)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.replan_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.replan_count.fetch_add(1, Ordering::Relaxed);
+        self.replan_sum_us.fetch_add((latency_ms * 1000.0).max(0.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Total replan passes recorded.
+    pub fn replan_count(&self) -> u64 {
+        self.replan_count.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the committed-prefix length gauge (total executed stops
+    /// across the workers of the session that replanned last).
+    pub fn set_committed_prefix(&self, len: usize) {
+        self.replan_committed_prefix.store(len, Ordering::Relaxed);
+    }
+
     /// Records one accepted connection.
     pub fn record_connection_accepted(&self) {
         self.connections_accepted.fetch_add(1, Ordering::Relaxed);
@@ -501,6 +621,39 @@ impl Metrics {
             out,
             "smore_connections_busy {}",
             self.connections_busy.load(Ordering::Relaxed)
+        );
+        for kind in EVENT_KINDS {
+            let _ = writeln!(
+                out,
+                "smore_events_total{{type=\"{}\"}} {}",
+                kind.label(),
+                self.events_by_kind[kind.index()].load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "smore_events_rejected_total {}",
+            self.events_rejected.load(Ordering::Relaxed)
+        );
+        let replan_count = self.replan_count.load(Ordering::Relaxed);
+        if replan_count > 0 {
+            let mut cum = 0u64;
+            for (bi, ub) in LATENCY_BUCKETS_MS.iter().enumerate() {
+                cum += self.replan_buckets[bi].load(Ordering::Relaxed);
+                let _ = writeln!(out, "smore_replan_latency_ms_bucket{{le=\"{ub}\"}} {cum}");
+            }
+            let _ = writeln!(out, "smore_replan_latency_ms_bucket{{le=\"+Inf\"}} {replan_count}");
+            let _ = writeln!(
+                out,
+                "smore_replan_latency_ms_sum {:.3}",
+                self.replan_sum_us.load(Ordering::Relaxed) as f64 / 1000.0
+            );
+            let _ = writeln!(out, "smore_replan_latency_ms_count {replan_count}");
+        }
+        let _ = writeln!(
+            out,
+            "smore_replan_committed_prefix {}",
+            self.replan_committed_prefix.load(Ordering::Relaxed)
         );
         let _ = writeln!(out, "smore_latency_ewma_ms {:.3}", self.latency_ewma_ms());
         let _ = writeln!(
@@ -689,6 +842,12 @@ mod tests {
         m.record_connection_accepted();
         m.set_connection_states(1, 1);
         m.adaptive_retry_after(1, 1, 1);
+        for kind in EVENT_KINDS {
+            m.record_event(kind);
+        }
+        m.record_events_rejected(2);
+        m.record_replan_latency(4.0);
+        m.set_committed_prefix(3);
         let text = m.render();
         for line in text.lines().filter(|l| l.starts_with("smore_")) {
             let name: String = line
@@ -706,6 +865,31 @@ mod tests {
                 "METRIC_NAMES declares `{name}` but render() never emits it"
             );
         }
+    }
+
+    #[test]
+    fn online_event_metrics_render() {
+        let m = Metrics::new();
+        m.record_event(EventKind::TaskArrived);
+        m.record_event(EventKind::TaskArrived);
+        m.record_event(EventKind::Tick);
+        m.record_events_rejected(3);
+        m.record_replan_latency(0.5);
+        m.record_replan_latency(30.0);
+        m.set_committed_prefix(7);
+        assert_eq!(m.events_total(EventKind::TaskArrived), 2);
+        assert_eq!(m.events_total(EventKind::WorkerDropped), 0);
+        assert_eq!(m.events_rejected_total(), 3);
+        assert_eq!(m.replan_count(), 2);
+        let text = m.render();
+        assert!(text.contains("smore_events_total{type=\"task_arrived\"} 2"), "{text}");
+        assert!(text.contains("smore_events_total{type=\"tick\"} 1"), "{text}");
+        assert!(text.contains("smore_events_rejected_total 3"), "{text}");
+        assert!(text.contains("smore_replan_latency_ms_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("smore_replan_latency_ms_bucket{le=\"50\"} 2"), "{text}");
+        assert!(text.contains("smore_replan_latency_ms_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("smore_replan_latency_ms_count 2"), "{text}");
+        assert!(text.contains("smore_replan_committed_prefix 7"), "{text}");
     }
 
     #[test]

@@ -582,6 +582,7 @@ pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Resu
         metrics: Arc::clone(&metrics),
         shutdown: Arc::clone(&shutdown),
         breaker: Arc::new(CircuitBreaker::default()),
+        events: Arc::new(crate::events::EventsStore::new()),
     });
     let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_capacity));
     let (completions_tx, completions_rx) = std::sync::mpsc::channel::<Completion>();

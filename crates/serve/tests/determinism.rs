@@ -9,6 +9,10 @@
 //! through the batch path (a singleton is a batch of one), and each worker
 //! thread's `SolveSession` re-arms its evaluator between requests, so this
 //! holds by construction; the tests pin it down over real TCP.
+//!
+//! `/v1/events` extends the contract to stateful sessions: identical
+//! seeded event streams must replay to byte-identical responses (and
+//! final checksums) across pool sizes and batch bounds.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -159,6 +163,58 @@ fn batched_solves_are_byte_identical_to_sequential_across_batch_and_pool_sizes()
             flushed_full + flushed_deadline > 0,
             "threads={threads} max_batch={max_batch}: no batches flushed"
         );
+        server.stop();
+        server.join();
+    }
+}
+
+#[test]
+fn event_streams_are_byte_identical_across_pool_and_batch_sizes() {
+    // The `/v1/events` contract extends byte-identity to stateful
+    // sessions: replaying the same seeded envelope sequence must produce
+    // identical response bodies (world version, objective, checksum, full
+    // route suffixes) no matter how the server is threaded or batched.
+    // Envelopes within a session are strictly sequenced by `seq`, so each
+    // replay is sequential; the sweep varies only server configuration.
+    use smore_datasets::{DatasetKind, EventStreamSpec, Scale};
+
+    let lines = smore_datasets::gen_event_stream(&EventStreamSpec::preset(
+        DatasetKind::Delivery,
+        Scale::Small,
+        11,
+    ));
+    let post = |addr: SocketAddr, body: &str| {
+        let raw = format!(
+            "POST /v1/events HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        body_of(addr, &raw)
+    };
+
+    // Reference replay on a single-threaded, batching-disabled server.
+    let reference_server = boot_batched(1, 1, 0, Arc::new(ModelRegistry::new()));
+    let reference: Vec<(String, String)> =
+        lines.iter().map(|l| post(reference_server.addr(), l)).collect();
+    for (i, (head, _)) in reference.iter().enumerate() {
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "envelope {i}: {head}");
+    }
+    reference_server.stop();
+    reference_server.join();
+
+    for &(threads, max_batch) in &[(1usize, 1usize), (1, 8), (4, 1), (4, 8)] {
+        let server = boot_batched(threads, max_batch, 0, Arc::new(ModelRegistry::new()));
+        for (i, line) in lines.iter().enumerate() {
+            let (head, body) = post(server.addr(), line);
+            assert!(
+                head.starts_with("HTTP/1.1 200 OK"),
+                "threads={threads} max_batch={max_batch} envelope {i}: {head}"
+            );
+            assert_eq!(
+                body, reference[i].1,
+                "threads={threads} max_batch={max_batch} envelope {i}: \
+                 event response diverged from single-threaded reference"
+            );
+        }
         server.stop();
         server.join();
     }

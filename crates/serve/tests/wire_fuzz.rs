@@ -1,0 +1,186 @@
+//! Wire fuzzing for `POST /v1/events`: hostile bytes over real TCP must
+//! never panic a worker, wedge the event loop, or close a connection
+//! without a framed answer. Every malformed envelope — garbage, truncated
+//! JSON, random byte mutations, out-of-order sequence numbers, unknown
+//! sessions — maps to a structured `Content-Length`-framed 4xx, and the
+//! server keeps serving well-formed streams afterwards.
+//!
+//! Mutations are seeded (splitmix64), so a failure reproduces exactly.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use smore_datasets::{DatasetKind, EventStreamSpec, Scale};
+use smore_serve::{start, ModelRegistry, ServeConfig};
+
+fn boot() -> smore_serve::ServerHandle {
+    let config = ServeConfig { threads: 2, ..ServeConfig::default() };
+    start(config, Arc::new(ModelRegistry::new())).expect("bind")
+}
+
+/// Deterministic per-case randomness.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// POSTs `body` to `/v1/events` and reads one framed reply. Returns
+/// (status, body). Panics only when the server fails to answer with a
+/// framed response at all — that is the invariant under test.
+fn post_events(addr: SocketAddr, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    let head =
+        format!("POST /v1/events HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n\r\n", body.len());
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+            let status: u16 = head
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("unframed reply head: {head:?}"));
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or_else(|| panic!("reply without Content-Length: {head:?}"));
+            if buf.len() >= head_end + 4 + content_length {
+                let body =
+                    String::from_utf8_lossy(&buf[head_end + 4..head_end + 4 + content_length])
+                        .to_string();
+                return (status, body);
+            }
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "EOF before framed response: {:?}", String::from_utf8_lossy(&buf));
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// A short, valid, replayable stream (session-creating envelope + batches).
+fn valid_stream(seed: u64, session: &str) -> Vec<String> {
+    let mut spec = EventStreamSpec::preset(DatasetKind::Delivery, Scale::Small, seed);
+    spec.session = session.to_string();
+    spec.batches = 3;
+    smore_datasets::gen_event_stream(&spec)
+}
+
+/// After any hostility, the server must still replay a fresh well-formed
+/// stream with all-200s.
+fn assert_still_serving(addr: SocketAddr, session: &str) {
+    for (i, line) in valid_stream(23, session).iter().enumerate() {
+        let (status, body) = post_events(addr, line.as_bytes());
+        assert_eq!(status, 200, "post-fuzz envelope {i} answered {status}: {body}");
+    }
+}
+
+#[test]
+fn garbage_bodies_map_to_structured_400s() {
+    let server = boot();
+    let mut rng = 0xF00Du64;
+    for case in 0..64 {
+        let len = (splitmix64(&mut rng) % 257) as usize;
+        let body: Vec<u8> = (0..len).map(|_| (splitmix64(&mut rng) & 0xFF) as u8).collect();
+        let (status, reply) = post_events(server.addr(), &body);
+        assert_eq!(status, 400, "garbage case {case} ({len} bytes) answered {status}: {reply}");
+        assert!(reply.contains("\"error\""), "case {case}: unstructured 400 body: {reply}");
+    }
+    assert_still_serving(server.addr(), "after-garbage");
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn truncated_envelopes_map_to_structured_400s() {
+    let server = boot();
+    let lines = valid_stream(7, "trunc");
+    // Truncations of the session-creating envelope at sampled byte
+    // positions (never the full length — that one is valid).
+    let full = lines[0].as_bytes();
+    let mut rng = 0xBEEFu64;
+    for case in 0..48 {
+        let cut = 1 + (splitmix64(&mut rng) as usize) % (full.len() - 1);
+        let (status, reply) = post_events(server.addr(), &full[..cut]);
+        assert_eq!(status, 400, "truncation case {case} at {cut} answered {status}: {reply}");
+        assert!(reply.contains("\"error\""), "case {case}: unstructured 400 body: {reply}");
+    }
+    // An empty body is its own 400, not a hang.
+    let (status, _) = post_events(server.addr(), b"");
+    assert_eq!(status, 400);
+    assert_still_serving(server.addr(), "after-trunc");
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn mutated_envelopes_never_kill_the_server() {
+    let server = boot();
+    let lines = valid_stream(11, "mutate");
+    // Establish the session, then fire mutated copies of a mid-stream
+    // envelope. A mutation may still parse (a digit flip, say) — any
+    // framed answer is legal; what is forbidden is a panic, a hang, or an
+    // unframed close.
+    let (status, _) = post_events(server.addr(), lines[0].as_bytes());
+    assert_eq!(status, 200);
+    let base = lines[1].as_bytes();
+    let mut rng = 0xCAFEu64;
+    for case in 0..96 {
+        let mut body = base.to_vec();
+        let flips = 1 + (splitmix64(&mut rng) % 4) as usize;
+        for _ in 0..flips {
+            let at = (splitmix64(&mut rng) as usize) % body.len();
+            body[at] = (splitmix64(&mut rng) & 0xFF) as u8;
+        }
+        let (status, reply) = post_events(server.addr(), &body);
+        assert!(
+            status == 200 || (400..500).contains(&status),
+            "mutation case {case} answered {status}: {reply}"
+        );
+    }
+    assert_still_serving(server.addr(), "after-mutate");
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn out_of_order_and_unknown_sessions_are_structured_errors() {
+    let server = boot();
+    let lines = valid_stream(3, "seq");
+
+    // Unknown session: a seq>0 envelope before any seq 0 is a 404.
+    let (status, reply) = post_events(server.addr(), lines[1].as_bytes());
+    assert_eq!(status, 404, "unknown session answered {status}: {reply}");
+    assert!(reply.contains("\"error\""), "unstructured 404 body: {reply}");
+
+    // Create the session, then skip ahead: wrong seq is a 400 that does
+    // NOT consume the expected sequence number.
+    let (status, _) = post_events(server.addr(), lines[0].as_bytes());
+    assert_eq!(status, 200);
+    let (status, reply) = post_events(server.addr(), lines[2].as_bytes());
+    assert_eq!(status, 400, "skipped seq answered {status}: {reply}");
+    let (status, reply) = post_events(server.addr(), lines[1].as_bytes());
+    assert_eq!(status, 200, "correct seq after rejected skip answered {status}: {reply}");
+
+    // Replaying an already-consumed seq is also a structured 400.
+    let (status, reply) = post_events(server.addr(), lines[1].as_bytes());
+    assert_eq!(status, 400, "replayed seq answered {status}: {reply}");
+    assert!(reply.contains("\"error\""), "unstructured replay body: {reply}");
+
+    // The stream still completes in order afterwards.
+    for (i, line) in lines.iter().enumerate().skip(2) {
+        let (status, reply) = post_events(server.addr(), line.as_bytes());
+        assert_eq!(status, 200, "envelope {i} answered {status}: {reply}");
+    }
+    server.stop();
+    server.join();
+}
